@@ -1,0 +1,16 @@
+"""Benchmark fixtures: fresh propagation context per benchmark."""
+
+import pytest
+
+from repro.core import default_context, reset_default_context
+
+
+@pytest.fixture(autouse=True)
+def fresh_context():
+    yield reset_default_context()
+    reset_default_context()
+
+
+@pytest.fixture
+def context():
+    return default_context()

@@ -1,0 +1,90 @@
+"""E2 (section 4.2.1): agenda deferral of functional constraints.
+
+A functional constraint defers its inference onto an agenda so every
+argument can change before the computation runs, suppressing redundant
+transient calculations.  The ablation compares the number of inference
+executions with agenda scheduling against an immediate-firing variant of
+the same constraint, on a reduction tree whose leaves all change in one
+round (driven through equality constraints from one master variable).
+"""
+
+import itertools
+
+import pytest
+
+from repro.core import (
+    EqualityConstraint,
+    UniAdditionConstraint,
+    Variable,
+    default_context,
+)
+
+
+class ImmediateAddition(UniAdditionConstraint):
+    """Ablation: the same sum constraint without agenda deferral."""
+
+    agenda = None
+
+    def immediate_inference_by_changing(self, variable):
+        if variable is self.result_variable:
+            return
+        super().immediate_inference_by_changing(variable)
+
+
+def build_tree(constraint_class, fan_in=8):
+    """master ==(equality)==> leaves --(sum)--> total."""
+    master = Variable(name="master")
+    leaves = [Variable(name=f"leaf{i}") for i in range(fan_in)]
+    EqualityConstraint(master, *leaves)
+    total = Variable(name="total")
+    constraint_class(total, leaves)
+    return master, total
+
+
+class TestAgendaDeferral:
+    def test_deferred_sum_computes_once_per_round(self, context):
+        master, total = build_tree(UniAdditionConstraint, fan_in=8)
+        context.stats.reset()
+        assert master.set(5)
+        assert total.value == 40
+        assert context.stats.inference_runs == 1
+
+    def test_immediate_sum_recomputes_per_leaf(self, context):
+        master, total = build_tree(ImmediateAddition, fan_in=8)
+        master.set(5)  # prime: all leaves hold values now
+        context.stats.reset()
+        assert master.set(6)
+        assert total.value == 48
+        # every leaf change fires the constraint: 8 transient totals
+        assert context.stats.propagated_assignments >= 8 + 8
+
+    def test_deferral_reduces_transient_updates(self, context):
+        """The headline claim: agenda scheduling avoids transients."""
+        master_d, total_d = build_tree(UniAdditionConstraint, fan_in=8)
+        master_d.set(5)
+        context.stats.reset()
+        master_d.set(6)
+        deferred_changes = context.stats.propagated_assignments
+        context.stats.reset()
+
+        master_i, total_i = build_tree(ImmediateAddition, fan_in=8)
+        master_i.set(5)
+        context.stats.reset()
+        master_i.set(6)
+        immediate_changes = context.stats.propagated_assignments
+        assert total_d.value == total_i.value == 48
+        assert immediate_changes > deferred_changes
+
+
+def test_bench_deferred(benchmark):
+    master, total = build_tree(UniAdditionConstraint, fan_in=16)
+    values = itertools.cycle([5, 6])
+    benchmark(lambda: master.set(next(values)))
+    assert total.value == 16 * master.value
+
+
+def test_bench_immediate_ablation(benchmark):
+    master, total = build_tree(ImmediateAddition, fan_in=16)
+    values = itertools.cycle([5, 6])
+    benchmark(lambda: master.set(next(values)))
+    assert total.value == 16 * master.value

@@ -1,0 +1,77 @@
+"""E12 (Figs. 7.6-7.9): bounding-box propagation, stretching and checks.
+
+A class box change defaults every instance box (transformed), checks
+designer-fixed instance boxes, and the designer's aspect-ratio / area
+constraints veto bad boxes.  Benchmarks measure class-box updates fanned
+out to many instances and the io-pin stretch computation.
+"""
+
+import pytest
+
+from repro.core import AspectRatioPredicate, USER, reset_default_context
+from repro.stem import CellClass, PinSpec, Point, Rect, Transform
+
+
+def build_fanout(instances=32):
+    cell = CellClass("LEAF")
+    cell.define_signal("in1", "in", pins=[PinSpec("left", 0.5)])
+    cell.define_signal("out1", "out", pins=[PinSpec("right", 0.5)])
+    top = CellClass("TOP")
+    placed = [cell.instantiate(top, f"L{i}",
+                               Transform.translation(10.0 * i, 0.0))
+              for i in range(instances)]
+    return cell, top, placed
+
+
+class TestBBoxPropagation:
+    def test_class_box_defaults_every_instance(self):
+        cell, top, placed = build_fanout(8)
+        assert cell.set_bounding_box(Rect.of_extent(4, 2))
+        for i, instance in enumerate(placed):
+            assert instance.bounding_box_var.value == \
+                Rect.of_extent(4, 2, Point(10.0 * i, 0.0))
+
+    def test_pin_stretching_to_larger_instance(self):
+        cell, top, placed = build_fanout(2)
+        cell.set_bounding_box(Rect.of_extent(4, 2))
+        placed[0].bounding_box_var.set(Rect.of_extent(4, 6), USER)
+        pins = placed[0].io_pins()
+        assert pins["in1"] == [Point(0, 3)]
+        assert pins["out1"] == [Point(4, 3)]
+
+    def test_fixed_instance_box_blocks_class_growth(self):
+        cell, top, placed = build_fanout(4)
+        cell.set_bounding_box(Rect.of_extent(4, 2))
+        placed[2].bounding_box_var.set(Rect.of_extent(4, 2, Point(20, 0)),
+                                       USER)
+        assert not cell.set_bounding_box(Rect.of_extent(5, 2))
+        assert cell.bounding_box() == Rect.of_extent(4, 2)
+
+    def test_aspect_ratio_spec(self):
+        cell = CellClass("SQ")
+        AspectRatioPredicate(cell.bounding_box_var, 1.0)
+        assert cell.set_bounding_box(Rect.of_extent(3, 3))
+        assert not cell.set_bounding_box(Rect.of_extent(4, 3))
+
+
+@pytest.mark.parametrize("instances", [8, 64])
+def test_bench_class_box_fanout(benchmark, instances):
+    cell, top, placed = build_fanout(instances)
+    sizes = [(4.0, 2.0), (5.0, 2.5)]
+    state = {"i": 0}
+
+    def update():
+        width, height = sizes[state["i"] % 2]
+        state["i"] += 1
+        assert cell.set_bounding_box(Rect.of_extent(width, height))
+
+    benchmark(update)
+    assert placed[-1].bounding_box_var.value is not None
+
+
+def test_bench_pin_stretch(benchmark):
+    cell, top, placed = build_fanout(1)
+    cell.set_bounding_box(Rect.of_extent(4, 2))
+    placed[0].bounding_box_var.set(Rect.of_extent(8, 8), USER)
+    pins = benchmark(placed[0].io_pins)
+    assert pins["in1"] == [Point(0, 4)]

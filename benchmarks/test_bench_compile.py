@@ -1,0 +1,93 @@
+"""Ablation (section 9.3, suggestion 3): compiled vs. declarative networks.
+
+Compares three ways of evaluating the same functional (delay-shaped)
+network after an input change: declarative propagation through the
+engine, the compiled topological plan, and the fully proceduralized
+generated function.  The compiled forms trade the engine's checking and
+rollback for speed — quantified here.
+"""
+
+import itertools
+
+import pytest
+
+from repro.core import (
+    UniAdditionConstraint,
+    UniMaximumConstraint,
+    Variable,
+    compile_network,
+)
+
+LAYERS = 6
+WIDTH = 4
+
+
+def build_reduction_tree():
+    """WIDTH leaf delays; alternating layers of sums and maxima."""
+    leaves = [Variable(float(i + 1), name=f"leaf{i}") for i in range(WIDTH)]
+    level = leaves
+    all_nodes = []
+    for layer in range(LAYERS):
+        next_level = []
+        for i in range(0, len(level) - 1, 2):
+            node = Variable(name=f"n{layer}_{i}")
+            if layer % 2 == 0:
+                UniAdditionConstraint(node, [level[i], level[i + 1]])
+            else:
+                UniMaximumConstraint(node, [level[i], level[i + 1]])
+            next_level.append(node)
+            all_nodes.append(node)
+        if len(level) % 2:
+            next_level.append(level[-1])
+        if len(next_level) == 1:
+            break
+        level = next_level
+    root = next_level[0]
+    return leaves, root
+
+
+class TestAgreement:
+    def test_compiled_plan_matches_engine(self):
+        leaves, root = build_reduction_tree()
+        plan = compile_network(leaves)
+        assert plan.evaluate()[root] == root.value
+        leaves[0].set(10.0)
+        assert plan.evaluate()[root] == root.value
+
+    def test_proceduralized_matches_engine(self):
+        leaves, root = build_reduction_tree()
+        fn = compile_network(leaves).proceduralize()
+        for update in (2.0, 7.0):
+            leaves[0].set(update)
+            out = fn(*[leaf.value for leaf in leaves])
+            assert out[fn.slot_of[root]] == root.value
+
+
+def test_bench_declarative_propagation(benchmark):
+    leaves, root = build_reduction_tree()
+    values = itertools.cycle([2.0, 3.0])
+    benchmark(lambda: leaves[0].set(next(values)))
+    assert root.value is not None
+
+
+def test_bench_compiled_plan(benchmark):
+    leaves, root = build_reduction_tree()
+    plan = compile_network(leaves)
+    values = itertools.cycle([2.0, 3.0])
+    result = benchmark(lambda: plan.evaluate({leaves[0]: next(values)}))
+    assert result[root] is not None
+
+
+def test_bench_proceduralized(benchmark):
+    leaves, root = build_reduction_tree()
+    fn = compile_network(leaves).proceduralize()
+    slot = fn.slot_of[root]
+    base = [leaf.value for leaf in leaves]
+    values = itertools.cycle([2.0, 3.0])
+
+    def run():
+        args = [next(values)] + base[1:]
+        return fn(*args)
+
+    result = benchmark(run)
+    assert result[slot] is not None

@@ -1,0 +1,60 @@
+"""E7 (Fig. 6.2): module compilation of sliced adders.
+
+Compiles adders from 2-bit slices with the GraphCompiler (the figure's
+5-bit adder built from repeated slices) and measures compilation cost at
+several widths.
+"""
+
+import pytest
+
+from repro.core import reset_default_context
+from repro.stem import CellClass, PinSpec, Rect
+from repro.stem.compilers import GraphCompiler, VectorCompiler
+
+
+def build_slice(name="ADD2_SLICE"):
+    cell = CellClass(name)
+    cell.define_signal("cin", "in", pins=[PinSpec("left", 0.5)])
+    cell.define_signal("cout", "out", pins=[PinSpec("right", 0.5)])
+    cell.define_signal("a", "in", bit_width=2, pins=[PinSpec("bottom", 0.25)])
+    cell.define_signal("b", "in", bit_width=2, pins=[PinSpec("bottom", 0.75)])
+    cell.define_signal("sum", "out", bit_width=2, pins=[PinSpec("top", 0.5)])
+    cell.set_bounding_box(Rect.of_extent(8.0, 10.0))
+    return cell
+
+
+class TestFig62:
+    def test_repeated_slice_adder(self):
+        """The figure's adder: a slice repeated across the word."""
+        slice_cell = build_slice()
+        compiler = GraphCompiler()
+        compiler.place(0, 0, slice_cell, name="slice")
+        compiler.repeat_columns(0, 0, 3)
+        adder = CellClass("ADDER6")
+        instances = compiler.compile_into(adder)
+        assert len(instances) == 3
+        assert len(adder.nets) == 2  # the carry chain
+        assert adder.bounding_box() == Rect.of_extent(24.0, 10.0)
+
+    def test_carry_chain_connectivity(self):
+        slice_cell = build_slice()
+        adder = CellClass("ADDER10")
+        VectorCompiler(slice_cell, 5).compile_into(adder)
+        for net in adder.nets.values():
+            assert sorted(s for _, s in net.endpoints) == ["cin", "cout"]
+
+
+@pytest.mark.parametrize("slices", [4, 16, 64])
+def test_bench_compile_adder(benchmark, slices):
+    slice_cell = build_slice()
+
+    def compile_once():
+        reset_default_context()
+        fresh_slice = build_slice(f"SLICE{slices}")
+        adder = CellClass(f"ADDER{slices}")
+        VectorCompiler(fresh_slice, slices).compile_into(adder)
+        return adder
+
+    adder = benchmark(compile_once)
+    assert len(adder.subcells) == slices
+    assert len(adder.nets) == slices - 1

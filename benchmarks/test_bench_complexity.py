@@ -1,0 +1,100 @@
+"""E16 (section 9.2.3): propagation complexity scales with Σ_v |C(v)|.
+
+The thesis: "The time and storage complexity of STEM's constraint
+propagation is of an order proportional to the summation of the number
+of constraints over all variables in the network."  Two sweeps check the
+claim through the engine's own counters:
+
+* chain length sweep — activations grow linearly in network size;
+* degree sweep — for fixed variable count, activations grow linearly in
+  the number of constraints per variable.
+
+Benchmarks record wall-clock time for the same sweeps so the shape can
+be compared against the counter model.
+"""
+
+import itertools
+
+import pytest
+
+from repro.core import EqualityConstraint, Variable, default_context
+
+
+def build_chain(length):
+    variables = [Variable(name=f"v{i}") for i in range(length)]
+    for left, right in zip(variables, variables[1:]):
+        EqualityConstraint(left, right)
+    return variables
+
+
+def build_star(points, spokes):
+    """One hub; `spokes` equality constraints to each of `points` leaves."""
+    hub = Variable(name="hub")
+    leaves = []
+    for i in range(points):
+        leaf = Variable(name=f"leaf{i}")
+        leaves.append(leaf)
+        for _ in range(spokes):
+            EqualityConstraint(hub, leaf)
+    return hub, leaves
+
+
+def activations_for_chain(length):
+    context = default_context()
+    variables = build_chain(length)
+    context.stats.reset()
+    variables[0].set(1)
+    return context.stats.constraint_activations
+
+
+class TestLinearScaling:
+    def test_chain_activations_scale_linearly(self, context):
+        base = activations_for_chain(50)
+        context.stats.reset()
+        doubled = activations_for_chain(100)
+        quadrupled = activations_for_chain(200)
+        assert doubled / base == pytest.approx(2.0, rel=0.15)
+        assert quadrupled / base == pytest.approx(4.0, rel=0.15)
+
+    def test_degree_scaling(self, context):
+        """Fixed variables, growing constraint degree: linear activations.
+
+        Each changed variable activates all its constraints except the
+        one that set it, so a star of P leaves with S parallel equalities
+        each costs exactly P*(2S-1) activations — linear in S, i.e. in
+        Σ_v |C(v)|.
+        """
+        points = 16
+        for spokes in (1, 2, 4):
+            hub, leaves = build_star(points, spokes)
+            context.stats.reset()
+            hub.set(1)
+            assert context.stats.constraint_activations == \
+                points * (2 * spokes - 1)
+
+    def test_activations_bounded_by_sum_of_degrees(self, context):
+        """Activations are Θ(Σ_v |C(v)|): each constraint activates once
+        per changed argument, minus the exclude-source discount."""
+        variables = build_chain(32)
+        context.stats.reset()
+        variables[0].set(1)
+        incidences = sum(len(v.constraints) for v in variables)
+        activations = context.stats.constraint_activations
+        assert activations == len(variables) - 1  # one per constraint
+        assert incidences / 2 <= activations * 2  # same order
+
+
+@pytest.mark.parametrize("length", [50, 100, 200, 400])
+def test_bench_chain_propagation(benchmark, length):
+    variables = build_chain(length)
+    values = itertools.cycle([1, 2])
+    benchmark(lambda: variables[0].set(next(values)))
+    assert variables[-1].value == variables[0].value
+
+
+@pytest.mark.parametrize("spokes", [1, 2, 4])
+def test_bench_degree_propagation(benchmark, spokes):
+    hub, leaves = build_star(16, spokes)
+    values = itertools.cycle([1, 2])
+    benchmark(lambda: hub.set(next(values)))
+    assert leaves[-1].value == hub.value

@@ -1,0 +1,118 @@
+"""E9 (section 6.3): lazy property recalculation vs. eager recomputation.
+
+The consistency-maintenance claim: erasing derived data on change and
+recalculating on next read ("delayed recalculation") maintains
+consistency *without a severe penalty on database updates*.  The
+ablation recomputes eagerly on every update instead.
+"""
+
+import itertools
+
+import pytest
+
+from repro.consistency import PropertyVariable, add_stored_view
+from repro.core import UpdateConstraint, Variable
+
+
+class CostlyModel:
+    """A model whose derived property is expensive to compute."""
+
+    def __init__(self, work=200):
+        self.name = "model"
+        self.work = work
+        self.base = 1
+        self.calls = 0
+        self.variables = {}
+
+    def compute(self):
+        self.calls += 1
+        total = 0
+        for i in range(self.work):
+            total += (self.base * i) % 7
+        return total
+
+
+def build_lazy(work=200):
+    model = CostlyModel(work)
+    source = Variable(0, name="source")
+    prop = add_stored_view(model, "derived", "compute", watched=[source])
+    return model, source, prop
+
+
+def build_eager(work=200):
+    """Ablation: recompute on every source update."""
+    model = CostlyModel(work)
+    source = Variable(0, name="source")
+    prop = PropertyVariable(model, "derived", recalculate="compute",
+                            context=source.context)
+    UpdateConstraint([source], [prop])
+
+    original_set = source.set
+
+    def eager_set(value, justification=None):
+        ok = (original_set(value, justification) if justification is not None
+              else original_set(value))
+        prop.value  # force immediate recomputation
+        return ok
+
+    source.set = eager_set
+    return model, source, prop
+
+
+class TestLazyRecalculation:
+    def test_updates_without_reads_cost_nothing(self):
+        model, source, prop = build_lazy()
+        prop.value
+        baseline = model.calls
+        for i in range(50):
+            source.set(i + 1)
+        assert model.calls == baseline
+
+    def test_value_fresh_after_burst(self):
+        model, source, prop = build_lazy()
+        assert prop.value is not None
+        model.base = 3
+        source.set(99)
+        assert prop.stored_value is None
+        fresh = prop.value
+        assert fresh == model.compute() and model.calls >= 2
+
+    def test_eager_recomputes_per_update(self):
+        model, source, prop = build_eager()
+        for i in range(10):
+            source.set(i + 1)
+        assert model.calls >= 10
+
+
+def _update_burst(source, prop, updates=20):
+    for i in range(updates):
+        source.set(i + 1)
+    return prop.value
+
+
+def test_bench_lazy_updates(benchmark):
+    model, source, prop = build_lazy(work=500)
+    counter = itertools.count()
+
+    def burst():
+        base = next(counter) * 100
+        for i in range(20):
+            source.set(base + i + 1)
+        return prop.value
+
+    result = benchmark(burst)
+    assert result is not None
+
+
+def test_bench_eager_updates_ablation(benchmark):
+    model, source, prop = build_eager(work=500)
+    counter = itertools.count()
+
+    def burst():
+        base = next(counter) * 100
+        for i in range(20):
+            source.set(base + i + 1)
+        return prop.value
+
+    result = benchmark(burst)
+    assert result is not None

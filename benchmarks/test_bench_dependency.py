@@ -1,0 +1,65 @@
+"""E4 (Figs. 4.11/4.12): dependency analysis over propagated values.
+
+Antecedent and consequence traversal on equality chains of growing
+length; the thesis relies on these traversals to make constraint removal
+affordable (dependency-directed erasure).
+"""
+
+import pytest
+
+from repro.core import (
+    EqualityConstraint,
+    Variable,
+    antecedents,
+    variable_consequences,
+)
+
+
+def build_chain(length):
+    variables = [Variable(name=f"v{i}") for i in range(length)]
+    for left, right in zip(variables, variables[1:]):
+        EqualityConstraint(left, right)
+    variables[0].set(1)
+    return variables
+
+
+class TestTraversalCorrectness:
+    @pytest.mark.parametrize("length", [2, 16, 64])
+    def test_antecedents_cover_whole_chain(self, length):
+        variables = build_chain(length)
+        result = antecedents(variables[-1])
+        assert set(variables) <= result
+        # length-1 constraints plus length variables
+        assert len(result) == 2 * length - 1
+
+    @pytest.mark.parametrize("length", [2, 16, 64])
+    def test_consequences_cover_downstream(self, length):
+        variables = build_chain(length)
+        assert variable_consequences(variables[0]) == set(variables[1:])
+
+
+def test_bench_antecedents_chain_256(benchmark):
+    variables = build_chain(256)
+    result = benchmark(lambda: antecedents(variables[-1]))
+    assert len(result) == 2 * 256 - 1
+
+
+def test_bench_consequences_chain_256(benchmark):
+    variables = build_chain(256)
+    result = benchmark(lambda: variable_consequences(variables[0]))
+    assert len(result) == 255
+
+
+def test_bench_erasure_on_removal(benchmark):
+    """Constraint removal uses consequence analysis to erase values."""
+
+    def remove_middle():
+        variables = build_chain(64)
+        middle = variables[32].constraints[0]
+        middle.remove()
+        return variables
+
+    variables = benchmark(remove_middle)
+    # downstream of the removed constraint was erased
+    assert variables[-1].value is None
+    assert variables[0].value == 1

@@ -1,0 +1,40 @@
+"""E1 (Fig. 4.5): propagation through the equality + maximum network.
+
+Reproduces the thesis's worked propagation example and measures the cost
+of one externally triggered propagation round through both constraints.
+"""
+
+import itertools
+
+import pytest
+
+from repro.core import EqualityConstraint, UniMaximumConstraint, Variable
+
+
+def build_network():
+    v1 = Variable(7, name="V1")
+    v2 = Variable(7, name="V2")
+    v3 = Variable(5, name="V3")
+    v4 = Variable(7, name="V4")
+    EqualityConstraint(v1, v2)
+    UniMaximumConstraint(v4, [v2, v3])
+    return v1, v2, v3, v4
+
+
+def test_fig_4_5_result():
+    """The paper's figure: V1 := 9 drives V2 and V4 to 9."""
+    v1, v2, v3, v4 = build_network()
+    assert v1.set(9)
+    assert (v1.value, v2.value, v3.value, v4.value) == (9, 9, 5, 9)
+
+
+def test_bench_simple_propagation(benchmark):
+    v1, v2, v3, v4 = build_network()
+    values = itertools.cycle([9, 8])
+
+    def assign():
+        assert v1.set(next(values))
+
+    benchmark(assign)
+    assert v2.value == v1.value
+    assert v4.value == max(v2.value, v3.value)

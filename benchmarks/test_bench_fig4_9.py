@@ -1,0 +1,53 @@
+"""E3 (Fig. 4.9): cyclic constraint violation detection and rollback.
+
+The +1/+3/+2 addition cycle cannot be satisfied; the one-value-change
+rule detects the cycle on V1's second change and restores the network.
+The benchmark measures the cost of a full detect-and-restore round.
+"""
+
+import pytest
+
+from repro.core import FormulaConstraint, Variable, default_context
+
+
+def build_cycle():
+    v1 = Variable(name="V1")
+    v2 = Variable(name="V2")
+    v3 = Variable(name="V3")
+    FormulaConstraint(v2, [v1], lambda x: x + 1, label="+1")
+    FormulaConstraint(v3, [v2], lambda x: x + 3, label="+3")
+    FormulaConstraint(v1, [v3], lambda x: x + 2, label="+2")
+    return v1, v2, v3
+
+
+def test_fig_4_9_violation_and_restore():
+    v1, v2, v3 = build_cycle()
+    assert not v1.set(10)
+    assert (v1.value, v2.value, v3.value) == (None, None, None)
+    record = default_context().handler.last
+    assert "one-value-change" in record.reason
+
+
+def test_bench_cycle_detection(benchmark):
+    v1, v2, v3 = build_cycle()
+
+    def attempt():
+        assert not v1.set(10)
+
+    benchmark(attempt)
+    assert v1.value is None
+
+
+def test_bench_long_cycle_detection(benchmark):
+    """Detection cost on a 64-constraint cycle."""
+    n = 64
+    variables = [Variable(name=f"V{i}") for i in range(n)]
+    for i in range(n):
+        FormulaConstraint(variables[(i + 1) % n], [variables[i]],
+                          lambda x: x + 1, label="+1")
+
+    def attempt():
+        assert not variables[0].set(0)
+
+    benchmark(attempt)
+    assert all(v.value is None for v in variables)

@@ -1,0 +1,89 @@
+"""E5 (Fig. 5.2): the hierarchical ADDER / ACCUMULATOR delay scenario.
+
+An 8-bit ADDER carries a "<=120ns" class-level delay spec; an
+ACCUMULATOR (REGISTER -> ADDER) carries a "<=160ns" spec.  With the
+REGISTER at 60ns, an ADDER characteristic of 110ns violates the
+accumulator constraint *through the hierarchy* — detected when the
+adder-level value is assigned, exactly as the figure narrates.
+"""
+
+import itertools
+
+import pytest
+
+from repro.core import UpperBoundConstraint, default_context
+from repro.stem import CellClass
+
+NS = 1e-9
+
+
+def build_scenario():
+    adder = CellClass("ADDER")
+    adder.define_signal("a", "in", load_capacitance=1.0)
+    adder.define_signal("b", "in", load_capacitance=1.0)
+    adder.define_signal("sum", "out", output_resistance=2.0)
+    UpperBoundConstraint(adder.declare_delay("a", "sum", estimate=100 * NS),
+                         120 * NS)
+
+    register = CellClass("REGISTER")
+    register.define_signal("d", "in", load_capacitance=1.0)
+    register.define_signal("q", "out", output_resistance=1.0)
+    register.declare_delay("d", "q", estimate=60 * NS)
+
+    acc = CellClass("ACCUMULATOR")
+    acc.define_signal("in1", "in")
+    acc.define_signal("out1", "out")
+    UpperBoundConstraint(acc.declare_delay("in1", "out1"), 160 * NS)
+
+    reg = register.instantiate(acc, "R1")
+    add = adder.instantiate(acc, "A1")
+    n_in = acc.add_net("n_in"); n_in.connect_io("in1"); n_in.connect(reg, "d")
+    n_mid = acc.add_net("n_mid")
+    n_mid.connect(reg, "q"); n_mid.connect(add, "a")
+    n_out = acc.add_net("n_out")
+    n_out.connect(add, "sum"); n_out.connect_io("out1")
+    acc.build_delay_network()
+    return adder, register, acc
+
+
+class TestFig52:
+    def test_estimates_satisfy_spec(self):
+        adder, register, acc = build_scenario()
+        assert acc.delay_var("in1", "out1").value == pytest.approx(160 * NS)
+
+    def test_110ns_adder_violates_through_hierarchy(self):
+        adder, register, acc = build_scenario()
+        assert not adder.delay_var("a", "sum").calculate(110 * NS)
+        # rolled back everywhere
+        assert adder.delay_var("a", "sum").value == pytest.approx(100 * NS)
+        assert acc.delay_var("in1", "out1").value == pytest.approx(160 * NS)
+        assert default_context().handler.records
+
+    def test_class_level_spec_also_enforced(self):
+        adder, register, acc = build_scenario()
+        assert not adder.delay_var("a", "sum").calculate(130 * NS)
+
+    def test_faster_register_makes_room(self):
+        adder, register, acc = build_scenario()
+        assert register.delay_var("d", "q").calculate(40 * NS)
+        assert adder.delay_var("a", "sum").calculate(110 * NS)
+        assert acc.delay_var("in1", "out1").value == pytest.approx(150 * NS)
+
+
+def test_bench_hierarchical_update(benchmark):
+    """Cost of one class-delay update propagating up the hierarchy."""
+    adder, register, acc = build_scenario()
+    values = itertools.cycle([90 * NS, 95 * NS])
+    benchmark(lambda: adder.delay_var("a", "sum").calculate(next(values)))
+    assert acc.delay_var("in1", "out1").value == pytest.approx(
+        60 * NS + adder.delay_var("a", "sum").value)
+
+
+def test_bench_violating_update(benchmark):
+    """Cost of a violating update: propagate, detect, restore."""
+    adder, register, acc = build_scenario()
+
+    def attempt():
+        assert not adder.delay_var("a", "sum").calculate(110 * NS)
+
+    benchmark(attempt)

@@ -1,0 +1,69 @@
+"""E10 (Fig. 7.1): bit-width constraint violation on connection.
+
+A cell whose input signal is structurally constrained to 8 bits is
+instantiated in a design where a 4-bit net reaches the corresponding
+signal; the connection triggers the figure's violation and the designer
+is warned.  The benchmark measures violation-free and violating connect
+operations.
+"""
+
+import pytest
+
+from repro.core import USER, default_context, reset_default_context
+from repro.stem import CellClass
+
+
+def build_scene(net_width=4, signal_width=8):
+    leaf = CellClass("LEAF")
+    leaf.define_signal("in1", "in")
+    leaf.signal("in1").bit_width_var.constrain_by_structure(signal_width)
+    top = CellClass("TOP")
+    top.define_signal("x", "in")
+    top.signal("x").bit_width_var.set(net_width, USER)
+    instance = leaf.instantiate(top, "L1")
+    net = top.add_net("n")
+    net.connect_io("x")
+    return leaf, top, instance, net
+
+
+class TestFig71:
+    def test_mismatch_violates(self, context):
+        leaf, top, instance, net = build_scene(4, 8)
+        assert not net.connect(instance, "in1")
+        assert context.handler.records
+        assert leaf.signal("in1").bit_width_var.value == 8
+
+    def test_match_accepted(self):
+        leaf, top, instance, net = build_scene(8, 8)
+        assert net.connect(instance, "in1")
+        assert net.bit_width_var.value == 8
+
+    def test_width_inferred_when_unconstrained(self):
+        leaf = CellClass("LEAF2")
+        leaf.define_signal("in1", "in")
+        top = CellClass("TOP2")
+        top.define_signal("x", "in")
+        top.signal("x").bit_width_var.set(4, USER)
+        instance = leaf.instantiate(top, "L1")
+        net = top.add_net("n")
+        net.connect_io("x")
+        assert net.connect(instance, "in1")
+        assert leaf.signal("in1").bit_width_var.value == 4
+
+
+def test_bench_valid_connect(benchmark):
+    def connect_once():
+        reset_default_context()
+        leaf, top, instance, net = build_scene(8, 8)
+        assert net.connect(instance, "in1")
+
+    benchmark(connect_once)
+
+
+def test_bench_violating_connect(benchmark):
+    def connect_once():
+        reset_default_context()
+        leaf, top, instance, net = build_scene(4, 8)
+        assert not net.connect(instance, "in1")
+
+    benchmark(connect_once)

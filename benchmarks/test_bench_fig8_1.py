@@ -1,0 +1,87 @@
+"""E14 (Fig. 8.1): module selection of the ALU's adder.
+
+Reproduces the figure's decision table — tight area selects the
+ripple-carry adder, tight delay the carry-select adder — and measures
+the cost of one full selection (generate-and-test with tentative
+constraint propagation as the validity test).
+"""
+
+import pytest
+
+from repro.core import UpperBoundConstraint, reset_default_context
+from repro.selection import ModuleSelector
+from repro.stem import CellClass, Rect
+
+D = 1.0
+A = 10.0
+
+
+def build_family():
+    add8 = CellClass("ADD8", is_generic=True)
+    add8.define_signal("x", "in")
+    add8.define_signal("y", "out")
+    add8.declare_delay("x", "y", estimate=5 * D)
+    add8.set_bounding_box(Rect.of_extent(A, 1.0))
+    rc = add8.subclass("ADD8.RC")
+    rc.delay_var("x", "y").set(8 * D)
+    rc.set_bounding_box(Rect.of_extent(A, 1.0))
+    cs = add8.subclass("ADD8.CS")
+    cs.delay_var("x", "y").set(5 * D)
+    cs.set_bounding_box(Rect.of_extent(2.2 * A, 1.0))
+    return add8, rc, cs
+
+
+def build_alu(add8, area_budget, delay_budget):
+    alu = CellClass("ALU")
+    alu.define_signal("in1", "in")
+    alu.define_signal("out1", "out")
+    alu.declare_delay("in1", "out1")
+    UpperBoundConstraint(alu.delay_var("in1", "out1"), delay_budget)
+    lu8 = CellClass("LU8")
+    lu8.define_signal("a", "in")
+    lu8.define_signal("z", "out")
+    lu8.declare_delay("a", "z", estimate=3 * D)
+    lu8.set_bounding_box(Rect.of_extent(2 * A, 1.0))
+    lu = lu8.instantiate(alu, "lu")
+    add = add8.instantiate(alu, "add")
+    n0 = alu.add_net("n0"); n0.connect_io("in1"); n0.connect(lu, "a")
+    n1 = alu.add_net("n1"); n1.connect(lu, "z"); n1.connect(add, "x")
+    n2 = alu.add_net("n2"); n2.connect(add, "y"); n2.connect_io("out1")
+    add.bounding_box_var.set(Rect.of_extent(area_budget, 1.0))
+    alu.build_delay_network()
+    return alu, add
+
+
+class TestFig81Decisions:
+    @pytest.mark.parametrize("area,delay,expected", [
+        (1.0 * A, 11 * D, {"ADD8.RC"}),
+        (4.2 * A, 8 * D, {"ADD8.CS"}),
+        (4.2 * A, 11 * D, {"ADD8.RC", "ADD8.CS"}),
+        (1.0 * A, 8 * D, set()),
+    ])
+    def test_decision_table(self, area, delay, expected):
+        add8, rc, cs = build_family()
+        alu, instance = build_alu(add8, area, delay)
+        result = ModuleSelector().select_realizations_for(instance)
+        assert {cell.name for cell in result} == expected
+
+
+def test_bench_selection(benchmark):
+    add8, rc, cs = build_family()
+    alu, instance = build_alu(add8, 4.2 * A, 11 * D)
+    selector = ModuleSelector()
+    result = benchmark(lambda: selector.select_realizations_for(instance))
+    assert {cell.name for cell in result} == {"ADD8.RC", "ADD8.CS"}
+
+
+def test_bench_selection_with_setup(benchmark):
+    """Whole-flow cost: build the design, then select."""
+
+    def flow():
+        reset_default_context()
+        add8, rc, cs = build_family()
+        alu, instance = build_alu(add8, 1.0 * A, 11 * D)
+        return ModuleSelector().select_realizations_for(instance)
+
+    result = benchmark(flow)
+    assert [cell.name for cell in result] == ["ADD8.RC"]

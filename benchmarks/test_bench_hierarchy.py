@@ -1,0 +1,109 @@
+"""E6 (section 5.1): hierarchical constraint propagation vs. flat networks.
+
+The Fig. 5.1 claim: with hierarchical networks, a cell's *internal*
+constraint network is propagated once, no matter how many instances of
+the cell exist; the result then crosses the implicit class/instance
+links.  A flattened organisation replicates the internal network per
+instance and pays for it on every update.
+
+The model: an internal chain of L functional constraints produces a
+class characteristic consumed (plus a local adjustment) by N uses.
+"""
+
+import itertools
+
+import pytest
+
+from repro.core import FormulaConstraint, Variable, default_context
+from repro.stem.implicit import ClassInstVar, InstanceInstVar
+
+CHAIN_LENGTH = 12
+INSTANCES = 16
+
+
+def build_hierarchical(chain_length=CHAIN_LENGTH, instances=INSTANCES):
+    """One internal chain at class level; N instances share its result."""
+    source = Variable(name="x0")
+    current = source
+    for i in range(chain_length - 1):
+        nxt = Variable(name=f"x{i + 1}")
+        FormulaConstraint(nxt, [current], lambda x: x + 1, label="+1")
+        current = nxt
+    class_var = ClassInstVar(name="characteristic")
+    FormulaConstraint(class_var, [current], lambda x: x + 1, label="+1")
+
+    consumers = []
+    for i in range(instances):
+        instance_var = InstanceInstVar(name=f"inst{i}")
+        class_var.register_instance_var(instance_var)
+        consumer = Variable(name=f"use{i}")
+        FormulaConstraint(consumer, [instance_var],
+                          lambda x: x * 2, label="x2")
+        consumers.append(consumer)
+    return source, class_var, consumers
+
+
+def build_flat(chain_length=CHAIN_LENGTH, instances=INSTANCES):
+    """Flat ablation: the internal chain replicated once per use."""
+    source = Variable(name="x0")
+    consumers = []
+    for i in range(instances):
+        current = source
+        for j in range(chain_length):
+            nxt = Variable(name=f"r{i}_x{j + 1}")
+            FormulaConstraint(nxt, [current], lambda x: x + 1, label="+1")
+            current = nxt
+        consumer = Variable(name=f"use{i}")
+        FormulaConstraint(consumer, [current], lambda x: x * 2, label="x2")
+        consumers.append(consumer)
+    return source, consumers
+
+
+class TestHierarchicalSharing:
+    def test_hierarchical_result_reaches_every_instance(self):
+        source, class_var, consumers = build_hierarchical()
+        assert source.set(0)
+        assert class_var.value == CHAIN_LENGTH
+        assert all(c.value == 2 * CHAIN_LENGTH for c in consumers)
+
+    def test_flat_result_matches(self):
+        source, consumers = build_flat()
+        assert source.set(0)
+        assert all(c.value == 2 * CHAIN_LENGTH for c in consumers)
+
+    def test_internal_network_propagated_once(self, context):
+        """The headline claim: internal inferences don't scale with N."""
+        source, class_var, consumers = build_hierarchical()
+        source.set(0)
+        context.stats.reset()
+        source.set(1)
+        hierarchical_inferences = context.stats.inference_runs
+        context.stats.reset()
+
+        flat_source, flat_consumers = build_flat()
+        flat_source.set(0)
+        context.stats.reset()
+        flat_source.set(1)
+        flat_inferences = context.stats.inference_runs
+
+        # hierarchical: L internal + N implicit hops + N consumers + N
+        # no-op back-notifications to the class variable
+        # flat:         N * (L + 1) replicated inferences
+        assert hierarchical_inferences <= (CHAIN_LENGTH
+                                           + 3 * INSTANCES + 2)
+        assert flat_inferences >= INSTANCES * CHAIN_LENGTH
+        assert flat_inferences > 2 * hierarchical_inferences
+
+
+def test_bench_hierarchical_update(benchmark):
+    source, class_var, consumers = build_hierarchical()
+    values = itertools.cycle([0, 1])
+    benchmark(lambda: source.set(next(values)))
+    assert consumers[0].value == 2 * (source.value + CHAIN_LENGTH)
+
+
+def test_bench_flat_update_ablation(benchmark):
+    source, consumers = build_flat()
+    values = itertools.cycle([0, 1])
+    benchmark(lambda: source.set(next(values)))
+    assert consumers[0].value == 2 * (source.value + CHAIN_LENGTH)

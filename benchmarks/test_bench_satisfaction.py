@@ -1,0 +1,101 @@
+"""Extension bench (§9.3): constraint satisfaction solvers.
+
+Measures the interval solver's fixpoint iteration on budget-decomposition
+networks of growing size, the one-pass planner, and (once, it is slow)
+the scipy relaxation fallback — quantifying the division of labour
+between propagation, satisfaction, and compilation.
+"""
+
+import pytest
+
+from repro.core import (
+    EqualityConstraint,
+    LowerBoundConstraint,
+    PropagationContext,
+    UniAdditionConstraint,
+    UpperBoundConstraint,
+    Variable,
+)
+from repro.core.satisfaction import (
+    IntervalSolver,
+    RelaxationSolver,
+    plan_one_pass,
+    solve_one_pass,
+)
+
+
+def budget_network(parts, budget=100.0, context=None):
+    """part_0 + ... + part_{n-1} = total <= budget, parts >= 0."""
+    context = context or PropagationContext()
+    variables = [Variable(name=f"part{i}", context=context)
+                 for i in range(parts)]
+    total = Variable(name="total", context=context)
+    with context.propagation_disabled():
+        UniAdditionConstraint(total, variables)
+        UpperBoundConstraint(total, budget)
+        for variable in variables:
+            LowerBoundConstraint(variable, 0.0)
+    return variables, total
+
+
+class TestBudgetIntervals:
+    @pytest.mark.parametrize("parts", [2, 8, 32])
+    def test_every_part_bounded_by_budget(self, parts):
+        variables, total = budget_network(parts)
+        solver = IntervalSolver([total])
+        solver.solve()
+        for variable in variables:
+            interval = solver.interval_of(variable)
+            assert interval.low == 0.0
+            assert interval.high == pytest.approx(100.0)
+
+    def test_known_parts_shrink_the_rest(self):
+        variables, total = budget_network(3)
+        variables[0].set(30.0)
+        variables[1].set(20.0)
+        solver = IntervalSolver([total])
+        solver.solve()
+        assert solver.interval_of(variables[2]).high == pytest.approx(50.0)
+
+
+@pytest.mark.parametrize("parts", [4, 16, 64])
+def test_bench_interval_fixpoint(benchmark, parts):
+    variables, total = budget_network(parts)
+
+    def solve():
+        solver = IntervalSolver([total])
+        return solver.solve()
+
+    result = benchmark(solve)
+    assert len(result) == parts + 1
+
+
+def test_bench_one_pass_planning(benchmark):
+    context = PropagationContext()
+    a = Variable(2.0, name="a", context=context)
+    chain = [a]
+    with context.propagation_disabled():
+        for i in range(20):
+            nxt = Variable(name=f"v{i}", context=context)
+            EqualityConstraint(chain[-1], nxt)
+            chain.append(nxt)
+
+    plan = benchmark(lambda: plan_one_pass([a]))
+    assert plan is not None and len(plan) == 20
+
+
+def test_bench_relaxation_once(benchmark):
+    """scipy relaxation on x+y=10, x-y=2 (small, but full machinery)."""
+    from repro.core import FormulaConstraint
+
+    context = PropagationContext()
+    x = Variable(name="x", context=context)
+    y = Variable(name="y", context=context)
+    total = Variable(10.0, name="total", context=context)
+    diff = Variable(2.0, name="diff", context=context)
+    with context.propagation_disabled():
+        UniAdditionConstraint(total, [x, y])
+        FormulaConstraint(diff, [x, y], lambda a, b: a - b, label="minus")
+    solver = RelaxationSolver([x], free=[x, y])
+    solution = benchmark(solver.solve)
+    assert solution[x] == pytest.approx(6.0, abs=1e-6)

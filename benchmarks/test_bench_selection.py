@@ -1,0 +1,120 @@
+"""E15 (Fig. 8.4, section 8.2): selection efficiency techniques.
+
+Tree pruning: generic intermediate classes carry ideal (best-case)
+characteristics; failing generics cut whole subtrees.  Selective
+testing: ordering property kinds most-constrained-first short-circuits
+failing candidates sooner.  Both are measured against their ablations on
+a three-level library of 2 x 8 = 16 leaf adders.
+"""
+
+import pytest
+
+from repro.core import UpperBoundConstraint, reset_default_context
+from repro.selection import ModuleSelector
+from repro.stem import CellClass, Rect
+
+D = 1.0
+A = 10.0
+FAMILIES = 4
+LEAVES_PER_FAMILY = 4
+
+
+def build_library():
+    """root generic -> FAMILIES generics -> LEAVES_PER_FAMILY leaves each.
+
+    Family k has ideal delay 8+4k; its leaves trade delay for area.
+    """
+    root = CellClass("Adder8", is_generic=True)
+    root.define_signal("x", "in")
+    root.define_signal("y", "out")
+    root.declare_delay("x", "y")
+
+    for k in range(FAMILIES):
+        family = root.subclass(f"Family{k}", is_generic=True)
+        ideal_delay = (8 + 4 * k) * D
+        family.delay_var("x", "y").calculate(ideal_delay)
+        family.set_bounding_box(Rect.of_extent(4 * A / (k + 1), 1.0))
+        for j in range(LEAVES_PER_FAMILY):
+            leaf = family.subclass(f"F{k}L{j}")
+            leaf.delay_var("x", "y").calculate(ideal_delay + j * D)
+            leaf.set_bounding_box(
+                Rect.of_extent(4 * A / (k + 1) + j * A / 8, 1.0))
+    return root
+
+
+def constrained_instance(root, delay_budget, area_budget=None):
+    top = CellClass("TOP")
+    instance = root.instantiate(top, "add")
+    UpperBoundConstraint(instance.delay_var("x", "y"), delay_budget)
+    if area_budget is not None:
+        instance.bounding_box_var.set(Rect.of_extent(area_budget, 1.0))
+    return instance
+
+
+class TestPruningEffectiveness:
+    def test_pruned_and_unpruned_agree(self):
+        root = build_library()
+        instance = constrained_instance(root, 10 * D)
+        with_pruning = ModuleSelector(priorities=("delays",), prune=True)
+        without = ModuleSelector(priorities=("delays",), prune=False)
+        assert (with_pruning.select_realizations_for(instance)
+                == without.select_realizations_for(instance))
+
+    def test_pruning_tests_fewer_candidates(self):
+        root = build_library()
+        instance = constrained_instance(root, 10 * D)
+        with_pruning = ModuleSelector(priorities=("delays",), prune=True)
+        without = ModuleSelector(priorities=("delays",), prune=False)
+        with_pruning.select_realizations_for(instance)
+        without.select_realizations_for(instance)
+        # only family 0 passes its ideal test; families 1..3 are pruned
+        assert with_pruning.stats.pruned_subtrees == FAMILIES - 1
+        assert (with_pruning.stats.candidates_tested
+                < without.stats.candidates_tested)
+
+    def test_full_miss_prunes_everything(self):
+        root = build_library()
+        instance = constrained_instance(root, 1 * D)
+        selector = ModuleSelector(priorities=("delays",))
+        assert selector.select_realizations_for(instance) == []
+        assert selector.stats.candidates_tested == FAMILIES
+
+
+class TestSelectiveTestingOrder:
+    def test_most_constrained_first_runs_fewer_tests(self):
+        root = build_library()
+        # delay is the discriminating constraint here; bBox is loose
+        instance = constrained_instance(root, 10 * D, area_budget=10 * A)
+        delay_first = ModuleSelector(priorities=("delays", "bBox"),
+                                     prune=False)
+        bbox_first = ModuleSelector(priorities=("bBox", "delays"),
+                                    prune=False)
+        result_a = delay_first.select_realizations_for(instance)
+        result_b = bbox_first.select_realizations_for(instance)
+        assert result_a == result_b
+        assert (delay_first.stats.property_tests
+                <= bbox_first.stats.property_tests)
+
+
+def test_bench_selection_with_pruning(benchmark):
+    root = build_library()
+    instance = constrained_instance(root, 10 * D)
+
+    def run():
+        return ModuleSelector(priorities=("delays",),
+                              prune=True).select_realizations_for(instance)
+
+    result = benchmark(run)
+    assert result
+
+
+def test_bench_selection_without_pruning(benchmark):
+    root = build_library()
+    instance = constrained_instance(root, 10 * D)
+
+    def run():
+        return ModuleSelector(priorities=("delays",),
+                              prune=False).select_realizations_for(instance)
+
+    result = benchmark(run)
+    assert result

@@ -1,0 +1,92 @@
+"""E11 (Figs. 7.2-7.5): incremental signal type inference over a datapath.
+
+One typed source drives a bus of pass-through stages; typing constraints
+infer the data type of every stage's signals from connections alone, and
+the least-abstract-wins rule keeps refinement monotone.  Benchmarks
+measure wiring with inference at several datapath depths.
+"""
+
+import pytest
+
+from repro.core import reset_default_context
+from repro.stem import CellClass
+from repro.stem.types import BCD_SIGNAL, DIGITAL, INTEGER_SIGNAL, TTL
+
+
+def build_datapath(stages, typed=True):
+    """src -> stage0 -> stage1 -> ... inside TOP; returns stage classes."""
+    top = CellClass("TOP")
+    kwargs = {}
+    if typed:
+        kwargs = {"data_type": INTEGER_SIGNAL, "electrical_type": DIGITAL}
+    top.define_signal("src", "in", bit_width=8, **kwargs)
+
+    stage_classes = []
+    instances = []
+    for i in range(stages):
+        stage = CellClass(f"STAGE{i}")
+        stage.define_signal("d", "in")
+        stage.define_signal("q", "out")
+        # internal wire joining d to q: the typing path *through* the cell
+        wire = stage.add_net("w")
+        wire.connect_io("d")
+        wire.connect_io("q")
+        stage_classes.append(stage)
+        instances.append(stage.instantiate(top, f"s{i}"))
+
+    net = top.add_net("n0")
+    ok = net.connect_io("src")
+    previous = instances[0]
+    ok = net.connect(previous, "d") and ok
+    for i in range(1, stages):
+        net = top.add_net(f"n{i}")
+        ok = net.connect(previous, "q") and ok
+        ok = net.connect(instances[i], "d") and ok
+        previous = instances[i]
+    return top, stage_classes, instances, ok
+
+
+class TestTypeInference:
+    def test_types_inferred_down_the_datapath(self):
+        top, stages, instances, ok = build_datapath(6)
+        assert ok
+        last = stages[-1]
+        assert last.signal("d").data_type_var.value is INTEGER_SIGNAL
+        assert last.signal("d").electrical_type_var.value is DIGITAL
+        assert last.signal("d").bit_width_var.value == 8
+
+    def test_inference_needs_internal_structure(self):
+        """Without internal connectivity, inference stops at the input."""
+        top = CellClass("TOP_OPAQUE")
+        top.define_signal("src", "in", data_type=INTEGER_SIGNAL)
+        opaque = CellClass("OPAQUE")
+        opaque.define_signal("d", "in")
+        opaque.define_signal("q", "out")
+        instance = opaque.instantiate(top, "o")
+        net = top.add_net("n")
+        assert net.connect_io("src") and net.connect(instance, "d")
+        assert opaque.signal("d").data_type_var.value is INTEGER_SIGNAL
+        assert opaque.signal("q").data_type_var.value is None
+
+    def test_later_refinement_reaches_everything(self):
+        top, stages, instances, ok = build_datapath(4)
+        assert stages[-1].signal("d").data_type_var.set(BCD_SIGNAL)
+        assert stages[0].signal("d").data_type_var.value is BCD_SIGNAL
+
+    def test_refinement_to_leaf_electrical_type(self):
+        top, stages, instances, ok = build_datapath(4)
+        assert stages[0].signal("d").electrical_type_var.set(TTL)
+        assert stages[-1].signal("d").electrical_type_var.value is TTL
+
+
+@pytest.mark.parametrize("stages", [4, 16, 48])
+def test_bench_wire_datapath(benchmark, stages):
+    def wire():
+        reset_default_context()
+        top, stage_classes, instances, ok = build_datapath(stages)
+        assert ok
+        return stage_classes
+
+    stage_classes = benchmark(wire)
+    assert (stage_classes[-1].signal("d").data_type_var.value
+            is INTEGER_SIGNAL)

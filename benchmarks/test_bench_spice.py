@@ -1,0 +1,92 @@
+"""E8 (Fig. 6.3): the SPICE flow on cascaded inverter chains.
+
+Extract, simulate and measure the three-inverter cell of the figure;
+check the physical shape (stage delays accumulate, RC magnitudes match
+the switch model) and benchmark extraction and simulation separately.
+"""
+
+import pytest
+
+from repro.spice import DC, Pulse, SpicePlot, SpiceSimulation, extract_netlist, inverter
+from repro.stem import CellClass
+
+NS = 1e-9
+
+
+def build_chain(stages=3, name=None):
+    inv = inverter(c_load=10e-12, r_on_n=1e3, r_on_p=2e3,
+                   name=f"INV{stages}s")
+    chain = CellClass(name or f"CHAIN{stages}")
+    chain.define_signal("a", "in")
+    chain.define_signal("y", "out")
+    chain.define_signal("vdd", "inout")
+    chain.define_signal("gnd", "inout")
+    vdd = chain.add_net("vdd"); vdd.connect_io("vdd")
+    gnd = chain.add_net("gnd"); gnd.connect_io("gnd")
+    current = chain.add_net("nin"); current.connect_io("a")
+    for i in range(stages):
+        stage = inv.instantiate(chain, f"I{i}")
+        current.connect(stage, "a")
+        vdd.connect(stage, "vdd")
+        gnd.connect(stage, "gnd")
+        current = chain.add_net(f"n{i + 1}")
+        current.connect(stage, "y")
+    current.connect_io("y")
+    return chain
+
+
+def simulate(chain):
+    sim = SpiceSimulation(chain)
+    sim.add_source("vdd", DC(5.0))
+    sim.add_source("nin", Pulse(0.0, 5.0, td=150 * NS, tr=0.1 * NS))
+    sim.set_tran(0.5 * NS, 400 * NS)
+    sim.run()
+    return sim
+
+
+class TestFig63:
+    def test_three_stage_logic_levels(self):
+        sim = simulate(build_chain(3))
+        plot = SpicePlot(sim)
+        assert plot.final_value("n1") == pytest.approx(0.0, abs=0.2)
+        assert plot.final_value("n2") == pytest.approx(5.0, abs=0.2)
+        assert plot.final_value("n3") == pytest.approx(0.0, abs=0.2)
+
+    def test_stage_delays_accumulate(self):
+        """Same-polarity stages (n1 and n3 both fall) are strictly later.
+
+        Note the 50% crossings of *adjacent* stages need not be monotone
+        in a switch model with Vt < Vdd/2 and asymmetric pull-up: n3
+        starts falling as soon as n2 passes Vt, before n2 reaches 50%.
+        """
+        sim = simulate(build_chain(3))
+        plot = SpicePlot(sim)
+        edge = plot.crossing_time("nin", 2.5, rising=True)
+        d1 = plot.delay_between("nin", "n1", 2.5, after=edge - NS)
+        d3 = plot.delay_between("nin", "n3", 2.5, after=edge - NS)
+        assert d1 is not None and d3 is not None
+        assert d3 > 2 * d1
+
+    def test_first_stage_rc_magnitude(self):
+        """Falling output through the nmos: ~0.69 * Ron_n * Cload."""
+        sim = simulate(build_chain(1))
+        plot = SpicePlot(sim)
+        edge = plot.crossing_time("nin", 2.5, rising=True)
+        d1 = plot.delay_between("nin", "n1", 2.5, after=edge - NS)
+        assert d1 == pytest.approx(0.693 * 1e3 * 10e-12, rel=0.2)
+
+
+def test_bench_extraction(benchmark):
+    chain = build_chain(8)
+    netlist = benchmark(lambda: extract_netlist(chain))
+    assert len(netlist.cards) == 8 * 3
+
+
+def test_bench_simulation_run(benchmark):
+    chain = build_chain(3)
+    sim = SpiceSimulation(chain)
+    sim.add_source("vdd", DC(5.0))
+    sim.add_source("nin", Pulse(0.0, 5.0, td=50 * NS, tr=0.1 * NS))
+    sim.set_tran(1 * NS, 150 * NS)
+    out = benchmark(sim.run)
+    assert out.time[-1] == pytest.approx(150 * NS, rel=0.05)

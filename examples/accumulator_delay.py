@@ -1,0 +1,93 @@
+"""Least-commitment delay design: the ADDER/ACCUMULATOR scenario (Fig. 5.2).
+
+The designer specifies an 8-bit ADDER with a "120ns or less" delay and an
+ACCUMULATOR (REGISTER cascaded into the ADDER) with a "160ns or less"
+overall delay, seeding the subcells with delay *estimates* before their
+internals exist.  Characteristics propagate up the design hierarchy as
+they become available:
+
+* with the initial estimates (REGISTER 60ns, ADDER 100ns) the
+  accumulator meets its spec;
+* when the adder's real characteristic turns out to be 110ns (after
+  loading adjustment), the 160ns accumulator constraint is violated —
+  detected immediately, at the adder level, without re-running any
+  global analysis.
+
+Run:  python examples/accumulator_delay.py
+"""
+
+from repro.core import UpperBoundConstraint, default_context
+from repro.stem import CellClass
+
+NS = 1e-9
+
+
+def build_adder():
+    adder = CellClass("ADDER")
+    adder.define_signal("a", "in", load_capacitance=1.0)
+    adder.define_signal("b", "in", load_capacitance=1.0)
+    adder.define_signal("sum", "out", output_resistance=2.0)
+    delay = adder.declare_delay("a", "sum", estimate=100 * NS)
+    UpperBoundConstraint(delay, 120 * NS)  # the class-level delay spec
+    return adder
+
+
+def build_register():
+    register = CellClass("REGISTER")
+    register.define_signal("d", "in", load_capacitance=1.0)
+    register.define_signal("q", "out", output_resistance=1.0)
+    register.declare_delay("d", "q", estimate=60 * NS)
+    return register
+
+
+def build_accumulator(adder, register):
+    acc = CellClass("ACCUMULATOR")
+    acc.define_signal("in1", "in")
+    acc.define_signal("out1", "out")
+    spec = acc.declare_delay("in1", "out1")
+    UpperBoundConstraint(spec, 160 * NS)
+
+    reg = register.instantiate(acc, "R1")
+    add = adder.instantiate(acc, "A1")
+    n_in = acc.add_net("n_in")
+    n_in.connect_io("in1"); n_in.connect(reg, "d")
+    n_mid = acc.add_net("n_mid")
+    n_mid.connect(reg, "q"); n_mid.connect(add, "a")
+    n_out = acc.add_net("n_out")
+    n_out.connect(add, "sum"); n_out.connect_io("out1")
+    return acc, reg, add
+
+
+def main():
+    adder = build_adder()
+    register = build_register()
+    acc, reg, add = build_accumulator(adder, register)
+
+    total = acc.delay_value("in1", "out1")
+    print(f"ACCUMULATOR delay with estimates: {total / NS:.1f} ns "
+          f"(REGISTER {reg.delay_var('d', 'q').value / NS:.1f} + "
+          f"ADDER {add.delay_var('a', 'sum').value / NS:.1f})")
+    assert total <= 160 * NS
+
+    print("\nthe ADDER's measured characteristic comes in at 110 ns ...")
+    ok = adder.delay_var("a", "sum").calculate(110 * NS)
+    print(f"  accepted: {ok}")
+    print(f"  accumulator delay now: "
+          f"{acc.delay_var('in1', 'out1').value / NS:.1f} ns (unchanged — "
+          f"the violating update was rolled back)")
+    print(f"  violation: {default_context().handler.last}")
+    assert not ok
+
+    print("\nthe REGISTER improves to 40 ns, making room ...")
+    assert register.delay_var("d", "q").calculate(40 * NS)
+    print(f"  accumulator delay: "
+          f"{acc.delay_var('in1', 'out1').value / NS:.1f} ns")
+
+    print("now the 110 ns adder fits:")
+    assert adder.delay_var("a", "sum").calculate(110 * NS)
+    print(f"  accumulator delay: "
+          f"{acc.delay_var('in1', 'out1').value / NS:.1f} ns  (spec 160 ns)")
+
+
+if __name__ == "__main__":
+    main()

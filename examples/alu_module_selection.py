@@ -1,0 +1,106 @@
+"""Module selection: the ALU example of thesis Fig. 8.1.
+
+A generic 8-bit adder ADD8 has two realizations: ADD8.RC (ripple-carry —
+small but slow) and ADD8.CS (carry-select — fast but 2.2x the area).
+An ALU cascades a logic unit LU8 into an ADD8 instance.  Given two
+different design constraint sets:
+
+* a tight area specification selects ADD8.RC;
+* a tight delay specification selects ADD8.CS.
+
+Module selection is generate-and-test over the class hierarchy, with
+constraint propagation (tentative ``can_be_set_to`` probes) as the
+validity test, so the answer depends on every constraint in the
+instance's context.
+
+Run:  python examples/alu_module_selection.py
+"""
+
+from repro.core import UpperBoundConstraint
+from repro.selection import ModuleSelector
+from repro.stem import CellClass, Rect
+
+D = 1.0    # delay unit of Fig. 8.1
+A = 10.0   # area unit of Fig. 8.1
+
+
+def build_adder_family():
+    add8 = CellClass("ADD8", is_generic=True)
+    add8.define_signal("x", "in")
+    add8.define_signal("y", "out")
+    # generic "ideal" estimates: delay of the fastest subclass, area of
+    # the smallest (enables search-tree pruning, section 8.2)
+    add8.declare_delay("x", "y", estimate=5 * D)
+    add8.set_bounding_box(Rect.of_extent(A, 1.0))
+
+    rc = add8.subclass("ADD8.RC")
+    rc.delay_var("x", "y").set(8 * D)
+    rc.set_bounding_box(Rect.of_extent(A, 1.0))
+
+    cs = add8.subclass("ADD8.CS")
+    cs.delay_var("x", "y").set(5 * D)
+    cs.set_bounding_box(Rect.of_extent(2.2 * A, 1.0))
+    return add8, rc, cs
+
+
+def build_alu(add8, *, area_budget, delay_budget):
+    """ALU = LU8 -> ADD8, delay spec on the whole, area spec on the adder."""
+    alu = CellClass(f"ALU(area<={area_budget / A:.1f}A, "
+                    f"delay<={delay_budget / D:.0f}D)")
+    alu.define_signal("in1", "in")
+    alu.define_signal("out1", "out")
+    alu.declare_delay("in1", "out1")
+    UpperBoundConstraint(alu.delay_var("in1", "out1"), delay_budget)
+
+    lu8 = CellClass(f"LU8@{id(alu):x}")
+    lu8.define_signal("a", "in")
+    lu8.define_signal("z", "out")
+    lu8.declare_delay("a", "z", estimate=3 * D)
+    lu8.set_bounding_box(Rect.of_extent(2 * A, 1.0))
+
+    lu = lu8.instantiate(alu, "lu")
+    add = add8.instantiate(alu, "add")
+    n0 = alu.add_net("n0"); n0.connect_io("in1"); n0.connect(lu, "a")
+    n1 = alu.add_net("n1"); n1.connect(lu, "z"); n1.connect(add, "x")
+    n2 = alu.add_net("n2"); n2.connect(add, "y"); n2.connect_io("out1")
+    add.bounding_box_var.set(Rect.of_extent(area_budget, 1.0))
+    alu.build_delay_network()
+    return alu, add
+
+
+def run_case(add8, label, *, area_budget, delay_budget):
+    alu, instance = build_alu(add8, area_budget=area_budget,
+                              delay_budget=delay_budget)
+    selector = ModuleSelector(priorities=("bBox", "signals", "delays"))
+    realizations = selector.select_realizations_for(instance)
+    names = [cell.name for cell in realizations] or ["(none)"]
+    print(f"{label}: valid realizations of {instance.name!r} -> "
+          f"{', '.join(names)}")
+    print(f"   {selector.stats}")
+    return realizations
+
+
+def main():
+    add8, rc, cs = build_adder_family()
+    print("class hierarchy:", add8.name, "->",
+          [c.name for c in add8.subclasses])
+
+    tight_area = run_case(add8, "tight area  (<=1.0A, <=11D)",
+                          area_budget=1.0 * A, delay_budget=11 * D)
+    assert tight_area == [rc]
+
+    tight_delay = run_case(add8, "tight delay (<=4.2A, <= 8D)",
+                           area_budget=4.2 * A, delay_budget=8 * D)
+    assert tight_delay == [cs]
+
+    both_loose = run_case(add8, "loose specs (<=4.2A, <=11D)",
+                          area_budget=4.2 * A, delay_budget=11 * D)
+    assert set(both_loose) == {rc, cs}
+
+    neither = run_case(add8, "impossible  (<=1.0A, <= 8D)",
+                       area_budget=1.0 * A, delay_budget=8 * D)
+    assert neither == []
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,158 @@
+"""Case study: a 4-bit ALU datapath, front to back.
+
+Everything in one flow, the way a designer would actually use the
+environment:
+
+1. a *module generator* materialises ripple-carry adders of any width
+   from a full-adder slice (compiled structure, carry chain by pin
+   butting, delay network from the slice characteristics);
+2. the generated 4-bit adder and a handcrafted carry-lookahead cell
+   become realizations of a *generic* adder;
+3. the ALU datapath instantiates the generic between registers, under
+   an overall delay specification — evaluated before the adder choice
+   is made;
+4. module selection picks per spec: the loose budget admits both (the
+   small ripple adder ranks first); the tight budget forces the CLA;
+5. the row is compacted, electrically checked, persisted, reloaded,
+   and the reloaded design still enforces its constraints.
+
+Run:  python examples/case_study_alu4.py
+"""
+
+from repro.checking import check_cell
+from repro.core import UpperBoundConstraint, reset_default_context
+from repro.selection import ModuleSelector, RankedSelector
+from repro.stem import CellClass, ModuleGenerator, PinSpec, Rect
+from repro.stem.compaction import compact_row
+from repro.stem.compilers import VectorCompiler
+from repro.stem.library import CellLibrary
+from repro.stem.persistence import dumps, loads
+
+NS = 1.0
+
+
+def build_world():
+    library = CellLibrary("alu4")
+
+    # --- the full-adder slice: the only hand-designed leaf -------------
+    fa = library.define("FA")
+    fa.define_signal("cin", "in", load_capacitance=1e-13,
+                     pins=[PinSpec("left", 0.5)])
+    fa.define_signal("cout", "out", output_resistance=1e3,
+                     max_load_capacitance=5e-13,
+                     pins=[PinSpec("right", 0.5)])
+    fa.declare_delay("cin", "cout", estimate=2 * NS)
+    fa.set_bounding_box(Rect.of_extent(10, 10))
+
+    # --- the generic adder and its realizations -------------------------
+    add4 = library.define("ADD4", is_generic=True)
+    add4.define_signal("cin", "in", pins=[PinSpec("left", 0.5)])
+    add4.define_signal("cout", "out", pins=[PinSpec("right", 0.5)])
+    add4.declare_delay("cin", "cout", estimate=6 * NS)   # ideal estimate
+    add4.set_bounding_box(Rect.of_extent(40, 10))        # ideal area
+
+    def build_ripple(cell, *, bits):
+        instances = VectorCompiler(fa, bits).compile_into(cell)
+        nin = cell.add_net("nin")
+        nin.connect_io("cin"); nin.connect(instances[0], "cin")
+        nout = cell.add_net("nout")
+        nout.connect(instances[-1], "cout"); nout.connect_io("cout")
+
+    ripple = ModuleGenerator("RIPPLE", build_ripple, library=library,
+                             generic=add4)
+    ripple4 = ripple.cell_for(bits=4)
+    ripple4.build_delay_network()
+
+    cla4 = library.define("CLA4", add4)
+    cla4.delay_var("cin", "cout").set(6 * NS)          # fast
+    cla4.set_bounding_box(Rect.of_extent(70, 10))      # but big
+
+    # --- the datapath ----------------------------------------------------
+    reg = library.define("REG")
+    reg.define_signal("d", "in", pins=[PinSpec("left", 0.5)])
+    reg.define_signal("q", "out", pins=[PinSpec("right", 0.5)])
+    reg.declare_delay("d", "q", estimate=3 * NS)
+    reg.set_bounding_box(Rect.of_extent(12, 10))
+    return library, fa, add4, ripple4, cla4, reg
+
+
+def build_datapath(library, add4, reg, *, budget):
+    datapath = library.define(f"DATAPATH<= {budget:g}ns")
+    datapath.define_signal("in1", "in")
+    datapath.define_signal("out1", "out")
+    UpperBoundConstraint(datapath.declare_delay("in1", "out1"), budget)
+
+    r_in = reg.instantiate(datapath, "Rin")
+    adder = add4.instantiate(datapath, "ADD")
+    r_out = reg.instantiate(datapath, "Rout")
+    adder.bounding_box_var.set(Rect.of_extent(75, 10))  # roomy placement
+
+    n0 = datapath.add_net("n0"); n0.connect_io("in1"); n0.connect(r_in, "d")
+    n1 = datapath.add_net("n1"); n1.connect(r_in, "q")
+    n1.connect(adder, "cin")
+    n2 = datapath.add_net("n2"); n2.connect(adder, "cout")
+    n2.connect(r_out, "d")
+    n3 = datapath.add_net("n3"); n3.connect(r_out, "q")
+    n3.connect_io("out1")
+    datapath.build_delay_network()
+    return datapath, adder
+
+
+def main():
+    library, fa, add4, ripple4, cla4, reg = build_world()
+
+    print("=== 1. the generated ripple adder ===")
+    print(f"{ripple4.name}: {len(ripple4.subcells)} slices, "
+          f"box {ripple4.bounding_box()!r}")
+    ripple_delay = ripple4.delay_value('cin', 'cout')
+    print(f"characteristic delay from the internal network: "
+          f"{ripple_delay:.2f} ns (4 x 2ns + loading)")
+    assert len(ripple4.subcells) == 4
+
+    print("\n=== 2. early evaluation with the generic's estimates ===")
+    datapath, adder = build_datapath(library, add4, reg, budget=18 * NS)
+    print(f"datapath delay (3 + ~6 + 3): "
+          f"{datapath.delay_var('in1', 'out1').value:.1f} ns  (spec 18)")
+
+    print("\n=== 3. module selection under the loose budget ===")
+    ranked = RankedSelector(weights={"area": 1.0, "delay": 0.5})
+    for entry in ranked.rank(adder):
+        print(f"  {entry.cell.name:<16} score={entry.score:.2f}  "
+              f"delay={entry.metrics['delay']:.2f}  "
+              f"area={entry.metrics['area']:.0f}")
+    winner = ranked.best(adder)
+    print(f"winner on area: {winner.name}")
+    assert winner is ripple4
+
+    print("\n=== 4. module selection under a tight budget ===")
+    tight, tight_adder = build_datapath(library, add4, reg, budget=13 * NS)
+    valid = ModuleSelector().select_realizations_for(tight_adder)
+    print(f"valid under 13 ns: {[c.name for c in valid]}")
+    assert valid == [cla4]  # the ~8.2 ns ripple chain no longer fits
+
+    print("\n=== 5. physical checks ===")
+    positions = compact_row(datapath.subcells, spacing=2.0)
+    print("compacted row x-origins:",
+          [f"{positions[i]:.0f}" for i in datapath.subcells])
+    findings = check_cell(ripple4)
+    print(f"ERC on the generated adder: "
+          f"{[f.rule for f in findings] or 'clean'}")
+    assert findings == []
+
+    print("\n=== 6. persist, reload, and the constraints still bite ===")
+    text = dumps(library)
+    restored = loads(text, context=reset_default_context())
+    fa2 = restored.cell("FA")
+    ripple2 = restored.cell("RIPPLE[bits=4]")
+    ripple2.build_delay_network()
+    print(f"reloaded {ripple2.name} delay: "
+          f"{ripple2.delay_value('cin', 'cout'):.2f} ns")
+    UpperBoundConstraint(ripple2.delay_var("cin", "cout"), 9 * NS)
+    ok = fa2.delay_var("cin", "cout").calculate(3 * NS)
+    print(f"slice slips to 3 ns -> accepted: {ok} "
+          f"(4 x 3ns busts the 9 ns cap)")
+    assert not ok
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""External-tool integration: SPICE on three cascaded inverters (Fig. 6.3).
+
+The thesis's SPICE interface has three parts: SpiceNet (net-list
+extraction and correspondence), SpiceSimulation (deck editing, running
+the external process, filing results back in) and SpicePlot (waveform
+measurements).  Here the "external SPICE process" is the internal MNA
+transient simulator, driven through the same deck-text pipeline.
+
+The scenario is Fig. 6.3's cell of three cascaded inverters: extract its
+net-list, pulse the input, measure stage delays, then edit the design
+and watch the simulation windows go *outdated*.
+
+Run:  python examples/inverter_chain_spice.py
+"""
+
+from repro.spice import DC, Pulse, SpicePlot, SpiceSimulation, inverter
+from repro.stem import CellClass
+
+NS = 1e-9
+
+
+def build_chain(stages=3):
+    inv = inverter(c_load=10e-12, r_on_n=1e3, r_on_p=2e3, v_t=1.0)
+    chain = CellClass("InvertingBuffer")
+    chain.define_signal("a", "in")
+    chain.define_signal("y", "out")
+    chain.define_signal("vdd", "inout")
+    chain.define_signal("gnd", "inout")
+    vdd = chain.add_net("vdd"); vdd.connect_io("vdd")
+    gnd = chain.add_net("gnd"); gnd.connect_io("gnd")
+    current = chain.add_net("nin"); current.connect_io("a")
+    for i in range(stages):
+        stage = inv.instantiate(chain, f"INV{i}")
+        current.connect(stage, "a")
+        vdd.connect(stage, "vdd")
+        gnd.connect(stage, "gnd")
+        current = chain.add_net(f"n{i + 1}")
+        current.connect(stage, "y")
+    current.connect_io("y")
+    return chain
+
+
+def main():
+    chain = build_chain(3)
+    simulation = SpiceSimulation(chain, title="three cascaded inverters")
+
+    print("=== extracted net-list (SpiceNet) ===")
+    print(simulation.netlist_view.text)
+
+    simulation.add_source("vdd", DC(5.0))
+    simulation.add_source("nin", Pulse(0.0, 5.0, td=150 * NS, tr=0.1 * NS))
+    simulation.set_tran(0.2 * NS, 500 * NS)
+
+    print("\n=== deck filed out to the (stand-in) external process ===")
+    print("\n".join(simulation.deck_text().splitlines()[-5:]))
+
+    simulation.run()
+    plot = SpicePlot(simulation)
+
+    print("\n=== point-to-point measurements (SpicePlot) ===")
+    edge = plot.crossing_time("nin", 2.5, rising=True)
+    print(f"input edge at {edge / NS:.2f} ns")
+    for net in ("n1", "n2", "n3"):
+        delay = plot.delay_between("nin", net, 2.5, after=edge - NS)
+        print(f"  nin -> {net}: {delay / NS:6.2f} ns   "
+              f"(final value {plot.final_value(net):4.2f} V)")
+
+    d1 = plot.delay_between("nin", "n1", 2.5, after=edge - NS)
+    d3 = plot.delay_between("nin", "n3", 2.5, after=edge - NS)
+    assert d3 > 2 * d1, "three stages must accumulate delay"
+
+    print("\n=== consistency: editing the cell outdates the windows ===")
+    chain.changed("structure")
+    print(f"simulation outdated: {simulation.outdated}")
+    print(f"plot outdated:       {plot.outdated}")
+    assert simulation.outdated
+
+
+if __name__ == "__main__":
+    main()

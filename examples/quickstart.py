@@ -1,0 +1,74 @@
+"""Quickstart: constraint networks, propagation, violations, dependencies.
+
+Reproduces the kernel walkthrough of thesis chapter 4:
+
+* the Fig. 4.5 network (an equality and a maximum constraint) and the
+  effect of assigning V1 := 9;
+* the Fig. 4.9 cyclic network, whose unsatisfiable loop is caught by the
+  one-value-change rule and rolled back;
+* dependency analysis (antecedents / consequences) and the textual
+  constraint editor.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import (
+    ConstraintEditor,
+    EqualityConstraint,
+    FormulaConstraint,
+    UniMaximumConstraint,
+    Variable,
+    default_context,
+)
+
+
+def fig_4_5():
+    print("=== Fig. 4.5: propagation through a simple network ===")
+    v1 = Variable(7, name="V1")
+    v2 = Variable(7, name="V2")
+    v3 = Variable(5, name="V3")
+    v4 = Variable(7, name="V4")
+    EqualityConstraint(v1, v2)
+    UniMaximumConstraint(v4, [v2, v3])
+    print(f"before: V1={v1.value} V2={v2.value} V3={v3.value} V4={v4.value}")
+
+    ok = v1.set(9)
+    print(f"set V1 := 9 -> ok={ok}")
+    print(f"after:  V1={v1.value} V2={v2.value} V3={v3.value} V4={v4.value}")
+    assert (v2.value, v4.value) == (9, 9)
+
+    print("\nantecedents of V4 (who is responsible for its value):")
+    for obj in sorted(v4.antecedents(), key=repr):
+        print(f"  {obj!r}")
+
+    print("\nconstraint editor focused on V4:")
+    print(ConstraintEditor(v4).show())
+    return v1
+
+
+def fig_4_9():
+    print("\n=== Fig. 4.9: a cyclic, unsatisfiable network ===")
+    v1 = Variable(name="V1")
+    v2 = Variable(name="V2")
+    v3 = Variable(name="V3")
+    FormulaConstraint(v2, [v1], lambda x: x + 1, label="+1")
+    FormulaConstraint(v3, [v2], lambda x: x + 3, label="+3")
+    FormulaConstraint(v1, [v3], lambda x: x + 2, label="+2")
+
+    ok = v1.set(10)
+    print(f"set V1 := 10 -> ok={ok}  (violation detected, state restored)")
+    print(f"V1={v1.value} V2={v2.value} V3={v3.value}")
+    record = default_context().handler.last
+    print(f"violation report: {record}")
+    assert not ok and v1.value is None
+
+
+def main():
+    fig_4_5()
+    fig_4_9()
+    stats = default_context().stats
+    print(f"\npropagation statistics: {stats}")
+
+
+if __name__ == "__main__":
+    main()

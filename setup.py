@@ -1,0 +1,5 @@
+"""Setuptools shim for legacy editable installs (offline environment)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,70 @@
+"""repro — Constraint Propagation in an Object-Oriented IC Design Environment.
+
+A production-quality reproduction of Tai A. Ly's DAC 1988 system (from the
+M.Sc. thesis "Managing Design Interactions with Constraint Propagation in
+an Object-Oriented IC Design Environment", University of Alberta): an
+object-oriented, hierarchical constraint-propagation framework embedded in
+a STEM-like integrated IC design environment, supporting least-commitment
+design through consistency maintenance, incremental design checking, and
+module validation.
+
+Subpackages
+-----------
+``repro.core``
+    The constraint propagation kernel (chapter 4).
+``repro.stem``
+    The design-environment substrate: cells, dual variables, signals,
+    nets, geometry, compilers (chapters 3 and 5).
+``repro.consistency``
+    Property variables, calculated views, MVC tool integration (chapter 6).
+``repro.spice``
+    Netlist extraction and an internal circuit simulator standing in for
+    the external SPICE process (section 6.4.2).
+``repro.checking``
+    Incremental design checking: signal types, bounding boxes, delays
+    (chapter 7).
+``repro.selection``
+    Generic cells and module validation by generate-and-test (chapter 8).
+"""
+
+import importlib
+
+from . import core
+from .core import (
+    APPLICATION,
+    USER,
+    Constraint,
+    ConstraintEditor,
+    ConstraintViolationError,
+    EqualityConstraint,
+    PropagationContext,
+    UniAdditionConstraint,
+    UniMaximumConstraint,
+    UpdateConstraint,
+    UpperBoundConstraint,
+    Variable,
+    default_context,
+)
+
+__version__ = "1.0.0"
+
+#: Subpackages exposed lazily — `import repro` stays light; `repro.stem`
+#: and friends materialize on first attribute access.
+_SUBPACKAGES = ("stem", "consistency", "spice", "checking", "selection",
+                "cli")
+
+__all__ = [
+    "APPLICATION", "USER", "Constraint", "ConstraintEditor",
+    "ConstraintViolationError", "EqualityConstraint", "PropagationContext",
+    "UniAdditionConstraint", "UniMaximumConstraint", "UpdateConstraint",
+    "UpperBoundConstraint", "Variable", "core", "default_context",
+    "__version__", *_SUBPACKAGES,
+]
+
+
+def __getattr__(name):
+    if name in _SUBPACKAGES:
+        module = importlib.import_module(f".{name}", __name__)
+        globals()[name] = module
+        return module
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,42 @@
+"""Incremental design checking (thesis chapter 7).
+
+Signal typing (bit widths, data/electrical type compatibility), bounding
+boxes (class vs. instance, stretching) and delays (RC model, hierarchical
+delay networks).
+"""
+
+from .bbox import ClassBBox, InstanceBBox, calculate_bounding_box
+from .corners import Corners, derate
+from .delay import (
+    ClassDelay,
+    DelayNetwork,
+    DelayPathExplosion,
+    InstanceDelay,
+    PathDelayVariable,
+    build_delay_network,
+    enumerate_delay_paths,
+)
+from .electrical import (
+    DriveLoadConstraint,
+    ElectricalFinding,
+    FanoutConstraint,
+    NetWatch,
+    check_cell,
+    watch_net,
+)
+from .sigtypes import (
+    ClassBWidth,
+    InstanceBWidth,
+    SignalTypeVariable,
+    make_net_typing_constraints,
+)
+
+__all__ = [
+    "ClassBBox", "ClassBWidth", "ClassDelay", "Corners", "DelayNetwork",
+    "DelayPathExplosion", "DriveLoadConstraint", "ElectricalFinding",
+    "FanoutConstraint", "derate",
+    "InstanceBBox", "InstanceBWidth", "InstanceDelay", "NetWatch",
+    "PathDelayVariable", "SignalTypeVariable", "build_delay_network",
+    "calculate_bounding_box", "check_cell", "enumerate_delay_paths",
+    "make_net_typing_constraints", "watch_net",
+]

@@ -1,0 +1,85 @@
+"""Bounding-box checking (section 7.2).
+
+The bounding box of a cell *class* is the smallest rectangle containing
+its internal structure; the bounding box of a cell *instance* is the area
+the instance is placed in.  An instance box may be equal to or larger
+than the (transformed) class box — never smaller.  When larger, STEM
+stretches the cell's io-pins to the instance box perimeter (Fig. 7.6; see
+:meth:`repro.stem.cell.CellInstance.io_pins`).
+
+Propagation and checking follow Fig. 7.7:
+
+* a new class box propagates down, becoming the default instance box
+  (with the placement transformation applied), except where the designer
+  fixed the instance box — which is then only *checked*;
+* instance boxes never propagate up; instead, a changed instance box
+  procedurally resets its parent cell's class box (Fig. 7.8 — a
+  hard-coded update-constraint), which is recalculated lazily.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Optional
+
+from ..core.justification import UPDATE
+from ..stem.geometry import Rect, Transform
+from ..stem.implicit import ClassInstVar, InstanceInstVar
+
+
+class ClassBBox(ClassInstVar):
+    """The characteristic (minimum) bounding box of a cell class."""
+
+    def values_equal(self, a: Any, b: Any) -> bool:
+        return a == b
+
+    def on_stored_by_assignment(self) -> None:
+        """A geometry change is broadcast to views as a layout change."""
+        changed = getattr(self.parent, "changed", None)
+        if callable(changed):
+            changed("layout")
+
+
+class InstanceBBox(InstanceInstVar):
+    """The placement area of one cell instance.
+
+    ``parent`` must be the cell instance, which supplies the placement
+    ``transform`` and its containing cell (``parent_cell``).
+    """
+
+    def adjust_class_value(self, value: Rect) -> Rect:
+        """Default instance box: the class box under the placement transform."""
+        transform: Transform = self.parent.transform
+        return transform.apply_to(value)
+
+    def consistent_with_class(self) -> bool:
+        """The instance box must be able to contain the transformed class box."""
+        class_var = self.class_var
+        if class_var is None or class_var.value is None or self.value is None:
+            return True
+        required = self.adjust_class_value(class_var.value)
+        return self.value.can_contain(required)
+
+    def on_stored_by_assignment(self) -> None:
+        """Fig. 7.8: a changed subcell box invalidates the parent's box.
+
+        Implemented procedurally (not as a declarative update-constraint)
+        because the operation is localized, well defined and very frequent.
+        """
+        from ..core.justification import is_user
+
+        instance = self.parent
+        parent_cell = getattr(instance, "parent_cell", None)
+        if parent_cell is None:
+            return
+        parent_box = parent_cell.variables.get("boundingBox")
+        if parent_box is None or parent_box.value is None:
+            return
+        if is_user(parent_box.last_set_by):
+            return  # an explicit floorplan box is only ever checked
+        parent_box.set(None, UPDATE)
+
+
+def calculate_bounding_box(subcell_boxes) -> Optional[Rect]:
+    """The inherited ``calculateBoundingBox`` routine: union of subcell boxes."""
+    return Rect.bounding(box for box in subcell_boxes if box is not None)

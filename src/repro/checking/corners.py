@@ -1,0 +1,113 @@
+"""Process-corner delay values (an open-endedness demonstration).
+
+Chapter 7 closes: "Additional design checks can be easily integrated
+into the existing system with new types of constraints" — and because
+constraints operate on *values through a protocol*, new value types
+integrate too.  A :class:`Corners` value carries slow/typical/fast
+figures simultaneously; it adds component-wise and orders by the slow
+(worst) corner, so the unmodified ``UniAdditionConstraint`` /
+``UniMaximumConstraint`` delay networks of section 7.3 propagate all
+three corners in one pass, and ``UpperBoundConstraint`` specs check the
+worst case.
+
+``derate`` builds a corner value from a typical figure with process
+factors — the usual way a library characterises corners.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Union
+
+Number = Union[int, float]
+
+
+class Corners:
+    """A (slow, typical, fast) delay triple.
+
+    Arithmetic is component-wise; comparisons order by the *slow* corner
+    (the worst case, which is what longest-path delay analysis must
+    keep).  Scalars mix in as corner-independent values.
+    """
+
+    __slots__ = ("slow", "typical", "fast")
+
+    def __init__(self, slow: Number, typical: Number, fast: Number) -> None:
+        if not (fast <= typical <= slow):
+            raise ValueError(f"corners must satisfy fast <= typical <= slow "
+                             f"(got slow={slow}, typical={typical}, "
+                             f"fast={fast})")
+        self.slow = slow
+        self.typical = typical
+        self.fast = fast
+
+    @classmethod
+    def of(cls, value: Any) -> "Corners":
+        """Coerce a scalar (corner-independent) or pass a Corners through."""
+        if isinstance(value, Corners):
+            return value
+        return cls(value, value, value)
+
+    # -- arithmetic -----------------------------------------------------------
+
+    def __add__(self, other: Any) -> "Corners":
+        other = Corners.of(other)
+        return Corners(self.slow + other.slow,
+                       self.typical + other.typical,
+                       self.fast + other.fast)
+
+    def __radd__(self, other: Any) -> "Corners":
+        return Corners.of(other) + self
+
+    def __mul__(self, factor: Number) -> "Corners":
+        if factor < 0:
+            raise ValueError("negative scaling would reorder the corners")
+        return Corners(self.slow * factor, self.typical * factor,
+                       self.fast * factor)
+
+    __rmul__ = __mul__
+
+    # -- ordering by the worst case -----------------------------------------------
+
+    def _key(self) -> Number:
+        return self.slow
+
+    def __lt__(self, other: Any) -> bool:
+        return self._key() < Corners.of(other)._key()
+
+    def __le__(self, other: Any) -> bool:
+        return self._key() <= Corners.of(other)._key()
+
+    def __gt__(self, other: Any) -> bool:
+        return self._key() > Corners.of(other)._key()
+
+    def __ge__(self, other: Any) -> bool:
+        return self._key() >= Corners.of(other)._key()
+
+    def __eq__(self, other: Any) -> bool:
+        if not isinstance(other, (Corners, int, float)):
+            return NotImplemented
+        other = Corners.of(other)
+        return (self.slow, self.typical, self.fast) == \
+            (other.slow, other.typical, other.fast)
+
+    def __hash__(self) -> int:
+        return hash((self.slow, self.typical, self.fast))
+
+    def is_close_to(self, other: Any, rel_tol: float = 1e-9) -> bool:
+        other = Corners.of(other)
+        return (math.isclose(self.slow, other.slow, rel_tol=rel_tol)
+                and math.isclose(self.typical, other.typical, rel_tol=rel_tol)
+                and math.isclose(self.fast, other.fast, rel_tol=rel_tol))
+
+    def __repr__(self) -> str:
+        return (f"Corners(slow={self.slow:g}, typical={self.typical:g}, "
+                f"fast={self.fast:g})")
+
+
+def derate(typical: Number, *, slow_factor: float = 1.3,
+           fast_factor: float = 0.7) -> Corners:
+    """Corner values from a typical figure and process derating factors."""
+    if not fast_factor <= 1.0 <= slow_factor:
+        raise ValueError("factors must bracket 1.0")
+    return Corners(typical * slow_factor, typical, typical * fast_factor)

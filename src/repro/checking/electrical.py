@@ -1,0 +1,171 @@
+"""Electrical rule checking over the RC net model.
+
+An extension of chapter 7's incremental checking family ("arbitrary
+design checking can be added to the system by introducing additional
+types of constraints"): drive-strength rules derived from the same RC
+electrical model the delay constraints use (section 7.3).
+
+Rules:
+
+* **drive load** — the total load capacitance a net presents must not
+  exceed the driving signal's ``max_load_capacitance``;
+* **fanout** — the number of receivers must not exceed the driver's
+  ``max_fanout``;
+* **drive conflicts / floating nets** — a net must have exactly one
+  driver (sweep check only; multiple tri-state drivers are beyond the
+  model).
+
+The first two exist both as constraints (attach :func:`watch_net` and
+connection edits are checked incrementally, like signal types) and as a
+batch sweep (:func:`check_cell`) usable on imported designs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, NamedTuple, Optional
+
+from ..core.constraint import Constraint
+from ..core.variable import Variable
+
+
+class ElectricalFinding(NamedTuple):
+    """One ERC diagnosis from the batch sweep."""
+
+    cell: Any
+    net: Any
+    rule: str
+    detail: str
+
+
+class NetLoadVariable(Variable):
+    """Derived per-net variable holding the current total load."""
+
+
+class DriveLoadConstraint(Constraint):
+    """The net's load must not exceed its driver's capability."""
+
+    def __init__(self, net: Any, attach: bool = True) -> None:
+        self.net = net
+        load_var = NetLoadVariable(parent=net, name="totalLoad",
+                                   context=net.parent_cell.context)
+        super().__init__(load_var, attach=attach)
+
+    @property
+    def load_variable(self) -> NetLoadVariable:
+        return self._arguments[0]
+
+    def refresh(self) -> bool:
+        """Recompute the load after a connectivity edit."""
+        return self.load_variable.calculate(self.net.load_capacitance())
+
+    def is_satisfied(self) -> bool:
+        limit = _drive_limit(self.net)
+        if limit is None:
+            return True
+        load = self.load_variable.value
+        if load is None:
+            return True
+        return load <= limit
+
+    def qualified_name(self) -> str:
+        return f"driveLoad({self.net!r})"
+
+
+class FanoutConstraint(Constraint):
+    """The net's receiver count must not exceed the driver's max fanout."""
+
+    def __init__(self, net: Any, attach: bool = True) -> None:
+        self.net = net
+        fanout_var = Variable(parent=net, name="fanout",
+                              context=net.parent_cell.context)
+        super().__init__(fanout_var, attach=attach)
+
+    @property
+    def fanout_variable(self) -> Variable:
+        return self._arguments[0]
+
+    def refresh(self) -> bool:
+        return self.fanout_variable.calculate(len(self.net.receivers()))
+
+    def is_satisfied(self) -> bool:
+        limit = _fanout_limit(self.net)
+        if limit is None:
+            return True
+        fanout = self.fanout_variable.value
+        if fanout is None:
+            return True
+        return fanout <= limit
+
+
+def _driver_signals(net: Any) -> List[Any]:
+    return [net._endpoint_signal(endpoint) for endpoint in net.drivers()]
+
+
+def _drive_limit(net: Any) -> Optional[float]:
+    limits = [signal.max_load_capacitance for signal in _driver_signals(net)
+              if signal.max_load_capacitance is not None]
+    return min(limits) if limits else None
+
+
+def _fanout_limit(net: Any) -> Optional[int]:
+    limits = [signal.max_fanout for signal in _driver_signals(net)
+              if signal.max_fanout is not None]
+    return min(limits) if limits else None
+
+
+class NetWatch:
+    """Incremental ERC on one net: constraints plus a refresh hook."""
+
+    def __init__(self, net: Any) -> None:
+        self.net = net
+        self.load_constraint = DriveLoadConstraint(net)
+        self.fanout_constraint = FanoutConstraint(net)
+
+    def refresh(self) -> bool:
+        """Re-derive both figures; False signals an ERC violation."""
+        ok = self.load_constraint.refresh()
+        ok = self.fanout_constraint.refresh() and ok
+        return ok
+
+    def release(self) -> None:
+        self.load_constraint.remove()
+        self.fanout_constraint.remove()
+
+
+def watch_net(net: Any) -> NetWatch:
+    """Install incremental drive checking on a net."""
+    watch = NetWatch(net)
+    watch.refresh()
+    return watch
+
+
+def check_cell(cell: Any, *, require_single_driver: bool = True
+               ) -> List[ElectricalFinding]:
+    """Batch ERC sweep over every net of a composite cell."""
+    findings: List[ElectricalFinding] = []
+    for net in cell.nets.values():
+        drivers = net.drivers()
+        receivers = net.receivers()
+        if require_single_driver:
+            if not drivers and receivers:
+                findings.append(ElectricalFinding(
+                    cell, net, "floating",
+                    f"net {net.name!r} has receivers but no driver"))
+            elif len(drivers) > 1:
+                findings.append(ElectricalFinding(
+                    cell, net, "drive-conflict",
+                    f"net {net.name!r} has {len(drivers)} drivers"))
+        limit = _drive_limit(net)
+        load = net.load_capacitance()
+        if limit is not None and load > limit:
+            findings.append(ElectricalFinding(
+                cell, net, "overload",
+                f"net {net.name!r} load {load:g} exceeds drive "
+                f"capability {limit:g}"))
+        fanout_limit = _fanout_limit(net)
+        if fanout_limit is not None and len(receivers) > fanout_limit:
+            findings.append(ElectricalFinding(
+                cell, net, "fanout",
+                f"net {net.name!r} fanout {len(receivers)} exceeds "
+                f"limit {fanout_limit}"))
+    return findings

@@ -1,0 +1,116 @@
+"""Signal typing variables and constraints (section 7.1).
+
+Each io-signal and net carries three properties — ``bit_width``,
+``data_type`` and ``electrical_type``.  Nets imply typing constraints:
+connected signals must have equal bit widths (equality-constraints) and
+pairwise compatible data/electrical types (compatible-constraints).
+Unspecified signal types are *inferred* from connections, reducing data
+entry; incompatible connections trigger violations (Fig. 7.1).
+
+Two behaviours specific to this chapter are implemented here:
+
+* :class:`SignalTypeVariable` — the overwrite rule of Fig. 7.4: a type
+  value may change to or from unknown freely, may be refined to a *less
+  abstract* (descendant) type, silently keeps the more specific of two
+  compatible values, and violates on incompatible values.
+* :class:`ClassBWidth` / :class:`InstanceBWidth` — dual bit-width
+  variables.  Composite cells share one class-level width across all
+  instances; compiled instances may own their width (section 7.1 end).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..core.justification import STRUCTURE, may_overwrite
+from ..core.library import CompatibleConstraint, EqualityConstraint
+from ..core.variable import Variable
+from ..stem.implicit import ClassInstVar, InstanceInstVar
+
+
+class SignalTypeVariable(Variable):
+    """A dataType or electricalType variable (class-level, shared).
+
+    Values are :class:`~repro.stem.types.SignalType` nodes.  The overwrite
+    rule replaces the default user-priority rule: abstraction order
+    decides (Fig. 7.4), because every source of type information — user or
+    net inference — is a *refinement* request.
+    """
+
+    def can_change_value_to(self, new_value: Any) -> bool:
+        """Fig. 7.4: free to/from None; otherwise only refinement."""
+        current = self.value
+        if current is None or new_value is None:
+            return True
+        return new_value.is_less_abstract_than(current)
+
+    def classify_propagated(self, value: Any, constraint: Any) -> str:
+        current = self.value
+        if current is value:
+            return "ignore"
+        if current is None or value is None:
+            return "apply"
+        if not current.is_compatible_with(value):
+            return "violate"
+        if value.is_less_abstract_than(current):
+            return "apply"
+        # The propagated type is more abstract: the current, more specific
+        # value already satisfies it.
+        return "ignore"
+
+
+class BitWidthMixin:
+    """Shared violation semantics for bit-width variables.
+
+    A constrained width — user-specified or implied by a realized
+    internal structure (#STRUCTURE) — rejects any disagreeing propagated
+    value, producing the Fig. 7.1 violation.
+    """
+
+    def classify_propagated(self, value: Any, constraint: Any) -> str:
+        current = self.value
+        if current == value:
+            return "ignore"
+        if current is None or value is None:
+            return "apply"
+        if not may_overwrite(self.last_set_by):
+            return "violate"
+        return "apply"
+
+    def constrain_by_structure(self, width: int) -> bool:
+        """Fix the width as implied by the cell's internal structure."""
+        return self.set(width, STRUCTURE)
+
+
+class ClassBWidth(BitWidthMixin, ClassInstVar):
+    """Class-level bit width of a signal, shared by instances by default."""
+
+    def consistent_with_instance(self, instance_width: Optional[int]) -> bool:
+        return (self.value is None or instance_width is None
+                or self.value == instance_width)
+
+
+class InstanceBWidth(BitWidthMixin, InstanceInstVar):
+    """Per-instance bit width for compiled cells with varying widths."""
+
+    def consistent_with_class(self) -> bool:
+        class_var = self.class_var
+        if class_var is None or class_var.value is None or self.value is None:
+            return True
+        return self.value == class_var.value
+
+
+def make_net_typing_constraints(net_bit_width: Variable,
+                                net_data_type: Variable,
+                                net_electrical_type: Variable):
+    """Create the three per-net typing constraints (section 7.1).
+
+    Returns ``(width_equality, data_compatible, electrical_compatible)``;
+    signals join and leave them as they connect to / disconnect from the
+    net.  The net's own type variables are the first argument of each —
+    the thesis's ``netVariable``.
+    """
+    width_equality = EqualityConstraint(net_bit_width)
+    data_compatible = CompatibleConstraint(net_data_type)
+    electrical_compatible = CompatibleConstraint(net_electrical_type)
+    return width_equality, data_compatible, electrical_compatible

@@ -1,0 +1,249 @@
+"""Command-line front end over persisted design libraries.
+
+A thin utility layer a downstream user drives from the shell::
+
+    python -m repro.cli info design.json
+    python -m repro.cli tree design.json
+    python -m repro.cli erc design.json --cell ROW
+    python -m repro.cli netlist design.json --cell CHAIN
+    python -m repro.cli delay design.json --cell ALU --source in1 --dest out1
+    python -m repro.cli select design.json --cell DATAPATH --instance A1
+
+Every command loads a library saved with
+:mod:`repro.stem.persistence`, performs one analysis, and prints a
+report.  Exit status is non-zero when checks find problems, so the
+commands compose into scripts and CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, List, Optional
+
+from .checking import check_cell
+from .core import reset_default_context
+from .selection import ModuleSelector, RankedSelector
+from .spice import extract_netlist
+from .stem.library import CellLibrary
+from .stem.persistence import load_library
+
+
+def _load(path: str) -> CellLibrary:
+    with open(path) as handle:
+        data = json.load(handle)
+    return load_library(data, context=reset_default_context())
+
+
+def _find_instance(cell: Any, name: str) -> Any:
+    for instance in cell.subcells:
+        if instance.name == name:
+            return instance
+    raise SystemExit(f"error: cell {cell.name!r} has no subcell {name!r}; "
+                     f"have {[i.name for i in cell.subcells]}")
+
+
+# -- commands -----------------------------------------------------------------
+
+def cmd_info(args: argparse.Namespace, out) -> int:
+    library = _load(args.design)
+    stats = library.statistics()
+    print(f"library {library.name!r}", file=out)
+    for key, value in stats.items():
+        print(f"  {key}: {value}", file=out)
+    print(f"  names: {', '.join(library.names())}", file=out)
+    return 0
+
+
+def cmd_tree(args: argparse.Namespace, out) -> int:
+    """Print the inheritance forest with characteristics."""
+    library = _load(args.design)
+
+    def describe(cell: Any) -> str:
+        flags = " (generic)" if cell.is_generic else ""
+        box = cell.bounding_box_var.value
+        extra = f"  box={box.extent.x}x{box.extent.y}" if box else ""
+        delays = ", ".join(f"{s}->{d}={var.value}"
+                           for (s, d), var in cell.delays.items()
+                           if var.value is not None)
+        if delays:
+            extra += f"  delay[{delays}]"
+        return f"{cell.name}{flags}{extra}"
+
+    def walk(cell: Any, depth: int) -> None:
+        print("  " * depth + describe(cell), file=out)
+        for subclass in cell.subclasses:
+            walk(subclass, depth + 1)
+
+    for root in library.roots():
+        walk(root, 0)
+    return 0
+
+
+def cmd_erc(args: argparse.Namespace, out) -> int:
+    library = _load(args.design)
+    cells = ([library.cell(args.cell)] if args.cell
+             else [cell for cell in library if cell.subcells])
+    total = 0
+    for cell in cells:
+        findings = check_cell(cell)
+        total += len(findings)
+        for finding in findings:
+            print(f"{cell.name}: [{finding.rule}] {finding.detail}",
+                  file=out)
+    print(f"{total} finding(s)", file=out)
+    return 1 if total else 0
+
+
+def cmd_netlist(args: argparse.Namespace, out) -> int:
+    library = _load(args.design)
+    cell = library.cell(args.cell)
+    netlist = extract_netlist(cell)
+    print(netlist.text(), file=out)
+    return 0
+
+
+def cmd_delay(args: argparse.Namespace, out) -> int:
+    library = _load(args.design)
+    cell = library.cell(args.cell)
+    if (args.source, args.dest) not in cell.delays:
+        raise SystemExit(f"error: cell {args.cell!r} declares no delay "
+                         f"{args.source}->{args.dest}")
+    cell.build_delay_network()
+    value = cell.delay_value(args.source, args.dest)
+    if value is None:
+        print(f"{cell.name} {args.source}->{args.dest}: no value "
+              f"(missing characteristics or connectivity)", file=out)
+        return 1
+    print(f"{cell.name} {args.source}->{args.dest}: {value:g}", file=out)
+    if args.max is not None and value > args.max:
+        print(f"VIOLATION: exceeds --max {args.max:g}", file=out)
+        return 1
+    return 0
+
+
+def cmd_select(args: argparse.Namespace, out) -> int:
+    library = _load(args.design)
+    cell = library.cell(args.cell)
+    instance = _find_instance(cell, args.instance)
+    if args.rank:
+        ranked = RankedSelector().rank(instance)
+        if not ranked:
+            print("no valid realizations", file=out)
+            return 1
+        for entry in ranked:
+            print(f"{entry.cell.name}  score={entry.score:.3f}  "
+                  f"metrics={entry.metrics}", file=out)
+        return 0
+    selector = ModuleSelector()
+    realizations = selector.select_realizations_for(instance)
+    if not realizations:
+        print("no valid realizations", file=out)
+        return 1
+    for candidate in realizations:
+        print(candidate.name, file=out)
+    print(f"({selector.stats})", file=out)
+    return 0
+
+
+def cmd_browse(args: argparse.Namespace, out) -> int:
+    """The Cell Browser panes for one cell, textually."""
+    from .stem.browser import CellBrowser
+
+    library = _load(args.design)
+    browser = CellBrowser(library)
+    browser.open(args.cell)
+    print(browser.interface_pane(), file=out)
+    print(file=out)
+    print(browser.structure_pane(), file=out)
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace, out) -> int:
+    """Propagation statistics after exercising the design's networks."""
+    library = _load(args.design)
+    context = library.context
+    for cell in library:
+        if cell.delays and cell.subcells:
+            cell.build_delay_network()
+    print(context.stats, file=out)
+    return 0
+
+
+# -- entry point ----------------------------------------------------------------
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.cli",
+        description="Analyses over persisted IC design libraries")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_info = sub.add_parser("info", help="library statistics")
+    p_info.add_argument("design")
+    p_info.set_defaults(fn=cmd_info)
+
+    p_tree = sub.add_parser("tree", help="inheritance forest")
+    p_tree.add_argument("design")
+    p_tree.set_defaults(fn=cmd_tree)
+
+    p_erc = sub.add_parser("erc", help="electrical rule check")
+    p_erc.add_argument("design")
+    p_erc.add_argument("--cell", help="check only this cell")
+    p_erc.set_defaults(fn=cmd_erc)
+
+    p_net = sub.add_parser("netlist", help="extract a SPICE net-list")
+    p_net.add_argument("design")
+    p_net.add_argument("--cell", required=True)
+    p_net.set_defaults(fn=cmd_netlist)
+
+    p_delay = sub.add_parser("delay", help="evaluate a delay characteristic")
+    p_delay.add_argument("design")
+    p_delay.add_argument("--cell", required=True)
+    p_delay.add_argument("--source", required=True)
+    p_delay.add_argument("--dest", required=True)
+    p_delay.add_argument("--max", type=float, default=None,
+                         help="fail when the delay exceeds this bound")
+    p_delay.set_defaults(fn=cmd_delay)
+
+    p_select = sub.add_parser("select", help="module selection for a "
+                                             "generic instance")
+    p_select.add_argument("design")
+    p_select.add_argument("--cell", required=True,
+                          help="the containing composite cell")
+    p_select.add_argument("--instance", required=True,
+                          help="the generic subcell instance name")
+    p_select.add_argument("--rank", action="store_true",
+                          help="rank valid realizations by merit")
+    p_select.set_defaults(fn=cmd_select)
+
+    p_browse = sub.add_parser("browse", help="cell browser panes for a cell")
+    p_browse.add_argument("design")
+    p_browse.add_argument("--cell", required=True)
+    p_browse.set_defaults(fn=cmd_browse)
+
+    p_stats = sub.add_parser("stats", help="propagation statistics")
+    p_stats.add_argument("design")
+    p_stats.set_defaults(fn=cmd_stats)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    out = out if out is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args, out)
+    except BrokenPipeError:
+        return 0  # downstream consumer (head, less) closed the pipe
+    except (KeyError, ValueError, json.JSONDecodeError) as error:
+        # user-input errors get one clean line, not a traceback
+        message = error.args[0] if error.args else str(error)
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

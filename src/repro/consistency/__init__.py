@@ -1,0 +1,12 @@
+"""Consistency maintenance and tool integration (thesis chapter 6).
+
+Property variables with implicit invocation, update-constraints, and the
+calculated views / controllers through which application programs
+interface to the design database.
+"""
+
+from .properties import PropertyVariable, add_stored_view
+from .views import Controller, FunctionView, View
+
+__all__ = ["Controller", "FunctionView", "PropertyVariable", "View",
+           "add_stored_view"]

@@ -1,0 +1,100 @@
+"""Property variables and implicit invocation (sections 6.3, 6.5.1).
+
+A *property variable* stores derived data (a calculated design property)
+and behaves like a daemon (Fig. 6.1): when read while empty, it sends its
+*recalculate message* to its parent, invoking the application program
+that computes the value.  An ``eval`` flag guards against infinite
+evaluation loops.
+
+Combined with :class:`~repro.core.library.UpdateConstraint` — which
+erases property variables whenever data they depend on change — this
+gives the database's internal consistency maintenance: derived data are
+never stale, and recalculation is delayed until actually needed.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Sequence, Union
+
+from ..core.justification import APPLICATION
+from ..core.library import UpdateConstraint
+from ..core.variable import Variable
+
+Recalculate = Union[str, Callable[..., Any]]
+
+
+class PropertyVariable(Variable):
+    """Derived-data storage with lazy recalculation (Fig. 6.1).
+
+    Parameters
+    ----------
+    parent:
+        The object the recalculate message is sent to.
+    recalculate:
+        Either the name of a method on ``parent`` (the Smalltalk
+        ``reCalculateMessage`` style) or a callable invoked as
+        ``recalculate(parent, *arguments)``.
+    arguments:
+        Extra arguments passed along with the message.
+    """
+
+    def __init__(self, parent: Any = None, name: str = "",
+                 recalculate: Optional[Recalculate] = None,
+                 arguments: Sequence[Any] = (), context: Any = None) -> None:
+        super().__init__(parent=parent, name=name, context=context)
+        self.recalculate_message = recalculate
+        self.arguments = tuple(arguments)
+        self._eval_flag = False
+        self.recalculations = 0
+
+    @property
+    def value(self) -> Any:
+        """Current value, recalculating through implicit invocation if empty."""
+        if self._value is None and not self._eval_flag \
+                and self.recalculate_message is not None:
+            self._eval_flag = True
+            try:
+                self.recalculate()
+            finally:
+                self._eval_flag = False
+        return self._value
+
+    @property
+    def stored_value(self) -> Any:
+        """The raw stored value, without triggering recalculation."""
+        return self._value
+
+    def recalculate(self) -> None:
+        """Send the recalculate message and store the result."""
+        message = self.recalculate_message
+        if callable(message):
+            result = message(self.parent, *self.arguments)
+        else:
+            result = getattr(self.parent, message)(*self.arguments)
+        self.recalculations += 1
+        if result is not None:
+            self.context.assign(self, result, APPLICATION)
+
+
+def add_stored_view(parent: Any, name: str, recalculate: Recalculate,
+                    watched: Sequence[Variable] = (),
+                    arguments: Sequence[Any] = (),
+                    context: Any = None) -> PropertyVariable:
+    """Declare a stored view: a property variable kept fresh by erasure.
+
+    Creates the :class:`PropertyVariable` and, when ``watched`` variables
+    are given, an :class:`~repro.core.library.UpdateConstraint` that
+    erases it whenever any of them changes — the tool-integration recipe
+    of section 6.5.1.  If ``parent`` has a ``variables`` registry the new
+    property is recorded there.
+    """
+    if context is None and watched:
+        context = watched[0].context
+    prop = PropertyVariable(parent=parent, name=name, recalculate=recalculate,
+                            arguments=arguments, context=context)
+    if watched:
+        UpdateConstraint(list(watched), [prop])
+    registry = getattr(parent, "variables", None)
+    if isinstance(registry, dict):
+        registry[name] = prop
+    return prop

@@ -1,0 +1,114 @@
+"""Calculated views and controllers — the MVC construct (sections 3.3.1, 6.5.2).
+
+A *view* translates part of a model's data into a representation suited
+to one application or display.  Views are dependents of their models:
+whenever an object changes a model it broadcasts ``changed``, and every
+dependent view erases its calculated data; recalculation happens on next
+access.  Selective erasure uses the aspect key of the broadcast (the
+``#changed:key`` of section 6.5.2): a view declares which aspects it
+cares about and ignores the rest (a SPICE net-list view survives a
+pure-layout change).
+
+A *controller* maps user input — menu selections here, programmatic —
+onto messages to the model, with the context-dependent dispatch the MVC
+construct provides.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, Optional
+
+
+class View:
+    """Base calculated view: dependent of a model, lazily recalculated.
+
+    Subclasses implement :meth:`calculate` (derive the representation
+    from the model) and optionally narrow ``interested_aspects``.
+    """
+
+    #: Aspects whose changes invalidate this view; None means every change.
+    interested_aspects: Optional[frozenset] = None
+
+    def __init__(self, model: Any) -> None:
+        self.model = model
+        self._data: Any = None
+        self.outdated = False
+        self.calculations = 0
+        model.add_dependent(self)
+
+    def release(self) -> None:
+        """Detach from the model."""
+        self.model.remove_dependent(self)
+
+    # -- change broadcast ----------------------------------------------------
+
+    def model_changed(self, model: Any, aspect: Optional[str] = None) -> None:
+        if self.interested_aspects is not None and aspect is not None \
+                and aspect not in self.interested_aspects:
+            return
+        self.erase()
+
+    def erase(self) -> None:
+        """Throw away derived data; marks the view outdated until re-read."""
+        self._data = None
+        self.outdated = True
+
+    # -- access ------------------------------------------------------------------
+
+    @property
+    def data(self) -> Any:
+        """The view's representation, recalculated on demand."""
+        if self._data is None:
+            self._data = self.calculate()
+            self.calculations += 1
+            self.outdated = False
+        return self._data
+
+    def calculate(self) -> Any:
+        """Derive the representation from the model; subclasses implement."""
+        raise NotImplementedError
+
+
+class FunctionView(View):
+    """A view whose calculation is a plain callable over the model."""
+
+    def __init__(self, model: Any, fn: Callable[[Any], Any],
+                 aspects: Optional[Iterable[str]] = None) -> None:
+        if aspects is not None:
+            self.interested_aspects = frozenset(aspects)
+        self.fn = fn
+        super().__init__(model)
+
+    def calculate(self) -> Any:
+        return self.fn(self.model)
+
+
+class Controller:
+    """Maps named user actions onto messages to the model (section 3.3.1).
+
+    The association between menu items and messages lives in the
+    controller; the association between messages and methods lives in the
+    model — the two levels of context dependence the thesis describes.
+    """
+
+    def __init__(self, model: Any, view: Optional[View] = None) -> None:
+        self.model = model
+        self.view = view
+        self._actions: Dict[str, Callable[..., Any]] = {}
+
+    def add_action(self, name: str, handler: Callable[..., Any]) -> None:
+        """Associate a menu item with a handler (model message)."""
+        self._actions[name] = handler
+
+    def menu(self) -> list:
+        """The available menu items."""
+        return sorted(self._actions)
+
+    def perform(self, name: str, *args: Any, **kwargs: Any) -> Any:
+        """Dispatch a menu selection to its handler."""
+        try:
+            handler = self._actions[name]
+        except KeyError:
+            raise KeyError(f"controller has no action {name!r}; "
+                           f"menu: {self.menu()}") from None
+        return handler(self.model, *args, **kwargs)

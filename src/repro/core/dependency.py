@@ -1,0 +1,93 @@
+"""Dependency analysis over propagated values.
+
+Section 4.2.4: the justification of a propagated value names the source
+constraint and carries a *dependency record* that the source constraint
+alone can interpret.  From those records two traversals are built:
+
+* :func:`antecedents` — backward traversal finding every variable and
+  constraint responsible for a value (Fig. 4.11),
+* :func:`consequences` — forward traversal finding everything that depends
+  on a value (Fig. 4.12).
+
+Consequence analysis is what makes constraint removal affordable: when a
+constraint or variable leaves the network, every propagated value that
+depended on it becomes unjustified and is erased (section 4.2.5).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Set
+
+
+def _is_dependent(variable: Any) -> bool:
+    checker = getattr(variable, "is_dependent", None)
+    return bool(checker()) if callable(checker) else False
+
+
+def antecedents(variable: Any, acc: Set[Any] = None) -> Set[Any]:
+    """All variables and constraints the value of ``variable`` depends on.
+
+    The result includes ``variable`` itself, intermediate constraints, and
+    every contributing variable, mirroring the thesis's ``antecedents:``.
+    """
+    acc = set() if acc is None else acc
+    if variable in acc:
+        return acc
+    acc.add(variable)
+    if _is_dependent(variable):
+        justification = variable.last_set_by
+        constraint = justification.constraint
+        _constraint_antecedents(constraint, variable, acc)
+    return acc
+
+
+def _constraint_antecedents(constraint: Any, variable: Any, acc: Set[Any]) -> None:
+    """``antecedents:ofVariable:`` — walk back through one constraint."""
+    acc.add(constraint)
+    record = variable.last_set_by.dependency_record
+    for argument in constraint.arguments:
+        if argument is variable:
+            continue
+        if constraint.test_membership_of(argument, record):
+            antecedents(argument, acc)
+
+
+def consequences(variable: Any, acc: Set[Any] = None) -> Set[Any]:
+    """All variables whose values depend on the value of ``variable``.
+
+    Includes ``variable`` itself (as in the thesis's ``consequences:``);
+    use :func:`variable_consequences` for the erasure set excluding the
+    seed.
+    """
+    acc = set() if acc is None else acc
+    if variable in acc:
+        return acc
+    acc.add(variable)
+    for constraint in variable.constraints:
+        constraint_consequences(constraint, variable, acc)
+    return acc
+
+
+def constraint_consequences(constraint: Any, variable: Any,
+                            acc: Set[Any] = None) -> Set[Any]:
+    """``consequences:ofVariable:`` — values set by ``constraint`` that
+    depend on ``variable``, and their downstream consequences."""
+    acc = set() if acc is None else acc
+    for argument in constraint.arguments:
+        if argument is variable or argument in acc:
+            continue
+        if not _is_dependent(argument):
+            continue
+        justification = argument.last_set_by
+        if justification.constraint is not constraint:
+            continue
+        if constraint.test_membership_of(variable, justification.dependency_record):
+            consequences(argument, acc)
+    return acc
+
+
+def variable_consequences(variable: Any) -> Set[Any]:
+    """Every *other* variable depending on ``variable`` (for erasure)."""
+    acc = consequences(variable)
+    acc.discard(variable)
+    return acc

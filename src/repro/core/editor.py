@@ -1,0 +1,187 @@
+"""Textual constraint editor (section 5.4).
+
+The thesis's constraint editor is a Smalltalk window for inspecting and
+manipulating constraint networks: walking from a variable to its
+constraints and back, tracing antecedents and consequences, assigning
+values, instantiating or removing constraints, and toggling propagation.
+This module provides the same operations programmatically with textual
+rendering, suitable both for interactive use (``print(editor.show())``)
+and as the default "debugger" attached to violation handling.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from . import dependency
+from .constraint import Constraint
+from .engine import PropagationContext, default_context
+from .justification import USER, is_propagated
+from .variable import Variable
+from .violations import describe
+
+
+class ConstraintEditor:
+    """Walk and edit a constraint network through a current *focus*.
+
+    The focus is either a variable or a constraint; navigation moves it
+    along network edges the way the thesis's editor panes do.
+    """
+
+    def __init__(self, focus: Any = None,
+                 context: Optional[PropagationContext] = None) -> None:
+        self.focus = focus
+        self.context = context if context is not None else default_context()
+        self._trail: List[Any] = []
+
+    # -- navigation ----------------------------------------------------------
+
+    def focus_on(self, obj: Any) -> "ConstraintEditor":
+        """Move the focus, remembering the trail for :meth:`back`."""
+        if self.focus is not None:
+            self._trail.append(self.focus)
+        self.focus = obj
+        return self
+
+    def back(self) -> "ConstraintEditor":
+        if self._trail:
+            self.focus = self._trail.pop()
+        return self
+
+    def constraints_of_focus(self) -> List[Any]:
+        """All constraints associated with the focused variable."""
+        self._require(Variable)
+        return list(self.focus.all_constraints())
+
+    def variables_of_focus(self) -> List[Any]:
+        """All variables associated with the focused constraint."""
+        if not hasattr(self.focus, "arguments"):
+            raise TypeError("focus is not a constraint")
+        return list(self.focus.arguments)
+
+    # -- tracing ---------------------------------------------------------------
+
+    def antecedents(self) -> List[Any]:
+        """Everything the focused variable's value depends on."""
+        self._require(Variable)
+        result = dependency.antecedents(self.focus)
+        result.discard(self.focus)
+        return sorted(result, key=describe)
+
+    def consequences(self) -> List[Any]:
+        """Every variable depending on the focused variable's value."""
+        self._require(Variable)
+        result = dependency.variable_consequences(self.focus)
+        return sorted(result, key=describe)
+
+    # -- editing -----------------------------------------------------------------
+
+    def assign(self, value: Any) -> bool:
+        """Assign a user value to the focused variable (with propagation)."""
+        self._require(Variable)
+        return self.focus.set(value, USER)
+
+    def remove_focused_constraint(self) -> None:
+        """Remove the focused constraint from the network."""
+        if not isinstance(self.focus, Constraint):
+            raise TypeError("focus is not a removable constraint")
+        removed = self.focus
+        self.focus.remove()
+        self.focus = None
+        self._trail = [obj for obj in self._trail if obj is not removed]
+
+    def enable_propagation(self) -> None:
+        self.context.enabled = True
+
+    def disable_propagation(self) -> None:
+        """Set the CPSwitch off (section 5.3)."""
+        self.context.enabled = False
+
+    # -- rendering -------------------------------------------------------------------
+
+    def show(self) -> str:
+        """Textual rendering of the focus, like the editor's panes."""
+        if self.focus is None:
+            return "<no focus>"
+        if isinstance(self.focus, Variable):
+            return self._show_variable(self.focus)
+        if hasattr(self.focus, "arguments"):
+            return self._show_constraint(self.focus)
+        return repr(self.focus)
+
+    def _show_variable(self, variable: Variable) -> str:
+        lines = [
+            f"variable  {variable.qualified_name()}",
+            f"  value:      {variable.value!r}",
+            f"  lastSetBy:  {self._justification_text(variable)}",
+            "  constraints:",
+        ]
+        constraints = variable.all_constraints()
+        if constraints:
+            lines.extend(f"    [{i}] {describe(c)}"
+                         for i, c in enumerate(constraints))
+        else:
+            lines.append("    (none)")
+        return "\n".join(lines)
+
+    def _show_constraint(self, constraint: Any) -> str:
+        lines = [f"constraint  {describe(constraint)}", "  arguments:"]
+        for i, argument in enumerate(constraint.arguments):
+            lines.append(f"    [{i}] {argument.qualified_name()} = "
+                         f"{argument.value!r}")
+        lines.append(f"  satisfied: {constraint.is_satisfied()}")
+        return "\n".join(lines)
+
+    def show_network(self, *, max_depth: int = 4,
+                     max_nodes: int = 60) -> str:
+        """ASCII rendering of the network around the focused variable.
+
+        A breadth-limited tree: variables and the constraints linking
+        them, alternating levels, each object printed once (repeats show
+        as back-references).  The §9.3 wish for "a graphical display of
+        constraint networks", textually.
+        """
+        self._require(Variable)
+        lines: List[str] = []
+        seen: set = set()
+        count = 0
+
+        def emit(obj: Any, depth: int, via: str) -> None:
+            nonlocal count
+            if count >= max_nodes:
+                return
+            indent = "  " * depth
+            marker = f" <{via}>" if via else ""
+            if id(obj) in seen:
+                lines.append(f"{indent}({describe(obj)} ...){marker}")
+                return
+            seen.add(id(obj))
+            count += 1
+            if isinstance(obj, Variable):
+                lines.append(f"{indent}{obj.qualified_name()} = "
+                             f"{obj.value!r}{marker}")
+                if depth < max_depth:
+                    for constraint in obj.all_constraints():
+                        emit(constraint, depth + 1, "constraint")
+            else:
+                lines.append(f"{indent}[{describe(obj)}]{marker}")
+                if depth < max_depth:
+                    for argument in getattr(obj, "arguments", []):
+                        if argument is not None:
+                            emit(argument, depth + 1, "argument")
+
+        emit(self.focus, 0, "")
+        if count >= max_nodes:
+            lines.append("... (truncated)")
+        return "\n".join(lines)
+
+    @staticmethod
+    def _justification_text(variable: Variable) -> str:
+        justification = variable.last_set_by
+        if is_propagated(justification):
+            return f"propagated by {describe(justification.constraint)}"
+        return repr(justification)
+
+    def _require(self, kind: type) -> None:
+        if not isinstance(self.focus, kind):
+            raise TypeError(f"focus is not a {kind.__name__}")

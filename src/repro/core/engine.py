@@ -1,0 +1,499 @@
+"""The constraint propagation engine.
+
+Implements the propagation process of thesis section 4.2: a depth-first
+traversal of the constraint network triggered by a value assignment,
+alternating between variables (spreading to their constraints) and
+constraints (inferring values for further variables), followed by draining
+the fixed-priority agendas and a final ``is_satisfied`` sweep over every
+visited constraint.
+
+The Smalltalk implementation keeps its bookkeeping in globals
+(``VisitedConstraintsAndVariables``, the agenda scheduler, the ``CPSwitch``
+disable flag).  Here the equivalent state lives in an explicit
+:class:`PropagationContext`; variables and constraints belong to a context
+and all propagation rounds for a network run inside it.  A module-level
+default context preserves the convenience of the global style for small
+programs and tests.
+
+Key behaviours reproduced:
+
+* **One-value-change rule** (section 4.2.2): no variable may change value
+  twice in one round; cyclic networks therefore terminate with a violation
+  rather than looping (Fig. 4.9).  The relaxed N-change rule suggested in
+  section 9.2.3 is available via ``max_changes_per_variable``.
+* **Violation handling** (section 4.2.3 / 5.2): on violation the network is
+  restored to its pre-round state, the context's handler is notified, and
+  the assignment returns ``False`` — the validity feedback design tools use.
+* **Propagation disable switch** (section 5.3): with ``enabled = False``
+  assignments store values directly and constraint editing performs no
+  local propagation.
+* **Tentative probing** (Fig. 8.2 ``canBeSetTo:``): propagate a trial value
+  and restore unconditionally, reporting only whether a violation occurred.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+from .agenda import AgendaScheduler, DEFAULT_PRIORITY_ORDER
+from .justification import TENTATIVE, USER, Justification
+from .violations import (
+    PropagationViolation,
+    ViolationHandler,
+    ViolationRecord,
+    WarningHandler,
+)
+
+
+class PropagationStats:
+    """Counters describing propagation activity.
+
+    These are the raw material for the efficiency experiments: agenda
+    deferral (E2) is measured by ``inference_runs``, hierarchical sharing
+    (E6) by ``propagated_assignments``, and the complexity claim (E16) by
+    ``constraint_activations``.
+    """
+
+    __slots__ = ("rounds", "external_assignments", "propagated_assignments",
+                 "ignored_propagations", "constraint_activations",
+                 "inference_runs", "scheduled_entries", "violations",
+                 "satisfaction_checks")
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self.rounds = 0
+        self.external_assignments = 0
+        self.propagated_assignments = 0
+        self.ignored_propagations = 0
+        self.constraint_activations = 0
+        self.inference_runs = 0
+        self.scheduled_entries = 0
+        self.violations = 0
+        self.satisfaction_checks = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __repr__(self) -> str:
+        body = ", ".join(f"{k}={v}" for k, v in self.snapshot().items())
+        return f"PropagationStats({body})"
+
+
+class _Round:
+    """Bookkeeping for one propagation round.
+
+    ``visited`` maps each touched variable to its pre-round
+    ``(last_set_by, value)`` so the network can be restored (the global
+    dictionary of section 4.2.2); ``changes`` counts value changes per
+    variable for the one-value-change rule; ``visited_constraints`` records
+    activation order for the final satisfaction sweep.
+    """
+
+    __slots__ = ("visited", "changes", "visited_constraints",
+                 "_constraint_ids", "max_changes", "silent",
+                 "_tick", "set_ticks")
+
+    def __init__(self, max_changes: int, silent: bool = False) -> None:
+        self.visited: Dict[Any, Tuple[Justification, Any]] = {}
+        self.changes: Dict[Any, int] = {}
+        self.visited_constraints: List[Any] = []
+        self._constraint_ids: set = set()
+        self.max_changes = max_changes
+        self.silent = silent
+        self._tick = 0
+        self.set_ticks: Dict[Any, int] = {}
+
+    def record_visit(self, variable: Any) -> None:
+        if variable not in self.visited:
+            self.visited[variable] = (variable.last_set_by,
+                                      variable.raw_value)
+
+    def was_visited(self, variable: Any) -> bool:
+        return variable in self.visited
+
+    def times_changed(self, variable: Any) -> int:
+        return self.changes.get(variable, 0)
+
+    def note_change(self, variable: Any) -> None:
+        self.changes[variable] = self.changes.get(variable, 0) + 1
+        self._tick += 1
+        self.set_ticks[variable] = self._tick
+
+    def may_recompute(self, variable: Any, constraint: Any) -> bool:
+        """May ``constraint`` update a result it already set this round?
+
+        Reconvergent fan-out support (thesis section 9.2.3 discusses the
+        limitation; this is the dependency-aware refinement it points to):
+        a constraint that owns a variable's current value may recompute it
+        when one of its other arguments changed *after* the value was
+        computed — a legitimate transient update, not a cycle.  A cap tied
+        to the round size bounds divergent cyclic networks.
+        """
+        if variable.source_constraint() is not constraint:
+            return False
+        if self.times_changed(variable) >= len(self.visited) + 2:
+            return False  # livelock guard for divergent cycles
+        computed_at = self.set_ticks.get(variable, 0)
+        return any(self.set_ticks.get(argument, 0) > computed_at
+                   for argument in constraint.arguments
+                   if argument is not variable)
+
+    def note_constraint(self, constraint: Any) -> None:
+        key = id(constraint)
+        if key not in self._constraint_ids:
+            self._constraint_ids.add(key)
+            self.visited_constraints.append(constraint)
+
+
+class PropagationContext:
+    """Shared propagation state for one family of constraint networks.
+
+    Parameters
+    ----------
+    priority_order:
+        Agenda names, highest priority first (section 4.2.1 / 5.1.2).
+    max_changes_per_variable:
+        The N of the (relaxed) one-value-change rule; 1 reproduces the
+        thesis's rule exactly.
+    handler:
+        Violation handler invoked after state restoration; defaults to a
+        silent :class:`~repro.core.violations.WarningHandler`.
+    """
+
+    def __init__(self, *,
+                 priority_order: Tuple[str, ...] = DEFAULT_PRIORITY_ORDER,
+                 max_changes_per_variable: int = 1,
+                 handler: Optional[ViolationHandler] = None) -> None:
+        self.enabled = True
+        self.scheduler = AgendaScheduler(priority_order)
+        self.max_changes_per_variable = max_changes_per_variable
+        self.handler = handler if handler is not None else WarningHandler()
+        self.stats = PropagationStats()
+        #: Optional fine-grained enable/disable control (section 9.3);
+        #: installed by :class:`repro.core.control.PropagationControl`.
+        self.control = None
+        #: Optional :class:`repro.core.trace.PropagationTrace` recorder.
+        self.tracer = None
+        self._round: Optional[_Round] = None
+
+    def _trace(self, kind, subject, detail: str = "") -> None:
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.record(kind, subject, detail)
+
+    def _allows(self, constraint: Any) -> bool:
+        control = self.control
+        return control is None or control.allows(constraint)
+
+    # -- round management -------------------------------------------------
+
+    @property
+    def in_round(self) -> bool:
+        return self._round is not None
+
+    def require_round(self) -> _Round:
+        if self._round is None:
+            raise RuntimeError("propagated assignment outside a propagation round")
+        return self._round
+
+    #: Recursion limit ensured while a round runs.  Propagation is a
+    #: depth-first traversal implemented with Python recursion (as the
+    #: thesis's message sends are); long chains need headroom beyond
+    #: CPython's default 1000.  Pure-Python frames are heap-allocated on
+    #: modern CPython, so this is safe.
+    RECURSION_HEADROOM = 50_000
+
+    @contextmanager
+    def _round_scope(self, silent: bool = False) -> Iterator[_Round]:
+        if self._round is not None:
+            raise RuntimeError("propagation rounds do not nest")
+        rnd = _Round(self.max_changes_per_variable, silent=silent)
+        self._round = rnd
+        self.stats.rounds += 1
+        import sys
+        previous_limit = sys.getrecursionlimit()
+        if previous_limit < self.RECURSION_HEADROOM:
+            sys.setrecursionlimit(self.RECURSION_HEADROOM)
+        try:
+            yield rnd
+        finally:
+            self._round = None
+            self.scheduler.clear()
+            if previous_limit < self.RECURSION_HEADROOM:
+                sys.setrecursionlimit(previous_limit)
+
+    @contextmanager
+    def propagation_disabled(self) -> Iterator[None]:
+        """Temporarily set the ``CPSwitch`` off (section 5.3)."""
+        previous = self.enabled
+        self.enabled = False
+        try:
+            yield
+        finally:
+            self.enabled = previous
+
+    # -- assignment entry points ------------------------------------------
+
+    def assign(self, variable: Any, value: Any,
+               justification: Justification = USER) -> bool:
+        """External value assignment (``setTo:justification:``).
+
+        Returns True when the assignment and all triggered propagation
+        completed without violation; False when a violation occurred (the
+        network is then restored to its prior state).
+        """
+        if not self.enabled:
+            variable._store(value, justification)
+            return True
+        if self._round is not None:
+            # A tool assigning a value while propagation is running (e.g.
+            # a recalculation triggered mid-round) joins the active round.
+            self._in_round_external_assignment(variable, value, justification)
+            return True
+        self.stats.external_assignments += 1
+        self._trace("round-start", variable, f"set to {value!r}")
+        with self._round_scope() as rnd:
+            rnd.record_visit(variable)
+            variable._store(value, justification)
+            rnd.note_change(variable)
+            try:
+                variable.on_stored_by_assignment()
+                self.spread(variable)
+                self.drain_agendas()
+                self.check_visited_constraints()
+            except PropagationViolation as signal:
+                self._abort_round(rnd, signal)
+                return False
+            except BaseException:
+                # A defective constraint implementation must not leave
+                # the network half-updated: restore, then re-raise.
+                self._restore(rnd)
+                raise
+        self._trace("round-end", variable)
+        return True
+
+    def _in_round_external_assignment(self, variable: Any, value: Any,
+                                      justification: Justification) -> None:
+        rnd = self.require_round()
+        rnd.record_visit(variable)
+        variable._store(value, justification)
+        rnd.note_change(variable)
+        variable.on_stored_by_assignment()
+        self.spread(variable)
+
+    def probe(self, variable: Any, value: Any,
+              justification: Justification = TENTATIVE) -> bool:
+        """Tentatively assign, propagate, then restore (Fig. 8.2).
+
+        Returns True when the value would be accepted without violation.
+        No violation handler runs; the network is always restored.
+        """
+        if not self.enabled:
+            return True
+        if self._round is not None:
+            raise RuntimeError("cannot probe while propagation is running")
+        ok = True
+        with self._round_scope(silent=True) as rnd:
+            rnd.record_visit(variable)
+            variable._store(value, justification)
+            rnd.note_change(variable)
+            try:
+                self.spread(variable)
+                self.drain_agendas()
+                self.check_visited_constraints()
+            except PropagationViolation:
+                ok = False
+            finally:
+                self._restore(rnd)
+        return ok
+
+    def repropagate_constraint(self, constraint: Any) -> bool:
+        """Re-initialise a constraint's variables after network editing.
+
+        Implements ``reinitializeVariables`` / ``rePropagate`` (Fig. 4.13):
+        the constraint's arguments, ordered user-specified first, then
+        constraint-dependent, then other independents, each assert and
+        propagate their current value through the edited constraint.
+        """
+        if not self.enabled:
+            return True
+        if self._round is not None:
+            # Constraint created while a round runs (e.g. by a compiler
+            # invoked from propagation): propagate within that round.
+            return self._repropagate_within(self.require_round(), constraint)
+        with self._round_scope() as rnd:
+            try:
+                self._repropagate_within(rnd, constraint)
+                self.check_visited_constraints()
+            except PropagationViolation as signal:
+                self._abort_round(rnd, signal)
+                return False
+            except BaseException:
+                self._restore(rnd)
+                raise
+        return True
+
+    def _repropagate_within(self, rnd: _Round, constraint: Any) -> bool:
+        if not self._allows(constraint):
+            return True
+        rnd.note_constraint(constraint)
+        for argument in _precedence_ordered(constraint.arguments):
+            if rnd.was_visited(argument):
+                continue
+            rnd.record_visit(argument)
+            self.stats.constraint_activations += 1
+            constraint.propagate_variable(argument)
+            self.drain_agendas()
+        return True
+
+    # -- propagation machinery --------------------------------------------
+
+    def spread(self, variable: Any, exclude: Any = None) -> None:
+        """Activate every constraint of a changed variable (``propagate``).
+
+        ``exclude`` is the constraint that produced the change, which must
+        not be re-activated (``setTo:constraint:justification:``).
+        """
+        rnd = self.require_round()
+        for constraint in variable.all_constraints():
+            if constraint is exclude:
+                continue
+            if not self._allows(constraint):
+                continue
+            rnd.note_constraint(constraint)
+            self.stats.constraint_activations += 1
+            constraint.propagate_variable(variable)
+
+    def propagated_assignment(self, variable: Any, value: Any,
+                              constraint: Any, justification: Justification) -> None:
+        """Assignment performed by a constraint during propagation.
+
+        Applies the termination criteria of section 4.2.2 before storing:
+        an agreeing value stops the wavefront silently; a disagreeing value
+        on a protected or already-changed variable raises a violation.
+        """
+        rnd = self.require_round()
+        decision = variable.classify_propagated(value, constraint)
+        if decision == "ignore":
+            self.stats.ignored_propagations += 1
+            self._trace("ignore", variable, f"{value!r} agrees/defers")
+            return
+        if rnd.times_changed(variable) >= rnd.max_changes \
+                and not rnd.may_recompute(variable, constraint):
+            raise PropagationViolation(
+                variable=variable, constraint=constraint, attempted_value=value,
+                reason=(f"variable already changed {rnd.times_changed(variable)} "
+                        f"time(s) this round (one-value-change rule)"))
+        if decision == "violate":
+            raise PropagationViolation(
+                variable=variable, constraint=constraint, attempted_value=value,
+                reason=(f"propagated value {value!r} conflicts with "
+                        f"{variable.last_set_by!r} value {variable.value!r}"))
+        rnd.record_visit(variable)
+        variable._store(value, justification)
+        rnd.note_change(variable)
+        self.stats.propagated_assignments += 1
+        self._trace("store", variable,
+                    f":= {value!r} by {constraint!r}")
+        variable.on_stored_by_assignment()
+        self.spread(variable, exclude=constraint)
+
+    def drain_agendas(self) -> None:
+        """Propagate scheduled constraints until all agendas are empty."""
+        rnd = self.require_round()
+        while True:
+            entry = self.scheduler.remove_highest_priority_entry()
+            if entry is None:
+                return
+            constraint, variable = entry
+            if not self._allows(constraint):
+                continue
+            rnd.note_constraint(constraint)
+            self.stats.inference_runs += 1
+            self._trace("infer", constraint)
+            constraint.propagate_scheduled(variable)
+
+    def check_visited_constraints(self) -> None:
+        """Final sweep: every visited constraint must be satisfied."""
+        rnd = self.require_round()
+        for constraint in list(rnd.visited_constraints):
+            if not self._allows(constraint):
+                continue
+            self.stats.satisfaction_checks += 1
+            if not constraint.is_satisfied():
+                raise PropagationViolation(
+                    constraint=constraint,
+                    reason=f"constraint unsatisfied after propagation: "
+                           f"{constraint!r}")
+
+    # -- violation handling -------------------------------------------------
+
+    def _abort_round(self, rnd: _Round, signal: PropagationViolation) -> None:
+        """Report, then restore (section 5.2).
+
+        The handler runs while the violating state is still in place —
+        STEM's "debug" option opens the constraint editor on exactly that
+        state — and restoration happens unconditionally afterwards (the
+        "proceed" semantics), even if the handler raises.
+        """
+        self.stats.violations += 1
+        self._trace("violation", signal.constraint or signal.variable,
+                    signal.reason)
+        record = ViolationRecord.from_signal(signal)
+        try:
+            if not rnd.silent:
+                constraint = signal.constraint
+                handler = (getattr(constraint, "violation_handler", None)
+                           or self.handler)
+                handler.handle(record)
+        finally:
+            self._restore(rnd)
+            self._trace("restore", None,
+                        f"{len(rnd.visited)} variable(s) restored")
+            self.scheduler.clear()
+
+    @staticmethod
+    def _restore(rnd: _Round) -> None:
+        """Restore every visited variable to its pre-round state."""
+        for variable, (justification, value) in rnd.visited.items():
+            variable._store(value, justification)
+
+
+def _precedence_ordered(arguments: List[Any]) -> List[Any]:
+    """Order arguments for re-propagation (Fig. 4.13).
+
+    User-specified values assert first, then constraint-dependent values,
+    then other independents (#APPLICATION etc.), so higher-precedence
+    values win any tug-of-war over the edited constraint.
+    """
+    from .justification import is_propagated, is_user
+
+    user_specified, dependents, others = [], [], []
+    for argument in arguments:
+        justification = argument.last_set_by
+        if is_user(justification):
+            user_specified.append(argument)
+        elif is_propagated(justification):
+            dependents.append(argument)
+        else:
+            others.append(argument)
+    return user_specified + dependents + others
+
+
+#: Module-level default context — the convenient "global" of the thesis.
+_default_context = PropagationContext()
+
+
+def default_context() -> PropagationContext:
+    """Return the process-wide default :class:`PropagationContext`."""
+    return _default_context
+
+
+def reset_default_context(**kwargs: Any) -> PropagationContext:
+    """Replace the default context (used by test isolation fixtures)."""
+    global _default_context
+    _default_context = PropagationContext(**kwargs)
+    return _default_context

@@ -1,0 +1,206 @@
+"""Violation diagnosis and recommended actions (section 9.3, suggestion 1).
+
+The thesis's first future-work item: a user interface that "can be
+linked to the constraint debugger, and be brought up whenever
+constraints are violated to provide diagnostic explanations and
+recommended actions to the user."  This module generates those
+explanations textually:
+
+* :func:`explain` — a structured diagnosis of one
+  :class:`~repro.core.violations.ViolationRecord`: what was attempted,
+  which constraint objected, which user/tool decisions the conflicting
+  value rests on (antecedent analysis over dependency records), and what
+  would be affected by changing it (consequence analysis);
+* recommended actions, ranked: relax the violated specification, change
+  one of the independent antecedent values, remove the constraint, or
+  disable it and proceed;
+* :class:`ExplainingHandler` — a violation handler producing these
+  diagnoses automatically, suitable as the context handler.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from . import dependency
+from .constraint import Constraint
+from .justification import is_propagated, is_user
+from .predicates import (
+    LowerBoundConstraint,
+    PredicateConstraint,
+    RangeConstraint,
+    UpperBoundConstraint,
+)
+from .variable import Variable
+from .violations import ViolationHandler, ViolationRecord, describe
+
+
+class Recommendation:
+    """One suggested corrective action."""
+
+    __slots__ = ("action", "target", "detail")
+
+    def __init__(self, action: str, target: Any, detail: str) -> None:
+        self.action = action
+        self.target = target
+        self.detail = detail
+
+    def __str__(self) -> str:
+        return f"[{self.action}] {self.detail}"
+
+
+class Diagnosis:
+    """A structured explanation of one violation."""
+
+    def __init__(self, record: ViolationRecord) -> None:
+        self.record = record
+        self.independent_antecedents: List[Variable] = []
+        self.affected_consequences: List[Variable] = []
+        self.recommendations: List[Recommendation] = []
+
+    def render(self) -> str:
+        lines = [f"violation: {self.record.reason}"]
+        if self.record.constraint is not None:
+            lines.append(f"  violated constraint: "
+                         f"{describe(self.record.constraint)}")
+        if self.record.variable is not None:
+            lines.append(f"  at variable: "
+                         f"{describe(self.record.variable)} "
+                         f"(attempted {self.record.attempted_value!r})")
+        if self.independent_antecedents:
+            lines.append("  the conflicting state rests on:")
+            for variable in self.independent_antecedents:
+                lines.append(f"    - {variable.qualified_name()} = "
+                             f"{variable.value!r} ({variable.last_set_by!r})")
+        if self.affected_consequences:
+            lines.append("  values that would be affected by changing it:")
+            for variable in self.affected_consequences[:8]:
+                lines.append(f"    - {variable.qualified_name()} = "
+                             f"{variable.value!r}")
+            if len(self.affected_consequences) > 8:
+                lines.append(f"    ... and "
+                             f"{len(self.affected_consequences) - 8} more")
+        if self.recommendations:
+            lines.append("  recommended actions:")
+            for i, recommendation in enumerate(self.recommendations, 1):
+                lines.append(f"    {i}. {recommendation}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def explain(record: ViolationRecord) -> Diagnosis:
+    """Build a diagnosis with antecedents, consequences and actions."""
+    diagnosis = Diagnosis(record)
+    variable = record.variable
+    constraint = record.constraint
+
+    anchor: Optional[Variable] = variable
+    if anchor is None and constraint is not None \
+            and getattr(constraint, "arguments", None):
+        anchor = constraint.arguments[0]
+
+    if anchor is not None:
+        antecedents = dependency.antecedents(anchor)
+        diagnosis.independent_antecedents = sorted(
+            (obj for obj in antecedents
+             if isinstance(obj, Variable) and not obj.is_dependent()
+             and obj.value is not None),
+            key=lambda v: v.qualified_name())
+        diagnosis.affected_consequences = sorted(
+            dependency.variable_consequences(anchor),
+            key=lambda v: v.qualified_name())
+
+    diagnosis.recommendations = _recommend(record, diagnosis)
+    return diagnosis
+
+
+def _recommend(record: ViolationRecord,
+               diagnosis: Diagnosis) -> List[Recommendation]:
+    recommendations: List[Recommendation] = []
+    constraint = record.constraint
+    variable = record.variable
+
+    if isinstance(constraint, UpperBoundConstraint):
+        recommendations.append(Recommendation(
+            "relax-spec", constraint,
+            f"raise the bound of {describe(constraint)} above "
+            f"{_needed_value(record)!r}"))
+    elif isinstance(constraint, LowerBoundConstraint):
+        recommendations.append(Recommendation(
+            "relax-spec", constraint,
+            f"lower the bound of {describe(constraint)} below "
+            f"{_needed_value(record)!r}"))
+    elif isinstance(constraint, RangeConstraint):
+        recommendations.append(Recommendation(
+            "relax-spec", constraint,
+            f"widen the range of {describe(constraint)} to admit "
+            f"{_needed_value(record)!r}"))
+    elif isinstance(constraint, PredicateConstraint):
+        recommendations.append(Recommendation(
+            "relax-spec", constraint,
+            f"revise the specification {describe(constraint)}"))
+
+    if variable is not None and is_user(variable.last_set_by) \
+            and record.attempted_value is not None:
+        recommendations.append(Recommendation(
+            "revise-decision", variable,
+            f"the designer fixed {variable.qualified_name()} = "
+            f"{variable.value!r}; changing it to "
+            f"{record.attempted_value!r} would resolve the conflict"))
+
+    for antecedent in diagnosis.independent_antecedents:
+        if antecedent is variable:
+            continue
+        recommendations.append(Recommendation(
+            "change-design", antecedent,
+            f"revise {antecedent.qualified_name()} = "
+            f"{antecedent.value!r}, which the conflicting value "
+            f"derives from"))
+        if len(recommendations) >= 5:
+            break
+
+    if constraint is not None:
+        recommendations.append(Recommendation(
+            "remove-constraint", constraint,
+            f"remove {describe(constraint)} if the relation no longer "
+            f"reflects design intent"))
+        recommendations.append(Recommendation(
+            "disable-and-proceed", constraint,
+            "disable this constraint (PropagationControl) and continue; "
+            "re-enable after the revision settles"))
+    return recommendations
+
+
+def _needed_value(record: ViolationRecord) -> Any:
+    if record.attempted_value is not None:
+        return record.attempted_value
+    if record.constraint is not None \
+            and getattr(record.constraint, "arguments", None):
+        return record.constraint.arguments[0].value
+    return None
+
+
+class ExplainingHandler(ViolationHandler):
+    """A handler that diagnoses every violation it sees.
+
+    ``diagnoses`` collects :class:`Diagnosis` objects; an optional sink
+    callback receives the rendered text (print, log, UI...).
+    """
+
+    def __init__(self, sink: Optional[Any] = None) -> None:
+        super().__init__()
+        self.sink = sink
+        self.diagnoses: List[Diagnosis] = []
+
+    def handle(self, record: ViolationRecord) -> None:
+        super().handle(record)
+        diagnosis = explain(record)
+        self.diagnoses.append(diagnosis)
+        if self.sink is not None:
+            self.sink(diagnosis.render())
+
+    @property
+    def last_diagnosis(self) -> Optional[Diagnosis]:
+        return self.diagnoses[-1] if self.diagnoses else None

@@ -1,0 +1,466 @@
+"""Constraint satisfaction beyond local propagation (section 9.3, sugg. 4).
+
+Propagation only ever *checks* values using local information; the thesis
+names constraint satisfaction — solving networks by global consideration
+— as the natural extension, and chapter 2 surveys the classic methods it
+has in mind (ThingLab's one-pass planning and relaxation, interval-style
+reasoning in EL).  This module provides three solvers over the same
+constraint objects the propagation engine uses:
+
+* :class:`IntervalSolver` — bounds propagation to a fixpoint: each
+  constraint narrows intervals of its arguments (arc-consistency style);
+  detects infeasible networks and can extract point solutions when every
+  interval collapses.
+* :func:`plan_one_pass` / :func:`solve_one_pass` — ThingLab's one-pass
+  method: order the constraints so each is satisfied by computing exactly
+  one still-free variable; fails on shapes that need simultaneous
+  solution.
+* :class:`RelaxationSolver` — numeric relaxation: minimise the summed
+  squared residuals of all constraints over the free variables
+  (scipy.optimize), the fallback ThingLab uses when one-pass planning
+  fails.
+
+Solvers *propose* assignments; committing them goes through the normal
+engine (``set``) so every other constraint still gets its say.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from .constraint import Constraint
+from .functional import (
+    FunctionalConstraint,
+    ScaleOffsetConstraint,
+    UniAdditionConstraint,
+    UniMaximumConstraint,
+    UniMinimumConstraint,
+)
+from .justification import APPLICATION
+from .library import EqualityConstraint
+from .predicates import (
+    LowerBoundConstraint,
+    OrderingConstraint,
+    RangeConstraint,
+    UpperBoundConstraint,
+)
+from .variable import Variable
+
+INF = math.inf
+
+
+class Interval:
+    """A closed numeric interval [low, high]; empty when low > high."""
+
+    __slots__ = ("low", "high")
+
+    def __init__(self, low: float = -INF, high: float = INF) -> None:
+        self.low = low
+        self.high = high
+
+    @classmethod
+    def exactly(cls, value: float) -> "Interval":
+        return cls(value, value)
+
+    def is_empty(self) -> bool:
+        return self.low > self.high
+
+    def is_point(self) -> bool:
+        return self.low == self.high
+
+    def intersect(self, other: "Interval") -> "Interval":
+        return Interval(max(self.low, other.low), min(self.high, other.high))
+
+    def __add__(self, other: "Interval") -> "Interval":
+        return Interval(self.low + other.low, self.high + other.high)
+
+    def __sub__(self, other: "Interval") -> "Interval":
+        return Interval(self.low - other.high, self.high - other.low)
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, Interval)
+                and (self.low, self.high) == (other.low, other.high))
+
+    def __repr__(self) -> str:
+        return f"[{self.low}, {self.high}]"
+
+
+class Infeasible(Exception):
+    """The network admits no solution (an interval became empty)."""
+
+    def __init__(self, variable: Any, constraint: Any = None) -> None:
+        self.variable = variable
+        self.constraint = constraint
+        super().__init__(f"no feasible value for {variable!r}"
+                         + (f" under {constraint!r}" if constraint else ""))
+
+
+def collect_network(variables: Iterable[Variable]
+                    ) -> Tuple[List[Variable], List[Constraint]]:
+    """The connected variables and constraints reachable from ``variables``."""
+    seen_vars: List[Variable] = []
+    seen_var_ids: Set[int] = set()
+    constraints: List[Constraint] = []
+    seen_constraint_ids: Set[int] = set()
+    stack = list(variables)
+    while stack:
+        variable = stack.pop()
+        if id(variable) in seen_var_ids:
+            continue
+        seen_var_ids.add(id(variable))
+        seen_vars.append(variable)
+        for constraint in variable.all_constraints():
+            if id(constraint) in seen_constraint_ids:
+                continue
+            seen_constraint_ids.add(id(constraint))
+            constraints.append(constraint)
+            for argument in getattr(constraint, "arguments", []):
+                if id(argument) not in seen_var_ids:
+                    stack.append(argument)
+    return seen_vars, constraints
+
+
+# ---------------------------------------------------------------------------
+# Interval solving
+# ---------------------------------------------------------------------------
+
+class IntervalSolver:
+    """Bounds propagation to a fixpoint over a constraint network.
+
+    Known values become point intervals; narrowing rules per constraint
+    type tighten the rest.  ``solve`` raises :class:`Infeasible` when an
+    interval empties; :meth:`point_solution` extracts values for every
+    variable whose interval collapsed.
+    """
+
+    def __init__(self, variables: Iterable[Variable],
+                 max_iterations: int = 1000) -> None:
+        self.variables, self.constraints = collect_network(variables)
+        self.max_iterations = max_iterations
+        self.intervals: Dict[int, Interval] = {}
+        for variable in self.variables:
+            if isinstance(variable.value, (int, float)) \
+                    and not isinstance(variable.value, bool):
+                self.intervals[id(variable)] = Interval.exactly(variable.value)
+            else:
+                self.intervals[id(variable)] = Interval()
+
+    def interval_of(self, variable: Variable) -> Interval:
+        return self.intervals[id(variable)]
+
+    def _narrow(self, variable: Variable, tighter: Interval,
+                constraint: Any) -> bool:
+        current = self.intervals[id(variable)]
+        updated = current.intersect(tighter)
+        if updated.is_empty():
+            raise Infeasible(variable, constraint)
+        if updated == current:
+            return False
+        self.intervals[id(variable)] = updated
+        return True
+
+    def solve(self) -> Dict[Variable, Interval]:
+        """Iterate all narrowing rules to a fixpoint."""
+        for _iteration in range(self.max_iterations):
+            changed = False
+            for constraint in self.constraints:
+                changed |= self._apply(constraint)
+            if not changed:
+                break
+        return {variable: self.intervals[id(variable)]
+                for variable in self.variables}
+
+    def point_solution(self) -> Dict[Variable, float]:
+        """Values for every variable whose interval collapsed to a point."""
+        self.solve()
+        return {variable: self.intervals[id(variable)].low
+                for variable in self.variables
+                if self.intervals[id(variable)].is_point()}
+
+    # -- narrowing rules per constraint kind ------------------------------------
+
+    def _apply(self, constraint: Any) -> bool:
+        if isinstance(constraint, EqualityConstraint):
+            return self._apply_equality(constraint)
+        if isinstance(constraint, UniAdditionConstraint):
+            return self._apply_addition(constraint)
+        if isinstance(constraint, ScaleOffsetConstraint):
+            return self._apply_scale_offset(constraint)
+        if isinstance(constraint, (UniMaximumConstraint, UniMinimumConstraint)):
+            return self._apply_extremum(constraint)
+        if isinstance(constraint, UpperBoundConstraint):
+            return self._narrow(constraint.arguments[0],
+                                Interval(-INF, constraint.bound), constraint)
+        if isinstance(constraint, LowerBoundConstraint):
+            return self._narrow(constraint.arguments[0],
+                                Interval(constraint.bound, INF), constraint)
+        if isinstance(constraint, RangeConstraint):
+            return self._narrow(constraint.arguments[0],
+                                Interval(constraint.low, constraint.high),
+                                constraint)
+        if isinstance(constraint, OrderingConstraint):
+            return self._apply_ordering(constraint)
+        return False  # unknown kinds contribute no narrowing
+
+    def _apply_equality(self, constraint: EqualityConstraint) -> bool:
+        arguments = constraint.arguments
+        meet = Interval()
+        for argument in arguments:
+            meet = meet.intersect(self.intervals[id(argument)])
+        if meet.is_empty():
+            raise Infeasible(arguments[0], constraint)
+        changed = False
+        for argument in arguments:
+            changed |= self._narrow(argument, meet, constraint)
+        return changed
+
+    def _apply_addition(self, constraint: UniAdditionConstraint) -> bool:
+        result = constraint.result_variable
+        inputs = constraint.inputs
+        changed = False
+        total = Interval(0.0, 0.0)
+        for argument in inputs:
+            total = total + self.intervals[id(argument)]
+        changed |= self._narrow(result, total, constraint)
+        # backward: each input = result - sum(others)
+        for argument in inputs:
+            others = Interval(0.0, 0.0)
+            for other in inputs:
+                if other is not argument:
+                    others = others + self.intervals[id(other)]
+            changed |= self._narrow(
+                argument, self.intervals[id(result)] - others, constraint)
+        return changed
+
+    def _apply_scale_offset(self, constraint: ScaleOffsetConstraint) -> bool:
+        result = constraint.result_variable
+        (source,) = constraint.inputs
+        scale, offset = constraint.scale, constraint.offset
+        src = self.intervals[id(source)]
+        if scale >= 0:
+            forward = Interval(scale * src.low + offset,
+                               scale * src.high + offset)
+        else:
+            forward = Interval(scale * src.high + offset,
+                               scale * src.low + offset)
+        changed = self._narrow(result, forward, constraint)
+        if scale != 0:
+            res = self.intervals[id(result)]
+            bounds = sorted(((res.low - offset) / scale,
+                             (res.high - offset) / scale))
+            changed |= self._narrow(source, Interval(*bounds), constraint)
+        return changed
+
+    def _apply_extremum(self, constraint: Any) -> bool:
+        result = constraint.result_variable
+        inputs = constraint.inputs
+        is_max = isinstance(constraint, UniMaximumConstraint)
+        lows = [self.intervals[id(v)].low for v in inputs]
+        highs = [self.intervals[id(v)].high for v in inputs]
+        if is_max:
+            forward = Interval(max(lows), max(highs))
+        else:
+            forward = Interval(min(lows), min(highs))
+        changed = self._narrow(result, forward, constraint)
+        res = self.intervals[id(result)]
+        for argument in inputs:
+            if is_max:
+                changed |= self._narrow(argument, Interval(-INF, res.high),
+                                        constraint)
+            else:
+                changed |= self._narrow(argument, Interval(res.low, INF),
+                                        constraint)
+        return changed
+
+    def _apply_ordering(self, constraint: OrderingConstraint) -> bool:
+        first, second = constraint.arguments
+        hi = self.intervals[id(second)].high
+        lo = self.intervals[id(first)].low
+        changed = self._narrow(first, Interval(-INF, hi), constraint)
+        changed |= self._narrow(second, Interval(lo, INF), constraint)
+        return changed
+
+
+# ---------------------------------------------------------------------------
+# One-pass planning (ThingLab, section 2.2.3)
+# ---------------------------------------------------------------------------
+
+class PlanStep:
+    """Satisfy one constraint by computing one target variable."""
+
+    __slots__ = ("constraint", "target", "method")
+
+    def __init__(self, constraint: Any, target: Variable,
+                 method: Callable[[], Any]) -> None:
+        self.constraint = constraint
+        self.target = target
+        self.method = method
+
+    def __repr__(self) -> str:
+        return f"<PlanStep {self.target.qualified_name()} via " \
+               f"{type(self.constraint).__name__}>"
+
+
+def plan_one_pass(variables: Iterable[Variable]) -> Optional[List[PlanStep]]:
+    """Order constraints so each assigns exactly one free variable.
+
+    Known variables are those with non-None values.  Returns None when no
+    such ordering exists (the network needs simultaneous solution — the
+    case where ThingLab falls back to relaxation).
+    """
+    _, constraints = collect_network(variables)
+    known: Set[int] = set()
+    for variable in _:
+        if variable.value is not None:
+            known.add(id(variable))
+    pending = [c for c in constraints if _solvable_kinds(c)]
+    plan: List[PlanStep] = []
+    progress = True
+    while pending and progress:
+        progress = False
+        for constraint in list(pending):
+            step = _plan_step(constraint, known)
+            if step is not None:
+                plan.append(step)
+                known.add(id(step.target))
+                pending.remove(constraint)
+                progress = True
+            elif _fully_known(constraint, known):
+                pending.remove(constraint)
+                progress = True
+    if pending:
+        return None
+    return plan
+
+
+def _solvable_kinds(constraint: Any) -> bool:
+    return isinstance(constraint, (EqualityConstraint, FunctionalConstraint))
+
+
+def _fully_known(constraint: Any, known: Set[int]) -> bool:
+    return all(id(v) in known or v.value is not None
+               for v in constraint.arguments)
+
+
+def _plan_step(constraint: Any, known: Set[int]) -> Optional[PlanStep]:
+    def is_known(variable: Variable) -> bool:
+        return id(variable) in known or variable.value is not None
+
+    unknowns = [v for v in constraint.arguments if not is_known(v)]
+    if len(unknowns) != 1:
+        return None
+    target = unknowns[0]
+    if isinstance(constraint, EqualityConstraint):
+        source = next(v for v in constraint.arguments if v is not target)
+        return PlanStep(constraint, target, lambda s=source: s.value)
+    if isinstance(constraint, FunctionalConstraint):
+        if target is not constraint.result_variable:
+            return None  # cannot invert an arbitrary function
+        return PlanStep(
+            constraint, target,
+            lambda c=constraint: c.compute([v.value for v in c.inputs]))
+    return None
+
+
+def solve_one_pass(variables: Iterable[Variable]) -> bool:
+    """Plan and execute the one-pass method; commit through the engine.
+
+    Returns False when no one-pass ordering exists or a committed value
+    triggers a violation.
+    """
+    plan = plan_one_pass(variables)
+    if plan is None:
+        return False
+    for step in plan:
+        value = step.method()
+        if value is None:
+            continue
+        if not step.target.set(value, APPLICATION):
+            return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# Relaxation
+# ---------------------------------------------------------------------------
+
+class RelaxationSolver:
+    """Least-squares relaxation over the free variables of a network.
+
+    Each supported constraint contributes residuals; scipy minimises
+    their squared sum starting from an initial guess.  ``solve`` returns
+    proposed values; ``commit`` stores them through the engine so the
+    final satisfaction sweep still validates them.
+    """
+
+    def __init__(self, variables: Iterable[Variable],
+                 free: Optional[Sequence[Variable]] = None) -> None:
+        self.variables, self.constraints = collect_network(variables)
+        if free is None:
+            free = [v for v in self.variables if v.value is None]
+        self.free: List[Variable] = list(free)
+
+    def residuals(self, values: Dict[int, float]) -> List[float]:
+        def value_of(variable: Variable) -> float:
+            if id(variable) in values:
+                return values[id(variable)]
+            return float(variable.value if variable.value is not None else 0.0)
+
+        out: List[float] = []
+        for constraint in self.constraints:
+            out.extend(_constraint_residuals(constraint, value_of))
+        return out
+
+    def solve(self, initial_guess: float = 0.0,
+              tolerance: float = 1e-9) -> Optional[Dict[Variable, float]]:
+        """Minimise residuals; None when no satisfying point was found."""
+        if not self.free:
+            return {} if not any(self.residuals({})) else None
+        from scipy.optimize import least_squares
+
+        x0 = np.full(len(self.free), float(initial_guess))
+
+        def fun(x: np.ndarray) -> np.ndarray:
+            values = {id(v): x[i] for i, v in enumerate(self.free)}
+            return np.asarray(self.residuals(values), dtype=float)
+
+        result = least_squares(fun, x0)
+        if not result.success or float(np.sum(result.fun ** 2)) > tolerance:
+            return None
+        return {variable: float(result.x[i])
+                for i, variable in enumerate(self.free)}
+
+    def commit(self, solution: Dict[Variable, float]) -> bool:
+        ok = True
+        for variable, value in solution.items():
+            ok = variable.set(value, APPLICATION) and ok
+        return ok
+
+
+def _constraint_residuals(constraint: Any,
+                          value_of: Callable[[Variable], float]
+                          ) -> List[float]:
+    if isinstance(constraint, EqualityConstraint):
+        values = [value_of(v) for v in constraint.arguments]
+        return [values[0] - v for v in values[1:]]
+    if isinstance(constraint, FunctionalConstraint):
+        computed = constraint.compute([value_of(v)
+                                       for v in constraint.inputs])
+        return [value_of(constraint.result_variable) - computed]
+    if isinstance(constraint, UpperBoundConstraint):
+        excess = value_of(constraint.arguments[0]) - constraint.bound
+        return [max(0.0, excess)]
+    if isinstance(constraint, LowerBoundConstraint):
+        deficit = constraint.bound - value_of(constraint.arguments[0])
+        return [max(0.0, deficit)]
+    if isinstance(constraint, RangeConstraint):
+        value = value_of(constraint.arguments[0])
+        return [max(0.0, value - constraint.high),
+                max(0.0, constraint.low - value)]
+    if isinstance(constraint, OrderingConstraint):
+        first, second = (value_of(v) for v in constraint.arguments)
+        return [max(0.0, first - second)]
+    return []

@@ -1,0 +1,98 @@
+"""Constraint strengths (thesis section 4.2.4's deferred design).
+
+"The default overwrite rule in the system is that user specified values
+have higher priority over propagated and calculated values.  However,
+subclasses of variables can redefine this rule of precedence.  For
+example, variables can recognize different strengths of constraints,
+and allow one type of constraints to overwrite values from another type
+of constraints, but not the other way around.  This is not done
+currently."  — here it is.
+
+A *strength* is an integer level; higher overwrites lower.  Constraints
+opt in by carrying a ``strength`` attribute (or by subclassing with one);
+:class:`StrengthAwareVariable` resolves propagated-vs-propagated
+conflicts by strength instead of violating, while still protecting
+``#USER`` values (which sit at :data:`USER_STRENGTH` unless configured
+otherwise).
+
+This is the classic constraint-hierarchy idea (required > strong >
+medium > weak > weakest), as later formalised by ThingLab's successors.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from .justification import is_propagated, is_user
+from .variable import Variable
+
+#: Conventional strength levels.
+WEAKEST = 0
+WEAK = 10
+MEDIUM = 20
+STRONG = 30
+REQUIRED = 40
+
+#: Effective strength of designer-entered (#USER) values.
+USER_STRENGTH = REQUIRED
+
+#: Strength assumed for constraints that do not declare one.
+DEFAULT_STRENGTH = MEDIUM
+
+
+def strength_of_constraint(constraint: Any) -> int:
+    """The declared strength of a constraint (default MEDIUM)."""
+    return getattr(constraint, "strength", DEFAULT_STRENGTH)
+
+
+class StrengthAwareVariable(Variable):
+    """A variable whose overwrite rule compares constraint strengths.
+
+    Decision table for a propagated value against the current one:
+
+    * equal values — ignore (as always);
+    * current unknown — apply;
+    * current ``#USER`` — apply only from constraints at least
+      :data:`USER_STRENGTH` strong, otherwise violate (the default rule,
+      now expressible per-strength);
+    * current propagated — apply when the new constraint is at least as
+      strong as the one that set it, otherwise **ignore** (a weaker
+      opinion silently defers; it is not an inconsistency).
+
+    ``is_satisfied`` sweeps still run, so a deferred weaker constraint
+    that is genuinely violated by the stronger value still reports.
+    """
+
+    def current_strength(self) -> Optional[int]:
+        justification = self._last_set_by
+        if is_user(justification):
+            return USER_STRENGTH
+        if is_propagated(justification):
+            return strength_of_constraint(justification.constraint)
+        if justification is None and self._value is None:
+            return None
+        return WEAKEST  # other calculated/external values yield readily
+
+    def classify_propagated(self, value: Any, constraint: Any) -> str:
+        if self.values_equal(self._value, value):
+            return "ignore"
+        if self._value is None:
+            return "apply"
+        current = self.current_strength()
+        incoming = strength_of_constraint(constraint)
+        if current is None or incoming >= current:
+            return "apply"
+        if is_user(self._last_set_by):
+            return "violate"  # a too-weak overwrite of a designer value
+        return "ignore"  # weaker propagated opinion defers silently
+
+
+def with_strength(constraint_class: type, strength: int,
+                  name: Optional[str] = None) -> type:
+    """A subclass of ``constraint_class`` carrying a fixed strength.
+
+    Convenience for declaring e.g. ``WeakEquality =
+    with_strength(EqualityConstraint, WEAK)``.
+    """
+    return type(name or f"{constraint_class.__name__}@{strength}",
+                (constraint_class,), {"strength": strength})

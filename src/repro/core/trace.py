@@ -1,0 +1,95 @@
+"""Propagation tracing — observing rounds as they happen.
+
+The constraint editor (section 5.4) inspects networks *after* the fact;
+debugging mis-propagation often needs the order of events *during* a
+round: which constraint fired, what it assigned, what was ignored, what
+was scheduled, where the violation surfaced.  A
+:class:`PropagationTrace` installed on a context records exactly that
+stream; :meth:`PropagationTrace.render` prints it like a call log.
+
+Tracing costs one attribute check per event when disabled; installs and
+uninstalls at runtime (e.g. just around one suspicious assignment).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, NamedTuple, Optional
+
+from .engine import PropagationContext
+from .violations import describe
+
+
+class TraceEvent(NamedTuple):
+    kind: str          # round-start, store, ignore, schedule, infer,
+                       # violation, restore, round-end
+    subject: Any       # variable or constraint
+    detail: str
+
+
+class PropagationTrace:
+    """Recorder of one context's propagation events."""
+
+    def __init__(self, context: PropagationContext,
+                 sink: Optional[Callable[[str], None]] = None) -> None:
+        self.context = context
+        self.sink = sink
+        self.events: List[TraceEvent] = []
+        self._installed = False
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def install(self) -> "PropagationTrace":
+        self.context.tracer = self
+        self._installed = True
+        return self
+
+    def uninstall(self) -> None:
+        if getattr(self.context, "tracer", None) is self:
+            self.context.tracer = None
+        self._installed = False
+
+    def __enter__(self) -> "PropagationTrace":
+        return self.install()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.uninstall()
+
+    def clear(self) -> None:
+        self.events.clear()
+
+    # -- recording -------------------------------------------------------------
+
+    def record(self, kind: str, subject: Any, detail: str = "") -> None:
+        event = TraceEvent(kind, subject, detail)
+        self.events.append(event)
+        if self.sink is not None:
+            self.sink(self._line(event))
+
+    # -- reporting ----------------------------------------------------------------
+
+    @staticmethod
+    def _line(event: TraceEvent) -> str:
+        subject = describe(event.subject) if event.subject is not None else ""
+        parts = [f"{event.kind:<11}", subject]
+        if event.detail:
+            parts.append(f"  {event.detail}")
+        return " ".join(part for part in parts if part)
+
+    def render(self) -> str:
+        return "\n".join(self._line(event) for event in self.events)
+
+    def events_of(self, kind: str) -> List[TraceEvent]:
+        return [event for event in self.events if event.kind == kind]
+
+
+def trace(context: PropagationContext,
+          sink: Optional[Callable[[str], None]] = None) -> PropagationTrace:
+    """Context manager: record propagation events during the block.
+
+    ::
+
+        with trace(default_context()) as t:
+            variable.set(9)
+        print(t.render())
+    """
+    return PropagationTrace(context, sink)

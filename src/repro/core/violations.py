@@ -1,0 +1,142 @@
+"""Constraint violations and violation handlers.
+
+Section 4.2.3 / 5.2 of the thesis: a constraint violation is detected
+either during propagation (a propagated value disagrees with a variable's
+value and overwriting is not possible) or by the final ``is_satisfied``
+sweep over all visited constraints.  When a violation is detected the
+violated constraint's *violation handler* runs.  The default handler
+issues a warning and restores the constraint networks to their original
+states; STEM's interactive handler offers the designer a "debug" (open a
+constraint editor) or "proceed" choice.
+
+The propagation engine signals violations internally with
+:class:`PropagationViolation` (an exception, so the depth-first traversal
+unwinds the way the NIL-status returns do in the Smalltalk code).  The
+engine catches it, restores state, and hands a :class:`ViolationRecord`
+to the context's handler.  Assignment methods then return ``False`` —
+the validity feedback of section 5.2.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+
+class PropagationViolation(Exception):
+    """Internal signal raised mid-propagation when a violation is detected.
+
+    Carries enough context to explain the failure: the variable whose
+    assignment failed, the constraint involved (``None`` for final-check
+    failures that have only a constraint), the attempted value and a
+    human-readable reason.
+    """
+
+    def __init__(self, *, variable: Any = None, constraint: Any = None,
+                 attempted_value: Any = None, reason: str = "") -> None:
+        self.variable = variable
+        self.constraint = constraint
+        self.attempted_value = attempted_value
+        self.reason = reason
+        super().__init__(reason)
+
+
+class ConstraintViolationError(Exception):
+    """Raised by :class:`RaisingHandler` after state has been restored."""
+
+    def __init__(self, record: "ViolationRecord") -> None:
+        self.record = record
+        super().__init__(str(record))
+
+
+class ViolationRecord:
+    """An after-the-fact description of one constraint violation."""
+
+    __slots__ = ("variable", "constraint", "attempted_value", "reason")
+
+    def __init__(self, variable: Any, constraint: Any,
+                 attempted_value: Any, reason: str) -> None:
+        self.variable = variable
+        self.constraint = constraint
+        self.attempted_value = attempted_value
+        self.reason = reason
+
+    @classmethod
+    def from_signal(cls, signal: PropagationViolation) -> "ViolationRecord":
+        return cls(signal.variable, signal.constraint,
+                   signal.attempted_value, signal.reason)
+
+    def __str__(self) -> str:
+        parts = []
+        if self.variable is not None:
+            parts.append(f"variable {describe(self.variable)}")
+        if self.constraint is not None:
+            parts.append(f"constraint {describe(self.constraint)}")
+        where = " / ".join(parts) or "constraint network"
+        return f"constraint violation at {where}: {self.reason}"
+
+
+def describe(obj: Any) -> str:
+    """Best-effort short description of a variable or constraint."""
+    name = getattr(obj, "qualified_name", None)
+    if callable(name):
+        try:
+            return name()
+        except Exception:
+            pass
+    elif isinstance(name, str):
+        return name
+    return repr(obj)
+
+
+class ViolationHandler:
+    """Base handler: collect the violation record silently.
+
+    Subclasses customise what the designer sees (section 5.2).  State
+    restoration is performed by the engine *before* the handler runs, so
+    handlers only decide how to report.
+    """
+
+    def __init__(self) -> None:
+        self.records: List[ViolationRecord] = []
+
+    @property
+    def last(self) -> Optional[ViolationRecord]:
+        return self.records[-1] if self.records else None
+
+    def handle(self, record: ViolationRecord) -> None:
+        self.records.append(record)
+
+    def clear(self) -> None:
+        self.records.clear()
+
+
+class WarningHandler(ViolationHandler):
+    """Default handler: record and emit the warning text via a callback.
+
+    The callback defaults to a no-op sink; tests and the constraint editor
+    install a collector, interactive front-ends may print.
+    """
+
+    def __init__(self, sink: Optional[Callable[[str], None]] = None) -> None:
+        super().__init__()
+        self.sink = sink
+        self.messages: List[str] = []
+
+    def handle(self, record: ViolationRecord) -> None:
+        super().handle(record)
+        message = str(record)
+        self.messages.append(message)
+        if self.sink is not None:
+            self.sink(message)
+
+
+class RaisingHandler(ViolationHandler):
+    """Handler that raises :class:`ConstraintViolationError`.
+
+    Useful for application code that prefers exceptions to checking the
+    boolean validity feedback of assignment methods.
+    """
+
+    def handle(self, record: ViolationRecord) -> None:
+        super().handle(record)
+        raise ConstraintViolationError(record)

@@ -1,0 +1,12 @@
+"""Module validation and selection (thesis chapter 8)."""
+
+from .ranking import CandidateScore, RankedSelector
+from .selector import (
+    DEFAULT_PRIORITIES,
+    ModuleSelector,
+    SelectionStats,
+    select_realizations,
+)
+
+__all__ = ["CandidateScore", "DEFAULT_PRIORITIES", "ModuleSelector",
+           "RankedSelector", "SelectionStats", "select_realizations"]

@@ -1,0 +1,110 @@
+"""Ranked module selection (thesis section 9.3, final suggestion).
+
+Chapter 8's selector only *validates*: "while constraint propagation
+validates that the characteristics of a cell satisfy the design
+constraints, it cannot measure how well these constraints are
+satisfied."  This extension differentiates the relative merits of valid
+realizations with a weighted scoring of their characteristics.
+
+Scoring is slack-normalised: for each property kind the candidate's raw
+figure (adjusted delay, placed area) is normalised across the candidate
+set to [0, 1] (0 = best), then combined with user weights.  Ties and
+missing characteristics degrade gracefully (missing = neutral 0.5).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, NamedTuple, Optional, Sequence
+
+from ..stem.cell import CellClass, CellInstance
+from .selector import DEFAULT_PRIORITIES, ModuleSelector
+
+
+class CandidateScore(NamedTuple):
+    """One ranked candidate: total score (lower is better) and raw metrics."""
+
+    cell: CellClass
+    score: float
+    metrics: Dict[str, Optional[float]]
+
+
+class RankedSelector:
+    """Module selection that orders valid realizations by merit.
+
+    Parameters
+    ----------
+    weights:
+        Relative importance of each metric; keys are ``"delay"`` and
+        ``"area"``.  Defaults to equal weighting.
+    priorities, prune:
+        Passed through to the underlying validity
+        :class:`~repro.selection.selector.ModuleSelector`.
+    """
+
+    def __init__(self, weights: Optional[Dict[str, float]] = None,
+                 priorities: Sequence[str] = DEFAULT_PRIORITIES,
+                 prune: bool = True) -> None:
+        self.weights = dict(weights or {"delay": 1.0, "area": 1.0})
+        unknown = set(self.weights) - {"delay", "area"}
+        if unknown:
+            raise ValueError(f"unknown ranking metrics: {sorted(unknown)}")
+        self.validator = ModuleSelector(priorities, prune)
+
+    # -- metrics --------------------------------------------------------------
+
+    def candidate_metrics(self, candidate: CellClass,
+                          instance: CellInstance
+                          ) -> Dict[str, Optional[float]]:
+        """Raw merit figures of one candidate in the instance's context."""
+        metrics: Dict[str, Optional[float]] = {"delay": None, "area": None}
+        worst_delay: Optional[float] = None
+        for key, instance_delay in instance.delays.items():
+            class_delay = candidate.delays.get(key)
+            if class_delay is None or class_delay.value is None:
+                continue
+            adjusted = class_delay.value + instance_delay.loading_penalty()
+            if worst_delay is None or adjusted > worst_delay:
+                worst_delay = adjusted
+        metrics["delay"] = worst_delay
+        box = candidate.bounding_box()
+        if box is not None:
+            metrics["area"] = box.area
+        return metrics
+
+    # -- ranking ---------------------------------------------------------------
+
+    def rank(self, instance: CellInstance) -> List[CandidateScore]:
+        """Valid realizations ordered best-first."""
+        candidates = self.validator.select_realizations_for(instance)
+        if not candidates:
+            return []
+        metric_table = {cell: self.candidate_metrics(cell, instance)
+                        for cell in candidates}
+        scored: List[CandidateScore] = []
+        for cell in candidates:
+            score = 0.0
+            total_weight = sum(self.weights.values()) or 1.0
+            for metric, weight in self.weights.items():
+                score += weight * self._normalised(metric, cell, metric_table)
+            scored.append(CandidateScore(cell, score / total_weight,
+                                         metric_table[cell]))
+        scored.sort(key=lambda entry: (entry.score, entry.cell.name))
+        return scored
+
+    def best(self, instance: CellInstance) -> Optional[CellClass]:
+        ranking = self.rank(instance)
+        return ranking[0].cell if ranking else None
+
+    @staticmethod
+    def _normalised(metric: str, cell: CellClass,
+                    table: Dict[CellClass, Dict[str, Optional[float]]]
+                    ) -> float:
+        values = [entry[metric] for entry in table.values()
+                  if entry[metric] is not None]
+        own = table[cell][metric]
+        if own is None or not values:
+            return 0.5  # unknown: neutral
+        low, high = min(values), max(values)
+        if high == low:
+            return 0.0
+        return (own - low) / (high - low)

@@ -1,0 +1,39 @@
+"""SPICE-style circuit interface (thesis section 6.4.2).
+
+Net-list extraction from the design database, an internal MNA transient
+simulator standing in for the external SPICE process, and the
+SpiceSimulation / SpicePlot application interfaces.
+"""
+
+from .devices import (
+    DeviceSpec,
+    capacitor,
+    device_parameters,
+    inverter,
+    is_device,
+    nmos,
+    pmos,
+    resistor,
+)
+from .interface import SpicePlot, SpiceSimulation
+from .netlist import Card, Netlist, SpiceNet, extract_netlist
+from .simulator import (
+    DC,
+    DCSweepResult,
+    Pulse,
+    SimulationResult,
+    SpiceParseError,
+    parse_deck,
+    parse_value,
+    run_dc_sweep,
+    run_operating_point,
+    run_spice_deck,
+)
+
+__all__ = [
+    "Card", "DC", "DCSweepResult", "DeviceSpec", "Netlist", "Pulse",
+    "SimulationResult", "SpiceNet", "SpiceParseError", "SpicePlot",
+    "SpiceSimulation", "capacitor", "device_parameters", "extract_netlist",
+    "inverter", "is_device", "nmos", "parse_deck", "parse_value", "pmos",
+    "resistor", "run_dc_sweep", "run_operating_point", "run_spice_deck",
+]

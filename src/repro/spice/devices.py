@@ -1,0 +1,140 @@
+"""Primitive device cells for circuit-level design (section 6.4.2).
+
+STEM's SPICE interface extracts net-lists from designs whose leaf cells
+are electrical primitives.  Here primitives are ordinary
+:class:`~repro.stem.cell.CellClass` objects carrying a
+:class:`DeviceSpec`; the extractor recognises them by it and emits the
+corresponding SPICE card.  Device values are per-instance parameters
+(with class-level defaults and ranges), so the same primitive class
+serves many sizings.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+from ..core.engine import PropagationContext
+from ..stem.cell import CellClass, CellInstance
+from ..stem.types import ANALOG, DIGITAL
+
+
+class DeviceSpec:
+    """What kind of SPICE element a primitive cell represents.
+
+    ``kind`` is one of ``"R"``, ``"C"``, ``"NMOS"``, ``"PMOS"``;
+    ``terminals`` lists the signal names in SPICE card order.
+    """
+
+    __slots__ = ("kind", "terminals", "defaults")
+
+    def __init__(self, kind: str, terminals: Tuple[str, ...],
+                 defaults: Optional[Dict[str, float]] = None) -> None:
+        self.kind = kind
+        self.terminals = terminals
+        self.defaults = dict(defaults or {})
+
+    def __repr__(self) -> str:
+        return f"DeviceSpec({self.kind}, {self.terminals})"
+
+
+def is_device(cell: CellClass) -> bool:
+    return getattr(cell, "device", None) is not None
+
+
+def device_parameters(instance: CellInstance) -> Dict[str, float]:
+    """Effective device parameters: class defaults overlaid by instance values."""
+    spec: DeviceSpec = instance.cell_class.device
+    values = dict(spec.defaults)
+    for name in spec.defaults:
+        if name in instance.parameters \
+                and instance.parameters[name].value is not None:
+            values[name] = instance.parameters[name].value
+    return values
+
+
+def _attach_device(cell: CellClass, spec: DeviceSpec) -> CellClass:
+    cell.device = spec
+    for name, default in spec.defaults.items():
+        cell.add_parameter(name, low=0.0, default=default)
+    return cell
+
+
+def resistor(resistance: float = 1e3, *, name: str = "RES",
+             context: Optional[PropagationContext] = None) -> CellClass:
+    """A two-terminal resistor primitive (terminals ``p``, ``n``)."""
+    cell = CellClass(name, context=context)
+    cell.define_signal("p", "inout", electrical_type=ANALOG)
+    cell.define_signal("n", "inout", electrical_type=ANALOG)
+    return _attach_device(cell, DeviceSpec("R", ("p", "n"),
+                                           {"value": resistance}))
+
+
+def capacitor(capacitance: float = 1e-12, *, name: str = "CAP",
+              context: Optional[PropagationContext] = None) -> CellClass:
+    """A two-terminal capacitor primitive (terminals ``p``, ``n``)."""
+    cell = CellClass(name, context=context)
+    cell.define_signal("p", "inout", electrical_type=ANALOG)
+    cell.define_signal("n", "inout", electrical_type=ANALOG)
+    return _attach_device(cell, DeviceSpec("C", ("p", "n"),
+                                           {"value": capacitance}))
+
+
+def nmos(r_on: float = 1e3, v_t: float = 1.0, *, name: str = "NMOS",
+         context: Optional[PropagationContext] = None) -> CellClass:
+    """An n-channel MOS switch primitive (terminals ``d``, ``g``, ``s``).
+
+    Modelled as a gate-controlled resistor: ``r_on`` when V(g)-V(s)
+    exceeds ``v_t``, open otherwise — the switch-level abstraction
+    adequate for delay-shape experiments.
+    """
+    cell = CellClass(name, context=context)
+    cell.define_signal("d", "inout", electrical_type=ANALOG)
+    cell.define_signal("g", "in", electrical_type=ANALOG)
+    cell.define_signal("s", "inout", electrical_type=ANALOG)
+    return _attach_device(cell, DeviceSpec("NMOS", ("d", "g", "s"),
+                                           {"r_on": r_on, "v_t": v_t}))
+
+
+def pmos(r_on: float = 2e3, v_t: float = 1.0, *, name: str = "PMOS",
+         context: Optional[PropagationContext] = None) -> CellClass:
+    """A p-channel MOS switch primitive (terminals ``d``, ``g``, ``s``)."""
+    cell = CellClass(name, context=context)
+    cell.define_signal("d", "inout", electrical_type=ANALOG)
+    cell.define_signal("g", "in", electrical_type=ANALOG)
+    cell.define_signal("s", "inout", electrical_type=ANALOG)
+    return _attach_device(cell, DeviceSpec("PMOS", ("d", "g", "s"),
+                                           {"r_on": r_on, "v_t": v_t}))
+
+
+def inverter(*, vdd_net: str = "vdd", gnd_net: str = "gnd",
+             r_on_n: float = 1e3, r_on_p: float = 2e3, v_t: float = 1.0,
+             c_load: float = 10e-12, name: str = "INV",
+             context: Optional[PropagationContext] = None) -> CellClass:
+    """A CMOS inverter built from the switch primitives.
+
+    Interface: ``a`` (input), ``y`` (output), ``vdd``, ``gnd``.  A load
+    capacitor on the output gives the inverter its RC delay.
+    """
+    cell = CellClass(name, context=context)
+    cell.define_signal("a", "in", electrical_type=ANALOG)
+    cell.define_signal("y", "out", electrical_type=ANALOG)
+    cell.define_signal("vdd", "inout", electrical_type=ANALOG)
+    cell.define_signal("gnd", "inout", electrical_type=ANALOG)
+
+    n_cls = nmos(r_on_n, v_t, name=f"{name}_N", context=cell.context)
+    p_cls = pmos(r_on_p, v_t, name=f"{name}_P", context=cell.context)
+    c_cls = capacitor(c_load, name=f"{name}_CL", context=cell.context)
+    mn = n_cls.instantiate(cell, "MN")
+    mp = p_cls.instantiate(cell, "MP")
+    cl = c_cls.instantiate(cell, "CL")
+
+    n_in = cell.add_net("n_in")
+    n_in.connect_io("a"); n_in.connect(mn, "g"); n_in.connect(mp, "g")
+    n_out = cell.add_net("n_out")
+    n_out.connect_io("y"); n_out.connect(mn, "d"); n_out.connect(mp, "d")
+    n_out.connect(cl, "p")
+    n_vdd = cell.add_net(vdd_net)
+    n_vdd.connect_io("vdd"); n_vdd.connect(mp, "s")
+    n_gnd = cell.add_net(gnd_net)
+    n_gnd.connect_io("gnd"); n_gnd.connect(mn, "s"); n_gnd.connect(cl, "n")
+    return cell

@@ -1,0 +1,201 @@
+"""SpiceSimulation and SpicePlot — the external-tool interface (§6.4.2).
+
+The pattern the thesis implements: an internal application serves as an
+abstract model of the external SPICE process.  It is responsible for
+file-out of formatted data (the deck), initiation of the (background)
+process, and file-in of the results.  Views still interface the
+application to the database; all simulation and plot windows on a cell
+are marked *outdated* when the cell's net-list changes, so the user is
+never misled by stale waveforms.
+
+Here the "external process" is :func:`repro.spice.simulator.run_spice_deck`
+operating on the same deck text that would be piped to SPICE.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..stem.cell import CellClass
+from .netlist import GROUND_NAMES, SpiceNet
+from .simulator import (
+    DC,
+    DCSweepResult,
+    Pulse,
+    SimulationResult,
+    run_dc_sweep,
+    run_operating_point,
+    run_spice_deck,
+)
+
+Waveform = Union[DC, Pulse]
+
+
+class SpiceSimulation:
+    """Editing and running one simulation of a cell (Fig. 6.3).
+
+    The extracted net-list is the *non-editable* part of the deck; the
+    editable part is the stimulus (sources) and the analysis directive.
+    ``run`` files out the combined deck, runs the simulator, and files in
+    the results.
+    """
+
+    def __init__(self, cell: CellClass, *, title: str = "",
+                 ground_names: Tuple[str, ...] = GROUND_NAMES) -> None:
+        self.cell = cell
+        self.title = title or f"simulation of {cell.name}"
+        self.netlist_view = SpiceNet(cell, ground_names)
+        self.sources: List[Tuple[str, str, Waveform]] = []
+        self.tran: Tuple[float, float] = (1e-9, 100e-9)
+        self.output: Optional[SimulationResult] = None
+        self.outdated = False
+        self.runs = 0
+        cell.add_dependent(self)
+
+    def release(self) -> None:
+        self.cell.remove_dependent(self)
+        self.netlist_view.release()
+
+    def model_changed(self, model: Any, aspect: Optional[str] = None) -> None:
+        """Mark existing output outdated when the cell changes (§6.4.2)."""
+        if aspect == "layout":
+            return
+        if self.output is not None:
+            self.outdated = True
+
+    # -- deck editing (the bold text of the SpiceSimulation window) ------------
+
+    def add_source(self, net_name: str, waveform: Waveform,
+                   negative_net: str = "0") -> None:
+        """Drive a top-level net with a source."""
+        self.sources.append((net_name, negative_net, waveform))
+
+    def set_tran(self, dt: float, tstop: float) -> None:
+        self.tran = (dt, tstop)
+
+    def deck_text(self) -> str:
+        """File-out: the complete deck (extracted net-list + stimulus)."""
+        netlist = self.netlist_view.data
+        lines = [f"* {self.title}", netlist.text()]
+        for i, (net_name, negative, waveform) in enumerate(self.sources):
+            node = netlist.node_of(net_name) if net_name != "0" else "0"
+            neg_node = (netlist.node_of(negative)
+                        if negative not in ("0",) else "0")
+            lines.append(f"V{i + 1} {node} {neg_node} {waveform.spice_text()}")
+        lines.append(f".TRAN {self.tran[0]:g} {self.tran[1]:g}")
+        lines.append(".END")
+        return "\n".join(lines)
+
+    # -- running ------------------------------------------------------------------
+
+    def run(self) -> SimulationResult:
+        """File-out the deck, run the (stand-in) external process, file-in."""
+        deck = self.deck_text()
+        self.output = run_spice_deck(deck)
+        self.outdated = False
+        self.runs += 1
+        return self.output
+
+    def operating_point(self) -> Dict[str, float]:
+        """The .OP analysis: net name -> DC steady-state voltage."""
+        node_voltages = run_operating_point(self.deck_text())
+        netlist = self.netlist_view.data
+        return {net_name: node_voltages[node]
+                for net_name, node in netlist.top_nodes.items()
+                if node in node_voltages}
+
+    def dc_sweep(self, net_name: str, values) -> DCSweepResult:
+        """The .DC analysis: sweep the source driving ``net_name``.
+
+        The source must have been added with :meth:`add_source` on that
+        net; its stimulus is replaced by each sweep value in turn.
+        """
+        for i, (source_net, _negative, _waveform) in enumerate(self.sources):
+            if source_net == net_name:
+                return run_dc_sweep(self.deck_text(), f"V{i + 1}", values)
+        raise ValueError(f"no source was added on net {net_name!r}")
+
+    def node_of(self, net_name: str) -> str:
+        return self.netlist_view.data.node_of(net_name)
+
+    def v(self, net_name: str):
+        """Waveform of a top-level net from the last run."""
+        if self.output is None:
+            raise RuntimeError("simulation has not been run")
+        return self.output.v(self.node_of(net_name))
+
+
+class SpicePlot:
+    """Graphical-display stand-in: measurements on simulation output.
+
+    Associated with the SpiceSimulation its waveforms came from, and —
+    like the simulation — marked outdated when the cell changes, so plots
+    from different parameters remain comparable without misleading the
+    user.
+    """
+
+    def __init__(self, simulation: SpiceSimulation) -> None:
+        if simulation.output is None:
+            raise ValueError("run the simulation before plotting")
+        self.simulation = simulation
+        self.output = simulation.output
+
+    @property
+    def outdated(self) -> bool:
+        return (self.simulation.outdated
+                or self.output is not self.simulation.output)
+
+    def _node(self, net_name: str) -> str:
+        return self.simulation.node_of(net_name)
+
+    def waveform(self, net_name: str):
+        return self.output.v(self._node(net_name))
+
+    def crossing_time(self, net_name: str, level: float,
+                      **kwargs: Any) -> Optional[float]:
+        return self.output.crossing_time(self._node(net_name), level, **kwargs)
+
+    def delay_between(self, from_net: str, to_net: str, level: float,
+                      **kwargs: Any) -> Optional[float]:
+        """Point-to-point delay measurement between two nets."""
+        return self.output.delay_between(self._node(from_net),
+                                         self._node(to_net), level, **kwargs)
+
+    def final_value(self, net_name: str) -> float:
+        return self.output.final_value(self._node(net_name))
+
+    def render(self, net_names: Sequence[str], *, width: int = 72,
+               height: int = 12) -> str:
+        """ASCII rendering of waveforms — the plot window, textually.
+
+        Each net gets a glyph (``1``, ``2``, ...); rows run from the
+        maximum voltage at the top to the minimum at the bottom; the
+        x-axis is the full simulated time span.
+        """
+        time = self.output.time
+        waves = [self.waveform(name) for name in net_names]
+        v_min = min(float(w.min()) for w in waves)
+        v_max = max(float(w.max()) for w in waves)
+        if v_max == v_min:
+            v_max = v_min + 1.0
+        grid = [[" "] * width for _ in range(height)]
+        t_span = float(time[-1] - time[0]) or 1.0
+        for wave_index, wave in enumerate(waves):
+            glyph = str((wave_index + 1) % 10)
+            for column in range(width):
+                t = time[0] + t_span * column / (width - 1)
+                sample_index = min(len(time) - 1,
+                                   int(round((t - time[0]) / t_span
+                                             * (len(time) - 1))))
+                value = float(wave[sample_index])
+                row = int(round((v_max - value) / (v_max - v_min)
+                                * (height - 1)))
+                grid[row][column] = glyph
+        lines = [f"{v_max:10.3g} +" + "".join(grid[0])]
+        lines += ["           |" + "".join(row) for row in grid[1:-1]]
+        lines.append(f"{v_min:10.3g} +" + "".join(grid[-1]))
+        lines.append("           " + "-" * (width + 1))
+        legend = "  ".join(f"{(i + 1) % 10}={name}"
+                           for i, name in enumerate(net_names))
+        lines.append(f"           t: 0 .. {float(time[-1]):g}s   {legend}")
+        return "\n".join(lines)

@@ -1,0 +1,162 @@
+"""SPICE net-list extraction (section 6.4.2).
+
+``SpiceNet`` abstracts a database cell into a paragraph of SPICE text: it
+extracts a flattened net-list from the design hierarchy, maintaining
+correspondence pointers between net-list entities and the actual subcells
+and nets (the thesis's word↔object mapping that lets a text editor
+manipulate the database cell).  As a calculated view it is erased and
+recalculated whenever its model changes — except for pure-layout changes,
+which cannot affect connectivity.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..consistency.views import View
+from ..stem.cell import CellClass, CellInstance
+from ..stem.signals import Net
+from .devices import device_parameters, is_device
+
+#: Top-level net names treated as SPICE ground (node 0).
+GROUND_NAMES = ("gnd", "0", "vss")
+
+
+class Card:
+    """One extracted SPICE element card."""
+
+    __slots__ = ("name", "kind", "nodes", "parameters", "instance_path")
+
+    def __init__(self, name: str, kind: str, nodes: List[str],
+                 parameters: Dict[str, float], instance_path: str) -> None:
+        self.name = name
+        self.kind = kind
+        self.nodes = nodes
+        self.parameters = dict(parameters)
+        self.instance_path = instance_path
+
+    def text(self) -> str:
+        nodes = " ".join(self.nodes)
+        if self.kind in ("R", "C"):
+            return f"{self.name} {nodes} {self.parameters['value']:g}"
+        if self.kind in ("NMOS", "PMOS"):
+            return (f"{self.name} {nodes} {self.kind} "
+                    f"RON={self.parameters['r_on']:g} "
+                    f"VT={self.parameters['v_t']:g}")
+        raise ValueError(f"unknown card kind {self.kind!r}")
+
+    def __repr__(self) -> str:
+        return f"<Card {self.text()}>"
+
+
+class Netlist:
+    """A flattened net-list plus correspondence pointers."""
+
+    def __init__(self, cell: CellClass) -> None:
+        self.cell = cell
+        self.cards: List[Card] = []
+        #: top-level net name -> SPICE node name
+        self.top_nodes: Dict[str, str] = {}
+        #: SPICE node name -> (hierarchical path, Net)
+        self.node_objects: Dict[str, Tuple[str, Net]] = {}
+        #: card name -> CellInstance (the correspondence pointers)
+        self.card_objects: Dict[str, CellInstance] = {}
+
+    def text(self) -> str:
+        lines = [f"* extracted from cell {self.cell.name}"]
+        lines.extend(card.text() for card in self.cards)
+        return "\n".join(lines)
+
+    def node_of(self, net_name: str) -> str:
+        try:
+            return self.top_nodes[net_name]
+        except KeyError:
+            raise KeyError(f"no top-level net {net_name!r}; have "
+                           f"{sorted(self.top_nodes)}") from None
+
+
+def extract_netlist(cell: CellClass,
+                    ground_names: Tuple[str, ...] = GROUND_NAMES) -> Netlist:
+    """Flatten ``cell`` into SPICE cards.
+
+    Leaf cells carrying a :class:`~repro.spice.devices.DeviceSpec` become
+    element cards; composite cells are descended into, binding their
+    io-signals to the containing scope's nodes.  A top-level net whose
+    name is in ``ground_names`` becomes node ``0``.
+    """
+    netlist = Netlist(cell)
+    counter = {"node": 0, "card": 0}
+
+    def fresh_node() -> str:
+        counter["node"] += 1
+        return str(counter["node"])
+
+    def walk(current: CellClass, path: str,
+             port_nodes: Dict[str, str]) -> None:
+        net_nodes: Dict[Net, str] = {}
+        for net in current.nets.values():
+            bound: Optional[str] = None
+            for owner, signal_name in net.endpoints:
+                if owner is None and signal_name in port_nodes:
+                    bound = port_nodes[signal_name]
+                    break
+            if bound is None:
+                if path == "" and net.name.lower() in ground_names:
+                    bound = "0"
+                else:
+                    bound = fresh_node()
+            net_nodes[net] = bound
+            if path == "":
+                netlist.top_nodes[net.name] = bound
+            netlist.node_objects.setdefault(bound, (path + net.name, net))
+
+        for instance in current.subcells:
+            child = instance.cell_class
+            terminal_nodes: Dict[str, str] = {}
+            for signal_name in child.signals:
+                net = instance.net_on(signal_name)
+                if net is not None and net in net_nodes:
+                    terminal_nodes[signal_name] = net_nodes[net]
+                else:
+                    terminal_nodes[signal_name] = fresh_node()  # dangling
+            if is_device(child):
+                spec = child.device
+                counter["card"] += 1
+                prefix = spec.kind[0]  # R, C, N->M, P->M
+                if spec.kind in ("NMOS", "PMOS"):
+                    prefix = "M"
+                name = f"{prefix}{counter['card']}"
+                card = Card(name, spec.kind,
+                            [terminal_nodes[t] for t in spec.terminals],
+                            device_parameters(instance),
+                            path + instance.name)
+                netlist.cards.append(card)
+                netlist.card_objects[name] = instance
+            else:
+                walk(child, path + instance.name + ".", terminal_nodes)
+
+    walk(cell, "", {})
+    return netlist
+
+
+class SpiceNet(View):
+    """The net-list view of a cell (Fig. 6.3's SpiceNet window).
+
+    ``data`` is the extracted :class:`Netlist`; ``text`` renders it.  The
+    view erases itself on any model change except pure layout edits.
+    """
+
+    interested_aspects = frozenset({"structure", "connectivity",
+                                    "interface"})
+
+    def __init__(self, model: CellClass,
+                 ground_names: Tuple[str, ...] = GROUND_NAMES) -> None:
+        self.ground_names = ground_names
+        super().__init__(model)
+
+    def calculate(self) -> Netlist:
+        return extract_netlist(self.model, self.ground_names)
+
+    @property
+    def text(self) -> str:
+        return self.data.text()

@@ -1,0 +1,43 @@
+"""STEM design-environment substrate (thesis chapters 3 and 5).
+
+Cells with dual class/instance variables, io-signals and nets with
+incremental typing constraints, Manhattan geometry, parameters, the
+signal type hierarchies and the tile-based module compilers.
+
+``CellClass`` / ``CellInstance`` are exposed lazily (PEP 562): the cell
+module depends on :mod:`repro.checking` for its bounding-box and delay
+variables, and the checking package in turn builds on the lighter stem
+modules (geometry, implicit variables) — deferring the cell import keeps
+that layering acyclic no matter which package is imported first.
+"""
+
+from .compaction import CompactionError, Compactor1D, compact_row
+from .geometry import IDENTITY, ORIGIN, Point, Rect, Transform
+from .implicit import ClassInstVar, ImplicitConstraintVariable, InstanceInstVar
+from .parameters import ClassParameter, InstanceParameter, ParameterRange
+from .signals import IOSignal, Net, PinSpec
+from . import types
+
+__all__ = [
+    "CellClass", "CellInstance", "CellLibrary", "ClassInstVar",
+    "ClassParameter", "CompactionError", "Compactor1D", "IDENTITY",
+    "IOSignal", "ImplicitConstraintVariable", "InstanceInstVar",
+    "InstanceParameter", "ModuleGenerator", "Net", "ORIGIN",
+    "ParameterRange", "PinSpec", "Point", "Rect", "Transform",
+    "compact_row", "types",
+]
+
+_LAZY = {"CellClass": "cell", "CellInstance": "cell",
+         "CellLibrary": "library", "ModuleGenerator": "generators"}
+
+
+def __getattr__(name):
+    module_name = _LAZY.get(name)
+    if module_name is not None:
+        import importlib
+
+        module = importlib.import_module(f".{module_name}", __name__)
+        value = getattr(module, name)
+        globals()[name] = value
+        return value
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

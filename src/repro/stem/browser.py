@@ -1,0 +1,157 @@
+"""The Cell Browser — STEM's designer front-end, textually (chapter 8).
+
+The thesis's designers work through browsers: inspect cells, open
+constraint editors on their variables, and invoke tools as menu actions
+("Module selection is implemented as a menu action in the Cell Browser.
+The user can select a generic cell instance in a cell, and invoke module
+selection through the menu.  A list of all cell classes that can realize
+this generic cell instance is returned.  However, no automatic
+replacement of the cell instance is attempted.").
+
+:class:`CellBrowser` reproduces that interaction programmatically: a
+current cell, menu actions wired through a
+:class:`~repro.consistency.views.Controller`, textual renderings of the
+interface/structure panes, and the module-selection action with exactly
+the thesis's no-auto-replacement behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence
+
+from ..consistency.views import Controller
+from ..core.editor import ConstraintEditor
+from ..selection.selector import DEFAULT_PRIORITIES, ModuleSelector
+from .cell import CellClass, CellInstance
+from .library import CellLibrary
+
+
+class CellBrowser:
+    """Browse a cell library; inspect and act on the selected cell."""
+
+    def __init__(self, library: CellLibrary) -> None:
+        self.library = library
+        self.current: Optional[CellClass] = None
+        self.controller = Controller(self)
+        self.controller.add_action("open cell", CellBrowser._action_open)
+        self.controller.add_action("show interface",
+                                   CellBrowser._action_interface)
+        self.controller.add_action("show structure",
+                                   CellBrowser._action_structure)
+        self.controller.add_action("edit variable",
+                                   CellBrowser._action_edit_variable)
+        self.controller.add_action("select module",
+                                   CellBrowser._action_select_module)
+
+    # -- navigation ---------------------------------------------------------
+
+    def open(self, name: str) -> CellClass:
+        """Make a cell current."""
+        self.current = self.library.cell(name)
+        return self.current
+
+    def _require_current(self) -> CellClass:
+        if self.current is None:
+            raise RuntimeError("no cell is open in the browser")
+        return self.current
+
+    def cells(self) -> List[str]:
+        """The browser's cell list pane."""
+        return self.library.names()
+
+    # -- panes ---------------------------------------------------------------------
+
+    def interface_pane(self) -> str:
+        """Signals, parameters and declared delays of the current cell."""
+        cell = self._require_current()
+        lines = [f"cell {cell.name}"
+                 + (" (generic)" if cell.is_generic else "")]
+        if cell.superclass is not None:
+            lines.append(f"  superclass: {cell.superclass.name}")
+        lines.append("  signals:")
+        for signal in cell.signals.values():
+            typing = []
+            if signal.data_type_var.value is not None:
+                typing.append(signal.data_type_var.value.name)
+            if signal.electrical_type_var.value is not None:
+                typing.append(signal.electrical_type_var.value.name)
+            if signal.bit_width_var.value is not None:
+                typing.append(f"{signal.bit_width_var.value}b")
+            suffix = f"  [{', '.join(typing)}]" if typing else ""
+            lines.append(f"    {signal.name:<10} {signal.direction:<5}"
+                         f"{suffix}")
+        if cell.parameters:
+            lines.append("  parameters:")
+            for name, parameter in cell.parameters.items():
+                lines.append(f"    {name}: {parameter.range!r}")
+        if cell.delays:
+            lines.append("  delays:")
+            for (source, dest), delay in cell.delays.items():
+                lines.append(f"    {source}->{dest}: {delay.value!r}")
+        box = cell.bounding_box_var.value
+        if box is not None:
+            lines.append(f"  boundingBox: {box!r}")
+        return "\n".join(lines)
+
+    def structure_pane(self) -> str:
+        """Subcells and nets of the current cell."""
+        cell = self._require_current()
+        lines = [f"structure of {cell.name}:"]
+        if not cell.subcells:
+            lines.append("  (leaf cell)")
+        for instance in cell.subcells:
+            lines.append(f"  {instance.name}: {instance.cell_class.name} "
+                         f"@ {instance.transform!r}")
+        for net in cell.nets.values():
+            ends = ", ".join(
+                f"{owner.name if owner else 'io'}.{signal}"
+                for owner, signal in net.endpoints)
+            lines.append(f"  net {net.name}: {ends}")
+        return "\n".join(lines)
+
+    # -- actions ------------------------------------------------------------------------
+
+    def edit_variable(self, name: str) -> ConstraintEditor:
+        """Open a constraint editor on a variable of the current cell."""
+        cell = self._require_current()
+        return ConstraintEditor(cell.var(name), context=cell.context)
+
+    def select_module(self, instance_name: str,
+                      priorities: Sequence[str] = DEFAULT_PRIORITIES
+                      ) -> List[CellClass]:
+        """The chapter-8 menu action: valid realizations of a generic
+        subcell instance.  No automatic replacement is attempted."""
+        cell = self._require_current()
+        instance = self._instance_named(cell, instance_name)
+        return ModuleSelector(priorities).select_realizations_for(instance)
+
+    def _instance_named(self, cell: CellClass, name: str) -> CellInstance:
+        for instance in cell.subcells:
+            if instance.name == name:
+                return instance
+        raise KeyError(f"cell {cell.name!r} has no subcell {name!r}; "
+                       f"have {[i.name for i in cell.subcells]}")
+
+    # -- controller plumbing (menu item -> message association, §3.3.1) -------------------
+
+    def _action_open(self, name: str) -> CellClass:
+        return self.open(name)
+
+    def _action_interface(self) -> str:
+        return self.interface_pane()
+
+    def _action_structure(self) -> str:
+        return self.structure_pane()
+
+    def _action_edit_variable(self, name: str) -> ConstraintEditor:
+        return self.edit_variable(name)
+
+    def _action_select_module(self, instance_name: str) -> List[CellClass]:
+        return self.select_module(instance_name)
+
+    def menu(self) -> List[str]:
+        return self.controller.menu()
+
+    def perform(self, action: str, *args: Any) -> Any:
+        """Invoke a menu action by name."""
+        return self.controller.perform(action, *args)

@@ -1,0 +1,530 @@
+"""Cell classes and cell instances (sections 3.3.2, 5.1).
+
+A :class:`CellClass` plays the role of STEM's Smalltalk class object for a
+cell: it encapsulates the cell's interface (io-signals, parameters), its
+characteristics (bounding box, delays) in *class-level* variables, and
+its internal structure (subcells and nets).  A :class:`CellInstance`
+represents one placement of the cell inside a larger design and holds the
+*instance-level* duals of those variables plus placement and connectivity.
+
+This dual declaration is what makes constraint propagation hierarchical:
+the class/instance variable pairs are implicit constraints on each other
+(:mod:`repro.stem.implicit`), so values flow down the design hierarchy
+with per-context adjustment, and checks flow both ways.
+
+Cell classes form a single-inheritance hierarchy (``subclass``); a
+subclass inherits its superclass's interface definitions and current
+characteristic values (as overridable defaults).  Classes flagged
+``is_generic`` have no physical realization and serve as abstract
+stand-ins during least-commitment design (chapter 8).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..checking.bbox import ClassBBox, InstanceBBox, calculate_bounding_box
+from ..checking.delay import (
+    ClassDelay,
+    DelayNetwork,
+    InstanceDelay,
+    build_delay_network,
+)
+from ..core.engine import PropagationContext, default_context
+from ..core.justification import DEFAULT, USER, Justification, is_user
+from .geometry import IDENTITY, Point, Rect, Transform
+from .parameters import ClassParameter, InstanceParameter, ParameterRange
+from .signals import IOSignal, Net, PinSpec
+
+
+class CellClass:
+    """The library version of a cell — interface, characteristics, structure."""
+
+    def __init__(self, name: str, superclass: Optional["CellClass"] = None, *,
+                 context: Optional[PropagationContext] = None,
+                 is_generic: bool = False, documentation: str = "") -> None:
+        if context is None:
+            context = superclass.context if superclass else default_context()
+        self.name = name
+        self.context = context
+        self.superclass = superclass
+        self.subclasses: List["CellClass"] = []
+        self.is_generic = is_generic
+        self.documentation = documentation
+
+        # Interface and characteristics (class-level variables).
+        self.signals: Dict[str, IOSignal] = {}
+        self.parameters: Dict[str, ClassParameter] = {}
+        self.delays: Dict[Tuple[str, str], ClassDelay] = {}
+        self.variables: Dict[str, Any] = {}
+
+        # Internal structure.
+        self.subcells: List["CellInstance"] = []
+        self.nets: Dict[str, Net] = {}
+        self.io_connections: Dict[str, Net] = {}
+        self.structure_layout: Any = None  # module compiler, if any
+
+        # Uses of this cell, and MVC dependents.
+        self.instances: List["CellInstance"] = []
+        self.dependents: List[Any] = []
+
+        self._delay_network: Optional[DelayNetwork] = None
+
+        bbox = ClassBBox(parent=self, name="boundingBox", context=context)
+        self.variables["boundingBox"] = bbox
+
+        if superclass is not None:
+            superclass.subclasses.append(self)
+            self._inherit_from(superclass)
+
+    def __repr__(self) -> str:
+        kind = "generic cell" if self.is_generic else "cell"
+        return f"<{kind} {self.name}>"
+
+    # -- inheritance --------------------------------------------------------------
+
+    def _inherit_from(self, superclass: "CellClass") -> None:
+        """Copy interface definitions and characteristic values.
+
+        Values arrive with ``#DEFAULT`` justification: they are inherited
+        estimates that the subclass designer overwrites with measured
+        characteristics (and that propagation may refine).
+        """
+        for signal in superclass.signals.values():
+            clone = signal.clone_for(self)
+            self.signals[clone.name] = clone
+            self._register_signal_vars(clone)
+        for name, class_parameter in superclass.parameters.items():
+            self.add_parameter(name, range=class_parameter.range)
+        for (src, dst), class_delay in superclass.delays.items():
+            self.declare_delay(src, dst, estimate=class_delay.value,
+                               justification=DEFAULT)
+        parent_box = superclass.variables["boundingBox"].value
+        if parent_box is not None:
+            self.variables["boundingBox"]._store(parent_box, DEFAULT)
+
+    def subclass(self, name: str, *, is_generic: bool = False,
+                 documentation: str = "") -> "CellClass":
+        """Define a specialized version of this cell (section 3.3.2)."""
+        return CellClass(name, superclass=self, is_generic=is_generic,
+                         documentation=documentation)
+
+    def descendants(self) -> Iterator["CellClass"]:
+        """Strict descendants, depth first (the module-selection search tree)."""
+        for subclass in self.subclasses:
+            yield subclass
+            yield from subclass.descendants()
+
+    def is_kind_of(self, other: "CellClass") -> bool:
+        node: Optional[CellClass] = self
+        while node is not None:
+            if node is other:
+                return True
+            node = node.superclass
+        return False
+
+    # -- interface definition --------------------------------------------------------
+
+    def define_signal(self, name: str, direction: str = "in",
+                      **kwargs: Any) -> IOSignal:
+        """Add an io-signal to the cell's interface."""
+        if name in self.signals:
+            raise ValueError(f"cell {self.name!r} already has signal {name!r}")
+        signal = IOSignal(self, name, direction, **kwargs)
+        self.signals[name] = signal
+        self._register_signal_vars(signal)
+        self.changed("interface")
+        return signal
+
+    def _register_signal_vars(self, signal: IOSignal) -> None:
+        self.variables[f"{signal.name}.dataType"] = signal.data_type_var
+        self.variables[f"{signal.name}.electricalType"] = signal.electrical_type_var
+        self.variables[f"{signal.name}.bitWidth"] = signal.bit_width_var
+
+    def signal(self, name: str) -> IOSignal:
+        try:
+            return self.signals[name]
+        except KeyError:
+            raise KeyError(f"cell {self.name!r} has no signal {name!r}") from None
+
+    def add_parameter(self, name: str, *, low: Any = None, high: Any = None,
+                      choices: Any = None, default: Any = None,
+                      range: Optional[ParameterRange] = None) -> ClassParameter:
+        """Declare a parameter with its permitted range and default."""
+        if name in self.parameters:
+            raise ValueError(f"cell {self.name!r} already has parameter {name!r}")
+        if range is None:
+            range = ParameterRange(low=low, high=high, choices=choices,
+                                   default=default)
+        parameter = ClassParameter(range, parent=self, name=name,
+                                   context=self.context)
+        self.parameters[name] = parameter
+        self.variables[name] = parameter
+        return parameter
+
+    def declare_delay(self, source: str, dest: str, *,
+                      estimate: Optional[float] = None,
+                      justification: Justification = USER) -> ClassDelay:
+        """Declare a critical delay characteristic between two io-signals.
+
+        ``estimate`` seeds the value so containing designs can evaluate
+        before this cell's internals exist (least-commitment, section
+        7.3); remove it with ``clear_delay_estimate`` once the internal
+        delay network should take over.
+        """
+        source_signal = self.signal(source)
+        dest_signal = self.signal(dest)
+        if source_signal.direction == "out":
+            raise ValueError(f"delay source {source!r} is an output")
+        if dest_signal.direction == "in":
+            raise ValueError(f"delay destination {dest!r} is an input")
+        key = (source, dest)
+        if key in self.delays:
+            raise ValueError(f"delay {source}->{dest} already declared "
+                             f"on {self.name!r}")
+        delay = ClassDelay(parent=self, name=f"delay({source}->{dest})",
+                           context=self.context,
+                           source_name=source, dest_name=dest)
+        if estimate is not None:
+            delay._store(estimate, justification)
+        self.delays[key] = delay
+        self.variables[delay.name] = delay
+        for instance in self.instances:
+            instance._add_delay_var(key, delay)
+        return delay
+
+    def delay_var(self, source: str, dest: str) -> ClassDelay:
+        try:
+            return self.delays[(source, dest)]
+        except KeyError:
+            raise KeyError(f"cell {self.name!r} declares no delay "
+                           f"{source}->{dest}") from None
+
+    def clear_delay_estimate(self, source: str, dest: str) -> None:
+        """Drop a seeded estimate so the internal network's value rules."""
+        self.delay_var(source, dest).reset()
+
+    def var(self, name: str) -> Any:
+        """``instVarNamed:`` — look up any class-level variable by name."""
+        try:
+            return self.variables[name]
+        except KeyError:
+            raise KeyError(f"cell {self.name!r} has no variable {name!r}") from None
+
+    # -- bounding box ---------------------------------------------------------------
+
+    @property
+    def bounding_box_var(self) -> ClassBBox:
+        return self.variables["boundingBox"]
+
+    def set_bounding_box(self, box: Rect,
+                         justification: Justification = USER) -> bool:
+        """Fix the cell's characteristic bounding box (leaf cells)."""
+        return self.bounding_box_var.set(box, justification)
+
+    def bounding_box(self) -> Optional[Rect]:
+        """Current box, recalculating lazily from subcells when erased."""
+        variable = self.bounding_box_var
+        if variable.value is None and self.subcells:
+            computed = calculate_bounding_box(
+                instance.bounding_box() for instance in self.subcells)
+            if computed is not None:
+                variable.calculate(computed)
+        return variable.value
+
+    # -- structure editing ---------------------------------------------------------------
+
+    def instantiate(self, parent_cell: Optional["CellClass"] = None,
+                    name: Optional[str] = None,
+                    transform: Transform = IDENTITY) -> "CellInstance":
+        """Create a placement of this cell, optionally inside ``parent_cell``."""
+        if name is None:
+            name = f"{self.name}.{len(self.instances) + 1}"
+        instance = CellInstance(self, parent_cell, name, transform)
+        self.instances.append(instance)
+        if parent_cell is not None:
+            parent_cell.add_cell(instance)
+        return instance
+
+    def add_cell(self, instance: "CellInstance") -> None:
+        """Register an instance as a subcell of this (composite) cell."""
+        if instance.parent_cell not in (None, self):
+            raise ValueError(f"{instance!r} already belongs to "
+                             f"{instance.parent_cell!r}")
+        instance.parent_cell = self
+        if instance not in self.subcells:
+            self.subcells.append(instance)
+        self.structure_changed("structure")
+
+    def remove_cell(self, instance: "CellInstance") -> None:
+        """Remove a subcell: disconnect its nets, drop its constraints."""
+        if instance not in self.subcells:
+            return
+        for signal_name, net in list(instance.connections.items()):
+            net.disconnect(instance, signal_name)
+        self.subcells.remove(instance)
+        instance.parent_cell = None
+        instance.detach()
+        if instance in instance.cell_class.instances:
+            instance.cell_class.instances.remove(instance)
+        self.structure_changed("structure")
+
+    def add_net(self, name: Optional[str] = None) -> Net:
+        if name is None:
+            name = f"net{len(self.nets) + 1}"
+        if name in self.nets:
+            raise ValueError(f"cell {self.name!r} already has net {name!r}")
+        net = Net(self, name)
+        self.nets[name] = net
+        return net
+
+    def net(self, name: str) -> Net:
+        try:
+            return self.nets[name]
+        except KeyError:
+            raise KeyError(f"cell {self.name!r} has no net {name!r}") from None
+
+    # -- delay networks ----------------------------------------------------------------------
+
+    def build_delay_network(self) -> DelayNetwork:
+        """(Re)build the Fig. 7.12 constraint network for declared delays."""
+        self.discard_delay_network()
+        self._delay_network = build_delay_network(self)
+        return self._delay_network
+
+    def discard_delay_network(self) -> None:
+        if self._delay_network is not None:
+            self._delay_network.discard()
+            self._delay_network = None
+
+    @property
+    def delay_network(self) -> Optional[DelayNetwork]:
+        return self._delay_network
+
+    def delay_value(self, source: str, dest: str) -> Optional[float]:
+        """The delay characteristic, building the network when needed."""
+        variable = self.delay_var(source, dest)
+        if variable.value is None and self._delay_network is None \
+                and self.subcells:
+            self.build_delay_network()
+        return variable.value
+
+    # -- change management (section 6.5.2) --------------------------------------------------------
+
+    def structure_changed(self, aspect: str = "structure") -> None:
+        """Internal structure edited: erase derived data, notify dependents.
+
+        Delay networks are erased rather than incrementally edited
+        (section 7.3); the bounding box is reset for recalculation; views
+        and containing cells are notified through :meth:`changed`.
+        """
+        self.discard_delay_network()
+        bbox = self.bounding_box_var
+        if bbox.value is not None and not is_user(bbox.last_set_by):
+            bbox.set(None, DEFAULT)
+        self.changed(aspect)
+
+    def changed(self, aspect: Optional[str] = None) -> None:
+        """Broadcast a change to dependent views and containing cells.
+
+        Propagation up the design hierarchy stops at cells whose external
+        properties are unaffected: a pure-``layout`` change does not climb.
+        """
+        for dependent in list(self.dependents):
+            dependent.model_changed(self, aspect)
+        if aspect == "layout":
+            return
+        for instance in self.instances:
+            parent = instance.parent_cell
+            if parent is not None:
+                parent.changed(aspect)
+
+    def add_dependent(self, view: Any) -> None:
+        if view not in self.dependents:
+            self.dependents.append(view)
+
+    def remove_dependent(self, view: Any) -> None:
+        if view in self.dependents:
+            self.dependents.remove(view)
+
+
+class CellInstance:
+    """One placement of a cell class inside a larger design."""
+
+    def __init__(self, cell_class: CellClass,
+                 parent_cell: Optional[CellClass],
+                 name: str, transform: Transform = IDENTITY) -> None:
+        self.cell_class = cell_class
+        self.parent_cell = parent_cell
+        self.name = name
+        self.transform = transform
+        self.connections: Dict[str, Net] = {}
+        self.variables: Dict[str, Any] = {}
+        context = cell_class.context
+
+        bbox = InstanceBBox(parent=self, name="boundingBox", context=context)
+        cell_class.bounding_box_var.register_instance_var(bbox)
+        self.variables["boundingBox"] = bbox
+        class_box = cell_class.bounding_box_var.value
+        if class_box is not None:
+            bbox._store(transform.apply_to(class_box), DEFAULT)
+
+        self.parameters: Dict[str, InstanceParameter] = {}
+        for param_name, class_parameter in cell_class.parameters.items():
+            instance_parameter = InstanceParameter(
+                parent=self, name=param_name, context=context)
+            class_parameter.register_instance_var(instance_parameter)
+            range_ = class_parameter.range
+            if range_ is not None and range_.default is not None:
+                instance_parameter._store(range_.default, DEFAULT)
+            self.parameters[param_name] = instance_parameter
+            self.variables[param_name] = instance_parameter
+
+        self.delays: Dict[Tuple[str, str], InstanceDelay] = {}
+        for key, class_delay in cell_class.delays.items():
+            self._add_delay_var(key, class_delay)
+
+        self._own_bit_widths: Dict[str, Any] = {}
+
+    def _add_delay_var(self, key: Tuple[str, str],
+                       class_delay: ClassDelay) -> None:
+        source, dest = key
+        instance_delay = InstanceDelay(
+            parent=self, name=f"delay({source}->{dest})",
+            context=self.cell_class.context,
+            source_name=source, dest_name=dest)
+        class_delay.register_instance_var(instance_delay)
+        if class_delay.value is not None:
+            instance_delay._store(
+                instance_delay.adjust_class_value(class_delay.value), DEFAULT)
+        self.delays[key] = instance_delay
+        self.variables[instance_delay.name] = instance_delay
+
+    def __repr__(self) -> str:
+        return f"<instance {self.name} of {self.cell_class.name}>"
+
+    # -- variables ------------------------------------------------------------------
+
+    @property
+    def bounding_box_var(self) -> InstanceBBox:
+        return self.variables["boundingBox"]
+
+    def var(self, name: str) -> Any:
+        try:
+            return self.variables[name]
+        except KeyError:
+            raise KeyError(f"instance {self.name!r} has no variable "
+                           f"{name!r}") from None
+
+    def delay_var(self, source: str, dest: str) -> InstanceDelay:
+        try:
+            return self.delays[(source, dest)]
+        except KeyError:
+            raise KeyError(f"instance {self.name!r} has no delay "
+                           f"{source}->{dest}") from None
+
+    # -- parameters --------------------------------------------------------------------
+
+    def set_parameter(self, name: str, value: Any,
+                      justification: Justification = USER) -> bool:
+        """Assign a parameter value (checked against the class range)."""
+        return self.parameters[name].set(value, justification)
+
+    def parameter_value(self, name: str) -> Any:
+        return self.parameters[name].value
+
+    # -- signals and connectivity ---------------------------------------------------------
+
+    def bit_width_var(self, signal_name: str) -> Any:
+        """The effective bit-width variable: own override or the class's."""
+        own = self._own_bit_widths.get(signal_name)
+        if own is not None:
+            return own
+        return self.cell_class.signal(signal_name).bit_width_var
+
+    def own_bit_width(self, signal_name: str) -> Any:
+        """Give this instance its own width variable (compiled cells)."""
+        from ..checking.sigtypes import InstanceBWidth
+
+        own = self._own_bit_widths.get(signal_name)
+        if own is None:
+            class_var = self.cell_class.signal(signal_name).bit_width_var
+            own = InstanceBWidth(parent=self,
+                                 name=f"{signal_name}.bitWidth",
+                                 context=self.cell_class.context)
+            class_var.register_instance_var(own)
+            self._own_bit_widths[signal_name] = own
+            self.variables[f"{signal_name}.bitWidth"] = own
+        return own
+
+    def net_on(self, signal_name: str) -> Optional[Net]:
+        return self.connections.get(signal_name)
+
+    # -- geometry ------------------------------------------------------------------------------
+
+    def bounding_box(self) -> Optional[Rect]:
+        """The placement area: own value, or the transformed class box."""
+        own = self.bounding_box_var.value
+        if own is not None:
+            return own
+        class_box = self.cell_class.bounding_box()
+        if class_box is None:
+            return None
+        return self.transform.apply_to(class_box)
+
+    def io_pins(self) -> Dict[str, List[Point]]:
+        """Pin locations per signal, stretched to this instance's box.
+
+        Fig. 7.6: when the instance box is larger than the class box, the
+        pins land on the larger perimeter (stretching); with no override
+        they sit on the transformed class box.
+        """
+        box = self.bounding_box()
+        if box is None:
+            return {}
+        return {name: signal.pin_points(box)
+                for name, signal in self.cell_class.signals.items()}
+
+    # -- delays -------------------------------------------------------------------------------------
+
+    def refresh_delay_adjustments(self) -> bool:
+        """Re-derive instance delays after loading (connectivity) changes.
+
+        Returns False when a re-adjusted value violated a constraint and
+        was rolled back (validity feedback for connectivity edits).
+        """
+        ok = True
+        for instance_delay in self.delays.values():
+            class_value = (instance_delay.class_var.value
+                           if instance_delay.class_var is not None else None)
+            if class_value is None:
+                continue
+            if instance_delay.value is not None \
+                    and is_user(instance_delay.last_set_by):
+                continue
+            adjusted = instance_delay.adjust_class_value(class_value)
+            if not instance_delay.values_equal(instance_delay.value, adjusted):
+                ok = instance_delay.calculate(adjusted) and ok
+        return ok
+
+    # -- lifecycle ----------------------------------------------------------------------------------
+
+    def detach(self) -> None:
+        """Unlink every instance variable from its class dual."""
+        self.cell_class.bounding_box_var.unregister_instance_var(
+            self.bounding_box_var)
+        for name, instance_parameter in self.parameters.items():
+            self.cell_class.parameters[name].unregister_instance_var(
+                instance_parameter)
+        for key, instance_delay in self.delays.items():
+            class_delay = self.cell_class.delays.get(key)
+            if class_delay is not None:
+                class_delay.unregister_instance_var(instance_delay)
+        for signal_name, own in self._own_bit_widths.items():
+            self.cell_class.signal(signal_name).bit_width_var \
+                .unregister_instance_var(own)
+
+    def remove(self) -> None:
+        """Remove this instance from its containing cell."""
+        if self.parent_cell is not None:
+            self.parent_cell.remove_cell(self)

@@ -1,0 +1,191 @@
+"""1-D constraint-graph layout compaction (thesis section 2.1).
+
+The thesis's survey of constraints in IC design opens with the classic
+use: "graph-based compaction algorithms build vertical and horizontal
+constraint graphs, solve for the maximally constrained paths in the
+graphs, and then assign node positions to satisfy all constraints" —
+also the substrate of Electric's hierarchical linear-inequality system.
+
+This module implements that algorithm as a substrate:
+
+* :class:`Compactor1D` — elements with linear position constraints
+  (minimum separations ``x_b >= x_a + d``, exact offsets, fixed
+  positions); solving assigns every element its *smallest* feasible
+  coordinate (the longest-path solution), and positive cycles —
+  contradictory separations — are reported as infeasible;
+* :func:`compact_row` — applies the compactor to a compiled cell's
+  subcells along one axis, respecting a design-rule spacing, and returns
+  the new placements.
+
+The thesis also notes the limits of pure linear-inequality systems
+("a component centered between two others cannot be expressed"); the
+declarative kernel covers such relations, while this module covers the
+high-volume geometric case efficiently — the performance division of
+labour section 9.2.3 prescribes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
+
+from .geometry import Point, Rect, Transform
+
+_SOURCE = object()  # virtual origin node
+
+
+class CompactionError(ValueError):
+    """Contradictory constraints (a positive cycle in the graph)."""
+
+
+class Compactor1D:
+    """A one-dimensional constraint-graph compactor.
+
+    Elements are arbitrary hashable keys.  Constraints:
+
+    * :meth:`separate` — ``position(b) >= position(a) + gap``;
+    * :meth:`align` — ``position(b) == position(a) + offset``;
+    * :meth:`fix` — ``position(a) == value`` exactly;
+    * :meth:`at_least` — ``position(a) >= value`` (origin separation).
+
+    ``solve`` returns the minimal (longest-path) positions: every
+    element as far left/down as its constraints allow.
+    """
+
+    def __init__(self) -> None:
+        self._elements: List[Hashable] = []
+        self._index: Dict[Hashable, int] = {}
+        #: edges (from, to, weight): position(to) >= position(from) + weight
+        self._edges: List[Tuple[Any, Any, float]] = []
+        self._fixed: Dict[Hashable, float] = {}
+
+    def add_element(self, element: Hashable) -> None:
+        if element not in self._index:
+            self._index[element] = len(self._elements)
+            self._elements.append(element)
+            # every element sits at or right of the origin by default
+            self._edges.append((_SOURCE, element, 0.0))
+
+    @property
+    def elements(self) -> List[Hashable]:
+        return list(self._elements)
+
+    # -- constraint entry -------------------------------------------------------
+
+    def separate(self, left: Hashable, right: Hashable, gap: float) -> None:
+        """position(right) >= position(left) + gap."""
+        self.add_element(left)
+        self.add_element(right)
+        self._edges.append((left, right, gap))
+
+    def align(self, first: Hashable, second: Hashable,
+              offset: float = 0.0) -> None:
+        """position(second) == position(first) + offset."""
+        self.separate(first, second, offset)
+        self.separate(second, first, -offset)
+
+    def fix(self, element: Hashable, value: float) -> None:
+        """position(element) == value."""
+        self.add_element(element)
+        self._fixed[element] = value
+
+    def at_least(self, element: Hashable, value: float) -> None:
+        """position(element) >= value."""
+        self.add_element(element)
+        self._edges.append((_SOURCE, element, value))
+
+    # -- solving -------------------------------------------------------------------
+
+    def solve(self) -> Dict[Hashable, float]:
+        """Longest-path positions from the origin (Bellman-Ford style).
+
+        Raises :class:`CompactionError` on a positive cycle (mutually
+        contradictory separations) or when a fixed position is
+        over-constrained from below.
+        """
+        positions: Dict[Any, float] = {_SOURCE: 0.0}
+        for element in self._elements:
+            positions[element] = self._fixed.get(element, 0.0)
+
+        edges = list(self._edges)
+        n = len(self._elements) + 1
+        for iteration in range(n):
+            changed = False
+            for source, target, weight in edges:
+                candidate = positions[source] + weight
+                if candidate > positions[target] + 1e-12:
+                    if target in self._fixed:
+                        raise CompactionError(
+                            f"fixed element {target!r} at "
+                            f"{self._fixed[target]} is pushed to "
+                            f"{candidate} by its constraints")
+                    if target is _SOURCE:
+                        raise CompactionError(
+                            "constraints push below the origin")
+                    positions[target] = candidate
+                    changed = True
+            if not changed:
+                break
+        else:
+            raise CompactionError(
+                "contradictory separation constraints (positive cycle)")
+        del positions[_SOURCE]
+        return positions
+
+    def critical_path(self) -> List[Hashable]:
+        """Elements on the maximally constrained (longest) path.
+
+        The chain of tight constraints that determines the total extent —
+        what a designer must attack to shrink the layout.
+        """
+        positions = self.solve()
+        positions_with_source = dict(positions)
+        positions_with_source[_SOURCE] = 0.0
+        # walk back from the rightmost element along tight edges
+        end = max(positions, key=lambda element: positions[element])
+        path = [end]
+        current = end
+        while current is not _SOURCE:
+            for source, target, weight in self._edges:
+                if target is current and abs(
+                        positions_with_source[source] + weight
+                        - positions_with_source[current]) <= 1e-9 \
+                        and source is not current:
+                    if source is _SOURCE:
+                        current = _SOURCE
+                    else:
+                        path.append(source)
+                        current = source
+                    break
+            else:
+                break
+        path.reverse()
+        return path
+
+
+def compact_row(instances: Sequence[Any], spacing: float = 0.0,
+                axis: str = "x") -> Dict[Any, float]:
+    """Compact placed instances along one axis with a design-rule spacing.
+
+    Instances are ordered by their current coordinate; adjacent pairs
+    receive separation constraints of ``extent + spacing``.  Returns the
+    new minimal coordinates (of each instance's box origin); the caller
+    applies them (e.g. by re-instantiating with new transforms).
+    """
+    if axis not in ("x", "y"):
+        raise ValueError("axis must be 'x' or 'y'")
+    boxes = {}
+    for instance in instances:
+        box = instance.bounding_box()
+        if box is None:
+            raise CompactionError(f"{instance!r} has no bounding box")
+        boxes[instance] = box
+    ordered = sorted(instances,
+                     key=lambda i: getattr(boxes[i].origin, axis))
+    compactor = Compactor1D()
+    for instance in ordered:
+        compactor.add_element(instance)
+    for left, right in zip(ordered, ordered[1:]):
+        extent = getattr(boxes[left].extent, axis)
+        compactor.separate(left, right, extent + spacing)
+    return compactor.solve()

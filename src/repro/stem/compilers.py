@@ -1,0 +1,407 @@
+"""Tile-based module compilers and compiler views (section 6.4.1).
+
+Instances of module compilers generate a compiled cell's internal
+structure from placement, orientation and size parameters:
+
+* :class:`VectorCompiler` — a linear array of subcells;
+* :class:`WordCompiler` — a vector with special end-cells;
+* :class:`MatrixCompiler` — a two-dimensional array;
+* :class:`GraphCompiler` — arbitrary user-specified grids with repetition
+  and connection control (the 5-bit adder of Fig. 6.2).
+
+All butting io-pins establish connections between their respective
+signals; the designer can *disallow* connections on specific pins of a
+GraphCompiler, which withdraws them from butting.
+
+The compilation routines treat subcells as black boxes: a
+:class:`CompilerView` interfaces each subcell to the routines, exposing
+only the bounding box and the io-pins — the latter organized in four
+side-sorted lists to suit the butting access pattern.  View data are
+erased whenever the model changes and recalculated on next access
+(section 6.4.1's argument for views over either per-query recalculation
+or global temporaries).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .cell import CellClass, CellInstance
+from .geometry import ORIGIN, Point, Rect, Transform
+
+_TOLERANCE = 1e-9
+
+
+class CompilerView:
+    """A calculated view of a subcell for the compilation routines.
+
+    Exposes the instance's bounding box and its io-pins grouped by side
+    (``left``/``right``/``top``/``bottom``) and sorted by increasing
+    coordinate along the side.  Registered as a dependent of the model's
+    cell class so cached data are erased on change broadcast.
+    """
+
+    def __init__(self, instance: CellInstance) -> None:
+        self.model = instance
+        self._bounding_box: Optional[Rect] = None
+        self._pins: Optional[Dict[str, List[Tuple[Point, str]]]] = None
+        instance.cell_class.add_dependent(self)
+
+    def release(self) -> None:
+        """Detach from the model (stop receiving change broadcasts)."""
+        self.model.cell_class.remove_dependent(self)
+
+    def model_changed(self, model: Any, aspect: Optional[str]) -> None:
+        """Erase derived data; next access recalculates."""
+        self._bounding_box = None
+        self._pins = None
+
+    # -- derived data -------------------------------------------------------
+
+    def bounding_box(self) -> Optional[Rect]:
+        if self._bounding_box is None:
+            self._bounding_box = self.model.bounding_box()
+        return self._bounding_box
+
+    def pins(self) -> Dict[str, List[Tuple[Point, str]]]:
+        """Pins per side: ``{side: [(point, signal_name), ...]}``, sorted."""
+        if self._pins is None:
+            self._pins = self._calculate_pins()
+        return self._pins
+
+    def pins_on(self, side: str) -> List[Tuple[Point, str]]:
+        return self.pins().get(side, [])
+
+    def _calculate_pins(self) -> Dict[str, List[Tuple[Point, str]]]:
+        box = self.bounding_box()
+        result: Dict[str, List[Tuple[Point, str]]] = {
+            "left": [], "right": [], "top": [], "bottom": []}
+        if box is None:
+            return result
+        for signal_name, points in self.model.io_pins().items():
+            for point in points:
+                side = _side_of(point, box)
+                if side is not None:
+                    result[side].append((point, signal_name))
+        for side, entries in result.items():
+            axis = 1 if side in ("left", "right") else 0
+            entries.sort(key=lambda entry: tuple(entry[0])[axis])
+        return result
+
+
+def _side_of(point: Point, box: Rect) -> Optional[str]:
+    if abs(point.x - box.origin.x) <= _TOLERANCE:
+        return "left"
+    if abs(point.x - box.corner.x) <= _TOLERANCE:
+        return "right"
+    if abs(point.y - box.origin.y) <= _TOLERANCE:
+        return "bottom"
+    if abs(point.y - box.corner.y) <= _TOLERANCE:
+        return "top"
+    return None
+
+
+class Slot:
+    """One grid position of a GraphCompiler placement.
+
+    ``parameters`` are per-slot instance parameter values (device
+    sizings, widths) assigned after instantiation — the "size parameters
+    specified in the compilers" of section 6.4.1.
+    """
+
+    __slots__ = ("cell_class", "orientation", "name", "parameters")
+
+    def __init__(self, cell_class: CellClass, orientation: str = "R0",
+                 name: Optional[str] = None,
+                 parameters: Optional[Dict[str, Any]] = None) -> None:
+        self.cell_class = cell_class
+        self.orientation = orientation
+        self.name = name
+        self.parameters = dict(parameters or {})
+
+    def __repr__(self) -> str:
+        return f"Slot({self.cell_class.name}, {self.orientation!r})"
+
+
+class GraphCompiler:
+    """Grid placement with butting connections and connection control.
+
+    The designer places cell classes on a sparse ``(column, row)`` grid
+    (columns grow rightward, rows grow upward), optionally repeats column
+    ranges (Fig. 6.2's "repeat the 2-bit slice"), disallows individual
+    pin connections, and compiles.  Compilation:
+
+    1. sizes each column/row to its widest/tallest occupant;
+    2. instantiates every slot with its placement transform, stretching
+       each instance's bounding box to fill the slot;
+    3. connects all butting io-pins of adjacent instances via nets
+       (creating them in the compiled cell), skipping disallowed pins.
+    """
+
+    def __init__(self) -> None:
+        self.grid: Dict[Tuple[int, int], Slot] = {}
+        self.spacing: float = 0.0
+        self._disallowed: set = set()
+        self.instances: Dict[Tuple[int, int], CellInstance] = {}
+        self.cell: Optional[CellClass] = None
+
+    # -- specification ------------------------------------------------------
+
+    def place(self, column: int, row: int, cell_class: CellClass,
+              orientation: str = "R0", name: Optional[str] = None,
+              parameters: Optional[Dict[str, Any]] = None) -> Slot:
+        if cell_class.is_generic:
+            raise ValueError(f"cannot compile generic cell "
+                             f"{cell_class.name!r} into a layout")
+        slot = Slot(cell_class, orientation, name, parameters)
+        self.grid[(column, row)] = slot
+        return slot
+
+    def repeat_columns(self, first: int, last: int, times: int) -> None:
+        """Duplicate columns ``first..last`` ``times-1`` more times.
+
+        Existing columns to the right shift to make room; the slice
+        appears ``times`` times in total (Fig. 6.2's repetition count).
+        """
+        if times < 1:
+            raise ValueError("times must be >= 1")
+        width = last - first + 1
+        shift = width * (times - 1)
+        moved = {}
+        for (column, row), slot in self.grid.items():
+            if column > last:
+                moved[(column + shift, row)] = slot
+            else:
+                moved[(column, row)] = slot
+        for copy in range(1, times):
+            for (column, row), slot in list(self.grid.items()):
+                if first <= column <= last:
+                    moved[(column + width * copy, row)] = Slot(
+                        slot.cell_class, slot.orientation, slot.name,
+                        slot.parameters)
+        self.grid = moved
+
+    def disallow(self, column: int, row: int, signal_name: str) -> None:
+        """Withdraw a pin of the slot at (column, row) from butting."""
+        self._disallowed.add((column, row, signal_name))
+
+    # -- compilation -----------------------------------------------------------
+
+    def compile_into(self, cell: CellClass) -> List[CellInstance]:
+        """Generate ``cell``'s internal structure from the grid."""
+        if not self.grid:
+            raise ValueError("nothing placed on the compiler grid")
+        self.cell = cell
+        cell.structure_layout = self
+
+        columns = sorted({c for c, _ in self.grid})
+        rows = sorted({r for _, r in self.grid})
+        widths = {c: 0.0 for c in columns}
+        heights = {r: 0.0 for r in rows}
+        boxes: Dict[Tuple[int, int], Rect] = {}
+        for (column, row), slot in self.grid.items():
+            class_box = slot.cell_class.bounding_box()
+            if class_box is None:
+                raise ValueError(f"cell {slot.cell_class.name!r} has no "
+                                 f"bounding box; cannot place it")
+            oriented = Transform(slot.orientation).apply_to(class_box)
+            boxes[(column, row)] = oriented
+            widths[column] = max(widths[column], oriented.width)
+            heights[row] = max(heights[row], oriented.height)
+
+        x_positions: Dict[int, float] = {}
+        x = 0.0
+        for column in columns:
+            x_positions[column] = x
+            x += widths[column] + self.spacing
+        y_positions: Dict[int, float] = {}
+        y = 0.0
+        for row in rows:
+            y_positions[row] = y
+            y += heights[row] + self.spacing
+
+        self.instances = {}
+        views: Dict[Tuple[int, int], CompilerView] = {}
+        for (column, row), slot in sorted(self.grid.items()):
+            slot_origin = Point(x_positions[column], y_positions[row])
+            oriented = boxes[(column, row)]
+            offset = slot_origin - oriented.origin
+            transform = Transform(slot.orientation, offset)
+            name = slot.name or f"{slot.cell_class.name}[{column},{row}]"
+            instance = slot.cell_class.instantiate(cell, name, transform)
+            for parameter_name, value in slot.parameters.items():
+                if not instance.set_parameter(parameter_name, value):
+                    raise ValueError(
+                        f"slot parameter {parameter_name}={value!r} "
+                        f"violates constraints on {name!r}")
+            slot_rect = Rect(slot_origin,
+                             slot_origin + Point(widths[column], heights[row]))
+            instance.bounding_box_var.set(slot_rect)
+            self.instances[(column, row)] = instance
+            views[(column, row)] = CompilerView(instance)
+
+        try:
+            self._connect_butting(columns, rows, views)
+        finally:
+            for view in views.values():
+                view.release()
+        return list(self.instances.values())
+
+    def _connect_butting(self, columns: Sequence[int], rows: Sequence[int],
+                         views: Dict[Tuple[int, int], CompilerView]) -> None:
+        for i, column in enumerate(columns[:-1]):
+            next_column = columns[i + 1]
+            for row in rows:
+                left = (column, row)
+                right = (next_column, row)
+                if left in views and right in views:
+                    self._butt(left, "right", right, "left", views, axis=1)
+        for j, row in enumerate(rows[:-1]):
+            next_row = rows[j + 1]
+            for column in columns:
+                below = (column, row)
+                above = (column, next_row)
+                if below in views and above in views:
+                    self._butt(below, "top", above, "bottom", views, axis=0)
+
+    def _butt(self, key_a: Tuple[int, int], side_a: str,
+              key_b: Tuple[int, int], side_b: str,
+              views: Dict[Tuple[int, int], CompilerView], axis: int) -> None:
+        pins_a = [(point, signal) for point, signal in
+                  views[key_a].pins_on(side_a)
+                  if (key_a[0], key_a[1], signal) not in self._disallowed]
+        pins_b = [(point, signal) for point, signal in
+                  views[key_b].pins_on(side_b)
+                  if (key_b[0], key_b[1], signal) not in self._disallowed]
+        for point_a, signal_a in pins_a:
+            for point_b, signal_b in pins_b:
+                if abs(tuple(point_a)[axis] - tuple(point_b)[axis]) \
+                        <= _TOLERANCE and \
+                        abs(tuple(point_a)[1 - axis]
+                            - tuple(point_b)[1 - axis]) <= _TOLERANCE:
+                    self._join(self.instances[key_a], signal_a,
+                               self.instances[key_b], signal_b)
+
+    def _join(self, instance_a: CellInstance, signal_a: str,
+              instance_b: CellInstance, signal_b: str) -> None:
+        net_a = instance_a.net_on(signal_a)
+        net_b = instance_b.net_on(signal_b)
+        if net_a is not None and net_a is net_b:
+            return
+        if net_a is not None:
+            net_a.connect(instance_b, signal_b)
+        elif net_b is not None:
+            net_b.connect(instance_a, signal_a)
+        else:
+            net = self.cell.add_net()
+            net.connect(instance_a, signal_a)
+            net.connect(instance_b, signal_b)
+
+
+    # -- boundary export ------------------------------------------------------
+
+    def export_boundary(self, prefix_by_index: bool = True) -> List[str]:
+        """Promote unconnected boundary pins to io-signals of the cell.
+
+        Fig. 6.2: after butting, the pins left on the compiled cell's
+        outer boundary (the a/b/sum buses, the word-level carry ends)
+        become the cell's own interface.  Each unconnected pin whose
+        location lies on the compiled cell's bounding-box perimeter gets
+        a parent io-signal (named ``{signal}_{n}`` when the same signal
+        name occurs in several slots and ``prefix_by_index`` is true)
+        wired to the instance signal by a net.  Pins disallowed with
+        :meth:`disallow` were withdrawn from butting *and* are withdrawn
+        here (the thesis's "withdraws the non-connecting io-pins from
+        the boundary of a cell").
+
+        Returns the names of the created io-signals.  Call after
+        :meth:`compile_into`.
+        """
+        if self.cell is None:
+            raise RuntimeError("compile_into must run before export_boundary")
+        cell = self.cell
+        outer = cell.bounding_box()
+        created: List[str] = []
+        name_counts: Dict[str, int] = {}
+        for (column, row), instance in sorted(self.instances.items()):
+            box = instance.bounding_box()
+            for signal_name, points in instance.io_pins().items():
+                if (column, row, signal_name) in self._disallowed:
+                    continue  # withdrawn from the boundary
+                if instance.net_on(signal_name) is not None:
+                    continue  # already butted internally
+                signal = instance.cell_class.signal(signal_name)
+                on_boundary = any(
+                    _side_of(point, outer) is not None for point in points)
+                if not on_boundary:
+                    continue
+                index = name_counts.get(signal_name, 0)
+                name_counts[signal_name] = index + 1
+                io_name = (f"{signal_name}_{index}" if prefix_by_index
+                           else signal_name)
+                if io_name in cell.signals:
+                    raise ValueError(f"cell {cell.name!r} already has a "
+                                     f"signal {io_name!r}")
+                cell.define_signal(
+                    io_name, signal.direction,
+                    output_resistance=signal.output_resistance,
+                    load_capacitance=signal.load_capacitance,
+                    pins=list(signal.pins))
+                net = cell.add_net(f"io_{io_name}")
+                net.connect_io(io_name)
+                net.connect(instance, signal_name)
+                created.append(io_name)
+        return created
+
+
+class VectorCompiler(GraphCompiler):
+    """A linear array of one cell class (section 6.4.1)."""
+
+    def __init__(self, element: CellClass, count: int,
+                 direction: str = "right", spacing: float = 0.0) -> None:
+        super().__init__()
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        if direction not in ("right", "up"):
+            raise ValueError("direction must be 'right' or 'up'")
+        self.spacing = spacing
+        for index in range(count):
+            position = (index, 0) if direction == "right" else (0, index)
+            self.place(*position, element, name=f"{element.name}.{index}")
+
+
+class WordCompiler(GraphCompiler):
+    """A vector of subcells with special end-cells (section 6.4.1)."""
+
+    def __init__(self, element: CellClass, count: int, *,
+                 left_end: Optional[CellClass] = None,
+                 right_end: Optional[CellClass] = None,
+                 spacing: float = 0.0) -> None:
+        super().__init__()
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        self.spacing = spacing
+        column = 0
+        if left_end is not None:
+            self.place(column, 0, left_end, name=f"{left_end.name}.L")
+            column += 1
+        for index in range(count):
+            self.place(column, 0, element, name=f"{element.name}.{index}")
+            column += 1
+        if right_end is not None:
+            self.place(column, 0, right_end, name=f"{right_end.name}.R")
+
+
+class MatrixCompiler(GraphCompiler):
+    """A two-dimensional array of one cell class (section 6.4.1)."""
+
+    def __init__(self, element: CellClass, columns: int, rows: int,
+                 spacing: float = 0.0) -> None:
+        super().__init__()
+        if columns < 1 or rows < 1:
+            raise ValueError("columns and rows must be >= 1")
+        self.spacing = spacing
+        for column in range(columns):
+            for row in range(rows):
+                self.place(column, row, element,
+                           name=f"{element.name}[{column},{row}]")

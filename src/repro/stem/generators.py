@@ -1,0 +1,104 @@
+"""Parameterized module generators — compiled-cell families.
+
+The thesis's module compilers (section 6.4.1) build *one* compiled cell
+from placement and size parameters; real silicon-compiler use wants the
+family: "give me the N-bit version".  A :class:`ModuleGenerator` wraps a
+build procedure parameterized by keyword arguments, materialises a cell
+class per distinct parameter binding (cached — the same parameters give
+the *same* class object, so all 8-bit adders share characteristics and
+constraint networks exactly as chapter 5's hierarchy expects), and
+optionally registers the generated classes in a library.
+
+This is also the natural producer of the generic-cell realization
+hierarchies of chapter 8: ``generator.generic`` exposes an optional
+generic ancestor so generated realizations slot into module selection.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from .cell import CellClass, CellInstance
+from .geometry import IDENTITY, Transform
+from .library import CellLibrary
+
+#: A build procedure: fills a freshly created cell class from parameters.
+Builder = Callable[..., None]
+
+
+class ModuleGenerator:
+    """A family of compiled cells, one class per parameter binding.
+
+    Parameters
+    ----------
+    name:
+        Family name; generated classes are named
+        ``{name}[k1=v1,k2=v2]``.
+    build:
+        ``build(cell, **params)`` — fills ``cell`` (signals, structure,
+        characteristics).  Runs once per distinct binding.
+    library:
+        Optional catalogue generated classes are registered in.
+    generic:
+        Optional generic ancestor: generated classes subclass it, so
+        they participate in module selection over that generic.
+    defaults:
+        Default parameter values merged under explicit arguments.
+    """
+
+    def __init__(self, name: str, build: Builder, *,
+                 library: Optional[CellLibrary] = None,
+                 generic: Optional[CellClass] = None,
+                 defaults: Optional[Dict[str, Any]] = None) -> None:
+        self.name = name
+        self.build = build
+        self.library = library
+        self.generic = generic
+        self.defaults = dict(defaults or {})
+        self._cache: Dict[Tuple[Tuple[str, Any], ...], CellClass] = {}
+
+    # -- materialisation -------------------------------------------------------
+
+    def _binding(self, params: Dict[str, Any]) -> Tuple[Tuple[str, Any], ...]:
+        merged = dict(self.defaults)
+        merged.update(params)
+        return tuple(sorted(merged.items()))
+
+    def cell_name(self, **params: Any) -> str:
+        binding = self._binding(params)
+        body = ",".join(f"{key}={value}" for key, value in binding)
+        return f"{self.name}[{body}]"
+
+    def cell_for(self, **params: Any) -> CellClass:
+        """The family member for these parameters (cached)."""
+        binding = self._binding(params)
+        cached = self._cache.get(binding)
+        if cached is not None:
+            return cached
+        name = self.cell_name(**params)
+        if self.library is not None:
+            cell = self.library.define(name, self.generic)
+        else:
+            cell = CellClass(name, self.generic,
+                             context=(self.generic.context
+                                      if self.generic else None))
+        self.build(cell, **dict(binding))
+        self._cache[binding] = cell
+        return cell
+
+    def instantiate(self, parent: Optional[CellClass] = None,
+                    name: Optional[str] = None,
+                    transform: Transform = IDENTITY,
+                    **params: Any) -> CellInstance:
+        """Instantiate the family member for these parameters."""
+        return self.cell_for(**params).instantiate(parent, name, transform)
+
+    # -- introspection -------------------------------------------------------------
+
+    @property
+    def generated(self) -> Dict[Tuple[Tuple[str, Any], ...], CellClass]:
+        return dict(self._cache)
+
+    def __repr__(self) -> str:
+        return (f"<ModuleGenerator {self.name} "
+                f"({len(self._cache)} member(s) materialised)>")

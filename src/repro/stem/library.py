@@ -1,0 +1,106 @@
+"""Cell library — the design-database front (sections 1, 3.2).
+
+An object-oriented IC design environment "represents the library version
+of a cell as a class object".  The :class:`CellLibrary` is the registry
+those class objects live in: named lookup, the inheritance forest,
+generic-cell queries for module selection, and simple statistics.  It
+deliberately stays a thin catalogue — the cells themselves carry all
+design data.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from ..core.engine import PropagationContext, default_context
+from .cell import CellClass
+
+
+class CellLibrary:
+    """A named catalogue of cell classes sharing one propagation context."""
+
+    def __init__(self, name: str = "library",
+                 context: Optional[PropagationContext] = None) -> None:
+        self.name = name
+        self.context = context if context is not None else default_context()
+        self._cells: Dict[str, CellClass] = {}
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._cells
+
+    def __iter__(self) -> Iterator[CellClass]:
+        return iter(self._cells.values())
+
+    # -- registration ---------------------------------------------------------
+
+    def define(self, name: str, superclass: Optional[CellClass] = None, *,
+               is_generic: bool = False, documentation: str = "") -> CellClass:
+        """Create and register a new cell class."""
+        if name in self._cells:
+            raise ValueError(f"library {self.name!r} already has a cell "
+                             f"{name!r}")
+        cell = CellClass(name, superclass, context=self.context,
+                         is_generic=is_generic, documentation=documentation)
+        self._cells[name] = cell
+        return cell
+
+    def register(self, cell: CellClass) -> CellClass:
+        """Adopt an existing cell class into the catalogue."""
+        if cell.name in self._cells and self._cells[cell.name] is not cell:
+            raise ValueError(f"library {self.name!r} already has a cell "
+                             f"{cell.name!r}")
+        if cell.context is not self.context:
+            raise ValueError(f"cell {cell.name!r} belongs to a different "
+                             f"propagation context")
+        self._cells[cell.name] = cell
+        return cell
+
+    def remove(self, name: str) -> None:
+        """Drop a cell from the catalogue (its instances are untouched)."""
+        self._cells.pop(name, None)
+
+    # -- lookup --------------------------------------------------------------------
+
+    def cell(self, name: str) -> CellClass:
+        try:
+            return self._cells[name]
+        except KeyError:
+            raise KeyError(f"library {self.name!r} has no cell {name!r}; "
+                           f"have {sorted(self._cells)}") from None
+
+    def names(self) -> List[str]:
+        return sorted(self._cells)
+
+    def roots(self) -> List[CellClass]:
+        """Cells without a (registered) superclass — the forest roots."""
+        return [cell for cell in self._cells.values()
+                if cell.superclass is None]
+
+    def generics(self) -> List[CellClass]:
+        """Generic cells (module-selection entry points)."""
+        return [cell for cell in self._cells.values() if cell.is_generic]
+
+    def realizations_of(self, name: str) -> List[CellClass]:
+        """Non-generic descendants of a (generic) cell — its candidates."""
+        cell = self.cell(name)
+        return [descendant for descendant in cell.descendants()
+                if not descendant.is_generic]
+
+    def leaf_cells(self) -> List[CellClass]:
+        """Cells without internal structure (directly designed / library)."""
+        return [cell for cell in self._cells.values() if not cell.subcells]
+
+    # -- statistics ----------------------------------------------------------------------
+
+    def statistics(self) -> Dict[str, int]:
+        return {
+            "cells": len(self._cells),
+            "generic_cells": len(self.generics()),
+            "leaf_cells": len(self.leaf_cells()),
+            "instances": sum(len(cell.instances)
+                             for cell in self._cells.values()),
+            "nets": sum(len(cell.nets) for cell in self._cells.values()),
+        }

@@ -1,0 +1,108 @@
+"""Parameter dual variables (section 5.1.1).
+
+For a parameter of a cell, the class-level variable characterises the
+*range* of values the cell can handle (and possibly a default); the
+instance-level variable holds the actual value in each use of the cell.
+
+* assigning an instance parameter checks the value against the class
+  range;
+* assigning a new class range checks every existing instance value;
+* except for defaults (which may flow class → instance), no propagation
+  occurs between the duals.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Optional, Sequence
+
+from ..core.justification import is_user
+from .implicit import ClassInstVar, InstanceInstVar
+
+
+class ParameterRange:
+    """A class parameter characterisation: bounds or choices, plus default.
+
+    Either ``low``/``high`` (inclusive numeric bounds, either may be
+    None) or ``choices`` (an explicit value set) — not both.
+    """
+
+    __slots__ = ("low", "high", "choices", "default")
+
+    def __init__(self, low: Any = None, high: Any = None,
+                 choices: Optional[Iterable[Any]] = None,
+                 default: Any = None) -> None:
+        if choices is not None and (low is not None or high is not None):
+            raise ValueError("give either bounds or choices, not both")
+        self.low = low
+        self.high = high
+        self.choices = tuple(choices) if choices is not None else None
+        self.default = default
+        if default is not None and not self.admits(default):
+            raise ValueError(f"default {default!r} outside the range")
+
+    def admits(self, value: Any) -> bool:
+        if value is None:
+            return True
+        if self.choices is not None:
+            return value in self.choices
+        if self.low is not None and value < self.low:
+            return False
+        if self.high is not None and value > self.high:
+            return False
+        return True
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, ParameterRange)
+                and (self.low, self.high, self.choices, self.default)
+                == (other.low, other.high, other.choices, other.default))
+
+    def __hash__(self) -> int:
+        return hash((self.low, self.high, self.choices, self.default))
+
+    def __repr__(self) -> str:
+        if self.choices is not None:
+            body = f"choices={list(self.choices)!r}"
+        else:
+            body = f"low={self.low!r}, high={self.high!r}"
+        if self.default is not None:
+            body += f", default={self.default!r}"
+        return f"ParameterRange({body})"
+
+
+class ClassParameter(ClassInstVar):
+    """Class-level parameter variable; its value is a :class:`ParameterRange`."""
+
+    @property
+    def range(self) -> Optional[ParameterRange]:
+        return self.value
+
+    def admits(self, value: Any) -> bool:
+        return self.value is None or self.value.admits(value)
+
+    def is_satisfied(self) -> bool:
+        """A new range must admit every existing instance value."""
+        return all(instance_var.consistent_with_class()
+                   for instance_var in self.dual_variables())
+
+
+class InstanceParameter(InstanceInstVar):
+    """Per-instance parameter value, checked against the class range."""
+
+    def consistent_with_class(self) -> bool:
+        class_var = self.class_var
+        if class_var is None or self.value is None:
+            return True
+        return class_var.admits(self.value)
+
+    def immediate_inference_by_changing(self, variable: Any) -> None:
+        """Only the *default* flows down, and only into an empty slot."""
+        class_var = self.class_var
+        if variable is not class_var or class_var is None:
+            return
+        if self.value is not None:
+            return
+        range_ = class_var.value
+        if range_ is None or range_.default is None:
+            return
+        self.set_propagated(range_.default, constraint=self,
+                            dependency_record=class_var)

@@ -1,0 +1,305 @@
+"""IO-signals, pins and nets (sections 3.3.2, 7.1).
+
+An :class:`IOSignal` is part of a cell class's interface definition.  Its
+three typing properties — bit width, data type, electrical type — live in
+class-level variables (data/electrical types are *shared* by all
+instances of the cell; bit widths are shared too unless a compiled
+instance owns its width, section 7.1 end).
+
+A :class:`Net` electrically connects signals of subcells to one another
+and possibly to the containing cell's own io-signals.  Connecting a
+signal to a net joins the signal's typing variables to the net's three
+typing constraints (bit-width equality, data/electrical compatibility),
+so type checking and inference run incrementally as connectivity is
+edited, and disconnecting removes them again.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..checking.sigtypes import (
+    BitWidthMixin,
+    ClassBWidth,
+    SignalTypeVariable,
+    make_net_typing_constraints,
+)
+from ..core.variable import Variable
+from .geometry import Point, Rect
+
+_SIDES = ("left", "right", "top", "bottom")
+
+
+class PinSpec:
+    """A pin position: a side of the bounding box and a 0..1 fraction.
+
+    Pin coordinates are derived from a box, which is what lets STEM
+    stretch io-pins to a larger instance bounding box (Fig. 7.6): the
+    same spec evaluated on the bigger box lands on its perimeter.
+    """
+
+    __slots__ = ("side", "position")
+
+    def __init__(self, side: str, position: float = 0.5) -> None:
+        if side not in _SIDES:
+            raise ValueError(f"side must be one of {_SIDES}, got {side!r}")
+        if not 0.0 <= position <= 1.0:
+            raise ValueError(f"position must be within [0, 1], got {position}")
+        self.side = side
+        self.position = position
+
+    def point_on(self, box: Rect) -> Point:
+        """The pin location on ``box``'s perimeter."""
+        if self.side == "left":
+            return Point(box.origin.x, box.origin.y + self.position * box.height)
+        if self.side == "right":
+            return Point(box.corner.x, box.origin.y + self.position * box.height)
+        if self.side == "bottom":
+            return Point(box.origin.x + self.position * box.width, box.origin.y)
+        return Point(box.origin.x + self.position * box.width, box.corner.y)
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, PinSpec) and self.side == other.side
+                and self.position == other.position)
+
+    def __repr__(self) -> str:
+        return f"PinSpec({self.side!r}, {self.position})"
+
+
+_DEFAULT_SIDE = {"in": "left", "out": "right", "inout": "bottom"}
+
+
+class IOSignal:
+    """One signal of a cell class's interface.
+
+    Parameters
+    ----------
+    cell_class:
+        The owning cell class.
+    name, direction:
+        Interface identity; ``direction`` is ``"in"``, ``"out"`` or
+        ``"inout"``.
+    data_type, electrical_type, bit_width:
+        Optional initial typing (``SignalType`` nodes / int).
+    output_resistance, load_capacitance:
+        RC-model electrical characteristics (section 7.3): the driving
+        resistance this signal presents when it is an output, and the
+        capacitance it loads a net with when it is an input.
+    pins:
+        Pin placement specs; defaults to one pin on a direction-dependent
+        side.
+    """
+
+    def __init__(self, cell_class: Any, name: str, direction: str = "in", *,
+                 data_type: Any = None, electrical_type: Any = None,
+                 bit_width: Optional[int] = None,
+                 output_resistance: float = 0.0,
+                 load_capacitance: float = 0.0,
+                 max_load_capacitance: Optional[float] = None,
+                 max_fanout: Optional[int] = None,
+                 pins: Sequence[PinSpec] = ()) -> None:
+        if direction not in ("in", "out", "inout"):
+            raise ValueError(f"direction must be in/out/inout, got {direction!r}")
+        self.cell_class = cell_class
+        self.name = name
+        self.direction = direction
+        self.output_resistance = output_resistance
+        self.load_capacitance = load_capacitance
+        # drive limits for electrical rule checking (None = unlimited)
+        self.max_load_capacitance = max_load_capacitance
+        self.max_fanout = max_fanout
+        self.pins: List[PinSpec] = (list(pins)
+                                    or [PinSpec(_DEFAULT_SIDE[direction])])
+        context = cell_class.context
+        self.data_type_var = SignalTypeVariable(
+            data_type, parent=cell_class, name=f"{name}.dataType",
+            context=context)
+        self.electrical_type_var = SignalTypeVariable(
+            electrical_type, parent=cell_class, name=f"{name}.electricalType",
+            context=context)
+        self.bit_width_var = ClassBWidth(
+            bit_width, parent=cell_class, name=f"{name}.bitWidth",
+            context=context)
+
+    def clone_for(self, cell_class: Any) -> "IOSignal":
+        """A copy of this signal definition for a subclass (inheritance)."""
+        return IOSignal(
+            cell_class, self.name, self.direction,
+            data_type=self.data_type_var.value,
+            electrical_type=self.electrical_type_var.value,
+            bit_width=self.bit_width_var.value,
+            output_resistance=self.output_resistance,
+            load_capacitance=self.load_capacitance,
+            max_load_capacitance=self.max_load_capacitance,
+            max_fanout=self.max_fanout,
+            pins=list(self.pins))
+
+    def pin_points(self, box: Rect) -> List[Point]:
+        """Pin locations on the given bounding box."""
+        return [spec.point_on(box) for spec in self.pins]
+
+    def __repr__(self) -> str:
+        return (f"<IOSignal {self.cell_class.name}.{self.name} "
+                f"{self.direction}>")
+
+
+class NetBWidth(BitWidthMixin, Variable):
+    """The net's own bit-width variable (the equality's netVariable)."""
+
+
+Endpoint = Tuple[Optional[Any], str]  # (CellInstance or None-for-parent-io, signal)
+
+
+class Net:
+    """An electrical net inside a composite cell.
+
+    ``endpoints`` are ``(owner, signal_name)`` pairs; ``owner`` is a
+    subcell instance, or ``None`` for the *internal* side of one of the
+    containing cell's own io-signals.
+    """
+
+    def __init__(self, parent_cell: Any, name: str) -> None:
+        self.parent_cell = parent_cell
+        self.name = name
+        self.endpoints: List[Endpoint] = []
+        context = parent_cell.context
+        self.bit_width_var = NetBWidth(parent=self, name="bitWidth",
+                                       context=context)
+        self.data_type_var = SignalTypeVariable(parent=self, name="dataType",
+                                                context=context)
+        self.electrical_type_var = SignalTypeVariable(
+            parent=self, name="electricalType", context=context)
+        (self.width_constraint,
+         self.data_constraint,
+         self.electrical_constraint) = make_net_typing_constraints(
+            self.bit_width_var, self.data_type_var, self.electrical_type_var)
+
+    def __repr__(self) -> str:
+        return f"<Net {self.parent_cell.name}.{self.name}>"
+
+    # -- connectivity editing -------------------------------------------------
+
+    def connect(self, instance: Any, signal_name: str) -> bool:
+        """Connect a subcell instance's signal to this net.
+
+        Joins the signal's typing variables to the net's constraints;
+        returns the validity feedback (False when typing constraints are
+        violated, as in Fig. 7.1 — the connection is still recorded so
+        the designer can inspect and repair it).
+        """
+        signal = instance.cell_class.signal(signal_name)  # validates
+        return self._attach_endpoint((instance, signal_name))
+
+    def connect_io(self, signal_name: str) -> bool:
+        """Connect the internal side of the containing cell's io-signal."""
+        self.parent_cell.signal(signal_name)  # validates
+        return self._attach_endpoint((None, signal_name))
+
+    def _attach_endpoint(self, endpoint: Endpoint) -> bool:
+        if endpoint in self.endpoints:
+            return True
+        self.endpoints.append(endpoint)
+        width_var, data_var, electrical_var = self._endpoint_vars(endpoint)
+        ok = self.width_constraint.add_argument(width_var)
+        ok = self.data_constraint.add_argument(data_var) and ok
+        ok = self.electrical_constraint.add_argument(electrical_var) and ok
+        self._register_connection(endpoint)
+        self.parent_cell.structure_changed("connectivity")
+        ok = self._refresh_loading(endpoint) and ok
+        return ok
+
+    def disconnect(self, instance: Any, signal_name: str) -> None:
+        self._detach_endpoint((instance, signal_name))
+
+    def disconnect_io(self, signal_name: str) -> None:
+        self._detach_endpoint((None, signal_name))
+
+    def _detach_endpoint(self, endpoint: Endpoint) -> None:
+        if endpoint not in self.endpoints:
+            return
+        self.endpoints.remove(endpoint)
+        width_var, data_var, electrical_var = self._endpoint_vars(endpoint)
+        self.width_constraint.remove_argument(width_var)
+        self.data_constraint.remove_argument(data_var)
+        self.electrical_constraint.remove_argument(electrical_var)
+        owner, signal_name = endpoint
+        if owner is not None:
+            owner.connections.pop(signal_name, None)
+        else:
+            self.parent_cell.io_connections.pop(signal_name, None)
+        self.parent_cell.structure_changed("connectivity")
+        self._refresh_loading(endpoint)
+
+    def _register_connection(self, endpoint: Endpoint) -> None:
+        owner, signal_name = endpoint
+        if owner is not None:
+            owner.connections[signal_name] = self
+        else:
+            self.parent_cell.io_connections[signal_name] = self
+
+    def _endpoint_vars(self, endpoint: Endpoint):
+        owner, signal_name = endpoint
+        if owner is None:
+            signal = self.parent_cell.signal(signal_name)
+            width_var = signal.bit_width_var
+        else:
+            signal = owner.cell_class.signal(signal_name)
+            width_var = owner.bit_width_var(signal_name)
+        return width_var, signal.data_type_var, signal.electrical_type_var
+
+    def _endpoint_signal(self, endpoint: Endpoint) -> IOSignal:
+        owner, signal_name = endpoint
+        cell = self.parent_cell if owner is None else owner.cell_class
+        return cell.signal(signal_name)
+
+    def _refresh_loading(self, changed_endpoint: Endpoint) -> bool:
+        """Loading changed: instance delays on this net must re-adjust.
+
+        Returns False when any re-adjusted delay violated a constraint
+        (the adjustment was rolled back), so connectivity edits report
+        the validity feedback of section 5.2.
+        """
+        ok = True
+        for owner, _signal_name in list(self.endpoints):
+            if owner is not None:
+                ok = owner.refresh_delay_adjustments() and ok
+        return ok
+
+    # -- electrical characteristics (RC model, section 7.3) -----------------------
+
+    def drivers(self) -> List[Endpoint]:
+        """Endpoints that drive the net (subcell outputs, parent inputs)."""
+        result = []
+        for endpoint in self.endpoints:
+            owner, _ = endpoint
+            signal = self._endpoint_signal(endpoint)
+            if owner is None:
+                if signal.direction in ("in", "inout"):
+                    result.append(endpoint)
+            elif signal.direction in ("out", "inout"):
+                result.append(endpoint)
+        return result
+
+    def receivers(self) -> List[Endpoint]:
+        """Endpoints the net feeds (subcell inputs, parent outputs)."""
+        result = []
+        for endpoint in self.endpoints:
+            owner, _ = endpoint
+            signal = self._endpoint_signal(endpoint)
+            if owner is None:
+                if signal.direction in ("out", "inout"):
+                    result.append(endpoint)
+            elif signal.direction in ("in", "inout"):
+                result.append(endpoint)
+        return result
+
+    def driving_resistance(self) -> float:
+        """Worst-case output resistance among the net's drivers."""
+        resistances = [self._endpoint_signal(e).output_resistance
+                       for e in self.drivers()]
+        return max(resistances, default=0.0)
+
+    def load_capacitance(self) -> float:
+        """Total input capacitance the net's receivers present."""
+        return sum(self._endpoint_signal(e).load_capacitance
+                   for e in self.receivers())

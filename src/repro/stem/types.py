@@ -1,0 +1,146 @@
+"""Signal type hierarchies (section 7.1, Figs. 7.2/7.3).
+
+Data and electrical types of signals are defined hierarchically, with the
+most abstract types at the roots.  Two types are *compatible* iff one is
+an ancestor of the other; of two compatible types the *less abstract* one
+is the descendant.  STEM implements the hierarchy with Smalltalk's class
+hierarchy; here each type is a :class:`SignalType` node in an explicit
+tree, which keeps the hierarchy extensible at runtime (new process
+libraries can register electrical types without defining Python classes).
+
+The standard hierarchy of Fig. 7.2 is built at import time:
+
+* ``DataType``: ``Bit``, ``FloatSignal``, ``IntegerSignal``
+  (``A2CIntSignal``, ``BCDSignal``, ``SignedMagIntSignal``,
+  ``WholeSignal``)
+* ``ElectricalType``: ``Analog``, ``Digital`` (``BIPOLAR``, ``TTL``,
+  ``CMOS``)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+
+class SignalType:
+    """A node in a signal type hierarchy.
+
+    Compatibility and abstraction tests mirror Fig. 7.3:
+
+    * ``a.is_compatible_with(b)`` — one of the two is an ancestor of the
+      other (or they are the same type);
+    * ``a.is_less_abstract_than(b)`` — ``a`` is a strict descendant of
+      ``b``.
+    """
+
+    def __init__(self, name: str, parent: Optional["SignalType"] = None) -> None:
+        self.name = name
+        self.parent = parent
+        self.children: List["SignalType"] = []
+        if parent is not None:
+            parent.children.append(self)
+        else:
+            self._registry: Dict[str, SignalType] = {}
+        root = self.root()
+        if name in root._registry:
+            raise ValueError(f"duplicate type name {name!r} in "
+                             f"hierarchy {root.name!r}")
+        root._registry[name] = self
+
+    # -- hierarchy walking ---------------------------------------------------
+
+    def root(self) -> "SignalType":
+        node = self
+        while node.parent is not None:
+            node = node.parent
+        return node
+
+    def ancestors(self) -> Iterator["SignalType"]:
+        """Strict ancestors, nearest first."""
+        node = self.parent
+        while node is not None:
+            yield node
+            node = node.parent
+
+    def descendants(self) -> Iterator["SignalType"]:
+        """Strict descendants, depth first (``allSubclasses``)."""
+        for child in self.children:
+            yield child
+            yield from child.descendants()
+
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    def subtype(self, name: str) -> "SignalType":
+        """Define (and return) a new child type."""
+        return SignalType(name, parent=self)
+
+    def lookup(self, name: str) -> "SignalType":
+        """Find a type by name anywhere in this hierarchy."""
+        try:
+            return self.root()._registry[name]
+        except KeyError:
+            raise KeyError(f"no type named {name!r} in hierarchy "
+                           f"{self.root().name!r}") from None
+
+    # -- compatibility tests (Fig. 7.3) ------------------------------------------
+
+    def is_compatible_with(self, other: "SignalType") -> bool:
+        """One of the two is a (non-strict) ancestor of the other."""
+        if self is other:
+            return True
+        return other in self.descendants() or self in other.descendants()
+
+    def is_less_abstract_than(self, other: "SignalType") -> bool:
+        """True when self is a strict descendant of ``other``."""
+        return self in other.descendants()
+
+    def least_abstract_with(self, other: "SignalType") -> "SignalType":
+        """Of two compatible types, the more specific one."""
+        if not self.is_compatible_with(other):
+            raise ValueError(f"{self!r} and {other!r} are incompatible")
+        return self if self.is_less_abstract_than(other) else other
+
+    def __repr__(self) -> str:
+        return f"<SignalType {self.name}>"
+
+
+def _build_standard_hierarchies():
+    """The type hierarchies of Fig. 7.2."""
+    s_module = SignalType("SmoduleSignalType")
+
+    data = SignalType("DataType", s_module)
+    SignalType("Bit", data)
+    SignalType("FloatSignal", data)
+    integer = SignalType("IntegerSignal", data)
+    SignalType("A2CIntSignal", integer)
+    SignalType("BCDSignal", integer)
+    SignalType("SignedMagIntSignal", integer)
+    SignalType("WholeSignal", integer)
+
+    electrical = SignalType("ElectricalType", s_module)
+    SignalType("Analog", electrical)
+    digital = SignalType("Digital", electrical)
+    SignalType("BIPOLAR", digital)
+    SignalType("TTL", digital)
+    SignalType("CMOS", digital)
+
+    return s_module, data, electrical
+
+
+S_MODULE_SIGNAL_TYPE, DATA_TYPE, ELECTRICAL_TYPE = _build_standard_hierarchies()
+
+# Convenient module-level names for the standard types.
+BIT = DATA_TYPE.lookup("Bit")
+FLOAT_SIGNAL = DATA_TYPE.lookup("FloatSignal")
+INTEGER_SIGNAL = DATA_TYPE.lookup("IntegerSignal")
+A2C_INT_SIGNAL = DATA_TYPE.lookup("A2CIntSignal")
+BCD_SIGNAL = DATA_TYPE.lookup("BCDSignal")
+SIGNED_MAG_INT_SIGNAL = DATA_TYPE.lookup("SignedMagIntSignal")
+WHOLE_SIGNAL = DATA_TYPE.lookup("WholeSignal")
+
+ANALOG = ELECTRICAL_TYPE.lookup("Analog")
+DIGITAL = ELECTRICAL_TYPE.lookup("Digital")
+BIPOLAR = ELECTRICAL_TYPE.lookup("BIPOLAR")
+TTL = ELECTRICAL_TYPE.lookup("TTL")
+CMOS = ELECTRICAL_TYPE.lookup("CMOS")

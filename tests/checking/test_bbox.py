@@ -1,0 +1,134 @@
+"""Tests for bounding-box checking (section 7.2)."""
+
+import pytest
+
+from repro.core import (
+    AreaBoundConstraint,
+    AspectRatioPredicate,
+    PitchMatchPredicate,
+    USER,
+)
+from repro.stem import CellClass, Point, Rect, Transform
+from repro.checking.bbox import calculate_bounding_box
+
+
+class TestClassToInstance:
+    def test_new_class_box_defaults_instances(self):
+        cell = CellClass("C")
+        i1 = cell.instantiate(transform=Transform.translation(0, 0))
+        i2 = cell.instantiate(transform=Transform.translation(10, 0))
+        cell.set_bounding_box(Rect.of_extent(4, 2))
+        assert i1.bounding_box_var.value == Rect.of_extent(4, 2)
+        assert i2.bounding_box_var.value == Rect.of_extent(4, 2, Point(10, 0))
+
+    def test_user_instance_box_only_checked(self):
+        cell = CellClass("C")
+        instance = cell.instantiate()
+        instance.bounding_box_var.set(Rect.of_extent(6, 3), USER)
+        assert cell.set_bounding_box(Rect.of_extent(4, 2))
+        assert instance.bounding_box_var.value == Rect.of_extent(6, 3)
+
+    def test_class_growth_beyond_user_instance_box_violates(self):
+        cell = CellClass("C")
+        instance = cell.instantiate()
+        instance.bounding_box_var.set(Rect.of_extent(4, 2), USER)
+        assert not cell.set_bounding_box(Rect.of_extent(5, 2))
+
+    def test_rotation_in_adjustment(self):
+        cell = CellClass("C")
+        instance = cell.instantiate(transform=Transform("R90"))
+        cell.set_bounding_box(Rect.of_extent(4, 2))
+        assert instance.bounding_box_var.value.extent == Point(2, 4)
+
+    def test_instance_created_after_class_box_seeded(self):
+        cell = CellClass("C")
+        cell.set_bounding_box(Rect.of_extent(4, 2))
+        instance = cell.instantiate(transform=Transform.translation(3, 3))
+        assert instance.bounding_box() == Rect.of_extent(4, 2, Point(3, 3))
+
+
+class TestInstanceChecking:
+    def test_cannot_shrink_below_class(self):
+        cell = CellClass("C")
+        cell.set_bounding_box(Rect.of_extent(4, 2))
+        instance = cell.instantiate()
+        assert not instance.bounding_box_var.set(Rect.of_extent(3, 2))
+        assert instance.bounding_box_var.set(Rect.of_extent(4, 2))
+        assert instance.bounding_box_var.set(Rect.of_extent(9, 9))
+
+    def test_no_upward_propagation(self):
+        cell = CellClass("C")
+        cell.set_bounding_box(Rect.of_extent(4, 2))
+        instance = cell.instantiate()
+        instance.bounding_box_var.set(Rect.of_extent(8, 8))
+        assert cell.bounding_box() == Rect.of_extent(4, 2)
+
+
+class TestParentInvalidation:
+    """Fig. 7.8: subcell box changes procedurally reset the parent box."""
+
+    def test_subcell_change_resets_parent(self):
+        leaf = CellClass("LEAF")
+        leaf.set_bounding_box(Rect.of_extent(4, 2))
+        top = CellClass("TOP")
+        i1 = leaf.instantiate(top, "L1")
+        assert top.bounding_box() == Rect.of_extent(4, 2)
+        i1.bounding_box_var.set(Rect.of_extent(5, 5))
+        assert top.bounding_box_var.value is None or \
+            top.bounding_box() == Rect.of_extent(5, 5)
+        assert top.bounding_box() == Rect.of_extent(5, 5)
+
+    def test_restored_violation_does_not_invalidate(self):
+        leaf = CellClass("LEAF")
+        leaf.set_bounding_box(Rect.of_extent(4, 2))
+        top = CellClass("TOP")
+        i1 = leaf.instantiate(top, "L1")
+        before = top.bounding_box()
+        assert not i1.bounding_box_var.set(Rect.of_extent(1, 1))
+        assert top.bounding_box() == before
+
+    def test_user_parent_box_not_reset(self):
+        leaf = CellClass("LEAF")
+        leaf.set_bounding_box(Rect.of_extent(4, 2))
+        top = CellClass("TOP")
+        i1 = leaf.instantiate(top, "L1")
+        top.set_bounding_box(Rect.of_extent(20, 20), USER)
+        i1.bounding_box_var.set(Rect.of_extent(5, 5))
+        # the designer's explicit floorplan box is not silently erased
+        assert top.bounding_box() == Rect.of_extent(20, 20)
+
+
+class TestDesignerConstraints:
+    def test_aspect_ratio_on_class_box(self):
+        cell = CellClass("C")
+        AspectRatioPredicate(cell.bounding_box_var, 2.0)
+        assert cell.set_bounding_box(Rect.of_extent(4, 2))
+        assert not cell.set_bounding_box(Rect.of_extent(5, 2))
+
+    def test_area_bound_on_class_box(self):
+        cell = CellClass("C")
+        AreaBoundConstraint(cell.bounding_box_var, 10.0)
+        assert cell.set_bounding_box(Rect.of_extent(4, 2))
+        assert not cell.set_bounding_box(Rect.of_extent(4, 3))
+
+    def test_pitch_matching_between_cells(self):
+        a = CellClass("A")
+        b = CellClass("B")
+        PitchMatchPredicate(a.bounding_box_var, b.bounding_box_var, axis="y")
+        a.set_bounding_box(Rect.of_extent(4, 2))
+        assert b.set_bounding_box(Rect.of_extent(9, 2))
+        assert not b.set_bounding_box(Rect.of_extent(9, 3))
+
+
+class TestCalculateBoundingBox:
+    def test_union_of_boxes(self):
+        boxes = [Rect.of_extent(2, 2), Rect.of_extent(2, 2, Point(4, 0))]
+        assert calculate_bounding_box(boxes) == Rect(Point(0, 0), Point(6, 2))
+
+    def test_ignores_missing(self):
+        boxes = [Rect.of_extent(2, 2), None]
+        assert calculate_bounding_box(boxes) == Rect.of_extent(2, 2)
+
+    def test_empty(self):
+        assert calculate_bounding_box([]) is None
+        assert calculate_bounding_box([None]) is None

@@ -1,0 +1,112 @@
+"""Tests for process-corner delay values flowing through delay networks."""
+
+import pytest
+
+from repro.checking.corners import Corners, derate
+from repro.core import (
+    UniAdditionConstraint,
+    UniMaximumConstraint,
+    UpperBoundConstraint,
+    Variable,
+)
+from repro.stem import CellClass
+
+
+class TestCornersValue:
+    def test_ordering_invariant_enforced(self):
+        with pytest.raises(ValueError):
+            Corners(1.0, 2.0, 3.0)  # slow must be the largest
+
+    def test_addition(self):
+        total = Corners(10, 8, 6) + Corners(5, 4, 3)
+        assert total == Corners(15, 12, 9)
+
+    def test_scalar_mixing(self):
+        assert Corners(10, 8, 6) + 2 == Corners(12, 10, 8)
+        assert 2 + Corners(10, 8, 6) == Corners(12, 10, 8)
+
+    def test_scaling(self):
+        assert Corners(10, 8, 6) * 2 == Corners(20, 16, 12)
+        with pytest.raises(ValueError):
+            Corners(10, 8, 6) * -1
+
+    def test_comparison_by_worst_case(self):
+        a = Corners(10, 5, 1)
+        b = Corners(9, 9, 9)
+        assert a > b
+        assert b < a
+        assert a <= 10 and a >= 10  # vs scalar: worst case 10
+
+    def test_derate(self):
+        c = derate(10.0, slow_factor=1.5, fast_factor=0.5)
+        assert c == Corners(15.0, 10.0, 5.0)
+        with pytest.raises(ValueError):
+            derate(10.0, slow_factor=0.9)
+
+    def test_of_passthrough(self):
+        c = Corners(3, 2, 1)
+        assert Corners.of(c) is c
+        assert Corners.of(5) == Corners(5, 5, 5)
+
+    def test_is_close_to(self):
+        assert Corners(1.0, 0.5, 0.1).is_close_to(
+            Corners(1.0 + 1e-12, 0.5, 0.1))
+
+
+class TestCornersInFunctionalNetworks:
+    def test_sum_and_max_propagate_all_corners(self):
+        d1 = Variable(derate(10.0), name="d1")
+        d2 = Variable(derate(20.0), name="d2")
+        d3 = Variable(derate(28.0), name="d3")
+        path_a = Variable(name="path_a")
+        path_b = Variable(name="path_b")
+        worst = Variable(name="worst")
+        UniAdditionConstraint(path_a, [d1, d2])
+        UniAdditionConstraint(path_b, [d3])
+        UniMaximumConstraint(worst, [path_a, path_b])
+        # path_a: typ 30 slow 39; path_b: typ 28 slow 36.4 -> path_a wins
+        assert worst.value == derate(30.0)
+        assert worst.value.slow == pytest.approx(39.0)
+
+    def test_worst_case_can_differ_from_typical_winner(self):
+        """Corner analysis: the slow-corner winner decides."""
+        a = Variable(Corners(40.0, 20.0, 10.0), name="a")  # wild device
+        b = Variable(Corners(35.0, 30.0, 25.0), name="b")  # stable device
+        worst = Variable(name="worst")
+        UniMaximumConstraint(worst, [a, b])
+        assert worst.value is a.value  # slow corner 40 beats 35
+
+    def test_bound_checks_worst_case(self):
+        d = Variable(name="d")
+        UpperBoundConstraint(d, 12.0)
+        assert d.set(Corners(12.0, 9.0, 7.0))
+        assert not d.set(Corners(12.5, 9.0, 7.0))
+
+
+class TestCornersInDelayNetworks:
+    def test_hierarchical_corner_analysis(self):
+        stage = CellClass("STAGE")
+        stage.define_signal("a", "in")
+        stage.define_signal("y", "out")
+        stage.declare_delay("a", "y", estimate=derate(10.0))
+
+        top = CellClass("TOP")
+        top.define_signal("in1", "in")
+        top.define_signal("out1", "out")
+        spec = top.declare_delay("in1", "out1")
+        UpperBoundConstraint(spec, 30.0)  # worst case must fit 30
+
+        s1 = stage.instantiate(top, "s1")
+        s2 = stage.instantiate(top, "s2")
+        nin = top.add_net("nin"); nin.connect_io("in1"); nin.connect(s1, "a")
+        mid = top.add_net("mid"); mid.connect(s1, "y"); mid.connect(s2, "a")
+        nout = top.add_net("nout"); nout.connect(s2, "y")
+        nout.connect_io("out1")
+
+        value = top.delay_value("in1", "out1")
+        assert value == derate(20.0)
+        assert value.slow == pytest.approx(26.0)
+        # a slightly slower stage busts the worst-case budget even though
+        # the typical case (2 x 12 = 24) would fit
+        assert not stage.delay_var("a", "y").calculate(derate(12.0))
+        assert top.delay_var("in1", "out1").value == derate(20.0)

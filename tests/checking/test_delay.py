@@ -1,0 +1,223 @@
+"""Tests for delay networks and hierarchical delay checking (section 7.3)."""
+
+import pytest
+
+from repro.core import UpperBoundConstraint, USER
+from repro.stem import CellClass
+from repro.checking.delay import enumerate_delay_paths
+
+
+def leaf(name, d_in="a", d_out="y", delay=10.0, r_out=0.0, c_in=0.0):
+    cell = CellClass(name)
+    cell.define_signal(d_in, "in", load_capacitance=c_in)
+    cell.define_signal(d_out, "out", output_resistance=r_out)
+    cell.declare_delay(d_in, d_out, estimate=delay)
+    return cell
+
+
+class TestInstanceDelayAdjustment:
+    def test_instance_inherits_class_estimate(self):
+        cell = leaf("INV", delay=5.0)
+        instance = cell.instantiate()
+        assert instance.delay_var("a", "y").value == 5.0
+
+    def test_rc_loading_penalty(self):
+        """instance delay = class delay + R_driver(input net) * C_load(output net)."""
+        driver = leaf("DRV", delay=1.0, r_out=3.0)
+        middle = leaf("MID", delay=10.0, r_out=2.0, c_in=1.0)
+        sink = leaf("SNK", delay=1.0, c_in=4.0)
+        top = CellClass("TOP")
+        top.define_signal("in1", "in")
+        top.define_signal("out1", "out")
+        d = driver.instantiate(top, "d")
+        m = middle.instantiate(top, "m")
+        s = sink.instantiate(top, "s")
+        top.add_net("n0").connect_io("in1")
+        top.net("n0").connect(d, "a")
+        n1 = top.add_net("n1")
+        n1.connect(d, "y"); n1.connect(m, "a")
+        n2 = top.add_net("n2")
+        n2.connect(m, "y"); n2.connect(s, "a")
+        n3 = top.add_net("n3")
+        n3.connect(s, "y"); n3.connect_io("out1")
+        # middle: driven through n1 (R=3.0), loads n2 with sink C=4.0
+        assert m.delay_var("a", "y").value == pytest.approx(10.0 + 3.0 * 4.0)
+
+    def test_class_delay_change_readjusts_instances(self):
+        driver = leaf("DRV", delay=1.0, r_out=2.0)
+        gate = leaf("GATE", delay=10.0, c_in=1.0)
+        sink = leaf("SNK", delay=1.0, c_in=3.0)
+        top = CellClass("TOP")
+        d = driver.instantiate(top, "d")
+        g = gate.instantiate(top, "g")
+        s = sink.instantiate(top, "s")
+        n1 = top.add_net("n1"); n1.connect(d, "y"); n1.connect(g, "a")
+        n2 = top.add_net("n2"); n2.connect(g, "y"); n2.connect(s, "a")
+        assert g.delay_var("a", "y").value == pytest.approx(16.0)
+        gate.delay_var("a", "y").set(20.0)
+        assert g.delay_var("a", "y").value == pytest.approx(26.0)
+
+    def test_user_instance_delay_not_readjusted(self):
+        cell = leaf("INV", delay=5.0)
+        instance = cell.instantiate()
+        instance.delay_var("a", "y").set(99.0, USER)
+        cell.delay_var("a", "y").set(7.0)
+        assert instance.delay_var("a", "y").value == 99.0
+
+
+def cascade(n=3, delay=10.0, r_out=1.0, c_in=2.0):
+    """n identical stages in series inside TOP, in1 -> out1."""
+    stage = leaf("STAGE", delay=delay, r_out=r_out, c_in=c_in)
+    top = CellClass("TOP")
+    top.define_signal("in1", "in")
+    top.define_signal("out1", "out")
+    top.declare_delay("in1", "out1")
+    instances = [stage.instantiate(top, f"s{i}") for i in range(n)]
+    first_net = top.add_net("nin")
+    first_net.connect_io("in1")
+    first_net.connect(instances[0], "a")
+    for i in range(n - 1):
+        net = top.add_net(f"n{i}")
+        net.connect(instances[i], "y")
+        net.connect(instances[i + 1], "a")
+    last = top.add_net("nout")
+    last.connect(instances[-1], "y")
+    last.connect_io("out1")
+    return stage, top, instances
+
+
+class TestPathEnumeration:
+    def test_single_cascade_path(self):
+        stage, top, instances = cascade(3)
+        paths = enumerate_delay_paths(top, "in1", "out1")
+        assert len(paths) == 1
+        assert paths[0] == [i.delay_var("a", "y") for i in instances]
+
+    def test_no_path_without_connectivity(self):
+        top = CellClass("TOP")
+        top.define_signal("in1", "in")
+        top.define_signal("out1", "out")
+        top.declare_delay("in1", "out1")
+        assert enumerate_delay_paths(top, "in1", "out1") == []
+
+    def test_parallel_paths(self):
+        stage = leaf("STAGE", delay=10.0)
+        top = CellClass("TOP")
+        top.define_signal("in1", "in")
+        top.define_signal("out1", "out")
+        top.declare_delay("in1", "out1")
+        s1 = stage.instantiate(top, "s1")
+        s2 = stage.instantiate(top, "s2")
+        nin = top.add_net("nin")
+        nin.connect_io("in1"); nin.connect(s1, "a"); nin.connect(s2, "a")
+        nout = top.add_net("nout")
+        nout.connect(s1, "y"); nout.connect(s2, "y"); nout.connect_io("out1")
+        paths = enumerate_delay_paths(top, "in1", "out1")
+        assert len(paths) == 2
+
+    def test_undeclared_subcell_delays_ignored(self):
+        """Only declared (critical) delays participate (section 7.3)."""
+        silent = CellClass("SILENT")
+        silent.define_signal("a", "in")
+        silent.define_signal("y", "out")
+        top = CellClass("TOP")
+        top.define_signal("in1", "in")
+        top.define_signal("out1", "out")
+        top.declare_delay("in1", "out1")
+        s = silent.instantiate(top, "s")
+        nin = top.add_net("nin"); nin.connect_io("in1"); nin.connect(s, "a")
+        nout = top.add_net("nout"); nout.connect(s, "y"); nout.connect_io("out1")
+        assert enumerate_delay_paths(top, "in1", "out1") == []
+
+
+class TestDelayNetwork:
+    def test_cascade_total(self):
+        stage, top, instances = cascade(3, delay=10.0, r_out=1.0, c_in=2.0)
+        # middle stages are driven with R=1 and load C=2 -> penalty 2.0;
+        # the first stage is driven by the parent io (R=0).
+        value = top.delay_value("in1", "out1")
+        expected = sum(i.delay_var("a", "y").value for i in instances)
+        assert value == pytest.approx(expected)
+
+    def test_longest_path_wins(self):
+        fast = leaf("FAST", delay=1.0)
+        slow = leaf("SLOW", delay=50.0)
+        top = CellClass("TOP")
+        top.define_signal("in1", "in")
+        top.define_signal("out1", "out")
+        top.declare_delay("in1", "out1")
+        f = fast.instantiate(top, "f")
+        s = slow.instantiate(top, "s")
+        nin = top.add_net("nin")
+        nin.connect_io("in1"); nin.connect(f, "a"); nin.connect(s, "a")
+        nout = top.add_net("nout")
+        nout.connect(f, "y"); nout.connect(s, "y"); nout.connect_io("out1")
+        assert top.delay_value("in1", "out1") == pytest.approx(50.0)
+
+    def test_incremental_update_through_hierarchy(self):
+        stage, top, instances = cascade(2, delay=10.0, r_out=0.0, c_in=0.0)
+        assert top.delay_value("in1", "out1") == pytest.approx(20.0)
+        stage.delay_var("a", "y").set(15.0)
+        assert top.delay_var("in1", "out1").value == pytest.approx(30.0)
+
+    def test_spec_violation_detected_hierarchically(self, context):
+        stage, top, instances = cascade(2, delay=10.0, r_out=0.0, c_in=0.0)
+        UpperBoundConstraint(top.delay_var("in1", "out1"), 25.0)
+        assert top.delay_value("in1", "out1") == pytest.approx(20.0)
+        assert not stage.delay_var("a", "y").set(15.0)
+        # everything restored
+        assert stage.delay_var("a", "y").value == pytest.approx(10.0)
+        assert top.delay_var("in1", "out1").value == pytest.approx(20.0)
+        assert context.handler.records
+
+    def test_structure_change_discards_network(self):
+        stage, top, instances = cascade(2)
+        top.delay_value("in1", "out1")
+        assert top.delay_network is not None
+        extra = stage.instantiate(top, "late")
+        assert top.delay_network is None
+
+    def test_network_rebuilt_on_demand_after_discard(self):
+        stage, top, instances = cascade(2, delay=10.0, r_out=0.0, c_in=0.0)
+        assert top.delay_value("in1", "out1") == pytest.approx(20.0)
+        # grow the cascade: s1 -> extra -> out
+        top.net("nout").disconnect(instances[-1], "y")
+        extra = stage.instantiate(top, "s_extra")
+        link = top.add_net("nlink")
+        link.connect(instances[-1], "y"); link.connect(extra, "a")
+        top.net("nout").connect(extra, "y")
+        assert top.delay_var("in1", "out1").value is None
+        value = top.delay_value("in1", "out1")
+        assert value == pytest.approx(
+            sum(i.delay_var("a", "y").value for i in instances + [extra]))
+
+
+class TestLeastCommitmentFlow:
+    """Section 7.3's workflow: estimate early, refine when designed."""
+
+    def test_estimate_then_measured(self):
+        adder = CellClass("ADDER")
+        adder.define_signal("a", "in")
+        adder.define_signal("sum", "out")
+        adder.declare_delay("a", "sum", estimate=100.0)
+
+        alu = CellClass("ALU")
+        alu.define_signal("x", "in")
+        alu.define_signal("y", "out")
+        alu.declare_delay("x", "y")
+        a1 = adder.instantiate(alu, "a1")
+        nin = alu.add_net("nin"); nin.connect_io("x"); nin.connect(a1, "a")
+        nout = alu.add_net("nout"); nout.connect(a1, "sum"); nout.connect_io("y")
+        # evaluation possible before ADDER internals exist
+        assert alu.delay_value("x", "y") == pytest.approx(100.0)
+        # the real design turns out faster; the estimate is replaced
+        assert adder.delay_var("a", "sum").calculate(80.0)
+        assert alu.delay_var("x", "y").value == pytest.approx(80.0)
+
+    def test_clear_delay_estimate(self):
+        adder = CellClass("ADDER")
+        adder.define_signal("a", "in")
+        adder.define_signal("sum", "out")
+        adder.declare_delay("a", "sum", estimate=100.0)
+        adder.clear_delay_estimate("a", "sum")
+        assert adder.delay_var("a", "sum").value is None

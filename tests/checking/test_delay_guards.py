@@ -1,0 +1,68 @@
+"""Tests for the delay-path explosion guards (section 7.3)."""
+
+import pytest
+
+from repro.checking.delay import (
+    DelayPathExplosion,
+    build_delay_network,
+    enumerate_delay_paths,
+)
+from repro.stem import CellClass
+
+
+def diamond_mesh(layers=3):
+    """A mesh with 2^layers parallel paths (pathological fan-out)."""
+    stage = CellClass("STAGE")
+    stage.define_signal("a", "in")
+    stage.define_signal("y", "out")
+    stage.declare_delay("a", "y", estimate=1.0)
+
+    top = CellClass("TOP")
+    top.define_signal("in1", "in")
+    top.define_signal("out1", "out")
+    top.declare_delay("in1", "out1")
+    previous_nets = [top.add_net("nin")]
+    previous_nets[0].connect_io("in1")
+    for layer in range(layers):
+        next_nets = []
+        for branch in range(2):
+            instance = stage.instantiate(top, f"s{layer}_{branch}")
+            # every stage listens to every previous branch: paths multiply
+            for net in previous_nets:
+                net.connect(instance, "a")
+            out_net = top.add_net(f"n{layer}_{branch}")
+            out_net.connect(instance, "y")
+            next_nets.append(out_net)
+        previous_nets = next_nets
+    for branch_net in previous_nets:
+        branch_net.connect_io("out1")
+    return stage, top
+
+
+class TestGuards:
+    def test_path_count_grows_exponentially(self):
+        stage, top = diamond_mesh(3)
+        paths = enumerate_delay_paths(top, "in1", "out1")
+        assert len(paths) == 2 ** 3
+
+    def test_max_paths_raises_instead_of_dropping(self):
+        stage, top = diamond_mesh(3)
+        with pytest.raises(DelayPathExplosion):
+            enumerate_delay_paths(top, "in1", "out1", max_paths=4)
+
+    def test_cutoff_limits_path_length(self):
+        stage, top = diamond_mesh(3)
+        # each path is 7 edges (4 net hops + 3 delay edges); cutoff below
+        # that finds nothing
+        assert enumerate_delay_paths(top, "in1", "out1", cutoff=5) == []
+
+    def test_generous_limits_build_full_network(self):
+        stage, top = diamond_mesh(2)
+        network = build_delay_network(top, max_paths=16)
+        assert len(network.path_variables[("in1", "out1")]) == 4
+        assert top.delay_var("in1", "out1").value == pytest.approx(2.0)
+
+    def test_build_propagates_guard(self):
+        stage, top = diamond_mesh(3)
+        with pytest.raises(DelayPathExplosion):
+            build_delay_network(top, max_paths=2)

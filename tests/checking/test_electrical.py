@@ -1,0 +1,127 @@
+"""Tests for electrical rule checking (RC-model extension of chapter 7)."""
+
+import pytest
+
+from repro.checking.electrical import (
+    DriveLoadConstraint,
+    check_cell,
+    watch_net,
+)
+from repro.stem import CellClass
+
+
+def driver_cell(max_load=None, max_fanout=None):
+    cell = CellClass("DRV")
+    cell.define_signal("y", "out", output_resistance=1e3,
+                       max_load_capacitance=max_load, max_fanout=max_fanout)
+    return cell
+
+
+def sink_cell(c_in=1e-12):
+    cell = CellClass("SNK")
+    cell.define_signal("a", "in", load_capacitance=c_in)
+    return cell
+
+
+def wire_up(driver, sinks):
+    top = CellClass("TOP")
+    d = driver.instantiate(top, "d")
+    net = top.add_net("n")
+    net.connect(d, "y")
+    instances = []
+    for i, sink in enumerate(sinks):
+        s = sink.instantiate(top, f"s{i}")
+        net.connect(s, "a")
+        instances.append(s)
+    return top, net, d, instances
+
+
+class TestIncrementalWatch:
+    def test_within_limits(self):
+        top, net, *_ = wire_up(driver_cell(max_load=5e-12),
+                               [sink_cell(1e-12)] * 3)
+        watch = watch_net(net)
+        assert watch.refresh()
+
+    def test_overload_detected_on_refresh(self, context):
+        top, net, *_ = wire_up(driver_cell(max_load=2e-12),
+                               [sink_cell(1e-12)] * 3)
+        watch = watch_net(net)
+        assert not watch.refresh()
+        assert context.handler.records
+
+    def test_incremental_detection_on_growth(self):
+        sink = sink_cell(1e-12)
+        top, net, d, _ = wire_up(driver_cell(max_load=2.5e-12), [sink] * 2)
+        watch = watch_net(net)
+        assert watch.refresh()
+        extra = sink.instantiate(top, "extra")
+        net.connect(extra, "a")
+        assert not watch.refresh()
+
+    def test_fanout_limit(self):
+        top, net, *_ = wire_up(driver_cell(max_fanout=2),
+                               [sink_cell()] * 3)
+        watch = watch_net(net)
+        assert not watch.refresh()
+
+    def test_unlimited_driver_never_complains(self):
+        top, net, *_ = wire_up(driver_cell(), [sink_cell(1.0)] * 10)
+        assert watch_net(net).refresh()
+
+    def test_release_detaches(self):
+        top, net, *_ = wire_up(driver_cell(max_load=1e-12), [sink_cell()])
+        watch = watch_net(net)
+        watch.release()
+        assert watch.load_constraint.arguments == []
+
+
+class TestBatchSweep:
+    def test_clean_design(self):
+        top, net, *_ = wire_up(driver_cell(max_load=5e-12),
+                               [sink_cell(1e-12)] * 2)
+        assert check_cell(top) == []
+
+    def test_overload_finding(self):
+        top, net, *_ = wire_up(driver_cell(max_load=1e-12),
+                               [sink_cell(1e-12)] * 2)
+        findings = check_cell(top)
+        assert [f.rule for f in findings] == ["overload"]
+        assert "exceeds drive" in findings[0].detail
+
+    def test_fanout_finding(self):
+        top, net, *_ = wire_up(driver_cell(max_fanout=1),
+                               [sink_cell()] * 2)
+        assert [f.rule for f in check_cell(top)] == ["fanout"]
+
+    def test_floating_net(self):
+        top = CellClass("TOP")
+        s = sink_cell().instantiate(top, "s")
+        net = top.add_net("n")
+        net.connect(s, "a")
+        assert [f.rule for f in check_cell(top)] == ["floating"]
+
+    def test_drive_conflict(self):
+        top = CellClass("TOP")
+        d1 = driver_cell().instantiate(top, "d1")
+        d2 = driver_cell().instantiate(top, "d2")
+        net = top.add_net("n")
+        net.connect(d1, "y")
+        net.connect(d2, "y")
+        assert [f.rule for f in check_cell(top)] == ["drive-conflict"]
+
+    def test_single_driver_check_optional(self):
+        top = CellClass("TOP")
+        s = sink_cell().instantiate(top, "s")
+        net = top.add_net("n")
+        net.connect(s, "a")
+        assert check_cell(top, require_single_driver=False) == []
+
+    def test_parent_io_counts_as_driver(self):
+        top = CellClass("TOP")
+        top.define_signal("x", "in")
+        s = sink_cell().instantiate(top, "s")
+        net = top.add_net("n")
+        net.connect_io("x")
+        net.connect(s, "a")
+        assert check_cell(top) == []

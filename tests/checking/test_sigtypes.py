@@ -1,0 +1,229 @@
+"""Tests for incremental signal type checking (section 7.1)."""
+
+import pytest
+
+from repro.core import USER, default_context
+from repro.stem import CellClass
+from repro.stem.types import (
+    ANALOG,
+    BCD_SIGNAL,
+    CMOS,
+    DIGITAL,
+    INTEGER_SIGNAL,
+    TTL,
+    WHOLE_SIGNAL,
+)
+
+
+def two_cell_net(out_kwargs=None, in_kwargs=None):
+    """driver.p --net-- receiver.q inside TOP."""
+    driver = CellClass("DRIVER")
+    driver.define_signal("p", "out", **(out_kwargs or {}))
+    receiver = CellClass("RECEIVER")
+    receiver.define_signal("q", "in", **(in_kwargs or {}))
+    top = CellClass("TOP")
+    d = driver.instantiate(top, "d")
+    r = receiver.instantiate(top, "r")
+    net = top.add_net("n")
+    ok = net.connect(d, "p") and net.connect(r, "q")
+    return driver, receiver, top, d, r, net, ok
+
+
+class TestBitWidths:
+    def test_equal_widths_accepted(self):
+        *_, net, ok = two_cell_net({"bit_width": 8}, {"bit_width": 8})
+        assert ok
+        assert net.bit_width_var.value == 8
+
+    def test_width_inferred_over_net(self):
+        driver, receiver, *_, net, ok = two_cell_net({"bit_width": 8}, {})
+        assert ok
+        assert receiver.signal("q").bit_width_var.value == 8
+
+    def test_fig_7_1_width_mismatch(self, context):
+        """8-bit structurally constrained signal vs 4-bit net: violation."""
+        leaf = CellClass("LEAF")
+        leaf.define_signal("in1", "in")
+        leaf.signal("in1").bit_width_var.constrain_by_structure(8)
+        top = CellClass("TOP")
+        top.define_signal("x", "in", bit_width=4)
+        top.signal("x").bit_width_var.set(4, USER)
+        instance = leaf.instantiate(top, "L1")
+        net = top.add_net("n")
+        assert net.connect_io("x")
+        assert not net.connect(instance, "in1")
+        assert context.handler.records
+        # the 8-bit structural width survived
+        assert leaf.signal("in1").bit_width_var.value == 8
+
+    def test_user_width_mismatch_also_violates(self):
+        *_, ok = two_cell_net({"bit_width": 8}, {"bit_width": 4})
+        # constructor widths are APPLICATION-justified, so inference
+        # overwrites; force user-pinned widths instead:
+        driver = CellClass("D2")
+        driver.define_signal("p", "out")
+        driver.signal("p").bit_width_var.set(8, USER)
+        receiver = CellClass("R2")
+        receiver.define_signal("q", "in")
+        receiver.signal("q").bit_width_var.set(4, USER)
+        top = CellClass("T2")
+        d = driver.instantiate(top, "d")
+        r = receiver.instantiate(top, "r")
+        net = top.add_net("n")
+        assert net.connect(d, "p")
+        assert not net.connect(r, "q")
+
+    def test_width_propagates_between_nets_through_shared_signal(self):
+        """A width constrained by one net constrains the signal's other uses."""
+        a = CellClass("A")
+        a.define_signal("p", "out", bit_width=8)
+        b = CellClass("B")
+        b.define_signal("q", "in")
+        b.define_signal("s", "out")
+        top = CellClass("TOP")
+        ia = a.instantiate(top, "ia")
+        ib = b.instantiate(top, "ib")
+        net1 = top.add_net("n1")
+        assert net1.connect(ia, "p") and net1.connect(ib, "q")
+        assert b.signal("q").bit_width_var.value == 8
+
+
+class TestDataTypes:
+    def test_type_inferred_from_connection(self):
+        driver, receiver, *_, net, ok = two_cell_net(
+            {"data_type": INTEGER_SIGNAL}, {})
+        assert ok
+        assert receiver.signal("q").data_type_var.value is INTEGER_SIGNAL
+        assert net.data_type_var.value is INTEGER_SIGNAL
+
+    def test_least_abstract_type_wins(self):
+        driver, receiver, *_, net, ok = two_cell_net(
+            {"data_type": INTEGER_SIGNAL}, {"data_type": BCD_SIGNAL})
+        assert ok
+        assert net.data_type_var.value is BCD_SIGNAL
+        # the more abstract driver signal keeps its own (compatible) typing
+        assert driver.signal("p").data_type_var.value in (INTEGER_SIGNAL,
+                                                          BCD_SIGNAL)
+
+    def test_incompatible_data_types_violate(self):
+        *_, ok = two_cell_net({"data_type": BCD_SIGNAL},
+                              {"data_type": WHOLE_SIGNAL})
+        assert not ok
+
+    def test_later_refinement_propagates(self):
+        driver, receiver, *_, net, ok = two_cell_net(
+            {"data_type": INTEGER_SIGNAL}, {})
+        assert receiver.signal("q").data_type_var.set(BCD_SIGNAL)
+        assert net.data_type_var.value is BCD_SIGNAL
+        assert driver.signal("p").data_type_var.value is BCD_SIGNAL
+
+    def test_incompatible_refinement_rejected(self):
+        driver, receiver, *_, net, ok = two_cell_net(
+            {"data_type": BCD_SIGNAL}, {})
+        assert not receiver.signal("q").data_type_var.set(WHOLE_SIGNAL)
+
+
+class TestElectricalTypes:
+    def test_compatible_electrical_types(self):
+        *_, net, ok = two_cell_net({"electrical_type": DIGITAL},
+                                   {"electrical_type": TTL})
+        assert ok
+        assert net.electrical_type_var.value is TTL
+
+    def test_analog_digital_clash(self):
+        *_, ok = two_cell_net({"electrical_type": ANALOG},
+                              {"electrical_type": DIGITAL})
+        assert not ok
+
+    def test_sibling_leaf_types_clash(self):
+        *_, ok = two_cell_net({"electrical_type": TTL},
+                              {"electrical_type": CMOS})
+        assert not ok
+
+
+class TestCrossInstanceConstraints:
+    """Fig. 7.5: type variables are class-level, so every use constrains
+    every other use of the cell."""
+
+    def test_type_requirements_meet_through_shared_class(self):
+        a = CellClass("A")
+        a.define_signal("x", "in")
+        top1 = CellClass("TOP1")
+        top1.define_signal("src", "in", data_type=INTEGER_SIGNAL)
+        i1 = a.instantiate(top1, "A.1")
+        net1 = top1.add_net("n")
+        assert net1.connect_io("src") and net1.connect(i1, "x")
+        assert a.signal("x").data_type_var.value is INTEGER_SIGNAL
+
+        # a second, separate use of A sees (and refines) the same typing
+        top2 = CellClass("TOP2")
+        top2.define_signal("src2", "in", data_type=BCD_SIGNAL)
+        i2 = a.instantiate(top2, "A.2")
+        net2 = top2.add_net("n")
+        assert net2.connect_io("src2") and net2.connect(i2, "x")
+        assert a.signal("x").data_type_var.value is BCD_SIGNAL
+
+    def test_incompatible_second_use_rejected(self):
+        a = CellClass("A")
+        a.define_signal("x", "in", data_type=BCD_SIGNAL)
+        top = CellClass("TOP")
+        top.define_signal("src", "in", data_type=WHOLE_SIGNAL)
+        instance = a.instantiate(top, "A.1")
+        net = top.add_net("n")
+        net.connect_io("src")
+        assert not net.connect(instance, "x")
+
+
+class TestCompiledInstanceWidths:
+    def test_instance_owned_width(self):
+        a = CellClass("A")
+        a.define_signal("x", "in")
+        i1 = a.instantiate()
+        i2 = a.instantiate()
+        w1 = i1.own_bit_width("x")
+        w2 = i2.own_bit_width("x")
+        assert w1.set(4)
+        assert w2.set(8)  # different instances, different widths
+        assert i1.bit_width_var("x") is w1
+        assert i2.bit_width_var("x") is w2
+
+    def test_own_width_checked_against_class(self):
+        a = CellClass("A")
+        a.define_signal("x", "in")
+        a.signal("x").bit_width_var.set(8, USER)
+        instance = a.instantiate()
+        own = instance.own_bit_width("x")
+        assert not own.set(4)
+        assert own.set(8)
+
+    def test_own_width_is_idempotent(self):
+        a = CellClass("A")
+        a.define_signal("x", "in")
+        instance = a.instantiate()
+        assert instance.own_bit_width("x") is instance.own_bit_width("x")
+
+
+class TestDisconnect:
+    def test_disconnect_erases_inferences(self):
+        driver, receiver, top, d, r, net, ok = two_cell_net(
+            {"data_type": INTEGER_SIGNAL}, {})
+        assert receiver.signal("q").data_type_var.value is INTEGER_SIGNAL
+        net.disconnect(d, "p")
+        assert receiver.signal("q").data_type_var.value is None
+        assert net.data_type_var.value is None
+        assert ("p" not in d.connections)
+
+    def test_disconnect_io(self):
+        top = CellClass("TOP")
+        top.define_signal("x", "in", bit_width=4)
+        net = top.add_net("n")
+        net.connect_io("x")
+        assert net.bit_width_var.value == 4
+        net.disconnect_io("x")
+        assert net.endpoints == []
+        assert "x" not in top.io_connections
+
+    def test_disconnect_unknown_endpoint_is_noop(self):
+        top = CellClass("TOP")
+        net = top.add_net("n")
+        net.disconnect_io("ghost")  # silently ignored

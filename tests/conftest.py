@@ -1,0 +1,17 @@
+"""Shared fixtures: isolate each test in a fresh default context."""
+
+import pytest
+
+from repro.core import default_context, reset_default_context
+
+
+@pytest.fixture(autouse=True)
+def fresh_context():
+    """Give every test a pristine process-wide propagation context."""
+    yield reset_default_context()
+    reset_default_context()
+
+
+@pytest.fixture
+def context():
+    return default_context()

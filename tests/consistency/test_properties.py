@@ -1,0 +1,126 @@
+"""Tests for property variables and implicit invocation (sections 6.3, 6.5.1)."""
+
+import pytest
+
+from repro.consistency import PropertyVariable, add_stored_view
+from repro.core import UpdateConstraint, Variable
+
+
+class Model:
+    """A parent with a computed property and a call counter."""
+
+    def __init__(self, base=10):
+        self.name = "model"
+        self.base = base
+        self.calls = 0
+        self.variables = {}
+
+    def compute_area(self):
+        self.calls += 1
+        return self.base * 2
+
+    def compute_scaled(self, factor):
+        self.calls += 1
+        return self.base * factor
+
+
+class TestImplicitInvocation:
+    def test_lazy_recalculation_on_read(self):
+        model = Model()
+        prop = PropertyVariable(model, "area", recalculate="compute_area")
+        assert model.calls == 0
+        assert prop.value == 20
+        assert model.calls == 1
+
+    def test_cached_value_not_recalculated(self):
+        model = Model()
+        prop = PropertyVariable(model, "area", recalculate="compute_area")
+        assert prop.value == 20
+        assert prop.value == 20
+        assert model.calls == 1
+
+    def test_arguments_passed_to_message(self):
+        model = Model(base=5)
+        prop = PropertyVariable(model, "scaled", recalculate="compute_scaled",
+                                arguments=(3,))
+        assert prop.value == 15
+
+    def test_callable_recalculate(self):
+        model = Model(base=7)
+        prop = PropertyVariable(model, "neg",
+                                recalculate=lambda m: -m.base)
+        assert prop.value == -7
+
+    def test_eval_flag_prevents_recursion(self):
+        model = Model()
+        prop = PropertyVariable(model, "self_ref")
+
+        def recursive(_model):
+            # reading the property inside its own recalculation must not loop
+            return (prop.value or 0) + 1
+
+        prop.recalculate_message = recursive
+        assert prop.value == 1
+
+    def test_stored_value_does_not_trigger(self):
+        model = Model()
+        prop = PropertyVariable(model, "area", recalculate="compute_area")
+        assert prop.stored_value is None
+        assert model.calls == 0
+
+    def test_without_message_stays_none(self):
+        prop = PropertyVariable(None, "empty")
+        assert prop.value is None
+
+    def test_none_result_not_stored(self):
+        model = Model()
+        prop = PropertyVariable(model, "nothing",
+                                recalculate=lambda m: None)
+        assert prop.value is None
+        assert prop.stored_value is None
+
+
+class TestUpdateConstraintIntegration:
+    def test_erasure_then_lazy_recalculation(self):
+        model = Model()
+        source = Variable(1, name="source")
+        prop = PropertyVariable(model, "area", recalculate="compute_area",
+                                context=source.context)
+        UpdateConstraint([source], [prop])
+        assert prop.value == 20
+        model.base = 50
+        source.set(2)  # dependency changed: property erased
+        assert prop.stored_value is None
+        assert prop.value == 100  # recalculated on demand
+        assert model.calls == 2
+
+    def test_no_recalculation_without_reads(self):
+        """Section 6.3: repeated updates cost nothing until the next read."""
+        model = Model()
+        source = Variable(1, name="source")
+        prop = PropertyVariable(model, "area", recalculate="compute_area",
+                                context=source.context)
+        UpdateConstraint([source], [prop])
+        for i in range(10):
+            source.set(i + 2)
+        assert model.calls == 0
+
+    def test_add_stored_view_wires_everything(self):
+        model = Model()
+        source = Variable(1, name="source")
+        prop = add_stored_view(model, "area", "compute_area",
+                               watched=[source])
+        assert model.variables["area"] is prop
+        assert prop.value == 20
+        source.set(5)
+        assert prop.stored_value is None
+
+    def test_recalculation_counter(self):
+        model = Model()
+        source = Variable(1, name="source")
+        prop = add_stored_view(model, "area", "compute_area",
+                               watched=[source])
+        prop.value; prop.value
+        source.set(2)
+        prop.value
+        assert prop.recalculations == 2

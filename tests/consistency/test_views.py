@@ -1,0 +1,90 @@
+"""Tests for views and controllers (sections 3.3.1, 6.5.2)."""
+
+import pytest
+
+from repro.consistency import Controller, FunctionView, View
+from repro.stem import CellClass, Rect
+
+
+class TestFunctionView:
+    def test_lazy_calculation(self):
+        cell = CellClass("X")
+        view = FunctionView(cell, lambda model: f"view of {model.name}")
+        assert view.calculations == 0
+        assert view.data == "view of X"
+        assert view.calculations == 1
+        assert view.data == "view of X"
+        assert view.calculations == 1
+
+    def test_erased_on_model_change(self):
+        cell = CellClass("X")
+        view = FunctionView(cell, lambda model: len(model.subcells))
+        assert view.data == 0
+        child = CellClass("CHILD")
+        child.instantiate(cell, "c1")
+        assert view.outdated
+        assert view.data == 1
+
+    def test_selective_erasure_by_aspect(self):
+        """A net-list-like view survives pure-layout changes (§6.5.2)."""
+        cell = CellClass("X")
+        view = FunctionView(cell, lambda model: model.name,
+                            aspects=["structure", "connectivity"])
+        view.data
+        cell.changed("layout")
+        assert not view.outdated
+        cell.changed("structure")
+        assert view.outdated
+
+    def test_aspectless_broadcast_always_erases(self):
+        cell = CellClass("X")
+        view = FunctionView(cell, lambda model: model.name,
+                            aspects=["structure"])
+        view.data
+        cell.changed(None)
+        assert view.outdated
+
+    def test_release(self):
+        cell = CellClass("X")
+        view = FunctionView(cell, lambda model: model.name)
+        view.data
+        view.release()
+        cell.changed("structure")
+        assert not view.outdated
+
+
+class TestViewBase:
+    def test_calculate_is_abstract(self):
+        cell = CellClass("X")
+        view = View(cell)
+        with pytest.raises(NotImplementedError):
+            view.data
+
+
+class TestController:
+    def test_menu_dispatch(self):
+        cell = CellClass("X")
+        controller = Controller(cell)
+        controller.add_action("set box",
+                              lambda model, box: model.set_bounding_box(box))
+        controller.add_action("get box", lambda model: model.bounding_box())
+        controller.perform("set box", Rect.of_extent(4, 2))
+        assert controller.perform("get box") == Rect.of_extent(4, 2)
+
+    def test_menu_listing(self):
+        controller = Controller(CellClass("X"))
+        controller.add_action("b", lambda m: None)
+        controller.add_action("a", lambda m: None)
+        assert controller.menu() == ["a", "b"]
+
+    def test_unknown_action(self):
+        controller = Controller(CellClass("X"))
+        with pytest.raises(KeyError):
+            controller.perform("missing")
+
+    def test_controller_links_view(self):
+        cell = CellClass("X")
+        view = FunctionView(cell, lambda model: model.name)
+        controller = Controller(cell, view)
+        assert controller.view is view
+        assert controller.model is cell

@@ -1,0 +1,112 @@
+"""Tests for the fixed-priority agenda scheduler (section 4.2.1)."""
+
+from repro.core import Agenda, AgendaScheduler
+from repro.core.agenda import DEFAULT_PRIORITY_ORDER, FUNCTIONAL, IMPLICIT
+
+
+class TestAgenda:
+    def test_fifo_order(self):
+        agenda = Agenda("a")
+        agenda.schedule("c1")
+        agenda.schedule("c2")
+        agenda.schedule("c3")
+        assert agenda.pop() == ("c1", None)
+        assert agenda.pop() == ("c2", None)
+        assert agenda.pop() == ("c3", None)
+
+    def test_duplicate_entries_rejected(self):
+        agenda = Agenda("a")
+        assert agenda.schedule("c1", "v1")
+        assert not agenda.schedule("c1", "v1")
+        assert len(agenda) == 1
+
+    def test_same_constraint_different_variable_allowed(self):
+        agenda = Agenda("a")
+        agenda.schedule("c1", "v1")
+        agenda.schedule("c1", "v2")
+        assert len(agenda) == 2
+
+    def test_entry_can_be_rescheduled_after_pop(self):
+        agenda = Agenda("a")
+        agenda.schedule("c1")
+        agenda.pop()
+        assert agenda.schedule("c1")
+
+    def test_bool_and_len(self):
+        agenda = Agenda("a")
+        assert not agenda
+        agenda.schedule("c")
+        assert agenda
+        assert len(agenda) == 1
+
+    def test_clear(self):
+        agenda = Agenda("a")
+        agenda.schedule("c1")
+        agenda.clear()
+        assert not agenda
+        assert agenda.schedule("c1")  # membership set was cleared too
+
+    def test_entries_snapshot(self):
+        agenda = Agenda("a")
+        agenda.schedule("c1", "v1")
+        agenda.schedule("c2")
+        assert agenda.entries() == [("c1", "v1"), ("c2", None)]
+
+
+class TestAgendaScheduler:
+    def test_default_priority_order(self):
+        scheduler = AgendaScheduler()
+        assert scheduler.priority_order == list(DEFAULT_PRIORITY_ORDER)
+        assert scheduler.priority_order[0] == FUNCTIONAL
+        assert scheduler.priority_order[-1] == IMPLICIT
+
+    def test_higher_priority_agenda_drains_first(self):
+        scheduler = AgendaScheduler()
+        scheduler.schedule("low", agenda=IMPLICIT)
+        scheduler.schedule("high", agenda=FUNCTIONAL)
+        assert scheduler.remove_highest_priority_entry() == ("high", None)
+        assert scheduler.remove_highest_priority_entry() == ("low", None)
+
+    def test_empty_scheduler_returns_none(self):
+        scheduler = AgendaScheduler()
+        assert scheduler.remove_highest_priority_entry() is None
+
+    def test_unknown_agenda_created_at_lowest_priority(self):
+        scheduler = AgendaScheduler()
+        scheduler.schedule("x", agenda="custom")
+        scheduler.schedule("i", agenda=IMPLICIT)
+        assert scheduler.priority_order == [FUNCTIONAL, IMPLICIT, "custom"]
+        assert scheduler.remove_highest_priority_entry() == ("i", None)
+        assert scheduler.remove_highest_priority_entry() == ("x", None)
+
+    def test_is_empty(self):
+        scheduler = AgendaScheduler()
+        assert scheduler.is_empty()
+        scheduler.schedule("c")
+        assert not scheduler.is_empty()
+
+    def test_clear_empties_every_agenda(self):
+        scheduler = AgendaScheduler()
+        scheduler.schedule("a", agenda=FUNCTIONAL)
+        scheduler.schedule("b", agenda=IMPLICIT)
+        scheduler.clear()
+        assert scheduler.is_empty()
+
+    def test_pending_counts(self):
+        scheduler = AgendaScheduler()
+        scheduler.schedule("a")
+        scheduler.schedule("b")
+        scheduler.schedule("c", agenda=IMPLICIT)
+        counts = scheduler.pending_counts()
+        assert counts[FUNCTIONAL] == 2
+        assert counts[IMPLICIT] == 1
+
+    def test_priority_interleaving_during_drain(self):
+        """Entries added mid-drain still respect priorities."""
+        scheduler = AgendaScheduler()
+        scheduler.schedule("i1", agenda=IMPLICIT)
+        assert scheduler.remove_highest_priority_entry() == ("i1", None)
+        scheduler.schedule("f1", agenda=FUNCTIONAL)
+        scheduler.schedule("i2", agenda=IMPLICIT)
+        assert scheduler.remove_highest_priority_entry() == ("f1", None)
+        assert scheduler.remove_highest_priority_entry() == ("i2", None)

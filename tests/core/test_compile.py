@@ -1,0 +1,128 @@
+"""Tests for constraint network compilation (section 9.3 extension)."""
+
+import pytest
+
+from repro.core import (
+    FormulaConstraint,
+    UniAdditionConstraint,
+    UniMaximumConstraint,
+    Variable,
+)
+from repro.core.compile import CompilationError, CompiledNetwork, compile_network
+
+
+def delay_like_network():
+    """Two paths summed, then maxed — the chapter 7 delay shape."""
+    d1 = Variable(3, name="d1")
+    d2 = Variable(4, name="d2")
+    d3 = Variable(6, name="d3")
+    path_a = Variable(name="path_a")
+    path_b = Variable(name="path_b")
+    worst = Variable(name="worst")
+    UniAdditionConstraint(path_a, [d1, d2])
+    UniAdditionConstraint(path_b, [d3])
+    UniMaximumConstraint(worst, [path_a, path_b])
+    return d1, d2, d3, path_a, path_b, worst
+
+
+class TestCompilation:
+    def test_topological_order(self):
+        d1, d2, d3, path_a, path_b, worst = delay_like_network()
+        plan = compile_network([d1, d2, d3])
+        order = [c.result_variable for c in plan.constraints]
+        assert order.index(worst) > order.index(path_a)
+        assert order.index(worst) > order.index(path_b)
+        assert set(plan.derived) == {path_a, path_b, worst}
+
+    def test_cycle_rejected(self):
+        a = Variable(name="a")
+        b = Variable(name="b")
+        FormulaConstraint(b, [a], lambda x: x + 1, attach=False).attach()
+        FormulaConstraint(a, [b], lambda x: x - 1)
+        with pytest.raises(CompilationError):
+            compile_network([a])
+
+    def test_non_functional_constraints_ignored(self):
+        from repro.core import EqualityConstraint
+        a = Variable(1, name="a")
+        b = Variable(name="b")
+        EqualityConstraint(a, b)
+        plan = compile_network([a])
+        assert plan.constraints == []
+
+
+class TestEvaluation:
+    def test_matches_engine_results(self):
+        d1, d2, d3, path_a, path_b, worst = delay_like_network()
+        plan = compile_network([d1, d2, d3])
+        results = plan.evaluate()
+        assert results[path_a] == 7
+        assert results[path_b] == 6
+        assert results[worst] == 7
+
+    def test_override_inputs_without_mutation(self):
+        d1, d2, d3, path_a, path_b, worst = delay_like_network()
+        plan = compile_network([d1, d2, d3])
+        results = plan.evaluate({d3: 100})
+        assert results[worst] == 100
+        assert d3.value == 6          # untouched
+        assert worst.value == 7       # engine value untouched
+
+    def test_missing_inputs_yield_none(self):
+        d1 = Variable(name="d1")
+        total = Variable(name="total")
+        UniAdditionConstraint(total, [d1])
+        plan = compile_network([d1])
+        assert plan.evaluate()[total] is None
+
+    def test_write_back(self):
+        d1, d2, d3, path_a, path_b, worst = delay_like_network()
+        plan = compile_network([d1, d2, d3])
+        plan.write_back({d1: 10})
+        assert d1.value == 10
+        assert path_a.value == 14
+        assert worst.value == 14
+
+    def test_external_constant_inputs(self):
+        """A derived node may mix plan inputs with outside constants."""
+        x = Variable(5, name="x")
+        k = Variable(100, name="k")  # not listed as an input
+        total = Variable(name="total")
+        UniAdditionConstraint(total, [x, k])
+        plan = compile_network([x])
+        assert plan.evaluate({x: 7})[total] == 107
+
+
+class TestProceduralization:
+    def test_generated_function_matches_plan(self):
+        d1, d2, d3, path_a, path_b, worst = delay_like_network()
+        plan = compile_network([d1, d2, d3])
+        fn = plan.proceduralize()
+        out = fn(3, 4, 6)
+        assert out[fn.slot_of[worst]] == 7
+        out = fn(10, 4, 6)
+        assert out[fn.slot_of[worst]] == 14
+
+    def test_source_is_inspectable(self):
+        d1, d2, d3, *_ = delay_like_network()
+        fn = compile_network([d1, d2, d3]).proceduralize()
+        assert "def _compiled(" in fn.source
+
+    def test_agrees_with_engine_on_updates(self):
+        d1, d2, d3, path_a, path_b, worst = delay_like_network()
+        plan = compile_network([d1, d2, d3])
+        fn = plan.proceduralize()
+        for update in (1, 5, 9):
+            d1.set(update)
+            assert fn(d1.value, d2.value, d3.value)[fn.slot_of[worst]] \
+                == worst.value
+
+    def test_constants_frozen_at_compile_time(self):
+        x = Variable(5, name="x")
+        k = Variable(100, name="k")
+        total = Variable(name="total")
+        UniAdditionConstraint(total, [x, k])
+        fn = compile_network([x]).proceduralize()
+        assert fn(1)[fn.slot_of[total]] == 101
+        k.set(200)  # the procedural form is rigid (thesis section 6.5.2)
+        assert fn(1)[fn.slot_of[total]] == 101

@@ -1,0 +1,181 @@
+"""Tests for constraint network editing (sections 4.1.2, 4.2.5)."""
+
+import pytest
+
+from repro.core import (
+    Constraint,
+    EqualityConstraint,
+    UniAdditionConstraint,
+    UpperBoundConstraint,
+    Variable,
+)
+
+
+class TestAttach:
+    """Fig. 4.13: adding a constraint re-propagates its arguments."""
+
+    def test_attach_propagates_existing_values(self):
+        a = Variable(name="a")
+        b = Variable(name="b")
+        a.set(5)
+        EqualityConstraint(a, b)
+        assert b.value == 5
+
+    def test_user_values_take_precedence_on_attach(self):
+        a = Variable(name="a")
+        b = Variable(name="b")
+        a.calculate(3)
+        b.set(7)  # USER
+        EqualityConstraint(a, b)
+        assert a.value == 7
+
+    def test_attach_detects_immediate_violation(self):
+        a = Variable(name="a")
+        b = Variable(name="b")
+        a.set(3)
+        b.set(7)
+        eq = EqualityConstraint(a, b, attach=False)
+        assert not eq.attach()
+        # constraint stays attached for inspection, values restored
+        assert eq in a.constraints
+        assert a.value == 3
+        assert b.value == 7
+
+    def test_attach_is_idempotent(self):
+        a = Variable(name="a")
+        eq = EqualityConstraint(a, Variable(name="b"))
+        assert eq.attach()
+
+    def test_deferred_attach(self):
+        a = Variable(5, name="a")
+        b = Variable(name="b")
+        eq = EqualityConstraint(a, b, attach=False)
+        assert eq not in a.constraints
+        assert b.value is None
+        eq.attach()
+        assert b.value == 5
+
+    def test_functional_attach_computes_result(self):
+        x = Variable(2, name="x")
+        y = Variable(3, name="y")
+        total = Variable(name="total")
+        UniAdditionConstraint(total, [x, y])
+        assert total.value == 5
+
+
+class TestAddArgument:
+    def test_add_argument_repropagates(self):
+        a = Variable(5, name="a")
+        b = Variable(name="b")
+        eq = EqualityConstraint(a, b)
+        c = Variable(name="c")
+        assert eq.add_argument(c)
+        assert c.value == 5
+
+    def test_duplicate_argument_ignored(self):
+        a = Variable(name="a")
+        eq = EqualityConstraint(a, Variable(name="b"))
+        eq.add_argument(a)
+        assert eq.arguments.count(a) == 1
+
+
+class TestRemoval:
+    """Fig. 4.14: removal erases values the constraint justified."""
+
+    def test_remove_erases_dependent_values(self):
+        a = Variable(name="a")
+        b = Variable(name="b")
+        eq = EqualityConstraint(a, b)
+        a.set(5)
+        assert b.value == 5
+        eq.remove()
+        assert b.value is None
+        assert a.value == 5  # the user value survives
+
+    def test_remove_erases_transitive_consequences(self):
+        a = Variable(name="a")
+        b = Variable(name="b")
+        c = Variable(name="c")
+        eq1 = EqualityConstraint(a, b)
+        EqualityConstraint(b, c)
+        a.set(5)
+        assert c.value == 5
+        eq1.remove()
+        assert b.value is None
+        assert c.value is None
+
+    def test_remove_unlinks_from_variables(self):
+        a = Variable(name="a")
+        b = Variable(name="b")
+        eq = EqualityConstraint(a, b)
+        eq.remove()
+        assert eq not in a.constraints
+        assert eq not in b.constraints
+        assert not eq.attached
+
+    def test_remove_argument_repropagates_remaining(self):
+        a = Variable(name="a")
+        b = Variable(name="b")
+        c = Variable(name="c")
+        eq = EqualityConstraint(a, b, c)
+        a.set(5)
+        assert eq.remove_argument(c)
+        assert c.value is None
+        assert b.value == 5  # remaining args re-propagated
+
+    def test_remove_argument_when_value_set_by_other_source(self):
+        """Removing an argument whose value the constraint did not set."""
+        a = Variable(name="a")
+        b = Variable(name="b")
+        eq = EqualityConstraint(a, b)
+        a.set(5)
+        # a's value is USER; removing a erases the consequence b
+        eq.remove_argument(a)
+        assert a.value == 5
+        assert b.value is None
+
+    def test_remove_missing_argument_is_noop(self):
+        eq = EqualityConstraint(Variable(name="a"), Variable(name="b"))
+        assert eq.remove_argument(Variable(name="z"))
+
+    def test_values_can_be_reassigned_after_removal(self):
+        a = Variable(name="a")
+        bound = UpperBoundConstraint(a, 10)
+        assert not a.set(20)
+        bound.remove()
+        assert a.set(20)
+        assert a.value == 20
+
+
+class TestBaseProtocol:
+    def test_default_inference_does_nothing(self):
+        a = Variable(1, name="a")
+        b = Variable(2, name="b")
+        Constraint(a, b)
+        assert a.set(5)
+        assert b.value == 2
+
+    def test_default_is_satisfied(self):
+        assert Constraint(Variable()).is_satisfied()
+
+    def test_default_membership_is_conservative(self):
+        c = Constraint(Variable())
+        assert c.test_membership_of(Variable(), None)
+
+    def test_qualified_name_lists_arguments(self):
+        a = Variable(name="a")
+        b = Variable(name="b")
+        name = EqualityConstraint(a, b).qualified_name()
+        assert "a" in name and "b" in name
+
+    def test_non_nil_values(self):
+        a = Variable(1)
+        b = Variable()
+        c = Constraint(a, b)
+        assert c.non_nil_values() == [1]
+
+    def test_violate_raises(self):
+        from repro.core import PropagationViolation
+        c = Constraint(Variable())
+        with pytest.raises(PropagationViolation):
+            c.violate(reason="test")

@@ -1,0 +1,144 @@
+"""Tests for fine-grained propagation control (section 9.3 extension)."""
+
+import pytest
+
+from repro.core import (
+    EqualityConstraint,
+    UniAdditionConstraint,
+    UpperBoundConstraint,
+    Variable,
+)
+from repro.core.control import PropagationControl, control_for
+
+
+def small_network():
+    a, b, c = (Variable(name=n) for n in "abc")
+    eq1 = EqualityConstraint(a, b)
+    eq2 = EqualityConstraint(b, c)
+    return a, b, c, eq1, eq2
+
+
+class TestIndividualConstraints:
+    def test_disabled_constraint_does_not_propagate(self, context):
+        a, b, c, eq1, eq2 = small_network()
+        control = control_for(context)
+        control.disable_constraint(eq2)
+        a.set(5)
+        assert b.value == 5
+        assert c.value is None
+
+    def test_disabled_constraint_does_not_check(self, context):
+        a = Variable(name="a")
+        bound = UpperBoundConstraint(a, 10)
+        control_for(context).disable_constraint(bound)
+        assert a.set(99)
+        assert a.value == 99
+
+    def test_reenable(self, context):
+        a, b, c, eq1, eq2 = small_network()
+        control = control_for(context)
+        control.disable_constraint(eq2)
+        a.set(5)
+        control.enable_constraint(eq2)
+        a.set(6)
+        assert c.value == 6
+
+    def test_disabled_listing(self, context):
+        a, b, c, eq1, eq2 = small_network()
+        control = control_for(context)
+        control.disable_constraint(eq1)
+        assert control.disabled_constraints() == [eq1]
+
+
+class TestTypeSelector:
+    def test_disable_type(self, context):
+        a = Variable(name="a")
+        b = Variable(name="b")
+        total = Variable(name="total")
+        EqualityConstraint(a, b)
+        UniAdditionConstraint(total, [a, b])
+        control_for(context).disable_type(UniAdditionConstraint)
+        a.set(5)
+        assert b.value == 5       # equality still live
+        assert total.value is None  # additions disabled
+
+    def test_subclasses_included(self, context):
+        from repro.core import FormulaConstraint, FunctionalConstraint
+        a = Variable(name="a")
+        r = Variable(name="r")
+        FormulaConstraint(r, [a], lambda x: x + 1)
+        control_for(context).disable_type(FunctionalConstraint)
+        a.set(5)
+        assert r.value is None
+
+    def test_enable_type(self, context):
+        a, b, c, eq1, eq2 = small_network()
+        control = control_for(context)
+        control.disable_type(EqualityConstraint)
+        a.set(5)
+        assert b.value is None
+        control.enable_type(EqualityConstraint)
+        a.set(6)
+        assert c.value == 6
+
+
+class TestVariableSelector:
+    def test_disable_constraints_touching_variable(self, context):
+        a, b, c, eq1, eq2 = small_network()
+        control_for(context).disable_variable(c)
+        a.set(5)
+        assert b.value == 5
+        assert c.value is None
+
+    def test_enable_variable(self, context):
+        a, b, c, eq1, eq2 = small_network()
+        control = control_for(context)
+        control.disable_variable(c)
+        a.set(5)
+        control.enable_variable(c)
+        a.set(6)
+        assert c.value == 6
+
+
+class TestNetworkSelector:
+    def test_disable_whole_network(self, context):
+        a, b, c, eq1, eq2 = small_network()
+        # a second, unrelated network stays live
+        x, y = Variable(name="x"), Variable(name="y")
+        eq3 = EqualityConstraint(x, y)
+        count = control_for(context).disable_network_of(b)
+        assert count == 2
+        a.set(5)
+        assert b.value is None
+        x.set(7)
+        assert y.value == 7
+
+
+class TestFilters:
+    def test_predicate_filter(self, context):
+        a, b, c, eq1, eq2 = small_network()
+        control_for(context).add_filter(lambda constraint: c in
+                                        constraint.arguments)
+        a.set(5)
+        assert b.value == 5
+        assert c.value is None
+
+    def test_clear_reenables_everything(self, context):
+        a, b, c, eq1, eq2 = small_network()
+        control = control_for(context)
+        control.disable_type(EqualityConstraint)
+        control.add_filter(lambda constraint: True)
+        control.clear()
+        a.set(5)
+        assert c.value == 5
+
+
+class TestControlFor:
+    def test_installed_once(self, context):
+        control = control_for(context)
+        assert control_for(context) is control
+        assert context.control is control
+
+    def test_allows_by_default(self, context):
+        a, b, c, eq1, eq2 = small_network()
+        assert control_for(context).allows(eq1)

@@ -1,0 +1,116 @@
+"""Tests for dependency analysis (section 4.2.4, Figs. 4.11/4.12)."""
+
+from repro.core import (
+    EqualityConstraint,
+    UniAdditionConstraint,
+    Variable,
+    antecedents,
+    consequences,
+    variable_consequences,
+)
+
+
+def chain():
+    """a --eq1-- b --eq2-- c with a user value flowing from a."""
+    a, b, c = (Variable(name=n) for n in "abc")
+    eq1 = EqualityConstraint(a, b)
+    eq2 = EqualityConstraint(b, c)
+    a.set(5)
+    return a, b, c, eq1, eq2
+
+
+class TestAntecedents:
+    def test_independent_variable_is_its_own_antecedent_set(self):
+        a = Variable(5, name="a")
+        assert antecedents(a) == {a}
+
+    def test_chain_antecedents(self):
+        a, b, c, eq1, eq2 = chain()
+        assert antecedents(c) == {c, eq2, b, eq1, a}
+
+    def test_middle_of_chain(self):
+        a, b, c, eq1, eq2 = chain()
+        assert antecedents(b) == {b, eq1, a}
+
+    def test_functional_result_depends_on_all_inputs(self):
+        x, y = Variable(1, name="x"), Variable(2, name="y")
+        total = Variable(name="total")
+        add = UniAdditionConstraint(total, [x, y])
+        result = antecedents(total)
+        assert result == {total, add, x, y}
+
+    def test_equality_antecedent_excludes_non_dependency_argument(self):
+        a, b, c = (Variable(name=n) for n in "abc")
+        eq = EqualityConstraint(a, b, c)
+        a.set(5)
+        # b's value came from a (the dependency record), not from c
+        assert antecedents(b) == {b, eq, a}
+
+
+class TestConsequences:
+    def test_leaf_has_only_itself(self):
+        a, b, c, *_ = chain()
+        assert consequences(c) == {c}
+
+    def test_chain_consequences(self):
+        a, b, c, *_ = chain()
+        assert consequences(a) == {a, b, c}
+
+    def test_variable_consequences_excludes_seed(self):
+        a, b, c, *_ = chain()
+        assert variable_consequences(a) == {b, c}
+
+    def test_functional_inputs_have_result_as_consequence(self):
+        x, y = Variable(1, name="x"), Variable(2, name="y")
+        total = Variable(name="total")
+        UniAdditionConstraint(total, [x, y])
+        assert variable_consequences(x) == {total}
+        assert variable_consequences(y) == {total}
+
+    def test_result_has_no_consequences_through_its_constraint(self):
+        x = Variable(1, name="x")
+        total = Variable(name="total")
+        UniAdditionConstraint(total, [x])
+        assert variable_consequences(total) == set()
+
+    def test_user_values_are_not_consequences(self):
+        a, b = Variable(name="a"), Variable(name="b")
+        EqualityConstraint(a, b)
+        a.set(1)
+        b.set(1)  # user now owns b's value
+        assert variable_consequences(a) == set()
+
+
+class TestDiamond:
+    """Reconvergent shape: a feeds two sums that feed a maximum."""
+
+    def make(self):
+        a = Variable(2, name="a")
+        k1 = Variable(1, name="k1")
+        k2 = Variable(3, name="k2")
+        s1 = Variable(name="s1")
+        s2 = Variable(name="s2")
+        top = Variable(name="top")
+        c1 = UniAdditionConstraint(s1, [a, k1])
+        c2 = UniAdditionConstraint(s2, [a, k2])
+        from repro.core import UniMaximumConstraint
+        c3 = UniMaximumConstraint(top, [s1, s2])
+        return a, k1, k2, s1, s2, top, c1, c2, c3
+
+    def test_all_paths_found_in_consequences(self):
+        a, k1, k2, s1, s2, top, *_ = self.make()
+        assert variable_consequences(a) == {s1, s2, top}
+
+    def test_antecedents_collect_both_paths(self):
+        a, k1, k2, s1, s2, top, c1, c2, c3 = self.make()
+        result = antecedents(top)
+        assert {a, k1, k2, s1, s2, top, c1, c2, c3} == result
+
+    def test_cycle_safe_traversal(self):
+        """Self-referential shapes terminate."""
+        a, b = Variable(name="a"), Variable(name="b")
+        EqualityConstraint(a, b)
+        a.set(1)
+        # force an artificial cycle in the dependency graph
+        assert a in antecedents(a)
+        assert consequences(b) == {b}

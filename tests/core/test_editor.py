@@ -1,0 +1,144 @@
+"""Tests for the textual constraint editor (section 5.4)."""
+
+import pytest
+
+from repro.core import (
+    ConstraintEditor,
+    EqualityConstraint,
+    UpperBoundConstraint,
+    Variable,
+)
+
+
+def small_network():
+    a, b, c = (Variable(name=n) for n in "abc")
+    eq1 = EqualityConstraint(a, b)
+    eq2 = EqualityConstraint(b, c)
+    a.set(5)
+    return a, b, c, eq1, eq2
+
+
+class TestNavigation:
+    def test_focus_on_and_back(self):
+        a, b, c, eq1, eq2 = small_network()
+        editor = ConstraintEditor(a)
+        editor.focus_on(eq1)
+        assert editor.focus is eq1
+        editor.back()
+        assert editor.focus is a
+
+    def test_constraints_of_focus(self):
+        a, b, c, eq1, eq2 = small_network()
+        editor = ConstraintEditor(b)
+        assert set(editor.constraints_of_focus()) == {eq1, eq2}
+
+    def test_variables_of_focus(self):
+        a, b, c, eq1, eq2 = small_network()
+        editor = ConstraintEditor(eq1)
+        assert editor.variables_of_focus() == [a, b]
+
+    def test_wrong_focus_type_raises(self):
+        a, *_ = small_network()
+        editor = ConstraintEditor(a)
+        with pytest.raises(TypeError):
+            editor.variables_of_focus()
+
+
+class TestTracing:
+    def test_antecedents_of_focus(self):
+        a, b, c, eq1, eq2 = small_network()
+        editor = ConstraintEditor(c)
+        assert set(editor.antecedents()) == {a, b, eq1, eq2}
+
+    def test_consequences_of_focus(self):
+        a, b, c, eq1, eq2 = small_network()
+        editor = ConstraintEditor(a)
+        assert set(editor.consequences()) == {b, c}
+
+
+class TestEditing:
+    def test_assign_through_editor(self):
+        a, b, c, *_ = small_network()
+        editor = ConstraintEditor(a)
+        assert editor.assign(7)
+        assert c.value == 7
+
+    def test_remove_focused_constraint(self):
+        a, b, c, eq1, eq2 = small_network()
+        editor = ConstraintEditor(eq1)
+        editor.remove_focused_constraint()
+        assert editor.focus is None
+        assert eq1 not in a.constraints
+        assert b.value is None  # dependency-directed erasure
+
+    def test_toggle_propagation(self, context):
+        editor = ConstraintEditor()
+        editor.disable_propagation()
+        assert not context.enabled
+        editor.enable_propagation()
+        assert context.enabled
+
+    def test_remove_requires_constraint_focus(self):
+        a, *_ = small_network()
+        editor = ConstraintEditor(a)
+        with pytest.raises(TypeError):
+            editor.remove_focused_constraint()
+
+
+class TestRendering:
+    def test_show_variable(self):
+        a, b, c, *_ = small_network()
+        text = ConstraintEditor(a).show()
+        assert "a" in text
+        assert "5" in text
+        assert "#USER" in text
+        assert "EqualityConstraint" in text
+
+    def test_show_propagated_variable_names_source(self):
+        a, b, c, *_ = small_network()
+        text = ConstraintEditor(b).show()
+        assert "propagated by" in text
+
+    def test_show_constraint(self):
+        a, b, c, eq1, eq2 = small_network()
+        text = ConstraintEditor(eq1).show()
+        assert "satisfied: True" in text
+        assert "a" in text and "b" in text
+
+    def test_show_unsatisfied_constraint(self):
+        v = Variable(name="v")
+        bound = UpperBoundConstraint(v, 10, attach=False)
+        v.set(99)
+        bound.attach()  # violation: stays attached, value restored to None
+        text = ConstraintEditor(bound).show()
+        assert "satisfied" in text
+
+    def test_show_without_focus(self):
+        assert ConstraintEditor().show() == "<no focus>"
+
+    def test_show_network_tree(self):
+        a, b, c, eq1, eq2 = small_network()
+        text = ConstraintEditor(b).show_network()
+        assert "b = 5" in text
+        assert "EqualityConstraint" in text
+        assert "a = 5" in text
+        assert "c = 5" in text
+
+    def test_show_network_marks_revisits(self):
+        a, b, c, *_ = small_network()
+        text = ConstraintEditor(a).show_network()
+        assert "..." in text  # the back-reference to an already-shown node
+
+    def test_show_network_truncates(self):
+        a, b, c, *_ = small_network()
+        text = ConstraintEditor(a).show_network(max_nodes=2)
+        assert "(truncated)" in text
+
+    def test_show_network_requires_variable(self):
+        a, b, c, eq1, eq2 = small_network()
+        with pytest.raises(TypeError):
+            ConstraintEditor(eq1).show_network()
+
+    def test_show_variable_without_constraints(self):
+        text = ConstraintEditor(Variable(name="lonely")).show()
+        assert "(none)" in text

@@ -1,0 +1,323 @@
+"""Tests for the propagation engine (thesis sections 4.2, 5.2, 5.3)."""
+
+import pytest
+
+from repro.core import (
+    APPLICATION,
+    USER,
+    ConstraintViolationError,
+    EqualityConstraint,
+    FormulaConstraint,
+    PropagationContext,
+    RaisingHandler,
+    UniMaximumConstraint,
+    UpperBoundConstraint,
+    Variable,
+    WarningHandler,
+    default_context,
+)
+
+
+def fig_4_5_network():
+    """V1 = V2, V4 = max(V2, V3), all satisfying initial values."""
+    v1 = Variable(7, name="V1")
+    v2 = Variable(7, name="V2")
+    v3 = Variable(5, name="V3")
+    v4 = Variable(7, name="V4")
+    eq = EqualityConstraint(v1, v2)
+    mx = UniMaximumConstraint(v4, [v2, v3])
+    return v1, v2, v3, v4, eq, mx
+
+
+class TestFig45Propagation:
+    """The worked example of Fig. 4.5."""
+
+    def test_initial_network_is_consistent(self):
+        v1, v2, v3, v4, eq, mx = fig_4_5_network()
+        assert (v1.value, v2.value, v3.value, v4.value) == (7, 7, 5, 7)
+        assert eq.is_satisfied()
+        assert mx.is_satisfied()
+
+    def test_setting_v1_propagates_through_both_constraints(self):
+        v1, v2, v3, v4, eq, mx = fig_4_5_network()
+        assert v1.set(9)
+        assert v2.value == 9   # via equality
+        assert v4.value == 9   # via maximum
+        assert v3.value == 5   # untouched
+
+    def test_propagated_values_record_their_source(self):
+        v1, v2, v3, v4, eq, mx = fig_4_5_network()
+        v1.set(9)
+        assert v2.source_constraint() is eq
+        assert v4.source_constraint() is mx
+        assert v1.last_set_by is USER
+
+    def test_lowering_below_other_max_input(self):
+        v1, v2, v3, v4, eq, mx = fig_4_5_network()
+        v1.set(2)
+        assert v2.value == 2
+        assert v4.value == 5  # max(2, 5)
+
+
+class TestTerminationCriteria:
+    """Section 4.2.2: where the wavefront stops."""
+
+    def test_agreeing_value_stops_propagation(self, context):
+        a = Variable(4, name="a")
+        b = Variable(4, name="b")
+        EqualityConstraint(a, b)
+        before = context.stats.propagated_assignments
+        assert a.set(4)
+        assert context.stats.propagated_assignments == before
+        assert context.stats.ignored_propagations > 0
+
+    def test_user_value_blocks_disagreeing_propagation(self):
+        a = Variable(name="a")
+        b = Variable(name="b")
+        b.set(10, USER)
+        EqualityConstraint(a, b)
+        assert not a.set(3)
+        # restored: a keeps the (re-propagated) value from attach
+        assert b.value == 10
+
+    def test_user_value_allows_agreeing_propagation(self):
+        a = Variable(name="a")
+        b = Variable(name="b")
+        b.set(10, USER)
+        EqualityConstraint(a, b)
+        assert a.value == 10  # attach propagated the user value to a
+        assert a.set(10)
+
+    def test_application_value_is_overwritten(self):
+        a = Variable(name="a")
+        b = Variable(name="b")
+        b.calculate(10)
+        EqualityConstraint(a, b)
+        assert a.set(3)
+        assert b.value == 3
+
+
+class TestCyclicConstraints:
+    """Fig. 4.9: cyclic networks terminate via the one-value-change rule."""
+
+    def make_cycle(self):
+        v1 = Variable(name="V1")
+        v2 = Variable(name="V2")
+        v3 = Variable(name="V3")
+        FormulaConstraint(v2, [v1], lambda x: x + 1, label="+1")
+        FormulaConstraint(v3, [v2], lambda x: x + 3, label="+3")
+        FormulaConstraint(v1, [v3], lambda x: x + 2, label="+2")
+        return v1, v2, v3
+
+    def test_unsatisfiable_cycle_violates(self):
+        v1, v2, v3 = self.make_cycle()
+        assert not v1.set(10)
+
+    def test_cycle_violation_restores_all_values(self):
+        v1, v2, v3 = self.make_cycle()
+        v1.set(10)
+        assert v1.value is None
+        assert v2.value is None
+        assert v3.value is None
+
+    def test_violation_is_recorded_with_reason(self, context):
+        v1, v2, v3 = self.make_cycle()
+        v1.set(10)
+        record = context.handler.last
+        assert record is not None
+        assert "one-value-change" in record.reason
+
+    def test_satisfiable_cycle_converges(self):
+        """An identity cycle terminates by the agreeing-value criterion."""
+        a = Variable(name="a")
+        b = Variable(name="b")
+        c = Variable(name="c")
+        EqualityConstraint(a, b)
+        EqualityConstraint(b, c)
+        EqualityConstraint(c, a)
+        assert a.set(42)
+        assert (a.value, b.value, c.value) == (42, 42, 42)
+
+    def test_relaxed_n_change_rule(self):
+        """Section 9.2.3's quick fix: allow N changes per round."""
+        context = PropagationContext(max_changes_per_variable=3)
+        v1 = Variable(name="V1", context=context)
+        v2 = Variable(name="V2", context=context)
+        FormulaConstraint(v2, [v1], lambda x: x + 1)
+        FormulaConstraint(v1, [v2], lambda x: x + 1)
+        assert not v1.set(0)  # still diverges, but only after 3 changes
+
+
+class TestViolationHandling:
+    """Sections 4.2.3 and 5.2."""
+
+    def test_failed_assignment_returns_false(self):
+        a = Variable(name="a")
+        UpperBoundConstraint(a, 10)
+        assert not a.set(11)
+
+    def test_network_restored_after_final_check_violation(self):
+        a = Variable(3, name="a")
+        b = Variable(3, name="b")
+        EqualityConstraint(a, b)
+        UpperBoundConstraint(b, 10)
+        assert not a.set(11)
+        assert a.value == 3
+        assert b.value == 3
+
+    def test_warning_handler_collects_messages(self):
+        handler = WarningHandler()
+        context = PropagationContext(handler=handler)
+        a = Variable(name="a", context=context)
+        UpperBoundConstraint(a, 10)
+        a.set(99)
+        assert len(handler.messages) == 1
+        assert "violation" in handler.messages[0]
+
+    def test_raising_handler_raises_after_restore(self):
+        handler = RaisingHandler()
+        context = PropagationContext(handler=handler)
+        a = Variable(1, name="a", context=context)
+        UpperBoundConstraint(a, 10)
+        with pytest.raises(ConstraintViolationError):
+            a.set(99)
+        assert a.value == 1
+
+    def test_per_constraint_violation_handler(self):
+        special = WarningHandler()
+        a = Variable(name="a")
+        bound = UpperBoundConstraint(a, 10)
+        bound.violation_handler = special
+        a.set(99)
+        assert len(special.messages) == 1
+        assert not default_context().handler.records
+
+    def test_successful_assignment_leaves_no_records(self, context):
+        a = Variable(name="a")
+        UpperBoundConstraint(a, 10)
+        assert a.set(5)
+        assert not context.handler.records
+
+
+class TestDisableSwitch:
+    """Section 5.3: the CPSwitch."""
+
+    def test_disabled_context_stores_without_checking(self, context):
+        a = Variable(name="a")
+        UpperBoundConstraint(a, 10)
+        context.enabled = False
+        assert a.set(99)
+        assert a.value == 99
+
+    def test_disabled_context_does_not_propagate(self, context):
+        a = Variable(name="a")
+        b = Variable(name="b")
+        EqualityConstraint(a, b)
+        context.enabled = False
+        a.set(5)
+        assert b.value is None
+
+    def test_propagation_disabled_context_manager(self, context):
+        a = Variable(name="a")
+        b = Variable(name="b")
+        EqualityConstraint(a, b)
+        with context.propagation_disabled():
+            a.set(5)
+        assert context.enabled
+        assert b.value is None
+        # propagation resumes afterwards
+        a.set(6)
+        assert b.value == 6
+
+    def test_constraints_still_added_while_disabled(self, context):
+        a = Variable(5, name="a")
+        b = Variable(name="b")
+        with context.propagation_disabled():
+            EqualityConstraint(a, b)
+        assert b.value is None  # no local propagation on creation
+
+
+class TestProbe:
+    """Fig. 8.2's canBeSetTo: — tentative propagation with restore."""
+
+    def test_acceptable_value(self):
+        a = Variable(name="a")
+        UpperBoundConstraint(a, 10)
+        assert a.can_be_set_to(5)
+        assert a.value is None  # restored
+
+    def test_rejected_value(self):
+        a = Variable(name="a")
+        UpperBoundConstraint(a, 10)
+        assert not a.can_be_set_to(11)
+        assert a.value is None
+
+    def test_probe_propagates_through_network(self):
+        a = Variable(name="a")
+        b = Variable(name="b")
+        EqualityConstraint(a, b)
+        UpperBoundConstraint(b, 10)
+        assert not a.can_be_set_to(11)
+        assert a.can_be_set_to(9)
+        assert b.value is None
+
+    def test_probe_does_not_notify_handler(self, context):
+        a = Variable(name="a")
+        UpperBoundConstraint(a, 10)
+        a.can_be_set_to(11)
+        assert not context.handler.records
+
+    def test_probe_restores_prior_values(self):
+        a = Variable(name="a")
+        b = Variable(name="b")
+        EqualityConstraint(a, b)
+        a.set(3)
+        assert a.can_be_set_to(7)
+        assert a.value == 3
+        assert b.value == 3
+        assert a.last_set_by is USER
+
+
+class TestStats:
+    def test_round_and_assignment_counters(self, context):
+        a = Variable(name="a")
+        b = Variable(name="b")
+        EqualityConstraint(a, b)
+        context.stats.reset()
+        a.set(1)
+        assert context.stats.external_assignments == 1
+        assert context.stats.propagated_assignments == 1
+        assert context.stats.rounds == 1
+
+    def test_violation_counter(self, context):
+        a = Variable(name="a")
+        UpperBoundConstraint(a, 10)
+        context.stats.reset()
+        a.set(99)
+        assert context.stats.violations == 1
+
+    def test_snapshot_keys(self, context):
+        snap = context.stats.snapshot()
+        assert "inference_runs" in snap
+        assert "constraint_activations" in snap
+
+
+class TestRoundDiscipline:
+    def test_rounds_do_not_nest(self, context):
+        with context._round_scope():
+            with pytest.raises(RuntimeError):
+                with context._round_scope():
+                    pass
+
+    def test_propagated_assignment_requires_round(self):
+        a = Variable(name="a")
+        with pytest.raises(RuntimeError):
+            a.set_propagated(1, constraint=object())
+
+    def test_scheduler_cleared_after_violation(self, context):
+        v1 = Variable(name="V1")
+        v2 = Variable(name="V2")
+        FormulaConstraint(v2, [v1], lambda x: x + 1)
+        UpperBoundConstraint(v1, 5)
+        v1.set(99)
+        assert context.scheduler.is_empty()

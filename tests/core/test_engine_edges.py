@@ -1,0 +1,219 @@
+"""Edge-case tests for the propagation engine."""
+
+import pytest
+
+from repro.core import (
+    APPLICATION,
+    Constraint,
+    EqualityConstraint,
+    FormulaConstraint,
+    UPDATE,
+    UniAdditionConstraint,
+    UpperBoundConstraint,
+    USER,
+    Variable,
+)
+
+
+class TestInRoundExternalAssignment:
+    """Tools assigning values while propagation runs (update hooks)."""
+
+    def test_hook_triggered_reset_joins_the_round(self, context):
+        """A post-store hook that erases another variable participates
+        in the same round (the Fig. 7.8 pattern)."""
+        erased = Variable(99, name="erased")
+
+        class Hooked(Variable):
+            def on_stored_by_assignment(self):
+                if erased.raw_value is not None:
+                    erased.set(None, UPDATE)
+
+        trigger = Hooked(name="trigger")
+        watcher = Variable(name="watcher")
+        EqualityConstraint(erased, watcher)
+        assert trigger.set(1)
+        assert erased.value is None
+
+    def test_hook_changes_restored_on_violation(self, context):
+        """If the round later violates, hook-driven changes roll back too."""
+        erased = Variable(99, name="erased")
+
+        class Hooked(Variable):
+            def on_stored_by_assignment(self):
+                erased.set(None, UPDATE)
+
+        trigger = Hooked(name="trigger")
+        UpperBoundConstraint(trigger, 10)
+        assert not trigger.set(50)
+        assert trigger.value is None
+        assert erased.value == 99  # the hook's erasure was undone
+
+    def test_hook_not_run_during_restore(self, context):
+        """Restores bypass hooks: no cascade from rollback."""
+        calls = []
+
+        class Counting(Variable):
+            def on_stored_by_assignment(self):
+                calls.append(self.value)
+
+        v = Counting(name="v")
+        UpperBoundConstraint(v, 10)
+        v.set(5)
+        assert calls == [5]
+        v.set(50)          # violation: store (hook), restore (no hook)
+        assert calls == [5, 50]
+
+
+class TestProbeEdgeCases:
+    def test_probe_inside_round_rejected(self, context):
+        a = Variable(name="a")
+        with context._round_scope():
+            with pytest.raises(RuntimeError):
+                context.probe(a, 1)
+
+    def test_probe_with_disabled_propagation_accepts(self, context):
+        a = Variable(name="a")
+        UpperBoundConstraint(a, 10)
+        with context.propagation_disabled():
+            assert a.can_be_set_to(99)  # no checking while disabled
+
+    def test_probe_does_not_count_as_violation_stat(self, context):
+        a = Variable(name="a")
+        UpperBoundConstraint(a, 10)
+        context.stats.reset()
+        a.can_be_set_to(99)
+        assert context.stats.violations == 0
+
+    def test_probe_same_value_is_cheap(self, context):
+        a = Variable(5, name="a")
+        b = Variable(5, name="b")
+        EqualityConstraint(a, b)
+        assert a.can_be_set_to(5)
+        assert a.value == 5
+
+
+class TestConstraintCreationDuringRound:
+    def test_constraint_attached_mid_round_propagates_in_round(self, context):
+        """E.g. a hook that instantiates constraints while propagating."""
+        late = Variable(name="late")
+        peer = Variable(name="peer")
+
+        class Builder(Variable):
+            built = False
+
+            def on_stored_by_assignment(self):
+                if not Builder.built:
+                    Builder.built = True
+                    EqualityConstraint(late, peer)
+
+        trigger = Builder(name="trigger")
+        late.set(3)
+        assert trigger.set(1)
+        assert peer.value == 3  # the new constraint propagated immediately
+
+
+class TestJustificationInteractions:
+    def test_update_overwrites_user_on_external_assignment(self):
+        """External assignments always store, whatever was there."""
+        v = Variable(name="v")
+        v.set(5, USER)
+        assert v.set(None, UPDATE)
+        assert v.value is None
+
+    def test_propagation_into_structure_justified_value(self):
+        from repro.core.justification import STRUCTURE
+        a = Variable(name="a")
+        b = Variable(name="b")
+        b.set(10, STRUCTURE)
+        EqualityConstraint(a, b)
+        assert not a.set(3)   # STRUCTURE protects like USER
+        assert a.set(10)
+
+    def test_tentative_values_are_overwritable(self):
+        from repro.core import TENTATIVE
+        a = Variable(name="a")
+        b = Variable(name="b")
+        b.set(10, TENTATIVE)
+        EqualityConstraint(a, b)
+        assert a.set(3)
+        assert b.value == 3
+
+
+class TestMultipleRounds:
+    def test_state_does_not_leak_between_rounds(self, context):
+        a = Variable(name="a")
+        b = Variable(name="b")
+        EqualityConstraint(a, b)
+        for value in range(20):
+            assert a.set(value)
+        assert b.value == 19
+        assert not context.in_round
+
+    def test_violation_then_success(self, context):
+        a = Variable(name="a")
+        UpperBoundConstraint(a, 10)
+        assert not a.set(50)
+        assert a.set(5)
+        assert not a.set(11)
+        assert a.value == 5
+
+    def test_alternating_constraint_editing_and_assignment(self):
+        a = Variable(1, name="a")
+        b = Variable(name="b")
+        eq = EqualityConstraint(a, b)
+        assert b.value == 1
+        eq.remove()
+        assert b.value is None
+        a.set(2)
+        EqualityConstraint(a, b)
+        assert b.value == 2
+
+
+class TestZeroAndFalsyValues:
+    """Zero, empty string and False are real values, not 'unknown'."""
+
+    def test_zero_propagates(self):
+        a = Variable(name="a")
+        b = Variable(name="b")
+        EqualityConstraint(a, b)
+        assert a.set(0)
+        assert b.value == 0
+
+    def test_false_propagates(self):
+        a = Variable(name="a")
+        b = Variable(name="b")
+        EqualityConstraint(a, b)
+        assert a.set(False)
+        assert b.value is False
+
+    def test_zero_checked_by_bounds(self):
+        a = Variable(name="a")
+        UpperBoundConstraint(a, -1)
+        assert not a.set(0)
+
+    def test_sum_of_zeros(self):
+        x, y = Variable(0), Variable(0)
+        total = Variable(name="total")
+        UniAdditionConstraint(total, [x, y])
+        assert total.value == 0
+
+
+class TestConstraintBaseEdges:
+    def test_empty_constraint_uses_default_context(self, context):
+        c = Constraint(attach=False)
+        assert c.context is context
+
+    def test_remove_unattached_constraint(self):
+        a = Variable(1, name="a")
+        c = EqualityConstraint(a, Variable(name="b"), attach=False)
+        c.remove()  # no-op, must not raise
+        assert not c.attached
+
+    def test_reattach_after_remove(self):
+        a = Variable(1, name="a")
+        b = Variable(name="b")
+        eq = EqualityConstraint(a, b)
+        eq.remove()
+        # rebuild the same relation with a fresh constraint
+        EqualityConstraint(a, b)
+        assert b.value == 1

@@ -1,0 +1,108 @@
+"""Tests for violation diagnosis and recommendations (§9.3 extension)."""
+
+import pytest
+
+from repro.core import (
+    EqualityConstraint,
+    PropagationContext,
+    UniAdditionConstraint,
+    UpperBoundConstraint,
+    USER,
+    Variable,
+)
+from repro.core.explain import Diagnosis, ExplainingHandler, explain
+
+
+def budget_scene():
+    """part_a + part_b = total <= 100, with part_a fixed by the user."""
+    context = PropagationContext(handler=ExplainingHandler())
+    part_a = Variable(name="part_a", context=context)
+    part_b = Variable(name="part_b", context=context)
+    total = Variable(name="total", context=context)
+    UniAdditionConstraint(total, [part_a, part_b])
+    bound = UpperBoundConstraint(total, 100)
+    part_a.set(60, USER)
+    return context, part_a, part_b, total, bound
+
+
+class TestDiagnosis:
+    def test_violation_produces_diagnosis(self):
+        context, part_a, part_b, total, bound = budget_scene()
+        assert not part_b.set(50)
+        diagnosis = context.handler.last_diagnosis
+        assert diagnosis is not None
+        assert diagnosis.record.constraint is bound
+
+    def test_independent_antecedents_found(self):
+        context, part_a, part_b, total, bound = budget_scene()
+        part_b.set(50)
+        diagnosis = context.handler.last_diagnosis
+        # after rollback, the surviving independent decision is part_a=60
+        assert part_a in diagnosis.independent_antecedents
+
+    def test_relax_spec_recommended_for_bounds(self):
+        context, part_a, part_b, total, bound = budget_scene()
+        part_b.set(50)
+        actions = [r.action for r in
+                   context.handler.last_diagnosis.recommendations]
+        assert "relax-spec" in actions
+        assert "disable-and-proceed" in actions
+
+    def test_change_design_points_at_antecedents(self):
+        context, part_a, part_b, total, bound = budget_scene()
+        part_b.set(50)
+        recommendations = context.handler.last_diagnosis.recommendations
+        targets = [r.target for r in recommendations
+                   if r.action == "change-design"]
+        assert part_a in targets
+
+    def test_render_is_readable(self):
+        context, part_a, part_b, total, bound = budget_scene()
+        part_b.set(50)
+        text = context.handler.last_diagnosis.render()
+        assert "violation:" in text
+        assert "recommended actions:" in text
+        assert "part_a" in text
+
+    def test_user_decision_called_out(self):
+        """A protected user value blocking propagation is diagnosed."""
+        context = PropagationContext(handler=ExplainingHandler())
+        a = Variable(name="a", context=context)
+        b = Variable(name="b", context=context)
+        b.set(10, USER)
+        EqualityConstraint(a, b)
+        assert not a.set(3)
+        diagnosis = context.handler.last_diagnosis
+        actions = {r.action for r in diagnosis.recommendations}
+        assert "revise-decision" in actions
+
+    def test_sink_receives_rendered_text(self):
+        received = []
+        context = PropagationContext(handler=ExplainingHandler(received.append))
+        a = Variable(name="a", context=context)
+        UpperBoundConstraint(a, 10)
+        a.set(99)
+        assert received and "violation:" in received[0]
+
+    def test_explain_standalone(self):
+        """explain() works on any record, outside a handler."""
+        context, part_a, part_b, total, bound = budget_scene()
+        part_b.set(50)
+        record = context.handler.last
+        diagnosis = explain(record)
+        assert isinstance(diagnosis, Diagnosis)
+        assert str(diagnosis) == diagnosis.render()
+
+    def test_consequences_listed(self):
+        context = PropagationContext(handler=ExplainingHandler())
+        a = Variable(name="a", context=context)
+        b = Variable(name="b", context=context)
+        c = Variable(name="c", context=context)
+        EqualityConstraint(a, b)
+        EqualityConstraint(b, c)
+        a.set(5)
+        bound = UpperBoundConstraint(a, 10)
+        assert not a.set(50)
+        diagnosis = context.handler.last_diagnosis
+        assert b in diagnosis.affected_consequences
+        assert c in diagnosis.affected_consequences

@@ -1,0 +1,131 @@
+"""Failure injection: defective constraints must not corrupt the network.
+
+The engine's atomicity guarantee extends beyond declared violations: a
+constraint whose inference or satisfaction test *raises* (a tool bug)
+re-raises to the caller, but the network is restored first and the
+engine remains usable.
+"""
+
+import pytest
+
+from repro.core import (
+    Constraint,
+    EqualityConstraint,
+    FormulaConstraint,
+    Variable,
+)
+
+
+class ExplodingInference(Constraint):
+    """Raises from inference once armed (quiet during attach)."""
+
+    def __init__(self, *variables, victim=None, attach=True):
+        self.victim = victim
+        self.armed = False
+        super().__init__(*variables, attach=attach)
+
+    def immediate_inference_by_changing(self, variable):
+        if not self.armed:
+            return
+        if self.victim is not None and variable is not self.victim:
+            self.victim.set_propagated(123, self)
+        raise RuntimeError("inference bug")
+
+
+class ExplodingCheck(Constraint):
+    """Raises from is_satisfied once armed."""
+
+    def __init__(self, *variables, attach=True):
+        self.armed = False
+        super().__init__(*variables, attach=attach)
+
+    def is_satisfied(self):
+        if self.armed:
+            raise RuntimeError("check bug")
+        return True
+
+
+class TestInferenceFailures:
+    def test_exception_reraised(self):
+        a = Variable(name="a")
+        bad = ExplodingInference(a)
+        bad.armed = True
+        with pytest.raises(RuntimeError, match="inference bug"):
+            a.set(1)
+
+    def test_network_restored_after_inference_bug(self):
+        a = Variable(name="a")
+        victim = Variable(name="victim")
+        bad = ExplodingInference(a, victim, victim=victim)
+        bad.armed = True
+        with pytest.raises(RuntimeError):
+            a.set(1)
+        assert a.value is None
+        assert victim.value is None  # the partial write was rolled back
+
+    def test_engine_usable_after_failure(self, context):
+        a = Variable(name="a")
+        b = Variable(name="b")
+        bad = ExplodingInference(a)
+        EqualityConstraint(a, b)
+        bad.armed = True
+        with pytest.raises(RuntimeError):
+            a.set(1)
+        assert not context.in_round
+        bad.remove()
+        assert a.set(2)
+        assert b.value == 2
+
+    def test_failing_compute_in_functional_constraint(self):
+        x = Variable(name="x")
+        r = Variable(name="r")
+        FormulaConstraint(r, [x], lambda v: v / 0, label="div0")
+        with pytest.raises(ZeroDivisionError):
+            x.set(1)
+        assert x.value is None
+        assert r.value is None
+
+    def test_scheduler_cleared_after_exception(self, context):
+        x = Variable(name="x")
+        r = Variable(name="r")
+        s = Variable(name="s")
+        FormulaConstraint(r, [x], lambda v: v / 0, label="div0")
+        FormulaConstraint(s, [x], lambda v: v + 1, label="+1")
+        with pytest.raises(ZeroDivisionError):
+            x.set(1)
+        assert context.scheduler.is_empty()
+
+
+class TestCheckFailures:
+    def test_exploding_is_satisfied(self):
+        a = Variable(name="a")
+        bad = ExplodingCheck(a)
+        bad.armed = True
+        with pytest.raises(RuntimeError, match="check bug"):
+            a.set(1)
+        assert a.value is None
+
+    def test_attach_time_explosion_restores(self):
+        a = Variable(5, name="a")
+        b = Variable(name="b")
+        EqualityConstraint(a, b)
+
+        class EagerExplodingCheck(Constraint):
+            def is_satisfied(self):
+                raise RuntimeError("check bug")
+
+        with pytest.raises(RuntimeError):
+            EagerExplodingCheck(a)
+        assert a.value == 5
+        assert b.value == 5
+
+
+class TestProbeFailures:
+    def test_probe_restores_on_exception(self, context):
+        a = Variable(7, name="a")
+        bad = ExplodingInference(a)
+        bad.armed = True
+        with pytest.raises(RuntimeError):
+            context.probe(a, 9)
+        assert a.value == 7
+        assert not context.in_round

@@ -1,0 +1,144 @@
+"""Tests for functional constraints and agenda deferral (section 4.2.1)."""
+
+from repro.core import (
+    FormulaConstraint,
+    ScaleOffsetConstraint,
+    UniAdditionConstraint,
+    UniMaximumConstraint,
+    UniMinimumConstraint,
+    Variable,
+)
+
+
+class TestUniAddition:
+    def test_computes_sum(self):
+        a, b, total = Variable(2), Variable(3), Variable(name="total")
+        UniAdditionConstraint(total, [a, b])
+        assert total.value == 5
+
+    def test_recomputes_on_input_change(self):
+        a, b, total = Variable(2), Variable(3), Variable(name="total")
+        UniAdditionConstraint(total, [a, b])
+        a.set(10)
+        assert total.value == 13
+
+    def test_incomplete_inputs_infer_nothing(self):
+        a, b, total = Variable(2), Variable(name="b"), Variable(name="total")
+        UniAdditionConstraint(total, [a, b])
+        assert total.value is None
+        b.set(4)
+        assert total.value == 6
+
+    def test_result_change_does_not_drive_constraint(self, context):
+        a, b, total = Variable(2), Variable(3), Variable(name="total")
+        c = UniAdditionConstraint(total, [a, b])
+        assert not c.permits_changes_by(total)
+        assert c.permits_changes_by(a)
+
+    def test_inconsistent_result_detected_by_final_check(self):
+        a, b = Variable(2), Variable(3)
+        total = Variable(name="total")
+        UniAdditionConstraint(total, [a, b])
+        # total currently 5; a user value that disagrees is a violation
+        assert not total.set(99)
+        assert total.value == 5
+
+    def test_agreeing_user_result_accepted(self):
+        a, b = Variable(2), Variable(3)
+        total = Variable(name="total")
+        UniAdditionConstraint(total, [a, b])
+        assert total.set(5)
+
+    def test_works_with_non_numeric_addition(self):
+        a, b = Variable("foo"), Variable("bar")
+        joined = Variable(name="joined")
+        UniAdditionConstraint(joined, [a, b])
+        assert joined.value == "foobar"
+
+
+class TestUniMaximumMinimum:
+    def test_maximum(self):
+        a, b, m = Variable(4), Variable(9), Variable(name="m")
+        UniMaximumConstraint(m, [a, b])
+        assert m.value == 9
+        a.set(20)
+        assert m.value == 20
+
+    def test_minimum(self):
+        a, b, m = Variable(4), Variable(9), Variable(name="m")
+        UniMinimumConstraint(m, [a, b])
+        assert m.value == 4
+        b.set(1)
+        assert m.value == 1
+
+    def test_single_input(self):
+        a, m = Variable(4), Variable(name="m")
+        UniMaximumConstraint(m, [a])
+        assert m.value == 4
+
+
+class TestScaleOffset:
+    def test_affine_mapping(self):
+        x, y = Variable(10), Variable(name="y")
+        ScaleOffsetConstraint(y, x, scale=2, offset=3)
+        assert y.value == 23
+        x.set(0)
+        assert y.value == 3
+
+    def test_identity_defaults(self):
+        x, y = Variable(7), Variable(name="y")
+        ScaleOffsetConstraint(y, x)
+        assert y.value == 7
+
+
+class TestFormula:
+    def test_arbitrary_function(self):
+        a, b, r = Variable(6), Variable(3), Variable(name="r")
+        FormulaConstraint(r, [a, b], lambda x, y: x // y, label="div")
+        assert r.value == 2
+
+    def test_label_in_qualified_name(self):
+        a, r = Variable(6, name="a"), Variable(name="r")
+        c = FormulaConstraint(r, [a], lambda x: -x, label="neg")
+        assert "neg" in c.qualified_name()
+
+
+class TestChainedFunctionalNetworks:
+    """Delay-network shape: sums feeding a maximum (Fig. 7.12)."""
+
+    def make_delay_network(self):
+        d1, d2, d3 = Variable(3, name="d1"), Variable(4, name="d2"), Variable(6, name="d3")
+        path_a = Variable(name="path_a")
+        path_b = Variable(name="path_b")
+        worst = Variable(name="worst")
+        UniAdditionConstraint(path_a, [d1, d2])   # 7
+        UniAdditionConstraint(path_b, [d3])        # 6
+        UniMaximumConstraint(worst, [path_a, path_b])
+        return d1, d2, d3, path_a, path_b, worst
+
+    def test_initial_evaluation(self):
+        *_, worst = self.make_delay_network()
+        assert worst.value == 7
+
+    def test_update_flows_through_layers(self):
+        d1, d2, d3, path_a, path_b, worst = self.make_delay_network()
+        d3.set(20)
+        assert path_b.value == 20
+        assert worst.value == 20
+
+    def test_agenda_defers_until_drain(self, context):
+        """One external change triggers exactly one inference per constraint."""
+        d1, d2, d3, path_a, path_b, worst = self.make_delay_network()
+        context.stats.reset()
+        d1.set(10)
+        # path_a recomputed once, worst recomputed once
+        assert context.stats.inference_runs == 2
+
+
+class TestDependencyProtocol:
+    def test_result_depends_on_every_input(self):
+        a, b, r = Variable(1), Variable(2), Variable(name="r")
+        c = UniAdditionConstraint(r, [a, b])
+        assert c.test_membership_of(a, None)
+        assert c.test_membership_of(b, None)
+        assert not c.test_membership_of(r, None)

@@ -1,0 +1,111 @@
+"""Tests for justification objects and the default overwrite rule."""
+
+import pytest
+
+from repro.core import (
+    APPLICATION,
+    DEFAULT,
+    TENTATIVE,
+    UPDATE,
+    USER,
+    Constraint,
+    ExternalJustification,
+    PropagatedJustification,
+    Variable,
+    is_propagated,
+    is_user,
+    may_overwrite,
+    source_constraint,
+)
+
+
+class TestExternalJustification:
+    def test_interning_returns_same_object(self):
+        assert ExternalJustification("USER") is USER
+        assert ExternalJustification("APPLICATION") is APPLICATION
+
+    def test_new_symbols_are_distinct(self):
+        a = ExternalJustification("CUSTOM_A")
+        b = ExternalJustification("CUSTOM_B")
+        assert a is not b
+        assert a is ExternalJustification("CUSTOM_A")
+
+    def test_name_property(self):
+        assert USER.name == "USER"
+        assert TENTATIVE.name == "TENTATIVE"
+
+    def test_repr_uses_smalltalk_symbol_style(self):
+        assert repr(USER) == "#USER"
+        assert repr(UPDATE) == "#UPDATE"
+
+
+class TestPropagatedJustification:
+    def test_carries_constraint_and_record(self):
+        constraint = object()
+        record = ("dep",)
+        j = PropagatedJustification(constraint, record)
+        assert j.constraint is constraint
+        assert j.dependency_record == record
+
+    def test_default_record_is_none(self):
+        j = PropagatedJustification(object())
+        assert j.dependency_record is None
+
+
+class TestPredicates:
+    def test_is_user(self):
+        assert is_user(USER)
+        assert not is_user(APPLICATION)
+        assert not is_user(PropagatedJustification(object()))
+        assert not is_user(None)
+
+    def test_is_propagated(self):
+        assert is_propagated(PropagatedJustification(object()))
+        assert not is_propagated(USER)
+        assert not is_propagated(None)
+
+    def test_source_constraint(self):
+        c = object()
+        assert source_constraint(PropagatedJustification(c)) is c
+        assert source_constraint(USER) is None
+        assert source_constraint(None) is None
+
+
+class TestOverwriteRule:
+    """Section 4.2.4: user values outrank propagated/calculated values."""
+
+    def test_user_values_are_protected(self):
+        assert not may_overwrite(USER)
+
+    @pytest.mark.parametrize("justification",
+                             [APPLICATION, UPDATE, TENTATIVE, DEFAULT, None])
+    def test_non_user_external_values_yield(self, justification):
+        assert may_overwrite(justification)
+
+    def test_propagated_values_yield(self):
+        assert may_overwrite(PropagatedJustification(object()))
+
+
+class TestVariableJustificationIntegration:
+    def test_constructor_value_is_application(self):
+        v = Variable(5)
+        assert v.last_set_by is APPLICATION
+
+    def test_constructor_none_has_no_justification(self):
+        v = Variable()
+        assert v.last_set_by is None
+
+    def test_set_defaults_to_user(self):
+        v = Variable()
+        v.set(3)
+        assert v.last_set_by is USER
+
+    def test_calculate_uses_application(self):
+        v = Variable()
+        v.calculate(3)
+        assert v.last_set_by is APPLICATION
+
+    def test_explicit_justification_respected(self):
+        v = Variable()
+        v.set(3, DEFAULT)
+        assert v.last_set_by is DEFAULT

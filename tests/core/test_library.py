@@ -1,0 +1,157 @@
+"""Tests for the general-purpose constraint library."""
+
+from repro.core import (
+    APPLICATION,
+    CompatibleConstraint,
+    EqualityConstraint,
+    UpdateConstraint,
+    Variable,
+)
+
+
+class TestEqualityConstraint:
+    def test_three_way_equality(self):
+        a, b, c = (Variable(name=n) for n in "abc")
+        EqualityConstraint(a, b, c)
+        a.set(5)
+        assert (b.value, c.value) == (5, 5)
+
+    def test_any_argument_drives(self):
+        a, b, c = (Variable(name=n) for n in "abc")
+        EqualityConstraint(a, b, c)
+        c.set(9)
+        assert (a.value, b.value) == (9, 9)
+
+    def test_none_values_not_propagated(self):
+        a, b = Variable(name="a"), Variable(5, name="b")
+        EqualityConstraint(a, b)
+        assert a.value == 5  # attach propagated b's value
+
+    def test_is_satisfied_ignores_nones(self):
+        a, b, c = Variable(3), Variable(), Variable(3)
+        eq = EqualityConstraint(a, b, c, attach=False)
+        assert eq.is_satisfied()
+
+    def test_is_satisfied_detects_mismatch(self):
+        eq = EqualityConstraint(Variable(3), Variable(4), attach=False)
+        assert not eq.is_satisfied()
+
+    def test_is_satisfied_single_value(self):
+        assert EqualityConstraint(Variable(3), Variable(), attach=False).is_satisfied()
+
+    def test_dependency_record_is_activating_variable(self):
+        a, b = Variable(name="a"), Variable(name="b")
+        eq = EqualityConstraint(a, b)
+        a.set(1)
+        assert b.last_set_by.dependency_record is a
+        assert eq.test_membership_of(a, a)
+        assert not eq.test_membership_of(b, a)
+
+
+class Typed:
+    """Minimal value with compatibility semantics for CompatibleConstraint."""
+
+    def __init__(self, lineage):
+        self.lineage = tuple(lineage)
+
+    def is_compatible_with(self, other):
+        n = min(len(self.lineage), len(other.lineage))
+        return self.lineage[:n] == other.lineage[:n]
+
+    def __eq__(self, other):
+        return isinstance(other, Typed) and self.lineage == other.lineage
+
+    def __hash__(self):
+        return hash(self.lineage)
+
+    def __repr__(self):
+        return "/".join(self.lineage)
+
+
+class TestCompatibleConstraint:
+    def test_compatible_values_accepted(self):
+        a = Variable(Typed(["digital"]), name="a")
+        b = Variable(name="b")
+        CompatibleConstraint(a, b)
+        assert b.set(Typed(["digital", "ttl"]))
+
+    def test_incompatible_values_violate(self):
+        a = Variable(name="a")
+        b = Variable(name="b")
+        CompatibleConstraint(a, b)
+        a.set(Typed(["digital"]))
+        assert not b.set(Typed(["analog"]))
+        # restored to the value propagated from a
+        assert b.value == Typed(["digital"])
+
+    def test_propagates_to_untyped_arguments(self):
+        a = Variable(name="a")
+        b = Variable(name="b")
+        CompatibleConstraint(a, b)
+        a.set(Typed(["digital", "cmos"]))
+        assert b.value == Typed(["digital", "cmos"])
+
+    def test_is_satisfied_pairwise(self):
+        good = CompatibleConstraint(
+            Variable(Typed(["d"])), Variable(Typed(["d", "ttl"])), attach=False)
+        assert good.is_satisfied()
+        bad = CompatibleConstraint(
+            Variable(Typed(["d"])), Variable(Typed(["a"])), attach=False)
+        assert not bad.is_satisfied()
+
+    def test_plain_values_compare_by_equality(self):
+        a, b = Variable(1), Variable(1)
+        assert CompatibleConstraint(a, b, attach=False).is_satisfied()
+        assert not CompatibleConstraint(Variable(1), Variable(2),
+                                        attach=False).is_satisfied()
+
+
+class TestUpdateConstraint:
+    """Section 6.5.1: watched data erase derived property values."""
+
+    def make(self):
+        source = Variable(1, name="source")
+        derived = Variable(100, name="derived", justification=APPLICATION)
+        update = UpdateConstraint([source], [derived])
+        return source, derived, update
+
+    def test_watched_change_erases_target(self):
+        source, derived, _ = self.make()
+        source.set(2)
+        assert derived.value is None
+
+    def test_target_recalculation_does_not_erase_siblings(self):
+        source = Variable(1, name="source")
+        t1 = Variable(10, name="t1")
+        t2 = Variable(20, name="t2")
+        UpdateConstraint([source], [t1, t2])
+        t1.calculate(11)
+        assert t2.value == 20
+
+    def test_watched_and_targets_accessors(self):
+        source, derived, update = self.make()
+        assert update.watched == [source]
+        assert update.targets == [derived]
+
+    def test_erasure_cascades_through_chained_updates(self):
+        a = Variable(1, name="a")
+        b = Variable(10, name="b")
+        c = Variable(100, name="c")
+        UpdateConstraint([a], [b])
+        UpdateConstraint([b], [c])
+        a.set(2)
+        assert b.value is None
+        assert c.value is None
+
+    def test_already_none_target_untouched(self, context):
+        source = Variable(1, name="source")
+        derived = Variable(name="derived")
+        UpdateConstraint([source], [derived])
+        context.stats.reset()
+        source.set(2)
+        assert derived.value is None
+        assert context.stats.propagated_assignments == 0
+
+    def test_always_satisfied(self):
+        _, _, update = self.make()
+        assert update.is_satisfied()

@@ -1,0 +1,150 @@
+"""Tests for predicate constraints (specifications without inference)."""
+
+import pytest
+
+from repro.core import (
+    AreaBoundConstraint,
+    AspectRatioPredicate,
+    FunctionPredicate,
+    LowerBoundConstraint,
+    OrderingConstraint,
+    PitchMatchPredicate,
+    RangeConstraint,
+    UpperBoundConstraint,
+    Variable,
+)
+
+
+class Extent:
+    def __init__(self, x, y):
+        self.x = x
+        self.y = y
+
+
+class Box:
+    def __init__(self, w, h):
+        self.extent = Extent(w, h)
+
+
+class TestUpperBound:
+    def test_accepts_within_bound(self):
+        v = Variable(name="v")
+        UpperBoundConstraint(v, 100)
+        assert v.set(100)
+        assert v.set(50)
+
+    def test_rejects_above_bound(self):
+        v = Variable(name="v")
+        UpperBoundConstraint(v, 100)
+        assert not v.set(101)
+        assert v.value is None
+
+    def test_none_is_trivially_satisfied(self):
+        v = Variable(name="v")
+        c = UpperBoundConstraint(v, 100)
+        assert c.is_satisfied()
+
+    def test_qualified_name_mentions_bound(self):
+        v = Variable(name="delay")
+        c = UpperBoundConstraint(v, 120)
+        assert "120" in c.qualified_name()
+
+
+class TestLowerBoundAndRange:
+    def test_lower_bound(self):
+        v = Variable(name="v")
+        LowerBoundConstraint(v, 10)
+        assert not v.set(9)
+        assert v.set(10)
+
+    def test_range(self):
+        v = Variable(name="v")
+        RangeConstraint(v, 1, 8)
+        assert v.set(1)
+        assert v.set(8)
+        assert not v.set(0)
+        assert not v.set(9)
+
+    def test_range_restores_previous_value_on_violation(self):
+        v = Variable(name="v")
+        RangeConstraint(v, 1, 8)
+        v.set(4)
+        assert not v.set(9)
+        assert v.value == 4
+
+
+class TestOrdering:
+    def test_ordering_holds(self):
+        a, b = Variable(name="a"), Variable(name="b")
+        OrderingConstraint(a, b)
+        a.set(3)
+        assert b.set(5)
+        assert not b.set(2)
+
+
+class TestFunctionPredicate:
+    def test_callable_predicate(self):
+        a, b = Variable(name="a"), Variable(name="b")
+        FunctionPredicate(a, b, fn=lambda x, y: (x + y) % 2 == 0, label="even-sum")
+        a.set(3)
+        assert b.set(5)
+        assert not b.set(4)
+
+    def test_label_appears_in_name(self):
+        c = FunctionPredicate(Variable(name="a"), fn=lambda x: True, label="always")
+        assert "always" in c.qualified_name()
+
+
+class TestAspectRatio:
+    """Fig. 7.9's AspectRatioPredicate."""
+
+    def test_matching_ratio(self):
+        v = Variable(name="bBox")
+        AspectRatioPredicate(v, 2.0)
+        assert v.set(Box(4, 2))
+
+    def test_mismatched_ratio(self):
+        v = Variable(name="bBox")
+        AspectRatioPredicate(v, 2.0)
+        assert not v.set(Box(3, 2))
+
+    def test_zero_height_rejected(self):
+        v = Variable(name="bBox")
+        AspectRatioPredicate(v, 2.0)
+        assert not v.set(Box(3, 0))
+
+    def test_bare_extent_pair(self):
+        v = Variable(name="bBox")
+        AspectRatioPredicate(v, 1.5)
+        assert v.set(Extent(3, 2))
+
+
+class TestAreaBound:
+    def test_within_area(self):
+        v = Variable(name="bBox")
+        AreaBoundConstraint(v, 10)
+        assert v.set(Box(5, 2))
+
+    def test_exceeds_area(self):
+        v = Variable(name="bBox")
+        AreaBoundConstraint(v, 10)
+        assert not v.set(Box(5, 3))
+
+
+class TestPitchMatch:
+    def test_matching_heights(self):
+        a, b = Variable(name="a"), Variable(name="b")
+        PitchMatchPredicate(a, b, axis="y")
+        a.set(Box(4, 2))
+        assert b.set(Box(9, 2))
+        assert not b.set(Box(9, 3))
+
+    def test_matching_widths(self):
+        a, b = Variable(name="a"), Variable(name="b")
+        PitchMatchPredicate(a, b, axis="x")
+        a.set(Box(4, 2))
+        assert b.set(Box(4, 7))
+
+    def test_invalid_axis(self):
+        with pytest.raises(ValueError):
+            PitchMatchPredicate(Variable(), Variable(), axis="z")

@@ -1,0 +1,134 @@
+"""Property-based tests (hypothesis) for kernel invariants.
+
+Invariants exercised:
+
+* propagation either succeeds leaving every visited constraint satisfied,
+  or fails leaving the network exactly as it was (atomicity);
+* equality chains converge to a single value regardless of entry point;
+* functional networks always agree with direct evaluation of the formula;
+* agenda scheduling never loses or duplicates entries.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    AgendaScheduler,
+    EqualityConstraint,
+    PropagationContext,
+    UniAdditionConstraint,
+    UniMaximumConstraint,
+    UpperBoundConstraint,
+    Variable,
+)
+
+values = st.integers(min_value=-1000, max_value=1000)
+
+
+class TestAtomicity:
+    @given(initial=values, bound=values, attempt=values)
+    @settings(max_examples=100)
+    def test_assignment_is_atomic(self, initial, bound, attempt):
+        """Failed assignments restore the exact prior state."""
+        context = PropagationContext()
+        a = Variable(name="a", context=context)
+        b = Variable(name="b", context=context)
+        EqualityConstraint(a, b)
+        UpperBoundConstraint(b, bound)
+        if initial <= bound:
+            assert a.set(initial)
+        before = (a.value, b.value, a.last_set_by, b.last_set_by)
+        ok = a.can_be_set_to(attempt)
+        assert ok == (attempt <= bound)
+        assert (a.value, b.value, a.last_set_by, b.last_set_by) == before
+
+    @given(initial=values, attempt=values, bound=values)
+    @settings(max_examples=100)
+    def test_set_failure_restores(self, initial, attempt, bound):
+        context = PropagationContext()
+        a = Variable(name="a", context=context)
+        UpperBoundConstraint(a, bound)
+        if initial <= bound:
+            a.set(initial)
+            ok = a.set(attempt)
+            if attempt <= bound:
+                assert ok and a.value == attempt
+            else:
+                assert not ok and a.value == initial
+
+
+class TestEqualityChain:
+    @given(length=st.integers(min_value=2, max_value=12),
+           entry=st.data(), value=values)
+    @settings(max_examples=60)
+    def test_chain_converges_from_any_entry_point(self, length, entry, value):
+        context = PropagationContext()
+        variables = [Variable(name=f"v{i}", context=context)
+                     for i in range(length)]
+        for left, right in zip(variables, variables[1:]):
+            EqualityConstraint(left, right)
+        index = entry.draw(st.integers(min_value=0, max_value=length - 1))
+        assert variables[index].set(value)
+        assert all(v.value == value for v in variables)
+
+
+class TestFunctionalAgreement:
+    @given(inputs=st.lists(values, min_size=1, max_size=8))
+    @settings(max_examples=80)
+    def test_addition_matches_python_sum(self, inputs):
+        context = PropagationContext()
+        input_vars = [Variable(v, name=f"x{i}", context=context)
+                      for i, v in enumerate(inputs)]
+        total = Variable(name="total", context=context)
+        UniAdditionConstraint(total, input_vars)
+        assert total.value == sum(inputs)
+
+    @given(inputs=st.lists(values, min_size=1, max_size=8), update=values,
+           data=st.data())
+    @settings(max_examples=80)
+    def test_maximum_tracks_updates(self, inputs, update, data):
+        context = PropagationContext()
+        input_vars = [Variable(v, name=f"x{i}", context=context)
+                      for i, v in enumerate(inputs)]
+        top = Variable(name="top", context=context)
+        UniMaximumConstraint(top, input_vars)
+        index = data.draw(st.integers(min_value=0, max_value=len(inputs) - 1))
+        assert input_vars[index].set(update)
+        expected = inputs[:index] + [update] + inputs[index + 1:]
+        assert top.value == max(expected)
+
+    @given(layers=st.integers(min_value=1, max_value=5), seed=values)
+    @settings(max_examples=40)
+    def test_layered_sums(self, layers, seed):
+        """A tower of x_{i+1} = x_i + 1 stays consistent through updates."""
+        context = PropagationContext()
+        chain = [Variable(name="x0", context=context)]
+        one = Variable(1, name="one", context=context)
+        for i in range(layers):
+            nxt = Variable(name=f"x{i+1}", context=context)
+            UniAdditionConstraint(nxt, [chain[-1], one])
+            chain.append(nxt)
+        assert chain[0].set(seed)
+        for i, variable in enumerate(chain):
+            assert variable.value == seed + i
+
+
+class TestSchedulerProperties:
+    @given(entries=st.lists(st.integers(0, 20), max_size=60))
+    @settings(max_examples=60)
+    def test_no_loss_no_duplication(self, entries):
+        """Every distinct entry is drained exactly once, in FIFO order."""
+        scheduler = AgendaScheduler()
+        constraints = {i: object() for i in set(entries)}
+        first_seen = []
+        for i in entries:
+            scheduler.schedule(constraints[i])
+            if i not in first_seen:
+                first_seen.append(i)
+        drained = []
+        while True:
+            entry = scheduler.remove_highest_priority_entry()
+            if entry is None:
+                break
+            drained.append(entry[0])
+        assert drained == [constraints[i] for i in first_seen]

@@ -1,0 +1,99 @@
+"""Tests for reconvergent fan-out handling (thesis section 9.2.3).
+
+The strict one-value-change rule breaks reconvergent fan-outs: when one
+change reaches a functional constraint through two paths, the constraint
+legitimately computes a transient and then a final value.  The engine
+allows a constraint to *recompute* its own result when an input changed
+after the result was computed, with a livelock guard for true cycles.
+"""
+
+import pytest
+
+from repro.core import (
+    FormulaConstraint,
+    UniAdditionConstraint,
+    UniMaximumConstraint,
+    Variable,
+)
+
+
+class TestReconvergentFanout:
+    def test_diamond_converges(self):
+        """a feeds two sums that feed a max: the max settles correctly."""
+        a = Variable(1, name="a")
+        s1 = Variable(name="s1")
+        s2 = Variable(name="s2")
+        top = Variable(name="top")
+        one = Variable(1, name="one")
+        two = Variable(2, name="two")
+        UniAdditionConstraint(s1, [a, one])
+        UniAdditionConstraint(s2, [a, two])
+        UniMaximumConstraint(top, [s1, s2])
+        assert a.set(10)
+        assert s1.value == 11
+        assert s2.value == 12
+        assert top.value == 12
+
+    def test_shared_source_sum(self):
+        """total = x + x-derived value: transient then final."""
+        x = Variable(1, name="x")
+        doubled = Variable(name="doubled")
+        total = Variable(name="total")
+        FormulaConstraint(doubled, [x], lambda v: 2 * v, label="x2")
+        UniAdditionConstraint(total, [x, doubled])
+        assert x.set(5)
+        assert doubled.value == 10
+        assert total.value == 15
+
+    def test_two_instances_feeding_one_sum(self):
+        """The Fig. 5.1 shape: one lower-level value fans out into a sum."""
+        shared = Variable(name="shared")
+        copy1 = Variable(name="copy1")
+        copy2 = Variable(name="copy2")
+        FormulaConstraint(copy1, [shared], lambda v: v, label="id1")
+        FormulaConstraint(copy2, [shared], lambda v: v, label="id2")
+        total = Variable(name="total")
+        UniAdditionConstraint(total, [copy1, copy2])
+        assert shared.set(10)
+        assert total.value == 20
+
+    def test_deep_reconvergence(self):
+        """Several layers of fan-out/fan-in still converge."""
+        a = Variable(name="a")
+        layer1 = [Variable(name=f"l1_{i}") for i in range(3)]
+        for i, v in enumerate(layer1):
+            FormulaConstraint(v, [a], (lambda k: lambda x: x + k)(i),
+                              label=f"+{i}")
+        total = Variable(name="total")
+        UniAdditionConstraint(total, layer1)
+        top = Variable(name="top")
+        UniMaximumConstraint(top, [total, a])
+        assert a.set(4)
+        assert total.value == (4 + 0) + (4 + 1) + (4 + 2)
+        assert top.value == 15
+
+    def test_cycles_still_detected(self):
+        """Recompute permission must not mask genuine cyclic divergence."""
+        v1 = Variable(name="V1")
+        v2 = Variable(name="V2")
+        FormulaConstraint(v2, [v1], lambda x: x + 1, label="+1")
+        FormulaConstraint(v1, [v2], lambda x: x + 1, label="+1b")
+        assert not v1.set(0)
+        assert v1.value is None
+        assert v2.value is None
+
+    def test_fig_4_9_cycle_still_detected(self):
+        v1, v2, v3 = (Variable(name=f"V{i}") for i in (1, 2, 3))
+        FormulaConstraint(v2, [v1], lambda x: x + 1, label="+1")
+        FormulaConstraint(v3, [v2], lambda x: x + 3, label="+3")
+        FormulaConstraint(v1, [v3], lambda x: x + 2, label="+2")
+        assert not v1.set(10)
+
+    def test_converging_cycle_terminates_successfully(self):
+        """An identity cycle through functional constraints settles."""
+        a = Variable(name="a")
+        b = Variable(name="b")
+        FormulaConstraint(b, [a], lambda x: x, label="id_ab")
+        FormulaConstraint(a, [b], lambda x: x, label="id_ba")
+        assert a.set(3)
+        assert (a.value, b.value) == (3, 3)

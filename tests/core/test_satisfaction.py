@@ -1,0 +1,226 @@
+"""Tests for the constraint satisfaction extension (section 9.3)."""
+
+import pytest
+
+from repro.core import (
+    EqualityConstraint,
+    LowerBoundConstraint,
+    OrderingConstraint,
+    RangeConstraint,
+    ScaleOffsetConstraint,
+    UniAdditionConstraint,
+    UniMaximumConstraint,
+    UniMinimumConstraint,
+    UpperBoundConstraint,
+    Variable,
+)
+from repro.core.satisfaction import (
+    Infeasible,
+    Interval,
+    IntervalSolver,
+    RelaxationSolver,
+    collect_network,
+    plan_one_pass,
+    solve_one_pass,
+)
+
+
+class TestInterval:
+    def test_intersect(self):
+        assert Interval(0, 10).intersect(Interval(5, 20)) == Interval(5, 10)
+
+    def test_empty(self):
+        assert Interval(5, 1).is_empty()
+        assert not Interval(1, 5).is_empty()
+
+    def test_point(self):
+        assert Interval.exactly(4).is_point()
+
+    def test_arithmetic(self):
+        assert Interval(1, 2) + Interval(10, 20) == Interval(11, 22)
+        assert Interval(10, 20) - Interval(1, 2) == Interval(8, 19)
+
+
+class TestCollectNetwork:
+    def test_connected_component(self):
+        a, b, c = (Variable(name=n) for n in "abc")
+        eq1 = EqualityConstraint(a, b)
+        eq2 = EqualityConstraint(b, c)
+        x = Variable(name="x")  # unconnected
+        variables, constraints = collect_network([a])
+        assert set(variables) == {a, b, c}
+        assert set(constraints) == {eq1, eq2}
+
+
+class TestIntervalSolver:
+    def test_bounds_narrow_from_specs(self):
+        v = Variable(name="v")
+        UpperBoundConstraint(v, 10)
+        LowerBoundConstraint(v, 3)
+        solver = IntervalSolver([v])
+        solver.solve()
+        assert solver.interval_of(v) == Interval(3, 10)
+
+    def test_addition_backward_narrowing(self):
+        """total fixed and one input fixed -> the other input is solved."""
+        a = Variable(3, name="a")
+        b = Variable(name="b")
+        total = Variable(name="total")
+        UniAdditionConstraint(total, [a, b], attach=False).attach()
+        solver = IntervalSolver([total])
+        solver.intervals[id(total)] = Interval.exactly(10)
+        solution = solver.point_solution()
+        assert solution[b] == 7
+
+    def test_infeasible_detected(self):
+        v = Variable(name="v")
+        UpperBoundConstraint(v, 1)
+        LowerBoundConstraint(v, 5)
+        with pytest.raises(Infeasible):
+            IntervalSolver([v]).solve()
+
+    def test_delay_budget_decomposition(self):
+        """The least-commitment question: how much slack has a subcell?"""
+        d1 = Variable(name="d1")
+        d2 = Variable(60.0, name="d2")
+        total = Variable(name="total")
+        UniAdditionConstraint(total, [d1, d2])
+        UpperBoundConstraint(total, 160.0)
+        LowerBoundConstraint(d1, 0.0)
+        solver = IntervalSolver([total])
+        solver.solve()
+        # d1 may use at most 100ns of the budget
+        assert solver.interval_of(d1).high == pytest.approx(100.0)
+
+    def test_scale_offset(self):
+        x = Variable(name="x")
+        y = Variable(name="y")
+        ScaleOffsetConstraint(y, x, scale=2, offset=1)
+        RangeConstraint(y, 3, 7)
+        solver = IntervalSolver([x])
+        solver.solve()
+        assert solver.interval_of(x) == Interval(1, 3)
+
+    def test_extremum_forward(self):
+        a = Variable(2.0, name="a")
+        b = Variable(5.0, name="b")
+        top = Variable(name="top")
+        bottom = Variable(name="bottom")
+        UniMaximumConstraint(top, [a, b])
+        UniMinimumConstraint(bottom, [a, b])
+        solver = IntervalSolver([a])
+        solution = solver.point_solution()
+        assert solution[top] == 5.0
+        assert solution[bottom] == 2.0
+
+    def test_ordering(self):
+        a = Variable(name="a")
+        b = Variable(4.0, name="b")
+        OrderingConstraint(a, b)
+        solver = IntervalSolver([a])
+        solver.solve()
+        assert solver.interval_of(a).high == 4.0
+
+    def test_equality_meets(self):
+        a = Variable(name="a")
+        b = Variable(name="b")
+        EqualityConstraint(a, b)
+        UpperBoundConstraint(a, 10)
+        LowerBoundConstraint(b, 2)
+        solver = IntervalSolver([a])
+        solver.solve()
+        assert solver.interval_of(a) == Interval(2, 10)
+        assert solver.interval_of(b) == Interval(2, 10)
+
+
+class TestOnePass:
+    def test_plan_orders_by_knowledge(self):
+        a = Variable(2, name="a")
+        b = Variable(name="b")
+        c = Variable(name="c")
+        EqualityConstraint(a, b, attach=False).attach()
+        s = UniAdditionConstraint(c, [a, b], attach=False)
+        # build without propagation so planning has real work to do
+        b.reset(); c.reset()
+        s.attach()
+        b.reset(); c.reset()
+        plan = plan_one_pass([a])
+        assert plan is not None
+        assert [step.target for step in plan] == [b, c]
+
+    def test_unplannable_returns_none(self):
+        """x + y = fixed with both unknown needs simultaneous solution."""
+        x = Variable(name="x")
+        y = Variable(name="y")
+        total = Variable(10, name="total")
+        UniAdditionConstraint(total, [x, y], attach=False).attach()
+        assert plan_one_pass([x]) is None
+
+    def test_solve_one_pass_executes(self):
+        a = Variable(2, name="a")
+        b = Variable(name="b")
+        c = Variable(name="c")
+        EqualityConstraint(a, b)
+        UniAdditionConstraint(c, [a, b])
+        b.reset(); c.reset()
+        assert solve_one_pass([a])
+        assert b.value == 2
+        assert c.value == 4
+
+    def test_solve_one_pass_fails_on_unplannable(self):
+        x = Variable(name="x")
+        y = Variable(name="y")
+        total = Variable(10, name="total")
+        UniAdditionConstraint(total, [x, y], attach=False).attach()
+        assert not solve_one_pass([x])
+
+
+class TestRelaxation:
+    def test_simultaneous_solution(self):
+        """x + y = 10 and x - y = 2 -> x=6, y=4 (needs global view)."""
+        x = Variable(name="x")
+        y = Variable(name="y")
+        total = Variable(10.0, name="total")
+        diff = Variable(2.0, name="diff")
+        from repro.core import FormulaConstraint
+        with x.context.propagation_disabled():
+            UniAdditionConstraint(total, [x, y])
+            FormulaConstraint(diff, [x, y], lambda a, b: a - b, label="minus")
+        solver = RelaxationSolver([x], free=[x, y])
+        solution = solver.solve()
+        assert solution is not None
+        assert solution[x] == pytest.approx(6.0, abs=1e-6)
+        assert solution[y] == pytest.approx(4.0, abs=1e-6)
+
+    def test_commit_through_engine(self):
+        x = Variable(name="x")
+        y = Variable(name="y")
+        total = Variable(10.0, name="total")
+        with x.context.propagation_disabled():
+            UniAdditionConstraint(total, [x, y])
+            EqualityConstraint(x, y)
+        solver = RelaxationSolver([x], free=[x, y])
+        solution = solver.solve()
+        assert solution is not None
+        assert solution[x] == pytest.approx(5.0, abs=1e-6)
+
+    def test_infeasible_returns_none(self):
+        x = Variable(name="x")
+        UpperBoundConstraint(x, 1.0, attach=False).attach()
+        LowerBoundConstraint(x, 5.0, attach=False).attach()
+        solver = RelaxationSolver([x], free=[x])
+        assert solver.solve() is None
+
+    def test_bound_residuals_respected(self):
+        x = Variable(name="x")
+        RangeConstraint(x, 2.0, 3.0)
+        solver = RelaxationSolver([x], free=[x])
+        solution = solver.solve()
+        assert solution is not None
+        assert 2.0 - 1e-6 <= solution[x] <= 3.0 + 1e-6
+
+    def test_no_free_variables_checks_consistency(self):
+        x = Variable(5.0, name="x")
+        UpperBoundConstraint(x, 10.0)
+        solver = RelaxationSolver([x], free=[])
+        assert solver.solve() == {}

@@ -1,0 +1,109 @@
+"""Tests for constraint strengths (§4.2.4's deferred precedence rule)."""
+
+import pytest
+
+from repro.core import EqualityConstraint, USER
+from repro.core.strengths import (
+    DEFAULT_STRENGTH,
+    MEDIUM,
+    REQUIRED,
+    STRONG,
+    StrengthAwareVariable,
+    USER_STRENGTH,
+    WEAK,
+    strength_of_constraint,
+    with_strength,
+)
+
+WeakEquality = with_strength(EqualityConstraint, WEAK, "WeakEquality")
+StrongEquality = with_strength(EqualityConstraint, STRONG, "StrongEquality")
+RequiredEquality = with_strength(EqualityConstraint, REQUIRED,
+                                 "RequiredEquality")
+
+
+class TestDeclaration:
+    def test_default_strength(self):
+        c = EqualityConstraint(StrengthAwareVariable(name="a"),
+                               StrengthAwareVariable(name="b"))
+        assert strength_of_constraint(c) == DEFAULT_STRENGTH
+
+    def test_with_strength_factory(self):
+        assert WeakEquality.strength == WEAK
+        assert WeakEquality.__name__ == "WeakEquality"
+        assert issubclass(StrongEquality, EqualityConstraint)
+
+
+class TestOverwriteByStrength:
+    def make(self):
+        target = StrengthAwareVariable(name="target")
+        weak_source = StrengthAwareVariable(name="weak_source")
+        strong_source = StrengthAwareVariable(name="strong_source")
+        WeakEquality(weak_source, target)
+        StrongEquality(strong_source, target)
+        return target, weak_source, strong_source
+
+    def test_strong_overwrites_weak(self):
+        target, weak_source, strong_source = self.make()
+        weak_source.calculate(1)
+        assert target.value == 1
+        assert strong_source.calculate(2)
+        assert target.value == 2
+
+    def test_weak_defers_to_strong_silently(self):
+        target, weak_source, strong_source = self.make()
+        strong_source.calculate(2)
+        assert target.value == 2
+        # the weak constraint may not overwrite; and its own equality
+        # check would now fail, so the weak source's new value violates
+        assert not weak_source.calculate(1)
+        assert target.value == 2
+
+    def test_equal_strength_overwrites(self):
+        target = StrengthAwareVariable(name="target")
+        s1 = StrengthAwareVariable(name="s1")
+        s2 = StrengthAwareVariable(name="s2")
+        StrongEquality(s1, target)
+        StrongEquality(s2, target)
+        s1.calculate(1)
+        assert s2.calculate(2)
+        assert target.value == 2
+
+    def test_user_value_needs_required_strength(self):
+        target = StrengthAwareVariable(name="target")
+        source = StrengthAwareVariable(name="source")
+        target.set(5, USER)
+        assert USER_STRENGTH == REQUIRED
+        # a merely-strong constraint cannot move a designer decision
+        StrongEquality(source, target)
+        assert not source.calculate(7)
+        assert target.value == 5
+
+    def test_required_constraint_moves_user_value(self):
+        target = StrengthAwareVariable(name="target")
+        source = StrengthAwareVariable(name="source")
+        target.set(5, USER)
+        RequiredEquality(source, target)
+        assert source.calculate(7)
+        assert target.value == 7
+
+    def test_agreeing_values_always_fine(self):
+        target, weak_source, strong_source = self.make()
+        strong_source.calculate(2)
+        assert weak_source.calculate(2)  # agrees: no conflict
+
+    def test_unknown_accepts_anything(self):
+        target = StrengthAwareVariable(name="target")
+        source = StrengthAwareVariable(name="source")
+        WeakEquality(source, target)
+        assert source.calculate(3)
+        assert target.value == 3
+
+
+class TestMixedWithPlainVariables:
+    def test_plain_variables_ignore_strengths(self):
+        from repro.core import Variable
+        target = Variable(name="target")
+        source = Variable(name="source")
+        WeakEquality(source, target)
+        source.calculate(1)
+        assert target.value == 1  # plain rule: propagated overwrites

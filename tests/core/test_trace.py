@@ -1,0 +1,99 @@
+"""Tests for propagation tracing."""
+
+import pytest
+
+from repro.core import (
+    EqualityConstraint,
+    UniAdditionConstraint,
+    UpperBoundConstraint,
+    Variable,
+)
+from repro.core.trace import PropagationTrace, trace
+
+
+def network():
+    a = Variable(name="a")
+    b = Variable(name="b")
+    total = Variable(name="total")
+    one = Variable(1, name="one")
+    EqualityConstraint(a, b)
+    UniAdditionConstraint(total, [b, one])
+    return a, b, total
+
+
+class TestRecording:
+    def test_events_recorded_during_round(self, context):
+        a, b, total = network()
+        with trace(context) as t:
+            a.set(5)
+        kinds = [event.kind for event in t.events]
+        assert "round-start" in kinds
+        assert "store" in kinds       # b := 5, total := 6
+        assert "infer" in kinds       # the scheduled addition ran
+        assert kinds[-1] == "round-end"
+
+    def test_no_recording_outside_block(self, context):
+        a, b, total = network()
+        with trace(context) as t:
+            a.set(5)
+        before = len(t.events)
+        a.set(6)
+        assert len(t.events) == before
+
+    def test_ignore_events(self, context):
+        a, b, total = network()
+        a.set(5)
+        with trace(context) as t:
+            a.set(5)  # agreeing value: propagation stops at b
+        assert t.events_of("ignore")
+
+    def test_violation_and_restore_events(self, context):
+        a, b, total = network()
+        UpperBoundConstraint(total, 3)
+        with trace(context) as t:
+            assert not a.set(5)
+        assert t.events_of("violation")
+        restores = t.events_of("restore")
+        assert restores and "restored" in restores[0].detail
+
+    def test_store_detail_names_constraint_and_value(self, context):
+        a, b, total = network()
+        with trace(context) as t:
+            a.set(7)
+        stores = t.events_of("store")
+        assert any(":= 7" in event.detail for event in stores)
+
+    def test_sink_receives_lines(self, context):
+        a, b, total = network()
+        lines = []
+        with trace(context, lines.append):
+            a.set(5)
+        assert any(line.startswith("round-start") for line in lines)
+
+    def test_render(self, context):
+        a, b, total = network()
+        with trace(context) as t:
+            a.set(5)
+        text = t.render()
+        assert "round-start" in text and "round-end" in text
+
+    def test_clear(self, context):
+        a, b, total = network()
+        with trace(context) as t:
+            a.set(5)
+            t.clear()
+            assert t.events == []
+
+    def test_uninstall_idempotent(self, context):
+        t = PropagationTrace(context)
+        t.install()
+        t.uninstall()
+        t.uninstall()
+        assert context.tracer is None
+
+    def test_tracing_cost_is_zero_when_absent(self, context):
+        """The context works identically with no tracer installed."""
+        a, b, total = network()
+        assert context.tracer is None
+        assert a.set(5)
+        assert total.value == 6

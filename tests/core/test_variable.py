@@ -1,0 +1,152 @@
+"""Tests for Variable objects (section 4.1.1)."""
+
+import pytest
+
+from repro.core import (
+    APPLICATION,
+    USER,
+    Constraint,
+    EqualityConstraint,
+    PropagationContext,
+    Variable,
+)
+
+
+class Parent:
+    def __init__(self, name):
+        self.name = name
+
+
+class TestIdentification:
+    def test_qualified_name_with_parent(self):
+        v = Variable(parent=Parent("ADDER"), name="boundingBox")
+        assert v.qualified_name() == "ADDER.boundingBox"
+
+    def test_qualified_name_free_standing(self):
+        v = Variable(name="x")
+        assert v.qualified_name() == "x"
+
+    def test_qualified_name_anonymous(self):
+        v = Variable()
+        assert v.qualified_name().startswith("<variable@")
+
+    def test_repr_shows_name_and_value(self):
+        v = Variable(3, name="x")
+        assert "x" in repr(v)
+        assert "3" in repr(v)
+
+
+class TestValueAccess:
+    def test_initial_value(self):
+        assert Variable(5).value == 5
+        assert Variable().value is None
+
+    def test_value_is_read_only_property(self):
+        v = Variable(5)
+        with pytest.raises(AttributeError):
+            v.value = 6
+
+    def test_is_dependent_false_for_external(self):
+        v = Variable(5)
+        assert not v.is_dependent()
+        v.set(6)
+        assert not v.is_dependent()
+
+    def test_is_dependent_true_for_propagated(self):
+        a = Variable(name="a")
+        b = Variable(name="b")
+        EqualityConstraint(a, b)
+        a.set(1)
+        assert b.is_dependent()
+        assert not a.is_dependent()
+
+    def test_reset_erases_silently(self):
+        a = Variable(name="a")
+        b = Variable(name="b")
+        EqualityConstraint(a, b)
+        a.set(1)
+        b.reset()
+        assert b.value is None
+        assert b.last_set_by is None
+        assert a.value == 1  # no propagation from reset
+
+
+class TestConstraintLinks:
+    def test_creation_registers_with_variables(self):
+        a, b = Variable(name="a"), Variable(name="b")
+        eq = EqualityConstraint(a, b)
+        assert eq in a.constraints
+        assert eq in b.constraints
+
+    def test_all_constraints_default(self):
+        a, b = Variable(name="a"), Variable(name="b")
+        eq = EqualityConstraint(a, b)
+        assert a.all_constraints() == [eq]
+
+    def test_add_constraint_is_idempotent(self):
+        a = Variable(name="a")
+        c = Constraint(a)
+        a.add_constraint(c)
+        assert a.constraints.count(c) == 1
+
+    def test_remove_constraint_missing_is_noop(self):
+        a = Variable(name="a")
+        a.remove_constraint(object())  # must not raise
+
+    def test_base_variable_has_no_implicit_constraints(self):
+        assert Variable().implicit_constraints() == ()
+
+
+class TestContextOwnership:
+    def test_default_context_used(self, context):
+        assert Variable().context is context
+
+    def test_explicit_context(self):
+        ctx = PropagationContext()
+        v = Variable(context=ctx)
+        assert v.context is ctx
+
+    def test_cross_context_constraint_rejected(self):
+        ctx = PropagationContext()
+        a = Variable(name="a")
+        b = Variable(name="b", context=ctx)
+        with pytest.raises(ValueError):
+            EqualityConstraint(a, b)
+
+
+class TestClassifyPropagated:
+    def test_equal_value_ignored(self):
+        v = Variable(5)
+        assert v.classify_propagated(5, None) == "ignore"
+
+    def test_none_current_applies(self):
+        v = Variable()
+        assert v.classify_propagated(5, None) == "apply"
+
+    def test_user_current_violates(self):
+        v = Variable()
+        v.set(5, USER)
+        assert v.classify_propagated(6, None) == "violate"
+
+    def test_application_current_applies(self):
+        v = Variable()
+        v.calculate(5)
+        assert v.classify_propagated(6, None) == "apply"
+
+    def test_values_equal_hook(self):
+        class Tolerant(Variable):
+            def values_equal(self, a, b):
+                return a is not None and b is not None and abs(a - b) < 0.5
+
+        v = Tolerant(5.0)
+        assert v.classify_propagated(5.2, None) == "ignore"
+        assert v.classify_propagated(6.0, None) == "apply"
+
+
+class TestSetReturnValues:
+    def test_set_returns_true_on_success(self):
+        assert Variable().set(1)
+
+    def test_set_equal_value_still_true(self):
+        v = Variable(1)
+        assert v.set(1)

@@ -1,0 +1,132 @@
+"""Integration: compiled structure + typing + ERC + views + SPICE.
+
+A compiled datapath exercises chapter 6's application integrations on
+one design: module compilation creates the structure, net typing checks
+the connections, electrical rules check drive strength, a SpiceNet view
+tracks the edits, and the delay characteristics flow up to a spec.
+"""
+
+import pytest
+
+from repro.checking import check_cell, watch_net
+from repro.core import UpperBoundConstraint, USER
+from repro.spice import DC, Pulse, SpiceNet, SpiceSimulation, capacitor, resistor
+from repro.stem import CellClass, PinSpec, Rect
+from repro.stem.compilers import CompilerView, VectorCompiler
+from repro.stem.types import DIGITAL, INTEGER_SIGNAL
+
+
+def stage_cell(name="STAGE"):
+    cell = CellClass(name)
+    cell.define_signal("cin", "in", data_type=INTEGER_SIGNAL,
+                       electrical_type=DIGITAL, bit_width=1,
+                       load_capacitance=1e-12,
+                       pins=[PinSpec("left", 0.5)])
+    cell.define_signal("cout", "out", data_type=INTEGER_SIGNAL,
+                       electrical_type=DIGITAL, bit_width=1,
+                       output_resistance=1e3, max_load_capacitance=3e-12,
+                       pins=[PinSpec("right", 0.5)])
+    cell.declare_delay("cin", "cout", estimate=5.0)
+    cell.set_bounding_box(Rect.of_extent(4, 4))
+    # internal wire so typing and delays flow through
+    wire = cell.add_net("w")
+    wire.connect_io("cin")
+    wire.connect_io("cout")
+    return cell
+
+
+class TestCompiledChain:
+    def build(self, stages=4):
+        cell = stage_cell()
+        word = CellClass("WORD")
+        word.define_signal("cin", "in", pins=[PinSpec("left", 0.5)])
+        word.define_signal("cout", "out", pins=[PinSpec("right", 0.5)])
+        word.declare_delay("cin", "cout")
+        instances = VectorCompiler(cell, stages).compile_into(word)
+        # wire the word-level ios to the chain ends
+        nin = word.add_net("nin")
+        nin.connect_io("cin"); nin.connect(instances[0], "cin")
+        nout = word.add_net("nout")
+        nout.connect(instances[-1], "cout"); nout.connect_io("cout")
+        return cell, word, instances
+
+    def test_typing_flows_through_compiled_chain(self):
+        cell, word, instances = self.build()
+        assert word.signal("cin").data_type_var.value is INTEGER_SIGNAL
+        assert word.signal("cout").bit_width_var.value == 1
+
+    def test_delay_spec_on_compiled_word(self):
+        cell, word, instances = self.build(4)
+        UpperBoundConstraint(word.delay_var("cin", "cout"), 30.0)
+        # loading: stage cin presents 1pF, driver R=1k -> +1ns per link
+        value = word.delay_value("cin", "cout")
+        assert value == pytest.approx(
+            sum(i.delay_var("cin", "cout").value for i in instances))
+        # a slower stage characteristic violates the word spec
+        assert not cell.delay_var("cin", "cout").calculate(9.0)
+
+    def test_erc_on_compiled_nets(self):
+        cell, word, instances = self.build(4)
+        findings = check_cell(word)
+        assert findings == []  # 1pF load vs 3pF capability: fine
+
+    def test_erc_catches_overloaded_fanout_wiring(self):
+        cell, word, instances = self.build(4)
+        # short the whole carry bus together: one driver now sees 4 x 1pF,
+        # beyond its 3pF drive capability
+        bus = word.add_net("bus")
+        for instance in instances:
+            bus.connect(instance, "cin")
+        bus.connect(instances[0], "cout")
+        overloaded = [f for f in check_cell(word) if f.rule == "overload"]
+        assert overloaded
+
+    def test_compiler_views_track_structure_edits(self):
+        cell, word, instances = self.build(2)
+        view = CompilerView(instances[0])
+        assert view.pins_on("left")
+        cell.set_bounding_box(Rect.of_extent(6, 6))
+        # cache erased by the layout broadcast; recalculated on demand
+        assert view.bounding_box() is not None
+
+    def test_spice_view_outdates_on_structure_change(self):
+        """A SpiceNet over an RC cell tracks edits of the compiled design."""
+        rc = CellClass("RCLOAD")
+        rc.define_signal("p", "in")
+        rc.define_signal("gnd", "inout")
+        r = resistor(1e3, name="Rx").instantiate(rc, "R1")
+        c = capacitor(1e-12, name="Cx").instantiate(rc, "C1")
+        n1 = rc.add_net("n1"); n1.connect_io("p"); n1.connect(r, "p")
+        n2 = rc.add_net("n2"); n2.connect(r, "n"); n2.connect(c, "p")
+        gnd = rc.add_net("gnd"); gnd.connect_io("gnd"); gnd.connect(c, "n")
+        view = SpiceNet(rc)
+        assert len(view.data.cards) == 2
+        extra = capacitor(2e-12, name="Cy").instantiate(rc, "C2")
+        n2.connect(extra, "p")
+        gnd.connect(extra, "n")
+        assert view.outdated
+        assert len(view.data.cards) == 3
+
+    def test_simulation_of_edited_design(self):
+        rc = CellClass("RC2")
+        rc.define_signal("vin", "in")
+        rc.define_signal("gnd", "inout")
+        r = resistor(1e3, name="Ra").instantiate(rc, "R1")
+        c = capacitor(10e-12, name="Ca").instantiate(rc, "C1")
+        n1 = rc.add_net("n1"); n1.connect_io("vin"); n1.connect(r, "p")
+        n2 = rc.add_net("n2"); n2.connect(r, "n"); n2.connect(c, "p")
+        gnd = rc.add_net("gnd"); gnd.connect_io("gnd"); gnd.connect(c, "n")
+        sim = SpiceSimulation(rc)
+        sim.add_source("n1", DC(5.0))
+        sim.set_tran(1e-9, 200e-9)
+        sim.run()
+        first = sim.output.final_value(sim.node_of("n2"))
+        assert first == pytest.approx(5.0, rel=0.01)
+        # double the load: simulation flagged stale, rerun converges slower
+        extra = capacitor(10e-12, name="Cb").instantiate(rc, "C2")
+        n2.connect(extra, "p"); gnd.connect(extra, "n")
+        assert sim.outdated
+        sim.set_tran(1e-9, 50e-9)
+        sim.run()
+        partial = sim.output.final_value(sim.node_of("n2"))
+        assert partial < 5.0  # 20pF through 1k has not settled in 50ns

@@ -1,0 +1,157 @@
+"""Integration: the full least-commitment design flow (thesis chapter 1).
+
+The end-to-end story the thesis motivates, across every subsystem:
+
+1. declare a generic adder family with ideal estimates (chapter 8);
+2. assemble a datapath using the generic, with top-level delay and area
+   specifications (chapters 5, 7);
+3. evaluate early — before any realization is chosen — via estimates
+   propagating hierarchically;
+4. let bottom-up characteristics refine specifications (the
+   least-commitment interaction);
+5. use interval satisfaction to compute the slack available to the
+   still-undecided component (section 9.3 extension);
+6. run module selection / ranking and commit the winner;
+7. persist the design and confirm constraints still bite after reload.
+"""
+
+import pytest
+
+from repro.core import (
+    IntervalSolver,
+    UpperBoundConstraint,
+    reset_default_context,
+)
+from repro.selection import ModuleSelector, RankedSelector
+from repro.stem import CellClass, Rect
+from repro.stem.library import CellLibrary
+from repro.stem.persistence import dumps, loads
+
+NS = 1.0  # work in abstract ns units
+
+
+@pytest.fixture
+def flow():
+    library = CellLibrary("flow")
+
+    add = library.define("ADD", is_generic=True)
+    add.define_signal("x", "in")
+    add.define_signal("y", "out")
+    add.declare_delay("x", "y", estimate=50 * NS)  # ideal (fastest child)
+    add.set_bounding_box(Rect.of_extent(10, 10))   # ideal (smallest child)
+
+    rc = library.define("ADD.RC", add)
+    rc.delay_var("x", "y").set(80 * NS)
+    rc.set_bounding_box(Rect.of_extent(10, 10))
+    cs = library.define("ADD.CS", add)
+    cs.delay_var("x", "y").set(50 * NS)
+    cs.set_bounding_box(Rect.of_extent(22, 10))
+
+    reg = library.define("REG")
+    reg.define_signal("d", "in")
+    reg.define_signal("q", "out")
+    reg.declare_delay("d", "q", estimate=60 * NS)
+
+    datapath = library.define("DATAPATH")
+    datapath.define_signal("in1", "in")
+    datapath.define_signal("out1", "out")
+    spec = datapath.declare_delay("in1", "out1")
+    UpperBoundConstraint(spec, 160 * NS)
+
+    r = reg.instantiate(datapath, "R1")
+    a = add.instantiate(datapath, "A1")
+    n0 = datapath.add_net("n0"); n0.connect_io("in1"); n0.connect(r, "d")
+    n1 = datapath.add_net("n1"); n1.connect(r, "q"); n1.connect(a, "x")
+    n2 = datapath.add_net("n2"); n2.connect(a, "y"); n2.connect_io("out1")
+    a.bounding_box_var.set(Rect.of_extent(25, 10))
+    datapath.build_delay_network()
+    return library, datapath, r, a
+
+
+class TestEarlyEvaluation:
+    def test_estimates_give_early_feedback(self, flow):
+        library, datapath, r, a = flow
+        # evaluation works before any adder realization exists
+        assert datapath.delay_var("in1", "out1").value == \
+            pytest.approx(110 * NS)
+
+    def test_violating_early_estimate_caught(self, flow):
+        library, datapath, r, a = flow
+        # a pessimistic adder estimate breaks the 160ns budget immediately
+        assert not library.cell("ADD").delay_var("x", "y").calculate(120 * NS)
+
+
+class TestBottomUpRefinement:
+    def test_register_characteristic_shrinks_adder_slack(self, flow):
+        library, datapath, r, a = flow
+        # the register's measured delay comes in worse than estimated
+        assert library.cell("REG").delay_var("d", "q").calculate(90 * NS)
+        assert datapath.delay_var("in1", "out1").value == \
+            pytest.approx(140 * NS)
+
+    def test_interval_slack_analysis(self, flow):
+        """Least commitment made quantitative: the adder instance's
+        implicit specification is whatever the budget leaves over."""
+        from repro.core import variable_consequences
+
+        library, datapath, r, a = flow
+        library.cell("REG").delay_var("d", "q").calculate(90 * NS)
+        adder_delay = a.delay_var("x", "y")
+        saved = adder_delay.value
+        # dependency-directed erasure: forget the adder figure and every
+        # value derived from it, then ask what the budget leaves over
+        dependents = variable_consequences(adder_delay)
+        adder_delay.reset()
+        for dependent in dependents:
+            dependent.reset()
+        solver = IntervalSolver([datapath.delay_var("in1", "out1")])
+        solver.solve()
+        # 160 budget - 90 register = 70 available to the adder
+        assert solver.interval_of(adder_delay).high == pytest.approx(70 * NS)
+        adder_delay.calculate(saved)
+
+
+class TestSelectionAndCommit:
+    def test_selection_respects_refined_context(self, flow):
+        library, datapath, r, a = flow
+        # 160 - 60(reg estimate) = 100: both adders fit initially
+        both = ModuleSelector().select_realizations_for(a)
+        assert {c.name for c in both} == {"ADD.RC", "ADD.CS"}
+        # after the register slips to 90ns, only the fast adder fits
+        library.cell("REG").delay_var("d", "q").calculate(90 * NS)
+        fast_only = ModuleSelector().select_realizations_for(a)
+        assert {c.name for c in fast_only} == {"ADD.CS"}
+
+    def test_ranking_prefers_small_when_both_fit(self, flow):
+        library, datapath, r, a = flow
+        selector = RankedSelector(weights={"area": 1.0})
+        assert selector.best(a) is library.cell("ADD.RC")
+
+    def test_commit_winner_and_verify(self, flow):
+        library, datapath, r, a = flow
+        library.cell("REG").delay_var("d", "q").calculate(90 * NS)
+        (winner,) = ModuleSelector().select_realizations_for(a)
+        # commit: replace the generic instance with the winner
+        datapath.remove_cell(a)
+        chosen = winner.instantiate(datapath, "A1r")
+        datapath.net("n1").connect(chosen, "x")
+        datapath.net("n2").connect(chosen, "y")
+        assert datapath.delay_value("in1", "out1") == pytest.approx(140 * NS)
+
+
+class TestPersistedFlow:
+    def test_reload_and_continue(self, flow):
+        library, datapath, r, a = flow
+        text = dumps(library)
+        restored = loads(text, context=reset_default_context())
+        datapath2 = restored.cell("DATAPATH")
+        spec = datapath2.declare_delay("in1", "out1") \
+            if ("in1", "out1") not in datapath2.delays else \
+            datapath2.delay_var("in1", "out1")
+        UpperBoundConstraint(spec, 160 * NS)
+        # persisted values are restored, so the lazy build doesn't fire:
+        # reconstruct the delay network explicitly to re-arm checking
+        datapath2.build_delay_network()
+        assert datapath2.delay_value("in1", "out1") == pytest.approx(110 * NS)
+        # the reloaded design still rejects a violating refinement
+        assert not restored.cell("ADD").delay_var("x", "y").calculate(120 * NS)

@@ -1,0 +1,78 @@
+"""Integration: concurrent views of one model stay consistent (§1.2).
+
+The thesis requires the environment to "allow concurrent execution of
+design tools ... (e.g., concurrent editing of a design in two separate
+windows)".  Two views over the same cell — edited through either — must
+both observe every change; aspect filtering must not leak stale data.
+"""
+
+import pytest
+
+from repro.consistency import Controller, FunctionView
+from repro.spice import SpiceNet, capacitor, resistor
+from repro.stem import CellClass, Rect
+
+
+def rc_cell():
+    cell = CellClass("RCMVC")
+    cell.define_signal("p", "in")
+    cell.define_signal("gnd", "inout")
+    r = resistor(1e3, name="Rm").instantiate(cell, "R1")
+    c = capacitor(1e-12, name="Cm").instantiate(cell, "C1")
+    n1 = cell.add_net("n1"); n1.connect_io("p"); n1.connect(r, "p")
+    n2 = cell.add_net("n2"); n2.connect(r, "n"); n2.connect(c, "p")
+    gnd = cell.add_net("gnd"); gnd.connect_io("gnd"); gnd.connect(c, "n")
+    return cell
+
+
+class TestTwoWindows:
+    def test_edit_through_one_window_updates_the_other(self):
+        cell = rc_cell()
+        window_a = FunctionView(cell, lambda m: len(m.subcells))
+        window_b = FunctionView(cell, lambda m: sorted(m.nets))
+        controller_a = Controller(cell, window_a)
+        controller_a.add_action(
+            "add cap",
+            lambda model: capacitor(2e-12, name="Cm2",
+                                    context=model.context)
+            .instantiate(model, "C2"))
+        assert window_a.data == 2
+        assert window_b.data == ["gnd", "n1", "n2"]
+
+        controller_a.perform("add cap")
+        # both windows see the structural edit
+        assert window_a.outdated and window_b.outdated
+        assert window_a.data == 3
+
+    def test_netlist_window_and_structure_window_stay_consistent(self):
+        cell = rc_cell()
+        netlist_window = SpiceNet(cell)
+        count_window = FunctionView(cell, lambda m: len(m.subcells))
+        assert len(netlist_window.data.cards) == count_window.data == 2
+        extra = capacitor(3e-12, name="Cm3",
+                          context=cell.context).instantiate(cell, "C3")
+        cell.net("n2").connect(extra, "p")
+        cell.net("gnd").connect(extra, "n")
+        assert len(netlist_window.data.cards) == count_window.data == 3
+
+    def test_aspect_filter_does_not_leak_stale_data(self):
+        cell = rc_cell()
+        layout_window = FunctionView(
+            cell, lambda m: m.bounding_box(), aspects=["layout"])
+        netlist_window = SpiceNet(cell)
+        netlist_window.data
+        # a pure-layout change refreshes the layout window only
+        cell.set_bounding_box(Rect.of_extent(30, 30))
+        assert layout_window.data == Rect.of_extent(30, 30)
+        assert not netlist_window.outdated
+
+    def test_released_window_stops_observing_but_other_continues(self):
+        cell = rc_cell()
+        a = FunctionView(cell, lambda m: len(m.subcells))
+        b = FunctionView(cell, lambda m: len(m.subcells))
+        a.data; b.data
+        a.release()
+        capacitor(9e-12, name="Cm9",
+                  context=cell.context).instantiate(cell, "C9")
+        assert not a.outdated
+        assert b.outdated and b.data == 3

@@ -1,0 +1,88 @@
+"""Integration: persistence of compiled and simulated designs."""
+
+import pytest
+
+from repro.core import reset_default_context
+from repro.spice import DC, SpiceSimulation, capacitor, resistor
+from repro.stem import CellClass, PinSpec, Rect
+from repro.stem.compilers import VectorCompiler
+from repro.stem.library import CellLibrary
+from repro.stem.persistence import dumps, loads
+
+
+class TestCompiledDesignRoundTrip:
+    def build(self):
+        library = CellLibrary("compiled")
+        slice_cell = library.define("SLICE")
+        slice_cell.define_signal("cin", "in", pins=[PinSpec("left", 0.5)])
+        slice_cell.define_signal("cout", "out", pins=[PinSpec("right", 0.5)])
+        slice_cell.set_bounding_box(Rect.of_extent(4, 4))
+        word = library.define("WORD")
+        VectorCompiler(slice_cell, 4).compile_into(word)
+        return library, slice_cell, word
+
+    def test_compiled_structure_round_trips(self):
+        library, slice_cell, word = self.build()
+        restored = loads(dumps(library), context=reset_default_context())
+        word2 = restored.cell("WORD")
+        assert len(word2.subcells) == 4
+        assert len(word2.nets) == 3  # the carry chain
+        # placements preserved
+        xs = sorted(i.bounding_box().origin.x for i in word2.subcells)
+        assert xs == [0.0, 4.0, 8.0, 12.0]
+
+    def test_restored_carry_chain_connectivity(self):
+        library, slice_cell, word = self.build()
+        restored = loads(dumps(library), context=reset_default_context())
+        word2 = restored.cell("WORD")
+        for net in word2.nets.values():
+            signals = sorted(signal for _, signal in net.endpoints)
+            assert signals == ["cin", "cout"]
+
+    def test_restored_bbox_recalculates(self):
+        library, slice_cell, word = self.build()
+        restored = loads(dumps(library), context=reset_default_context())
+        assert restored.cell("WORD").bounding_box() == Rect.of_extent(16, 4)
+
+
+class TestSimulatedDesignRoundTrip:
+    def build(self):
+        library = CellLibrary("analog")
+        rc = library.define("RC")
+        rc.define_signal("vin", "in")
+        rc.define_signal("gnd", "inout")
+        r = library.register(resistor(2e3, name="R2k",
+                                      context=library.context))
+        c = library.register(capacitor(5e-12, name="C5p",
+                                       context=library.context))
+        ri = r.instantiate(rc, "R1")
+        ci = c.instantiate(rc, "C1")
+        n1 = rc.add_net("n1"); n1.connect_io("vin"); n1.connect(ri, "p")
+        n2 = rc.add_net("n2"); n2.connect(ri, "n"); n2.connect(ci, "p")
+        gnd = rc.add_net("gnd"); gnd.connect_io("gnd"); gnd.connect(ci, "n")
+        return library
+
+    def test_simulate_after_reload(self):
+        library = self.build()
+        restored = loads(dumps(library), context=reset_default_context())
+        sim = SpiceSimulation(restored.cell("RC"))
+        sim.add_source("n1", DC(3.0))
+        sim.set_tran(1e-9, 200e-9)
+        sim.run()
+        assert sim.output.final_value(sim.node_of("n2")) == \
+            pytest.approx(3.0, rel=0.01)
+
+    def test_device_parameters_survive(self):
+        library = self.build()
+        # size one device per-instance before saving
+        rc = library.cell("RC")
+        r1 = next(i for i in rc.subcells if i.name == "R1")
+        r1.set_parameter("value", 4e3)
+        restored = loads(dumps(library), context=reset_default_context())
+        r1b = next(i for i in restored.cell("RC").subcells
+                   if i.name == "R1")
+        assert r1b.parameter_value("value") == 4e3
+        from repro.spice import extract_netlist
+        netlist = extract_netlist(restored.cell("RC"))
+        r_card = next(card for card in netlist.cards if card.kind == "R")
+        assert r_card.parameters["value"] == 4e3

@@ -1,0 +1,85 @@
+"""Regression tests for review findings (connectivity validity feedback,
+inherited-signal persistence)."""
+
+import pytest
+
+from repro.core import UpperBoundConstraint, reset_default_context
+from repro.stem import CellClass, PinSpec, Rect
+from repro.stem.library import CellLibrary
+from repro.stem.persistence import dumps, loads
+
+
+class TestConnectValidityFeedback:
+    def test_loading_violation_surfaces_through_connect(self):
+        """A connect whose RC re-adjustment busts a delay budget must
+        report False, not silently roll back."""
+        driver = CellClass("DRV")
+        driver.define_signal("a", "in")
+        driver.define_signal("y", "out", output_resistance=1e3)
+        driver.declare_delay("a", "y", estimate=10e-9)
+
+        heavy_sink = CellClass("HEAVY")
+        heavy_sink.define_signal("i", "in", load_capacitance=20e-12)
+
+        top = CellClass("TOP")
+        # the parent input drives d's input with a 1k source resistance
+        top.define_signal("in1", "in", output_resistance=1e3)
+        d = driver.instantiate(top, "d")
+        s = heavy_sink.instantiate(top, "s")
+        # the instance delay budget admits the bare estimate only
+        UpperBoundConstraint(d.delay_var("a", "y"), 12e-9)
+        nin = top.add_net("nin")
+        nin.connect_io("in1")
+        nin.connect(d, "a")
+        nout = top.add_net("nout")
+        assert nout.connect(d, "y")  # no load yet: fine
+        # 10ns + 1k * 20pF = 30ns > 12ns: the connect must report failure
+        assert not nout.connect(s, "i")
+        # the connection itself is recorded (designer repairs), but the
+        # violating adjustment was rolled back
+        assert (s, "i") in nout.endpoints
+        assert d.delay_var("a", "y").value == pytest.approx(10e-9)
+
+    def test_acceptable_loading_still_reports_success(self):
+        driver = CellClass("DRV2")
+        driver.define_signal("a", "in")
+        driver.define_signal("y", "out", output_resistance=1e3)
+        driver.declare_delay("a", "y", estimate=10e-9)
+        sink = CellClass("LIGHT")
+        sink.define_signal("i", "in", load_capacitance=1e-12)
+        top = CellClass("TOP2")
+        top.define_signal("in1", "in", output_resistance=1e3)
+        d = driver.instantiate(top, "d")
+        s = sink.instantiate(top, "s")
+        UpperBoundConstraint(d.delay_var("a", "y"), 12e-9)
+        nin = top.add_net("nin")
+        nin.connect_io("in1")
+        nin.connect(d, "a")
+        net = top.add_net("n")
+        assert net.connect(d, "y")
+        assert net.connect(s, "i")  # 11ns fits
+        assert d.delay_var("a", "y").value == pytest.approx(11e-9)
+
+
+class TestInheritedSignalPersistence:
+    def test_subclass_signal_overrides_survive_reload(self):
+        library = CellLibrary("inherit")
+        base = library.define("BASE")
+        base.define_signal("y", "out", output_resistance=1e3,
+                           pins=[PinSpec("right", 0.5)])
+        fast = library.define("FAST", base)
+        # the subclass re-characterises the inherited signal
+        fast_signal = fast.signal("y")
+        fast_signal.output_resistance = 250.0
+        fast_signal.max_fanout = 2
+        fast_signal.pins = [PinSpec("top", 0.25)]
+
+        restored = loads(dumps(library), context=reset_default_context())
+        restored_signal = restored.cell("FAST").signal("y")
+        assert restored_signal.output_resistance == 250.0
+        assert restored_signal.max_fanout == 2
+        assert restored_signal.pins == [PinSpec("top", 0.25)]
+        # and the superclass kept its own characterisation
+        assert restored.cell("BASE").signal("y").output_resistance == 1e3
+        assert restored.cell("BASE").signal("y").pins == \
+            [PinSpec("right", 0.5)]

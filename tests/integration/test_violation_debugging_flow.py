@@ -1,0 +1,102 @@
+"""Integration: the violation-handling / debugging workflow (section 5.2).
+
+When a constraint violation occurs, STEM offers the designer "debug" —
+open a constraint editor on the violated constraint — or "proceed".  The
+designer can then walk the network, trace the antecedents of the
+offending value, relax the violated constraint, disable propagation for
+bulk edits, or disable just the one constraint and continue.
+"""
+
+import pytest
+
+from repro.core import (
+    ConstraintEditor,
+    EqualityConstraint,
+    UniAdditionConstraint,
+    UpperBoundConstraint,
+    Variable,
+    control_for,
+    default_context,
+)
+
+
+def budget_network():
+    """Two components summing into a budgeted total."""
+    part_a = Variable(name="part_a")
+    part_b = Variable(name="part_b")
+    total = Variable(name="total")
+    UniAdditionConstraint(total, [part_a, part_b])
+    budget = UpperBoundConstraint(total, 100)
+    part_a.set(60)
+    return part_a, part_b, total, budget
+
+
+class TestDebugFlow:
+    def test_violation_report_names_the_constraint(self, context):
+        part_a, part_b, total, budget = budget_network()
+        assert not part_b.set(50)
+        record = context.handler.last
+        assert record is not None
+        assert record.constraint is budget
+
+    def test_editor_inspects_violated_constraint(self, context):
+        part_a, part_b, total, budget = budget_network()
+        part_b.set(50)
+        editor = ConstraintEditor(context.handler.last.constraint)
+        text = editor.show()
+        assert "100" in text
+        assert "satisfied: True" in text  # restored state satisfies again
+
+    def test_trace_antecedents_of_offender(self):
+        part_a, part_b, total, budget = budget_network()
+        part_b.set(30)  # accepted: total = 90
+        editor = ConstraintEditor(total)
+        antecedents = editor.antecedents()
+        assert part_a in antecedents
+        assert part_b in antecedents
+
+    def test_fix_by_relaxing_the_spec(self):
+        """The designer relaxes the violated constraint and retries."""
+        part_a, part_b, total, budget = budget_network()
+        assert not part_b.set(50)
+        editor = ConstraintEditor(budget)
+        editor.remove_focused_constraint()
+        UpperBoundConstraint(total, 120)
+        assert part_b.set(50)
+        assert total.value == 110
+
+    def test_fix_by_changing_the_design(self):
+        part_a, part_b, total, budget = budget_network()
+        assert not part_b.set(50)
+        assert part_a.set(40)       # shrink the other component
+        assert part_b.set(50)       # now it fits
+        assert total.value == 90
+
+    def test_bulk_edit_with_propagation_disabled(self, context):
+        """Section 5.3: extensive revisions with checking off, then fix
+        everything before re-enabling."""
+        part_a, part_b, total, budget = budget_network()
+        with context.propagation_disabled():
+            part_a.set(90)   # transiently violating
+            part_b.set(80)
+            part_a.set(30)   # ...until the design settles
+            part_b.set(50)
+        assert part_a.set(30)  # re-enabled: consistent edits accepted
+        assert total.value == 80
+
+    def test_disable_single_constraint_and_proceed(self, context):
+        """Fine-grained control: silence only the violated constraint."""
+        part_a, part_b, total, budget = budget_network()
+        assert not part_b.set(50)
+        control_for(context).disable_constraint(budget)
+        assert part_b.set(50)
+        assert total.value == 110  # the sum still derives
+        control_for(context).enable_constraint(budget)
+        assert not part_a.set(61)  # checking is back
+
+    def test_editor_assignment_participates_in_checking(self):
+        part_a, part_b, total, budget = budget_network()
+        editor = ConstraintEditor(part_b)
+        assert not editor.assign(50)
+        assert editor.assign(40)
+        assert total.value == 100

@@ -1,0 +1,103 @@
+"""Tests for ranked module selection (section 9.3 extension)."""
+
+import pytest
+
+from repro.core import UpperBoundConstraint
+from repro.selection import RankedSelector
+from repro.stem import CellClass, Rect
+
+D = 1.0
+A = 10.0
+
+
+def family():
+    gen = CellClass("GEN", is_generic=True)
+    gen.define_signal("x", "in")
+    gen.define_signal("y", "out")
+    gen.declare_delay("x", "y")
+
+    fast_big = gen.subclass("FAST_BIG")
+    fast_big.delay_var("x", "y").calculate(5 * D)
+    fast_big.set_bounding_box(Rect.of_extent(3 * A, 1.0))
+
+    slow_small = gen.subclass("SLOW_SMALL")
+    slow_small.delay_var("x", "y").calculate(9 * D)
+    slow_small.set_bounding_box(Rect.of_extent(1 * A, 1.0))
+
+    balanced = gen.subclass("BALANCED")
+    balanced.delay_var("x", "y").calculate(7 * D)
+    balanced.set_bounding_box(Rect.of_extent(2 * A, 1.0))
+    return gen, fast_big, slow_small, balanced
+
+
+def placed(gen, delay_budget=None):
+    top = CellClass("TOP")
+    instance = gen.instantiate(top, "g")
+    if delay_budget is not None:
+        UpperBoundConstraint(instance.delay_var("x", "y"), delay_budget)
+    return instance
+
+
+class TestRanking:
+    def test_delay_weight_prefers_fast(self):
+        gen, fast_big, slow_small, balanced = family()
+        instance = placed(gen)
+        selector = RankedSelector(weights={"delay": 1.0})
+        assert selector.best(instance) is fast_big
+
+    def test_area_weight_prefers_small(self):
+        gen, fast_big, slow_small, balanced = family()
+        instance = placed(gen)
+        selector = RankedSelector(weights={"area": 1.0})
+        assert selector.best(instance) is slow_small
+
+    def test_balanced_weights(self):
+        gen, fast_big, slow_small, balanced = family()
+        instance = placed(gen)
+        ranking = RankedSelector(weights={"delay": 1.0,
+                                          "area": 1.0}).rank(instance)
+        # the balanced design is never the worst under equal weights
+        names = [entry.cell.name for entry in ranking]
+        assert names[-1] != "BALANCED"
+        assert len(ranking) == 3
+
+    def test_scores_sorted_ascending(self):
+        gen, *_ = family()
+        ranking = RankedSelector().rank(placed(gen))
+        scores = [entry.score for entry in ranking]
+        assert scores == sorted(scores)
+
+    def test_only_valid_candidates_ranked(self):
+        gen, fast_big, slow_small, balanced = family()
+        instance = placed(gen, delay_budget=7.5 * D)
+        ranking = RankedSelector(weights={"delay": 1.0}).rank(instance)
+        names = {entry.cell.name for entry in ranking}
+        assert names == {"FAST_BIG", "BALANCED"}
+
+    def test_empty_when_nothing_valid(self):
+        gen, *_ = family()
+        instance = placed(gen, delay_budget=1 * D)
+        assert RankedSelector().rank(instance) == []
+        assert RankedSelector().best(instance) is None
+
+    def test_metrics_reported(self):
+        gen, fast_big, *_ = family()
+        ranking = RankedSelector().rank(placed(gen))
+        entry = next(e for e in ranking if e.cell is fast_big)
+        assert entry.metrics["delay"] == pytest.approx(5 * D)
+        assert entry.metrics["area"] == pytest.approx(3 * A * 1.0)
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(ValueError):
+            RankedSelector(weights={"power": 1.0})
+
+    def test_missing_characteristics_are_neutral(self):
+        gen = CellClass("G2", is_generic=True)
+        gen.define_signal("x", "in")
+        gen.define_signal("y", "out")
+        with_box = gen.subclass("BOXED")
+        with_box.set_bounding_box(Rect.of_extent(A, 1.0))
+        no_box = gen.subclass("UNBOXED")
+        instance = placed(gen)
+        ranking = RankedSelector(weights={"area": 1.0}).rank(instance)
+        assert len(ranking) == 2  # both rank despite missing data

@@ -1,0 +1,239 @@
+"""Tests for module validation and selection (chapter 8)."""
+
+import pytest
+
+from repro.core import UpperBoundConstraint
+from repro.selection import ModuleSelector, select_realizations
+from repro.stem import CellClass, Rect, Transform
+from repro.stem.types import ANALOG, DIGITAL, INTEGER_SIGNAL, WHOLE_SIGNAL
+
+D = 1.0   # delay unit
+A = 10.0  # area unit
+
+
+def generic_adder():
+    """The ADD8 generic of Fig. 8.1 with RC and CS realizations."""
+    add8 = CellClass("ADD8", is_generic=True)
+    add8.define_signal("x", "in")
+    add8.define_signal("y", "out")
+    add8.declare_delay("x", "y", estimate=5 * D)      # ideal: fastest child
+    add8.set_bounding_box(Rect.of_extent(A, 1.0))     # ideal: smallest child
+
+    rc = add8.subclass("ADD8.RC")
+    rc.delay_var("x", "y").set(8 * D)
+    rc.set_bounding_box(Rect.of_extent(A, 1.0))
+
+    cs = add8.subclass("ADD8.CS")
+    cs.delay_var("x", "y").set(5 * D)
+    cs.set_bounding_box(Rect.of_extent(2.2 * A, 1.0))
+    return add8, rc, cs
+
+
+def alu_with(add8, *, area_budget, delay_budget, lu_delay=3 * D):
+    """LU8 cascaded into the generic adder, with an overall delay spec
+    and a placement-area spec on the adder instance (Fig. 8.1)."""
+    alu = CellClass(f"ALU[{area_budget},{delay_budget}]")
+    alu.define_signal("in1", "in")
+    alu.define_signal("out1", "out")
+    alu.declare_delay("in1", "out1")
+    UpperBoundConstraint(alu.delay_var("in1", "out1"), delay_budget)
+
+    lu8 = CellClass(f"LU8[{area_budget}]")
+    lu8.define_signal("a", "in")
+    lu8.define_signal("z", "out")
+    lu8.declare_delay("a", "z", estimate=lu_delay)
+    lu8.set_bounding_box(Rect.of_extent(2 * A, 1.0))
+
+    lu = lu8.instantiate(alu, "lu")
+    add = add8.instantiate(alu, "add")
+    n0 = alu.add_net("n0"); n0.connect_io("in1"); n0.connect(lu, "a")
+    n1 = alu.add_net("n1"); n1.connect(lu, "z"); n1.connect(add, "x")
+    n2 = alu.add_net("n2"); n2.connect(add, "y"); n2.connect_io("out1")
+    add.bounding_box_var.set(Rect.of_extent(area_budget, 1.0))
+    alu.build_delay_network()
+    return alu, add
+
+
+class TestFig81:
+    """The worked example: specs decide between RC and CS adders."""
+
+    def test_tight_area_selects_ripple_carry(self):
+        add8, rc, cs = generic_adder()
+        _, instance = alu_with(add8, area_budget=A, delay_budget=11 * D)
+        assert select_realizations(instance) == [rc]
+
+    def test_tight_delay_selects_carry_select(self):
+        add8, rc, cs = generic_adder()
+        _, instance = alu_with(add8, area_budget=4.2 * A, delay_budget=8 * D)
+        assert select_realizations(instance) == [cs]
+
+    def test_loose_specs_select_both(self):
+        add8, rc, cs = generic_adder()
+        _, instance = alu_with(add8, area_budget=4.2 * A,
+                               delay_budget=11 * D)
+        assert select_realizations(instance) == [rc, cs]
+
+    def test_impossible_specs_select_none(self):
+        add8, rc, cs = generic_adder()
+        _, instance = alu_with(add8, area_budget=A, delay_budget=8 * D)
+        assert select_realizations(instance) == []
+
+    def test_selection_leaves_design_untouched(self):
+        add8, rc, cs = generic_adder()
+        alu, instance = alu_with(add8, area_budget=A, delay_budget=11 * D)
+        before_delay = alu.delay_var("in1", "out1").value
+        before_inst = instance.delay_var("x", "y").value
+        select_realizations(instance)
+        assert alu.delay_var("in1", "out1").value == before_delay
+        assert instance.delay_var("x", "y").value == before_inst
+
+    def test_non_generic_instance_selects_itself(self):
+        add8, rc, cs = generic_adder()
+        top = CellClass("TOP")
+        instance = rc.instantiate(top, "a")
+        assert select_realizations(instance) == [rc]
+
+
+class TestSignalTesting:
+    def make_generic_with_interfaces(self):
+        gen = CellClass("GEN", is_generic=True)
+        gen.define_signal("x", "in")
+        gen.define_signal("y", "out")
+        good = gen.subclass("GOOD")
+        missing = CellClass("MISSING", superclass=gen)
+        # MISSING drops a signal: rebuild its interface artificially
+        del missing.signals["y"]
+        wrong_dir = gen.subclass("WRONGDIR")
+        wrong_dir.signals["y"].direction = "in"
+        return gen, good, missing, wrong_dir
+
+    def test_missing_signal_rejected(self):
+        gen, good, missing, wrong_dir = self.make_generic_with_interfaces()
+        top = CellClass("TOP")
+        instance = gen.instantiate(top, "g")
+        results = select_realizations(instance, priorities=("signals",))
+        assert good in results
+        assert missing not in results
+        assert wrong_dir not in results
+
+    def test_type_clash_with_context_rejected(self):
+        gen = CellClass("GEN2", is_generic=True)
+        gen.define_signal("x", "in")
+        analog_child = gen.subclass("ANALOG_IMPL")
+        analog_child.signals["x"].electrical_type_var.set(ANALOG)
+        digital_child = gen.subclass("DIGITAL_IMPL")
+        digital_child.signals["x"].electrical_type_var.set(DIGITAL)
+
+        top = CellClass("TOP2")
+        top.define_signal("src", "in", electrical_type=DIGITAL)
+        instance = gen.instantiate(top, "g")
+        net = top.add_net("n")
+        net.connect_io("src"); net.connect(instance, "x")
+        results = select_realizations(instance, priorities=("signals",))
+        assert digital_child in results
+        assert analog_child not in results
+
+    def test_width_clash_rejected(self):
+        gen = CellClass("GEN3", is_generic=True)
+        gen.define_signal("x", "in")
+        wide = gen.subclass("WIDE8")
+        wide.signals["x"].bit_width_var.constrain_by_structure(8)
+        narrow = gen.subclass("NARROW4")
+        narrow.signals["x"].bit_width_var.constrain_by_structure(4)
+
+        top = CellClass("TOP3")
+        top.define_signal("src", "in")
+        top.signal("src").bit_width_var.constrain_by_structure(4)
+        instance = gen.instantiate(top, "g")
+        net = top.add_net("n")
+        net.connect_io("src"); net.connect(instance, "x")
+        results = select_realizations(instance, priorities=("signals",))
+        assert results == [narrow]
+
+
+class TestPruning:
+    """Fig. 8.4: generic intermediates carry ideal estimates."""
+
+    def build_tree(self):
+        adder8 = CellClass("Adder8", is_generic=True)
+        adder8.define_signal("x", "in")
+        adder8.define_signal("y", "out")
+        adder8.declare_delay("x", "y")
+
+        ripple = adder8.subclass("RippleCarryAdder8", is_generic=True)
+        ripple.delay_var("x", "y").set(8 * D)           # fastest descendant
+        ripple.set_bounding_box(Rect.of_extent(8 * A, 1))  # smallest
+
+        slow = ripple.subclass("RCAdd8S")
+        slow.delay_var("x", "y").set(16 * D)
+        slow.set_bounding_box(Rect.of_extent(8 * A, 1))
+        fast = ripple.subclass("RCAdd8F")
+        fast.delay_var("x", "y").set(8 * D)
+        fast.set_bounding_box(Rect.of_extent(16 * A, 1))
+        return adder8, ripple, slow, fast
+
+    def instance_with_delay_budget(self, adder8, budget):
+        top = CellClass(f"TOP[{budget}]")
+        instance = adder8.instantiate(top, "add")
+        UpperBoundConstraint(instance.delay_var("x", "y"), budget)
+        return instance
+
+    def test_generic_failure_prunes_subtree(self):
+        adder8, ripple, slow, fast = self.build_tree()
+        instance = self.instance_with_delay_budget(adder8, 6 * D)
+        selector = ModuleSelector(priorities=("delays",))
+        assert selector.select_realizations_for(instance) == []
+        # only the generic RippleCarryAdder8 was tested, not its children
+        assert selector.stats.candidates_tested == 1
+        assert selector.stats.pruned_subtrees == 1
+
+    def test_generic_pass_descends(self):
+        adder8, ripple, slow, fast = self.build_tree()
+        instance = self.instance_with_delay_budget(adder8, 10 * D)
+        selector = ModuleSelector(priorities=("delays",))
+        assert selector.select_realizations_for(instance) == [fast]
+        assert selector.stats.candidates_tested == 3
+
+    def test_pruning_disabled_tests_every_leaf(self):
+        adder8, ripple, slow, fast = self.build_tree()
+        instance = self.instance_with_delay_budget(adder8, 6 * D)
+        selector = ModuleSelector(priorities=("delays",), prune=False)
+        assert selector.select_realizations_for(instance) == []
+        assert selector.stats.candidates_tested == 2  # both leaves
+
+    def test_overoptimistic_ideal_estimates_are_designer_duty(self):
+        """Section 8.2: pruning correctness depends on the estimates."""
+        adder8, ripple, slow, fast = self.build_tree()
+        ripple.delay_var("x", "y").calculate(20 * D)  # pessimistic "ideal"
+        instance = self.instance_with_delay_budget(adder8, 10 * D)
+        # wrong estimate prunes away the actually-valid fast adder
+        assert select_realizations(instance, priorities=("delays",)) == []
+
+
+class TestSelectiveTesting:
+    def test_priority_subset_skips_other_kinds(self):
+        add8, rc, cs = generic_adder()
+        _, instance = alu_with(add8, area_budget=A, delay_budget=8 * D)
+        # testing only bBox ignores the (violated) delay budget
+        results = select_realizations(instance, priorities=("bBox",))
+        assert results == [rc]
+
+    def test_invalid_priority_rejected(self):
+        with pytest.raises(ValueError):
+            ModuleSelector(priorities=("bBox", "timing"))
+
+    def test_property_test_counter(self):
+        add8, rc, cs = generic_adder()
+        _, instance = alu_with(add8, area_budget=4.2 * A,
+                               delay_budget=11 * D)
+        ordered = ModuleSelector(priorities=("bBox", "signals", "delays"))
+        ordered.select_realizations_for(instance)
+        assert ordered.stats.property_tests == 6  # 2 candidates x 3 kinds
+
+    def test_failing_first_kind_short_circuits(self):
+        add8, rc, cs = generic_adder()
+        _, instance = alu_with(add8, area_budget=A, delay_budget=11 * D)
+        selector = ModuleSelector(priorities=("bBox", "delays"))
+        selector.select_realizations_for(instance)
+        # CS fails bBox, so its delay test never runs: 2x bBox + 1x delays
+        assert selector.stats.property_tests == 3

@@ -1,0 +1,116 @@
+"""Tests for operating-point and DC-sweep analyses."""
+
+import numpy as np
+import pytest
+
+from repro.spice import (
+    DC,
+    SpiceSimulation,
+    inverter,
+    run_dc_sweep,
+    run_operating_point,
+    SpiceParseError,
+)
+from repro.stem import CellClass
+
+
+class TestOperatingPoint:
+    def test_divider(self):
+        deck = """V1 1 0 DC 10
+R1 1 2 1k
+R2 2 0 3k
+.END"""
+        op = run_operating_point(deck)
+        assert op["2"] == pytest.approx(7.5)
+
+    def test_capacitor_open_at_dc(self):
+        deck = """V1 1 0 DC 5
+R1 1 2 1k
+C1 2 0 1n
+.END"""
+        op = run_operating_point(deck)
+        assert op["2"] == pytest.approx(5.0)  # no DC path to ground
+
+    def test_inverter_static_points(self):
+        deck = """V1 1 0 DC 5
+V2 3 0 DC 0
+R1 2 0 1meg
+M1 2 3 1 PMOS RON=2k VT=1
+M2 2 3 0 NMOS RON=1k VT=1
+.END"""
+        op = run_operating_point(deck)
+        assert op["2"] == pytest.approx(5.0, rel=0.01)  # input low -> high
+
+    def test_works_without_tran_directive(self):
+        op = run_operating_point("V1 1 0 DC 1\nR1 1 0 1k\n.END")
+        assert op["1"] == pytest.approx(1.0)
+
+
+class TestDCSweep:
+    INVERTER_DECK = """* inverter transfer
+V1 1 0 DC 5
+V2 3 0 DC 0
+R1 2 0 1meg
+M1 2 3 1 PMOS RON=2k VT=1
+M2 2 3 0 NMOS RON=1k VT=1
+.END"""
+
+    def test_transfer_curve_shape(self):
+        sweep = run_dc_sweep(self.INVERTER_DECK, "V2",
+                             np.linspace(0.0, 5.0, 26))
+        out = sweep.v("2")
+        assert out[0] == pytest.approx(5.0, rel=0.02)   # input 0 -> high
+        assert out[-1] == pytest.approx(0.0, abs=0.05)  # input 5 -> low
+
+    def test_transfer_crossing(self):
+        sweep = run_dc_sweep(self.INVERTER_DECK, "V2",
+                             np.linspace(0.0, 5.0, 51))
+        switch_point = sweep.transfer_crossing("2", 2.5)
+        assert switch_point is not None
+        assert 0.5 <= switch_point <= 4.5
+
+    def test_unknown_source_rejected(self):
+        with pytest.raises(SpiceParseError):
+            run_dc_sweep(self.INVERTER_DECK, "V9", [0, 1])
+
+    def test_unknown_node_rejected(self):
+        sweep = run_dc_sweep(self.INVERTER_DECK, "V2", [0.0, 5.0])
+        with pytest.raises(KeyError):
+            sweep.v("42")
+
+
+class TestSimulationIntegration:
+    def build_inverter_sim(self):
+        inv = inverter(c_load=10e-12, name="INVOP")
+        cell = CellClass("SINGLE")
+        cell.define_signal("a", "in")
+        cell.define_signal("y", "out")
+        cell.define_signal("vdd", "inout")
+        cell.define_signal("gnd", "inout")
+        instance = inv.instantiate(cell, "I0")
+        for net_name, signal in (("na", "a"), ("ny", "y"),
+                                 ("vdd", "vdd"), ("gnd", "gnd")):
+            net = cell.add_net(net_name)
+            net.connect_io(signal)
+            net.connect(instance, signal)
+        sim = SpiceSimulation(cell)
+        sim.add_source("vdd", DC(5.0))
+        sim.add_source("na", DC(0.0))
+        return sim
+
+    def test_operating_point_by_net_name(self):
+        sim = self.build_inverter_sim()
+        op = sim.operating_point()
+        assert op["ny"] == pytest.approx(5.0, rel=0.01)
+        assert op["gnd"] == 0.0
+
+    def test_dc_sweep_by_net_name(self):
+        sim = self.build_inverter_sim()
+        sweep = sim.dc_sweep("na", np.linspace(0.0, 5.0, 21))
+        out = sweep.v(sim.node_of("ny"))
+        assert out[0] > out[-1]
+
+    def test_sweep_requires_source(self):
+        sim = self.build_inverter_sim()
+        with pytest.raises(ValueError):
+            sim.dc_sweep("ny", [0, 1])

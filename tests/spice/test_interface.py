@@ -1,0 +1,225 @@
+"""Tests for netlist extraction and the SpiceSimulation/SpicePlot interface."""
+
+import pytest
+
+from repro.core import default_context
+from repro.spice import (
+    DC,
+    Pulse,
+    SpiceNet,
+    SpicePlot,
+    SpiceSimulation,
+    capacitor,
+    extract_netlist,
+    inverter,
+    nmos,
+    resistor,
+)
+from repro.stem import CellClass
+
+
+def rc_cell():
+    """vin --R-- out --C-- gnd, with parent ios vin/out/gnd."""
+    cell = CellClass("RC")
+    cell.define_signal("vin", "in")
+    cell.define_signal("out", "out")
+    cell.define_signal("gnd", "inout")
+    r = resistor(1e3, name="R_RC").instantiate(cell, "R1")
+    c = capacitor(10e-12, name="C_RC").instantiate(cell, "C1")
+    nin = cell.add_net("nin"); nin.connect_io("vin"); nin.connect(r, "p")
+    nout = cell.add_net("nout"); nout.connect(r, "n"); nout.connect(c, "p")
+    nout.connect_io("out")
+    gnd = cell.add_net("gnd"); gnd.connect_io("gnd"); gnd.connect(c, "n")
+    return cell
+
+
+def inverter_chain(n=3):
+    inv = inverter(c_load=10e-12, name=f"INVx{n}")
+    chain = CellClass(f"CHAIN{n}")
+    chain.define_signal("a", "in")
+    chain.define_signal("y", "out")
+    chain.define_signal("vdd", "inout")
+    chain.define_signal("gnd", "inout")
+    vdd = chain.add_net("vdd"); vdd.connect_io("vdd")
+    gnd = chain.add_net("gnd"); gnd.connect_io("gnd")
+    current = chain.add_net("nin"); current.connect_io("a")
+    stage_nets = ["nin"]
+    for i in range(n):
+        stage = inv.instantiate(chain, f"I{i}")
+        current.connect(stage, "a")
+        vdd.connect(stage, "vdd")
+        gnd.connect(stage, "gnd")
+        current = chain.add_net(f"n{i + 1}")
+        current.connect(stage, "y")
+        stage_nets.append(f"n{i + 1}")
+    current.connect_io("y")
+    return chain, stage_nets
+
+
+class TestExtraction:
+    def test_rc_cards(self):
+        netlist = extract_netlist(rc_cell())
+        kinds = sorted(card.kind for card in netlist.cards)
+        assert kinds == ["C", "R"]
+        assert netlist.cards[0].parameters
+
+    def test_ground_mapped_to_node_zero(self):
+        netlist = extract_netlist(rc_cell())
+        assert netlist.node_of("gnd") == "0"
+
+    def test_shared_nodes(self):
+        netlist = extract_netlist(rc_cell())
+        r_card = next(c for c in netlist.cards if c.kind == "R")
+        c_card = next(c for c in netlist.cards if c.kind == "C")
+        assert r_card.nodes[1] == c_card.nodes[0]  # joined at "out"
+        assert c_card.nodes[1] == "0"
+
+    def test_correspondence_pointers(self):
+        cell = rc_cell()
+        netlist = extract_netlist(cell)
+        for name, instance in netlist.card_objects.items():
+            assert instance in cell.subcells
+
+    def test_hierarchical_flattening(self):
+        chain, _ = inverter_chain(3)
+        netlist = extract_netlist(chain)
+        mos = [c for c in netlist.cards if c.kind in ("NMOS", "PMOS")]
+        caps = [c for c in netlist.cards if c.kind == "C"]
+        assert len(mos) == 6
+        assert len(caps) == 3
+
+    def test_hierarchy_binding_shares_nodes(self):
+        chain, _ = inverter_chain(2)
+        netlist = extract_netlist(chain)
+        # both inverters' pmos sources land on the same vdd node
+        pmos_cards = [c for c in netlist.cards if c.kind == "PMOS"]
+        sources = {c.nodes[2] for c in pmos_cards}
+        assert len(sources) == 1
+
+    def test_text_rendering(self):
+        netlist = extract_netlist(rc_cell())
+        text = netlist.text()
+        assert text.startswith("* extracted from cell RC")
+        assert "R1 " in text or "R1\t" in text
+
+    def test_unknown_net_lookup(self):
+        netlist = extract_netlist(rc_cell())
+        with pytest.raises(KeyError):
+            netlist.node_of("bogus")
+
+
+class TestSpiceNetView:
+    def test_view_recalculates_on_structure_change(self):
+        cell = rc_cell()
+        view = SpiceNet(cell)
+        assert len(view.data.cards) == 2
+        extra = capacitor(1e-12, name="C_EXTRA").instantiate(cell, "C2")
+        cell.net("nout").connect(extra, "p")
+        assert view.outdated
+        assert len(view.data.cards) == 3
+
+    def test_view_survives_layout_change(self):
+        cell = rc_cell()
+        view = SpiceNet(cell)
+        view.data
+        cell.changed("layout")
+        assert not view.outdated
+
+
+class TestSimulationFlow:
+    def test_rc_simulation(self):
+        cell = rc_cell()
+        sim = SpiceSimulation(cell)
+        sim.add_source("nin", DC(5.0))
+        sim.set_tran(1e-9, 500e-9)
+        out = sim.run()
+        assert sim.runs == 1
+        assert out.final_value(sim.node_of("nout")) == pytest.approx(5.0,
+                                                                     rel=0.01)
+
+    def test_deck_text_contains_stimulus_and_tran(self):
+        cell = rc_cell()
+        sim = SpiceSimulation(cell)
+        sim.add_source("nin", Pulse(0, 5, td=1e-9))
+        sim.set_tran(1e-9, 100e-9)
+        deck = sim.deck_text()
+        assert "PULSE(" in deck
+        assert ".TRAN 1e-09 1e-07" in deck
+        assert deck.strip().endswith(".END")
+
+    def test_v_requires_run(self):
+        sim = SpiceSimulation(rc_cell())
+        with pytest.raises(RuntimeError):
+            sim.v("nout")
+
+    def test_output_marked_outdated_on_cell_change(self):
+        cell = rc_cell()
+        sim = SpiceSimulation(cell)
+        sim.add_source("nin", DC(1.0))
+        sim.run()
+        assert not sim.outdated
+        cell.changed("structure")
+        assert sim.outdated
+        sim.run()
+        assert not sim.outdated
+
+    def test_layout_change_does_not_outdate(self):
+        cell = rc_cell()
+        sim = SpiceSimulation(cell)
+        sim.add_source("nin", DC(1.0))
+        sim.run()
+        cell.changed("layout")
+        assert not sim.outdated
+
+
+class TestInverterChain:
+    """The Fig. 6.3 scenario: three cascaded inverters."""
+
+    def test_three_inversions(self):
+        chain, nets = inverter_chain(3)
+        sim = SpiceSimulation(chain)
+        sim.add_source("vdd", DC(5.0))
+        sim.add_source("nin", Pulse(0.0, 5.0, td=10e-9, tr=1e-10))
+        sim.set_tran(0.2e-9, 300e-9)
+        sim.run()
+        plot = SpicePlot(sim)
+        # input ends high -> n1 low, n2 high, n3 low
+        assert plot.final_value("n1") == pytest.approx(0.0, abs=0.1)
+        assert plot.final_value("n2") == pytest.approx(5.0, abs=0.1)
+        assert plot.final_value("n3") == pytest.approx(0.0, abs=0.1)
+
+    def test_stage_delays_accumulate(self):
+        chain, nets = inverter_chain(3)
+        sim = SpiceSimulation(chain)
+        sim.add_source("vdd", DC(5.0))
+        # let the chain settle from rest (RC ~ 20ns) before the edge
+        sim.add_source("nin", Pulse(0.0, 5.0, td=150e-9, tr=1e-10))
+        sim.set_tran(0.2e-9, 500e-9)
+        sim.run()
+        plot = SpicePlot(sim)
+        edge = plot.crossing_time("nin", 2.5, rising=True)
+        d1 = plot.delay_between("nin", "n1", 2.5, after=edge - 1e-9)
+        d3 = plot.delay_between("nin", "n3", 2.5, after=edge - 1e-9)
+        assert d1 is not None and d3 is not None
+        assert d3 > 2 * d1  # three stages accumulate delay
+        # stage 1 falls through its nmos: ~0.69 * 1k * 10pF
+        assert d1 == pytest.approx(0.69 * 1e3 * 10e-12, rel=0.2)
+
+    def test_plot_outdates_with_simulation(self):
+        chain, _ = inverter_chain(2)
+        sim = SpiceSimulation(chain)
+        sim.add_source("vdd", DC(5.0))
+        sim.add_source("nin", DC(0.0))
+        sim.set_tran(1e-9, 50e-9)
+        sim.run()
+        plot = SpicePlot(sim)
+        assert not plot.outdated
+        chain.changed("structure")
+        assert plot.outdated
+        sim.run()
+        assert plot.outdated  # plot belongs to the previous run
+
+    def test_plot_requires_output(self):
+        sim = SpiceSimulation(rc_cell())
+        with pytest.raises(ValueError):
+            SpicePlot(sim)

@@ -1,0 +1,57 @@
+"""Tests for ASCII waveform rendering (the plot window substitute)."""
+
+import pytest
+
+from repro.spice import DC, Pulse, SpicePlot, SpiceSimulation, capacitor, resistor
+from repro.stem import CellClass
+
+
+def rc_sim():
+    cell = CellClass("RCPLOT")
+    cell.define_signal("vin", "in")
+    cell.define_signal("gnd", "inout")
+    r = resistor(1e3, name="Rp").instantiate(cell, "R1")
+    c = capacitor(10e-12, name="Cp").instantiate(cell, "C1")
+    n1 = cell.add_net("n1"); n1.connect_io("vin"); n1.connect(r, "p")
+    n2 = cell.add_net("n2"); n2.connect(r, "n"); n2.connect(c, "p")
+    gnd = cell.add_net("gnd"); gnd.connect_io("gnd"); gnd.connect(c, "n")
+    sim = SpiceSimulation(cell)
+    sim.add_source("n1", Pulse(0.0, 5.0, td=20e-9, tr=1e-10))
+    sim.set_tran(0.5e-9, 120e-9)
+    sim.run()
+    return sim
+
+
+class TestRender:
+    def test_dimensions(self):
+        plot = SpicePlot(rc_sim())
+        text = plot.render(["n1", "n2"], width=60, height=10)
+        lines = text.splitlines()
+        assert len(lines) == 12  # 10 rows + axis + legend
+        assert all(len(line) >= 60 for line in lines[:10])
+
+    def test_legend_names_nets(self):
+        plot = SpicePlot(rc_sim())
+        text = plot.render(["n1", "n2"])
+        assert "1=n1" in text
+        assert "2=n2" in text
+
+    def test_voltage_scale_labels(self):
+        plot = SpicePlot(rc_sim())
+        text = plot.render(["n1"])
+        assert "5" in text.splitlines()[0]   # max label
+        assert "0" in text.splitlines()[-3]  # min label
+
+    def test_step_shape_visible(self):
+        """The input step appears: glyph 1 at the bottom early, top late."""
+        plot = SpicePlot(rc_sim())
+        lines = plot.render(["n1"], width=60, height=10).splitlines()
+        top_row = lines[0]
+        bottom_row = lines[9]
+        assert "1" in bottom_row[:20]       # low before the step
+        assert "1" in top_row[-20:]         # high after the step
+
+    def test_flat_waveform_does_not_crash(self):
+        plot = SpicePlot(rc_sim())
+        text = plot.render(["gnd"])  # constant zero
+        assert "1=gnd" in text

@@ -1,0 +1,204 @@
+"""Tests for the internal transient simulator (SPICE stand-in)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.spice import (
+    DC,
+    Pulse,
+    SpiceParseError,
+    parse_deck,
+    parse_value,
+    run_spice_deck,
+)
+
+
+class TestValueParsing:
+    @pytest.mark.parametrize("token,expected", [
+        ("100", 100.0),
+        ("1.5", 1.5),
+        ("1e-9", 1e-9),
+        ("10k", 10e3),
+        ("2.5n", 2.5e-9),
+        ("3meg", 3e6),
+        ("10p", 10e-12),
+        ("1u", 1e-6),
+        ("5m", 5e-3),
+        ("-2.5", -2.5),
+    ])
+    def test_engineering_suffixes(self, token, expected):
+        assert parse_value(token) == pytest.approx(expected)
+
+    def test_trailing_unit_letters_ignored(self):
+        assert parse_value("10kohm") == pytest.approx(10e3)
+        assert parse_value("5pF") == pytest.approx(5e-12)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(SpiceParseError):
+            parse_value("abc")
+
+
+class TestWaveforms:
+    def test_dc(self):
+        assert DC(5.0).value_at(0) == 5.0
+        assert DC(5.0).value_at(1e9) == 5.0
+
+    def test_pulse_phases(self):
+        p = Pulse(0.0, 5.0, td=10e-9, tr=2e-9, tf=2e-9, pw=20e-9, per=100e-9)
+        assert p.value_at(0.0) == 0.0
+        assert p.value_at(10e-9) == 0.0
+        assert p.value_at(11e-9) == pytest.approx(2.5)
+        assert p.value_at(12e-9) == pytest.approx(5.0)
+        assert p.value_at(20e-9) == 5.0
+        assert p.value_at(33e-9) == pytest.approx(2.5)
+        assert p.value_at(50e-9) == 0.0
+        # periodic repeat
+        assert p.value_at(111e-9) == pytest.approx(2.5)
+
+    def test_pulse_spice_text_roundtrip(self):
+        p = Pulse(0.0, 5.0, 1e-9, 1e-10, 1e-10, 5e-9, 10e-9)
+        text = p.spice_text()
+        assert text.startswith("PULSE(")
+        deck = f"V1 1 0 {text}\n.TRAN 1n 10n\n.END"
+        elements, _ = parse_deck(deck)
+        assert isinstance(elements[0].waveform, Pulse)
+        assert elements[0].waveform.v2 == 5.0
+
+
+class TestDeckParsing:
+    def test_full_deck(self):
+        deck = """* comment
+R1 1 2 10k
+C1 2 0 1p
+V1 1 0 DC 5
+.TRAN 1n 100n
+.END
+"""
+        elements, (dt, tstop) = parse_deck(deck)
+        assert len(elements) == 3
+        assert dt == pytest.approx(1e-9)
+        assert tstop == pytest.approx(100e-9)
+
+    def test_mos_card(self):
+        deck = "M1 2 1 0 NMOS RON=2k VT=0.7\n.TRAN 1n 10n\n.END"
+        elements, _ = parse_deck(deck)
+        assert elements[0].kind == "NMOS"
+        assert elements[0].params["r_on"] == pytest.approx(2e3)
+        assert elements[0].params["v_t"] == pytest.approx(0.7)
+
+    def test_missing_tran_rejected(self):
+        with pytest.raises(SpiceParseError):
+            parse_deck("R1 1 0 1k\n.END")
+
+    def test_unknown_element_rejected(self):
+        with pytest.raises(SpiceParseError):
+            parse_deck("X1 1 0 THING\n.TRAN 1n 10n\n.END")
+
+    def test_bad_mos_model_rejected(self):
+        with pytest.raises(SpiceParseError):
+            parse_deck("M1 1 2 0 JFET\n.TRAN 1n 10n\n.END")
+
+
+class TestSimulation:
+    def test_resistive_divider(self):
+        deck = """* divider
+V1 1 0 DC 10
+R1 1 2 1k
+R2 2 0 1k
+.TRAN 1n 10n
+.END"""
+        out = run_spice_deck(deck)
+        assert out.final_value("2") == pytest.approx(5.0, rel=1e-6)
+
+    def test_rc_charge_time_constant(self):
+        """v(t) = V(1 - e^(-t/RC)); check at t = RC."""
+        deck = """* rc
+V1 1 0 DC 1
+R1 1 2 1k
+C1 2 0 1n
+.TRAN 10n 5u
+.END"""
+        out = run_spice_deck(deck)
+        rc = 1e3 * 1e-9
+        idx = np.searchsorted(out.time, rc)
+        expected = 1 - math.exp(-1)
+        assert out.v("2")[idx] == pytest.approx(expected, rel=0.05)
+
+    def test_rc_final_value(self):
+        deck = """V1 1 0 DC 3
+R1 1 2 1k
+C1 2 0 1n
+.TRAN 10n 20u
+.END"""
+        out = run_spice_deck(deck)
+        assert out.final_value("2") == pytest.approx(3.0, rel=1e-3)
+
+    def test_nmos_switch_pulls_down(self):
+        deck = """* inverter-ish pulldown
+V1 1 0 DC 5
+V2 3 0 DC 5
+R1 1 2 1k
+M1 2 3 0 NMOS RON=100 VT=1
+.TRAN 1n 100n
+.END"""
+        out = run_spice_deck(deck)
+        # divider: 5 * 100/(1000+100)
+        assert out.final_value("2") == pytest.approx(5 * 100 / 1100, rel=0.01)
+
+    def test_nmos_off_when_gate_low(self):
+        deck = """V1 1 0 DC 5
+V2 3 0 DC 0
+R1 1 2 1k
+M1 2 3 0 NMOS RON=100 VT=1
+.TRAN 1n 100n
+.END"""
+        out = run_spice_deck(deck)
+        assert out.final_value("2") == pytest.approx(5.0, rel=0.01)
+
+    def test_pmos_switch(self):
+        deck = """V1 1 0 DC 5
+V2 3 0 DC 0
+R1 2 0 1k
+M1 2 3 1 PMOS RON=100 VT=1
+.TRAN 1n 100n
+.END"""
+        out = run_spice_deck(deck)
+        assert out.final_value("2") == pytest.approx(5 * 1000 / 1100, rel=0.01)
+
+    def test_unknown_node_raises(self):
+        deck = "V1 1 0 DC 5\nR1 1 0 1k\n.TRAN 1n 10n\n.END"
+        out = run_spice_deck(deck)
+        with pytest.raises(KeyError):
+            out.v("99")
+
+
+class TestMeasurements:
+    def ramp_output(self):
+        deck = """V1 1 0 PULSE(0 5 10n 1n 1n)
+R1 1 2 1k
+C1 2 0 10p
+.TRAN 0.1n 200n
+.END"""
+        return run_spice_deck(deck)
+
+    def test_crossing_time_rising(self):
+        out = self.ramp_output()
+        t = out.crossing_time("2", 2.5, rising=True)
+        assert t is not None
+        # RC=10ns: 50% at ~0.69*RC after the (fast) edge at ~10.5n
+        assert t == pytest.approx(10.5e-9 + 0.693 * 10e-9, rel=0.1)
+
+    def test_crossing_direction_filter(self):
+        out = self.ramp_output()
+        assert out.crossing_time("2", 2.5, rising=False) is None
+
+    def test_no_crossing_returns_none(self):
+        out = self.ramp_output()
+        assert out.crossing_time("2", 99.0) is None
+
+    def test_delay_between(self):
+        out = self.ramp_output()
+        delay = out.delay_between("1", "2", 2.5)
+        assert delay == pytest.approx(0.693 * 10e-9, rel=0.1)

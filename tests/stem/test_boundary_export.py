@@ -1,0 +1,86 @@
+"""Tests for compiled-cell boundary export (Fig. 6.2's interface)."""
+
+import pytest
+
+from repro.stem import CellClass, PinSpec, Rect
+from repro.stem.compilers import GraphCompiler, VectorCompiler
+from repro.stem.types import INTEGER_SIGNAL
+
+
+def slice_cell(name="XSLICE"):
+    cell = CellClass(name)
+    cell.define_signal("cin", "in", pins=[PinSpec("left", 0.5)])
+    cell.define_signal("cout", "out", pins=[PinSpec("right", 0.5)])
+    cell.define_signal("a", "in", bit_width=2, data_type=INTEGER_SIGNAL,
+                       pins=[PinSpec("bottom", 0.25)])
+    cell.define_signal("sum", "out", bit_width=2,
+                       pins=[PinSpec("top", 0.5)])
+    cell.set_bounding_box(Rect.of_extent(4, 4))
+    return cell
+
+
+class TestExportBoundary:
+    def test_bus_and_carry_ends_exported(self):
+        word = CellClass("WORD3")
+        compiler = VectorCompiler(slice_cell(), 3)
+        compiler.compile_into(word)
+        created = compiler.export_boundary()
+        # 3 a pins, 3 sum pins, first cin, last cout
+        assert sorted(created) == ["a_0", "a_1", "a_2", "cin_0", "cout_0",
+                                   "sum_0", "sum_1", "sum_2"]
+        assert word.signal("a_1").direction == "in"
+        assert word.signal("cout_0").direction == "out"
+
+    def test_internal_carries_not_exported(self):
+        word = CellClass("WORD3b")
+        compiler = VectorCompiler(slice_cell(), 3)
+        compiler.compile_into(word)
+        created = compiler.export_boundary()
+        # the two internal carry links stay internal
+        assert created.count("cin_1") == 0
+        assert len([n for n in created if n.startswith("cin")]) == 1
+
+    def test_typing_flows_through_export(self):
+        word = CellClass("WORD2")
+        compiler = VectorCompiler(slice_cell("TSLICE"), 2)
+        compiler.compile_into(word)
+        compiler.export_boundary()
+        # the a-bus io inherits the slice's typing through the net
+        assert word.signal("a_0").data_type_var.value is INTEGER_SIGNAL
+        assert word.signal("a_0").bit_width_var.value == 2
+
+    def test_disallowed_pin_withdrawn_from_boundary(self):
+        word = CellClass("WORDCUT")
+        compiler = VectorCompiler(slice_cell("CSLICE"), 2)
+        compiler.disallow(0, 0, "a")
+        compiler.compile_into(word)
+        created = compiler.export_boundary()
+        assert "a_0" in created        # slot 1's bus pin, renumbered
+        assert len([n for n in created if n.startswith("a_")]) == 1
+
+    def test_requires_compile_first(self):
+        compiler = VectorCompiler(slice_cell("ESLICE"), 2)
+        with pytest.raises(RuntimeError):
+            compiler.export_boundary()
+
+    def test_without_index_prefix_unique_names_only(self):
+        single = CellClass("SINGLE")
+        compiler = GraphCompiler()
+        compiler.place(0, 0, slice_cell("USLICE"))
+        compiler.compile_into(single)
+        created = compiler.export_boundary(prefix_by_index=False)
+        assert sorted(created) == ["a", "cin", "cout", "sum"]
+
+    def test_exported_cell_usable_upstream(self):
+        """The compiled word participates in a larger design as usual."""
+        word = CellClass("WORDUP")
+        compiler = VectorCompiler(slice_cell("UPSLICE"), 2)
+        compiler.compile_into(word)
+        compiler.export_boundary()
+        top = CellClass("TOPUP")
+        top.define_signal("bus", "in", bit_width=2)
+        instance = word.instantiate(top, "W")
+        net = top.add_net("n")
+        assert net.connect_io("bus")
+        assert net.connect(instance, "a_0")
+        assert net.bit_width_var.value == 2

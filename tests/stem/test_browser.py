@@ -1,0 +1,121 @@
+"""Tests for the Cell Browser front-end (chapter 8 interaction)."""
+
+import pytest
+
+from repro.core import ConstraintEditor, UpperBoundConstraint
+from repro.stem import CellClass, Rect
+from repro.stem.browser import CellBrowser
+from repro.stem.library import CellLibrary
+from repro.stem.types import INTEGER_SIGNAL
+
+
+@pytest.fixture
+def world():
+    library = CellLibrary("bench")
+    add = library.define("ADD", is_generic=True)
+    add.define_signal("x", "in", data_type=INTEGER_SIGNAL, bit_width=8)
+    add.define_signal("y", "out")
+    add.declare_delay("x", "y", estimate=5.0)
+    add.set_bounding_box(Rect.of_extent(10, 10))
+    rc = library.define("ADD.RC", add)
+    rc.delay_var("x", "y").set(8.0)
+    rc.set_bounding_box(Rect.of_extent(10, 10))
+    cs = library.define("ADD.CS", add)
+    cs.delay_var("x", "y").set(5.0)
+    cs.set_bounding_box(Rect.of_extent(22, 10))
+
+    top = library.define("TOP")
+    top.add_parameter("width", low=1, high=64, default=8)
+    instance = add.instantiate(top, "A1")
+    instance.bounding_box_var.set(Rect.of_extent(25, 10))
+    UpperBoundConstraint(instance.delay_var("x", "y"), 6.0)
+    return library, top, instance, rc, cs
+
+
+class TestNavigation:
+    def test_cell_list(self, world):
+        library, *_ = world
+        browser = CellBrowser(library)
+        assert browser.cells() == ["ADD", "ADD.CS", "ADD.RC", "TOP"]
+
+    def test_open(self, world):
+        library, top, *_ = world
+        browser = CellBrowser(library)
+        assert browser.open("TOP") is top
+        assert browser.current is top
+
+    def test_actions_require_open_cell(self, world):
+        library, *_ = world
+        browser = CellBrowser(library)
+        with pytest.raises(RuntimeError):
+            browser.interface_pane()
+
+
+class TestPanes:
+    def test_interface_pane(self, world):
+        library, *_ = world
+        browser = CellBrowser(library)
+        browser.open("ADD")
+        text = browser.interface_pane()
+        assert "cell ADD (generic)" in text
+        assert "x          in" in text
+        assert "IntegerSignal" in text
+        assert "8b" in text
+        assert "x->y: 5.0" in text
+        assert "boundingBox:" in text
+
+    def test_interface_shows_superclass_and_parameters(self, world):
+        library, *_ = world
+        browser = CellBrowser(library)
+        browser.open("ADD.RC")
+        assert "superclass: ADD" in browser.interface_pane()
+        browser.open("TOP")
+        assert "width:" in browser.interface_pane()
+
+    def test_structure_pane(self, world):
+        library, top, *_ = world
+        browser = CellBrowser(library)
+        browser.open("TOP")
+        text = browser.structure_pane()
+        assert "A1: ADD" in text
+        browser.open("ADD")
+        assert "(leaf cell)" in browser.structure_pane()
+
+
+class TestActions:
+    def test_edit_variable_opens_editor(self, world):
+        library, *_ = world
+        browser = CellBrowser(library)
+        browser.open("ADD")
+        editor = browser.edit_variable("delay(x->y)")
+        assert isinstance(editor, ConstraintEditor)
+        assert "5.0" in editor.show()
+
+    def test_select_module_menu_action(self, world):
+        library, top, instance, rc, cs = world
+        browser = CellBrowser(library)
+        browser.open("TOP")
+        # the 6.0 delay budget admits only the carry-select adder
+        result = browser.select_module("A1")
+        assert result == [cs]
+        # no automatic replacement (thesis chapter 8)
+        assert instance in top.subcells
+        assert instance.cell_class.name == "ADD"
+
+    def test_unknown_instance(self, world):
+        library, *_ = world
+        browser = CellBrowser(library)
+        browser.open("TOP")
+        with pytest.raises(KeyError):
+            browser.select_module("GHOST")
+
+    def test_menu_dispatch(self, world):
+        library, top, instance, rc, cs = world
+        browser = CellBrowser(library)
+        assert "select module" in browser.menu()
+        browser.perform("open cell", "TOP")
+        assert browser.current is top
+        text = browser.perform("show structure")
+        assert "A1" in text
+        result = browser.perform("select module", "A1")
+        assert result == [cs]

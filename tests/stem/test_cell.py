@@ -1,0 +1,290 @@
+"""Tests for cell classes, instances and the design hierarchy."""
+
+import pytest
+
+from repro.core import USER, default_context
+from repro.stem import (
+    CellClass,
+    ParameterRange,
+    PinSpec,
+    Point,
+    Rect,
+    Transform,
+)
+from repro.stem.types import DIGITAL, INTEGER_SIGNAL
+
+
+def adder_cell(name="ADDER"):
+    cell = CellClass(name)
+    cell.define_signal("a", "in", load_capacitance=1.0)
+    cell.define_signal("b", "in", load_capacitance=1.0)
+    cell.define_signal("sum", "out", output_resistance=2.0)
+    return cell
+
+
+class TestInterfaceDefinition:
+    def test_define_signal(self):
+        cell = adder_cell()
+        assert set(cell.signals) == {"a", "b", "sum"}
+        assert cell.signal("a").direction == "in"
+
+    def test_duplicate_signal_rejected(self):
+        cell = adder_cell()
+        with pytest.raises(ValueError):
+            cell.define_signal("a")
+
+    def test_missing_signal(self):
+        with pytest.raises(KeyError):
+            adder_cell().signal("nope")
+
+    def test_signal_vars_registered(self):
+        cell = adder_cell()
+        assert cell.var("a.bitWidth") is cell.signal("a").bit_width_var
+        assert cell.var("a.dataType") is cell.signal("a").data_type_var
+
+    def test_invalid_direction(self):
+        cell = CellClass("X")
+        with pytest.raises(ValueError):
+            cell.define_signal("s", "sideways")
+
+    def test_add_parameter(self):
+        cell = CellClass("X")
+        parameter = cell.add_parameter("width", low=1, high=64, default=8)
+        assert cell.var("width") is parameter
+        assert parameter.range.default == 8
+
+    def test_duplicate_parameter_rejected(self):
+        cell = CellClass("X")
+        cell.add_parameter("width", low=1, high=64)
+        with pytest.raises(ValueError):
+            cell.add_parameter("width")
+
+    def test_declare_delay_validates_directions(self):
+        cell = adder_cell()
+        cell.declare_delay("a", "sum")
+        with pytest.raises(ValueError):
+            cell.declare_delay("sum", "a")
+        with pytest.raises(ValueError):
+            cell.declare_delay("a", "b")
+
+    def test_duplicate_delay_rejected(self):
+        cell = adder_cell()
+        cell.declare_delay("a", "sum")
+        with pytest.raises(ValueError):
+            cell.declare_delay("a", "sum")
+
+    def test_missing_variable(self):
+        with pytest.raises(KeyError):
+            CellClass("X").var("ghost")
+
+
+class TestInstantiation:
+    def test_instance_registered_both_ways(self):
+        cell = adder_cell()
+        top = CellClass("TOP")
+        instance = cell.instantiate(top, "A1")
+        assert instance in cell.instances
+        assert instance in top.subcells
+        assert instance.parent_cell is top
+
+    def test_auto_naming(self):
+        cell = adder_cell()
+        first = cell.instantiate()
+        second = cell.instantiate()
+        assert first.name != second.name
+
+    def test_instance_gets_parameter_duals_with_defaults(self):
+        cell = CellClass("X")
+        cell.add_parameter("width", low=1, high=64, default=8)
+        instance = cell.instantiate()
+        assert instance.parameter_value("width") == 8
+        assert instance.parameters["width"].class_var is cell.var("width")
+
+    def test_set_parameter_checks_range(self):
+        cell = CellClass("X")
+        cell.add_parameter("width", low=1, high=64)
+        instance = cell.instantiate()
+        assert instance.set_parameter("width", 32)
+        assert not instance.set_parameter("width", 128)
+
+    def test_instance_gets_delay_duals(self):
+        cell = adder_cell()
+        cell.declare_delay("a", "sum", estimate=100.0)
+        instance = cell.instantiate()
+        assert instance.delay_var("a", "sum").value == 100.0
+
+    def test_delay_declared_after_instantiation_reaches_instances(self):
+        cell = adder_cell()
+        instance = cell.instantiate()
+        cell.declare_delay("a", "sum", estimate=50.0)
+        assert instance.delay_var("a", "sum").value == 50.0
+
+    def test_instance_bbox_default_from_class(self):
+        cell = adder_cell()
+        cell.set_bounding_box(Rect.of_extent(4, 2))
+        instance = cell.instantiate(transform=Transform.translation(10, 0))
+        assert instance.bounding_box() == Rect.of_extent(4, 2, Point(10, 0))
+
+    def test_remove_cell_detaches_everything(self):
+        cell = adder_cell()
+        cell.declare_delay("a", "sum", estimate=1.0)
+        top = CellClass("TOP")
+        instance = cell.instantiate(top, "A1")
+        net = top.add_net("n")
+        net.connect(instance, "a")
+        top.remove_cell(instance)
+        assert instance not in top.subcells
+        assert instance not in cell.instances
+        assert net.endpoints == []
+        assert cell.bounding_box_var.dual_variables() == ()
+
+
+class TestInheritance:
+    def test_subclass_links(self):
+        parent = adder_cell()
+        child = parent.subclass("ADDER.RC")
+        assert child.superclass is parent
+        assert child in parent.subclasses
+        assert child.is_kind_of(parent)
+        assert not parent.is_kind_of(child)
+
+    def test_signals_cloned_with_values(self):
+        parent = adder_cell()
+        parent.signal("a").data_type_var.set(INTEGER_SIGNAL)
+        parent.signal("a").bit_width_var.set(8)
+        child = parent.subclass("ADDER.RC")
+        assert child.signal("a").data_type_var.value is INTEGER_SIGNAL
+        assert child.signal("a").bit_width_var.value == 8
+        # distinct variables: refining the child leaves the parent alone
+        child.signal("a").bit_width_var.reset()
+        assert parent.signal("a").bit_width_var.value == 8
+
+    def test_parameters_inherited(self):
+        parent = CellClass("P")
+        parent.add_parameter("width", low=1, high=64, default=8)
+        child = parent.subclass("C")
+        assert child.var("width").range == ParameterRange(low=1, high=64,
+                                                          default=8)
+
+    def test_delays_inherited_as_defaults(self):
+        parent = adder_cell()
+        parent.declare_delay("a", "sum", estimate=100.0)
+        child = parent.subclass("ADDER.RC")
+        assert child.delay_var("a", "sum").value == 100.0
+        # the child may specialize without touching the parent
+        assert child.delay_var("a", "sum").set(80.0)
+        assert parent.delay_var("a", "sum").value == 100.0
+
+    def test_bounding_box_inherited(self):
+        parent = adder_cell()
+        parent.set_bounding_box(Rect.of_extent(4, 2))
+        child = parent.subclass("ADDER.RC")
+        assert child.bounding_box() == Rect.of_extent(4, 2)
+
+    def test_descendants_enumeration(self):
+        root = CellClass("ROOT", is_generic=True)
+        a = root.subclass("A", is_generic=True)
+        b = root.subclass("B")
+        a1 = a.subclass("A1")
+        assert list(root.descendants()) == [a, a1, b]
+
+
+class TestStructureAndGeometry:
+    def build_pair(self):
+        leaf = CellClass("LEAF")
+        leaf.set_bounding_box(Rect.of_extent(4, 2))
+        top = CellClass("TOP")
+        i1 = leaf.instantiate(top, "L1", Transform.translation(0, 0))
+        i2 = leaf.instantiate(top, "L2", Transform.translation(4, 0))
+        return leaf, top, i1, i2
+
+    def test_class_bbox_calculated_from_subcells(self):
+        leaf, top, i1, i2 = self.build_pair()
+        assert top.bounding_box() == Rect(Point(0, 0), Point(8, 2))
+
+    def test_subcell_bbox_change_invalidates_parent(self):
+        leaf, top, i1, i2 = self.build_pair()
+        assert top.bounding_box() == Rect(Point(0, 0), Point(8, 2))
+        i2.bounding_box_var.set(Rect.of_extent(6, 2, Point(4, 0)))
+        # parent's stored box was reset and recalculates on demand
+        assert top.bounding_box() == Rect(Point(0, 0), Point(10, 2))
+
+    def test_class_bbox_change_cascades_up(self):
+        leaf, top, i1, i2 = self.build_pair()
+        assert top.bounding_box() == Rect(Point(0, 0), Point(8, 2))
+        leaf.set_bounding_box(Rect.of_extent(5, 2))
+        assert top.bounding_box() == Rect(Point(0, 0), Point(9, 2))
+
+    def test_instance_box_cannot_shrink_below_class(self):
+        leaf, top, i1, i2 = self.build_pair()
+        assert not i1.bounding_box_var.set(Rect.of_extent(3, 2))
+
+    def test_instance_box_may_grow(self):
+        leaf, top, i1, i2 = self.build_pair()
+        assert i1.bounding_box_var.set(Rect.of_extent(6, 3))
+
+    def test_rotated_placement(self):
+        leaf = CellClass("LEAF")
+        leaf.set_bounding_box(Rect.of_extent(4, 2))
+        top = CellClass("TOP")
+        inst = leaf.instantiate(top, "L1", Transform("R90", Point(2, 0)))
+        assert inst.bounding_box().extent == Point(2, 4)
+
+    def test_io_pin_stretching(self):
+        leaf = CellClass("LEAF")
+        leaf.define_signal("in1", "in", pins=[PinSpec("left", 0.5)])
+        leaf.define_signal("out1", "out", pins=[PinSpec("right", 0.5)])
+        leaf.set_bounding_box(Rect.of_extent(4, 2))
+        instance = leaf.instantiate()
+        assert instance.io_pins()["in1"] == [Point(0, 1)]
+        # stretch: a taller instance box moves the pin to its perimeter
+        instance.bounding_box_var.set(Rect.of_extent(4, 4))
+        assert instance.io_pins()["in1"] == [Point(0, 2)]
+        assert instance.io_pins()["out1"] == [Point(4, 2)]
+
+    def test_io_pins_empty_without_box(self):
+        leaf = CellClass("LEAF")
+        leaf.define_signal("in1", "in")
+        assert leaf.instantiate().io_pins() == {}
+
+
+class TestChangeBroadcast:
+    class Recorder:
+        def __init__(self):
+            self.events = []
+
+        def model_changed(self, model, aspect):
+            self.events.append((model, aspect))
+
+    def test_views_notified(self):
+        cell = CellClass("X")
+        view = self.Recorder()
+        cell.add_dependent(view)
+        cell.changed("structure")
+        assert view.events == [(cell, "structure")]
+
+    def test_change_climbs_to_containing_cells(self):
+        leaf = CellClass("LEAF")
+        top = CellClass("TOP")
+        leaf.instantiate(top, "L1")
+        view = self.Recorder()
+        top.add_dependent(view)
+        leaf.changed("structure")
+        assert (top, "structure") in view.events
+
+    def test_layout_changes_do_not_climb(self):
+        leaf = CellClass("LEAF")
+        top = CellClass("TOP")
+        leaf.instantiate(top, "L1")
+        view = self.Recorder()
+        top.add_dependent(view)
+        leaf.changed("layout")
+        assert view.events == []
+
+    def test_remove_dependent(self):
+        cell = CellClass("X")
+        view = self.Recorder()
+        cell.add_dependent(view)
+        cell.remove_dependent(view)
+        cell.changed()
+        assert view.events == []

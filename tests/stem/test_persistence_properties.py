@@ -1,0 +1,96 @@
+"""Property-based round-trip tests for design persistence."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import PropagationContext
+from repro.stem import CellClass, PinSpec, Point, Rect, Transform
+from repro.stem.library import CellLibrary
+from repro.stem.persistence import dumps, loads
+
+names = st.text(alphabet="ABCDEFGH", min_size=1, max_size=4)
+directions = st.sampled_from(["in", "out", "inout"])
+sides = st.sampled_from(["left", "right", "top", "bottom"])
+positions = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+extents = st.integers(min_value=1, max_value=40)
+orientations = st.sampled_from(
+    ["R0", "R90", "R180", "R270", "MX", "MY", "MX90", "MY90"])
+
+
+@st.composite
+def libraries(draw):
+    """A random small library: leaf cells plus one composite using them."""
+    library = CellLibrary("prop", context=PropagationContext())
+    n_leaves = draw(st.integers(min_value=1, max_value=3))
+    leaves = []
+    for i in range(n_leaves):
+        cell = library.define(f"LEAF{i}")
+        n_signals = draw(st.integers(min_value=1, max_value=3))
+        for j in range(n_signals):
+            cell.define_signal(
+                f"s{j}", draw(directions),
+                output_resistance=float(draw(st.integers(0, 5000))),
+                load_capacitance=float(draw(st.integers(0, 100))) * 1e-13,
+                pins=[PinSpec(draw(sides), draw(positions))])
+        cell.set_bounding_box(Rect.of_extent(draw(extents), draw(extents)))
+        if draw(st.booleans()):
+            cell.add_parameter("p", low=0, high=100,
+                               default=draw(st.integers(0, 100)))
+        leaves.append(cell)
+
+    top = library.define("TOP")
+    n_instances = draw(st.integers(min_value=0, max_value=4))
+    instances = []
+    for k in range(n_instances):
+        leaf = leaves[draw(st.integers(0, n_leaves - 1))]
+        transform = Transform(draw(orientations),
+                              Point(draw(st.integers(-20, 20)),
+                                    draw(st.integers(-20, 20))))
+        instances.append(leaf.instantiate(top, f"i{k}", transform))
+    if instances:
+        net = top.add_net("n0")
+        for instance in instances:
+            signal_names = list(instance.cell_class.signals)
+            net.connect(instance, signal_names[0])
+    return library
+
+
+@settings(max_examples=40, deadline=None)
+@given(library=libraries())
+def test_round_trip_preserves_structure(library):
+    restored = loads(dumps(library), context=PropagationContext())
+    assert restored.names() == library.names()
+    for cell in library:
+        mirror = restored.cell(cell.name)
+        assert set(mirror.signals) == set(cell.signals)
+        assert len(mirror.subcells) == len(cell.subcells)
+        assert len(mirror.nets) == len(cell.nets)
+        assert mirror.bounding_box_var.value == cell.bounding_box_var.value
+        for name, signal in cell.signals.items():
+            mirrored = mirror.signal(name)
+            assert mirrored.direction == signal.direction
+            assert mirrored.pins == signal.pins
+            assert mirrored.output_resistance == signal.output_resistance
+
+
+@settings(max_examples=40, deadline=None)
+@given(library=libraries())
+def test_double_round_trip_is_stable(library):
+    """dumps(loads(dumps(x))) == dumps(x): serialization is a fixpoint."""
+    first = dumps(library, sort_keys=True)
+    restored = loads(first, context=PropagationContext())
+    second = dumps(restored, sort_keys=True)
+    assert first == second
+
+
+@settings(max_examples=25, deadline=None)
+@given(library=libraries())
+def test_restored_placements_match(library):
+    restored = loads(dumps(library), context=PropagationContext())
+    original_top = library.cell("TOP")
+    restored_top = restored.cell("TOP")
+    by_name = {i.name: i for i in restored_top.subcells}
+    for instance in original_top.subcells:
+        mirror = by_name[instance.name]
+        assert mirror.transform == instance.transform
+        assert mirror.cell_class.name == instance.cell_class.name

@@ -1,0 +1,160 @@
+"""Property-based tests (hypothesis) for the STEM substrate."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import PropagationContext
+from repro.core.satisfaction import IntervalSolver
+from repro.core import (
+    LowerBoundConstraint,
+    UniAdditionConstraint,
+    UpperBoundConstraint,
+    Variable,
+)
+from repro.stem.compaction import Compactor1D
+from repro.stem.geometry import ORIGIN, Point, Rect, Transform
+from repro.stem.parameters import ParameterRange
+from repro.stem.types import S_MODULE_SIGNAL_TYPE
+
+orientations = st.sampled_from(
+    ["R0", "R90", "R180", "R270", "MX", "MY", "MX90", "MY90"])
+coordinates = st.integers(min_value=-50, max_value=50)
+points = st.builds(Point, coordinates, coordinates)
+transforms = st.builds(Transform, orientations, points)
+type_nodes = st.sampled_from(
+    [S_MODULE_SIGNAL_TYPE] + list(S_MODULE_SIGNAL_TYPE.descendants()))
+
+
+class TestTransformGroup:
+    @given(t1=transforms, t2=transforms, p=points)
+    @settings(max_examples=120)
+    def test_composition_agrees_with_sequencing(self, t1, t2, p):
+        assert t1.compose(t2).apply_to(p) == t1.apply_to(t2.apply_to(p))
+
+    @given(t=transforms, p=points)
+    @settings(max_examples=120)
+    def test_inverse_roundtrip(self, t, p):
+        assert t.inverse().apply_to(t.apply_to(p)) == p
+        assert t.apply_to(t.inverse().apply_to(p)) == p
+
+    @given(t1=transforms, t2=transforms, t3=transforms, p=points)
+    @settings(max_examples=60)
+    def test_associativity(self, t1, t2, t3, p):
+        left = t1.compose(t2).compose(t3)
+        right = t1.compose(t2.compose(t3))
+        assert left.apply_to(p) == right.apply_to(p)
+
+    @given(t=transforms, r=st.builds(Rect, points, points))
+    @settings(max_examples=120)
+    def test_rect_transform_preserves_area(self, t, r):
+        assert t.apply_to(r).area == r.area
+
+
+class TestRectProperties:
+    @given(a=st.builds(Rect, points, points), b=st.builds(Rect, points, points))
+    @settings(max_examples=100)
+    def test_union_contains_both(self, a, b):
+        u = a.union(b)
+        assert u.can_contain(a) or u.area >= a.area
+        assert u.contains_point(a.origin)
+        assert u.contains_point(b.corner)
+
+    @given(rects=st.lists(st.builds(Rect, points, points), min_size=1,
+                          max_size=6))
+    @settings(max_examples=80)
+    def test_bounding_covers_all_corners(self, rects):
+        bound = Rect.bounding(rects)
+        for rect in rects:
+            assert bound.contains_point(rect.origin)
+            assert bound.contains_point(rect.corner)
+
+
+class TestTypeHierarchyProperties:
+    @given(a=type_nodes, b=type_nodes)
+    @settings(max_examples=120)
+    def test_compatibility_is_symmetric(self, a, b):
+        assert a.is_compatible_with(b) == b.is_compatible_with(a)
+
+    @given(a=type_nodes, b=type_nodes)
+    @settings(max_examples=120)
+    def test_least_abstract_is_one_of_the_pair(self, a, b):
+        if a.is_compatible_with(b):
+            chosen = a.least_abstract_with(b)
+            assert chosen in (a, b)
+            assert chosen.is_compatible_with(a)
+            assert chosen.is_compatible_with(b)
+
+    @given(a=type_nodes, b=type_nodes)
+    @settings(max_examples=120)
+    def test_strict_abstraction_is_antisymmetric(self, a, b):
+        assert not (a.is_less_abstract_than(b)
+                    and b.is_less_abstract_than(a))
+
+
+class TestParameterRangeProperties:
+    @given(low=st.integers(-100, 0), high=st.integers(1, 100),
+           value=st.integers(-200, 200))
+    @settings(max_examples=120)
+    def test_bounds_admit_iff_within(self, low, high, value):
+        assert ParameterRange(low=low, high=high).admits(value) == \
+            (low <= value <= high)
+
+    @given(choices=st.lists(st.integers(0, 20), min_size=1, max_size=8),
+           value=st.integers(0, 20))
+    @settings(max_examples=80)
+    def test_choices_admit_iff_member(self, choices, value):
+        assert ParameterRange(choices=choices).admits(value) == \
+            (value in choices)
+
+
+class TestCompactorProperties:
+    @given(gaps=st.lists(st.integers(min_value=0, max_value=20),
+                         min_size=1, max_size=10))
+    @settings(max_examples=80)
+    def test_chain_positions_satisfy_all_separations(self, gaps):
+        compactor = Compactor1D()
+        for i, gap in enumerate(gaps):
+            compactor.separate(i, i + 1, gap)
+        positions = compactor.solve()
+        for i, gap in enumerate(gaps):
+            assert positions[i + 1] >= positions[i] + gap - 1e-9
+
+    @given(edges=st.lists(
+        st.tuples(st.integers(0, 5), st.integers(0, 5),
+                  st.integers(0, 10)), max_size=15))
+    @settings(max_examples=80)
+    def test_forward_dag_always_feasible_and_tight(self, edges):
+        """Edges oriented low->high index form a DAG: always solvable,
+        and every constraint holds in the solution."""
+        compactor = Compactor1D()
+        forward = [(a, b, w) for a, b, w in edges if a < b]
+        for a, b, w in forward:
+            compactor.separate(a, b, w)
+        if not forward:
+            return
+        positions = compactor.solve()
+        for a, b, w in forward:
+            assert positions[b] >= positions[a] + w - 1e-9
+
+
+class TestIntervalSolverSoundness:
+    @given(values=st.lists(st.integers(0, 50), min_size=2, max_size=6),
+           slack=st.integers(0, 20))
+    @settings(max_examples=60)
+    def test_feasible_assignment_never_excluded(self, values, slack):
+        """Bounds consistent with a known assignment must keep it inside
+        every narrowed interval."""
+        context = PropagationContext()
+        inputs = [Variable(name=f"x{i}", context=context)
+                  for i in range(len(values))]
+        total = Variable(name="total", context=context)
+        with context.propagation_disabled():
+            UniAdditionConstraint(total, inputs)
+            UpperBoundConstraint(total, sum(values) + slack)
+            for variable, value in zip(inputs, values):
+                LowerBoundConstraint(variable, 0)
+        solver = IntervalSolver([total])
+        solver.solve()
+        for variable, value in zip(inputs, values):
+            interval = solver.interval_of(variable)
+            assert interval.low - 1e-9 <= value <= interval.high + 1e-9

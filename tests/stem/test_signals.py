@@ -1,0 +1,164 @@
+"""Tests for io-signals, pins and nets (electrical/connectivity model)."""
+
+import pytest
+
+from repro.stem import CellClass, IOSignal, Net, PinSpec, Point, Rect
+
+
+class TestPinSpec:
+    @pytest.mark.parametrize("side,expected", [
+        ("left", Point(0, 5)),
+        ("right", Point(10, 5)),
+        ("bottom", Point(5, 0)),
+        ("top", Point(5, 10)),
+    ])
+    def test_point_on_each_side(self, side, expected):
+        box = Rect.of_extent(10, 10)
+        assert PinSpec(side, 0.5).point_on(box) == expected
+
+    def test_fractional_positions(self):
+        box = Rect.of_extent(10, 4)
+        assert PinSpec("bottom", 0.25).point_on(box) == Point(2.5, 0)
+        assert PinSpec("left", 1.0).point_on(box) == Point(0, 4)
+
+    def test_offset_box(self):
+        box = Rect.of_extent(4, 4, Point(10, 20))
+        assert PinSpec("left", 0.5).point_on(box) == Point(10, 22)
+
+    def test_invalid_side(self):
+        with pytest.raises(ValueError):
+            PinSpec("middle")
+
+    def test_invalid_position(self):
+        with pytest.raises(ValueError):
+            PinSpec("left", 1.5)
+
+    def test_equality(self):
+        assert PinSpec("left", 0.5) == PinSpec("left", 0.5)
+        assert PinSpec("left", 0.5) != PinSpec("left", 0.25)
+
+
+class TestIOSignalDefaults:
+    def test_default_pin_side_by_direction(self):
+        cell = CellClass("C")
+        assert cell.define_signal("i", "in").pins[0].side == "left"
+        assert cell.define_signal("o", "out").pins[0].side == "right"
+        assert cell.define_signal("io", "inout").pins[0].side == "bottom"
+
+    def test_pin_points(self):
+        cell = CellClass("C2")
+        signal = cell.define_signal("i", "in",
+                                    pins=[PinSpec("left", 0.25),
+                                          PinSpec("left", 0.75)])
+        points = signal.pin_points(Rect.of_extent(2, 8))
+        assert points == [Point(0, 2), Point(0, 6)]
+
+    def test_repr(self):
+        cell = CellClass("C3")
+        signal = cell.define_signal("i", "in")
+        assert "C3.i" in repr(signal)
+
+
+def three_party_net():
+    """driver.out --net-- sink1.in, sink2.in inside TOP, plus TOP ios."""
+    driver = CellClass("DRIVER")
+    driver.define_signal("o", "out", output_resistance=2e3)
+    sink = CellClass("SINK")
+    sink.define_signal("i", "in", load_capacitance=3e-12)
+    top = CellClass("TOP")
+    top.define_signal("tap", "out")
+    d = driver.instantiate(top, "d")
+    s1 = sink.instantiate(top, "s1")
+    s2 = sink.instantiate(top, "s2")
+    net = top.add_net("n")
+    net.connect(d, "o")
+    net.connect(s1, "i")
+    net.connect(s2, "i")
+    net.connect_io("tap")
+    return top, net, d, s1, s2
+
+
+class TestNetDirections:
+    def test_drivers(self):
+        top, net, d, s1, s2 = three_party_net()
+        assert net.drivers() == [(d, "o")]
+
+    def test_receivers_include_parent_output(self):
+        top, net, d, s1, s2 = three_party_net()
+        receivers = net.receivers()
+        assert (s1, "i") in receivers
+        assert (s2, "i") in receivers
+        assert (None, "tap") in receivers  # parent 'out' io is fed by the net
+
+    def test_parent_input_drives(self):
+        top = CellClass("T2")
+        top.define_signal("x", "in")
+        sink = CellClass("S2")
+        sink.define_signal("i", "in")
+        s = sink.instantiate(top, "s")
+        net = top.add_net("n")
+        net.connect_io("x")
+        net.connect(s, "i")
+        assert net.drivers() == [(None, "x")]
+
+    def test_inout_is_both(self):
+        top = CellClass("T3")
+        part = CellClass("P3")
+        part.define_signal("b", "inout")
+        p = part.instantiate(top, "p")
+        net = top.add_net("n")
+        net.connect(p, "b")
+        assert net.drivers() == [(p, "b")]
+        assert net.receivers() == [(p, "b")]
+
+    def test_rc_figures(self):
+        top, net, d, s1, s2 = three_party_net()
+        assert net.driving_resistance() == 2e3
+        assert net.load_capacitance() == pytest.approx(6e-12)
+
+    def test_empty_net_rc(self):
+        top = CellClass("T4")
+        net = top.add_net("n")
+        assert net.driving_resistance() == 0.0
+        assert net.load_capacitance() == 0.0
+
+
+class TestConnectionBookkeeping:
+    def test_duplicate_connect_is_idempotent(self):
+        top, net, d, s1, s2 = three_party_net()
+        assert net.connect(s1, "i")
+        assert net.endpoints.count((s1, "i")) == 1
+
+    def test_unknown_signal_rejected(self):
+        top, net, d, s1, s2 = three_party_net()
+        with pytest.raises(KeyError):
+            net.connect(d, "nope")
+        with pytest.raises(KeyError):
+            net.connect_io("nope")
+
+    def test_instance_connection_registry(self):
+        top, net, d, s1, s2 = three_party_net()
+        assert d.net_on("o") is net
+        assert s1.net_on("i") is net
+        assert top.io_connections["tap"] is net
+
+    def test_disconnect_clears_registry(self):
+        top, net, d, s1, s2 = three_party_net()
+        net.disconnect(s1, "i")
+        assert s1.net_on("i") is None
+        assert (s1, "i") not in net.endpoints
+
+    def test_net_repr(self):
+        top, net, *_ = three_party_net()
+        assert "TOP.n" in repr(net)
+
+    def test_duplicate_net_name_rejected(self):
+        top, *_ = three_party_net()
+        with pytest.raises(ValueError):
+            top.add_net("n")
+
+    def test_auto_net_names(self):
+        top = CellClass("T5")
+        first = top.add_net()
+        second = top.add_net()
+        assert first.name != second.name

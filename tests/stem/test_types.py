@@ -1,0 +1,112 @@
+"""Tests for signal type hierarchies (Figs. 7.2/7.3)."""
+
+import pytest
+
+from repro.stem.types import (
+    ANALOG,
+    BCD_SIGNAL,
+    BIT,
+    CMOS,
+    DATA_TYPE,
+    DIGITAL,
+    ELECTRICAL_TYPE,
+    INTEGER_SIGNAL,
+    S_MODULE_SIGNAL_TYPE,
+    SignalType,
+    TTL,
+    WHOLE_SIGNAL,
+)
+
+
+class TestHierarchyStructure:
+    def test_standard_hierarchy_roots(self):
+        assert DATA_TYPE.parent is S_MODULE_SIGNAL_TYPE
+        assert ELECTRICAL_TYPE.parent is S_MODULE_SIGNAL_TYPE
+
+    def test_fig_7_2_members(self):
+        names = {t.name for t in S_MODULE_SIGNAL_TYPE.descendants()}
+        assert {"Bit", "FloatSignal", "IntegerSignal", "A2CIntSignal",
+                "BCDSignal", "SignedMagIntSignal", "WholeSignal",
+                "Analog", "Digital", "BIPOLAR", "TTL", "CMOS"} <= names
+
+    def test_ancestors(self):
+        assert list(BCD_SIGNAL.ancestors()) == [INTEGER_SIGNAL, DATA_TYPE,
+                                                S_MODULE_SIGNAL_TYPE]
+
+    def test_root(self):
+        assert TTL.root() is S_MODULE_SIGNAL_TYPE
+
+    def test_is_leaf(self):
+        assert TTL.is_leaf()
+        assert not DIGITAL.is_leaf()
+
+    def test_lookup(self):
+        assert DATA_TYPE.lookup("BCDSignal") is BCD_SIGNAL
+        assert TTL.lookup("Analog") is ANALOG
+
+    def test_lookup_missing(self):
+        with pytest.raises(KeyError):
+            DATA_TYPE.lookup("NoSuchType")
+
+    def test_duplicate_name_rejected(self):
+        root = SignalType("TestRoot")
+        root.subtype("child")
+        with pytest.raises(ValueError):
+            root.subtype("child")
+
+    def test_runtime_extension(self):
+        ecl = DIGITAL.subtype("ECL_test")
+        try:
+            assert ecl.is_less_abstract_than(DIGITAL)
+            assert ecl.is_compatible_with(ELECTRICAL_TYPE)
+        finally:
+            DIGITAL.children.remove(ecl)
+            del S_MODULE_SIGNAL_TYPE._registry["ECL_test"]
+
+
+class TestCompatibility:
+    """Fig. 7.3: compatible iff one is a sub-type of the other."""
+
+    def test_same_type_compatible(self):
+        assert TTL.is_compatible_with(TTL)
+
+    def test_ancestor_descendant_compatible(self):
+        assert DIGITAL.is_compatible_with(TTL)
+        assert TTL.is_compatible_with(DIGITAL)
+        assert ELECTRICAL_TYPE.is_compatible_with(CMOS)
+
+    def test_siblings_incompatible(self):
+        assert not TTL.is_compatible_with(CMOS)
+        assert not ANALOG.is_compatible_with(DIGITAL)
+
+    def test_cross_hierarchy_incompatible(self):
+        assert not BIT.is_compatible_with(TTL)
+        assert not DATA_TYPE.is_compatible_with(ELECTRICAL_TYPE)
+
+
+class TestAbstraction:
+    def test_descendant_is_less_abstract(self):
+        assert TTL.is_less_abstract_than(DIGITAL)
+        assert TTL.is_less_abstract_than(ELECTRICAL_TYPE)
+
+    def test_ancestor_is_not_less_abstract(self):
+        assert not DIGITAL.is_less_abstract_than(TTL)
+
+    def test_type_not_less_abstract_than_itself(self):
+        assert not TTL.is_less_abstract_than(TTL)
+
+    def test_siblings_not_ordered(self):
+        assert not TTL.is_less_abstract_than(CMOS)
+        assert not CMOS.is_less_abstract_than(TTL)
+
+    def test_least_abstract_with(self):
+        assert DIGITAL.least_abstract_with(TTL) is TTL
+        assert TTL.least_abstract_with(DIGITAL) is TTL
+        assert TTL.least_abstract_with(TTL) is TTL
+
+    def test_least_abstract_with_incompatible_raises(self):
+        with pytest.raises(ValueError):
+            TTL.least_abstract_with(CMOS)
+
+    def test_whole_signal_under_integer(self):
+        assert WHOLE_SIGNAL.is_less_abstract_than(INTEGER_SIGNAL)

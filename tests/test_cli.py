@@ -1,0 +1,165 @@
+"""Tests for the command-line front end."""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core import UpperBoundConstraint, reset_default_context
+from repro.stem import CellClass, Rect
+from repro.stem.library import CellLibrary
+from repro.stem.persistence import serialize_library
+from repro.spice import resistor
+
+
+@pytest.fixture
+def design_path(tmp_path):
+    library = CellLibrary("cli-demo")
+    add = library.define("ADD", is_generic=True)
+    add.define_signal("x", "in")
+    add.define_signal("y", "out")
+    add.declare_delay("x", "y", estimate=5.0)
+    add.set_bounding_box(Rect.of_extent(10, 10))
+    rc = library.define("ADD.RC", add)
+    rc.delay_var("x", "y").set(8.0)
+    rc.set_bounding_box(Rect.of_extent(10, 10))
+    cs = library.define("ADD.CS", add)
+    cs.delay_var("x", "y").set(5.0)
+    cs.set_bounding_box(Rect.of_extent(22, 10))
+
+    drv = library.define("DRV")
+    drv.define_signal("o", "out", output_resistance=1e3,
+                      max_load_capacitance=1e-12)
+    snk = library.define("SNK")
+    snk.define_signal("i", "in", load_capacitance=1e-12)
+
+    top = library.define("TOP")
+    top.define_signal("in1", "in")
+    top.define_signal("out1", "out")
+    top.declare_delay("in1", "out1")
+    a = add.instantiate(top, "A1")
+    a.bounding_box_var.set(Rect.of_extent(25, 10))  # roomy placement area
+    n0 = top.add_net("n0"); n0.connect_io("in1"); n0.connect(a, "x")
+    n1 = top.add_net("n1"); n1.connect(a, "y"); n1.connect_io("out1")
+
+    bad = library.define("BAD")
+    d = drv.instantiate(bad, "d")
+    s1 = snk.instantiate(bad, "s1")
+    s2 = snk.instantiate(bad, "s2")
+    net = bad.add_net("overloaded")
+    net.connect(d, "o"); net.connect(s1, "i"); net.connect(s2, "i")
+
+    rcell = library.register(resistor(1e3, name="R1K",
+                                      context=library.context))
+    phys = library.define("PHYS")
+    phys.define_signal("p", "in")
+    phys.define_signal("gnd", "inout")
+    r = rcell.instantiate(phys, "Ra")
+    pn = phys.add_net("pn"); pn.connect_io("p"); pn.connect(r, "p")
+    gn = phys.add_net("gnd"); gn.connect_io("gnd"); gn.connect(r, "n")
+
+    path = tmp_path / "design.json"
+    path.write_text(json.dumps(serialize_library(library)))
+    reset_default_context()
+    return str(path)
+
+
+def run(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+class TestInfoAndTree:
+    def test_info(self, design_path):
+        code, text = run(["info", design_path])
+        assert code == 0
+        assert "cells: 9" in text
+        assert "ADD.RC" in text
+
+    def test_tree_shows_hierarchy_and_characteristics(self, design_path):
+        code, text = run(["tree", design_path])
+        assert code == 0
+        assert "ADD (generic)" in text
+        assert "  ADD.RC" in text
+        assert "x->y=8" in text
+
+
+class TestErc:
+    def test_erc_flags_overload(self, design_path):
+        code, text = run(["erc", design_path])
+        assert code == 1
+        assert "overload" in text
+
+    def test_erc_single_clean_cell(self, design_path):
+        code, text = run(["erc", design_path, "--cell", "TOP"])
+        assert code == 0
+        assert "0 finding(s)" in text
+
+
+class TestNetlist:
+    def test_netlist_extraction(self, design_path):
+        code, text = run(["netlist", design_path, "--cell", "PHYS"])
+        assert code == 0
+        assert "R1 " in text
+
+
+class TestDelay:
+    def test_delay_value(self, design_path):
+        code, text = run(["delay", design_path, "--cell", "TOP",
+                          "--source", "in1", "--dest", "out1"])
+        assert code == 0
+        assert "in1->out1: 5" in text
+
+    def test_delay_with_bound(self, design_path):
+        code, text = run(["delay", design_path, "--cell", "TOP",
+                          "--source", "in1", "--dest", "out1",
+                          "--max", "4"])
+        assert code == 1
+        assert "VIOLATION" in text
+
+    def test_unknown_delay_pair(self, design_path):
+        with pytest.raises(SystemExit):
+            run(["delay", design_path, "--cell", "TOP",
+                 "--source", "out1", "--dest", "in1"])
+
+
+class TestSelect:
+    def test_select_lists_realizations(self, design_path):
+        code, text = run(["select", design_path, "--cell", "TOP",
+                          "--instance", "A1"])
+        assert code == 0
+        assert "ADD.RC" in text
+        assert "ADD.CS" in text
+
+    def test_select_ranked(self, design_path):
+        code, text = run(["select", design_path, "--cell", "TOP",
+                          "--instance", "A1", "--rank"])
+        assert code == 0
+        assert "score=" in text
+
+    def test_unknown_instance(self, design_path):
+        with pytest.raises(SystemExit):
+            run(["select", design_path, "--cell", "TOP",
+                 "--instance", "GHOST"])
+
+
+class TestBrowse:
+    def test_browse_panes(self, design_path):
+        code, text = run(["browse", design_path, "--cell", "TOP"])
+        assert code == 0
+        assert "cell TOP" in text
+        assert "structure of TOP" in text
+        assert "A1: ADD" in text
+
+    def test_browse_unknown_cell_clean_error(self, design_path):
+        code, text = run(["browse", design_path, "--cell", "NOPE"])
+        assert code == 2
+
+
+class TestStats:
+    def test_stats(self, design_path):
+        code, text = run(["stats", design_path])
+        assert code == 0
+        assert "PropagationStats" in text

@@ -1,0 +1,162 @@
+"""Regenerate the measured figures behind EXPERIMENTS.md, live.
+
+Runs each experiment's scenario through the library and prints a
+paper-claim vs. measured table — the quick reproduction check::
+
+    python tools/run_experiments.py
+
+Wall-clock timings are left to ``pytest benchmarks/ --benchmark-only``;
+this tool reports the *deterministic* figures (propagation outcomes and
+engine counters), which must match EXPERIMENTS.md exactly.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "benchmarks"))
+
+from repro.core import UpperBoundConstraint, reset_default_context  # noqa: E402
+from repro.selection import ModuleSelector  # noqa: E402
+
+
+class Report:
+    def __init__(self) -> None:
+        self.rows = []
+
+    def add(self, experiment: str, claim: str, measured: str,
+            ok: bool) -> None:
+        self.rows.append((experiment, claim, measured, ok))
+
+    def render(self) -> str:
+        width = max(len(r[0]) for r in self.rows)
+        lines = []
+        for experiment, claim, measured, ok in self.rows:
+            status = "ok " if ok else "FAIL"
+            lines.append(f"[{status}] {experiment:<{width}}  {claim}")
+            lines.append(f"       {'':<{width}}  measured: {measured}")
+        passed = sum(1 for r in self.rows if r[3])
+        lines.append(f"\n{passed}/{len(self.rows)} experiment checks hold")
+        return "\n".join(lines)
+
+    @property
+    def all_ok(self) -> bool:
+        return all(r[3] for r in self.rows)
+
+
+def run() -> Report:
+    report = Report()
+
+    # E1 — Fig 4.5
+    import test_bench_fig4_5 as e1
+    reset_default_context()
+    v1, v2, v3, v4 = e1.build_network()
+    ok = v1.set(9) and (v1.value, v2.value, v3.value, v4.value) == (9, 9, 5, 9)
+    report.add("E1 Fig4.5", "V1:=9 -> V2=9, V4=9, V3 untouched",
+               f"({v1.value},{v2.value},{v3.value},{v4.value})", ok)
+
+    # E2 — agenda deferral
+    import test_bench_agenda as e2
+    ctx = reset_default_context()
+    m, t = e2.build_tree(e2.UniAdditionConstraint, fan_in=8)
+    m.set(5); ctx.stats.reset(); m.set(6)
+    deferred = ctx.stats.propagated_assignments
+    ctx = reset_default_context()
+    m, t = e2.build_tree(e2.ImmediateAddition, fan_in=8)
+    m.set(5); ctx.stats.reset(); m.set(6)
+    immediate = ctx.stats.propagated_assignments
+    report.add("E2 agenda", "deferred < immediate transient updates",
+               f"{deferred} vs {immediate}", deferred < immediate)
+
+    # E3 — Fig 4.9 cycle
+    import test_bench_fig4_9 as e3
+    reset_default_context()
+    v1, v2, v3 = e3.build_cycle()
+    rejected = not v1.set(10)
+    restored = (v1.value, v2.value, v3.value) == (None, None, None)
+    report.add("E3 Fig4.9", "cycle violates and restores",
+               f"rejected={rejected}, restored={restored}",
+               rejected and restored)
+
+    # E5 — Fig 5.2 hierarchy
+    import test_bench_fig5_2 as e5
+    reset_default_context()
+    adder, register, acc = e5.build_scenario()
+    early = acc.delay_var("in1", "out1").value
+    rejected = not adder.delay_var("a", "sum").calculate(110 * e5.NS)
+    report.add("E5 Fig5.2", "estimates=160ns; 110ns adder rejected",
+               f"early={early / e5.NS:.0f}ns, rejected={rejected}",
+               abs(early - 160 * e5.NS) < 1e-12 and rejected)
+
+    # E6 — hierarchical sharing
+    import test_bench_hierarchy as e6
+    ctx = reset_default_context()
+    source, class_var, consumers = e6.build_hierarchical()
+    source.set(0); ctx.stats.reset(); source.set(1)
+    hierarchical = ctx.stats.inference_runs
+    ctx = reset_default_context()
+    fsource, fconsumers = e6.build_flat()
+    fsource.set(0); ctx.stats.reset(); fsource.set(1)
+    flat = ctx.stats.inference_runs
+    report.add("E6 hierarchy", "hierarchical inferences << flat",
+               f"{hierarchical} vs {flat}", flat > 2 * hierarchical)
+
+    # E10 — Fig 7.1 width clash
+    import test_bench_fig7_1 as e10
+    ctx = reset_default_context()
+    leaf, top, instance, net = e10.build_scene(4, 8)
+    rejected = not net.connect(instance, "in1")
+    report.add("E10 Fig7.1", "4-bit net vs 8-bit signal rejected",
+               f"rejected={rejected}", rejected)
+
+    # E14 — Fig 8.1 decision table
+    import test_bench_fig8_1 as e14
+    outcomes = []
+    for area, delay, expected in [
+            (1.0 * e14.A, 11 * e14.D, {"ADD8.RC"}),
+            (4.2 * e14.A, 8 * e14.D, {"ADD8.CS"}),
+            (4.2 * e14.A, 11 * e14.D, {"ADD8.RC", "ADD8.CS"}),
+            (1.0 * e14.A, 8 * e14.D, set())]:
+        reset_default_context()
+        add8, rc, cs = e14.build_family()
+        alu, inst = e14.build_alu(add8, area, delay)
+        result = {c.name for c in
+                  ModuleSelector().select_realizations_for(inst)}
+        outcomes.append(result == expected)
+    report.add("E14 Fig8.1", "decision table RC/CS/both/none",
+               f"{sum(outcomes)}/4 cases", all(outcomes))
+
+    # E15 — pruning
+    import test_bench_selection as e15
+    reset_default_context()
+    root = e15.build_library()
+    inst = e15.constrained_instance(root, 10 * e15.D)
+    pruned = ModuleSelector(priorities=("delays",), prune=True)
+    pruned.select_realizations_for(inst)
+    full = ModuleSelector(priorities=("delays",), prune=False)
+    full.select_realizations_for(inst)
+    report.add("E15 pruning", "pruning tests fewer candidates",
+               f"{pruned.stats.candidates_tested} vs "
+               f"{full.stats.candidates_tested}",
+               pruned.stats.candidates_tested
+               < full.stats.candidates_tested)
+
+    # E16 — complexity
+    import test_bench_complexity as e16
+    counts = []
+    for n in (50, 100, 200):
+        reset_default_context()
+        counts.append(e16.activations_for_chain(n))
+    linear = counts == [49, 99, 199]
+    report.add("E16 complexity", "activations = chain length - 1",
+               f"{counts}", linear)
+
+    return report
+
+
+if __name__ == "__main__":
+    report = run()
+    print(report.render())
+    raise SystemExit(0 if report.all_ok else 1)
