@@ -8,8 +8,10 @@ recomputation of transient results.
 
 An agenda is a first-in-first-out queue that rejects duplicate entries.
 The scheduler holds several named agendas in a fixed priority order; after
-the initial un-scheduled spread of a value change, the propagation engine
-repeatedly pops the first entry of the highest-priority non-empty agenda
+the initial un-scheduled spread of a value change, the propagation
+engine's wavefront loop repeatedly pops the first entry of the
+highest-priority non-empty agenda — via a ``drain-agendas`` barrier event
+that re-arms itself after each popped inference's wavefront completes —
 until all agendas are empty.
 
 STEM's hierarchical extension (section 5.1.2) adds a lowest-priority

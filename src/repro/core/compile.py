@@ -148,19 +148,32 @@ class CompiledNetwork:
         Storage happens with propagation disabled — the compiled plan has
         already performed the equivalent propagation.  Inputs passed in
         ``input_values`` are stored too.
+
+        When a propagation round is already running (a compiled plan
+        invoked from a hook or handler mid-round), the stores instead join
+        the active round's event queue via ``context.assign``: they are
+        recorded in the round's visited set, so a later violation rolls
+        them back with everything else.
         """
         results = self.evaluate(input_values)
         context = (self.inputs[0].context if self.inputs
                    else None)
         if context is None:
             return results
-        with context.propagation_disabled():
+
+        def store_all() -> None:
             if input_values:
                 for variable, value in input_values.items():
                     variable.set(value, APPLICATION)
             for variable, value in results.items():
                 if value is not None:
                     variable.set(value, APPLICATION)
+
+        if context.in_round:
+            store_all()
+        else:
+            with context.propagation_disabled():
+                store_all()
         return results
 
     # -- complete proceduralization ---------------------------------------------------

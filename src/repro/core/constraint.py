@@ -169,8 +169,7 @@ class Constraint:
         if self.agenda is None:
             self.immediate_inference_by_changing(variable)
         elif self.permits_changes_by(variable):
-            self.context.stats.scheduled_entries += 1
-            self.context.scheduler.schedule(self, None, agenda=self.agenda)
+            self.context.schedule(self, None, agenda=self.agenda)
 
     def propagate_scheduled(self, variable: Any) -> None:
         """Run a deferred propagation popped from an agenda."""

@@ -1,4 +1,4 @@
-"""The constraint propagation engine.
+"""The constraint propagation engine — an iterative wavefront.
 
 Implements the propagation process of thesis section 4.2: a depth-first
 traversal of the constraint network triggered by a value assignment,
@@ -6,6 +6,35 @@ alternating between variables (spreading to their constraints) and
 constraints (inferring values for further variables), followed by draining
 the fixed-priority agendas and a final ``is_satisfied`` sweep over every
 visited constraint.
+
+The thesis (and earlier versions of this module) realise the traversal as
+literal recursion: every ``spread -> propagate_variable -> set_propagated``
+hop consumes an interpreter stack frame, which caps network depth and
+requires raising the recursion limit for long chains.  Following the
+generic *propagator iteration* architecture of constraint-engine
+literature (Schulte & Stuckey, "Efficient Constraint Propagation Engines";
+Apt, "The Essence of Constraint Propagation"), the traversal is instead
+driven by an explicit per-round **event queue**:
+
+* ``("variable-changed", variable, exclude)`` — a changed variable must
+  activate its constraints (the thesis's ``propagate`` message);
+* ``("activate-constraint", constraint, variable)`` — one constraint
+  reacts to one changed argument (``propagateVariable:``);
+* ``("drain-agendas",)`` — pop scheduled entries off the fixed-priority
+  agendas until all are empty, letting each inference's wavefront finish
+  before the next entry pops;
+* ``("repropagate", constraint, remaining)`` — re-assert an edited
+  constraint's arguments in precedence order (Fig. 4.13), one argument
+  per dispatch with an agenda drain in between.
+
+:meth:`PropagationContext._drain` pops events in **LIFO** order; events
+posted while dispatching one event are pushed so the first-posted pops
+first.  The result is exactly the depth-first activation order of the
+recursive engine — same visited order, same violation points, same
+counter values — but depth is limited by heap memory, not the C stack,
+the interpreter's recursion limit is never touched, and all stats
+counting and tracing for constraint activity happens at one dispatch
+site.
 
 The Smalltalk implementation keeps its bookkeeping in globals
 (``VisitedConstraintsAndVariables``, the agenda scheduler, the ``CPSwitch``
@@ -33,8 +62,9 @@ Key behaviours reproduced:
 
 from __future__ import annotations
 
+from collections import deque
 from contextlib import contextmanager
-from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+from typing import Any, Deque, Dict, Iterator, List, Optional, Tuple
 
 from .agenda import AgendaScheduler, DEFAULT_PRIORITY_ORDER
 from .justification import TENTATIVE, USER, Justification
@@ -82,6 +112,13 @@ class PropagationStats:
         return f"PropagationStats({body})"
 
 
+#: Queue event kinds (first element of each event tuple).
+_VARIABLE_CHANGED = "variable-changed"
+_ACTIVATE = "activate-constraint"
+_DRAIN_AGENDAS = "drain-agendas"
+_REPROPAGATE = "repropagate"
+
+
 class _Round:
     """Bookkeeping for one propagation round.
 
@@ -90,11 +127,21 @@ class _Round:
     dictionary of section 4.2.2); ``changes`` counts value changes per
     variable for the one-value-change rule; ``visited_constraints`` records
     activation order for the final satisfaction sweep.
+
+    ``queue`` is the round's explicit work deque: pending propagation
+    events, drained LIFO by :meth:`PropagationContext._drain` so that the
+    wavefront visits the network in the thesis's depth-first activation
+    order.  ``draining`` flags whether the drain loop is currently running
+    (events posted while it runs are picked up by it; events posted
+    outside — e.g. by a tool assigning during the satisfaction sweep — are
+    drained on the spot).  ``dispatch_mark`` is the queue length at the
+    start of the event dispatch currently executing; events above the mark
+    are the current dispatch's own postings.
     """
 
     __slots__ = ("visited", "changes", "visited_constraints",
                  "_constraint_ids", "max_changes", "silent",
-                 "_tick", "set_ticks")
+                 "_tick", "set_ticks", "queue", "draining", "dispatch_mark")
 
     def __init__(self, max_changes: int, silent: bool = False) -> None:
         self.visited: Dict[Any, Tuple[Justification, Any]] = {}
@@ -105,6 +152,9 @@ class _Round:
         self.silent = silent
         self._tick = 0
         self.set_ticks: Dict[Any, int] = {}
+        self.queue: Deque[Tuple[Any, ...]] = deque()
+        self.draining = False
+        self.dispatch_mark = 0
 
     def record_visit(self, variable: Any) -> None:
         if variable not in self.visited:
@@ -149,7 +199,8 @@ class _Round:
 
 
 class PropagationContext:
-    """Shared propagation state for one family of constraint networks.
+    """Propagation state and event-queue wavefront engine for one
+    family of constraint networks.
 
     Parameters
     ----------
@@ -199,13 +250,6 @@ class PropagationContext:
             raise RuntimeError("propagated assignment outside a propagation round")
         return self._round
 
-    #: Recursion limit ensured while a round runs.  Propagation is a
-    #: depth-first traversal implemented with Python recursion (as the
-    #: thesis's message sends are); long chains need headroom beyond
-    #: CPython's default 1000.  Pure-Python frames are heap-allocated on
-    #: modern CPython, so this is safe.
-    RECURSION_HEADROOM = 50_000
-
     @contextmanager
     def _round_scope(self, silent: bool = False) -> Iterator[_Round]:
         if self._round is not None:
@@ -213,17 +257,11 @@ class PropagationContext:
         rnd = _Round(self.max_changes_per_variable, silent=silent)
         self._round = rnd
         self.stats.rounds += 1
-        import sys
-        previous_limit = sys.getrecursionlimit()
-        if previous_limit < self.RECURSION_HEADROOM:
-            sys.setrecursionlimit(self.RECURSION_HEADROOM)
         try:
             yield rnd
         finally:
             self._round = None
             self.scheduler.clear()
-            if previous_limit < self.RECURSION_HEADROOM:
-                sys.setrecursionlimit(previous_limit)
 
     @contextmanager
     def propagation_disabled(self) -> Iterator[None]:
@@ -254,15 +292,18 @@ class PropagationContext:
             self._in_round_external_assignment(variable, value, justification)
             return True
         self.stats.external_assignments += 1
-        self._trace("round-start", variable, f"set to {value!r}")
+        if self.tracer is not None:
+            self._trace("round-start", variable, f"set to {value!r}")
         with self._round_scope() as rnd:
             rnd.record_visit(variable)
             variable._store(value, justification)
             rnd.note_change(variable)
+            queue = rnd.queue
+            queue.append((_DRAIN_AGENDAS,))
+            queue.append((_VARIABLE_CHANGED, variable, None))
             try:
                 variable.on_stored_by_assignment()
-                self.spread(variable)
-                self.drain_agendas()
+                self._drain(rnd)
                 self.check_visited_constraints()
             except PropagationViolation as signal:
                 self._abort_round(rnd, signal)
@@ -278,11 +319,19 @@ class PropagationContext:
     def _in_round_external_assignment(self, variable: Any, value: Any,
                                       justification: Justification) -> None:
         rnd = self.require_round()
+        self.stats.external_assignments += 1
         rnd.record_visit(variable)
         variable._store(value, justification)
         rnd.note_change(variable)
+        watermark = len(rnd.queue)
+        rnd.queue.append((_VARIABLE_CHANGED, variable, None))
         variable.on_stored_by_assignment()
-        self.spread(variable)
+        if not rnd.draining:
+            # Assignment from outside the wavefront loop (e.g. a property
+            # recalculation triggered by the satisfaction sweep): spread
+            # on the spot.  Agenda entries it schedules stay scheduled,
+            # for an enclosing drain to pick up.
+            self._drain(rnd, watermark)
 
     def probe(self, variable: Any, value: Any,
               justification: Justification = TENTATIVE) -> bool:
@@ -290,6 +339,11 @@ class PropagationContext:
 
         Returns True when the value would be accepted without violation.
         No violation handler runs; the network is always restored.
+
+        With propagation disabled (``enabled = False``) a probe is a
+        **no-op accept**: the trial value is neither stored nor checked —
+        exactly as external assignments skip checking while the CPSwitch
+        is off — and the method returns True.
         """
         if not self.enabled:
             return True
@@ -300,9 +354,11 @@ class PropagationContext:
             rnd.record_visit(variable)
             variable._store(value, justification)
             rnd.note_change(variable)
+            queue = rnd.queue
+            queue.append((_DRAIN_AGENDAS,))
+            queue.append((_VARIABLE_CHANGED, variable, None))
             try:
-                self.spread(variable)
-                self.drain_agendas()
+                self._drain(rnd)
                 self.check_visited_constraints()
             except PropagationViolation:
                 ok = False
@@ -322,11 +378,18 @@ class PropagationContext:
             return True
         if self._round is not None:
             # Constraint created while a round runs (e.g. by a compiler
-            # invoked from propagation): propagate within that round.
-            return self._repropagate_within(self.require_round(), constraint)
+            # invoked from propagation): its repropagation joins the
+            # active round's queue.
+            rnd = self.require_round()
+            watermark = len(rnd.queue)
+            rnd.queue.append((_REPROPAGATE, constraint, None))
+            if not rnd.draining:
+                self._drain(rnd, watermark)
+            return True
         with self._round_scope() as rnd:
+            rnd.queue.append((_REPROPAGATE, constraint, None))
             try:
-                self._repropagate_within(rnd, constraint)
+                self._drain(rnd)
                 self.check_visited_constraints()
             except PropagationViolation as signal:
                 self._abort_round(rnd, signal)
@@ -336,36 +399,119 @@ class PropagationContext:
                 raise
         return True
 
-    def _repropagate_within(self, rnd: _Round, constraint: Any) -> bool:
-        if not self._allows(constraint):
-            return True
-        rnd.note_constraint(constraint)
-        for argument in _precedence_ordered(constraint.arguments):
+    # -- the wavefront loop ------------------------------------------------
+
+    def _drain(self, rnd: _Round, watermark: int = 0) -> None:
+        """Dispatch queued events (LIFO) until ``len(queue) == watermark``.
+
+        This loop is the whole propagation process: the single site where
+        constraints are activated, scheduled inference runs and stats and
+        traces for constraint activity are recorded.  LIFO order, with
+        each dispatch posting its events first-posted-on-top, reproduces
+        the recursive engine's depth-first activation order exactly —
+        with constant interpreter stack depth however deep the network.
+        """
+        queue = rnd.queue
+        stats = self.stats
+        scheduler = self.scheduler
+        previous_draining = rnd.draining
+        previous_mark = rnd.dispatch_mark
+        rnd.draining = True
+        try:
+            while len(queue) > watermark:
+                event = queue.pop()
+                rnd.dispatch_mark = len(queue)
+                kind = event[0]
+                if kind is _ACTIVATE:
+                    constraint, variable = event[1], event[2]
+                    rnd.note_constraint(constraint)
+                    stats.constraint_activations += 1
+                    constraint.propagate_variable(variable)
+                elif kind is _VARIABLE_CHANGED:
+                    variable, exclude = event[1], event[2]
+                    allows = self._allows
+                    # reversed: the first constraint pops (activates) first
+                    for constraint in reversed(variable.all_constraints()):
+                        if constraint is exclude or not allows(constraint):
+                            continue
+                        queue.append((_ACTIVATE, constraint, variable))
+                elif kind is _DRAIN_AGENDAS:
+                    entry = scheduler.remove_highest_priority_entry()
+                    while entry is not None and not self._allows(entry[0]):
+                        entry = scheduler.remove_highest_priority_entry()
+                    if entry is None:
+                        continue  # agendas empty: the barrier dissolves
+                    # Re-arm below the inference's events: the next entry
+                    # pops only after this inference's wavefront finishes.
+                    queue.append(event)
+                    rnd.dispatch_mark = len(queue)
+                    constraint, variable = entry
+                    rnd.note_constraint(constraint)
+                    stats.inference_runs += 1
+                    self._trace("infer", constraint)
+                    constraint.propagate_scheduled(variable)
+                else:  # _REPROPAGATE
+                    self._dispatch_repropagate(rnd, event[1], event[2])
+        finally:
+            rnd.draining = previous_draining
+            rnd.dispatch_mark = previous_mark
+
+    def _dispatch_repropagate(self, rnd: _Round, constraint: Any,
+                              remaining: Optional[List[Any]]) -> None:
+        """One argument of an edited constraint asserts its value.
+
+        The precedence order is snapshot on the first dispatch; each
+        dispatch propagates the next still-unvisited argument, then
+        requeues itself *below* an agenda drain, so the argument's
+        wavefront and any scheduled inference complete before the next
+        argument is examined (the per-argument ``drain_agendas`` of the
+        recursive engine).
+        """
+        if remaining is None:
+            if not self._allows(constraint):
+                return
+            rnd.note_constraint(constraint)
+            remaining = _precedence_ordered(constraint.arguments)
+        queue = rnd.queue
+        while remaining:
+            argument = remaining.pop(0)
             if rnd.was_visited(argument):
                 continue
             rnd.record_visit(argument)
             self.stats.constraint_activations += 1
+            queue.append((_REPROPAGATE, constraint, remaining))
+            queue.append((_DRAIN_AGENDAS,))
+            rnd.dispatch_mark = len(queue)
             constraint.propagate_variable(argument)
-            self.drain_agendas()
-        return True
+            return
 
     # -- propagation machinery --------------------------------------------
 
     def spread(self, variable: Any, exclude: Any = None) -> None:
-        """Activate every constraint of a changed variable (``propagate``).
+        """Enqueue activation of every constraint of a changed variable.
 
         ``exclude`` is the constraint that produced the change, which must
-        not be re-activated (``setTo:constraint:justification:``).
+        not be re-activated (``setTo:constraint:justification:``).  The
+        activations dispatch from the round's queue; when called from
+        outside the wavefront loop the queue is drained immediately.
         """
         rnd = self.require_round()
-        for constraint in variable.all_constraints():
-            if constraint is exclude:
-                continue
-            if not self._allows(constraint):
-                continue
-            rnd.note_constraint(constraint)
-            self.stats.constraint_activations += 1
-            constraint.propagate_variable(variable)
+        watermark = len(rnd.queue)
+        rnd.queue.append((_VARIABLE_CHANGED, variable, exclude))
+        if not rnd.draining:
+            self._drain(rnd, watermark)
+
+    def schedule(self, constraint: Any, variable: Any = None, *,
+                 agenda: str) -> None:
+        """Defer a constraint's inference onto a named agenda.
+
+        The single choke point for agenda scheduling (sections 4.2.1 and
+        5.1.2): counts the attempt, traces it, and queues the entry —
+        duplicates are rejected by the agenda itself.
+        """
+        self.stats.scheduled_entries += 1
+        self._trace("schedule", constraint)
+        self.scheduler.schedule(constraint, variable, agenda=agenda)
 
     def propagated_assignment(self, variable: Any, value: Any,
                               constraint: Any, justification: Justification) -> None:
@@ -374,12 +520,21 @@ class PropagationContext:
         Applies the termination criteria of section 4.2.2 before storing:
         an agreeing value stops the wavefront silently; a disagreeing value
         on a protected or already-changed variable raises a violation.
+        The change's spread is posted to the round's queue rather than
+        propagated by re-entering the engine.
         """
         rnd = self.require_round()
+        if rnd.draining and len(rnd.queue) > rnd.dispatch_mark:
+            # A constraint assigning its second value within one inference
+            # run: finish the first value's wavefront before this store,
+            # exactly as the recursive engine's nested message sends did
+            # (E2's transient-update accounting depends on it).
+            self._drain(rnd, rnd.dispatch_mark)
         decision = variable.classify_propagated(value, constraint)
         if decision == "ignore":
             self.stats.ignored_propagations += 1
-            self._trace("ignore", variable, f"{value!r} agrees/defers")
+            if self.tracer is not None:
+                self._trace("ignore", variable, f"{value!r} agrees/defers")
             return
         if rnd.times_changed(variable) >= rnd.max_changes \
                 and not rnd.may_recompute(variable, constraint):
@@ -396,25 +551,23 @@ class PropagationContext:
         variable._store(value, justification)
         rnd.note_change(variable)
         self.stats.propagated_assignments += 1
-        self._trace("store", variable,
-                    f":= {value!r} by {constraint!r}")
+        if self.tracer is not None:
+            self._trace("store", variable, f":= {value!r} by {constraint!r}")
+        watermark = len(rnd.queue)
+        rnd.queue.append((_VARIABLE_CHANGED, variable, constraint))
         variable.on_stored_by_assignment()
-        self.spread(variable, exclude=constraint)
+        if not rnd.draining:
+            self._drain(rnd, watermark)
 
     def drain_agendas(self) -> None:
-        """Propagate scheduled constraints until all agendas are empty."""
+        """Enqueue an agenda drain: scheduled constraints propagate until
+        all agendas are empty, each entry's wavefront finishing before the
+        next pops."""
         rnd = self.require_round()
-        while True:
-            entry = self.scheduler.remove_highest_priority_entry()
-            if entry is None:
-                return
-            constraint, variable = entry
-            if not self._allows(constraint):
-                continue
-            rnd.note_constraint(constraint)
-            self.stats.inference_runs += 1
-            self._trace("infer", constraint)
-            constraint.propagate_scheduled(variable)
+        watermark = len(rnd.queue)
+        rnd.queue.append((_DRAIN_AGENDAS,))
+        if not rnd.draining:
+            self._drain(rnd, watermark)
 
     def check_visited_constraints(self) -> None:
         """Final sweep: every visited constraint must be satisfied."""
@@ -453,6 +606,7 @@ class PropagationContext:
             self._restore(rnd)
             self._trace("restore", None,
                         f"{len(rnd.visited)} variable(s) restored")
+            rnd.queue.clear()
             self.scheduler.clear()
 
     @staticmethod

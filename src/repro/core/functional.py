@@ -3,9 +3,11 @@
 Section 4.2.1: a functional constraint expresses one variable (the
 *result*) as a function of the others.  Its propagation direction never
 depends on which variable changed, so it defers its inference onto the
-``functional_constraints`` agenda, letting every argument change before
-the (possibly expensive) computation runs.  This suppresses redundant
-calculation of transient results — measured by experiment E2.
+``functional_constraints`` agenda via ``context.schedule``, letting every
+argument change before the (possibly expensive) computation runs; the
+engine's wavefront loop pops the entry once the immediate spread is done.
+This suppresses redundant calculation of transient results — measured by
+experiment E2.
 
 ``UniAdditionConstraint`` and ``UniMaximumConstraint`` are the building
 blocks of STEM's delay networks (section 7.3, Fig. 7.12): each delay path

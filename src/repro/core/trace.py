@@ -6,6 +6,9 @@ round: which constraint fired, what it assigned, what was ignored, what
 was scheduled, where the violation surfaced.  A
 :class:`PropagationTrace` installed on a context records exactly that
 stream; :meth:`PropagationTrace.render` prints it like a call log.
+Events for constraint activity (``infer``, ``schedule``) are emitted from
+the wavefront loop's single dispatch site and the ``context.schedule``
+choke point, so the trace is a faithful linearisation of the round.
 
 Tracing costs one attribute check per event when disabled; installs and
 uninstalls at runtime (e.g. just around one suspicious assignment).

@@ -21,7 +21,7 @@ overwrite rules before spreading further.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterable, List, Optional, Sequence, Set
+from typing import Any, List, Optional, Sequence, Set
 
 from . import dependency
 from .engine import PropagationContext, default_context

@@ -62,8 +62,7 @@ class ImplicitConstraintVariable(Variable):
     def propagate_variable(self, variable: Any) -> None:
         """React (as a constraint) to a change of a dual variable."""
         if self.permits_changes_by_implicit_propagation():
-            self.context.stats.scheduled_entries += 1
-            self.context.scheduler.schedule(self, variable, agenda=IMPLICIT)
+            self.context.schedule(self, variable, agenda=IMPLICIT)
 
     def propagate_scheduled(self, variable: Any) -> None:
         self.immediate_inference_by_changing(variable)
