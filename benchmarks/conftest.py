@@ -1,4 +1,14 @@
-"""Benchmark fixtures: fresh propagation context per benchmark."""
+"""Benchmark fixtures: fresh propagation context per benchmark, and the
+``BENCH_PROP.json`` trajectory emitter.
+
+At session end, every pytest-benchmark result's summary statistics
+(median first) are written through :mod:`repro.obs.report` to
+``BENCH_PROP.json`` at the repo root (override with the
+``BENCH_PROP_PATH`` environment variable), seeding the perf trajectory
+each PR's CI run uploads as an artifact.
+"""
+
+import os
 
 import pytest
 
@@ -14,3 +24,21 @@ def fresh_context():
 @pytest.fixture
 def context():
     return default_context()
+
+
+def pytest_sessionfinish(session, exitstatus):
+    bench_session = getattr(session.config, "_benchmarksession", None)
+    benchmarks = getattr(bench_session, "benchmarks", None)
+    if not benchmarks:
+        return  # no benchmarks ran (collection error, -k filter, ...)
+    from repro.obs.report import write_bench_report
+
+    path = os.environ.get("BENCH_PROP_PATH") or os.path.join(
+        str(session.config.rootpath), "BENCH_PROP.json")
+    try:
+        written = write_bench_report(path, benchmarks)
+    except OSError as error:
+        print(f"\nBENCH_PROP report not written: {error}")
+        return
+    if written:
+        print(f"\nbenchmark medians written to {written}")

@@ -1,0 +1,67 @@
+"""Observability overhead on the Fig. 4.5 microbenchmark.
+
+Three variants of the same externally triggered round: no observer (the
+default everyone pays for — must stay within noise of PR 1's plain
+engine), a metrics-only observer (the cheap production configuration),
+and the full instrument set (metrics + spans + profiler, the debugging
+configuration).  Comparing the three medians in ``BENCH_PROP.json``
+quantifies the cost of each instrument layer.
+"""
+
+import itertools
+
+import pytest
+
+from repro.core import EqualityConstraint, UniMaximumConstraint, Variable
+from repro.obs import Observer
+
+
+def build_network():
+    v1 = Variable(7, name="V1")
+    v2 = Variable(7, name="V2")
+    v3 = Variable(5, name="V3")
+    v4 = Variable(7, name="V4")
+    EqualityConstraint(v1, v2)
+    UniMaximumConstraint(v4, [v2, v3])
+    return v1, v2, v3, v4
+
+
+def _bench_round(benchmark, v1):
+    values = itertools.cycle([9, 8])
+
+    def assign():
+        assert v1.set(next(values))
+
+    benchmark(assign)
+
+
+def test_bench_no_observer(benchmark):
+    v1, *_ = build_network()
+    _bench_round(benchmark, v1)
+
+
+def test_bench_metrics_only_observer(benchmark, context):
+    v1, *_ = build_network()
+    with Observer.metrics_only(context):
+        _bench_round(benchmark, v1)
+
+
+def test_bench_full_observer(benchmark, context):
+    v1, *_ = build_network()
+    with Observer.full(context):
+        _bench_round(benchmark, v1)
+
+
+def test_observer_counts_match_stats(context):
+    """Sanity: the registry mirrors the engine's own counters."""
+    v1, *_ = build_network()
+    context.stats.reset()
+    with Observer.metrics_only(context) as observer:
+        assert v1.set(9)
+        assert v1.set(8)
+    metrics = observer.metrics
+    assert metrics.counter("engine.activations.total").value \
+        == context.stats.constraint_activations
+    assert metrics.counter("engine.inference_runs").value \
+        == context.stats.inference_runs
+    assert metrics.counter("engine.rounds.assign").value == 2

@@ -25,6 +25,9 @@ Subpackages
     (chapter 7).
 ``repro.selection``
     Generic cells and module validation by generate-and-test (chapter 8).
+``repro.obs``
+    Observability: metrics registry, span timing with Chrome-trace
+    export, hot-constraint profiler, benchmark reporting.
 """
 
 import importlib
@@ -51,7 +54,7 @@ __version__ = "1.0.0"
 #: Subpackages exposed lazily — `import repro` stays light; `repro.stem`
 #: and friends materialize on first attribute access.
 _SUBPACKAGES = ("stem", "consistency", "spice", "checking", "selection",
-                "cli")
+                "cli", "obs")
 
 __all__ = [
     "APPLICATION", "USER", "Constraint", "ConstraintEditor",

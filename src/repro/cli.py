@@ -8,6 +8,9 @@ A thin utility layer a downstream user drives from the shell::
     python -m repro.cli netlist design.json --cell CHAIN
     python -m repro.cli delay design.json --cell ALU --source in1 --dest out1
     python -m repro.cli select design.json --cell DATAPATH --instance A1
+    python -m repro.cli stats design.json --json
+    python -m repro.cli metrics design.json
+    python -m repro.cli profile design.json --top 10 --trace round.trace.json
 
 Every command loads a library saved with
 :mod:`repro.stem.persistence`, performs one analysis, and prints a
@@ -30,10 +33,19 @@ from .stem.library import CellLibrary
 from .stem.persistence import load_library
 
 
-def _load(path: str) -> CellLibrary:
+def _load(path: str, context: Any = None) -> CellLibrary:
     with open(path) as handle:
         data = json.load(handle)
-    return load_library(data, context=reset_default_context())
+    if context is None:
+        context = reset_default_context()
+    return load_library(data, context=context)
+
+
+def _exercise(library: CellLibrary) -> None:
+    """Drive the library's constraint networks (delay network builds)."""
+    for cell in library:
+        if cell.delays and cell.subcells:
+            cell.build_delay_network()
 
 
 def _find_instance(cell: Any, name: str) -> Any:
@@ -161,13 +173,77 @@ def cmd_browse(args: argparse.Namespace, out) -> int:
 
 
 def cmd_stats(args: argparse.Namespace, out) -> int:
-    """Propagation statistics after exercising the design's networks."""
+    """Propagation statistics after exercising the design's networks.
+
+    The engine's :class:`PropagationStats` block, routed through the
+    metrics snapshot API so output is deterministic (sorted keys) and,
+    with ``--json``, machine-readable.
+    """
+    from .obs import MetricsRegistry
+
     library = _load(args.design)
-    context = library.context
-    for cell in library:
-        if cell.delays and cell.subcells:
-            cell.build_delay_network()
-    print(context.stats, file=out)
+    _exercise(library)
+    snapshot = MetricsRegistry.from_stats(library.context.stats).snapshot()
+    if args.json:
+        json.dump(snapshot, out, indent=2, sort_keys=True)
+        print(file=out)
+    else:
+        for name, value in snapshot.items():
+            print(f"{name}: {value}", file=out)
+    return 0
+
+
+def cmd_metrics(args: argparse.Namespace, out) -> int:
+    """Full metrics-registry snapshot of loading + exercising the design."""
+    from .obs import Observer
+
+    context = reset_default_context()
+    observer = Observer.metrics_only(context).install()
+    try:
+        library = _load(args.design, context=context)
+        _exercise(library)
+    finally:
+        observer.uninstall()
+    snapshot = observer.metrics.snapshot()
+    if args.json:
+        json.dump(snapshot, out, indent=2, sort_keys=True)
+        print(file=out)
+    else:
+        for name, value in snapshot.items():
+            print(f"{name}: {_render_metric(value)}", file=out)
+    return 0
+
+
+def _render_metric(value: Any) -> str:
+    if not isinstance(value, dict):
+        return str(value)
+    if "count" in value:  # histogram: summarize, buckets stay in --json
+        return (f"count={value['count']} sum={value['sum']:g} "
+                f"min={value['min']:g} max={value['max']:g}")
+    return (f"value={value['value']:g} min={value['min']:g} "
+            f"max={value['max']:g}")
+
+
+def cmd_profile(args: argparse.Namespace, out) -> int:
+    """Hot-constraint profile of loading + exercising the design."""
+    from .obs import Observer, write_chrome_trace
+
+    context = reset_default_context()
+    observer = Observer.full(context).install()
+    try:
+        library = _load(args.design, context=context)
+        _exercise(library)
+    finally:
+        observer.uninstall()
+    print(f"hottest constraints of {library.name!r} "
+          f"(top {args.top} by cumulative dispatch time):", file=out)
+    print(observer.profiler.render(args.top), file=out)
+    if args.trace:
+        write_chrome_trace(args.trace, observer.spans,
+                           metadata={"design": args.design})
+        print(f"chrome trace: {args.trace} "
+              f"({len(observer.spans.spans)} span(s)) — load in "
+              f"chrome://tracing or https://ui.perfetto.dev", file=out)
     return 0
 
 
@@ -224,7 +300,27 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_stats = sub.add_parser("stats", help="propagation statistics")
     p_stats.add_argument("design")
+    p_stats.add_argument("--json", action="store_true",
+                         help="machine-readable JSON snapshot")
     p_stats.set_defaults(fn=cmd_stats)
+
+    p_metrics = sub.add_parser("metrics", help="observability metrics "
+                                               "snapshot (counters, gauges, "
+                                               "histograms)")
+    p_metrics.add_argument("design")
+    p_metrics.add_argument("--json", action="store_true",
+                           help="machine-readable JSON snapshot")
+    p_metrics.set_defaults(fn=cmd_metrics)
+
+    p_profile = sub.add_parser("profile", help="hot-constraint profile "
+                                               "and optional Chrome trace")
+    p_profile.add_argument("design")
+    p_profile.add_argument("--top", type=int, default=10,
+                           help="number of constraints to report")
+    p_profile.add_argument("--trace", metavar="PATH",
+                           help="write a Chrome-trace JSON (chrome://tracing "
+                                "/ Perfetto) to PATH")
+    p_profile.set_defaults(fn=cmd_profile)
     return parser
 
 

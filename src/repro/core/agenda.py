@@ -86,6 +86,10 @@ class AgendaScheduler:
         self._agendas: "OrderedDict[str, Agenda]" = OrderedDict(
             (name, Agenda(name)) for name in priority_order
         )
+        #: Optional :class:`repro.obs.observer.Observer` fed with enqueue
+        #: and pop events (queue-depth histograms); installed alongside
+        #: ``context.observer``, one attribute check when absent.
+        self.observer = None
 
     @property
     def priority_order(self) -> List[str]:
@@ -102,13 +106,23 @@ class AgendaScheduler:
     def schedule(self, constraint: Any, variable: Any = None,
                  agenda: str = FUNCTIONAL) -> bool:
         """Schedule ``constraint`` (with optional triggering ``variable``)."""
-        return self.agenda_named(agenda).schedule(constraint, variable)
+        target = self.agenda_named(agenda)
+        added = target.schedule(constraint, variable)
+        if added:
+            observer = self.observer
+            if observer is not None:
+                observer.agenda_enqueued(target.name, len(target))
+        return added
 
     def remove_highest_priority_entry(self) -> Optional[ScheduledEntry]:
         """Pop the first entry of the highest-priority non-empty agenda."""
         for agenda in self._agendas.values():
             if agenda:
-                return agenda.pop()
+                entry = agenda.pop()
+                observer = self.observer
+                if observer is not None:
+                    observer.agenda_popped(agenda.name, len(agenda))
+                return entry
         return None
 
     def is_empty(self) -> bool:

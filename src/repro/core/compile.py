@@ -51,7 +51,22 @@ class CompiledNetwork:
         self.inputs: List[Variable] = list(inputs)
         self.constraints: List[FunctionalConstraint] = []
         self.derived: List[Variable] = []
-        self._collect_and_sort()
+        observer = self._observer()
+        if observer is None:
+            self._collect_and_sort()
+        else:
+            with observer.compile_span("compile", inputs=len(self.inputs)):
+                self._collect_and_sort()
+
+    @property
+    def context(self) -> Optional[Any]:
+        """The propagation context of the plan's input variables."""
+        return self.inputs[0].context if self.inputs else None
+
+    def _observer(self) -> Optional[Any]:
+        context = self.context
+        return getattr(context, "observer", None) if context is not None \
+            else None
 
     # -- construction -----------------------------------------------------------
 
@@ -119,6 +134,12 @@ class CompiledNetwork:
         ``input_values`` overrides current variable values; unspecified
         inputs (and external constants) read their stored values.  The
         network itself is not modified.
+
+        A :class:`~repro.core.control.PropagationControl` installed on
+        the inputs' context composes with the plan: constraints the
+        control disables are skipped — they stay inert through the
+        compiled path exactly as they do in the declarative engine, and
+        their downstream consumers read the variables' stored values.
         """
         values: Dict[int, Any] = {}
         if input_values:
@@ -130,8 +151,14 @@ class CompiledNetwork:
                 return values[id(variable)]
             return variable.value
 
+        context = self.context
+        control = getattr(context, "control", None) if context is not None \
+            else None
+
         results: Dict[Variable, Any] = {}
         for constraint in self.constraints:
+            if control is not None and not control.allows(constraint):
+                continue  # disabled: neither compute nor overwrite
             arguments = [value_of(v) for v in constraint.inputs]
             if any(a is None for a in arguments):
                 result = None
@@ -155,9 +182,17 @@ class CompiledNetwork:
         recorded in the round's visited set, so a later violation rolls
         them back with everything else.
         """
+        observer = self._observer()
+        if observer is None:
+            return self._write_back(input_values)
+        with observer.compile_span("write_back",
+                                   constraints=len(self.constraints)):
+            return self._write_back(input_values)
+
+    def _write_back(self, input_values: Optional[Dict[Variable, Any]]
+                    ) -> Dict[Variable, Any]:
         results = self.evaluate(input_values)
-        context = (self.inputs[0].context if self.inputs
-                   else None)
+        context = self.context
         if context is None:
             return results
 

@@ -33,8 +33,8 @@ first.  The result is exactly the depth-first activation order of the
 recursive engine — same visited order, same violation points, same
 counter values — but depth is limited by heap memory, not the C stack,
 the interpreter's recursion limit is never touched, and all stats
-counting and tracing for constraint activity happens at one dispatch
-site.
+counting, tracing and observability hooks (``context.observer``, see
+:mod:`repro.obs`) for constraint activity happen at one dispatch site.
 
 The Smalltalk implementation keeps its bookkeeping in globals
 (``VisitedConstraintsAndVariables``, the agenda scheduler, the ``CPSwitch``
@@ -64,6 +64,7 @@ from __future__ import annotations
 
 from collections import deque
 from contextlib import contextmanager
+from time import perf_counter
 from typing import Any, Deque, Dict, Iterator, List, Optional, Tuple
 
 from .agenda import AgendaScheduler, DEFAULT_PRIORITY_ORDER
@@ -228,6 +229,10 @@ class PropagationContext:
         self.control = None
         #: Optional :class:`repro.core.trace.PropagationTrace` recorder.
         self.tracer = None
+        #: Optional :class:`repro.obs.observer.Observer` hub feeding the
+        #: metrics registry, span recorder and hot-constraint profiler.
+        #: Costs one attribute check per dispatch while ``None``.
+        self.observer = None
         self._round: Optional[_Round] = None
 
     def _trace(self, kind, subject, detail: str = "") -> None:
@@ -294,25 +299,37 @@ class PropagationContext:
         self.stats.external_assignments += 1
         if self.tracer is not None:
             self._trace("round-start", variable, f"set to {value!r}")
-        with self._round_scope() as rnd:
-            rnd.record_visit(variable)
-            variable._store(value, justification)
-            rnd.note_change(variable)
-            queue = rnd.queue
-            queue.append((_DRAIN_AGENDAS,))
-            queue.append((_VARIABLE_CHANGED, variable, None))
-            try:
-                variable.on_stored_by_assignment()
-                self._drain(rnd)
-                self.check_visited_constraints()
-            except PropagationViolation as signal:
-                self._abort_round(rnd, signal)
-                return False
-            except BaseException:
-                # A defective constraint implementation must not leave
-                # the network half-updated: restore, then re-raise.
-                self._restore(rnd)
-                raise
+        observer = self.observer
+        if observer is not None:
+            observer.round_started("assign", variable)
+        outcome = "error"
+        try:
+            with self._round_scope() as rnd:
+                rnd.record_visit(variable)
+                variable._store(value, justification)
+                rnd.note_change(variable)
+                queue = rnd.queue
+                queue.append((_DRAIN_AGENDAS,))
+                queue.append((_VARIABLE_CHANGED, variable, None))
+                try:
+                    variable.on_stored_by_assignment()
+                    self._drain(rnd)
+                    self.check_visited_constraints()
+                except PropagationViolation as signal:
+                    self._abort_round(rnd, signal)
+                    outcome = "violation"
+                    return False
+                except BaseException:
+                    # A defective constraint implementation must not leave
+                    # the network half-updated: restore, then re-raise.
+                    self._restore(rnd)
+                    if observer is not None:
+                        observer.restored(len(rnd.visited), "error")
+                    raise
+            outcome = "ok"
+        finally:
+            if observer is not None:
+                observer.round_finished(outcome)
         self._trace("round-end", variable)
         return True
 
@@ -349,21 +366,32 @@ class PropagationContext:
             return True
         if self._round is not None:
             raise RuntimeError("cannot probe while propagation is running")
+        observer = self.observer
+        if observer is not None:
+            observer.round_started("probe", variable)
         ok = True
-        with self._round_scope(silent=True) as rnd:
-            rnd.record_visit(variable)
-            variable._store(value, justification)
-            rnd.note_change(variable)
-            queue = rnd.queue
-            queue.append((_DRAIN_AGENDAS,))
-            queue.append((_VARIABLE_CHANGED, variable, None))
-            try:
-                self._drain(rnd)
-                self.check_visited_constraints()
-            except PropagationViolation:
-                ok = False
-            finally:
-                self._restore(rnd)
+        outcome = "error"
+        try:
+            with self._round_scope(silent=True) as rnd:
+                rnd.record_visit(variable)
+                variable._store(value, justification)
+                rnd.note_change(variable)
+                queue = rnd.queue
+                queue.append((_DRAIN_AGENDAS,))
+                queue.append((_VARIABLE_CHANGED, variable, None))
+                try:
+                    self._drain(rnd)
+                    self.check_visited_constraints()
+                except PropagationViolation:
+                    ok = False
+                finally:
+                    self._restore(rnd)
+                    if observer is not None:
+                        observer.restored(len(rnd.visited), "probe")
+            outcome = "ok" if ok else "violation"
+        finally:
+            if observer is not None:
+                observer.round_finished(outcome)
         return ok
 
     def repropagate_constraint(self, constraint: Any) -> bool:
@@ -386,17 +414,29 @@ class PropagationContext:
             if not rnd.draining:
                 self._drain(rnd, watermark)
             return True
-        with self._round_scope() as rnd:
-            rnd.queue.append((_REPROPAGATE, constraint, None))
-            try:
-                self._drain(rnd)
-                self.check_visited_constraints()
-            except PropagationViolation as signal:
-                self._abort_round(rnd, signal)
-                return False
-            except BaseException:
-                self._restore(rnd)
-                raise
+        observer = self.observer
+        if observer is not None:
+            observer.round_started("repropagate", constraint)
+        outcome = "error"
+        try:
+            with self._round_scope() as rnd:
+                rnd.queue.append((_REPROPAGATE, constraint, None))
+                try:
+                    self._drain(rnd)
+                    self.check_visited_constraints()
+                except PropagationViolation as signal:
+                    self._abort_round(rnd, signal)
+                    outcome = "violation"
+                    return False
+                except BaseException:
+                    self._restore(rnd)
+                    if observer is not None:
+                        observer.restored(len(rnd.visited), "error")
+                    raise
+            outcome = "ok"
+        finally:
+            if observer is not None:
+                observer.round_finished(outcome)
         return True
 
     # -- the wavefront loop ------------------------------------------------
@@ -414,6 +454,7 @@ class PropagationContext:
         queue = rnd.queue
         stats = self.stats
         scheduler = self.scheduler
+        observer = self.observer
         previous_draining = rnd.draining
         previous_mark = rnd.dispatch_mark
         rnd.draining = True
@@ -426,7 +467,15 @@ class PropagationContext:
                     constraint, variable = event[1], event[2]
                     rnd.note_constraint(constraint)
                     stats.constraint_activations += 1
-                    constraint.propagate_variable(variable)
+                    if observer is None:
+                        constraint.propagate_variable(variable)
+                    else:
+                        t0 = perf_counter()
+                        try:
+                            constraint.propagate_variable(variable)
+                        finally:
+                            observer.activation(constraint, variable, t0,
+                                                perf_counter(), len(queue))
                 elif kind is _VARIABLE_CHANGED:
                     variable, exclude = event[1], event[2]
                     allows = self._allows
@@ -449,7 +498,15 @@ class PropagationContext:
                     rnd.note_constraint(constraint)
                     stats.inference_runs += 1
                     self._trace("infer", constraint)
-                    constraint.propagate_scheduled(variable)
+                    if observer is None:
+                        constraint.propagate_scheduled(variable)
+                    else:
+                        t0 = perf_counter()
+                        try:
+                            constraint.propagate_scheduled(variable)
+                        finally:
+                            observer.inference(constraint, variable, t0,
+                                               perf_counter())
                 else:  # _REPROPAGATE
                     self._dispatch_repropagate(rnd, event[1], event[2])
         finally:
@@ -511,6 +568,9 @@ class PropagationContext:
         """
         self.stats.scheduled_entries += 1
         self._trace("schedule", constraint)
+        observer = self.observer
+        if observer is not None:
+            observer.scheduled(constraint, agenda)
         self.scheduler.schedule(constraint, variable, agenda=agenda)
 
     def propagated_assignment(self, variable: Any, value: Any,
@@ -595,6 +655,9 @@ class PropagationContext:
         self.stats.violations += 1
         self._trace("violation", signal.constraint or signal.variable,
                     signal.reason)
+        observer = self.observer
+        if observer is not None:
+            observer.violation(signal)
         record = ViolationRecord.from_signal(signal)
         try:
             if not rnd.silent:
@@ -604,6 +667,8 @@ class PropagationContext:
                 handler.handle(record)
         finally:
             self._restore(rnd)
+            if observer is not None:
+                observer.restored(len(rnd.visited), "violation")
             self._trace("restore", None,
                         f"{len(rnd.visited)} variable(s) restored")
             rnd.queue.clear()

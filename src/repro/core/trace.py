@@ -38,18 +38,32 @@ class PropagationTrace:
         self.sink = sink
         self.events: List[TraceEvent] = []
         self._installed = False
+        self._previous: Optional["PropagationTrace"] = None
 
     # -- lifecycle ----------------------------------------------------------
 
     def install(self) -> "PropagationTrace":
-        self.context.tracer = self
-        self._installed = True
+        """Start recording; saves any previously installed tracer.
+
+        Install/uninstall must leave the context exactly as found even
+        when a propagation round raises inside a ``with`` body: the
+        previous tracer (usually ``None``) is restored on uninstall, so
+        nested traces compose and a failing round cannot leak a stale
+        recorder onto the context.
+        """
+        if not self._installed:
+            self._previous = getattr(self.context, "tracer", None)
+            self.context.tracer = self
+            self._installed = True
         return self
 
     def uninstall(self) -> None:
+        if not self._installed:
+            return
         if getattr(self.context, "tracer", None) is self:
-            self.context.tracer = None
+            self.context.tracer = self._previous
         self._installed = False
+        self._previous = None
 
     def __enter__(self) -> "PropagationTrace":
         return self.install()

@@ -1,0 +1,54 @@
+"""repro.obs — observability for the constraint propagation engine.
+
+The engine's built-in :class:`~repro.core.engine.PropagationStats` block
+reproduces the thesis's ad-hoc experiment counters; this package is the
+measurement layer a production engine needs on top (following Schulte &
+Stuckey's cost-measurement methodology for propagation engines):
+
+* :mod:`repro.obs.metrics` — counters, gauges, fixed-bucket histograms
+  in a :class:`MetricsRegistry` with snapshot/diff/merge;
+* :mod:`repro.obs.spans` — nestable span timing of rounds, inference
+  runs, compile passes and hierarchy crossings;
+* :mod:`repro.obs.export` — Chrome-trace JSON export of recorded spans
+  (loadable in ``chrome://tracing`` / Perfetto);
+* :mod:`repro.obs.profiler` — top-N hottest constraints by fire count
+  and cumulative time, with network/cell provenance;
+* :mod:`repro.obs.observer` — the :class:`Observer` hub the engine
+  talks to through one ``context.observer`` attribute check;
+* :mod:`repro.obs.report` — ``BENCH_PROP.json`` benchmark medians, the
+  repo's perf trajectory format.
+
+Quick start::
+
+    from repro.core import default_context
+    from repro.obs import observe
+
+    with observe(default_context(), spans=True, profiler=True) as obs:
+        exercise_the_network()
+    print(obs.profiler.render(10))
+    obs.spans.to_chrome_trace()          # -> dict for json.dump
+    snapshot = obs.metrics.snapshot()
+"""
+
+from .metrics import (
+    Counter,
+    DEPTH_BUCKETS,
+    Gauge,
+    Histogram,
+    LATENCY_BUCKETS_US,
+    MetricsRegistry,
+    QUEUE_BUCKETS,
+)
+from .spans import Instant, Span, SpanRecorder
+from .export import chrome_trace, write_chrome_trace
+from .profiler import HotConstraintProfiler, ProfileEntry
+from .observer import Observer, observe
+from .report import BenchReport, write_bench_report
+
+__all__ = [
+    "BenchReport", "Counter", "DEPTH_BUCKETS", "Gauge", "Histogram",
+    "HotConstraintProfiler", "Instant", "LATENCY_BUCKETS_US",
+    "MetricsRegistry", "Observer", "ProfileEntry", "QUEUE_BUCKETS",
+    "Span", "SpanRecorder", "chrome_trace", "observe",
+    "write_bench_report", "write_chrome_trace",
+]

@@ -1,0 +1,78 @@
+"""Chrome trace-event export for recorded spans.
+
+Produces the JSON object format of the Trace Event specification used by
+``chrome://tracing`` and Perfetto (https://ui.perfetto.dev): a
+``traceEvents`` list of complete (``"ph": "X"``) and instant
+(``"ph": "i"``) events with microsecond timestamps, plus process/thread
+metadata events so the timeline is labelled.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, Optional
+
+from .spans import SpanRecorder
+
+__all__ = ["chrome_trace", "write_chrome_trace"]
+
+
+def chrome_trace(recorder: SpanRecorder, *,
+                 process_name: str = "repro constraint engine",
+                 metadata: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    """Render a :class:`SpanRecorder` as a Chrome trace-event dict."""
+    pid = os.getpid()
+    events = [{
+        "ph": "M", "pid": pid, "tid": 0,
+        "name": "process_name", "args": {"name": process_name},
+    }]
+    tids = sorted({span.tid for span in recorder.spans}
+                  | {mark.tid for mark in recorder.instants})
+    for tid in tids:
+        events.append({
+            "ph": "M", "pid": pid, "tid": tid,
+            "name": "thread_name", "args": {"name": f"thread-{tid}"},
+        })
+    for span in recorder.spans:
+        events.append({
+            "ph": "X", "pid": pid, "tid": span.tid,
+            "name": span.name, "cat": span.category,
+            "ts": round(span.start_us, 3),
+            "dur": round(span.duration_us, 3),
+            "args": _plain(span.args),
+        })
+    for mark in recorder.instants:
+        events.append({
+            "ph": "i", "pid": pid, "tid": mark.tid, "s": "t",
+            "name": mark.name, "cat": mark.category,
+            "ts": round(mark.timestamp_us, 3),
+            "args": _plain(mark.args),
+        })
+    trace: Dict[str, Any] = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+    }
+    if metadata:
+        trace["otherData"] = _plain(metadata)
+    return trace
+
+
+def write_chrome_trace(path: str, recorder: SpanRecorder,
+                       **kwargs: Any) -> str:
+    """Serialize ``recorder`` to ``path`` as Perfetto-loadable JSON."""
+    trace = chrome_trace(recorder, **kwargs)
+    with open(path, "w") as handle:
+        json.dump(trace, handle, indent=1)
+    return path
+
+
+def _plain(args: Dict[str, Any]) -> Dict[str, Any]:
+    """JSON-safe view of span args: non-primitive values become strings."""
+    plain: Dict[str, Any] = {}
+    for key, value in args.items():
+        if isinstance(value, (str, int, float, bool)) or value is None:
+            plain[key] = value
+        else:
+            plain[key] = repr(value)
+    return plain

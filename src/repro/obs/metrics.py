@@ -1,0 +1,313 @@
+"""Metrics primitives and the metrics registry.
+
+The thesis measures its efficiency claims (agenda deferral E2,
+hierarchical sharing E6, linear complexity E16) through ad-hoc counters;
+:class:`~repro.core.engine.PropagationStats` mirrors that — nine integers
+and nothing else.  Engine-optimisation literature (Schulte & Stuckey,
+"Efficient Constraint Propagation Engines") argues that scheduling
+variants are only comparable under fine-grained cost measurement of
+propagator invocations and queue behaviour.  This module provides the
+vocabulary for that measurement:
+
+* :class:`Counter` — a monotone event count;
+* :class:`Gauge` — a last-value sample with observed min/max;
+* :class:`Histogram` — a fixed-bucket distribution (round latencies,
+  wavefront depths, agenda queue lengths) with count/sum/min/max;
+* :class:`MetricsRegistry` — a name-addressed collection of the above
+  with create-on-first-use accessors and ``snapshot``/``diff``/``merge``
+  APIs producing plain, deterministically ordered dictionaries.
+
+A registry does nothing by itself: it is fed by an
+:class:`~repro.obs.observer.Observer` installed on a propagation
+context.  With no observer installed the engine pays one attribute check
+per dispatch — the same discipline as the tracer.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Optional, Tuple
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "MetricsRegistry",
+    "LATENCY_BUCKETS_US", "DEPTH_BUCKETS", "QUEUE_BUCKETS",
+]
+
+#: Default bucket upper bounds (inclusive) for latency histograms, in
+#: microseconds; an implicit +inf bucket catches the tail.
+LATENCY_BUCKETS_US: Tuple[float, ...] = (
+    1, 2.5, 5, 10, 25, 50, 100, 250, 500,
+    1_000, 2_500, 5_000, 10_000, 25_000, 50_000,
+    100_000, 250_000, 1_000_000,
+)
+
+#: Default buckets for wavefront depth (max queue length in a round).
+DEPTH_BUCKETS: Tuple[float, ...] = (
+    1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1_024, 4_096, 16_384, 65_536,
+)
+
+#: Default buckets for agenda queue lengths observed at enqueue time.
+QUEUE_BUCKETS: Tuple[float, ...] = (0, 1, 2, 4, 8, 16, 32, 64, 128, 512)
+
+
+class Counter:
+    """A monotonically increasing event count."""
+
+    __slots__ = ("name", "value")
+    kind = "counter"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def snapshot(self) -> int:
+        return self.value
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, {self.value})"
+
+
+class Gauge:
+    """A last-value sample, remembering the observed extremes."""
+
+    __slots__ = ("name", "value", "min", "max")
+    kind = "gauge"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: Optional[float] = None
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def set(self, value: float) -> None:
+        self.value = value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"value": self.value, "min": self.min, "max": self.max}
+
+    def reset(self) -> None:
+        self.value = self.min = self.max = None
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name!r}, {self.value})"
+
+
+class Histogram:
+    """A fixed-bucket distribution.
+
+    ``buckets`` are inclusive upper bounds in ascending order; every
+    observation beyond the last bound lands in the implicit ``+inf``
+    bucket.  Bucket counts are cumulative-free (each observation lands in
+    exactly one bucket), which keeps ``diff`` and ``merge`` trivial.
+    """
+
+    __slots__ = ("name", "buckets", "counts", "count", "total",
+                 "min", "max")
+    kind = "histogram"
+
+    def __init__(self, name: str,
+                 buckets: Iterable[float] = LATENCY_BUCKETS_US) -> None:
+        self.name = name
+        self.buckets: Tuple[float, ...] = tuple(buckets)
+        if list(self.buckets) != sorted(self.buckets) or not self.buckets:
+            raise ValueError(f"histogram {name!r}: bucket bounds must be "
+                             f"non-empty and ascending")
+        self.counts = [0] * (len(self.buckets) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        index = _bucket_index(self.buckets, value)
+        self.counts[index] += 1
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    def bucket_labels(self) -> Tuple[str, ...]:
+        return tuple(f"<={_fmt(bound)}" for bound in self.buckets) + ("+inf",)
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Bucket-resolution estimate of the q-quantile (0 <= q <= 1)."""
+        if not self.count:
+            return None
+        rank = q * self.count
+        running = 0
+        for index, bucket_count in enumerate(self.counts):
+            running += bucket_count
+            if running >= rank and bucket_count:
+                if index < len(self.buckets):
+                    return self.buckets[index]
+                return self.max
+        return self.max
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "buckets": dict(zip(self.bucket_labels(), self.counts)),
+        }
+
+    def reset(self) -> None:
+        self.counts = [0] * (len(self.buckets) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = self.max = None
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name!r}, count={self.count})"
+
+
+def _bucket_index(buckets: Tuple[float, ...], value: float) -> int:
+    """Binary search for the first bound >= value (``+inf`` is last)."""
+    lo, hi = 0, len(buckets)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if value <= buckets[mid]:
+            hi = mid
+        else:
+            lo = mid + 1
+    return lo
+
+
+def _fmt(bound: float) -> str:
+    return f"{bound:g}"
+
+
+class MetricsRegistry:
+    """A name-addressed collection of counters, gauges and histograms.
+
+    Accessors create the metric on first use and return the existing
+    instance thereafter; asking for an existing name as a different
+    metric kind raises ``TypeError``.  ``snapshot`` returns plain data —
+    nested dicts and numbers, keys sorted — so snapshots serialize
+    deterministically and compare structurally.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Any] = {}
+
+    # -- accessors ---------------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter, lambda: Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge, lambda: Gauge(name))
+
+    def histogram(self, name: str,
+                  buckets: Iterable[float] = LATENCY_BUCKETS_US) -> Histogram:
+        return self._get(name, Histogram, lambda: Histogram(name, buckets))
+
+    def _get(self, name: str, kind: type, factory: Any) -> Any:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = factory()
+            self._metrics[name] = metric
+        elif type(metric) is not kind:
+            raise TypeError(f"metric {name!r} already registered as "
+                            f"{metric.kind}, not {kind.__name__.lower()}")
+        return metric
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._metrics))
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    # -- snapshot / diff / merge -------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Plain-data state of every metric, keys sorted."""
+        return {name: self._metrics[name].snapshot()
+                for name in sorted(self._metrics)}
+
+    @staticmethod
+    def diff(before: Dict[str, Any], after: Dict[str, Any]) -> Dict[str, Any]:
+        """Structural ``after - before`` of two snapshots.
+
+        Numbers subtract (missing keys count as zero); ``min``/``max``/
+        ``value`` entries — point samples, for which a difference is
+        meaningless — take the *after* side verbatim.
+        """
+        return _combine(before, after, _sub)
+
+    @staticmethod
+    def merge(left: Dict[str, Any], right: Dict[str, Any]) -> Dict[str, Any]:
+        """Structural union of two snapshots (e.g. from sharded runs).
+
+        Counts and sums add; ``min`` entries take the smaller, ``max``
+        the larger, ``value`` the right-hand (later) sample.
+        """
+        return _combine(left, right, _add)
+
+    def reset(self) -> None:
+        for metric in self._metrics.values():
+            metric.reset()
+
+    # -- interop with the engine's PropagationStats -------------------------
+
+    @classmethod
+    def from_stats(cls, stats: Any, prefix: str = "engine.stats."
+                   ) -> "MetricsRegistry":
+        """Import a :class:`PropagationStats` block as counters.
+
+        The bridge that lets ``PropagationStats`` consumers (the CLI's
+        ``stats`` command) reuse the registry's snapshot formatting.
+        """
+        registry = cls()
+        for name, value in stats.snapshot().items():
+            registry.counter(prefix + name).inc(value)
+        return registry
+
+    def __repr__(self) -> str:
+        return f"MetricsRegistry({len(self._metrics)} metric(s))"
+
+
+#: Keys whose values are point samples, not accumulations.
+_POINT_KEYS = frozenset({"min", "max", "value"})
+
+
+def _sub(key: str, left: Any, right: Any) -> Any:
+    if key in _POINT_KEYS:
+        return right
+    return (right or 0) - (left or 0)
+
+
+def _add(key: str, left: Any, right: Any) -> Any:
+    if key == "min":
+        candidates = [v for v in (left, right) if v is not None]
+        return min(candidates) if candidates else None
+    if key == "max":
+        candidates = [v for v in (left, right) if v is not None]
+        return max(candidates) if candidates else None
+    if key == "value":
+        return right if right is not None else left
+    return (left or 0) + (right or 0)
+
+
+def _combine(left: Any, right: Any, op: Any, key: str = "") -> Any:
+    if isinstance(left, dict) or isinstance(right, dict):
+        left = left if isinstance(left, dict) else {}
+        right = right if isinstance(right, dict) else {}
+        return {k: _combine(left.get(k), right.get(k), op, k)
+                for k in sorted(set(left) | set(right))}
+    return op(key, left, right)

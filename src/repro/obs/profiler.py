@@ -1,0 +1,177 @@
+"""Hot-constraint profiler — who burns the propagation budget?
+
+Aggregates, per constraint instance, how many times it fired (eager
+activations plus scheduled inference runs) and how much wall-clock time
+those firings cost, together with the constraint's *provenance*: the
+cells/objects that own its argument variables, so a hot constraint in a
+deep hierarchy is attributable to its network.  ``top(n)`` returns the
+heaviest constraints by cumulative time; :meth:`render` formats the
+classic profiler table.
+
+Fed by an :class:`~repro.obs.observer.Observer`; the engine's dispatch
+site times each ``propagate_variable``/``propagate_scheduled`` call with
+two ``perf_counter`` readings, so the profile reflects the inference
+bodies themselves (a callee's time is also inside its caller's round).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, NamedTuple, Optional
+
+__all__ = ["ProfileEntry", "HotConstraintProfiler"]
+
+
+class ProfileEntry(NamedTuple):
+    constraint: Any
+    type_name: str
+    description: str   # best-effort identification of the instance
+    provenance: str    # owning cells / parents of the argument variables
+    activations: int   # eager propagate_variable dispatches
+    inferences: int    # scheduled propagate_scheduled runs
+    total_us: float    # cumulative wall-clock across both
+    mean_us: float
+
+    @property
+    def fires(self) -> int:
+        return self.activations + self.inferences
+
+
+class _Record:
+    __slots__ = ("constraint", "activations", "inferences", "total")
+
+    def __init__(self, constraint: Any) -> None:
+        self.constraint = constraint
+        self.activations = 0
+        self.inferences = 0
+        self.total = 0.0
+
+
+class HotConstraintProfiler:
+    """Per-constraint fire counts and cumulative dispatch time."""
+
+    def __init__(self) -> None:
+        self._records: Dict[int, _Record] = {}
+
+    # -- feeding (called by the Observer) ----------------------------------
+
+    def record_activation(self, constraint: Any, duration_s: float) -> None:
+        record = self._record_for(constraint)
+        record.activations += 1
+        record.total += duration_s
+
+    def record_inference(self, constraint: Any, duration_s: float) -> None:
+        record = self._record_for(constraint)
+        record.inferences += 1
+        record.total += duration_s
+
+    def _record_for(self, constraint: Any) -> _Record:
+        record = self._records.get(id(constraint))
+        if record is None:
+            record = _Record(constraint)
+            self._records[id(constraint)] = record
+        return record
+
+    def clear(self) -> None:
+        self._records.clear()
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    # -- reporting ----------------------------------------------------------
+
+    def top(self, n: int = 10) -> List[ProfileEntry]:
+        """The ``n`` hottest constraints by cumulative time.
+
+        Ties break by fire count, then by description, so the ordering is
+        deterministic across runs of the same workload.
+        """
+        entries = [self._entry(record) for record in self._records.values()]
+        entries.sort(key=lambda e: (-e.total_us, -e.fires, e.description))
+        return entries[:n]
+
+    def _entry(self, record: _Record) -> ProfileEntry:
+        fires = record.activations + record.inferences
+        total_us = record.total * 1e6
+        return ProfileEntry(
+            constraint=record.constraint,
+            type_name=type(record.constraint).__name__,
+            description=describe(record.constraint),
+            provenance=provenance_of(record.constraint),
+            activations=record.activations,
+            inferences=record.inferences,
+            total_us=total_us,
+            mean_us=total_us / fires if fires else 0.0,
+        )
+
+    def render(self, n: int = 10) -> str:
+        """The profiler table, hottest first."""
+        entries = self.top(n)
+        if not entries:
+            return "no constraint activity recorded"
+        header = (f"{'cum µs':>10}  {'mean µs':>9}  {'fires':>6}  "
+                  f"{'infers':>6}  constraint")
+        lines = [header, "-" * len(header)]
+        for entry in entries:
+            label = entry.description
+            if not label.startswith(entry.type_name):
+                label = f"{entry.type_name} {label}"
+            lines.append(
+                f"{entry.total_us:>10.1f}  {entry.mean_us:>9.2f}  "
+                f"{entry.fires:>6}  {entry.inferences:>6}  {label}")
+            if entry.provenance:
+                lines.append(f"{'':>40}  in {entry.provenance}")
+        return "\n".join(lines)
+
+
+# -- provenance helpers -----------------------------------------------------
+
+def describe(obj: Any) -> str:
+    """Best-effort short identification of a variable or constraint."""
+    name = getattr(obj, "qualified_name", None)
+    if callable(name):
+        try:
+            return name()
+        except Exception:
+            pass
+    elif isinstance(name, str):
+        return name
+    name = getattr(obj, "name", None)
+    if isinstance(name, str):
+        return name
+    return f"<{type(obj).__name__}@{id(obj):#x}>"
+
+
+def provenance_of(constraint: Any, limit: int = 4) -> str:
+    """Owning cells/objects of the constraint's argument variables.
+
+    Walks each argument's ``parent`` chain to its root and names the
+    distinct owners (a cell, a compiler, ...), preserving first-seen
+    order — the constraint's network/cell context in one line.
+    """
+    owners: List[str] = []
+    seen: set = set()
+    for argument in getattr(constraint, "arguments", []) or []:
+        owner = _root_owner(argument)
+        if owner is None:
+            continue
+        label = describe(owner)
+        if label not in seen:
+            seen.add(label)
+            owners.append(label)
+    if not owners:
+        return ""
+    if len(owners) > limit:
+        owners = owners[:limit] + [f"+{len(owners) - limit} more"]
+    return ", ".join(owners)
+
+
+def _root_owner(variable: Any) -> Optional[Any]:
+    owner = getattr(variable, "parent", None)
+    hops = 0
+    while owner is not None and hops < 8:
+        above = getattr(owner, "parent", None)
+        if above is None:
+            return owner
+        owner = above
+        hops += 1
+    return owner

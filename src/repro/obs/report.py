@@ -1,0 +1,122 @@
+"""Benchmark reporting — the perf trajectory's file format.
+
+``BENCH_PROP.json`` records, per benchmark, the statistics that matter
+for regression tracking (median first — the robust central tendency
+pytest-benchmark recommends comparing), in a deterministic, diff-friendly
+layout.  The ``benchmarks/`` conftest emits it at session end; CI uploads
+it as an artifact so every PR leaves a comparable perf sample behind.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+from typing import Any, Dict, Iterable, Optional
+
+__all__ = ["BenchReport", "write_bench_report", "SCHEMA"]
+
+SCHEMA = "repro-bench/1"
+
+
+class BenchReport:
+    """An accumulating set of per-benchmark summary statistics."""
+
+    def __init__(self, *, source: str = "pytest-benchmark") -> None:
+        self.source = source
+        self._entries: Dict[str, Dict[str, Any]] = {}
+
+    def record(self, name: str, *, median_s: float,
+               mean_s: Optional[float] = None,
+               stddev_s: Optional[float] = None,
+               min_s: Optional[float] = None,
+               rounds: Optional[int] = None,
+               group: Optional[str] = None) -> None:
+        entry: Dict[str, Any] = {"median_us": _us(median_s)}
+        if mean_s is not None:
+            entry["mean_us"] = _us(mean_s)
+        if stddev_s is not None:
+            entry["stddev_us"] = _us(stddev_s)
+        if min_s is not None:
+            entry["min_us"] = _us(min_s)
+        if rounds is not None:
+            entry["rounds"] = rounds
+        if group is not None:
+            entry["group"] = group
+        self._entries[name] = entry
+
+    @classmethod
+    def from_pytest_benchmarks(cls, benchmarks: Iterable[Any]) -> "BenchReport":
+        """Build a report from a pytest-benchmark session's fixtures.
+
+        Tolerates the stats living either directly on the benchmark
+        object (``bench.stats.median``) or one level down
+        (``bench.stats.stats.median``), which differs across
+        pytest-benchmark versions and run modes.
+        """
+        report = cls()
+        for bench in benchmarks:
+            stats = _stats_of(bench)
+            if stats is None:
+                continue
+            median = getattr(stats, "median", None)
+            if median is None:
+                continue
+            report.record(
+                getattr(bench, "name", repr(bench)),
+                median_s=median,
+                mean_s=getattr(stats, "mean", None),
+                stddev_s=getattr(stats, "stddev", None),
+                min_s=getattr(stats, "min", None),
+                rounds=getattr(stats, "rounds", None),
+                group=getattr(bench, "group", None),
+            )
+        return report
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain data, keys sorted — deterministic for a given sample."""
+        return {
+            "schema": SCHEMA,
+            "source": self.source,
+            "python": sys.version.split()[0],
+            "platform": platform.platform(),
+            "benchmarks": {name: self._entries[name]
+                           for name in sorted(self._entries)},
+        }
+
+    def write(self, path: str) -> str:
+        with open(path, "w") as handle:
+            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        return path
+
+
+def write_bench_report(path: str, benchmarks: Iterable[Any]) -> Optional[str]:
+    """Write ``BENCH_PROP``-style JSON for a benchmark session.
+
+    Returns the path written, or ``None`` when no benchmark produced
+    usable statistics (e.g. a ``--benchmark-disable`` run).
+    """
+    report = BenchReport.from_pytest_benchmarks(benchmarks)
+    if not len(report):
+        return None
+    return report.write(path)
+
+
+def _stats_of(bench: Any) -> Optional[Any]:
+    stats = getattr(bench, "stats", None)
+    if stats is None:
+        return None
+    if getattr(stats, "median", None) is not None:
+        return stats
+    inner = getattr(stats, "stats", None)
+    if inner is not None and getattr(inner, "median", None) is not None:
+        return inner
+    return None
+
+
+def _us(seconds: float) -> float:
+    return round(seconds * 1e6, 3)

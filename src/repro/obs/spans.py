@@ -1,0 +1,126 @@
+"""Span timing — nested wall-clock intervals over propagation activity.
+
+Counters say *how often*; spans say *when and for how long*.  A
+:class:`SpanRecorder` collects nestable named intervals — propagation
+rounds, scheduled inference runs, compile passes, hierarchy crossings —
+plus zero-duration instant marks (violations, restores), all against one
+``perf_counter`` origin so they line up on a common timeline.
+
+Recorded spans export to the Chrome trace-event format via
+:mod:`repro.obs.export`; load the resulting JSON in ``chrome://tracing``
+or https://ui.perfetto.dev to see a round's wavefront as a flame chart.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from time import perf_counter
+from typing import Any, Dict, Iterator, List, NamedTuple, Optional
+
+__all__ = ["Span", "Instant", "SpanRecorder"]
+
+
+class Span(NamedTuple):
+    name: str          # e.g. "round:assign", "infer", "compile"
+    category: str      # "round", "inference", "compile", "hierarchy", ...
+    start_us: float    # microseconds since the recorder's origin
+    duration_us: float
+    tid: int           # OS thread id
+    depth: int         # nesting depth at begin time
+    args: Dict[str, Any]
+
+
+class Instant(NamedTuple):
+    name: str
+    category: str
+    timestamp_us: float
+    tid: int
+    args: Dict[str, Any]
+
+
+class SpanRecorder:
+    """An append-only log of completed spans and instant marks.
+
+    Spans nest: :meth:`begin`/:meth:`end` maintain a stack, and the
+    :meth:`span` context manager guarantees balance even when the body
+    raises (a violating round still closes its span).  For callers that
+    already hold start/stop readings — the engine times its dispatch with
+    two raw ``perf_counter`` calls — :meth:`add_complete` records the
+    interval without touching the stack.
+    """
+
+    def __init__(self) -> None:
+        self.origin = perf_counter()
+        self.spans: List[Span] = []
+        self.instants: List[Instant] = []
+        self._stack: List[Any] = []
+
+    # -- time ---------------------------------------------------------------
+
+    def _to_us(self, t: float) -> float:
+        return (t - self.origin) * 1e6
+
+    # -- recording ----------------------------------------------------------
+
+    def begin(self, name: str, category: str = "engine",
+              **args: Any) -> None:
+        self._stack.append((name, category, perf_counter(), args))
+
+    def end(self, **extra: Any) -> Optional[Span]:
+        if not self._stack:
+            return None  # unbalanced end: tolerate, never corrupt
+        name, category, start, args = self._stack.pop()
+        if extra:
+            args = {**args, **extra}
+        span = Span(name, category, self._to_us(start),
+                    (perf_counter() - start) * 1e6,
+                    threading.get_ident(), len(self._stack), args)
+        self.spans.append(span)
+        return span
+
+    @contextmanager
+    def span(self, name: str, category: str = "engine",
+             **args: Any) -> Iterator[None]:
+        self.begin(name, category, **args)
+        try:
+            yield
+        finally:
+            self.end()
+
+    def add_complete(self, name: str, category: str,
+                     start: float, stop: float, **args: Any) -> Span:
+        """Record an interval timed externally with ``perf_counter``."""
+        span = Span(name, category, self._to_us(start),
+                    (stop - start) * 1e6,
+                    threading.get_ident(), len(self._stack), args)
+        self.spans.append(span)
+        return span
+
+    def instant(self, name: str, category: str = "engine",
+                **args: Any) -> None:
+        self.instants.append(Instant(name, category,
+                                     self._to_us(perf_counter()),
+                                     threading.get_ident(), args))
+
+    def clear(self) -> None:
+        self.spans.clear()
+        self.instants.clear()
+        self._stack.clear()
+
+    # -- inspection ----------------------------------------------------------
+
+    def spans_of(self, category: str) -> List[Span]:
+        return [span for span in self.spans if span.category == category]
+
+    @property
+    def open_depth(self) -> int:
+        return len(self._stack)
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    def to_chrome_trace(self, **metadata: Any) -> Dict[str, Any]:
+        """The recorder as a Chrome trace-event dictionary."""
+        from .export import chrome_trace
+        return chrome_trace(self, metadata=metadata or None)

@@ -62,10 +62,21 @@ class ImplicitConstraintVariable(Variable):
     def propagate_variable(self, variable: Any) -> None:
         """React (as a constraint) to a change of a dual variable."""
         if self.permits_changes_by_implicit_propagation():
+            observer = self.context.observer
+            if observer is not None:
+                observer.cross_level("scheduled")
             self.context.schedule(self, variable, agenda=IMPLICIT)
 
     def propagate_scheduled(self, variable: Any) -> None:
-        self.immediate_inference_by_changing(variable)
+        observer = self.context.observer
+        if observer is None:
+            self.immediate_inference_by_changing(variable)
+        else:
+            # A hierarchy crossing: one level's settled value entering
+            # another level's network (section 5.1.2), spanned so the
+            # Chrome trace shows where rounds cross cell boundaries.
+            with observer.hierarchy_span(self, variable):
+                self.immediate_inference_by_changing(variable)
 
     def immediate_inference_by_changing(self, variable: Any) -> None:
         """Implicit inference; subclasses define direction-specific moves."""
@@ -162,6 +173,9 @@ class InstanceInstVar(ImplicitConstraintVariable):
         class_value = self._class_var.value
         if class_value is None:
             return
+        observer = self.context.observer
+        if observer is not None:
+            observer.cross_level("adopted")
         self.set_propagated(self.adjust_class_value(class_value),
                             constraint=self,
                             dependency_record=self._class_var)

@@ -1,0 +1,121 @@
+"""PropagationControl selectors composing with the compiled path.
+
+Section 9.3 suggestion 2 (fine-grained control) must hold through
+section 9.3 suggestion 3 (network compilation): a constraint disabled by
+any selector is *inert* — it neither computes nor overwrites its result —
+whether the network is evaluated declaratively or through a
+:class:`CompiledNetwork` plan, including ``write_back`` joining an
+active round.
+"""
+
+import pytest
+
+from repro.core import (
+    PropagationControl,
+    UniAdditionConstraint,
+    UniMaximumConstraint,
+    Variable,
+    compile_network,
+    control_for,
+)
+
+
+def chain(context=None):
+    """a, b -> total = a + b -> peak = max(total, cap)."""
+    a = Variable(2, name="a")
+    b = Variable(3, name="b")
+    total = Variable(name="total")
+    cap = Variable(1, name="cap")
+    peak = Variable(name="peak")
+    add = UniAdditionConstraint(total, [a, b])
+    mx = UniMaximumConstraint(peak, [total, cap])
+    return a, b, total, cap, peak, add, mx
+
+
+class TestEvaluateWithControl:
+    def test_disabled_constraint_not_computed(self, context):
+        a, b, total, cap, peak, add, mx = chain()
+        control_for(context).disable_constraint(add)
+        plan = compile_network([a, b])
+        results = plan.evaluate({a: 10})
+        assert total not in results  # inert: no computed result at all
+        # downstream consumers read total's stored value instead
+        assert results[peak] == max(total.value, cap.value)
+
+    def test_disable_type_selector(self, context):
+        a, b, total, cap, peak, add, mx = chain()
+        control_for(context).disable_type(UniMaximumConstraint)
+        plan = compile_network([a, b])
+        results = plan.evaluate({a: 10})
+        assert results[total] == 13
+        assert peak not in results
+
+    def test_disable_variable_selector(self, context):
+        a, b, total, cap, peak, add, mx = chain()
+        control_for(context).disable_variable(cap)
+        plan = compile_network([a, b])
+        results = plan.evaluate({a: 10})
+        assert results[total] == 13
+        assert peak not in results  # mx touches cap, so it is disabled
+
+    def test_filter_selector(self, context):
+        a, b, total, cap, peak, add, mx = chain()
+        control_for(context).add_filter(lambda c: c is add)
+        results = compile_network([a, b]).evaluate()
+        assert total not in results
+
+    def test_no_control_fast_path_unchanged(self, context):
+        a, b, total, cap, peak, add, mx = chain()
+        assert context.control is None
+        results = compile_network([a, b]).evaluate({a: 10})
+        assert results[total] == 13
+        assert results[peak] == 13
+
+
+class TestWriteBackWithControl:
+    def test_disabled_constraint_result_not_overwritten(self, context):
+        a, b, total, cap, peak, add, mx = chain()
+        stale = total.value
+        control_for(context).disable_constraint(add)
+        plan = compile_network([a, b])
+        plan.write_back({a: 10})
+        assert a.value == 10
+        assert total.value == stale  # inert through the compiled store
+        assert peak.value == max(stale, cap.value)
+
+    def test_reenabled_constraint_computes_again(self, context):
+        a, b, total, cap, peak, add, mx = chain()
+        control = control_for(context)
+        control.disable_constraint(add)
+        plan = compile_network([a, b])
+        plan.write_back({a: 10})
+        assert total.value == 5  # the declarative build's value, untouched
+        control.enable_constraint(add)
+        plan.write_back({a: 10})
+        assert total.value == 13
+
+    def test_write_back_in_active_round_keeps_disabled_inert(self, context):
+        """The in-round path stores via ``variable.set``; the engine's
+        wavefront must not re-activate a disabled constraint either."""
+        a, b, total, cap, peak, add, mx = chain()
+        control_for(context).disable_constraint(add)
+        plan = compile_network([a, b])
+        stale = total.value
+
+        class Hook(Variable):
+            def on_stored_by_assignment(self):
+                plan.write_back({a: 20})
+
+        hook = Hook(name="hook")
+        assert context.assign(hook, 1)
+        assert a.value == 20
+        assert total.value == stale  # skipped in-plan AND not re-activated
+
+    def test_control_clear_restores_full_plan(self, context):
+        a, b, total, cap, peak, add, mx = chain()
+        control = control_for(context)
+        control.disable_type(UniAdditionConstraint)
+        plan = compile_network([a, b])
+        assert total not in plan.evaluate()
+        control.clear()
+        assert plan.evaluate({a: 10})[total] == 13

@@ -97,3 +97,65 @@ class TestRecording:
         assert context.tracer is None
         assert a.set(5)
         assert total.value == 6
+
+
+class _DefectiveConstraint(UpperBoundConstraint):
+    """A constraint whose propagation body raises mid-round (once armed,
+    so that construction-time repropagation still succeeds)."""
+
+    armed = False
+
+    def propagate_variable(self, variable):
+        if self.armed:
+            raise RuntimeError("defective constraint implementation")
+        super().propagate_variable(variable)
+
+
+class TestLifecycleLeaks:
+    """Install/uninstall must leave the context exactly as found —
+    including when the traced round raises inside the ``with`` body."""
+
+    def test_uninstalls_when_round_raises(self, context):
+        a = Variable(name="a")
+        _DefectiveConstraint(a, bound=10).armed = True
+        with pytest.raises(RuntimeError, match="defective"):
+            with trace(context) as t:
+                a.set(5)
+        assert context.tracer is None
+        assert not t._installed
+
+    def test_uninstalls_when_violating_round_raises_through_handler(
+            self, context):
+        from repro.core import RaisingHandler
+        context.handler = RaisingHandler()
+        a, b, total = network()
+        UpperBoundConstraint(total, bound=3)
+        with pytest.raises(Exception):
+            with trace(context):
+                a.set(5)
+        assert context.tracer is None
+
+    def test_nested_tracers_restore_previous(self, context):
+        outer = PropagationTrace(context).install()
+        with trace(context) as inner:
+            assert context.tracer is inner
+        assert context.tracer is outer
+        outer.uninstall()
+        assert context.tracer is None
+
+    def test_nested_tracer_restores_previous_when_body_raises(self, context):
+        outer = PropagationTrace(context).install()
+        a = Variable(name="a")
+        _DefectiveConstraint(a, bound=10).armed = True
+        with pytest.raises(RuntimeError):
+            with trace(context):
+                a.set(5)
+        assert context.tracer is outer
+        outer.uninstall()
+
+    def test_double_install_is_idempotent(self, context):
+        t = PropagationTrace(context)
+        t.install()
+        t.install()
+        t.uninstall()
+        assert context.tracer is None

@@ -1,0 +1,1 @@
+"""Tests for the observability subsystem (repro.obs)."""

@@ -1,0 +1,139 @@
+"""Tests for the metrics primitives and registry."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    Counter,
+    Gauge,
+    Histogram,
+    LATENCY_BUCKETS_US,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        c = Counter("x")
+        assert c.snapshot() == 0
+        c.inc()
+        c.inc(4)
+        assert c.snapshot() == 5
+
+    def test_reset(self):
+        c = Counter("x")
+        c.inc(3)
+        c.reset()
+        assert c.value == 0
+
+
+class TestGauge:
+    def test_tracks_last_and_extremes(self):
+        g = Gauge("depth")
+        assert g.snapshot() == {"value": None, "min": None, "max": None}
+        for value in (5, 2, 9):
+            g.set(value)
+        assert g.snapshot() == {"value": 9, "min": 2, "max": 9}
+
+
+class TestHistogram:
+    def test_observations_land_in_single_buckets(self):
+        h = Histogram("lat", buckets=(10, 100, 1000))
+        for value in (5, 10, 11, 100, 5000):
+            h.observe(value)
+        snap = h.snapshot()
+        assert snap["count"] == 5
+        assert snap["sum"] == 5126
+        assert snap["min"] == 5 and snap["max"] == 5000
+        assert snap["buckets"] == {"<=10": 2, "<=100": 2, "<=1000": 0,
+                                   "+inf": 1}
+
+    def test_bounds_must_ascend(self):
+        with pytest.raises(ValueError):
+            Histogram("bad", buckets=(10, 5))
+        with pytest.raises(ValueError):
+            Histogram("empty", buckets=())
+
+    def test_quantile_estimate(self):
+        h = Histogram("lat", buckets=(10, 100, 1000))
+        for value in [1] * 90 + [500] * 10:
+            h.observe(value)
+        assert h.quantile(0.5) == 10
+        assert h.quantile(0.99) == 1000
+        assert Histogram("e", buckets=(1,)).quantile(0.5) is None
+
+
+class TestRegistry:
+    def test_create_on_first_use_returns_same_instance(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert len(registry) == 1
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("a")
+        with pytest.raises(TypeError, match="already registered"):
+            registry.gauge("a")
+
+    def test_snapshot_is_sorted_plain_json_data(self):
+        registry = MetricsRegistry()
+        registry.counter("z.count").inc(2)
+        registry.gauge("a.depth").set(3)
+        registry.histogram("m.lat", buckets=(1, 10)).observe(4)
+        snap = registry.snapshot()
+        assert list(snap) == sorted(snap)
+        json.dumps(snap)  # plain data: serializes without custom encoders
+        assert snap["z.count"] == 2
+
+    def test_diff_subtracts_counts_keeps_point_samples(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(2)
+        registry.histogram("h", buckets=(10,)).observe(5)
+        before = registry.snapshot()
+        registry.counter("c").inc(3)
+        registry.histogram("h", buckets=(10,)).observe(100)
+        after = registry.snapshot()
+        delta = MetricsRegistry.diff(before, after)
+        assert delta["c"] == 3
+        assert delta["h"]["count"] == 1
+        assert delta["h"]["buckets"]["+inf"] == 1
+        assert delta["h"]["max"] == 100  # point sample: after side
+
+    def test_diff_tolerates_missing_keys(self):
+        delta = MetricsRegistry.diff({}, {"c": 4})
+        assert delta["c"] == 4
+
+    def test_merge_adds_counts_and_combines_extremes(self):
+        left = MetricsRegistry()
+        right = MetricsRegistry()
+        left.counter("c").inc(1)
+        right.counter("c").inc(2)
+        left.histogram("h", buckets=(10,)).observe(3)
+        right.histogram("h", buckets=(10,)).observe(50)
+        merged = MetricsRegistry.merge(left.snapshot(), right.snapshot())
+        assert merged["c"] == 3
+        assert merged["h"]["count"] == 2
+        assert merged["h"]["min"] == 3
+        assert merged["h"]["max"] == 50
+
+    def test_reset_clears_every_metric(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(5)
+        registry.histogram("h", buckets=(1,)).observe(2)
+        registry.reset()
+        assert registry.counter("c").value == 0
+        assert registry.histogram("h", buckets=(1,)).count == 0
+
+    def test_from_stats_bridges_propagation_stats(self, context):
+        from repro.core import Variable
+        Variable(name="v").set(1)
+        registry = MetricsRegistry.from_stats(context.stats)
+        snap = registry.snapshot()
+        assert snap["engine.stats.rounds"] == context.stats.rounds
+        assert snap["engine.stats.external_assignments"] == 1
+        assert set(snap) == {f"engine.stats.{name}"
+                             for name in context.stats.snapshot()}
+
+    def test_default_latency_buckets_are_ascending(self):
+        assert list(LATENCY_BUCKETS_US) == sorted(LATENCY_BUCKETS_US)

@@ -1,0 +1,220 @@
+"""Tests for the Observer hub and its engine instrumentation hooks."""
+
+import pytest
+
+from repro.core import (
+    EqualityConstraint,
+    UniAdditionConstraint,
+    UniMaximumConstraint,
+    UpperBoundConstraint,
+    Variable,
+)
+from repro.obs import MetricsRegistry, Observer, SpanRecorder, observe
+
+
+def network():
+    v1 = Variable(7, name="V1")
+    v2 = Variable(7, name="V2")
+    v3 = Variable(5, name="V3")
+    v4 = Variable(7, name="V4")
+    EqualityConstraint(v1, v2)
+    UniMaximumConstraint(v4, [v2, v3])
+    return v1, v2, v3, v4
+
+
+class TestLifecycle:
+    def test_install_and_uninstall(self, context):
+        observer = Observer.metrics_only(context)
+        assert context.observer is None
+        observer.install()
+        assert context.observer is observer
+        assert context.scheduler.observer is observer
+        observer.uninstall()
+        assert context.observer is None
+        assert context.scheduler.observer is None
+
+    def test_uninstall_is_idempotent(self, context):
+        observer = Observer.metrics_only(context).install()
+        observer.uninstall()
+        observer.uninstall()
+        assert context.observer is None
+
+    def test_uninstalls_cleanly_when_round_raises(self, context):
+        """The registry must not leak onto the context when a round
+        raises inside the ``with`` body (same contract as the tracer)."""
+
+        class Defective(EqualityConstraint):
+            armed = False
+
+            def propagate_variable(self, variable):
+                if self.armed:
+                    raise RuntimeError("defective")
+                super().propagate_variable(variable)
+
+        a, b = Variable(name="a"), Variable(name="b")
+        Defective(a, b).armed = True
+        with pytest.raises(RuntimeError, match="defective"):
+            with observe(context):
+                a.set(5)
+        assert context.observer is None
+        assert context.scheduler.observer is None
+        assert a.value is None  # the round restored before re-raising
+
+    def test_nested_observers_restore_previous(self, context):
+        outer = Observer.metrics_only(context).install()
+        with Observer.full(context) as inner:
+            assert context.observer is inner
+        assert context.observer is outer
+        outer.uninstall()
+
+    def test_observe_helper_configures_instruments(self, context):
+        with observe(context, metrics=True, spans=True, profiler=True) as obs:
+            assert isinstance(obs.metrics, MetricsRegistry)
+            assert isinstance(obs.spans, SpanRecorder)
+        with observe(context) as obs:
+            assert obs.spans is None and obs.profiler is None
+
+
+class TestEngineCounters:
+    def test_counters_mirror_engine_stats(self, context):
+        v1, *_ = network()
+        context.stats.reset()
+        with observe(context) as obs:
+            assert v1.set(9)
+        metrics = obs.metrics
+        stats = context.stats
+        assert metrics.counter("engine.activations.total").value \
+            == stats.constraint_activations
+        assert metrics.counter("engine.inference_runs").value \
+            == stats.inference_runs
+        assert metrics.counter("engine.rounds.assign").value == 1
+        assert metrics.counter("engine.round_outcomes.ok").value == 1
+
+    def test_per_type_activation_counts(self, context):
+        v1, *_ = network()
+        with observe(context) as obs:
+            assert v1.set(9)
+        snap = obs.metrics.snapshot()
+        assert snap["engine.activations.by_type.EqualityConstraint"] == 1
+        assert "engine.activations.by_type.UniMaximumConstraint" in snap
+
+    def test_round_latency_and_wavefront_depth_histograms(self, context):
+        v1, *_ = network()
+        with observe(context) as obs:
+            assert v1.set(9)
+            assert v1.set(8)
+        snap = obs.metrics.snapshot()
+        assert snap["engine.round_latency_us"]["count"] == 2
+        assert snap["engine.round_latency_us"]["sum"] > 0
+        assert snap["engine.wavefront_depth"]["count"] == 2
+        assert snap["engine.wavefront_depth"]["max"] >= 1
+        assert snap["engine.last_round_latency_us"]["value"] > 0
+
+    def test_agenda_queue_metrics(self, context):
+        v1, *_ = network()
+        with observe(context) as obs:
+            assert v1.set(9)
+        snap = obs.metrics.snapshot()
+        enqueued = snap["agenda.enqueued.functional_constraints"]
+        assert enqueued >= 1
+        assert snap["agenda.popped.functional_constraints"] == enqueued
+        assert snap["agenda.queue_length.functional_constraints"]["count"] \
+            == enqueued
+        assert snap["engine.scheduled.functional_constraints"] >= enqueued
+
+    def test_violation_and_restore_counters(self, context):
+        a = Variable(name="a")
+        b = Variable(name="b")
+        EqualityConstraint(a, b)
+        UpperBoundConstraint(b, bound=3)
+        with observe(context) as obs:
+            assert not a.set(5)
+        snap = obs.metrics.snapshot()
+        assert snap["engine.violations"] == 1
+        assert snap["engine.round_outcomes.violation"] == 1
+        assert snap["engine.restores"] == 1
+        assert snap["engine.restored_variables"] >= 2
+
+    def test_probe_rounds_counted_and_restored(self, context):
+        v1, *_ = network()
+        with observe(context) as obs:
+            assert context.probe(v1, 11)
+        snap = obs.metrics.snapshot()
+        assert snap["engine.rounds.probe"] == 1
+        assert snap["engine.round_outcomes.ok"] == 1
+        assert snap["engine.restores"] == 1
+        assert v1.value == 7
+
+    def test_repropagate_rounds_counted(self, context):
+        a = Variable(3, name="a")
+        b = Variable(name="b")
+        with observe(context) as obs:
+            EqualityConstraint(a, b)
+        assert obs.metrics.counter("engine.rounds.repropagate").value == 1
+        assert b.value == 3
+
+    def test_no_observer_costs_nothing_functional(self, context):
+        """With no observer installed everything behaves identically."""
+        v1, v2, v3, v4 = network()
+        assert context.observer is None
+        assert v1.set(9)
+        assert v4.value == 9
+
+
+class TestSpansFromRounds:
+    def test_round_and_inference_spans(self, context):
+        v1, *_ = network()
+        with observe(context, spans=True) as obs:
+            assert v1.set(9)
+        rounds = obs.spans.spans_of("round")
+        assert [s.name for s in rounds] == ["round:assign"]
+        assert rounds[0].args["outcome"] == "ok"
+        assert rounds[0].args["subject"].startswith("V1")
+        infers = obs.spans.spans_of("inference")
+        assert infers and all(s.name == "infer" for s in infers)
+        # inference spans nest inside the round span on the timeline
+        assert all(rounds[0].start_us <= s.start_us for s in infers)
+
+    def test_violation_emits_instant_marks(self, context):
+        a = Variable(name="a")
+        UpperBoundConstraint(a, bound=3)
+        with observe(context, spans=True) as obs:
+            assert not a.set(5)
+        names = [mark.name for mark in obs.spans.instants]
+        assert "violation" in names
+        assert "restore" in names
+
+
+class TestCompileSpans:
+    def test_compile_and_write_back_counted_and_spanned(self, context):
+        from repro.core import compile_network
+        a = Variable(2, name="a")
+        b = Variable(3, name="b")
+        total = Variable(name="total")
+        UniAdditionConstraint(total, [a, b])
+        with observe(context, spans=True) as obs:
+            plan = compile_network([a, b])
+            plan.write_back({a: 10})
+        snap = obs.metrics.snapshot()
+        assert snap["compile.compile"] == 1
+        assert snap["compile.write_back"] == 1
+        names = [s.name for s in obs.spans.spans_of("compile")]
+        assert "compile" in names and "write_back" in names
+        assert total.value == 13
+
+
+class TestHierarchyCrossings:
+    def test_cross_level_counters_and_spans(self, context):
+        from repro.stem import CellClass, Rect
+        leaf = CellClass("LEAF")
+        top = CellClass("TOP")
+        instance = leaf.instantiate(top, "L1")
+        with observe(context, spans=True) as obs:
+            leaf.set_bounding_box(Rect.of_extent(10, 10))
+        assert instance.bounding_box_var.value is not None
+        snap = obs.metrics.snapshot()
+        assert snap["hierarchy.cross_level.scheduled"] >= 1
+        assert snap["hierarchy.cross_level.inferences"] >= 1
+        assert snap["hierarchy.cross_level.adopted"] >= 1
+        crossings = obs.spans.spans_of("hierarchy")
+        assert crossings and crossings[0].name == "cross-level"

@@ -1,0 +1,94 @@
+"""Tests for the hot-constraint profiler."""
+
+import pytest
+
+from repro.core import (
+    EqualityConstraint,
+    UniMaximumConstraint,
+    Variable,
+)
+from repro.obs import HotConstraintProfiler, Observer
+
+
+def network():
+    v1 = Variable(7, name="V1")
+    v2 = Variable(7, name="V2")
+    v3 = Variable(5, name="V3")
+    v4 = Variable(7, name="V4")
+    eq = EqualityConstraint(v1, v2)
+    mx = UniMaximumConstraint(v4, [v2, v3])
+    return v1, eq, mx
+
+
+class TestAggregation:
+    def test_records_fires_and_time(self):
+        profiler = HotConstraintProfiler()
+        constraint = object()
+        profiler.record_activation(constraint, 0.002)
+        profiler.record_activation(constraint, 0.001)
+        profiler.record_inference(constraint, 0.003)
+        (entry,) = profiler.top(5)
+        assert entry.activations == 2
+        assert entry.inferences == 1
+        assert entry.fires == 3
+        assert entry.total_us == pytest.approx(6000.0)
+        assert entry.mean_us == pytest.approx(2000.0)
+
+    def test_top_orders_by_cumulative_time(self):
+        profiler = HotConstraintProfiler()
+        cold, hot = object(), object()
+        profiler.record_activation(cold, 0.001)
+        profiler.record_activation(hot, 0.010)
+        entries = profiler.top(10)
+        assert entries[0].constraint is hot
+        assert profiler.top(1) == entries[:1]
+
+    def test_clear(self):
+        profiler = HotConstraintProfiler()
+        profiler.record_activation(object(), 0.001)
+        profiler.clear()
+        assert len(profiler) == 0
+        assert profiler.top(3) == []
+
+
+class TestAgainstRealRounds:
+    def test_profiles_real_propagation(self, context):
+        v1, eq, mx = network()
+        with Observer.full(context) as observer:
+            assert v1.set(9)
+        profiler = observer.profiler
+        by_type = {entry.type_name: entry for entry in profiler.top(10)}
+        assert by_type["EqualityConstraint"].constraint is eq
+        assert by_type["UniMaximumConstraint"].inferences >= 1
+        assert all(entry.total_us > 0 for entry in profiler.top(10))
+
+    def test_description_names_the_network(self, context):
+        v1, eq, mx = network()
+        with Observer.full(context) as observer:
+            assert v1.set(9)
+        (hottest, *_rest) = observer.profiler.top(1)
+        assert "V" in hottest.description  # argument variables visible
+
+    def test_render_table(self, context):
+        v1, eq, mx = network()
+        with Observer.full(context) as observer:
+            assert v1.set(9)
+        table = observer.profiler.render(2)
+        assert "cum µs" in table
+        assert "UniMaximumConstraint" in table
+        assert HotConstraintProfiler().render() \
+            == "no constraint activity recorded"
+
+
+class TestProvenance:
+    def test_provenance_walks_to_owning_cell(self, context):
+        from repro.stem import CellClass, Rect
+        leaf = CellClass("ALU")
+        top = CellClass("TOP")
+        leaf.instantiate(top, "A1")
+        with Observer.full(context) as observer:
+            leaf.set_bounding_box(Rect.of_extent(10, 10))
+        entries = observer.profiler.top(10)
+        assert entries, "expected implicit-constraint activity"
+        assert any("ALU" in entry.provenance for entry in entries)
+        assert any("A1" in entry.provenance for entry in entries)

@@ -1,0 +1,108 @@
+"""Tests for span recording and Chrome-trace export."""
+
+import json
+
+import pytest
+
+from repro.obs import SpanRecorder, chrome_trace, write_chrome_trace
+
+
+class TestSpanRecorder:
+    def test_nested_spans_record_depth(self):
+        recorder = SpanRecorder()
+        with recorder.span("outer", "round"):
+            with recorder.span("inner", "inference"):
+                pass
+        inner, outer = recorder.spans
+        assert inner.name == "inner" and inner.depth == 1
+        assert outer.name == "outer" and outer.depth == 0
+        assert outer.duration_us >= inner.duration_us
+
+    def test_span_closes_when_body_raises(self):
+        recorder = SpanRecorder()
+        with pytest.raises(ValueError):
+            with recorder.span("failing"):
+                raise ValueError("boom")
+        assert recorder.open_depth == 0
+        assert recorder.spans[0].name == "failing"
+
+    def test_unbalanced_end_is_tolerated(self):
+        recorder = SpanRecorder()
+        assert recorder.end() is None
+        assert not recorder.spans
+
+    def test_add_complete_uses_external_timings(self):
+        recorder = SpanRecorder()
+        start = recorder.origin + 1e-3
+        span = recorder.add_complete("ext", "inference", start, start + 5e-4,
+                                     constraint="eq")
+        assert span.start_us == pytest.approx(1000.0)
+        assert span.duration_us == pytest.approx(500.0)
+        assert span.args == {"constraint": "eq"}
+
+    def test_instants_and_clear(self):
+        recorder = SpanRecorder()
+        recorder.instant("violation", "round", reason="cycle")
+        assert recorder.instants[0].name == "violation"
+        recorder.clear()
+        assert not recorder.instants and not recorder.spans
+
+    def test_spans_of_filters_by_category(self):
+        recorder = SpanRecorder()
+        with recorder.span("a", "round"):
+            pass
+        with recorder.span("b", "compile"):
+            pass
+        assert [s.name for s in recorder.spans_of("compile")] == ["b"]
+
+
+class TestChromeTraceExport:
+    def _recorder(self):
+        recorder = SpanRecorder()
+        with recorder.span("round:assign", "round", subject="V1"):
+            with recorder.span("infer", "inference"):
+                pass
+        recorder.instant("restore", "round", variables=2)
+        return recorder
+
+    def test_trace_event_structure(self):
+        trace = chrome_trace(self._recorder())
+        events = trace["traceEvents"]
+        phases = {event["ph"] for event in events}
+        assert phases == {"M", "X", "i"}
+        complete = [e for e in events if e["ph"] == "X"]
+        assert len(complete) == 2
+        for event in complete:
+            assert {"name", "cat", "ts", "dur", "pid", "tid",
+                    "args"} <= set(event)
+            assert event["dur"] >= 0
+        instant = next(e for e in events if e["ph"] == "i")
+        assert instant["s"] == "t"
+        assert instant["args"] == {"variables": 2}
+
+    def test_process_metadata_present(self):
+        trace = chrome_trace(self._recorder(), process_name="engine-x")
+        meta = next(e for e in trace["traceEvents"]
+                    if e["name"] == "process_name")
+        assert meta["args"]["name"] == "engine-x"
+
+    def test_non_primitive_args_become_strings(self):
+        recorder = SpanRecorder()
+        with recorder.span("s", "round", subject=object()):
+            pass
+        trace = chrome_trace(recorder)
+        json.dumps(trace)  # must be serializable despite the object arg
+
+    def test_write_and_reload(self, tmp_path):
+        path = str(tmp_path / "round.trace.json")
+        written = write_chrome_trace(path, self._recorder(),
+                                     metadata={"design": "demo"})
+        assert written == path
+        with open(path) as handle:
+            loaded = json.load(handle)
+        assert loaded["otherData"] == {"design": "demo"}
+        assert any(e["ph"] == "X" for e in loaded["traceEvents"])
+
+    def test_recorder_to_chrome_trace_shortcut(self):
+        trace = self._recorder().to_chrome_trace(design="demo")
+        assert trace["otherData"] == {"design": "demo"}

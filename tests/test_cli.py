@@ -159,7 +159,53 @@ class TestBrowse:
 
 
 class TestStats:
-    def test_stats(self, design_path):
+    def test_stats_is_sorted_and_deterministic(self, design_path):
         code, text = run(["stats", design_path])
         assert code == 0
-        assert "PropagationStats" in text
+        lines = [line for line in text.splitlines() if line]
+        names = [line.split(":", 1)[0] for line in lines]
+        assert names == sorted(names)
+        assert any(name == "engine.stats.rounds" for name in names)
+        _, rerun = run(["stats", design_path])
+        assert rerun == text
+
+    def test_stats_json(self, design_path):
+        code, text = run(["stats", design_path, "--json"])
+        assert code == 0
+        snapshot = json.loads(text)
+        assert snapshot["engine.stats.rounds"] >= 1
+        assert all(name.startswith("engine.stats.") for name in snapshot)
+
+
+class TestMetrics:
+    def test_metrics_text_report(self, design_path):
+        code, text = run(["metrics", design_path])
+        assert code == 0
+        assert "engine.inference_runs:" in text
+        assert "engine.round_latency_us: count=" in text
+
+    def test_metrics_json_snapshot(self, design_path):
+        code, text = run(["metrics", design_path, "--json"])
+        assert code == 0
+        snapshot = json.loads(text)
+        assert snapshot["engine.inference_runs"] >= 1
+        assert snapshot["engine.round_latency_us"]["count"] >= 1
+        assert "buckets" in snapshot["engine.round_latency_us"]
+
+
+class TestProfile:
+    def test_profile_reports_hot_constraints(self, design_path):
+        code, text = run(["profile", design_path, "--top", "3"])
+        assert code == 0
+        assert "hottest constraints" in text
+        assert "cum µs" in text
+
+    def test_profile_writes_chrome_trace(self, design_path, tmp_path):
+        trace_path = str(tmp_path / "round.trace.json")
+        code, text = run(["profile", design_path, "--trace", trace_path])
+        assert code == 0
+        assert "chrome trace" in text
+        with open(trace_path) as handle:
+            trace = json.load(handle)
+        assert any(e["ph"] == "X" for e in trace["traceEvents"])
+        assert trace["otherData"]["design"] == design_path

@@ -30,7 +30,7 @@ class TestApiReference:
         text = (REPO / "docs" / "api.md").read_text()
         for package in ("repro.core", "repro.stem", "repro.spice",
                         "repro.checking", "repro.selection",
-                        "repro.consistency", "repro.cli"):
+                        "repro.consistency", "repro.obs", "repro.cli"):
             assert f"## `{package}`" in text
 
 
