@@ -1,0 +1,127 @@
+"""Session durability costs: journal append, checkpoint, replay.
+
+Three numbers bound what :mod:`repro.session` adds to the engine:
+
+* **append overhead** — an externally triggered Fig. 4.5 round through a
+  journaling session vs the same session without a journal.  The
+  write-ahead capture must stay a small tax on propagation (<15% at
+  ``fsync="never"``; durability policies above that trade speed for
+  crash guarantees deliberately).
+* **checkpoint latency** — snapshot + atomic write + journal prune.
+* **replay throughput** — entries/second through recovery, the constant
+  that sizes how much journal tail a restart can afford.
+
+All three land in ``BENCH_PROP.json`` for the perf trajectory.
+"""
+
+import gc
+import itertools
+import time
+
+import pytest
+
+from repro.session import Session
+
+
+def session_network(directory=None, fsync="never"):
+    """The Fig. 4.5 equality+maximum network, built through a session."""
+    session = Session("bench", directory=directory, fsync=fsync)
+    for name in ("v1", "v2", "v3", "v4"):
+        session.make_variable(name)
+    session.assign("v:v3", 5)
+    session.add_constraint("equality", ["v:v1", "v:v2"])
+    session.add_constraint("maximum", ["v:v4", "v:v2", "v:v3"])
+    return session
+
+
+def _assign_loop(session):
+    values = itertools.cycle([9, 8])
+
+    def assign():
+        session.assign("v:v1", next(values))
+
+    return assign
+
+
+def test_bench_session_assign_no_journal(benchmark):
+    with session_network() as session:
+        benchmark(_assign_loop(session))
+
+
+def test_bench_session_assign_journaled(benchmark, tmp_path):
+    with session_network(str(tmp_path), "never") as session:
+        benchmark(_assign_loop(session))
+
+
+def test_bench_session_checkpoint(benchmark, tmp_path):
+    with session_network(str(tmp_path), "never") as session:
+        for i in range(40):
+            session.assign("v:v1", i)
+        benchmark(session.checkpoint)
+
+
+def test_bench_session_replay(benchmark, tmp_path):
+    """Recovery replay of a 500-entry journal (throughput figure)."""
+    entries = 500
+    with session_network(str(tmp_path), "never") as session:
+        for i in range(entries // 2):
+            session.assign("v:v1", i)
+            session.assign("v:v3", i % 7)
+
+    def recover():
+        with Session("bench", directory=str(tmp_path),
+                     read_only=True) as replayed:
+            assert replayed.replayed_entries >= entries
+
+    benchmark(recover)
+
+
+class TestJournalOverheadBudget:
+    """The acceptance gate: journal-append tax under 15%.
+
+    Wall-clock comparisons on shared CI boxes are noisy, so the
+    measurement interleaves no-journal and journaled bursts and keeps
+    the *minimum* per variant (noise only ever inflates a burst), and
+    the whole comparison retries a few times — the claim "overhead is
+    below the budget" is established by the best attempt, exactly like
+    a min-of-N timing.
+    """
+
+    BURSTS = 10
+    BURST_OPS = 400
+    BUDGET = 1.15
+    ATTEMPTS = 4
+
+    @staticmethod
+    def _burst(session, ops):
+        values = itertools.cycle([9, 8])
+        start = time.perf_counter()
+        for _ in range(ops):
+            session.assign("v:v1", next(values))
+        return time.perf_counter() - start
+
+    def _measure_ratio(self, tmp_path, attempt):
+        with session_network() as plain, \
+                session_network(str(tmp_path / f"wal{attempt}"),
+                                "never") as journaled:
+            plain_times, journaled_times = [], []
+            gc.collect()
+            gc.disable()
+            try:
+                for _ in range(self.BURSTS):
+                    plain_times.append(self._burst(plain, self.BURST_OPS))
+                    journaled_times.append(
+                        self._burst(journaled, self.BURST_OPS))
+            finally:
+                gc.enable()
+            return min(journaled_times) / min(plain_times)
+
+    def test_journal_append_overhead_within_budget(self, tmp_path):
+        ratios = []
+        for attempt in range(self.ATTEMPTS):
+            ratio = self._measure_ratio(tmp_path, attempt)
+            ratios.append(round(ratio, 3))
+            if ratio < self.BUDGET:
+                return
+        pytest.fail(f"journal overhead above {self.BUDGET:.0%} budget in "
+                    f"all {self.ATTEMPTS} attempts: ratios={ratios}")

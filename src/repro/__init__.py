@@ -54,7 +54,7 @@ __version__ = "1.0.0"
 #: Subpackages exposed lazily — `import repro` stays light; `repro.stem`
 #: and friends materialize on first attribute access.
 _SUBPACKAGES = ("stem", "consistency", "spice", "checking", "selection",
-                "cli", "obs")
+                "cli", "obs", "session")
 
 __all__ = [
     "APPLICATION", "USER", "Constraint", "ConstraintEditor",

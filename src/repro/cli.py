@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import Any, List, Optional
 
@@ -247,6 +248,63 @@ def cmd_profile(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace, out) -> int:
+    """Serve durable design sessions over newline-delimited JSON.
+
+    Prints one ``listening on host:port`` line (the port is allocated by
+    the OS when ``--port 0``) and then blocks until a ``shutdown``
+    request or Ctrl-C.  Crash-safety comes from the sessions' own
+    write-ahead journals — ``kill -9`` loses no acknowledged mutation.
+    """
+    import asyncio
+
+    from .session.server import SessionServer
+
+    server = SessionServer(args.root, host=args.host, port=args.port,
+                           fsync=args.fsync,
+                           request_timeout=args.request_timeout)
+
+    async def run() -> None:
+        await server.start()
+        print(f"repro session server listening on "
+              f"{server.host}:{server.port} "
+              f"(root={args.root} fsync={args.fsync})", file=out)
+        out.flush()
+        await server.run()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def cmd_session_verify(args: argparse.Namespace, out) -> int:
+    """Recover a session read-only and report what the journal holds.
+
+    With ``--fingerprint`` the canonical state digest (values,
+    justifications, violations, stats) is printed as JSON — comparing
+    two of these is how the test suite asserts replay determinism.
+    """
+    from .session import Session
+
+    directory = os.path.join(args.root, args.name)
+    if not os.path.isdir(directory):
+        raise SystemExit(f"error: no session directory {directory!r}")
+    with Session(args.name, directory=directory,
+                 read_only=True) as session:
+        if args.fingerprint:
+            json.dump(session.fingerprint(), out, indent=2, sort_keys=True)
+            print(file=out)
+        else:
+            print(f"session {session.name!r}: position={session.position} "
+                  f"replayed={session.replayed_entries} "
+                  f"vars={len(session.vars)} "
+                  f"constraints={len(session.constraints)} "
+                  f"violations={len(session.violations)}", file=out)
+    return 0
+
+
 # -- entry point ----------------------------------------------------------------
 
 def build_parser() -> argparse.ArgumentParser:
@@ -321,6 +379,29 @@ def build_parser() -> argparse.ArgumentParser:
                            help="write a Chrome-trace JSON (chrome://tracing "
                                 "/ Perfetto) to PATH")
     p_profile.set_defaults(fn=cmd_profile)
+
+    p_serve = sub.add_parser("serve", help="serve durable design sessions "
+                             "over newline-delimited JSON")
+    p_serve.add_argument("--root", required=True,
+                         help="directory holding one subdirectory per "
+                         "session (journal + checkpoints)")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=0,
+                         help="TCP port (0 lets the OS choose; the chosen "
+                         "port is printed on startup)")
+    p_serve.add_argument("--fsync", default="always",
+                         choices=["always", "rotate", "never"],
+                         help="journal durability policy")
+    p_serve.add_argument("--request-timeout", type=float, default=30.0)
+    p_serve.set_defaults(fn=cmd_serve)
+
+    p_sverify = sub.add_parser("session-verify", help="recover a session "
+                               "read-only and report its state")
+    p_sverify.add_argument("--root", required=True)
+    p_sverify.add_argument("--name", required=True)
+    p_sverify.add_argument("--fingerprint", action="store_true",
+                           help="print the canonical state digest as JSON")
+    p_sverify.set_defaults(fn=cmd_session_verify)
     return parser
 
 

@@ -233,6 +233,12 @@ class PropagationContext:
         #: metrics registry, span recorder and hot-constraint profiler.
         #: Costs one attribute check per dispatch while ``None``.
         self.observer = None
+        #: Optional mutation recorder (``repro.session``): an object with a
+        #: ``record_assign(variable, value, justification)`` method called
+        #: *before* an external assignment mutates the network — the
+        #: write-ahead capture point for durable sessions.  Costs one
+        #: attribute check per external assignment while ``None``.
+        self.recorder = None
         self._round: Optional[_Round] = None
 
     def _trace(self, kind, subject, detail: str = "") -> None:
@@ -288,14 +294,24 @@ class PropagationContext:
         completed without violation; False when a violation occurred (the
         network is then restored to its prior state).
         """
+        recorder = self.recorder
         if not self.enabled:
+            if recorder is not None:
+                recorder.record_assign(variable, value, justification)
             variable._store(value, justification)
             return True
         if self._round is not None:
             # A tool assigning a value while propagation is running (e.g.
             # a recalculation triggered mid-round) joins the active round.
+            # Not recorded: the round itself was opened by a recorded
+            # mutation, so replaying that mutation regenerates this one.
             self._in_round_external_assignment(variable, value, justification)
             return True
+        if recorder is not None:
+            # Write-ahead capture: the intent is journaled before any state
+            # changes, so a crash between journaling and mutation replays
+            # the assignment rather than losing it.
+            recorder.record_assign(variable, value, justification)
         self.stats.external_assignments += 1
         if self.tracer is not None:
             self._trace("round-start", variable, f"set to {value!r}")

@@ -245,6 +245,46 @@ class Observer:
             return nullcontext()
         return spans.span(kind, "compile", **args)
 
+    # -- durable sessions (repro/session) --------------------------------------
+
+    def journal_appended(self, nbytes: int) -> None:
+        """One write-ahead journal entry reached the journal."""
+        metrics = self.metrics
+        if metrics is not None:
+            metrics.counter("session.journal.appends").inc()
+            metrics.counter("session.journal.bytes").inc(nbytes)
+
+    def journal_rotated(self, segment: str) -> None:
+        metrics = self.metrics
+        if metrics is not None:
+            metrics.counter("session.journal.rotations").inc()
+        if self.spans is not None:
+            self.spans.instant("journal-rotate", "session", segment=segment)
+
+    def session_op(self, kind: str) -> None:
+        """One session operation was journaled (or counted, for
+        ``unjournaled-assign``/``violation``/``rebuild`` events)."""
+        metrics = self.metrics
+        if metrics is not None:
+            metrics.counter(f"session.ops.{kind}").inc()
+
+    def session_checkpoint(self, seconds: float) -> None:
+        metrics = self.metrics
+        if metrics is not None:
+            metrics.counter("session.checkpoints").inc()
+            metrics.histogram("session.checkpoint_ms").observe(
+                seconds * 1000.0)
+        if self.spans is not None:
+            self.spans.instant("checkpoint", "session",
+                               ms=round(seconds * 1000.0, 3))
+
+    def session_replayed(self, entries: int, seconds: float) -> None:
+        """Recovery replayed ``entries`` journal entries."""
+        metrics = self.metrics
+        if metrics is not None:
+            metrics.counter("session.replayed_entries").inc(entries)
+            metrics.histogram("session.replay_ms").observe(seconds * 1000.0)
+
     def __repr__(self) -> str:
         parts = [name for name, inst in (("metrics", self.metrics),
                                          ("spans", self.spans),

@@ -10,6 +10,7 @@ it as an artifact so every PR leaves a comparable perf sample behind.
 from __future__ import annotations
 
 import json
+import os
 import platform
 import sys
 from typing import Any, Dict, Iterable, Optional
@@ -88,9 +89,20 @@ class BenchReport:
         }
 
     def write(self, path: str) -> str:
-        with open(path, "w") as handle:
-            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
-            handle.write("\n")
+        """Write atomically (temp file + ``os.replace``) so an
+        interrupted run can never leave a truncated report for the CI
+        compare step to choke on."""
+        temp = f"{path}.tmp.{os.getpid()}"
+        try:
+            with open(temp, "w") as handle:
+                json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
+                handle.write("\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(temp, path)
+        finally:
+            if os.path.exists(temp):
+                os.remove(temp)
         return path
 
 

@@ -1,0 +1,203 @@
+"""Blocking JSON-line client for the session server.
+
+Small by design — tests, the CI smoke script and interactive use need a
+dependable synchronous client, not an async framework:
+
+.. code-block:: python
+
+    with SessionClient("127.0.0.1", 7700) as client:
+        alice = client.session("alice")
+        alice.make_var("x", 1)
+        alice.assign("v:x", 5)
+        alice.undo()
+        alice.checkpoint()
+
+Every call sends one request frame and blocks for its response frame;
+an ``ok: false`` response raises :class:`ServerError` carrying the
+server's error type (``violation``, ``busy``, ``timeout``, ...).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any, Dict, List, Optional
+
+__all__ = ["ServerError", "SessionClient", "SessionHandle"]
+
+
+class ServerError(RuntimeError):
+    """An error frame from the server."""
+
+    def __init__(self, error: Dict[str, Any]) -> None:
+        super().__init__(f"{error.get('type', 'error')}: "
+                         f"{error.get('message', '')}")
+        self.kind = error.get("type", "error")
+        self.detail = error.get("detail")
+
+
+class SessionClient:
+    """One TCP connection speaking the JSON-line protocol."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0, *,
+                 timeout: float = 30.0) -> None:
+        self.host = host
+        self.port = port
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+        self._next_id = 1
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "SessionClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # -- protocol -----------------------------------------------------------
+
+    def call(self, cmd: str, **fields: Any) -> Any:
+        """Send one request; return its ``result`` or raise ServerError."""
+        request_id = self._next_id
+        self._next_id += 1
+        frame = {"id": request_id, "cmd": cmd}
+        frame.update(fields)
+        self._file.write(json.dumps(frame, separators=(",", ":")).encode()
+                         + b"\n")
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        response = json.loads(line)
+        if response.get("id") != request_id:
+            raise ConnectionError(
+                f"response id {response.get('id')!r} does not match "
+                f"request id {request_id}")
+        if not response.get("ok"):
+            raise ServerError(response.get("error", {}))
+        return response.get("result")
+
+    # -- conveniences -------------------------------------------------------
+
+    def ping(self) -> bool:
+        return bool(self.call("ping").get("pong"))
+
+    def sessions(self) -> List[str]:
+        return self.call("sessions")["sessions"]
+
+    def shutdown(self) -> None:
+        self.call("shutdown")
+
+    def session(self, name: str) -> "SessionHandle":
+        """Bind a session name; opens (or recovers) it on the server."""
+        handle = SessionHandle(self, name)
+        handle.open()
+        return handle
+
+
+class SessionHandle:
+    """All session commands pre-bound to one session name."""
+
+    def __init__(self, client: SessionClient, name: str) -> None:
+        self.client = client
+        self.name = name
+
+    def _call(self, cmd: str, **fields: Any) -> Any:
+        return self.client.call(cmd, session=self.name, **fields)
+
+    def open(self) -> Dict[str, Any]:
+        return self._call("open")
+
+    def close(self) -> bool:
+        return bool(self._call("close").get("closed"))
+
+    def make_var(self, name: str, value: Any = None,
+                 just: Optional[str] = None) -> str:
+        fields: Dict[str, Any] = {"name": name, "value": value}
+        if just is not None:
+            fields["just"] = just
+        return self._call("make-var", **fields)["var"]
+
+    def assign(self, var: str, value: Any, just: str = "USER") -> Any:
+        return self._call("assign", var=var, value=value, just=just)
+
+    def get(self, var: str) -> Dict[str, Any]:
+        return self._call("get", var=var)
+
+    def value(self, var: str) -> Any:
+        return self.get(var)["value"]
+
+    def retract(self, var: str) -> None:
+        self._call("retract", var=var)
+
+    def add_constraint(self, type_name: str, args: List[str],
+                       params: Optional[Dict[str, Any]] = None,
+                       cid: Optional[str] = None) -> str:
+        fields: Dict[str, Any] = {"type": type_name, "args": args}
+        if params:
+            fields["params"] = params
+        if cid is not None:
+            fields["cid"] = cid
+        return self._call("add-constraint", **fields)["cid"]
+
+    def remove_constraint(self, cid: str) -> None:
+        self._call("remove-constraint", cid=cid)
+
+    def undo(self) -> bool:
+        return bool(self._call("undo")["undone"])
+
+    def redo(self) -> bool:
+        return bool(self._call("redo")["redone"])
+
+    def checkpoint(self) -> Dict[str, Any]:
+        return self._call("checkpoint")
+
+    def fingerprint(self, stats: bool = True) -> Dict[str, Any]:
+        return self._call("fingerprint", stats=stats)
+
+    def stats(self) -> Dict[str, Any]:
+        return self._call("stats")
+
+    def violations(self) -> List[Dict[str, Any]]:
+        return self._call("violations")["violations"]
+
+    def define_cell(self, name: str, superclass: Optional[str] = None,
+                    generic: bool = False) -> None:
+        fields: Dict[str, Any] = {"name": name, "generic": generic}
+        if superclass is not None:
+            fields["super"] = superclass
+        self._call("define-cell", **fields)
+
+    def define_signal(self, cell: str, name: str,
+                      direction: str = "in") -> None:
+        self._call("define-signal", cell=cell, name=name,
+                   direction=direction)
+
+    def declare_delay(self, cell: str, source: str, dest: str,
+                      estimate: Optional[float] = None) -> None:
+        self._call("declare-delay", cell=cell, source=source, dest=dest,
+                   estimate=estimate)
+
+    def add_parameter(self, cell: str, name: str, **fields: Any) -> None:
+        self._call("add-parameter", cell=cell, name=name, **fields)
+
+    def instantiate(self, parent: str, child: str, name: str,
+                    orientation: str = "R0",
+                    offset: Any = (0, 0)) -> None:
+        self._call("instantiate", parent=parent, child=child, name=name,
+                   orientation=orientation, offset=list(offset))
+
+    def add_net(self, cell: str, name: str) -> None:
+        self._call("add-net", cell=cell, name=name)
+
+    def connect(self, cell: str, net: str, signal: str,
+                instance: Optional[str] = None) -> None:
+        self._call("connect", cell=cell, net=net, signal=signal,
+                   instance=instance)

@@ -1,0 +1,191 @@
+"""Journal codec — addresses, values and justifications as plain JSON.
+
+A journal entry must survive a process restart, so it cannot hold object
+references.  This module defines the stable textual forms:
+
+**Addresses** identify variables across restarts:
+
+* ``v:<name>`` — a session-registered free variable,
+* ``c:<cell>:<varname>`` — a cell-class variable (``boundingBox``,
+  ``a.dataType``, ``delay(a->b)``, parameter names, ...),
+* ``i:<cell>:<instance>:<varname>`` — an instance variable of a subcell
+  of ``<cell>``.
+
+Cell, instance and session-variable names may not contain ``:`` (the
+address separator); :func:`check_name` enforces this at definition time,
+before anything reaches the journal.
+
+**Values** are encoded structurally: JSON scalars pass through; tuples,
+:class:`~repro.stem.geometry.Point`/:class:`~repro.stem.geometry.Rect`
+and interned signal types get tagged wrappers so decoding restores the
+exact Python shape (a tuple must not come back as a list — value
+equality is the propagation termination criterion).
+
+**Justifications**: external justifications encode as their symbol name;
+propagated justifications never appear in journal entries (external
+entry points only carry external symbols) but do appear in checkpoint
+snapshots as ``{"p": <cid>, "dep": <addr|None>}``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+from ..core.justification import ExternalJustification
+
+__all__ = [
+    "EncodingError",
+    "UnknownAddress",
+    "check_name",
+    "decode_justification_name",
+    "decode_value",
+    "encode_justification_name",
+    "encode_value",
+]
+
+
+class EncodingError(ValueError):
+    """A value or name that cannot be journaled."""
+
+
+class UnknownAddress(KeyError):
+    """An address that does not resolve in the session's design state."""
+
+    def __str__(self) -> str:  # KeyError quotes its repr; keep it readable
+        return self.args[0] if self.args else "unknown address"
+
+
+def check_name(name: str, what: str = "name") -> str:
+    """Reject names the address grammar cannot carry."""
+    if not isinstance(name, str) or not name:
+        raise EncodingError(f"{what} must be a non-empty string, "
+                            f"not {name!r}")
+    if ":" in name or "\n" in name:
+        raise EncodingError(f"{what} {name!r} may not contain ':' or "
+                            f"newlines (journal address separator)")
+    return name
+
+
+# ---------------------------------------------------------------------------
+# Values
+# ---------------------------------------------------------------------------
+
+def encode_value(value: Any) -> Any:
+    """JSON-able form of a design value; raises :class:`EncodingError`."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, tuple):
+        return {"__tuple__": [encode_value(item) for item in value]}
+    if isinstance(value, list):
+        return {"__list__": [encode_value(item) for item in value]}
+    kind = type(value).__name__
+    if kind == "Point" and hasattr(value, "x") and hasattr(value, "y"):
+        return {"__point__": [value.x, value.y]}
+    if kind == "Rect" and hasattr(value, "origin"):
+        return {"__rect__": [value.origin.x, value.origin.y,
+                             value.corner.x, value.corner.y]}
+    name = getattr(value, "name", None)
+    if name is not None and _lookup_signal_type(name) is value:
+        return {"__sigtype__": name}
+    raise EncodingError(f"value {value!r} of type {type(value).__name__} "
+                        f"is not journalable")
+
+
+def decode_value(data: Any) -> Any:
+    if not isinstance(data, dict):
+        return data
+    if "__tuple__" in data:
+        return tuple(decode_value(item) for item in data["__tuple__"])
+    if "__list__" in data:
+        return [decode_value(item) for item in data["__list__"]]
+    if "__point__" in data:
+        from ..stem.geometry import Point
+        return Point(*data["__point__"])
+    if "__rect__" in data:
+        from ..stem.geometry import Point, Rect
+        x0, y0, x1, y1 = data["__rect__"]
+        return Rect(Point(x0, y0), Point(x1, y1))
+    if "__sigtype__" in data:
+        found = _lookup_signal_type(data["__sigtype__"])
+        if found is None:
+            raise EncodingError(
+                f"unknown signal type {data['__sigtype__']!r}")
+        return found
+    raise EncodingError(f"unknown value encoding {data!r}")
+
+
+def _lookup_signal_type(name: str) -> Optional[Any]:
+    from ..stem.types import S_MODULE_SIGNAL_TYPE
+    try:
+        return S_MODULE_SIGNAL_TYPE.lookup(name)
+    except (KeyError, ValueError):
+        return None
+
+
+# ---------------------------------------------------------------------------
+# Justifications
+# ---------------------------------------------------------------------------
+
+def encode_justification_name(justification: Any) -> str:
+    """Symbol name of an external justification (``USER`` → ``"USER"``)."""
+    if isinstance(justification, ExternalJustification):
+        return justification.name
+    raise EncodingError(f"only external justifications are journalable, "
+                        f"not {justification!r}")
+
+
+def decode_justification_name(name: str) -> ExternalJustification:
+    return ExternalJustification(name)
+
+
+# ---------------------------------------------------------------------------
+# Addresses
+# ---------------------------------------------------------------------------
+
+def build_address_index(library: Any,
+                        session_vars: Dict[str, Any]) -> Dict[int, str]:
+    """``id(variable) -> address`` over a library plus the session vars."""
+    index: Dict[int, str] = {}
+    for cell in library:
+        for var_name, variable in cell.variables.items():
+            index[id(variable)] = f"c:{cell.name}:{var_name}"
+        for instance in cell.subcells:
+            for var_name, variable in instance.variables.items():
+                index[id(variable)] = f"i:{cell.name}:{instance.name}:{var_name}"
+    for var_name, variable in session_vars.items():
+        index[id(variable)] = f"v:{var_name}"
+    return index
+
+
+def resolve_address(address: str, library: Any,
+                    session_vars: Dict[str, Any],
+                    factory: Optional[Callable[[str], Any]] = None) -> Any:
+    """The live variable an address names; raises :class:`UnknownAddress`.
+
+    ``factory`` (used during replay of hook-captured assignments to
+    not-yet-registered free variables) may create a missing ``v:`` var.
+    """
+    kind, _, rest = address.partition(":")
+    try:
+        if kind == "v":
+            variable = session_vars.get(rest)
+            if variable is None and factory is not None:
+                variable = factory(rest)
+            if variable is None:
+                raise KeyError(rest)
+            return variable
+        if kind == "c":
+            cell_name, _, var_name = rest.partition(":")
+            return library.cell(cell_name).var(var_name)
+        if kind == "i":
+            cell_name, _, tail = rest.partition(":")
+            instance_name, _, var_name = tail.partition(":")
+            cell = library.cell(cell_name)
+            for instance in cell.subcells:
+                if instance.name == instance_name:
+                    return instance.var(var_name)
+            raise KeyError(instance_name)
+    except KeyError as error:
+        raise UnknownAddress(
+            f"address {address!r} does not resolve: {error}") from None
+    raise UnknownAddress(f"malformed address {address!r}")

@@ -1,0 +1,427 @@
+"""The write-ahead journal — ordered, CRC-checked JSON-line segments.
+
+Durability spine of :mod:`repro.session`: every externally-justified
+mutation of a design session is appended here *before* it is applied to
+the constraint network (write-ahead logging).  Recovery composes the
+latest checkpoint snapshot with a replay of the journal tail, so no
+acknowledged mutation is lost even across ``kill -9``.
+
+Format
+------
+A journal is a directory of segment files named ``wal-<firstseq>.jsonl``.
+Each line holds one entry::
+
+    <crc32-hex8> <compact-json>\n
+
+where the checksum covers the JSON body's UTF-8 bytes.  Entries carry a
+monotonically increasing ``seq`` number; the body is otherwise an opaque
+operation dictionary owned by :class:`repro.session.session.Session`.
+
+A torn tail — a partial line, a line whose checksum mismatches, or a
+line that is not valid JSON — in the **last** segment is the signature
+of a crash mid-append: it is truncated on open, not raised.  The same
+damage in an earlier segment means bit-rot or external tampering and
+raises :class:`JournalCorrupt` (replaying past a hole would silently
+diverge).
+
+Durability policy (``fsync``):
+
+``"always"``
+    ``os.fsync`` after every append — an acknowledged append survives
+    power loss.  The default, and what the crash-recovery guarantees
+    assume.
+``"rotate"``
+    fsync only on segment rotation and :meth:`JournalWriter.sync`; a
+    crash may lose the OS-buffered tail of the current segment (but
+    never tear an earlier one).
+``"never"``
+    buffer appends in the process; they reach the OS only on rotation,
+    :meth:`JournalWriter.sync` or close (benchmarks, throwaway
+    sessions — a crash loses the buffered tail of the current segment).
+
+Segment rotation is atomic with respect to recovery: the new segment
+file is created, fsynced, and its directory entry fsynced *before* the
+writer switches to it, so a crash at any point leaves either the old
+segment as the tail or a valid (possibly empty) new one.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import zlib
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+try:  # optional accelerator — the stdlib path below is always correct
+    import orjson as _orjson
+except ImportError:  # pragma: no cover - depends on the environment
+    _orjson = None
+
+__all__ = [
+    "JournalCorrupt",
+    "JournalWriter",
+    "read_entries",
+    "scan_segments",
+    "SEGMENT_PREFIX",
+    "SEGMENT_SUFFIX",
+]
+
+SEGMENT_PREFIX = "wal-"
+SEGMENT_SUFFIX = ".jsonl"
+
+#: Default segment rotation threshold (bytes).
+DEFAULT_SEGMENT_BYTES = 1 << 20
+
+_FSYNC_POLICIES = ("always", "rotate", "never")
+
+
+class JournalCorrupt(ValueError):
+    """Unrecoverable journal damage (a hole before the tail)."""
+
+
+def _segment_name(first_seq: int) -> str:
+    return f"{SEGMENT_PREFIX}{first_seq:010d}{SEGMENT_SUFFIX}"
+
+
+def _segment_first_seq(name: str) -> Optional[int]:
+    if not (name.startswith(SEGMENT_PREFIX) and name.endswith(SEGMENT_SUFFIX)):
+        return None
+    digits = name[len(SEGMENT_PREFIX):-len(SEGMENT_SUFFIX)]
+    return int(digits) if digits.isdigit() else None
+
+
+def scan_segments(directory: str) -> List[Tuple[int, str]]:
+    """``(first_seq, path)`` of every segment, ordered by first sequence."""
+    found: List[Tuple[int, str]] = []
+    try:
+        names = os.listdir(directory)
+    except FileNotFoundError:
+        return found
+    for name in names:
+        first = _segment_first_seq(name)
+        if first is not None:
+            found.append((first, os.path.join(directory, name)))
+    found.sort()
+    return found
+
+
+def _fsync_directory(directory: str) -> None:
+    """Persist directory entries (new/renamed files) where supported."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return  # e.g. Windows: directories are not fsync-able
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+# A single reusable encoder: ``json.dumps`` with non-default options
+# builds a fresh ``JSONEncoder`` per call, which dominates the append
+# path's CPU cost on small entries.
+_ENCODER = json.JSONEncoder(separators=(",", ":"), sort_keys=True)
+_ORJSON_OPTIONS = _orjson.OPT_SORT_KEYS if _orjson is not None else 0
+
+
+def _safe_str(text: str) -> bool:
+    # No escaping needed → formats as '"' + text + '"' exactly like the
+    # JSON encoder (which escapes non-ASCII, quotes, backslashes and
+    # control characters).
+    return (text.isascii() and text.isprintable()
+            and '"' not in text and "\\" not in text)
+
+
+def _format_flat(entry: Dict[str, Any]) -> Optional[str]:
+    """Byte-identical fast path of ``_ENCODER.encode`` for flat entries.
+
+    The dominant journal traffic is small dicts of plain scalars
+    (assign/retract ops); formatting those by hand roughly halves append
+    CPU.  Anything needing escaping, float special cases, or nesting
+    returns ``None`` and takes the real encoder.
+    """
+    parts = []
+    for key in sorted(entry):
+        value = entry[key]
+        kind = type(value)
+        if kind is str:
+            if not _safe_str(value):
+                return None
+            text = '"' + value + '"'
+        elif kind is int:
+            text = repr(value)
+        elif kind is bool:
+            text = "true" if value else "false"
+        elif value is None:
+            text = "null"
+        elif kind is float:
+            if value != value or value in (float("inf"), float("-inf")):
+                return None
+            text = repr(value)
+        else:
+            return None
+        parts.append('"' + key + '":' + text)
+    return "{" + ",".join(parts) + "}"
+
+
+def encode_entry(entry: Dict[str, Any]) -> bytes:
+    """One journal line: checksum, space, compact JSON, newline.
+
+    Every encoder used here emits compact, key-sorted JSON that
+    ``json.loads`` reads back; the checksum always covers exactly the
+    bytes written, so mixed-encoder journals are fine.
+    """
+    if _orjson is not None:
+        try:
+            data = _orjson.dumps(entry, option=_ORJSON_OPTIONS)
+        except (TypeError, ValueError):  # e.g. an int beyond 64 bits
+            data = _ENCODER.encode(entry).encode("utf-8")
+    else:
+        body = _format_flat(entry)
+        if body is None:
+            body = _ENCODER.encode(entry)
+        data = body.encode("utf-8")
+    return b"%08x " % (zlib.crc32(data) & 0xFFFFFFFF,) + data + b"\n"
+
+
+def _decode_line(line: bytes) -> Optional[Dict[str, Any]]:
+    """Entry dict, or ``None`` for a torn/corrupt line."""
+    if not line.endswith(b"\n") or len(line) < 11 or line[8:9] != b" ":
+        return None
+    try:
+        crc = int(line[:8], 16)
+    except ValueError:
+        return None
+    body = line[9:-1]
+    if zlib.crc32(body) & 0xFFFFFFFF != crc:
+        return None
+    try:
+        entry = json.loads(body)
+    except ValueError:
+        return None
+    return entry if isinstance(entry, dict) else None
+
+
+class JournalWriter:
+    """Append-only writer over a journal directory.
+
+    Parameters
+    ----------
+    directory:
+        Journal directory (created if missing).
+    next_seq:
+        Sequence number the next append will carry; recovery passes the
+        value it reached while replaying.
+    fsync:
+        Durability policy — ``"always"`` (default), ``"rotate"`` or
+        ``"never"``; see the module docstring.
+    segment_max_bytes:
+        Rotation threshold; a segment is closed once it grows past this.
+    observer:
+        Optional :class:`repro.obs.observer.Observer` fed per-append
+        byte counts and latencies.
+    """
+
+    def __init__(self, directory: str, *, next_seq: int = 1,
+                 fsync: str = "always",
+                 segment_max_bytes: int = DEFAULT_SEGMENT_BYTES,
+                 observer: Any = None) -> None:
+        if fsync not in _FSYNC_POLICIES:
+            raise ValueError(f"fsync policy must be one of {_FSYNC_POLICIES}, "
+                             f"not {fsync!r}")
+        self.directory = directory
+        self.fsync = fsync
+        self.segment_max_bytes = segment_max_bytes
+        self.observer = observer
+        self._append_hook = getattr(observer, "journal_appended", None)
+        # Per-append policy, resolved once (string compares are visible
+        # on the hot path).
+        self._fsync_each = fsync == "always"
+        self._flush_each = fsync != "never"
+        self._next_seq = next_seq
+        self._handle: Optional[io.BufferedWriter] = None
+        self._segment_path: Optional[str] = None
+        self._segment_size = 0
+        os.makedirs(directory, exist_ok=True)
+        segments = scan_segments(directory)
+        if segments and segments[-1][0] <= next_seq:
+            # Keep appending to the existing tail segment (recovery has
+            # already truncated any torn line off its end).
+            self._segment_path = segments[-1][1]
+            self._segment_size = os.path.getsize(self._segment_path)
+            self._handle = open(self._segment_path, "ab")
+
+    # -- lifecycle ----------------------------------------------------------
+
+    @property
+    def position(self) -> int:
+        """Sequence number the next append will carry."""
+        return self._next_seq
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.flush()
+            if self.fsync != "never":
+                os.fsync(self._handle.fileno())
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "JournalWriter":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # -- appending ----------------------------------------------------------
+
+    def append(self, op: Dict[str, Any]) -> int:
+        """Write one operation durably; returns its sequence number.
+
+        The entry is on disk (to the configured durability level) when
+        this returns — callers apply the mutation only afterwards.  The
+        writer takes ownership of ``op`` and stamps its ``seq`` into it.
+        """
+        seq = self._next_seq
+        op["seq"] = seq
+        line = encode_entry(op)
+        handle = self._handle
+        if handle is None or self._segment_size >= self.segment_max_bytes:
+            handle = self._rotate(seq)
+        handle.write(line)
+        self._segment_size += len(line)
+        # "never" keeps entries in the process buffer (durable only at
+        # rotate/close/sync); the other policies hand each entry to the
+        # OS, "always" additionally forcing it to stable storage.
+        if self._flush_each:
+            handle.flush()
+            if self._fsync_each:
+                os.fsync(handle.fileno())
+        self._next_seq = seq + 1
+        hook = self._append_hook
+        if hook is not None:
+            hook(len(line))
+        return seq
+
+    def append_assign(self, var: str, value_json: str, just: str) -> int:
+        """Hot-path append of one assign entry, bypassing dict encoding.
+
+        ``var`` and ``just`` must be escape-free strings and
+        ``value_json`` already-valid JSON text; callers check with
+        :func:`_safe_str` and fall back to :meth:`append`.  Produces the
+        same bytes ``append({"op": "assign", ...})`` would.
+        """
+        seq = self._next_seq
+        data = ('{"just":"%s","op":"assign","seq":%d,"value":%s,"var":"%s"}'
+                % (just, seq, value_json, var)).encode("utf-8")
+        line = b"%08x " % (zlib.crc32(data) & 0xFFFFFFFF,) + data + b"\n"
+        handle = self._handle
+        if handle is None or self._segment_size >= self.segment_max_bytes:
+            handle = self._rotate(seq)
+        handle.write(line)
+        self._segment_size += len(line)
+        if self._flush_each:
+            handle.flush()
+            if self._fsync_each:
+                os.fsync(handle.fileno())
+        self._next_seq = seq + 1
+        hook = self._append_hook
+        if hook is not None:
+            hook(len(line))
+        return seq
+
+    def sync(self) -> None:
+        """Force the current segment to stable storage."""
+        if self._handle is not None:
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+
+    def _rotate(self, first_seq: int) -> io.BufferedWriter:
+        """Close the current segment and start ``wal-<first_seq>``.
+
+        The new segment is durable (file + directory entry fsynced)
+        before any entry lands in it, so recovery always sees either the
+        old tail or a valid new segment.
+        """
+        if self._handle is not None:
+            self._handle.flush()
+            if self.fsync != "never":
+                os.fsync(self._handle.fileno())
+            self._handle.close()
+        self._segment_path = os.path.join(self.directory,
+                                          _segment_name(first_seq))
+        self._segment_size = 0
+        handle = open(self._segment_path, "ab")
+        if self.fsync != "never":
+            os.fsync(handle.fileno())
+            _fsync_directory(self.directory)
+        self._handle = handle
+        observer = self.observer
+        if observer is not None:
+            hook = getattr(observer, "journal_rotated", None)
+            if hook is not None:
+                hook(os.path.basename(self._segment_path))
+        return handle
+
+    # -- maintenance --------------------------------------------------------
+
+    def prune(self, up_to_seq: int) -> List[str]:
+        """Delete whole segments whose every entry has ``seq <= up_to_seq``.
+
+        Called after a checkpoint: segments fully covered by the snapshot
+        are dead weight.  The segment containing ``up_to_seq + 1`` (and
+        anything later) is kept.  Returns the deleted paths.
+        """
+        segments = scan_segments(self.directory)
+        deleted: List[str] = []
+        for index, (first, path) in enumerate(segments):
+            next_first = (segments[index + 1][0]
+                          if index + 1 < len(segments) else self._next_seq)
+            if next_first <= up_to_seq + 1 and path != self._segment_path:
+                os.remove(path)
+                deleted.append(path)
+        if deleted:
+            _fsync_directory(self.directory)
+        return deleted
+
+
+def read_entries(directory: str, *, after_seq: int = 0,
+                 repair: bool = True) -> Iterator[Dict[str, Any]]:
+    """Yield journal entries with ``seq > after_seq`` in order.
+
+    With ``repair`` (the default), a torn tail in the last segment is
+    truncated from the file so subsequent appends extend a clean journal.
+    Damage anywhere else raises :class:`JournalCorrupt`.
+    """
+    segments = scan_segments(directory)
+    expected: Optional[int] = None
+    for index, (first, path) in enumerate(segments):
+        is_last = index == len(segments) - 1
+        offset = 0
+        with open(path, "rb") as handle:
+            for line in handle:
+                entry = _decode_line(line)
+                if entry is None or not isinstance(entry.get("seq"), int):
+                    if not is_last:
+                        raise JournalCorrupt(
+                            f"corrupt entry at byte {offset} of non-tail "
+                            f"segment {path}")
+                    if repair:
+                        _truncate(path, offset)
+                    return
+                seq = entry["seq"]
+                if expected is not None and seq != expected:
+                    raise JournalCorrupt(
+                        f"sequence gap in {path}: expected seq {expected}, "
+                        f"found {seq}")
+                expected = seq + 1
+                offset += len(line)
+                if seq > after_seq:
+                    yield entry
+
+
+def _truncate(path: str, offset: int) -> None:
+    with open(path, "r+b") as handle:
+        handle.truncate(offset)
+        handle.flush()
+        os.fsync(handle.fileno())

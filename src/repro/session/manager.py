@@ -1,0 +1,89 @@
+"""Session registry — named durable sessions under one root directory.
+
+A :class:`SessionManager` owns ``<root>/<name>/`` per session and hands
+out live :class:`~repro.session.session.Session` objects, recovering
+them from disk on first access.  It performs no locking of its own
+beyond registry consistency — callers (the server) serialize operations
+*within* a session; operations on different sessions are independent by
+construction (each has its own context, library and journal).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Dict, List, Optional
+
+from .codec import check_name
+from .session import Session, SessionError
+
+__all__ = ["SessionManager"]
+
+
+class SessionManager:
+    """Open, recover, enumerate and close sessions under ``root``."""
+
+    def __init__(self, root: str, *, fsync: str = "always",
+                 max_sessions: int = 64) -> None:
+        self.root = root
+        self.fsync = fsync
+        self.max_sessions = max_sessions
+        self.sessions: Dict[str, Session] = {}
+        self._lock = threading.Lock()
+        os.makedirs(root, exist_ok=True)
+
+    def path_of(self, name: str) -> str:
+        check_name(name, "session name")
+        return os.path.join(self.root, name)
+
+    def get(self, name: str, *, create: bool = True) -> Session:
+        """The live session ``name``, recovering or creating it."""
+        with self._lock:
+            session = self.sessions.get(name)
+            if session is not None:
+                return session
+            path = self.path_of(name)
+            if not create and not os.path.isdir(path):
+                raise SessionError(f"no session {name!r} under {self.root}")
+            if len(self.sessions) >= self.max_sessions:
+                raise SessionError(
+                    f"session limit reached ({self.max_sessions})")
+            session = Session(name, directory=path, fsync=self.fsync)
+            self.sessions[name] = session
+            return session
+
+    def close(self, name: str) -> bool:
+        """Close (journal-sync and detach) one session if open."""
+        with self._lock:
+            session = self.sessions.pop(name, None)
+        if session is None:
+            return False
+        session.close()
+        return True
+
+    def close_all(self) -> None:
+        with self._lock:
+            sessions = list(self.sessions.values())
+            self.sessions.clear()
+        for session in sessions:
+            session.close()
+
+    def names(self) -> List[str]:
+        """Names of every open or on-disk session, sorted."""
+        found = set(self.sessions)
+        try:
+            for name in os.listdir(self.root):
+                if os.path.isdir(os.path.join(self.root, name)):
+                    found.add(name)
+        except FileNotFoundError:
+            pass
+        return sorted(found)
+
+    def is_open(self, name: str) -> bool:
+        return name in self.sessions
+
+    def __enter__(self) -> "SessionManager":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close_all()

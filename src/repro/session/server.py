@@ -1,0 +1,396 @@
+"""Concurrent multi-session server — newline-delimited JSON over TCP.
+
+``repro serve --root DIR`` exposes a :class:`SessionManager` to N
+concurrent clients.  The protocol is one JSON object per line in each
+direction::
+
+    -> {"id": 1, "cmd": "assign", "session": "alice", "var": "v:x",
+        "value": 5}
+    <- {"id": 1, "ok": true, "result": {"accepted": true, ...}}
+    <- {"id": 2, "ok": false, "error": {"type": "violation",
+        "message": "...", "detail": {...}}}
+
+Isolation and flow control:
+
+* every session has its own :class:`~repro.session.session.Session`
+  (own context, library, journal) — no shared mutable state between
+  sessions, so cross-session leakage is impossible by construction;
+* an ``asyncio.Lock`` per session serializes its operations while
+  operations on *different* sessions interleave freely;
+* at most ``max_pending`` requests may queue per session — excess
+  requests fail fast with a ``busy`` error frame;
+* each request is bounded by ``request_timeout`` — lock starvation
+  surfaces as a ``timeout`` error frame instead of a hung client;
+* constraint violations are not errors of the protocol but of the
+  design: they come back as graceful ``violation`` frames carrying the
+  violation record, with the network already restored.
+
+The server process is crash-safe by delegation: every acknowledged
+mutation was journaled write-ahead by the session, so ``kill -9`` at any
+point loses nothing that was acknowledged (see docs/sessions.md).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Callable, Dict, Optional
+
+from .codec import (
+    EncodingError,
+    UnknownAddress,
+    decode_justification_name,
+    decode_value,
+    encode_value,
+)
+from .journal import JournalCorrupt
+from .manager import SessionManager
+from .session import Session, SessionError
+
+__all__ = ["SessionServer"]
+
+_MAX_LINE = 1 << 20
+
+
+class _RequestError(Exception):
+    """A request that must answer with an error frame."""
+
+    def __init__(self, kind: str, message: str,
+                 detail: Any = None) -> None:
+        super().__init__(message)
+        self.kind = kind
+        self.detail = detail
+
+    def frame(self) -> Dict[str, Any]:
+        error: Dict[str, Any] = {"type": self.kind, "message": str(self)}
+        if self.detail is not None:
+            error["detail"] = self.detail
+        return error
+
+
+class SessionServer:
+    """Serve a session root to concurrent JSON-line clients."""
+
+    def __init__(self, root: str, *, host: str = "127.0.0.1", port: int = 0,
+                 fsync: str = "always", request_timeout: float = 30.0,
+                 max_pending: int = 64, max_sessions: int = 64) -> None:
+        self.manager = SessionManager(root, fsync=fsync,
+                                      max_sessions=max_sessions)
+        self.host = host
+        self.port = port
+        self.request_timeout = request_timeout
+        self.max_pending = max_pending
+        self._locks: Dict[str, asyncio.Lock] = {}
+        self._pending: Dict[str, int] = {}
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._stopped: Optional[asyncio.Event] = None
+
+    # -- lifecycle ----------------------------------------------------------
+
+    async def start(self) -> None:
+        self._stopped = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._client_connected, self.host, self.port, limit=_MAX_LINE)
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def run(self) -> None:
+        """Start, serve until :meth:`request_stop` / ``shutdown``, stop."""
+        if self._server is None:
+            await self.start()
+        assert self._stopped is not None
+        await self._stopped.wait()
+        await self.stop()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self.manager.close_all()
+
+    def request_stop(self) -> None:
+        if self._stopped is not None:
+            self._stopped.set()
+
+    # -- connection handling ------------------------------------------------
+
+    async def _client_connected(self, reader: asyncio.StreamReader,
+                                writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    writer.write(_encode_frame({
+                        "id": None, "ok": False,
+                        "error": {"type": "bad-request",
+                                  "message": "request line too long"}}))
+                    await writer.drain()
+                    break
+                if not line:
+                    break
+                response = await self._handle_line(line)
+                writer.write(_encode_frame(response))
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        except asyncio.CancelledError:
+            pass  # server shutdown while this connection was idle
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    async def _handle_line(self, line: bytes) -> Dict[str, Any]:
+        request_id: Any = None
+        try:
+            try:
+                message = json.loads(line)
+            except ValueError:
+                raise _RequestError("bad-request", "request is not JSON")
+            if not isinstance(message, dict):
+                raise _RequestError("bad-request",
+                                    "request must be a JSON object")
+            request_id = message.get("id")
+            result = await self._dispatch(message)
+            return {"id": request_id, "ok": True, "result": result}
+        except _RequestError as error:
+            return {"id": request_id, "ok": False, "error": error.frame()}
+        except (SessionError, EncodingError, UnknownAddress,
+                KeyError, TypeError, ValueError) as error:
+            return {"id": request_id, "ok": False,
+                    "error": {"type": "bad-request", "message": str(error)}}
+        except JournalCorrupt as error:
+            return {"id": request_id, "ok": False,
+                    "error": {"type": "internal", "message": str(error)}}
+
+    async def _dispatch(self, message: Dict[str, Any]) -> Any:
+        cmd = message.get("cmd")
+        handler = _COMMANDS.get(cmd)
+        if handler is None:
+            raise _RequestError("bad-request", f"unknown cmd {cmd!r}")
+        if cmd in _GLOBAL_COMMANDS:
+            return handler(self, message)
+        name = message.get("session")
+        if not isinstance(name, str) or not name:
+            raise _RequestError("bad-request",
+                                f"cmd {cmd!r} requires a session name")
+        pending = self._pending.get(name, 0)
+        if pending >= self.max_pending:
+            raise _RequestError(
+                "busy", f"session {name!r} has {pending} pending requests")
+        self._pending[name] = pending + 1
+        lock = self._locks.setdefault(name, asyncio.Lock())
+
+        async def locked() -> Any:
+            async with lock:
+                return handler(self, message)
+
+        try:
+            return await asyncio.wait_for(locked(), self.request_timeout)
+        except asyncio.TimeoutError:
+            raise _RequestError(
+                "timeout",
+                f"request exceeded {self.request_timeout}s") from None
+        finally:
+            remaining = self._pending.get(name, 1) - 1
+            if remaining:
+                self._pending[name] = remaining
+            else:
+                self._pending.pop(name, None)
+
+    # -- helpers ------------------------------------------------------------
+
+    def _session(self, message: Dict[str, Any]) -> Session:
+        return self.manager.get(message["session"])
+
+    @staticmethod
+    def _violation_frame(session: Session, what: str) -> _RequestError:
+        detail = session.violations[-1] if session.violations else None
+        return _RequestError("violation", f"{what} rejected by a "
+                             f"constraint violation", detail=detail)
+
+    # -- global commands ----------------------------------------------------
+
+    def _cmd_ping(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        return {"pong": True}
+
+    def _cmd_sessions(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        return {"sessions": self.manager.names()}
+
+    def _cmd_shutdown(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        self.request_stop()
+        return {"stopping": True}
+
+    # -- session commands ---------------------------------------------------
+
+    def _cmd_open(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        session = self._session(message)
+        return {"name": session.name, "position": session.position,
+                "recovered_entries": session.replayed_entries,
+                "vars": len(session.vars),
+                "constraints": len(session.constraints)}
+
+    def _cmd_close(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        return {"closed": self.manager.close(message["session"])}
+
+    def _cmd_assign(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        session = self._session(message)
+        justification = decode_justification_name(
+            message.get("just", "USER"))
+        ok = session.assign(message["var"],
+                            decode_value(message.get("value")),
+                            justification)
+        if not ok:
+            raise self._violation_frame(session, "assignment")
+        value, just = session.get(message["var"])
+        return {"accepted": True, "value": encode_value(value),
+                "just": session._fingerprint_justification(just)}
+
+    def _cmd_get(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        session = self._session(message)
+        value, just = session.get(message["var"])
+        return {"value": encode_value(value),
+                "just": session._fingerprint_justification(just)}
+
+    def _cmd_make_var(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        session = self._session(message)
+        session.make_variable(message["name"],
+                              decode_value(message.get("value")),
+                              decode_justification_name(message["just"])
+                              if message.get("just") else None)
+        return {"var": f"v:{message['name']}"}
+
+    def _cmd_retract(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        session = self._session(message)
+        session.retract(message["var"])
+        return {"retracted": message["var"]}
+
+    def _cmd_add_constraint(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        session = self._session(message)
+        cid = session.add_constraint(
+            message["type"], list(message.get("args", [])),
+            params={key: decode_value(val)
+                    for key, val in message.get("params", {}).items()},
+            cid=message.get("cid"))
+        return {"cid": cid}
+
+    def _cmd_remove_constraint(self,
+                               message: Dict[str, Any]) -> Dict[str, Any]:
+        session = self._session(message)
+        session.remove_constraint(message["cid"])
+        return {"removed": message["cid"]}
+
+    def _cmd_undo(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        session = self._session(message)
+        return {"undone": session.undo(), "position": session.position}
+
+    def _cmd_redo(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        session = self._session(message)
+        return {"redone": session.redo(), "position": session.position}
+
+    def _cmd_checkpoint(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        session = self._session(message)
+        path = session.checkpoint()
+        return {"path": path, "position": session.position}
+
+    def _cmd_fingerprint(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        session = self._session(message)
+        return session.fingerprint(
+            include_stats=bool(message.get("stats", True)))
+
+    def _cmd_stats(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        session = self._session(message)
+        return {"stats": session.context.stats.snapshot(),
+                "position": session.position,
+                "violations": len(session.violations),
+                "unjournaled_assigns": session.unjournaled_assigns}
+
+    def _cmd_violations(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        return {"violations": list(self._session(message).violations)}
+
+    def _cmd_define_cell(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        session = self._session(message)
+        session.define_cell(message["name"], message.get("super"),
+                            bool(message.get("generic")))
+        return {"cell": message["name"]}
+
+    def _cmd_define_signal(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        session = self._session(message)
+        session.define_signal(message["cell"], message["name"],
+                              message.get("direction", "in"))
+        return {"signal": message["name"]}
+
+    def _cmd_declare_delay(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        session = self._session(message)
+        session.declare_delay(message["cell"], message["source"],
+                              message["dest"],
+                              estimate=message.get("estimate"))
+        return {"delay": f"delay({message['source']}->{message['dest']})"}
+
+    def _cmd_add_parameter(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        session = self._session(message)
+        session.add_parameter(message["cell"], message["name"],
+                              low=decode_value(message.get("low")),
+                              high=decode_value(message.get("high")),
+                              choices=decode_value(message.get("choices")),
+                              default=decode_value(message.get("default")))
+        return {"parameter": message["name"]}
+
+    def _cmd_instantiate(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        session = self._session(message)
+        offset = message.get("offset", [0, 0])
+        session.instantiate(message["parent"], message["child"],
+                            message["name"],
+                            orientation=message.get("orientation", "R0"),
+                            offset=(offset[0], offset[1]))
+        return {"instance": message["name"]}
+
+    def _cmd_add_net(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        session = self._session(message)
+        session.add_net(message["cell"], message["name"])
+        return {"net": message["name"]}
+
+    def _cmd_connect(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        session = self._session(message)
+        ok = session.connect(message["cell"], message["net"],
+                             message["signal"], message.get("instance"))
+        if not ok:
+            raise self._violation_frame(session, "connection")
+        return {"connected": True}
+
+
+def _encode_frame(frame: Dict[str, Any]) -> bytes:
+    return (json.dumps(frame, separators=(",", ":")) + "\n").encode("utf-8")
+
+
+_GLOBAL_COMMANDS = {"ping", "sessions", "shutdown"}
+
+_COMMANDS: Dict[str, Callable[..., Any]] = {
+    "ping": SessionServer._cmd_ping,
+    "sessions": SessionServer._cmd_sessions,
+    "shutdown": SessionServer._cmd_shutdown,
+    "open": SessionServer._cmd_open,
+    "close": SessionServer._cmd_close,
+    "assign": SessionServer._cmd_assign,
+    "get": SessionServer._cmd_get,
+    "make-var": SessionServer._cmd_make_var,
+    "retract": SessionServer._cmd_retract,
+    "add-constraint": SessionServer._cmd_add_constraint,
+    "remove-constraint": SessionServer._cmd_remove_constraint,
+    "undo": SessionServer._cmd_undo,
+    "redo": SessionServer._cmd_redo,
+    "checkpoint": SessionServer._cmd_checkpoint,
+    "fingerprint": SessionServer._cmd_fingerprint,
+    "stats": SessionServer._cmd_stats,
+    "violations": SessionServer._cmd_violations,
+    "define-cell": SessionServer._cmd_define_cell,
+    "define-signal": SessionServer._cmd_define_signal,
+    "declare-delay": SessionServer._cmd_declare_delay,
+    "add-parameter": SessionServer._cmd_add_parameter,
+    "instantiate": SessionServer._cmd_instantiate,
+    "add-net": SessionServer._cmd_add_net,
+    "connect": SessionServer._cmd_connect,
+}

@@ -129,7 +129,10 @@ def _serialize_signal(signal: Any) -> Dict[str, Any]:
 
 def _serialize_parameter(name: str, parameter: Any) -> Dict[str, Any]:
     range_ = parameter.range
-    data: Dict[str, Any] = {"name": name}
+    data: Dict[str, Any] = {
+        "name": name,
+        "justification": _justification_name(parameter.last_set_by),
+    }
     if range_ is not None:
         data.update({"low": range_.low, "high": range_.high,
                      "choices": (list(range_.choices)
@@ -232,15 +235,25 @@ def _load_cell(library: CellLibrary, data: Dict[str, Any]) -> CellClass:
         for signal_data in data.get("signals", []):
             _load_signal(cell, signal_data)
         for parameter_data in data.get("parameters", []):
-            if parameter_data["name"] in cell.parameters:
-                continue  # inherited
-            cell.add_parameter(
-                parameter_data["name"],
-                range=ParameterRange(
-                    low=parameter_data.get("low"),
-                    high=parameter_data.get("high"),
-                    choices=parameter_data.get("choices"),
-                    default=parameter_data.get("default")))
+            name = parameter_data["name"]
+            range_ = ParameterRange(
+                low=parameter_data.get("low"),
+                high=parameter_data.get("high"),
+                choices=parameter_data.get("choices"),
+                default=parameter_data.get("default"))
+            justification = _justification_from(
+                parameter_data.get("justification", "APPLICATION"))
+            if name in cell.parameters:
+                # Inherited parameter: the subclass may have narrowed the
+                # range (its own class-parameter variable diverged from
+                # the superclass's); restore that divergence or the
+                # narrowing is silently lost on reload.
+                parameter = cell.parameters[name]
+                if parameter.range != range_:
+                    parameter._store(range_, justification)
+                continue
+            parameter = cell.add_parameter(name, range=range_)
+            parameter._store(range_, justification)
         for delay_data in data.get("delays", []):
             _load_delay(cell, delay_data)
         box_data = data.get("bounding_box")
@@ -281,6 +294,7 @@ def _load_signal(cell: CellClass, data: Dict[str, Any]) -> None:
         # attributes (they may have diverged from the superclass) before
         # refreshing the typing values below.
         signal = cell.signal(data["name"])
+        signal.direction = data.get("direction", signal.direction)
         signal.pins = pins or signal.pins
         signal.output_resistance = data.get("output_resistance",
                                             signal.output_resistance)

@@ -1,0 +1,155 @@
+"""End-to-end crash-recovery smoke test for the session server.
+
+Exercises the durability contract the unit suite can only approximate:
+
+1. start ``repro.cli serve`` as a real subprocess,
+2. drive two concurrent clients (their own sessions, interleaved
+   bursts of make-var / assign / constraint / undo / checkpoint),
+3. capture each session's fingerprint, then ``SIGKILL`` the server —
+   no flush, no atexit, nothing graceful,
+4. verify the journals offline with ``session-verify --fingerprint``,
+5. restart the server and assert both sessions recover to the exact
+   fingerprints captured before the kill.
+
+Run from the repo root (CI's session-smoke job does)::
+
+    PYTHONPATH=src python tools/session_smoke.py
+
+Exits non-zero with a diagnostic on any mismatch.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO, "src"))
+
+from repro.session.client import SessionClient  # noqa: E402
+
+
+def start_server(root: str) -> "tuple[subprocess.Popen, int]":
+    """Launch ``repro.cli serve`` and return (process, port)."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO, "src")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve",
+         "--root", root, "--port", "0"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True, env=env, cwd=REPO)
+    deadline = time.monotonic() + 30.0
+    while True:
+        line = proc.stdout.readline()
+        if "listening on" in line:
+            port = int(line.split("listening on")[1].split()[0]
+                       .rsplit(":", 1)[1])
+            return proc, port
+        if not line or proc.poll() is not None:
+            raise RuntimeError(f"server died during startup: {line!r}")
+        if time.monotonic() > deadline:
+            proc.kill()
+            raise RuntimeError("server did not report a port in 30s")
+
+
+def drive(port: int, session_name: str, bias: int,
+          errors: list) -> None:
+    """One client's workload: build a network, mutate it, rewind it."""
+    try:
+        with SessionClient("127.0.0.1", port) as client:
+            handle = client.session(session_name)
+            handle.make_var("width", 2 + bias)
+            handle.make_var("height")
+            handle.make_var("area")
+            handle.add_constraint("sum", ["v:area", "v:width", "v:height"])
+            for step in range(8):
+                handle.assign("v:height", 10 * (step + 1) + bias)
+            handle.undo()                       # back to height = 70+bias
+            handle.undo()                       # back to height = 60+bias
+            handle.redo()                       # forward to 70+bias
+            handle.checkpoint()
+            handle.assign("v:width", 5 + bias)  # journal tail past snapshot
+            handle.assign("v:height", 100 + bias)
+            expected_area = (5 + bias) + (100 + bias)
+            got = handle.value("v:area")
+            if got != expected_area:
+                raise AssertionError(
+                    f"{session_name}: area {got!r} != {expected_area}")
+    except Exception as exc:  # propagate to the main thread
+        errors.append((session_name, exc))
+
+
+def fingerprints(port: int, names: "list[str]") -> "dict[str, dict]":
+    with SessionClient("127.0.0.1", port) as client:
+        return {name: client.session(name).fingerprint() for name in names}
+
+
+def offline_fingerprint(root: str, name: str) -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO, "src")
+    output = subprocess.check_output(
+        [sys.executable, "-m", "repro.cli", "session-verify",
+         "--root", root, "--name", name, "--fingerprint"],
+        text=True, env=env, cwd=REPO)
+    return json.loads(output)
+
+
+def main() -> int:
+    names = ["alice", "bob"]
+    with tempfile.TemporaryDirectory(prefix="session-smoke-") as root:
+        proc, port = start_server(root)
+        try:
+            errors: list = []
+            threads = [threading.Thread(target=drive,
+                                        args=(port, name, bias, errors))
+                       for bias, name in enumerate(names)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=60)
+            for name, exc in errors:
+                print(f"FAIL: client {name!r} errored: {exc!r}")
+                return 1
+            before = fingerprints(port, names)
+        finally:
+            # The point of the exercise: no graceful shutdown.
+            proc.send_signal(signal.SIGKILL)
+            proc.wait(timeout=30)
+        print(f"killed server pid={proc.pid} with SIGKILL")
+
+        for name in names:
+            offline = offline_fingerprint(root, name)
+            if offline != before[name]:
+                print(f"FAIL: offline recovery of {name!r} diverged:\n"
+                      f"  before: {json.dumps(before[name], sort_keys=True)}\n"
+                      f"  after:  {json.dumps(offline, sort_keys=True)}")
+                return 1
+        print("offline session-verify fingerprints match")
+
+        proc, port = start_server(root)
+        try:
+            after = fingerprints(port, names)
+            with SessionClient("127.0.0.1", port) as client:
+                client.shutdown()
+        finally:
+            proc.wait(timeout=30)
+        for name in names:
+            if after[name] != before[name]:
+                print(f"FAIL: restarted server recovered {name!r} "
+                      f"differently:\n"
+                      f"  before: {json.dumps(before[name], sort_keys=True)}\n"
+                      f"  after:  {json.dumps(after[name], sort_keys=True)}")
+                return 1
+        print(f"recovered {len(names)} session(s) bit-identically "
+              f"after kill -9: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
