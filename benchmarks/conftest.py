@@ -5,7 +5,11 @@ At session end, every pytest-benchmark result's summary statistics
 (median first) are written through :mod:`repro.obs.report` to
 ``BENCH_PROP.json`` at the repo root (override with the
 ``BENCH_PROP_PATH`` environment variable), seeding the perf trajectory
-each PR's CI run uploads as an artifact.
+each PR's CI run uploads as an artifact.  Writes merge with whatever the
+file already holds: a run of one suite (or a ``-k`` filter) updates its
+own benchmarks and carries the other suites' entries over, so split
+invocations accumulate one cumulative trajectory instead of each keeping
+only the last suite's results.
 """
 
 import os

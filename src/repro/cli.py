@@ -9,6 +9,7 @@ A thin utility layer a downstream user drives from the shell::
     python -m repro.cli delay design.json --cell ALU --source in1 --dest out1
     python -m repro.cli select design.json --cell DATAPATH --instance A1
     python -m repro.cli stats design.json --json
+    python -m repro.cli plancache-stats design.json --repeat 5
     python -m repro.cli metrics design.json
     python -m repro.cli profile design.json --top 10 --trace round.trace.json
 
@@ -184,13 +185,57 @@ def cmd_stats(args: argparse.Namespace, out) -> int:
 
     library = _load(args.design)
     _exercise(library)
-    snapshot = MetricsRegistry.from_stats(library.context.stats).snapshot()
+    registry = MetricsRegistry.from_stats(library.context.stats)
+    cache = getattr(library.context, "plan_cache", None)
+    registry.counter("engine.stats.plan_hits").inc(
+        cache.hits if cache is not None else 0)
+    registry.counter("engine.stats.plan_deopts").inc(
+        cache.deopts if cache is not None else 0)
+    snapshot = registry.snapshot()
     if args.json:
         json.dump(snapshot, out, indent=2, sort_keys=True)
         print(file=out)
     else:
         for name, value in snapshot.items():
             print(f"{name}: {value}", file=out)
+    return 0
+
+
+def cmd_plancache_stats(args: argparse.Namespace, out) -> int:
+    """Plan-cache behaviour under a hot-round workload on the design.
+
+    Installs a :class:`~repro.core.plancache.PlanCache`, loads the
+    design, builds its delay networks once, then re-asserts every
+    concrete leaf delay characteristic ``--repeat`` times — the
+    repeated-entry-variable pattern of interactive design work, which
+    is what gets rounds traced, promoted and replayed.  The cache's
+    counter block (hits, misses, promotions, deopts, ...) is printed in
+    deterministic sorted order; with ``--json`` as one JSON object.
+    """
+    from .core import PlanCache
+
+    context = reset_default_context()
+    cache = PlanCache(context)
+    library = _load(args.design, context=context)
+    _exercise(library)
+    hot_variables = [variable
+                     for cell in library if not cell.subcells
+                     for variable in cell.delays.values()
+                     if variable.value is not None]
+    passes = max(1, args.repeat)
+    for _ in range(passes):
+        for variable in hot_variables:
+            variable.set(variable.value)
+    stats = cache.stats()
+    if args.json:
+        json.dump(stats, out, indent=2, sort_keys=True)
+        print(file=out)
+    else:
+        print(f"plan cache after {passes} pass(es) over "
+              f"{len(hot_variables)} hot delay variable(s) "
+              f"of {library.name!r}:", file=out)
+        for name, value in stats.items():
+            print(f"  {name}: {value}", file=out)
     return 0
 
 
@@ -361,6 +406,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_stats.add_argument("--json", action="store_true",
                          help="machine-readable JSON snapshot")
     p_stats.set_defaults(fn=cmd_stats)
+
+    p_plan = sub.add_parser("plancache-stats",
+                            help="plan-cache hit/miss/deopt counters while "
+                                 "repeatedly exercising the design")
+    p_plan.add_argument("design")
+    p_plan.add_argument("--repeat", type=int, default=5,
+                        help="re-assertion passes (repeats make rounds hot: "
+                             "register, trace twice, promote, replay)")
+    p_plan.add_argument("--json", action="store_true",
+                        help="machine-readable JSON snapshot")
+    p_plan.set_defaults(fn=cmd_plancache_stats)
 
     p_metrics = sub.add_parser("metrics", help="observability metrics "
                                                "snapshot (counters, gauges, "

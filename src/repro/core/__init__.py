@@ -39,6 +39,7 @@ from .justification import (
     source_constraint,
 )
 from .library import CompatibleConstraint, EqualityConstraint, UpdateConstraint
+from .plancache import NOT_DERIVED, PlanCache, PropagationPlan, plan_cache_for
 from .predicates import (
     AreaBoundConstraint,
     AspectRatioPredicate,
@@ -88,7 +89,8 @@ __all__ = [
     "IMPLICIT", "Infeasible", "Interval", "IntervalSolver", "MEDIUM",
     "PropagationControl", "REQUIRED", "Recommendation", "RelaxationSolver",
     "STRONG", "StrengthAwareVariable", "USER_STRENGTH", "WEAK", "WEAKEST",
-    "PropagationTrace", "compile_network", "control_for", "explain",
+    "NOT_DERIVED", "PlanCache", "PropagationPlan", "PropagationTrace",
+    "compile_network", "control_for", "explain", "plan_cache_for",
     "plan_one_pass", "solve_one_pass", "strength_of_constraint", "trace",
     "with_strength",
     "AreaBoundConstraint", "AspectRatioPredicate", "CompatibleConstraint",

@@ -186,6 +186,31 @@ class Constraint:
         """May a change of ``variable`` drive this constraint's inference?"""
         return True
 
+    # -- plan-cache protocol (repro.core.plancache) -------------------------------------
+
+    #: True for constraint classes whose inference is a no-op exactly when
+    #: the activating value is ``None`` (the library's null-driven skip):
+    #: the plan cache may keep such a constraint silent in a plan because
+    #: the ``None``-ness of every traced value is guard-protected.
+    plan_silent_on_none = False
+
+    def plan_derivation(self, target: Any, changed: Any) -> Optional[Any]:
+        """Express one traced propagation as a pure derivation, or refuse.
+
+        ``target`` is the variable this constraint assigned during the
+        traced round; ``changed`` is the activating variable recorded in
+        the justification's dependency record (``None`` when the record
+        carries no variable).  Return a zero-argument callable computing,
+        from *current* network state, the value the constraint would
+        propagate to ``target`` — or the
+        :data:`~repro.core.plancache.NOT_DERIVED` sentinel when the
+        inference would not fire (incomplete inputs, an inline violation).
+        Returning ``None`` marks the trace unplannable; the base class
+        always refuses, so only explicitly certified constraint types
+        participate in plan specialization.
+        """
+        return None
+
     # -- dependency protocol ----------------------------------------------------------
 
     def test_membership_of(self, variable: Any, dependency_record: Any) -> bool:

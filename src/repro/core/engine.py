@@ -239,6 +239,18 @@ class PropagationContext:
         #: write-ahead capture point for durable sessions.  Costs one
         #: attribute check per external assignment while ``None``.
         self.recorder = None
+        #: Optional :class:`repro.core.plancache.PlanCache` — the hot-round
+        #: trace specializer.  Consulted by :meth:`assign` before opening a
+        #: general round; costs one attribute check while ``None``.
+        self.plan_cache = None
+        #: Monotonic counter of structural network changes (constraint
+        #: links, implicit hierarchy topology, control state).  Plan-cache
+        #: keys embed it, so any edit invalidates stale plans.
+        self.topology_epoch = 0
+        #: Active plan-cache trace recording, or ``None``.  Fed by
+        #: :meth:`propagated_assignment`; one attribute check per
+        #: propagated assignment while ``None``.
+        self._plan_recording = None
         self._round: Optional[_Round] = None
 
     def _trace(self, kind, subject, detail: str = "") -> None:
@@ -249,6 +261,20 @@ class PropagationContext:
     def _allows(self, constraint: Any) -> bool:
         control = self.control
         return control is None or control.allows(constraint)
+
+    def bump_topology_epoch(self) -> None:
+        """Note a structural network change.
+
+        Called from every choke point that alters which constraints a
+        round can activate: ``Variable.add_constraint`` /
+        ``remove_constraint`` (and through them all constraint editing),
+        implicit hierarchy registration, ``PropagationControl`` mutations
+        and session undo/redo.  Invalidates every cached propagation plan.
+        """
+        self.topology_epoch += 1
+        cache = self.plan_cache
+        if cache is not None:
+            cache.note_topology_change()
 
     # -- round management -------------------------------------------------
 
@@ -312,6 +338,17 @@ class PropagationContext:
             # changes, so a crash between journaling and mutation replays
             # the assignment rather than losing it.
             recorder.record_assign(variable, value, justification)
+        cache = self.plan_cache
+        if cache is not None and self.tracer is None:
+            # Hot-round fast path: a cached plan replays the round under
+            # guards and returns True; None means "no plan for this key —
+            # run the general round" (with a trace recording installed
+            # while the key warms up).  Consulted after the recorder so
+            # journaling is identical with the cache on or off, and before
+            # the stats increment so the recorded stats delta covers it.
+            handled = cache.on_external_assign(variable, value, justification)
+            if handled is not None:
+                return handled
         self.stats.external_assignments += 1
         if self.tracer is not None:
             self._trace("round-start", variable, f"set to {value!r}")
@@ -319,6 +356,7 @@ class PropagationContext:
         if observer is not None:
             observer.round_started("assign", variable)
         outcome = "error"
+        rnd = None
         try:
             with self._round_scope() as rnd:
                 rnd.record_visit(variable)
@@ -344,6 +382,11 @@ class PropagationContext:
                     raise
             outcome = "ok"
         finally:
+            recording = self._plan_recording
+            if recording is not None:
+                self._plan_recording = None
+                recording.cache.finish_recording(recording, rnd,
+                                                 outcome == "ok")
             if observer is not None:
                 observer.round_finished(outcome)
         self._trace("round-end", variable)
@@ -352,6 +395,11 @@ class PropagationContext:
     def _in_round_external_assignment(self, variable: Any, value: Any,
                                       justification: Justification) -> None:
         rnd = self.require_round()
+        recording = self._plan_recording
+        if recording is not None:
+            # A tool assigned mid-round: the round's shape depends on
+            # state a straight-line plan cannot guard.  Never cache it.
+            recording.poison("in-round external assignment")
         self.stats.external_assignments += 1
         rnd.record_visit(variable)
         variable._store(value, justification)
@@ -425,6 +473,9 @@ class PropagationContext:
             # invoked from propagation): its repropagation joins the
             # active round's queue.
             rnd = self.require_round()
+            recording = self._plan_recording
+            if recording is not None:
+                recording.poison("in-round constraint repropagation")
             watermark = len(rnd.queue)
             rnd.queue.append((_REPROPAGATE, constraint, None))
             if not rnd.draining:
@@ -609,6 +660,10 @@ class PropagationContext:
         decision = variable.classify_propagated(value, constraint)
         if decision == "ignore":
             self.stats.ignored_propagations += 1
+            recording = self._plan_recording
+            if recording is not None:
+                recording.note_ignore(variable, value, constraint,
+                                      justification)
             if self.tracer is not None:
                 self._trace("ignore", variable, f"{value!r} agrees/defers")
             return
@@ -627,6 +682,9 @@ class PropagationContext:
         variable._store(value, justification)
         rnd.note_change(variable)
         self.stats.propagated_assignments += 1
+        recording = self._plan_recording
+        if recording is not None:
+            recording.note_write(variable, value, constraint, justification)
         if self.tracer is not None:
             self._trace("store", variable, f":= {value!r} by {constraint!r}")
         watermark = len(rnd.queue)

@@ -206,16 +206,20 @@ class Variable:
 
     def add_constraint(self, constraint: Any) -> None:
         """Low-level link; use ``Constraint.attach``/``add_argument`` to edit
-        networks with re-propagation."""
+        networks with re-propagation.  The universal choke point for
+        constraint links, so it advances the context's topology epoch
+        (invalidating cached propagation plans)."""
         if constraint not in self.constraints:
             self.constraints.append(constraint)
+            self.context.bump_topology_epoch()
 
     def remove_constraint(self, constraint: Any) -> None:
         """Low-level unlink (no dependency erasure)."""
         try:
             self.constraints.remove(constraint)
         except ValueError:
-            pass
+            return
+        self.context.bump_topology_epoch()
 
     # -- dependency analysis ------------------------------------------------------
 

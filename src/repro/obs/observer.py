@@ -233,6 +233,23 @@ class Observer:
                           variable=describe(variable),
                           changed=describe(changed))
 
+    # -- plan cache (core/plancache.py) ---------------------------------------
+
+    def plan_event(self, kind: str, count: int = 1) -> None:
+        """One plan-cache event: ``hit`` / ``miss`` / ``deopt`` /
+        ``promotion`` / ``invalidation`` / ``unplannable``."""
+        metrics = self.metrics
+        if metrics is not None:
+            metrics.counter(f"plan.{kind}").inc(count)
+
+    def plan_span(self, kind: str, **args: Any):
+        """Span context for a plan-cache replay or promotion."""
+        self.plan_event(kind)
+        spans = self.spans
+        if spans is None:
+            return nullcontext()
+        return spans.span(kind, "plan", **args)
+
     # -- compiler passes (core/compile.py) ------------------------------------
 
     def compile_span(self, kind: str, **args: Any):

@@ -32,7 +32,8 @@ class BenchReport:
                stddev_s: Optional[float] = None,
                min_s: Optional[float] = None,
                rounds: Optional[int] = None,
-               group: Optional[str] = None) -> None:
+               group: Optional[str] = None,
+               extra: Optional[Dict[str, Any]] = None) -> None:
         entry: Dict[str, Any] = {"median_us": _us(median_s)}
         if mean_s is not None:
             entry["mean_us"] = _us(mean_s)
@@ -44,7 +45,37 @@ class BenchReport:
             entry["rounds"] = rounds
         if group is not None:
             entry["group"] = group
+        if extra:
+            entry["extra"] = {key: extra[key] for key in sorted(extra)}
         self._entries[name] = entry
+
+    def merge_previous(self, path: str) -> int:
+        """Fold an earlier report's benchmarks under this one.
+
+        Entries already recorded in this report win; only benchmarks the
+        current session did *not* run are carried over.  This is what
+        keeps ``BENCH_PROP.json`` cumulative when suites run as separate
+        pytest invocations (CI's save/compare steps re-run single files):
+        without it each invocation's session-end write would keep only
+        the last suite's benchmarks.  A missing, truncated or
+        foreign-schema file merges nothing.  Returns the number of
+        entries carried over.
+        """
+        try:
+            with open(path) as handle:
+                previous = json.load(handle)
+        except (OSError, ValueError):
+            return 0
+        if not isinstance(previous, dict) or previous.get("schema") != SCHEMA:
+            return 0
+        carried = 0
+        benchmarks = previous.get("benchmarks")
+        if isinstance(benchmarks, dict):
+            for name, entry in benchmarks.items():
+                if name not in self._entries and isinstance(entry, dict):
+                    self._entries[name] = entry
+                    carried += 1
+        return carried
 
     @classmethod
     def from_pytest_benchmarks(cls, benchmarks: Iterable[Any]) -> "BenchReport":
@@ -71,6 +102,7 @@ class BenchReport:
                 min_s=getattr(stats, "min", None),
                 rounds=getattr(stats, "rounds", None),
                 group=getattr(bench, "group", None),
+                extra=getattr(bench, "extra_info", None),
             )
         return report
 
@@ -106,15 +138,22 @@ class BenchReport:
         return path
 
 
-def write_bench_report(path: str, benchmarks: Iterable[Any]) -> Optional[str]:
+def write_bench_report(path: str, benchmarks: Iterable[Any], *,
+                       merge: bool = True) -> Optional[str]:
     """Write ``BENCH_PROP``-style JSON for a benchmark session.
 
-    Returns the path written, or ``None`` when no benchmark produced
-    usable statistics (e.g. a ``--benchmark-disable`` run).
+    With ``merge`` (the default) benchmarks already present in ``path``
+    but not re-run this session are carried over, so partial runs (a
+    single suite, a ``-k`` filter) accumulate into one trajectory file
+    instead of clobbering each other.  Returns the path written, or
+    ``None`` when no benchmark produced usable statistics (e.g. a
+    ``--benchmark-disable`` run).
     """
     report = BenchReport.from_pytest_benchmarks(benchmarks)
     if not len(report):
         return None
+    if merge:
+        report.merge_previous(path)
     return report.write(path)
 
 

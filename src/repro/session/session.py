@@ -695,6 +695,10 @@ class Session:
         return result
 
     def _apply_undo(self) -> None:
+        # Undo rewinds through erasure/re-derivation rounds (or a full
+        # rebuild) that a cached propagation plan has no trace for: force
+        # re-tracing by advancing the topology epoch first.
+        self.context.bump_topology_epoch()
         applied = self._effective.pop()
         self._redo.append(applied)
         entry = applied["entry"]
@@ -706,6 +710,7 @@ class Session:
         self._rebuild()
 
     def _apply_redo(self) -> None:
+        self.context.bump_topology_epoch()
         applied = self._redo.pop()
         self._apply_mutation(applied["entry"], clear_redo=False)
 
@@ -851,6 +856,12 @@ class Session:
         # points at the old context for uninstall; see docs/sessions.md).
         context.observer = previous.observer
         context.tracer = previous.tracer
+        plan_cache = getattr(previous, "plan_cache", None)
+        if plan_cache is not None:
+            # Checkpoint restore / rebuild: the new context holds a fresh
+            # object graph, so every cached plan is stale.  Rebinding
+            # drops them and re-installs the cache on the new context.
+            plan_cache.rebind(context)
         if previous.recorder is self:
             previous.recorder = None
         self.context = context

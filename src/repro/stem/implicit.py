@@ -111,11 +111,15 @@ class ClassInstVar(ImplicitConstraintVariable):
         if instance_var not in self._instance_vars:
             self._instance_vars.append(instance_var)
             instance_var._class_var = self
+            # Implicit topology changed without a Variable.add_constraint
+            # link: invalidate cached propagation plans explicitly.
+            self.context.bump_topology_epoch()
 
     def unregister_instance_var(self, instance_var: "InstanceInstVar") -> None:
         if instance_var in self._instance_vars:
             self._instance_vars.remove(instance_var)
             instance_var._class_var = None
+            self.context.bump_topology_epoch()
 
     # constraint half — reacting to a changed *instance* variable:
     # there is no instance-to-class propagation, only checking.

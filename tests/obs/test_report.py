@@ -1,0 +1,90 @@
+"""Tests for the BENCH_PROP.json benchmark report format."""
+
+import json
+from types import SimpleNamespace
+
+from repro.obs.report import SCHEMA, BenchReport, write_bench_report
+
+
+def fake_bench(name, median, group=None, extra=None):
+    stats = SimpleNamespace(median=median, mean=median, stddev=0.0,
+                            min=median, rounds=5)
+    return SimpleNamespace(name=name, group=group, stats=stats,
+                           extra_info=extra or {})
+
+
+class TestRecord:
+    def test_entries_sorted_and_rounded(self):
+        report = BenchReport()
+        report.record("b", median_s=2e-6)
+        report.record("a", median_s=1.2345678e-6)
+        data = report.to_dict()
+        assert list(data["benchmarks"]) == ["a", "b"]
+        assert data["benchmarks"]["a"]["median_us"] == 1.235
+        assert data["schema"] == SCHEMA
+
+    def test_extra_info_passes_through_sorted(self):
+        report = BenchReport.from_pytest_benchmarks(
+            [fake_bench("warm", 1e-6, extra={"plan_hits": 7,
+                                             "plan_deopts": 1})])
+        entry = report.to_dict()["benchmarks"]["warm"]
+        assert entry["extra"] == {"plan_deopts": 1, "plan_hits": 7}
+        assert list(entry["extra"]) == ["plan_deopts", "plan_hits"]
+
+    def test_no_extra_key_when_empty(self):
+        report = BenchReport.from_pytest_benchmarks([fake_bench("b", 1e-6)])
+        assert "extra" not in report.to_dict()["benchmarks"]["b"]
+
+
+class TestMerge:
+    def test_merge_carries_benchmarks_the_session_did_not_run(self, tmp_path):
+        path = str(tmp_path / "BENCH_PROP.json")
+        first = BenchReport.from_pytest_benchmarks(
+            [fake_bench("suite_a::one", 1e-6), fake_bench("suite_a::two", 2e-6)])
+        first.write(path)
+
+        second = BenchReport.from_pytest_benchmarks(
+            [fake_bench("suite_b::three", 3e-6)])
+        assert second.merge_previous(path) == 2
+        second.write(path)
+
+        with open(path) as handle:
+            data = json.load(handle)
+        assert sorted(data["benchmarks"]) == [
+            "suite_a::one", "suite_a::two", "suite_b::three"]
+
+    def test_current_run_wins_over_previous(self, tmp_path):
+        path = str(tmp_path / "BENCH_PROP.json")
+        BenchReport.from_pytest_benchmarks(
+            [fake_bench("same", 9e-6)]).write(path)
+        current = BenchReport.from_pytest_benchmarks(
+            [fake_bench("same", 1e-6)])
+        assert current.merge_previous(path) == 0
+        assert current.to_dict()["benchmarks"]["same"]["median_us"] == 1.0
+
+    def test_missing_truncated_or_foreign_file_merges_nothing(self, tmp_path):
+        report = BenchReport()
+        assert report.merge_previous(str(tmp_path / "absent.json")) == 0
+        truncated = tmp_path / "truncated.json"
+        truncated.write_text('{"schema": "repro-bench/1", "bench')
+        assert report.merge_previous(str(truncated)) == 0
+        foreign = tmp_path / "foreign.json"
+        foreign.write_text(json.dumps({"schema": "other/1",
+                                       "benchmarks": {"x": {}}}))
+        assert report.merge_previous(str(foreign)) == 0
+
+    def test_write_bench_report_merges_by_default(self, tmp_path):
+        path = str(tmp_path / "BENCH_PROP.json")
+        assert write_bench_report(path, [fake_bench("a", 1e-6)]) == path
+        assert write_bench_report(path, [fake_bench("b", 2e-6)]) == path
+        with open(path) as handle:
+            data = json.load(handle)
+        assert sorted(data["benchmarks"]) == ["a", "b"]
+
+    def test_write_bench_report_merge_false_overwrites(self, tmp_path):
+        path = str(tmp_path / "BENCH_PROP.json")
+        write_bench_report(path, [fake_bench("a", 1e-6)])
+        write_bench_report(path, [fake_bench("b", 2e-6)], merge=False)
+        with open(path) as handle:
+            data = json.load(handle)
+        assert list(data["benchmarks"]) == ["b"]

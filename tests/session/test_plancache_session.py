@@ -1,0 +1,164 @@
+"""Plan cache under durable sessions: undo/redo, rebuild, determinism.
+
+Plans are never journaled — a session with a cache installed must
+produce the *identical* fingerprint (values, justifications, violations
+and the full stats block) as one without.  Undo/redo and checkpoint
+restore rebuild state the cache has no trace for, so both must advance
+the topology epoch and drop every plan.
+"""
+
+import shutil
+import tempfile
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core import PlanCache
+from repro.session import Session, SessionError, UnknownAddress
+
+
+@pytest.fixture
+def session_dir(tmp_path):
+    return str(tmp_path / "plan-session")
+
+
+def hot_session(directory, *, cached=True):
+    session = Session("plan", directory=directory, fsync="never")
+    cache = PlanCache(session.context) if cached else None
+    for name in ("a", "b", "c"):
+        session.make_variable(name)
+    session.add_constraint("equality", ["v:a", "v:b"])
+    return session, cache
+
+
+class TestUndoRedo:
+    def test_undo_bumps_epoch_and_drops_plans(self, session_dir):
+        session, cache = hot_session(session_dir)
+        with session:
+            for index in range(6):
+                session.assign("v:a", 9 if index % 2 == 0 else 8)
+            assert cache.plan_count == 1
+            epoch = session.context.topology_epoch
+            assert session.undo()
+            assert session.context.topology_epoch > epoch
+            assert cache.plan_count == 0
+
+    def test_redo_bumps_epoch_and_drops_plans(self, session_dir):
+        session, cache = hot_session(session_dir)
+        with session:
+            for index in range(6):
+                session.assign("v:a", 9 if index % 2 == 0 else 8)
+            assert session.undo()
+            for index in range(6):
+                session.assign("v:c", index % 2)
+            assert cache.plan_count >= 1
+            epoch = session.context.topology_epoch
+            assert session.redo() is False  # redo stack cleared by writes
+            session.undo()
+            assert session.redo()
+            assert session.context.topology_epoch > epoch
+            assert cache.plan_count == 0
+
+    def test_structural_undo_rebinds_cache_to_rebuilt_context(self,
+                                                              session_dir):
+        session, cache = hot_session(session_dir)
+        with session:
+            cid = session.add_constraint("equality", ["v:b", "v:c"])
+            session.assign("v:a", 1)
+            before = session.context
+            assert session.undo()  # structural: forces a full rebuild
+            assert session.undo()
+            assert session.context.plan_cache is cache
+            assert cache.context is session.context
+            if session.context is not before:
+                assert getattr(before, "plan_cache", None) is None
+
+    def test_undo_redo_values_match_uncached_twin(self, tmp_path):
+        dir_on = str(tmp_path / "on")
+        dir_off = str(tmp_path / "off")
+        on, cache = hot_session(dir_on)
+        off, _ = hot_session(dir_off, cached=False)
+        with on, off:
+            for session in (on, off):
+                for index in range(8):
+                    session.assign("v:a", 9 if index % 2 == 0 else 8)
+                session.undo()
+                session.undo()
+                session.redo()
+            assert cache.hits > 0
+            assert on.fingerprint() == off.fingerprint()
+
+
+N_VARS = 3
+VAR_NAMES = [f"n{i}" for i in range(N_VARS)]
+var_index = st.integers(min_value=0, max_value=N_VARS - 1)
+small_value = st.integers(min_value=-5, max_value=5)
+
+op = st.one_of(
+    st.tuples(st.just("assign"), var_index, small_value),
+    st.tuples(st.just("retract"), var_index),
+    st.tuples(st.just("add-eq"), var_index, var_index),
+    st.tuples(st.just("add-ub"), var_index, small_value),
+    st.tuples(st.just("remove"), st.integers(min_value=0, max_value=7)),
+    st.tuples(st.just("undo")),
+    st.tuples(st.just("redo")),
+)
+
+
+def apply_op(session, operation):
+    try:
+        kind = operation[0]
+        if kind == "assign":
+            session.assign(f"v:{VAR_NAMES[operation[1]]}", operation[2])
+        elif kind == "retract":
+            session.retract(f"v:{VAR_NAMES[operation[1]]}")
+        elif kind == "add-eq":
+            a, b = operation[1:]
+            if a != b:
+                session.add_constraint("equality", [f"v:{VAR_NAMES[a]}",
+                                                    f"v:{VAR_NAMES[b]}"])
+        elif kind == "add-ub":
+            session.add_constraint("upper-bound",
+                                   [f"v:{VAR_NAMES[operation[1]]}"],
+                                   params={"bound": operation[2]})
+        elif kind == "remove":
+            cids = sorted(session.constraints)
+            if cids:
+                session.remove_constraint(cids[operation[1] % len(cids)])
+        elif kind == "undo":
+            session.undo()
+        elif kind == "redo":
+            session.redo()
+    except (SessionError, UnknownAddress):
+        pass
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(operations=st.lists(op, max_size=12))
+def test_cached_session_fingerprint_equals_uncached(operations):
+    """The pure-cache property, under random histories.
+
+    Each history runs three times over (repetition is what makes keys
+    hot, promotes plans and exercises replay + deopt), in one session
+    with a plan cache and one without: every value, justification,
+    violation and stats counter must agree.
+    """
+    dir_on = tempfile.mkdtemp(prefix="repro-plan-on-")
+    dir_off = tempfile.mkdtemp(prefix="repro-plan-off-")
+    try:
+        with Session("p", directory=dir_on, fsync="never") as cached, \
+                Session("p", directory=dir_off, fsync="never") as plain:
+            cache = PlanCache(cached.context)
+            for session in (cached, plain):
+                for name in VAR_NAMES:
+                    session.make_variable(name)
+            for _ in range(3):
+                for operation in operations:
+                    apply_op(cached, operation)
+                    apply_op(plain, operation)
+            assert cached.fingerprint() == plain.fingerprint()
+            assert cache.stats()  # cache stayed installed throughout
+    finally:
+        shutil.rmtree(dir_on, ignore_errors=True)
+        shutil.rmtree(dir_off, ignore_errors=True)
