@@ -1,4 +1,4 @@
-"""Observability overhead on the Fig. 4.5 microbenchmark.
+"""Observability and hardening overhead on the Fig. 4.5 microbenchmark.
 
 Three variants of the same externally triggered round: no observer (the
 default everyone pays for — must stay within noise of PR 1's plain
@@ -6,13 +6,25 @@ engine), a metrics-only observer (the cheap production configuration),
 and the full instrument set (metrics + spans + profiler, the debugging
 configuration).  Comparing the three medians in ``BENCH_PROP.json``
 quantifies the cost of each instrument layer.
+
+Two more variants gate the robustness layer: the watchdog *unarmed*
+(``round_budget`` is ``None`` — the default; together with the
+uninstalled fault hooks this must cost nothing, and CI holds it to a 5%
+median gate against the plain round) and the watchdog *armed* with a
+generous budget (the per-step counter plus the every-32-steps clock
+sample — the price of running with a liveness backstop).
 """
 
 import itertools
 
 import pytest
 
-from repro.core import EqualityConstraint, UniMaximumConstraint, Variable
+from repro.core import (
+    EqualityConstraint,
+    RoundBudget,
+    UniMaximumConstraint,
+    Variable,
+)
 from repro.obs import Observer
 
 
@@ -50,6 +62,18 @@ def test_bench_full_observer(benchmark, context):
     v1, *_ = build_network()
     with Observer.full(context):
         _bench_round(benchmark, v1)
+
+
+def test_bench_watchdog_unarmed(benchmark, context):
+    assert context.round_budget is None  # the default everyone runs with
+    v1, *_ = build_network()
+    _bench_round(benchmark, v1)
+
+
+def test_bench_watchdog_armed(benchmark, context):
+    context.round_budget = RoundBudget(max_steps=1 << 20, max_seconds=60.0)
+    v1, *_ = build_network()
+    _bench_round(benchmark, v1)
 
 
 def test_observer_counts_match_stats(context):

@@ -305,9 +305,19 @@ def cmd_serve(args: argparse.Namespace, out) -> int:
 
     from .session.server import SessionServer
 
+    round_budget = None
+    if args.round_budget_steps is not None \
+            or args.round_budget_seconds is not None:
+        from .core import RoundBudget
+        round_budget = RoundBudget(max_steps=args.round_budget_steps,
+                                   max_seconds=args.round_budget_seconds)
     server = SessionServer(args.root, host=args.host, port=args.port,
                            fsync=args.fsync,
-                           request_timeout=args.request_timeout)
+                           request_timeout=args.request_timeout,
+                           max_frame_bytes=args.max_frame_bytes,
+                           max_connections=args.max_connections,
+                           drain_timeout=args.drain_timeout,
+                           round_budget=round_budget)
 
     async def run() -> None:
         await server.start()
@@ -449,6 +459,21 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=["always", "rotate", "never"],
                          help="journal durability policy")
     p_serve.add_argument("--request-timeout", type=float, default=30.0)
+    p_serve.add_argument("--max-connections", type=int, default=64,
+                         help="client connection limit; excess accepts "
+                              "get a graceful 'overloaded' frame")
+    p_serve.add_argument("--max-frame-bytes", type=int, default=1 << 20,
+                         help="request frame size limit; oversized frames "
+                              "answer 'bad-request' and are discarded")
+    p_serve.add_argument("--round-budget-steps", type=int, default=None,
+                         help="propagation watchdog: abort any round "
+                              "dispatching more than N events")
+    p_serve.add_argument("--round-budget-seconds", type=float, default=None,
+                         help="propagation watchdog: abort any round "
+                              "running longer than S seconds")
+    p_serve.add_argument("--drain-timeout", type=float, default=5.0,
+                         help="seconds to let in-flight requests finish "
+                              "on shutdown")
     p_serve.set_defaults(fn=cmd_serve)
 
     p_sverify = sub.add_parser("session-verify", help="recover a session "

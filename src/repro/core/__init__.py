@@ -14,6 +14,7 @@ from .explain import Diagnosis, ExplainingHandler, Recommendation, explain
 from .engine import (
     PropagationContext,
     PropagationStats,
+    RoundBudget,
     default_context,
     reset_default_context,
 )
@@ -74,6 +75,7 @@ from .satisfaction import (
 from .trace import PropagationTrace, trace
 from .variable import Variable
 from .violations import (
+    BudgetExceeded,
     ConstraintViolationError,
     PropagationViolation,
     RaisingHandler,
@@ -93,13 +95,15 @@ __all__ = [
     "compile_network", "control_for", "explain", "plan_cache_for",
     "plan_one_pass", "solve_one_pass", "strength_of_constraint", "trace",
     "with_strength",
-    "AreaBoundConstraint", "AspectRatioPredicate", "CompatibleConstraint",
+    "AreaBoundConstraint", "AspectRatioPredicate", "BudgetExceeded",
+    "CompatibleConstraint",
     "Constraint", "ConstraintEditor", "ConstraintViolationError",
     "EqualityConstraint", "ExternalJustification", "FormulaConstraint",
     "FunctionPredicate", "FunctionalConstraint", "LowerBoundConstraint",
     "OrderingConstraint", "PitchMatchPredicate", "PredicateConstraint",
     "PropagatedJustification", "PropagationContext", "PropagationStats",
     "PropagationViolation", "RaisingHandler", "RangeConstraint",
+    "RoundBudget",
     "ScaleOffsetConstraint", "UniAdditionConstraint", "UniMaximumConstraint",
     "UniMinimumConstraint", "UpdateConstraint", "UpperBoundConstraint",
     "Variable", "ViolationHandler", "ViolationRecord", "WarningHandler",

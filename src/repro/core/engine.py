@@ -70,6 +70,7 @@ from typing import Any, Deque, Dict, Iterator, List, Optional, Tuple
 from .agenda import AgendaScheduler, DEFAULT_PRIORITY_ORDER
 from .justification import TENTATIVE, USER, Justification
 from .violations import (
+    BudgetExceeded,
     PropagationViolation,
     ViolationHandler,
     ViolationRecord,
@@ -89,7 +90,7 @@ class PropagationStats:
     __slots__ = ("rounds", "external_assignments", "propagated_assignments",
                  "ignored_propagations", "constraint_activations",
                  "inference_runs", "scheduled_entries", "violations",
-                 "satisfaction_checks")
+                 "satisfaction_checks", "budget_aborts")
 
     def __init__(self) -> None:
         self.reset()
@@ -104,6 +105,7 @@ class PropagationStats:
         self.scheduled_entries = 0
         self.violations = 0
         self.satisfaction_checks = 0
+        self.budget_aborts = 0
 
     def snapshot(self) -> Dict[str, int]:
         return {name: getattr(self, name) for name in self.__slots__}
@@ -111,6 +113,47 @@ class PropagationStats:
     def __repr__(self) -> str:
         body = ", ".join(f"{k}={v}" for k, v in self.snapshot().items())
         return f"PropagationStats({body})"
+
+
+_UNLIMITED = float("inf")
+
+
+class RoundBudget:
+    """Per-round watchdog limits for the wavefront loop.
+
+    A budget bounds one propagation round by dispatched queue events
+    (``max_steps``) and/or wall-clock time (``max_seconds``).  Crossing
+    either limit raises :class:`~repro.core.violations.BudgetExceeded`,
+    which aborts the round through the ordinary violation rollback — the
+    network comes back byte-identical to its pre-round state and the
+    assignment reports ``False``.
+
+    Step budgets are **deterministic**: the same round overruns at the
+    same event on every machine, so durable sessions journal them and
+    replay reproduces the abort exactly.  Wall-time budgets are a
+    liveness backstop (a slow machine may abort a round a fast one
+    completes) — use them for interactive safety, not for anything that
+    must replay bit-identically.
+    """
+
+    __slots__ = ("max_steps", "max_seconds")
+
+    def __init__(self, max_steps: Optional[int] = None,
+                 max_seconds: Optional[float] = None) -> None:
+        if max_steps is None and max_seconds is None:
+            raise ValueError("a RoundBudget needs max_steps and/or "
+                             "max_seconds")
+        if max_steps is not None and max_steps < 1:
+            raise ValueError(f"max_steps must be positive, not {max_steps}")
+        if max_seconds is not None and max_seconds <= 0:
+            raise ValueError(f"max_seconds must be positive, "
+                             f"not {max_seconds}")
+        self.max_steps = max_steps if max_steps is not None else _UNLIMITED
+        self.max_seconds = max_seconds
+
+    def __repr__(self) -> str:
+        steps = None if self.max_steps == _UNLIMITED else self.max_steps
+        return f"RoundBudget(max_steps={steps}, max_seconds={self.max_seconds})"
 
 
 #: Queue event kinds (first element of each event tuple).
@@ -142,7 +185,8 @@ class _Round:
 
     __slots__ = ("visited", "changes", "visited_constraints",
                  "_constraint_ids", "max_changes", "silent",
-                 "_tick", "set_ticks", "queue", "draining", "dispatch_mark")
+                 "_tick", "set_ticks", "queue", "draining", "dispatch_mark",
+                 "budget", "steps", "deadline", "started")
 
     def __init__(self, max_changes: int, silent: bool = False) -> None:
         self.visited: Dict[Any, Tuple[Justification, Any]] = {}
@@ -156,6 +200,12 @@ class _Round:
         self.queue: Deque[Tuple[Any, ...]] = deque()
         self.draining = False
         self.dispatch_mark = 0
+        # Watchdog state (see RoundBudget): dispatched-event count and,
+        # for wall-time budgets, the perf_counter deadline.
+        self.budget: Optional[RoundBudget] = None
+        self.steps = 0
+        self.deadline: Optional[float] = None
+        self.started = 0.0
 
     def record_visit(self, variable: Any) -> None:
         if variable not in self.visited:
@@ -247,6 +297,13 @@ class PropagationContext:
         #: links, implicit hierarchy topology, control state).  Plan-cache
         #: keys embed it, so any edit invalidates stale plans.
         self.topology_epoch = 0
+        #: Optional :class:`RoundBudget` — the propagation watchdog.
+        #: While installed, every round is bounded in dispatched events
+        #: and/or wall time and aborts (with full rollback) via
+        #: :class:`~repro.core.violations.BudgetExceeded` when it
+        #: overruns.  Costs one attribute check per round plus one
+        #: pointer compare per dispatched event while ``None``.
+        self.round_budget: Optional[RoundBudget] = None
         #: Active plan-cache trace recording, or ``None``.  Fed by
         #: :meth:`propagated_assignment`; one attribute check per
         #: propagated assignment while ``None``.
@@ -292,6 +349,12 @@ class PropagationContext:
         if self._round is not None:
             raise RuntimeError("propagation rounds do not nest")
         rnd = _Round(self.max_changes_per_variable, silent=silent)
+        budget = self.round_budget
+        if budget is not None:
+            rnd.budget = budget
+            rnd.started = perf_counter()
+            if budget.max_seconds is not None:
+                rnd.deadline = rnd.started + budget.max_seconds
         self._round = rnd
         self.stats.rounds += 1
         try:
@@ -371,7 +434,7 @@ class PropagationContext:
                     self.check_visited_constraints()
                 except PropagationViolation as signal:
                     self._abort_round(rnd, signal)
-                    outcome = "violation"
+                    outcome = signal.kind
                     return False
                 except BaseException:
                     # A defective constraint implementation must not leave
@@ -493,7 +556,7 @@ class PropagationContext:
                     self.check_visited_constraints()
                 except PropagationViolation as signal:
                     self._abort_round(rnd, signal)
-                    outcome = "violation"
+                    outcome = signal.kind
                     return False
                 except BaseException:
                     self._restore(rnd)
@@ -522,11 +585,33 @@ class PropagationContext:
         stats = self.stats
         scheduler = self.scheduler
         observer = self.observer
+        budget = rnd.budget
         previous_draining = rnd.draining
         previous_mark = rnd.dispatch_mark
         rnd.draining = True
         try:
             while len(queue) > watermark:
+                if budget is not None:
+                    # The watchdog: count every dispatched event (a
+                    # deterministic measure of propagation work) and
+                    # sample the clock every 32 events for wall-time
+                    # budgets.  Both overruns abort through the normal
+                    # violation rollback.
+                    steps = rnd.steps = rnd.steps + 1
+                    if steps > budget.max_steps:
+                        raise BudgetExceeded(
+                            steps=steps,
+                            elapsed=perf_counter() - rnd.started,
+                            reason=(f"propagation exceeded its step "
+                                    f"budget ({int(budget.max_steps)} "
+                                    f"events)"))
+                    if rnd.deadline is not None and not steps & 31 \
+                            and perf_counter() > rnd.deadline:
+                        raise BudgetExceeded(
+                            steps=steps,
+                            elapsed=perf_counter() - rnd.started,
+                            reason=(f"propagation exceeded its wall-time "
+                                    f"budget ({budget.max_seconds}s)"))
                 event = queue.pop()
                 rnd.dispatch_mark = len(queue)
                 kind = event[0]
@@ -727,11 +812,17 @@ class PropagationContext:
         "proceed" semantics), even if the handler raises.
         """
         self.stats.violations += 1
+        if signal.kind == "budget":
+            self.stats.budget_aborts += 1
         self._trace("violation", signal.constraint or signal.variable,
                     signal.reason)
         observer = self.observer
         if observer is not None:
             observer.violation(signal)
+            if signal.kind == "budget":
+                hook = getattr(observer, "budget_exceeded", None)
+                if hook is not None:
+                    hook(signal.steps, signal.elapsed)
         record = ViolationRecord.from_signal(signal)
         try:
             if not rnd.silent:

@@ -31,6 +31,10 @@ class PropagationViolation(Exception):
     human-readable reason.
     """
 
+    #: Violation category — ``"violation"`` for ordinary constraint
+    #: conflicts, ``"budget"`` for watchdog aborts (:class:`BudgetExceeded`).
+    kind = "violation"
+
     def __init__(self, *, variable: Any = None, constraint: Any = None,
                  attempted_value: Any = None, reason: str = "") -> None:
         self.variable = variable
@@ -38,6 +42,27 @@ class PropagationViolation(Exception):
         self.attempted_value = attempted_value
         self.reason = reason
         super().__init__(reason)
+
+
+class BudgetExceeded(PropagationViolation):
+    """A propagation round overran its :class:`~repro.core.engine.RoundBudget`.
+
+    Raised by the wavefront loop when a round's step or wall-time budget
+    is exhausted — the watchdog against runaway propagation (divergent
+    cycles under a relaxed N-change rule, pathological fan-out, buggy
+    constraint implementations).  Rides the ordinary violation machinery:
+    the engine aborts the round via the same rollback path, so the
+    network is byte-identical to its pre-round state, and the context's
+    handler receives a :class:`ViolationRecord` with ``kind="budget"``.
+    """
+
+    kind = "budget"
+
+    def __init__(self, *, steps: int, elapsed: float,
+                 reason: str, variable: Any = None) -> None:
+        super().__init__(variable=variable, reason=reason)
+        self.steps = steps
+        self.elapsed = elapsed
 
 
 class ConstraintViolationError(Exception):
@@ -51,19 +76,23 @@ class ConstraintViolationError(Exception):
 class ViolationRecord:
     """An after-the-fact description of one constraint violation."""
 
-    __slots__ = ("variable", "constraint", "attempted_value", "reason")
+    __slots__ = ("variable", "constraint", "attempted_value", "reason",
+                 "kind")
 
     def __init__(self, variable: Any, constraint: Any,
-                 attempted_value: Any, reason: str) -> None:
+                 attempted_value: Any, reason: str,
+                 kind: str = "violation") -> None:
         self.variable = variable
         self.constraint = constraint
         self.attempted_value = attempted_value
         self.reason = reason
+        self.kind = kind
 
     @classmethod
     def from_signal(cls, signal: PropagationViolation) -> "ViolationRecord":
         return cls(signal.variable, signal.constraint,
-                   signal.attempted_value, signal.reason)
+                   signal.attempted_value, signal.reason,
+                   getattr(signal, "kind", "violation"))
 
     def __str__(self) -> str:
         parts = []

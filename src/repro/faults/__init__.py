@@ -1,0 +1,36 @@
+"""Deterministic fault injection for robustness testing.
+
+The chaos harness of the repo: seeded :class:`FaultPlan` rules decide
+*when* a fault fires (nth call, cumulative byte offset, probability),
+injection adapters decide *where* —
+
+:mod:`~repro.faults.plan`
+    :class:`FaultPlan` / :class:`FaultRule` / :class:`Action` and the
+    :class:`CrashPoint` simulated-``kill -9`` signal.
+:mod:`~repro.faults.files`
+    :class:`FaultOpener` — a journal/checkpoint
+    :class:`~repro.session.journal.FileOpener` that injects torn
+    writes, ``fsync`` failures, ``ENOSPC`` and crash windows.
+:mod:`~repro.faults.netproxy`
+    :class:`StreamFaultProxy` — a frame-aware TCP proxy dropping,
+    delaying, truncating or resetting JSON-line frames between
+    :class:`~repro.session.client.SessionClient` and the server.
+
+Everything here is test/tooling machinery: the production code paths
+only know the injectable-opener seam and pay nothing when no fault
+layer is installed (gated in ``benchmarks/test_bench_overhead.py``).
+"""
+
+from .files import FaultOpener, FaultyFile
+from .netproxy import StreamFaultProxy
+from .plan import Action, CrashPoint, FaultPlan, FaultRule
+
+__all__ = [
+    "Action",
+    "CrashPoint",
+    "FaultOpener",
+    "FaultPlan",
+    "FaultRule",
+    "FaultyFile",
+    "StreamFaultProxy",
+]

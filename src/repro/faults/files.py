@@ -1,0 +1,181 @@
+"""File-level fault injection for the journal/checkpoint write paths.
+
+:class:`FaultOpener` is a drop-in replacement for the journal's
+:class:`~repro.session.journal.FileOpener`: every file the journal or
+checkpoint writer opens comes back wrapped in a :class:`FaultyFile`, and
+every ``write``/``flush``/``fsync``/``replace``/``remove`` consults the
+:class:`~repro.faults.plan.FaultPlan` first.
+
+Crash semantics
+---------------
+A ``crash`` action marks the opener dead and raises
+:class:`~repro.faults.plan.CrashPoint` (a ``BaseException`` — it tears
+through the ``except OSError`` degradation paths the way ``kill -9``
+would).  Once dead, **every** later call on the opener or its files
+raises ``CrashPoint`` too: the simulated process never touches the disk
+again.  Tests then model "restart" by building a fresh session with a
+fresh (or no) opener over the same directory.
+
+Torn writes flush the surviving prefix to the OS before crashing, so the
+bytes a real crash would have left in the file are visible to the
+recovery code running later in the same test process.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Optional
+
+from ..session.journal import FileOpener
+from .plan import Action, CrashPoint, FaultPlan
+
+__all__ = ["FaultOpener", "FaultyFile"]
+
+
+class FaultyFile:
+    """A file handle that consults the fault plan before touching disk."""
+
+    __slots__ = ("real", "path", "opener")
+
+    def __init__(self, real: Any, path: str, opener: "FaultOpener") -> None:
+        self.real = real
+        self.path = path
+        self.opener = opener
+
+    # -- the faultable operations ------------------------------------------
+
+    def write(self, data: Any) -> int:
+        opener = self.opener
+        opener.check_alive()
+        action = opener.plan.decide("write", self.path, len(data))
+        if action is None:
+            return self.real.write(data)
+        if action.kind == "torn":
+            self.real.write(data[:action.keep])
+            self.real.flush()
+            if action.then == "crash":
+                opener.crash(f"torn write to {self.path}")
+            raise OSError(action.errno,
+                          f"{os.strerror(action.errno)} (torn write after "
+                          f"{action.keep} of {len(data)} bytes)", self.path)
+        if action.kind == "crash":
+            self.real.flush()
+            opener.crash(f"write to {self.path}")
+        raise OSError(action.errno, os.strerror(action.errno), self.path)
+
+    def flush(self) -> None:
+        opener = self.opener
+        opener.check_alive()
+        action = opener.plan.decide("flush", self.path)
+        if action is not None:
+            if action.kind == "crash":
+                opener.crash(f"flush of {self.path}")
+            raise OSError(action.errno, os.strerror(action.errno), self.path)
+        self.real.flush()
+
+    def truncate(self, size: Optional[int] = None) -> int:
+        opener = self.opener
+        opener.check_alive()
+        action = opener.plan.decide("truncate", self.path)
+        if action is not None:
+            if action.kind == "crash":
+                opener.crash(f"truncate of {self.path}")
+            raise OSError(action.errno, os.strerror(action.errno), self.path)
+        return self.real.truncate(size)
+
+    # -- transparent passthrough -------------------------------------------
+
+    def fileno(self) -> int:
+        return self.real.fileno()
+
+    def close(self) -> None:
+        # Closing never faults: the degradation paths close handles while
+        # cleaning up after an injected error, and a second failure there
+        # would mask the first (exactly the bug the harness hunts).
+        self.real.close()
+
+    def __enter__(self) -> "FaultyFile":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self.real, name)
+
+
+class FaultOpener(FileOpener):
+    """A :class:`~repro.session.journal.FileOpener` driven by a plan."""
+
+    def __init__(self, plan: Optional[FaultPlan] = None) -> None:
+        self.plan = plan if plan is not None else FaultPlan()
+        self.crashed = False
+
+    # -- crash bookkeeping --------------------------------------------------
+
+    def check_alive(self) -> None:
+        if self.crashed:
+            raise CrashPoint("simulated process is dead")
+
+    def crash(self, where: str) -> None:
+        self.crashed = True
+        raise CrashPoint(f"simulated kill -9 during {where}")
+
+    # -- FileOpener surface -------------------------------------------------
+
+    def __call__(self, path: str, mode: str = "r", **kwargs: Any) -> Any:
+        self.check_alive()
+        action = self.plan.decide("open", path)
+        if action is not None:
+            if action.kind == "crash":
+                self.crash(f"open of {path}")
+            raise OSError(action.errno, os.strerror(action.errno), path)
+        return FaultyFile(open(path, mode, **kwargs), path, self)
+
+    def fsync(self, handle: Any) -> None:
+        self.check_alive()
+        path = getattr(handle, "path", getattr(handle, "name", ""))
+        action = self.plan.decide("fsync", str(path))
+        if action is not None:
+            if action.kind == "crash":
+                self.crash(f"fsync of {path}")
+            raise OSError(action.errno, os.strerror(action.errno),
+                          str(path))
+        os.fsync(handle.fileno())
+
+    def fsync_dir(self, directory: str) -> None:
+        self.check_alive()
+        action = self.plan.decide("fsync-dir", directory)
+        if action is not None:
+            if action.kind == "crash":
+                self.crash(f"directory fsync of {directory}")
+            raise OSError(action.errno, os.strerror(action.errno),
+                          directory)
+        super().fsync_dir(directory)
+
+    def replace(self, src: str, dst: str) -> None:
+        self.check_alive()
+        action = self.plan.decide("replace", dst)
+        if action is not None:
+            if action.kind == "crash":
+                self.crash(f"replace of {dst} (before rename)")
+            raise OSError(action.errno, os.strerror(action.errno), dst)
+        os.replace(src, dst)
+        action = self.plan.decide("replace-done", dst)
+        if action is not None and action.kind == "crash":
+            # The rename itself landed — the crash window *after*
+            # os.replace but before the directory fsync.
+            self.crash(f"replace of {dst} (after rename)")
+
+    def remove(self, path: str) -> None:
+        self.check_alive()
+        action = self.plan.decide("remove", path)
+        if action is not None:
+            if action.kind == "crash":
+                self.crash(f"remove of {path}")
+            raise OSError(action.errno, os.strerror(action.errno), path)
+        os.remove(path)
+
+    def getsize(self, path: str) -> int:
+        self.check_alive()
+        return os.path.getsize(path)

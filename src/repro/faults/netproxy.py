@@ -1,0 +1,176 @@
+"""A frame-aware TCP fault proxy for session-server tests.
+
+:class:`StreamFaultProxy` listens on a local port, forwards every
+connection to an upstream session server, and consults a
+:class:`~repro.faults.plan.FaultPlan` for each newline-delimited JSON
+frame crossing in either direction:
+
+* op ``"c2s"`` — a request frame travelling client → server;
+* op ``"s2c"`` — a response frame travelling server → client.
+
+Fired actions: ``drop`` swallows the frame (the peer waits — the
+client's timeout/retry machinery must recover), ``delay`` stalls it,
+``truncate`` forwards a prefix and then hard-closes both sides (a torn
+frame is useless to the peer, and a real middlebox dying mid-frame
+closes the link too), ``reset`` closes both sides immediately.
+
+The proxy is plain threads + blocking sockets: two pump threads per
+connection, frame-buffered so faults always hit whole frames even when
+TCP fragments them.  ``FaultPlan.decide`` is thread-safe, so one seeded
+plan can drive many concurrent connections deterministically *per
+connection order* (global interleaving across connections is up to the
+scheduler — tests that need exact determinism use one connection or
+``nth`` rules scoped by direction).
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from typing import List, Optional, Tuple
+
+from .plan import FaultPlan
+
+__all__ = ["StreamFaultProxy"]
+
+
+class StreamFaultProxy:
+    """Forward ``host:port`` to an upstream server through a fault plan."""
+
+    def __init__(self, upstream_host: str, upstream_port: int,
+                 plan: Optional[FaultPlan] = None, *,
+                 host: str = "127.0.0.1", port: int = 0) -> None:
+        self.upstream = (upstream_host, upstream_port)
+        self.plan = plan if plan is not None else FaultPlan()
+        self.host = host
+        self.port = port
+        self._listener: Optional[socket.socket] = None
+        self._threads: List[threading.Thread] = []
+        self._conns: List[socket.socket] = []
+        self._lock = threading.Lock()
+        self._stopping = False
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> Tuple[str, int]:
+        """Bind and start accepting; returns the proxy ``(host, port)``."""
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.host, self.port))
+        listener.listen(16)
+        self.port = listener.getsockname()[1]
+        self._listener = listener
+        thread = threading.Thread(target=self._accept_loop,
+                                  name="fault-proxy-accept", daemon=True)
+        thread.start()
+        self._threads.append(thread)
+        return self.host, self.port
+
+    def stop(self) -> None:
+        self._stopping = True
+        listener = self._listener
+        self._listener = None
+        if listener is not None:
+            _close_quietly(listener)
+        with self._lock:
+            conns, self._conns = self._conns, []
+        for conn in conns:
+            _close_quietly(conn)
+        for thread in self._threads:
+            thread.join(timeout=2.0)
+        self._threads = []
+
+    def __enter__(self) -> "StreamFaultProxy":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    # -- plumbing -----------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        listener = self._listener
+        while listener is not None and not self._stopping:
+            try:
+                client, _addr = listener.accept()
+            except OSError:
+                return  # listener closed
+            try:
+                server = socket.create_connection(self.upstream, timeout=10)
+            except OSError:
+                _close_quietly(client)
+                continue
+            with self._lock:
+                self._conns.extend((client, server))
+            for direction, source, sink in (("c2s", client, server),
+                                            ("s2c", server, client)):
+                thread = threading.Thread(
+                    target=self._pump, args=(direction, source, sink),
+                    name=f"fault-proxy-{direction}", daemon=True)
+                thread.start()
+                self._threads.append(thread)
+            listener = self._listener
+
+    def _pump(self, direction: str, source: socket.socket,
+              sink: socket.socket) -> None:
+        buffer = bytearray()
+        try:
+            while True:
+                try:
+                    chunk = source.recv(65536)
+                except OSError:
+                    break
+                if not chunk:
+                    break
+                buffer.extend(chunk)
+                while True:
+                    newline = buffer.find(b"\n")
+                    if newline < 0:
+                        break
+                    frame = bytes(buffer[:newline + 1])
+                    del buffer[:newline + 1]
+                    if not self._forward(direction, frame, source, sink):
+                        return
+        finally:
+            # Half-close is enough to propagate EOF; full close happens
+            # via stop() or the peer pump ending.
+            _close_quietly(source)
+            _close_quietly(sink)
+
+    def _forward(self, direction: str, frame: bytes,
+                 source: socket.socket, sink: socket.socket) -> bool:
+        action = self.plan.decide(direction, "frame", len(frame))
+        try:
+            if action is None:
+                sink.sendall(frame)
+                return True
+            if action.kind == "drop":
+                return True
+            if action.kind == "delay":
+                time.sleep(action.seconds)
+                sink.sendall(frame)
+                return True
+            if action.kind == "truncate":
+                sink.sendall(frame[:action.keep])
+            # truncate falls through to reset: a partial frame with no
+            # newline would just deadlock the peer's readline otherwise.
+            _close_quietly(source)
+            _close_quietly(sink)
+            return False
+        except OSError:
+            return False
+
+
+def _close_quietly(sock: socket.socket) -> None:
+    # shutdown() first: close() alone does not wake a thread blocked in
+    # recv() on the same socket, which would stall stop() on its joins.
+    try:
+        sock.shutdown(socket.SHUT_RDWR)
+    except OSError:
+        pass
+    try:
+        sock.close()
+    except OSError:
+        pass

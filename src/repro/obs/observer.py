@@ -207,6 +207,18 @@ class Observer:
             self.spans.instant("violation", "round",
                                reason=getattr(signal, "reason", ""))
 
+    def budget_exceeded(self, steps: int, elapsed: float) -> None:
+        """The propagation watchdog aborted a runaway round."""
+        metrics = self.metrics
+        if metrics is not None:
+            metrics.counter("engine.budget.aborts").inc()
+            metrics.gauge("engine.budget.last_steps").set(steps)
+            metrics.gauge("engine.budget.last_elapsed_us").set(
+                elapsed * 1e6)
+        if self.spans is not None:
+            self.spans.instant("budget-exceeded", "round", steps=steps,
+                               elapsed_us=elapsed * 1e6)
+
     def restored(self, count: int, cause: str) -> None:
         metrics = self.metrics
         if metrics is not None:

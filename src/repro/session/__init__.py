@@ -20,7 +20,14 @@ and concurrency spine for that framing:
 """
 
 from .codec import EncodingError, UnknownAddress
-from .journal import JournalCorrupt, JournalWriter, read_entries
+from .journal import (
+    DEFAULT_OPENER,
+    FileOpener,
+    JournalCorrupt,
+    JournalDegraded,
+    JournalWriter,
+    read_entries,
+)
 from .manager import SessionManager
 from .session import (
     CONSTRAINT_TYPES,
@@ -31,8 +38,11 @@ from .session import (
 
 __all__ = [
     "CONSTRAINT_TYPES",
+    "DEFAULT_OPENER",
     "EncodingError",
+    "FileOpener",
     "JournalCorrupt",
+    "JournalDegraded",
     "JournalWriter",
     "Session",
     "SessionError",

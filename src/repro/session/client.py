@@ -15,15 +15,40 @@ dependable synchronous client, not an async framework:
 Every call sends one request frame and blocks for its response frame;
 an ``ok: false`` response raises :class:`ServerError` carrying the
 server's error type (``violation``, ``busy``, ``timeout``, ...).
+
+Fault tolerance (``retries > 0``): transient failures — a dropped
+connection, a ``busy``/``timeout``/``overloaded`` load-shedding frame —
+are retried with exponential backoff plus seeded jitter.  Every mutating
+request carries a client-unique ``rid``; the server remembers the
+response per ``rid``, so a retry of a mutation whose response was lost
+replays the original outcome instead of applying twice (exactly-once).
+Violations and other deterministic rejections are never retried.
 """
 
 from __future__ import annotations
 
+import itertools
 import json
+import random
 import socket
+import time
+import uuid
 from typing import Any, Dict, List, Optional
 
-__all__ = ["ServerError", "SessionClient", "SessionHandle"]
+__all__ = ["RETRYABLE_ERRORS", "ServerError", "SessionClient",
+           "SessionHandle"]
+
+#: Server error kinds that signal transient load, not a failed design
+#: operation — safe to retry.
+RETRYABLE_ERRORS = frozenset({"busy", "timeout", "overloaded"})
+
+#: Commands that mutate session state; these carry an ``rid`` so the
+#: server can deduplicate retries.
+_MUTATING = frozenset({
+    "assign", "make-var", "retract", "add-constraint", "remove-constraint",
+    "undo", "redo", "checkpoint", "close", "define-cell", "define-signal",
+    "declare-delay", "add-parameter", "instantiate", "add-net", "connect",
+})
 
 
 class ServerError(RuntimeError):
@@ -37,23 +62,67 @@ class ServerError(RuntimeError):
 
 
 class SessionClient:
-    """One TCP connection speaking the JSON-line protocol."""
+    """One TCP connection speaking the JSON-line protocol.
+
+    Parameters
+    ----------
+    retries:
+        Transient-failure retry budget per call (0 = fail fast).
+    backoff, backoff_max:
+        Base and cap of the exponential backoff between retries.
+    retry_seed:
+        Seeds the jitter RNG; fixed seeds make retry timing reproducible.
+    client_id:
+        Prefix of the per-call ``rid``; must be unique per client for
+        server-side retry deduplication to be sound.  Auto-generated when
+        omitted.
+    """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0, *,
-                 timeout: float = 30.0) -> None:
+                 timeout: float = 30.0, retries: int = 0,
+                 backoff: float = 0.05, backoff_max: float = 2.0,
+                 retry_seed: Optional[int] = None,
+                 client_id: Optional[str] = None) -> None:
+        # Attributes first: close() must be safe after a failed connect.
+        self._sock: Optional[socket.socket] = None
+        self._file: Optional[Any] = None
         self.host = host
         self.port = port
-        self._sock = socket.create_connection((host, port), timeout=timeout)
-        self._file = self._sock.makefile("rwb")
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+        self.backoff_max = backoff_max
+        self.client_id = client_id or uuid.uuid4().hex[:12]
+        self._rng = random.Random(retry_seed)
+        self._rids = itertools.count(1)
         self._next_id = 1
+        self._connect()
 
     # -- lifecycle ----------------------------------------------------------
 
+    def _connect(self) -> None:
+        self._sock = socket.create_connection((self.host, self.port),
+                                              timeout=self.timeout)
+        self._file = self._sock.makefile("rwb")
+
+    @property
+    def connected(self) -> bool:
+        return self._file is not None
+
     def close(self) -> None:
-        try:
-            self._file.close()
-        finally:
-            self._sock.close()
+        """Idempotent teardown; safe mid-request and after failures."""
+        file, self._file = self._file, None
+        sock, self._sock = self._sock, None
+        for resource in (file, sock):
+            if resource is not None:
+                try:
+                    resource.close()
+                except OSError:
+                    pass
+
+    def _reconnect(self) -> None:
+        self.close()
+        self._connect()
 
     def __enter__(self) -> "SessionClient":
         return self
@@ -64,15 +133,47 @@ class SessionClient:
     # -- protocol -----------------------------------------------------------
 
     def call(self, cmd: str, **fields: Any) -> Any:
-        """Send one request; return its ``result`` or raise ServerError."""
+        """Send one request; return its ``result`` or raise ServerError.
+
+        With a retry budget, transient failures (connection loss,
+        ``busy``/``timeout``/``overloaded`` frames) back off and retry;
+        mutations ride their ``rid`` so a retry can never double-apply.
+        """
+        frame = {"id": None, "cmd": cmd}
+        frame.update(fields)
+        if cmd in _MUTATING and "rid" not in frame:
+            frame["rid"] = f"{self.client_id}:{next(self._rids)}"
+        attempt = 0
+        while True:
+            try:
+                if self._file is None:
+                    self._connect()
+                return self._exchange(frame)
+            except ServerError as error:
+                if error.kind not in RETRYABLE_ERRORS \
+                        or attempt >= self.retries:
+                    raise
+            except (ConnectionError, OSError):
+                # The connection is in an unknown state (a request or
+                # response may be half-written) — drop it; the retry
+                # reconnects and the rid makes the redo exactly-once.
+                self.close()
+                if attempt >= self.retries:
+                    raise
+            attempt += 1
+            self._sleep(attempt)
+
+    def _exchange(self, frame: Dict[str, Any]) -> Any:
         request_id = self._next_id
         self._next_id += 1
-        frame = {"id": request_id, "cmd": cmd}
-        frame.update(fields)
-        self._file.write(json.dumps(frame, separators=(",", ":")).encode()
-                         + b"\n")
-        self._file.flush()
-        line = self._file.readline()
+        frame["id"] = request_id
+        file = self._file
+        if file is None:
+            raise ConnectionError("client is closed")
+        file.write(json.dumps(frame, separators=(",", ":")).encode()
+                   + b"\n")
+        file.flush()
+        line = file.readline()
         if not line:
             raise ConnectionError("server closed the connection")
         response = json.loads(line)
@@ -84,10 +185,17 @@ class SessionClient:
             raise ServerError(response.get("error", {}))
         return response.get("result")
 
+    def _sleep(self, attempt: int) -> None:
+        delay = min(self.backoff * (2 ** (attempt - 1)), self.backoff_max)
+        time.sleep(delay * (0.5 + self._rng.random()))
+
     # -- conveniences -------------------------------------------------------
 
     def ping(self) -> bool:
         return bool(self.call("ping").get("pong"))
+
+    def health(self) -> Dict[str, Any]:
+        return self.call("health")
 
     def sessions(self) -> List[str]:
         return self.call("sessions")["sessions"]

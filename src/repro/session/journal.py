@@ -59,7 +59,10 @@ except ImportError:  # pragma: no cover - depends on the environment
     _orjson = None
 
 __all__ = [
+    "DEFAULT_OPENER",
+    "FileOpener",
     "JournalCorrupt",
+    "JournalDegraded",
     "JournalWriter",
     "read_entries",
     "scan_segments",
@@ -78,6 +81,50 @@ _FSYNC_POLICIES = ("always", "rotate", "never")
 
 class JournalCorrupt(ValueError):
     """Unrecoverable journal damage (a hole before the tail)."""
+
+
+class JournalDegraded(RuntimeError):
+    """The journal hit a persistent disk error and is now read-only.
+
+    Raised by every mutating call after the writer degrades.  The
+    session stays alive for reads, fingerprints and verification; the
+    already-acknowledged journal prefix on disk is intact (the failing
+    append was rolled back best-effort, so recovery never surfaces an
+    unacknowledged entry as committed).
+    """
+
+
+class FileOpener:
+    """Seam for every file-system touch of the journal/checkpoint writers.
+
+    The default instance simply forwards to the ``os`` layer.  Fault
+    injection (:class:`repro.faults.FaultOpener`) subclasses this to
+    interpose torn writes, fsync failures, ``ENOSPC`` and crash windows
+    without the production paths knowing — they pay one attribute
+    indirection, nothing more, when no fault layer is installed.
+    """
+
+    def __call__(self, path: str, mode: str = "r", **kwargs: Any) -> Any:
+        return open(path, mode, **kwargs)
+
+    def fsync(self, handle: Any) -> None:
+        os.fsync(handle.fileno())
+
+    def fsync_dir(self, directory: str) -> None:
+        _fsync_directory(directory)
+
+    def replace(self, src: str, dst: str) -> None:
+        os.replace(src, dst)
+
+    def remove(self, path: str) -> None:
+        os.remove(path)
+
+    def getsize(self, path: str) -> int:
+        return os.path.getsize(path)
+
+
+#: Shared pass-through opener used when no fault layer is installed.
+DEFAULT_OPENER = FileOpener()
 
 
 def _segment_name(first_seq: int) -> str:
@@ -221,12 +268,23 @@ class JournalWriter:
     observer:
         Optional :class:`repro.obs.observer.Observer` fed per-append
         byte counts and latencies.
+    opener:
+        :class:`FileOpener` performing every file-system touch; the
+        fault-injection seam.  Defaults to the pass-through
+        :data:`DEFAULT_OPENER`.
+
+    Disk errors (``OSError`` from any write/flush/fsync/rotate) switch
+    the writer into **degraded** mode: the failing append is rolled back
+    best-effort (segment truncated to its pre-append size), the handle
+    is closed, and every further mutating call raises
+    :class:`JournalDegraded` instead of half-writing entries.
     """
 
     def __init__(self, directory: str, *, next_seq: int = 1,
                  fsync: str = "always",
                  segment_max_bytes: int = DEFAULT_SEGMENT_BYTES,
-                 observer: Any = None) -> None:
+                 observer: Any = None,
+                 opener: Optional[FileOpener] = None) -> None:
         if fsync not in _FSYNC_POLICIES:
             raise ValueError(f"fsync policy must be one of {_FSYNC_POLICIES}, "
                              f"not {fsync!r}")
@@ -234,6 +292,7 @@ class JournalWriter:
         self.fsync = fsync
         self.segment_max_bytes = segment_max_bytes
         self.observer = observer
+        self._opener = opener if opener is not None else DEFAULT_OPENER
         self._append_hook = getattr(observer, "journal_appended", None)
         # Per-append policy, resolved once (string compares are visible
         # on the hot path).
@@ -243,14 +302,15 @@ class JournalWriter:
         self._handle: Optional[io.BufferedWriter] = None
         self._segment_path: Optional[str] = None
         self._segment_size = 0
+        self._degraded: Optional[OSError] = None
         os.makedirs(directory, exist_ok=True)
         segments = scan_segments(directory)
         if segments and segments[-1][0] <= next_seq:
             # Keep appending to the existing tail segment (recovery has
             # already truncated any torn line off its end).
             self._segment_path = segments[-1][1]
-            self._segment_size = os.path.getsize(self._segment_path)
-            self._handle = open(self._segment_path, "ab")
+            self._segment_size = self._opener.getsize(self._segment_path)
+            self._handle = self._opener(self._segment_path, "ab")
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -259,13 +319,34 @@ class JournalWriter:
         """Sequence number the next append will carry."""
         return self._next_seq
 
+    @property
+    def degraded(self) -> bool:
+        """True once a disk error froze the writer read-only."""
+        return self._degraded is not None
+
+    @property
+    def degraded_error(self) -> Optional[OSError]:
+        """The disk error that degraded the writer, if any."""
+        return self._degraded
+
     def close(self) -> None:
-        if self._handle is not None:
-            self._handle.flush()
+        handle, self._handle = self._handle, None
+        if handle is None:
+            return
+        try:
+            handle.flush()
             if self.fsync != "never":
-                os.fsync(self._handle.fileno())
-            self._handle.close()
-            self._handle = None
+                self._opener.fsync(handle)
+        except OSError as error:
+            # Closing is a teardown path: record the failure (the tail
+            # of a "never"-policy journal may be lost) but never raise
+            # over whatever the caller is already unwinding.
+            self._degraded = error
+        finally:
+            try:
+                handle.close()
+            except OSError:
+                pass
 
     def __enter__(self) -> "JournalWriter":
         return self
@@ -287,16 +368,10 @@ class JournalWriter:
         line = encode_entry(op)
         handle = self._handle
         if handle is None or self._segment_size >= self.segment_max_bytes:
-            handle = self._rotate(seq)
-        handle.write(line)
-        self._segment_size += len(line)
-        # "never" keeps entries in the process buffer (durable only at
-        # rotate/close/sync); the other policies hand each entry to the
-        # OS, "always" additionally forcing it to stable storage.
-        if self._flush_each:
-            handle.flush()
-            if self._fsync_each:
-                os.fsync(handle.fileno())
+            # A degraded writer always has a None handle, so the slow
+            # path also raises JournalDegraded for frozen journals.
+            handle = self._active_handle(seq)
+        self._write_line(handle, line)
         self._next_seq = seq + 1
         hook = self._append_hook
         if hook is not None:
@@ -317,24 +392,91 @@ class JournalWriter:
         line = b"%08x " % (zlib.crc32(data) & 0xFFFFFFFF,) + data + b"\n"
         handle = self._handle
         if handle is None or self._segment_size >= self.segment_max_bytes:
-            handle = self._rotate(seq)
-        handle.write(line)
-        self._segment_size += len(line)
-        if self._flush_each:
-            handle.flush()
-            if self._fsync_each:
-                os.fsync(handle.fileno())
+            handle = self._active_handle(seq)
+        self._write_line(handle, line)
         self._next_seq = seq + 1
         hook = self._append_hook
         if hook is not None:
             hook(len(line))
         return seq
 
+    def _active_handle(self, first_seq: int) -> Any:
+        """The writable segment handle, rotating (or refusing) as needed."""
+        if self._degraded is not None:
+            raise JournalDegraded(self._degraded_message())
+        handle = self._handle
+        if handle is None or self._segment_size >= self.segment_max_bytes:
+            try:
+                handle = self._rotate(first_seq)
+            except OSError as error:
+                self._enter_degraded(error, rollback_size=None)
+        return handle
+
+    def _write_line(self, handle: Any, line: bytes) -> None:
+        """Land one encoded line on disk, or degrade trying.
+
+        "never" keeps entries in the process buffer (durable only at
+        rotate/close/sync); the other policies hand each entry to the
+        OS, "always" additionally forcing it to stable storage.  Any
+        ``OSError`` from the disk rolls the segment back to its
+        pre-append size and raises :class:`JournalDegraded` — an
+        acknowledged entry is durable, a failed one leaves no trace.
+        """
+        pre_size = self._segment_size
+        try:
+            handle.write(line)
+            self._segment_size += len(line)
+            if self._flush_each:
+                handle.flush()
+                if self._fsync_each:
+                    self._opener.fsync(handle)
+        except OSError as error:
+            self._enter_degraded(error, rollback_size=pre_size)
+
+    def _enter_degraded(self, error: OSError,
+                        rollback_size: Optional[int]) -> None:
+        """Contain a disk failure: freeze the writer read-only.
+
+        The handle is closed, a best-effort truncate rewinds the current
+        segment to its pre-append size (an *unacknowledged* entry must
+        not surface on recovery as if it had been acknowledged — the
+        fsync-failure gray zone), and every later mutating call raises
+        :class:`JournalDegraded`.  The session object stays alive:
+        reads, fingerprints and recovery by another process keep
+        working against the intact acknowledged prefix.
+        """
+        self._degraded = error
+        handle, self._handle = self._handle, None
+        if handle is not None:
+            try:
+                handle.close()
+            except OSError:
+                pass
+        if rollback_size is not None and self._segment_path is not None:
+            try:
+                with open(self._segment_path, "r+b") as repair:
+                    repair.truncate(rollback_size)
+                    repair.flush()
+                    os.fsync(repair.fileno())
+                self._segment_size = rollback_size
+            except OSError:
+                pass  # recovery's torn-tail repair is the backstop
+        raise JournalDegraded(self._degraded_message()) from error
+
+    def _degraded_message(self) -> str:
+        return (f"journal {self.directory!r} is degraded (read-only) "
+                f"after a disk error: {self._degraded}")
+
     def sync(self) -> None:
         """Force the current segment to stable storage."""
+        if self._degraded is not None:
+            raise JournalDegraded(self._degraded_message())
         if self._handle is not None:
-            self._handle.flush()
-            os.fsync(self._handle.fileno())
+            try:
+                self._handle.flush()
+                self._opener.fsync(self._handle)
+            except OSError as error:
+                self._enter_degraded(error, rollback_size=None)
 
     def _rotate(self, first_seq: int) -> io.BufferedWriter:
         """Close the current segment and start ``wal-<first_seq>``.
@@ -343,25 +485,26 @@ class JournalWriter:
         before any entry lands in it, so recovery always sees either the
         old tail or a valid new segment.
         """
-        if self._handle is not None:
-            self._handle.flush()
+        handle, self._handle = self._handle, None
+        if handle is not None:
+            handle.flush()
             if self.fsync != "never":
-                os.fsync(self._handle.fileno())
-            self._handle.close()
-        self._segment_path = os.path.join(self.directory,
-                                          _segment_name(first_seq))
+                self._opener.fsync(handle)
+            handle.close()
+        path = os.path.join(self.directory, _segment_name(first_seq))
+        new_handle = self._opener(path, "ab")
+        self._segment_path = path
         self._segment_size = 0
-        handle = open(self._segment_path, "ab")
         if self.fsync != "never":
-            os.fsync(handle.fileno())
-            _fsync_directory(self.directory)
-        self._handle = handle
+            self._opener.fsync(new_handle)
+            self._opener.fsync_dir(self.directory)
+        self._handle = new_handle
         observer = self.observer
         if observer is not None:
             hook = getattr(observer, "journal_rotated", None)
             if hook is not None:
-                hook(os.path.basename(self._segment_path))
-        return handle
+                hook(os.path.basename(path))
+        return new_handle
 
     # -- maintenance --------------------------------------------------------
 
@@ -378,10 +521,16 @@ class JournalWriter:
             next_first = (segments[index + 1][0]
                           if index + 1 < len(segments) else self._next_seq)
             if next_first <= up_to_seq + 1 and path != self._segment_path:
-                os.remove(path)
+                try:
+                    self._opener.remove(path)
+                except OSError:
+                    continue  # a stale covered segment is harmless
                 deleted.append(path)
         if deleted:
-            _fsync_directory(self.directory)
+            try:
+                self._opener.fsync_dir(self.directory)
+            except OSError:
+                pass
         return deleted
 
 

@@ -12,22 +12,34 @@ from __future__ import annotations
 
 import os
 import threading
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 from .codec import check_name
+from .journal import FileOpener
 from .session import Session, SessionError
 
 __all__ = ["SessionManager"]
 
 
 class SessionManager:
-    """Open, recover, enumerate and close sessions under ``root``."""
+    """Open, recover, enumerate and close sessions under ``root``.
+
+    ``opener`` (a :class:`~repro.session.journal.FileOpener`) routes all
+    journal/checkpoint I/O of every managed session — the fault-injection
+    seam.  ``round_budget`` (a :class:`~repro.core.engine.RoundBudget`)
+    installs the propagation watchdog on each session's context as it is
+    opened.
+    """
 
     def __init__(self, root: str, *, fsync: str = "always",
-                 max_sessions: int = 64) -> None:
+                 max_sessions: int = 64,
+                 opener: Optional[FileOpener] = None,
+                 round_budget: Optional[Any] = None) -> None:
         self.root = root
         self.fsync = fsync
         self.max_sessions = max_sessions
+        self.opener = opener
+        self.round_budget = round_budget
         self.sessions: Dict[str, Session] = {}
         self._lock = threading.Lock()
         os.makedirs(root, exist_ok=True)
@@ -48,7 +60,10 @@ class SessionManager:
             if len(self.sessions) >= self.max_sessions:
                 raise SessionError(
                     f"session limit reached ({self.max_sessions})")
-            session = Session(name, directory=path, fsync=self.fsync)
+            session = Session(name, directory=path, fsync=self.fsync,
+                              opener=self.opener)
+            if self.round_budget is not None:
+                session.context.round_budget = self.round_budget
             self.sessions[name] = session
             return session
 
@@ -81,6 +96,12 @@ class SessionManager:
 
     def is_open(self, name: str) -> bool:
         return name in self.sessions
+
+    def degraded_names(self) -> List[str]:
+        """Names of open sessions whose journals entered degraded mode."""
+        with self._lock:
+            return sorted(name for name, session in self.sessions.items()
+                          if session.degraded)
 
     def __enter__(self) -> "SessionManager":
         return self

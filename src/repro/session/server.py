@@ -21,9 +21,26 @@ Isolation and flow control:
   requests fail fast with a ``busy`` error frame;
 * each request is bounded by ``request_timeout`` — lock starvation
   surfaces as a ``timeout`` error frame instead of a hung client;
+* request frames are bounded by ``max_frame_bytes`` — an oversized frame
+  answers with a ``bad-request`` frame and is discarded up to its
+  newline, leaving the connection usable;
+* at most ``max_connections`` clients may be connected — excess accepts
+  receive a graceful ``overloaded`` frame and are closed;
 * constraint violations are not errors of the protocol but of the
   design: they come back as graceful ``violation`` frames carrying the
   violation record, with the network already restored.
+
+Retry safety: a request may carry a client-generated ``rid`` string.
+The response to each ``rid`` is remembered (per session, bounded LRU)
+and replayed verbatim when the same ``rid`` arrives again, so a client
+that lost a response to a network fault can retry the mutation and have
+it apply **exactly once**.  The check-and-record happens inside the
+session lock with no intervening ``await``, so a duplicate can never
+race the original.
+
+Disk-fault surfacing: a session whose journal degraded (persistent disk
+error) answers mutations with ``degraded`` frames; other I/O errors
+surface as ``io-error`` frames.  ``health`` reports both, plus load.
 
 The server process is crash-safe by delegation: every acknowledged
 mutation was journaled write-ahead by the session, so ``kill -9`` at any
@@ -34,7 +51,8 @@ from __future__ import annotations
 
 import asyncio
 import json
-from typing import Any, Callable, Dict, Optional
+from collections import OrderedDict
+from typing import Any, Callable, Dict, Optional, Set
 
 from .codec import (
     EncodingError,
@@ -43,13 +61,15 @@ from .codec import (
     decode_value,
     encode_value,
 )
-from .journal import JournalCorrupt
+from .journal import JournalCorrupt, JournalDegraded
 from .manager import SessionManager
 from .session import Session, SessionError
 
 __all__ = ["SessionServer"]
 
 _MAX_LINE = 1 << 20
+_READ_CHUNK = 1 << 16
+_RID_CACHE_SIZE = 256  # remembered responses per session, for retries
 
 
 class _RequestError(Exception):
@@ -73,15 +93,29 @@ class SessionServer:
 
     def __init__(self, root: str, *, host: str = "127.0.0.1", port: int = 0,
                  fsync: str = "always", request_timeout: float = 30.0,
-                 max_pending: int = 64, max_sessions: int = 64) -> None:
+                 max_pending: int = 64, max_sessions: int = 64,
+                 max_frame_bytes: int = _MAX_LINE,
+                 max_connections: int = 64,
+                 drain_timeout: float = 5.0,
+                 opener: Any = None,
+                 round_budget: Any = None) -> None:
         self.manager = SessionManager(root, fsync=fsync,
-                                      max_sessions=max_sessions)
+                                      max_sessions=max_sessions,
+                                      opener=opener,
+                                      round_budget=round_budget)
         self.host = host
         self.port = port
         self.request_timeout = request_timeout
         self.max_pending = max_pending
+        self.max_frame_bytes = max_frame_bytes
+        self.max_connections = max_connections
+        self.drain_timeout = drain_timeout
         self._locks: Dict[str, asyncio.Lock] = {}
         self._pending: Dict[str, int] = {}
+        self._rid_cache: Dict[str, "OrderedDict[str, Any]"] = {}
+        self._connections: Set[asyncio.StreamWriter] = set()
+        self._in_flight = 0
+        self._draining = False
         self._server: Optional[asyncio.AbstractServer] = None
         self._stopped: Optional[asyncio.Event] = None
 
@@ -102,11 +136,22 @@ class SessionServer:
         await self.stop()
 
     async def stop(self) -> None:
+        self._draining = True
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        # Drain: let in-flight requests finish (and their responses be
+        # written) before forcing connections closed and syncing journals.
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + self.drain_timeout
+        while self._in_flight and loop.time() < deadline:
+            await asyncio.sleep(0.01)
+        await asyncio.sleep(0.05)  # grace for final response writes
+        for writer in list(self._connections):
+            writer.close()
         self.manager.close_all()
+        self._draining = False
 
     def request_stop(self) -> None:
         if self._stopped is not None:
@@ -117,31 +162,71 @@ class SessionServer:
     async def _client_connected(self, reader: asyncio.StreamReader,
                                 writer: asyncio.StreamWriter) -> None:
         try:
-            while True:
-                try:
-                    line = await reader.readline()
-                except (asyncio.LimitOverrunError, ValueError):
-                    writer.write(_encode_frame({
-                        "id": None, "ok": False,
-                        "error": {"type": "bad-request",
-                                  "message": "request line too long"}}))
-                    await writer.drain()
-                    break
-                if not line:
-                    break
-                response = await self._handle_line(line)
-                writer.write(_encode_frame(response))
+            if self._draining or len(self._connections) >= \
+                    self.max_connections:
+                writer.write(_encode_frame({
+                    "id": None, "ok": False,
+                    "error": {"type": "overloaded",
+                              "message": "server at its connection limit "
+                                         f"({self.max_connections})"}}))
                 await writer.drain()
+                return
+            self._connections.add(writer)
+            await self._serve_connection(reader, writer)
         except (ConnectionResetError, BrokenPipeError):
             pass
         except asyncio.CancelledError:
             pass  # server shutdown while this connection was idle
         finally:
+            self._connections.discard(writer)
             writer.close()
             try:
                 await writer.wait_closed()
             except (ConnectionResetError, BrokenPipeError, OSError):
                 pass
+
+    async def _serve_connection(self, reader: asyncio.StreamReader,
+                                writer: asyncio.StreamWriter) -> None:
+        """Frame requests by hand so an oversized line is survivable.
+
+        ``StreamReader.readline`` cannot stay newline-aligned after a
+        ``LimitOverrunError``, so the loop keeps its own buffer: an
+        oversized frame answers ``bad-request`` once, its remaining bytes
+        are discarded up to the newline, and the connection lives on.
+        """
+        buffer = bytearray()
+        discarding = False
+        limit = self.max_frame_bytes
+        while True:
+            newline = buffer.find(b"\n")
+            if newline < 0:
+                if len(buffer) > limit:
+                    if not discarding:
+                        discarding = True
+                        writer.write(_encode_frame(_too_long_frame(limit)))
+                        await writer.drain()
+                    del buffer[:]  # drop the prefix, keep seeking newline
+                chunk = await reader.read(_READ_CHUNK)
+                if not chunk:
+                    return
+                buffer += chunk
+                continue
+            line = bytes(buffer[:newline])
+            del buffer[:newline + 1]
+            if discarding:
+                discarding = False  # tail of the oversized frame
+                continue
+            if len(line) > limit:
+                writer.write(_encode_frame(_too_long_frame(limit)))
+                await writer.drain()
+                continue
+            self._in_flight += 1
+            try:
+                response = await self._handle_line(line)
+            finally:
+                self._in_flight -= 1
+            writer.write(_encode_frame(response))
+            await writer.drain()
 
     async def _handle_line(self, line: bytes) -> Dict[str, Any]:
         request_id: Any = None
@@ -165,6 +250,12 @@ class SessionServer:
         except JournalCorrupt as error:
             return {"id": request_id, "ok": False,
                     "error": {"type": "internal", "message": str(error)}}
+        except JournalDegraded as error:
+            return {"id": request_id, "ok": False,
+                    "error": {"type": "degraded", "message": str(error)}}
+        except OSError as error:
+            return {"id": request_id, "ok": False,
+                    "error": {"type": "io-error", "message": str(error)}}
 
     async def _dispatch(self, message: Dict[str, Any]) -> Any:
         cmd = message.get("cmd")
@@ -183,10 +274,35 @@ class SessionServer:
                 "busy", f"session {name!r} has {pending} pending requests")
         self._pending[name] = pending + 1
         lock = self._locks.setdefault(name, asyncio.Lock())
+        rid = message.get("rid")
+        if rid is not None and not isinstance(rid, str):
+            raise _RequestError("bad-request", "rid must be a string")
 
         async def locked() -> Any:
+            # Everything under the lock is synchronous (no awaits), so a
+            # timeout can only cancel the request while it waits for the
+            # lock — never between applying a mutation and remembering
+            # its response.  That makes rid-replay exactly-once.
             async with lock:
-                return handler(self, message)
+                cache = self._rid_cache.setdefault(name, OrderedDict())
+                if rid is not None and rid in cache:
+                    cache.move_to_end(rid)
+                    hit = cache[rid]
+                    if isinstance(hit, _RequestError):
+                        raise hit
+                    return hit
+                try:
+                    result = handler(self, message)
+                except _RequestError as error:
+                    # Deterministic rejections (violation, bad address…)
+                    # replay as-is; load shedding is never remembered.
+                    if rid is not None and error.kind not in ("busy",
+                                                              "timeout"):
+                        _remember(cache, rid, error)
+                    raise
+                if rid is not None:
+                    _remember(cache, rid, result)
+                return result
 
         try:
             return await asyncio.wait_for(locked(), self.request_timeout)
@@ -224,6 +340,15 @@ class SessionServer:
         self.request_stop()
         return {"stopping": True}
 
+    def _cmd_health(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        degraded = self.manager.degraded_names()
+        return {"status": "degraded" if degraded else "ok",
+                "sessions": len(self.manager.sessions),
+                "connections": len(self._connections),
+                "in_flight": self._in_flight,
+                "draining": self._draining,
+                "degraded": degraded}
+
     # -- session commands ---------------------------------------------------
 
     def _cmd_open(self, message: Dict[str, Any]) -> Dict[str, Any]:
@@ -234,6 +359,7 @@ class SessionServer:
                 "constraints": len(session.constraints)}
 
     def _cmd_close(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        self._rid_cache.pop(message["session"], None)
         return {"closed": self.manager.close(message["session"])}
 
     def _cmd_assign(self, message: Dict[str, Any]) -> Dict[str, Any]:
@@ -366,12 +492,28 @@ def _encode_frame(frame: Dict[str, Any]) -> bytes:
     return (json.dumps(frame, separators=(",", ":")) + "\n").encode("utf-8")
 
 
-_GLOBAL_COMMANDS = {"ping", "sessions", "shutdown"}
+def _too_long_frame(limit: int) -> Dict[str, Any]:
+    return {"id": None, "ok": False,
+            "error": {"type": "bad-request",
+                      "message": f"request frame exceeds {limit} bytes"}}
+
+
+def _remember(cache: "OrderedDict[str, Any]", rid: Optional[str],
+              outcome: Any) -> None:
+    if rid is None:
+        return
+    cache[rid] = outcome
+    if len(cache) > _RID_CACHE_SIZE:
+        cache.popitem(last=False)
+
+
+_GLOBAL_COMMANDS = {"ping", "sessions", "shutdown", "health"}
 
 _COMMANDS: Dict[str, Callable[..., Any]] = {
     "ping": SessionServer._cmd_ping,
     "sessions": SessionServer._cmd_sessions,
     "shutdown": SessionServer._cmd_shutdown,
+    "health": SessionServer._cmd_health,
     "open": SessionServer._cmd_open,
     "close": SessionServer._cmd_close,
     "assign": SessionServer._cmd_assign,

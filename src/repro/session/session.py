@@ -49,7 +49,7 @@ from contextlib import contextmanager
 from time import perf_counter
 from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
-from ..core.engine import PropagationContext
+from ..core.engine import PropagationContext, RoundBudget
 from ..core.justification import (
     APPLICATION,
     PropagatedJustification,
@@ -70,7 +70,9 @@ from .codec import (
     resolve_address,
 )
 from .journal import (
+    DEFAULT_OPENER,
     DEFAULT_SEGMENT_BYTES,
+    FileOpener,
     JournalWriter,
     _safe_str,
     read_entries,
@@ -209,11 +211,20 @@ class Session:
     read_only:
         Recover state but open no writer and record no new mutations —
         the verification-replay mode.
+    opener:
+        :class:`~repro.session.journal.FileOpener` used for every
+        journal/checkpoint write — the fault-injection seam.  Defaults
+        to the pass-through :data:`~repro.session.journal.DEFAULT_OPENER`.
 
     Opening a directory that already holds a checkpoint and journal
     *recovers* it: the latest valid checkpoint loads, the journal tail
     replays (a torn final entry is truncated), and the session continues
     appending where the crash left off.
+
+    A persistent disk error during journaling degrades the session to
+    read-only (:attr:`degraded`): mutating operations raise
+    :class:`~repro.session.journal.JournalDegraded`, while reads,
+    fingerprints and recovery by a healthy process keep working.
     """
 
     def __init__(self, name: str = "session", *,
@@ -221,11 +232,13 @@ class Session:
                  fsync: str = "always",
                  segment_max_bytes: int = DEFAULT_SEGMENT_BYTES,
                  keep_checkpoints: int = 2,
-                 read_only: bool = False) -> None:
+                 read_only: bool = False,
+                 opener: Optional[FileOpener] = None) -> None:
         check_name(name, "session name")
         self.name = name
         self.directory = directory
         self.read_only = read_only
+        self._opener = opener if opener is not None else DEFAULT_OPENER
         self.keep_checkpoints = keep_checkpoints
         self.vars: Dict[str, Variable] = {}
         self.constraints: Dict[str, Any] = {}
@@ -271,7 +284,8 @@ class Session:
                 self._journal = JournalWriter(
                     directory, next_seq=self._last_seq + 1, fsync=fsync,
                     segment_max_bytes=segment_max_bytes,
-                    observer=_JournalObserverProxy(self))
+                    observer=_JournalObserverProxy(self),
+                    opener=self._opener)
         self._recording = not read_only
 
     # -- lifecycle ----------------------------------------------------------
@@ -284,6 +298,16 @@ class Session:
     @property
     def durable(self) -> bool:
         return self._journal is not None
+
+    @property
+    def degraded(self) -> bool:
+        """True once a persistent disk error forced the journal read-only.
+
+        A degraded session keeps serving reads and fingerprints; mutating
+        operations raise :class:`~repro.session.journal.JournalDegraded`.
+        """
+        journal = self._journal
+        return journal is not None and journal.degraded
 
     def sync(self) -> None:
         """Force journaled entries to stable storage.
@@ -334,8 +358,16 @@ class Session:
             return
         encoded = encode_value(value)
         just = encode_justification_name(justification)
+        # A finite step budget shapes the outcome of the propagation round
+        # this assign triggers, so replay must install the same budget —
+        # journal it alongside the assignment.  Wall-time budgets are
+        # liveness backstops, deliberately not replayed.
+        budget = self.context.round_budget
+        budget_steps: Optional[int] = None
+        if budget is not None and budget.max_steps != _INF:
+            budget_steps = int(budget.max_steps)
         journal = self._journal
-        if journal is not None:
+        if journal is not None and budget_steps is None:
             # Hot path: scalar assigns dominate journal traffic, and the
             # generic dict-encode chain costs more than the propagation
             # round it rides on.
@@ -371,6 +403,8 @@ class Session:
                 return
         entry = {"op": "assign", "var": address,
                  "value": encoded, "just": just}
+        if budget_steps is not None:
+            entry["budget"] = budget_steps
         self._append(entry)
         self._effective.append({
             "entry": entry,
@@ -593,10 +627,12 @@ class Session:
         self._apply_checkpoint_marker()
         path = None
         if self.directory is not None:
-            path = _write_checkpoint(self.directory, self._base_state)
+            path = _write_checkpoint(self.directory, self._base_state,
+                                     opener=self._opener)
             if self._journal is not None:
                 self._journal.prune(self._last_seq)
-            _prune_checkpoints(self.directory, self.keep_checkpoints)
+            _prune_checkpoints(self.directory, self.keep_checkpoints,
+                               opener=self._opener)
         self._observe("session_checkpoint", perf_counter() - t0)
         return path
 
@@ -856,6 +892,7 @@ class Session:
         # points at the old context for uninstall; see docs/sessions.md).
         context.observer = previous.observer
         context.tracer = previous.tracer
+        context.round_budget = previous.round_budget
         plan_cache = getattr(previous, "plan_cache", None)
         if plan_cache is not None:
             # Checkpoint restore / rebuild: the new context holds a fresh
@@ -943,6 +980,7 @@ class Session:
                            or (type(constraint).__name__
                                if constraint is not None else None)),
             "reason": getattr(record, "reason", ""),
+            "kind": getattr(record, "kind", "violation"),
         })
         self._observe("session_op", "violation")
 
@@ -982,8 +1020,21 @@ def _apply_assign(session: Session,
                   entry: Dict[str, Any]) -> Tuple[Any, Dict[str, Any]]:
     variable = session._resolve(entry["var"])
     inverse = {"value": variable.raw_value, "just": variable.last_set_by}
-    ok = variable.set(decode_value(entry["value"]),
-                      decode_justification_name(entry["just"]))
+    budget_steps = entry.get("budget")
+    if budget_steps is not None:
+        # The live assign ran under a step budget; replay must too, so a
+        # budget-aborted round aborts identically and fingerprints match.
+        context = session.context
+        saved = context.round_budget
+        context.round_budget = RoundBudget(max_steps=budget_steps)
+        try:
+            ok = variable.set(decode_value(entry["value"]),
+                              decode_justification_name(entry["just"]))
+        finally:
+            context.round_budget = saved
+    else:
+        ok = variable.set(decode_value(entry["value"]),
+                          decode_justification_name(entry["just"]))
     return ok, inverse
 
 
@@ -1212,24 +1263,36 @@ def _load_latest_checkpoint(directory: str) -> Optional[Dict[str, Any]]:
     return None
 
 
-def _write_checkpoint(directory: str, state: Dict[str, Any]) -> str:
-    """Atomic checkpoint write: temp file, fsync, rename, fsync dir."""
+def _write_checkpoint(directory: str, state: Dict[str, Any], *,
+                      opener: FileOpener = DEFAULT_OPENER) -> str:
+    """Atomic checkpoint write: temp file, fsync, rename, fsync dir.
+
+    A failure before the rename leaves the previous checkpoint intact;
+    the orphaned temp file is removed best-effort before re-raising.
+    """
     path = _checkpoint_path(directory, state["seq"])
     temp = path + ".tmp"
-    with open(temp, "w") as handle:
-        json.dump(state, handle, separators=(",", ":"), sort_keys=True)
-        handle.flush()
-        os.fsync(handle.fileno())
-    os.replace(temp, path)
-    from .journal import _fsync_directory
-    _fsync_directory(directory)
+    try:
+        with opener(temp, "w") as handle:
+            json.dump(state, handle, separators=(",", ":"), sort_keys=True)
+            handle.flush()
+            opener.fsync(handle)
+        opener.replace(temp, path)
+    except OSError:
+        try:
+            os.remove(temp)
+        except OSError:
+            pass
+        raise
+    opener.fsync_dir(directory)
     return path
 
 
-def _prune_checkpoints(directory: str, keep: int) -> None:
+def _prune_checkpoints(directory: str, keep: int, *,
+                       opener: FileOpener = DEFAULT_OPENER) -> None:
     checkpoints = _scan_checkpoints(directory)
     for _seq, path in checkpoints[:-keep] if keep > 0 else checkpoints:
         try:
-            os.remove(path)
+            opener.remove(path)
         except OSError:
             pass

@@ -1,0 +1,216 @@
+"""Server hardening: frame limits, connection limits, health, retries.
+
+Runs a real ``repro serve`` subprocess (with the hardening flags) and, for
+the fault tests, interposes a :class:`StreamFaultProxy` so frames can be
+dropped and connections reset deterministically between a real client and
+the real server.
+"""
+
+import json
+import os
+import re
+import shutil
+import socket
+import subprocess
+import sys
+import tempfile
+
+import pytest
+
+from repro.faults import FaultPlan, StreamFaultProxy
+from repro.session.client import ServerError, SessionClient
+
+
+def start_server(*extra):
+    root = tempfile.mkdtemp(prefix="repro-harden-test-")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", "--root", root,
+         "--fsync", "never", "--max-frame-bytes", "4096",
+         "--max-connections", "8", *extra],
+        env={**os.environ, "PYTHONPATH": os.pathsep.join(sys.path)},
+        stdout=subprocess.PIPE, text=True)
+    line = proc.stdout.readline()
+    match = re.search(r"listening on ([\d.]+):(\d+)", line)
+    assert match, f"unexpected server banner: {line!r}"
+    return proc, root, match.group(1), int(match.group(2))
+
+
+@pytest.fixture(scope="module")
+def server():
+    proc, root, host, port = start_server()
+    yield host, port
+    proc.terminate()
+    proc.wait(timeout=10)
+    shutil.rmtree(root, ignore_errors=True)
+
+
+def raw_connection(server):
+    sock = socket.create_connection(server, timeout=10)
+    return sock, sock.makefile("rwb")
+
+
+class TestFrameLimit:
+    def test_oversized_frame_answers_and_keeps_connection(self, server):
+        sock, file = raw_connection(server)
+        try:
+            file.write(b"x" * 10000 + b"\n")
+            file.flush()
+            response = json.loads(file.readline())
+            assert response["ok"] is False
+            assert response["error"]["type"] == "bad-request"
+            assert "4096" in response["error"]["message"]
+            # The connection survives and stays frame-aligned.
+            file.write(b'{"id": 7, "cmd": "ping"}\n')
+            file.flush()
+            response = json.loads(file.readline())
+            assert response["id"] == 7 and response["ok"] is True
+        finally:
+            sock.close()
+
+    def test_oversized_frame_without_newline_yet(self, server):
+        """The limit triggers while the frame is still buffering — the
+        server must not buffer unboundedly waiting for the newline."""
+        sock, file = raw_connection(server)
+        try:
+            file.write(b"y" * 9000)  # no newline: still "one frame"
+            file.flush()
+            response = json.loads(file.readline())
+            assert response["error"]["type"] == "bad-request"
+            file.write(b"tail-of-oversized-frame\n")  # now finish it
+            file.write(b'{"id": 1, "cmd": "ping"}\n')
+            file.flush()
+            response = json.loads(file.readline())
+            assert response["id"] == 1 and response["ok"] is True
+        finally:
+            sock.close()
+
+
+class TestConnectionLimit:
+    def test_excess_connection_gets_graceful_overloaded_frame(self, server):
+        held = [raw_connection(server) for _ in range(8)]
+        # Ensure all eight are registered server-side before the ninth.
+        for _sock, file in held:
+            file.write(b'{"id": 1, "cmd": "ping"}\n')
+            file.flush()
+            assert json.loads(file.readline())["ok"] is True
+        try:
+            sock, file = raw_connection(server)
+            try:
+                response = json.loads(file.readline())
+                assert response["ok"] is False
+                assert response["error"]["type"] == "overloaded"
+                assert file.readline() == b""  # then the server closes
+            finally:
+                sock.close()
+        finally:
+            for sock, _file in held:
+                sock.close()
+
+
+class TestHealth:
+    def test_health_reports_status_and_load(self, server):
+        host, port = server
+        with SessionClient(host, port) as client:
+            health = client.health()
+            assert health["status"] == "ok"
+            assert health["degraded"] == []
+            assert health["connections"] >= 1
+            assert health["in_flight"] >= 1  # this very request
+            assert health["draining"] is False
+
+
+class TestClientLifecycle:
+    def test_close_is_idempotent(self, server):
+        host, port = server
+        client = SessionClient(host, port)
+        client.close()
+        client.close()  # second close must be a no-op, not a crash
+
+    def test_close_after_connection_loss_is_safe(self, server):
+        host, port = server
+        plan = FaultPlan()
+        plan.reset("c2s", nth=1)
+        with StreamFaultProxy(host, port, plan) as proxy:
+            client = SessionClient(proxy.host, proxy.port, timeout=5)
+            with pytest.raises((ConnectionError, OSError)):
+                client.call("ping")
+            client.close()
+            client.close()
+
+    def test_failed_connect_raises_oserror_not_attributeerror(self):
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        free_port = probe.getsockname()[1]
+        probe.close()
+        with pytest.raises(OSError):
+            SessionClient("127.0.0.1", free_port, timeout=1)
+
+
+class TestRetries:
+    def test_dropped_response_retries_exactly_once(self, server):
+        """The server applies a mutation, the response frame dies on the
+        wire, the client retries — the rid cache must replay the original
+        response instead of applying the mutation twice."""
+        host, port = server
+        plan = FaultPlan()
+        # s2c frame 4 is the response to the assign
+        # (1: open, 2: make-var, 3: the first fingerprint).
+        plan.drop("s2c", nth=4)
+        with StreamFaultProxy(host, port, plan) as proxy:
+            client = SessionClient(proxy.host, proxy.port, timeout=1,
+                                   retries=4, backoff=0.01, retry_seed=1)
+            try:
+                handle = client.session("retry-once")
+                handle.make_var("x", 0)
+                before = handle.fingerprint(stats=False)["position"]
+                handle.assign("v:x", 5)  # response dropped, then retried
+                after = handle.fingerprint(stats=False)["position"]
+                assert handle.value("v:x") == 5
+                assert after == before + 1, "retried mutation applied twice"
+            finally:
+                client.close()
+        assert plan.fired("s2c") == 1
+
+    def test_connection_reset_mid_request_retries_transparently(self, server):
+        host, port = server
+        plan = FaultPlan()
+        plan.reset("c2s", nth=4)  # kill the link under the make-var request
+        with StreamFaultProxy(host, port, plan) as proxy:
+            client = SessionClient(proxy.host, proxy.port, timeout=2,
+                                   retries=4, backoff=0.01, retry_seed=2)
+            try:
+                handle = client.session("retry-reset")
+                handle.make_var("y", 1)
+                handle.assign("v:y", 9)
+                assert handle.value("v:y") == 9
+            finally:
+                client.close()
+
+    def test_violation_is_never_retried(self, server):
+        host, port = server
+        with SessionClient(host, port, retries=5, backoff=0.01) as client:
+            handle = client.session("retry-viol")
+            handle.make_var("z")
+            handle.add_constraint("upper-bound", ["v:z"],
+                                  params={"bound": 10})
+            with pytest.raises(ServerError) as info:
+                handle.assign("v:z", 50)
+            assert info.value.kind == "violation"
+            # Retried violations would append duplicate violation records.
+            assert len(handle.violations()) == 1
+
+
+class TestShutdownDrain:
+    def test_shutdown_answers_before_closing(self):
+        proc, root, host, port = start_server("--drain-timeout", "2")
+        try:
+            with SessionClient(host, port) as client:
+                handle = client.session("drain")
+                handle.make_var("x", 1)
+                client.shutdown()  # response must arrive, not be cut off
+            assert proc.wait(timeout=10) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=5)
+            shutil.rmtree(root, ignore_errors=True)

@@ -1,0 +1,237 @@
+"""Chaos smoke test: the whole stack under deterministic network faults.
+
+What the unit suites check in isolation, this drives end to end against
+a real server process:
+
+1. start ``repro.cli serve`` as a subprocess,
+2. interpose a seeded :class:`StreamFaultProxy` that randomly (but
+   reproducibly) drops response frames and resets connections,
+3. drive two concurrent retrying clients through the proxy with a
+   deterministic workload — every value and the exact journal position
+   are asserted afterwards, so a dropped-response retry that applied
+   twice (or not at all) cannot hide,
+4. open a third session directly, send it a ``checkpoint`` request raw,
+   and ``SIGKILL`` the server a few milliseconds later — mid-checkpoint,
+5. verify every journal offline with ``session-verify --fingerprint``
+   (twice — the digest must be stable),
+6. restart the server and assert the sessions recover to the
+   fingerprints captured before the kill.
+
+Run from the repo root (CI's chaos-smoke job does)::
+
+    PYTHONPATH=src python tools/chaos_smoke.py
+
+Exits non-zero with a diagnostic on the first mismatch.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO, "src"))
+
+from repro.faults import FaultPlan, StreamFaultProxy  # noqa: E402
+from repro.session.client import SessionClient  # noqa: E402
+
+ASSIGN_ROUNDS = 12
+#: 3 make-var + 1 add-constraint + 2 assigns per round — the exact
+#: journal position a fault-free (or exactly-once retried) run ends at.
+EXPECTED_POSITION = 4 + 2 * ASSIGN_ROUNDS
+
+
+def start_server(root: str) -> "tuple[subprocess.Popen, int]":
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO, "src")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve",
+         "--root", root, "--port", "0", "--max-connections", "32",
+         "--round-budget-steps", "100000"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True, env=env, cwd=REPO)
+    deadline = time.monotonic() + 30.0
+    while True:
+        line = proc.stdout.readline()
+        if "listening on" in line:
+            port = int(line.split("listening on")[1].split()[0]
+                       .rsplit(":", 1)[1])
+            return proc, port
+        if not line or proc.poll() is not None:
+            raise RuntimeError(f"server died during startup: {line!r}")
+        if time.monotonic() > deadline:
+            proc.kill()
+            raise RuntimeError("server did not report a port in 30s")
+
+
+def drive(host: str, port: int, name: str, bias: int,
+          results: dict, errors: list) -> None:
+    """A retrying client's deterministic workload through the proxy."""
+    try:
+        client = SessionClient(host, port, timeout=1.0, retries=10,
+                               backoff=0.02, retry_seed=bias,
+                               client_id=f"chaos-{name}")
+        try:
+            handle = client.session(name)
+            handle.make_var("width")
+            handle.make_var("height")
+            handle.make_var("area")
+            handle.add_constraint("sum", ["v:area", "v:width", "v:height"])
+            for step in range(ASSIGN_ROUNDS):
+                handle.assign("v:width", step + bias)
+                handle.assign("v:height", 2 * step + bias)
+            width = ASSIGN_ROUNDS - 1 + bias
+            height = 2 * (ASSIGN_ROUNDS - 1) + bias
+            checks = {
+                "v:width": (handle.value("v:width"), width),
+                "v:height": (handle.value("v:height"), height),
+                "v:area": (handle.value("v:area"), width + height),
+            }
+            for address, (got, expected) in checks.items():
+                if got != expected:
+                    raise AssertionError(
+                        f"{name}: {address} = {got!r}, expected {expected}")
+            position = handle.fingerprint(stats=False)["position"]
+            if position != EXPECTED_POSITION:
+                raise AssertionError(
+                    f"{name}: position {position} != {EXPECTED_POSITION} — "
+                    f"a retried mutation applied twice or was lost")
+            if handle.violations():
+                raise AssertionError(f"{name}: unexpected violations")
+            results[name] = position
+        finally:
+            client.close()
+    except Exception as exc:
+        errors.append((name, exc))
+
+
+def fingerprints(port: int, names: "list[str]") -> "dict[str, dict]":
+    with SessionClient("127.0.0.1", port) as client:
+        return {name: client.session(name).fingerprint() for name in names}
+
+
+def offline_fingerprint(root: str, name: str) -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO, "src")
+    output = subprocess.check_output(
+        [sys.executable, "-m", "repro.cli", "session-verify",
+         "--root", root, "--name", name, "--fingerprint"],
+        text=True, env=env, cwd=REPO)
+    return json.loads(output)
+
+
+def kill_mid_checkpoint(proc: subprocess.Popen, port: int,
+                        name: str) -> None:
+    """Fire a checkpoint request and SIGKILL the server moments later."""
+    sock = socket.create_connection(("127.0.0.1", port), timeout=5)
+    request = json.dumps({"id": 1, "cmd": "checkpoint", "session": name})
+    sock.sendall(request.encode() + b"\n")
+    time.sleep(0.005)  # let the server get into the checkpoint write
+    proc.send_signal(signal.SIGKILL)
+    proc.wait(timeout=30)
+    sock.close()
+
+
+def main() -> int:
+    names = ["alice", "bob"]
+    with tempfile.TemporaryDirectory(prefix="chaos-smoke-") as root:
+        proc, port = start_server(root)
+        plan = FaultPlan(seed=2026)
+        plan.drop("s2c", probability=0.06)   # lose responses: forces the
+        plan.reset("c2s", probability=0.04)  # rid replay; kill links too
+        try:
+            with StreamFaultProxy("127.0.0.1", port, plan) as proxy:
+                errors: list = []
+                results: dict = {}
+                threads = [
+                    threading.Thread(target=drive,
+                                     args=(proxy.host, proxy.port, name,
+                                           bias, results, errors))
+                    for bias, name in enumerate(names)]
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join(timeout=120)
+                for name, exc in errors:
+                    print(f"FAIL: client {name!r} errored: {exc!r}")
+                    return 1
+                if len(results) != len(names):
+                    print(f"FAIL: only {sorted(results)} finished")
+                    return 1
+            faults = plan.summary()
+            print(f"workload survived injected faults: {faults or 'none'}; "
+                  f"both sessions at position {EXPECTED_POSITION} "
+                  f"(exactly-once)")
+
+            # A third session, killed mid-checkpoint (direct, no proxy).
+            with SessionClient("127.0.0.1", port) as client:
+                handle = client.session("carol")
+                handle.make_var("x", 1)
+                handle.assign("v:x", 2)
+            before = fingerprints(port, names + ["carol"])
+        finally:
+            if proc.poll() is None:
+                kill_mid_checkpoint(proc, port, "carol")
+        print(f"killed server pid={proc.pid} with SIGKILL mid-checkpoint")
+
+        for name in names + ["carol"]:
+            first = offline_fingerprint(root, name)
+            second = offline_fingerprint(root, name)
+            if first != second:
+                print(f"FAIL: offline fingerprint of {name!r} is unstable")
+                return 1
+            expected = before[name]
+            if name == "carol":
+                # The checkpoint marker was in flight at the kill: it may
+                # or may not have become durable.  Values must match
+                # either way; the position may sit one entry ahead.
+                values_match = first["variables"] == expected["variables"]
+                position_ok = first["position"] in (
+                    expected["position"], expected["position"] + 1)
+                if not (values_match and position_ok):
+                    print(f"FAIL: carol recovered a hybrid state:\n"
+                          f"  before: {json.dumps(expected, sort_keys=True)}\n"
+                          f"  after:  {json.dumps(first, sort_keys=True)}")
+                    return 1
+            elif first != expected:
+                print(f"FAIL: offline recovery of {name!r} diverged:\n"
+                      f"  before: {json.dumps(expected, sort_keys=True)}\n"
+                      f"  after:  {json.dumps(first, sort_keys=True)}")
+                return 1
+        print("offline session-verify fingerprints stable and correct")
+
+        proc, port = start_server(root)
+        try:
+            after = fingerprints(port, names)
+            carol_after = fingerprints(port, ["carol"])["carol"]
+            with SessionClient("127.0.0.1", port) as client:
+                health = client.health()
+                if health["status"] != "ok":
+                    print(f"FAIL: restarted server unhealthy: {health}")
+                    return 1
+                client.shutdown()
+        finally:
+            proc.wait(timeout=30)
+        for name in names:
+            if after[name] != before[name]:
+                print(f"FAIL: restarted server recovered {name!r} "
+                      f"differently")
+                return 1
+        if carol_after != offline_fingerprint(root, "carol"):
+            print("FAIL: carol diverged between offline and server "
+                  "recovery")
+            return 1
+        print(f"recovered {len(names) + 1} session(s) bit-identically "
+              f"after chaos + kill -9: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
