@@ -8,6 +8,7 @@ A thin utility layer a downstream user drives from the shell::
     python -m repro.cli netlist design.json --cell CHAIN
     python -m repro.cli delay design.json --cell ALU --source in1 --dest out1
     python -m repro.cli select design.json --cell DATAPATH --instance A1
+    python -m repro.cli sweep design.json --cell ALU --var width --range 1:8
     python -m repro.cli stats design.json --json
     python -m repro.cli plancache-stats design.json --repeat 5
     python -m repro.cli metrics design.json
@@ -293,6 +294,85 @@ def cmd_profile(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _sweep_candidates(args: argparse.Namespace) -> List[float]:
+    if args.values is not None:
+        try:
+            return [float(item) for item in args.values.split(",") if item]
+        except ValueError:
+            raise SystemExit(f"error: --values must be comma-separated "
+                             f"numbers, got {args.values!r}")
+    spec = args.range
+    parts = spec.split(":")
+    if len(parts) not in (2, 3):
+        raise SystemExit(f"error: --range must be START:STOP[:STEP], "
+                         f"got {spec!r}")
+    try:
+        start, stop = float(parts[0]), float(parts[1])
+        step = float(parts[2]) if len(parts) == 3 else 1.0
+    except ValueError:
+        raise SystemExit(f"error: --range must be numeric, got {spec!r}")
+    if step <= 0 or stop < start:
+        raise SystemExit("error: --range needs STOP >= START and STEP > 0")
+    count = int((stop - start) / step) + 1
+    return [start + index * step for index in range(count)]
+
+
+def cmd_sweep(args: argparse.Namespace, out) -> int:
+    """Vectorized what-if sweep of one cell variable.
+
+    Compiles the variable's constraint network into a straight-line
+    :class:`~repro.core.sweep.SweepPlan` and evaluates every candidate
+    binding in one pass — N what-if questions answered without mutating
+    the design or running N propagation rounds.  Exit status is 0 when
+    at least one candidate satisfies every checked constraint.
+    """
+    from .core.sweep import SweepError, compile_sweep
+
+    library = _load(args.design)
+    _exercise(library)
+    cell = library.cell(args.cell)
+    owner = _find_instance(cell, args.instance) if args.instance else cell
+    if args.var not in owner.variables:
+        where = (f"instance {args.instance!r} of cell {args.cell!r}"
+                 if args.instance else f"cell {args.cell!r}")
+        raise SystemExit(f"error: {where} has no variable {args.var!r}; "
+                         f"have {sorted(owner.variables)}")
+    variable = owner.variables[args.var]
+    candidates = _sweep_candidates(args)
+    if not candidates:
+        raise SystemExit("error: no candidate values to sweep")
+    try:
+        plan = compile_sweep([variable], context=library.context)
+        result = plan.run(candidates, backend=args.backend)
+    except SweepError as error:
+        raise SystemExit(f"error: {error}")
+    outputs = result.as_dict()
+    mask = [bool(flag) for flag in result.mask]
+    if args.json:
+        json.dump({"backend": result.backend, "cell": args.cell,
+                   "var": args.var, "candidates": candidates,
+                   "outputs": {name: list(column)
+                               for name, column in outputs.items()},
+                   "satisfied": mask,
+                   "satisfied_count": result.satisfied_count},
+                  out, indent=2, sort_keys=True)
+        print(file=out)
+        return 0 if result.satisfied_count else 1
+    names = sorted(outputs)
+    print(f"sweep of {args.cell}.{args.var} over {len(candidates)} "
+          f"candidate(s) [{result.backend} backend]:", file=out)
+    print("  ".join([f"{args.var:>12}"] + [f"{name:>16}" for name in names]
+                    + ["ok"]), file=out)
+    for index, candidate in enumerate(candidates):
+        row = [f"{candidate:>12g}"]
+        row += [f"{outputs[name][index]:>16g}" for name in names]
+        row.append("yes" if mask[index] else "NO")
+        print("  ".join(row), file=out)
+    print(f"{result.satisfied_count}/{len(candidates)} candidate(s) "
+          f"satisfy every constraint", file=out)
+    return 0 if result.satisfied_count else 1
+
+
 def cmd_serve(args: argparse.Namespace, out) -> int:
     """Serve durable design sessions over newline-delimited JSON.
 
@@ -445,6 +525,29 @@ def build_parser() -> argparse.ArgumentParser:
                            help="write a Chrome-trace JSON (chrome://tracing "
                                 "/ Perfetto) to PATH")
     p_profile.set_defaults(fn=cmd_profile)
+
+    p_sweep = sub.add_parser("sweep", help="vectorized what-if sweep of "
+                                           "one cell variable")
+    p_sweep.add_argument("design")
+    p_sweep.add_argument("--cell", required=True,
+                         help="cell owning the swept variable")
+    p_sweep.add_argument("--var", required=True,
+                         help="cell (or instance) variable name to sweep")
+    p_sweep.add_argument("--instance", default=None,
+                         help="sweep a variable of this subcell instance "
+                              "instead of the cell itself")
+    group = p_sweep.add_mutually_exclusive_group(required=True)
+    group.add_argument("--values",
+                       help="comma-separated candidate values")
+    group.add_argument("--range", metavar="START:STOP[:STEP]",
+                       help="inclusive numeric candidate range")
+    p_sweep.add_argument("--backend", default="auto",
+                         choices=["auto", "numpy", "python"],
+                         help="array backend (auto picks numpy when "
+                              "importable)")
+    p_sweep.add_argument("--json", action="store_true",
+                         help="machine-readable JSON result")
+    p_sweep.set_defaults(fn=cmd_sweep)
 
     p_serve = sub.add_parser("serve", help="serve durable design sessions "
                              "over newline-delimited JSON")

@@ -40,7 +40,13 @@ from .justification import (
     source_constraint,
 )
 from .library import CompatibleConstraint, EqualityConstraint, UpdateConstraint
-from .plancache import NOT_DERIVED, PlanCache, PropagationPlan, plan_cache_for
+from .plancache import (
+    NOT_DERIVED,
+    PlanCache,
+    PropagationPlan,
+    PropagationPlanChain,
+    plan_cache_for,
+)
 from .predicates import (
     AreaBoundConstraint,
     AspectRatioPredicate,
@@ -63,6 +69,14 @@ from .strengths import (
     WEAKEST,
     strength_of_constraint,
     with_strength,
+)
+from .sweep import (
+    HAVE_NUMPY,
+    SweepError,
+    SweepPlan,
+    SweepResult,
+    compile_sweep,
+    sweep,
 )
 from .satisfaction import (
     Infeasible,
@@ -91,10 +105,13 @@ __all__ = [
     "IMPLICIT", "Infeasible", "Interval", "IntervalSolver", "MEDIUM",
     "PropagationControl", "REQUIRED", "Recommendation", "RelaxationSolver",
     "STRONG", "StrengthAwareVariable", "USER_STRENGTH", "WEAK", "WEAKEST",
-    "NOT_DERIVED", "PlanCache", "PropagationPlan", "PropagationTrace",
-    "compile_network", "control_for", "explain", "plan_cache_for",
-    "plan_one_pass", "solve_one_pass", "strength_of_constraint", "trace",
-    "with_strength",
+    "NOT_DERIVED", "PlanCache", "PropagationPlan", "PropagationPlanChain",
+    "PropagationTrace",
+    "HAVE_NUMPY", "SweepError", "SweepPlan", "SweepResult",
+    "compile_network", "compile_sweep", "control_for", "explain",
+    "plan_cache_for",
+    "plan_one_pass", "solve_one_pass", "strength_of_constraint", "sweep",
+    "trace", "with_strength",
     "AreaBoundConstraint", "AspectRatioPredicate", "BudgetExceeded",
     "CompatibleConstraint",
     "Constraint", "ConstraintEditor", "ConstraintViolationError",

@@ -90,7 +90,8 @@ class PropagationStats:
     __slots__ = ("rounds", "external_assignments", "propagated_assignments",
                  "ignored_propagations", "constraint_activations",
                  "inference_runs", "scheduled_entries", "violations",
-                 "satisfaction_checks", "budget_aborts")
+                 "satisfaction_checks", "budget_aborts",
+                 "coalesced_assignments")
 
     def __init__(self) -> None:
         self.reset()
@@ -106,6 +107,7 @@ class PropagationStats:
         self.violations = 0
         self.satisfaction_checks = 0
         self.budget_aborts = 0
+        self.coalesced_assignments = 0
 
     def snapshot(self) -> Dict[str, int]:
         return {name: getattr(self, name) for name in self.__slots__}
@@ -186,7 +188,7 @@ class _Round:
     __slots__ = ("visited", "changes", "visited_constraints",
                  "_constraint_ids", "max_changes", "silent",
                  "_tick", "set_ticks", "queue", "draining", "dispatch_mark",
-                 "budget", "steps", "deadline", "started")
+                 "budget", "steps", "deadline", "started", "visited_floor")
 
     def __init__(self, max_changes: int, silent: bool = False) -> None:
         self.visited: Dict[Any, Tuple[Justification, Any]] = {}
@@ -200,6 +202,11 @@ class _Round:
         self.queue: Deque[Tuple[Any, ...]] = deque()
         self.draining = False
         self.dispatch_mark = 0
+        #: Visited-count baseline of the current batch entry; the
+        #: livelock cap in :meth:`may_recompute` measures round size
+        #: from here so each entry of a batched round gets the same
+        #: headroom a standalone round would.
+        self.visited_floor = 0
         # Watchdog state (see RoundBudget): dispatched-event count and,
         # for wall-time budgets, the perf_counter deadline.
         self.budget: Optional[RoundBudget] = None
@@ -223,6 +230,21 @@ class _Round:
         self._tick += 1
         self.set_ticks[variable] = self._tick
 
+    def begin_entry(self) -> None:
+        """Reset per-entry bookkeeping between batch entries.
+
+        A batched round applies its entries sequentially inside one
+        rollback/budget/sweep scope.  Each entry starts with the same
+        change-counting state a standalone round would: the one-value-
+        change rule, the transient-update ticks and the livelock cap all
+        reset, while ``visited`` (pre-states for the atomic rollback) and
+        ``visited_constraints`` (the single final sweep) accumulate.
+        """
+        self.changes.clear()
+        self.set_ticks.clear()
+        self._tick = 0
+        self.visited_floor = len(self.visited)
+
     def may_recompute(self, variable: Any, constraint: Any) -> bool:
         """May ``constraint`` update a result it already set this round?
 
@@ -235,7 +257,8 @@ class _Round:
         """
         if variable.source_constraint() is not constraint:
             return False
-        if self.times_changed(variable) >= len(self.visited) + 2:
+        if self.times_changed(variable) >= \
+                len(self.visited) - self.visited_floor + 2:
             return False  # livelock guard for divergent cycles
         computed_at = self.set_ticks.get(variable, 0)
         return any(self.set_ticks.get(argument, 0) > computed_at
@@ -476,6 +499,141 @@ class PropagationContext:
             # on the spot.  Agenda entries it schedules stay scheduled,
             # for an enclosing drain to pick up.
             self._drain(rnd, watermark)
+
+    def assign_many(self, assignments: Any,
+                    justification: Justification = USER) -> bool:
+        """Apply a batch of external assignments in **one** round.
+
+        ``assignments`` is an iterable of ``(variable, value)`` pairs or
+        ``(variable, value, justification)`` triples; pairs take the
+        call's ``justification``.  The batch runs inside a single
+        :class:`_Round`: entries are seeded into the event queue in
+        order, each entry's wavefront drains before the next entry
+        stores (per-entry change bookkeeping resets, so values and
+        justifications match applying the entries one-by-one), and one
+        satisfaction sweep runs over every visited constraint at the
+        end.  A violation anywhere rolls **all** entries back atomically
+        and returns False; an installed :class:`RoundBudget` covers the
+        whole batch.
+
+        Redundant same-variable entries are coalesced before seeding
+        (last write wins, taking the last occurrence's position), and
+        counted in ``stats.coalesced_assignments``.
+        """
+        entries: List[Tuple[Any, Any, Justification]] = []
+        for item in assignments:
+            if len(item) == 2:
+                variable, value = item
+                entries.append((variable, value, justification))
+            else:
+                variable, value, just = item
+                entries.append((variable, value, just))
+        if not entries:
+            return True
+        recorder = self.recorder
+        if not self.enabled:
+            if recorder is not None:
+                recorder.record_batch(entries)
+            for variable, value, just in entries:
+                variable._store(value, just)
+            return True
+        if self._round is not None:
+            # Joining an active round, like ``assign`` mid-round: each
+            # entry spreads on the spot; no batch bookkeeping applies.
+            for variable, value, just in entries:
+                self._in_round_external_assignment(variable, value, just)
+            return True
+        if recorder is not None:
+            # Write-ahead capture of the *requested* batch: replaying it
+            # re-coalesces deterministically, so stats (and therefore
+            # fingerprints) match the live run.
+            recorder.record_batch(entries)
+        # Last-write-wins coalescing: a later entry for the same variable
+        # supersedes an earlier one and keeps the later position, exactly
+        # as sequential application would leave the later value standing.
+        slots: Dict[int, int] = {}
+        merged: List[Optional[Tuple[Any, Any, Justification]]] = []
+        for entry in entries:
+            key = id(entry[0])
+            previous = slots.get(key)
+            if previous is not None:
+                merged[previous] = None
+            slots[key] = len(merged)
+            merged.append(entry)
+        if len(slots) != len(merged):
+            seeds = [entry for entry in merged if entry is not None]
+        else:
+            seeds = entries
+        dropped = len(entries) - len(seeds)
+        cache = self.plan_cache
+        if cache is not None and self.tracer is None:
+            # Hot-batch fast path: a promoted plan chain replays the whole
+            # batch under guards.  Consulted after the recorder (identical
+            # journaling cache on or off) and before the stats increments
+            # (the recorded stats delta covers them).
+            handled = cache.on_external_batch(seeds, dropped)
+            if handled is not None:
+                return handled
+        return self._run_batch_round(seeds, dropped)
+
+    def _run_batch_round(self, entries: List[Tuple[Any, Any, Justification]],
+                         dropped: int) -> bool:
+        """The general batched round: seed, drain, sweep once."""
+        stats = self.stats
+        stats.coalesced_assignments += dropped
+        stats.external_assignments += len(entries)
+        first = entries[0][0]
+        if self.tracer is not None:
+            self._trace("round-start", first,
+                        f"batch of {len(entries)} assignment(s)")
+        observer = self.observer
+        if observer is not None:
+            batch_hook = getattr(observer, "batch_submitted", None)
+            if batch_hook is not None:
+                batch_hook(len(entries) + dropped, dropped)
+            observer.round_started("batch", first)
+        outcome = "error"
+        rnd = None
+        try:
+            with self._round_scope() as rnd:
+                try:
+                    queue = rnd.queue
+                    recording = self._plan_recording
+                    for variable, value, just in entries:
+                        rnd.begin_entry()
+                        if recording is not None:
+                            recording.note_entry(variable, value)
+                        rnd.record_visit(variable)
+                        variable._store(value, just)
+                        rnd.note_change(variable)
+                        queue.append((_DRAIN_AGENDAS,))
+                        queue.append((_VARIABLE_CHANGED, variable, None))
+                        variable.on_stored_by_assignment()
+                        self._drain(rnd)
+                        # A poisoning in-round assignment may have
+                        # replaced the recording reference; re-read it.
+                        recording = self._plan_recording
+                    self.check_visited_constraints()
+                except PropagationViolation as signal:
+                    self._abort_round(rnd, signal)
+                    outcome = signal.kind
+                    return False
+                except BaseException:
+                    self._restore(rnd)
+                    if observer is not None:
+                        observer.restored(len(rnd.visited), "error")
+                    raise
+            outcome = "ok"
+        finally:
+            recording = self._plan_recording
+            if recording is not None:
+                self._plan_recording = None
+                recording.cache.finish_recording(recording, rnd,
+                                                 outcome == "ok")
+            if observer is not None:
+                observer.round_finished(outcome)
+        self._trace("round-end", first)
+        return True
 
     def probe(self, variable: Any, value: Any,
               justification: Justification = TENTATIVE) -> bool:

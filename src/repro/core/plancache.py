@@ -63,7 +63,8 @@ from .constraint import Constraint
 from .engine import PropagationContext
 from .variable import Variable
 
-__all__ = ["NOT_DERIVED", "PlanCache", "PropagationPlan", "plan_cache_for"]
+__all__ = ["NOT_DERIVED", "PlanCache", "PropagationPlan",
+           "PropagationPlanChain", "plan_cache_for"]
 
 #: Sentinel returned by a plan step's derivation when the inference the
 #: trace recorded would not happen under current values (incomplete
@@ -114,10 +115,11 @@ class _TraceRecording:
     """
 
     __slots__ = ("cache", "state", "epoch", "entry_none", "stats_before",
-                 "steps", "poisoned", "reason")
+                 "steps", "poisoned", "reason", "dropped")
 
     def __init__(self, cache: "PlanCache", state: "_KeyState", epoch: int,
-                 entry_none: bool, stats_before: Dict[str, int]) -> None:
+                 entry_none: bool, stats_before: Dict[str, int],
+                 dropped: int = 0) -> None:
         self.cache = cache
         self.state = state
         self.epoch = epoch
@@ -127,6 +129,10 @@ class _TraceRecording:
         self.steps: List[Tuple[str, Any, Any, Any, bool]] = []
         self.poisoned = False
         self.reason = ""
+        #: Coalesced-entry count of the recorded batch (chains only): a
+        #: chain's stats delta replays the coalescing counter, so replay
+        #: must guard that the count still matches.
+        self.dropped = dropped
 
     def note_write(self, variable: Any, value: Any, constraint: Any,
                    justification: Any) -> None:
@@ -138,6 +144,10 @@ class _TraceRecording:
         self.steps.append(("i", variable, constraint, justification,
                            value is None))
 
+    def note_entry(self, variable: Any, value: Any) -> None:
+        """A batch entry boundary: the next steps belong to this entry."""
+        self.steps.append(("e", variable, None, None, value is None))
+
     def poison(self, reason: str) -> None:
         """The round did something a straight-line plan cannot replay."""
         if not self.poisoned:
@@ -147,8 +157,11 @@ class _TraceRecording:
     def signature(self, checks: List[Any]) -> Tuple[Any, ...]:
         """The round's activation shape: what happened, not which values."""
         shape: List[Any] = [("e", self.entry_none)]
-        for kind, target, constraint, _justification, _none in self.steps:
-            shape.append((kind, id(constraint), id(target)))
+        for kind, target, constraint, _justification, none in self.steps:
+            if kind == "e":
+                shape.append(("e", id(target), none))
+            else:
+                shape.append((kind, id(constraint), id(target)))
         for constraint in checks:
             shape.append(("c", id(constraint)))
         return tuple(shape)
@@ -185,17 +198,56 @@ class PropagationPlan:
                 f"{writes} write(s) / {len(self.steps)} step(s)>")
 
 
+class PropagationPlanChain:
+    """A promoted straight-line replay for one batched round.
+
+    The stitched trace-tree of a hot repeated batch (the slider-drag
+    case): ``steps`` interleaves ``("e", target, was_none)`` entry
+    markers — each consuming the next ``(variable, value,
+    justification)`` of the submitted batch — with the same ``"w"`` /
+    ``"i"`` / ``"g"`` / ``"c"`` guarded steps as
+    :class:`PropagationPlan`, forming one guard set and one final sweep
+    for the whole batch.  ``dropped`` is the coalesced-entry count the
+    recorded batch had; the stats delta replays the coalescing counter,
+    so a batch that coalesces differently falls back to the general
+    engine.
+    """
+
+    __slots__ = ("entries", "steps", "stats_delta", "dropped")
+
+    def __init__(self, entries: Tuple[Any, ...],
+                 steps: List[Tuple[Any, ...]],
+                 stats_delta: List[Tuple[str, int]], dropped: int) -> None:
+        self.entries = entries
+        self.steps = steps
+        self.stats_delta = stats_delta
+        self.dropped = dropped
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def __repr__(self) -> str:
+        writes = sum(1 for step in self.steps if step[0] == "w")
+        return (f"<PropagationPlanChain {len(self.entries)} entries "
+                f"{writes} write(s) / {len(self.steps)} step(s)>")
+
+
 class _KeyState:
     """Per-key lifecycle: registered -> traced -> planned (or disabled)."""
 
-    __slots__ = ("variable", "signature", "confirmations", "plan",
+    __slots__ = ("variable", "key_ids", "signature", "confirmations", "plan",
                  "disabled", "attempts")
 
-    def __init__(self, variable: Any) -> None:
-        self.variable = variable  # strong ref: keeps id() stable
+    def __init__(self, variable: Any, key_ids: Any = None) -> None:
+        #: The entry variable (strong ref: keeps ``id()`` stable) — or,
+        #: for a batch key, the tuple of entry variables in seed order.
+        self.variable = variable
+        #: The id part of the cache key: ``id(variable)`` for a single
+        #: entry, the tuple of entry-variable ids for a batch.
+        self.key_ids = key_ids if key_ids is not None else id(variable)
         self.signature: Optional[Tuple[Any, ...]] = None
         self.confirmations = 0
-        self.plan: Optional[PropagationPlan] = None
+        self.plan: Optional[Any] = None
         self.disabled = False
         self.attempts = 0
 
@@ -288,6 +340,12 @@ class PlanCache:
         state = self._states.get((id(variable), self.context.topology_epoch))
         return state.plan if state is not None else None
 
+    def chain_for(self, variables: Any) -> Optional[PropagationPlanChain]:
+        """The promoted plan chain for an entry-variable tuple, if any."""
+        key_ids = tuple(id(variable) for variable in variables)
+        state = self._states.get((key_ids, self.context.topology_epoch))
+        return state.plan if state is not None else None
+
     def stats(self) -> Dict[str, int]:
         """Counters in deterministic sorted-key order."""
         return {
@@ -343,6 +401,42 @@ class PlanCache:
         self._begin_recording(state, value)
         return None
 
+    def on_external_batch(self, entries: List[Tuple[Any, Any, Any]],
+                          dropped: int) -> Optional[bool]:
+        """Consulted by ``PropagationContext.assign_many`` before a round.
+
+        ``entries`` is the coalesced ``(variable, value, justification)``
+        seed list; ``dropped`` the coalesced-away entry count.  Returns
+        ``True`` when a plan chain replayed the whole batch, ``None``
+        when the general batched round must run — with a trace recording
+        installed when this batch key is warming up.
+        """
+        context = self.context
+        if context._plan_recording is not None:
+            context._plan_recording = None
+        key_ids = tuple(id(entry[0]) for entry in entries)
+        key = (key_ids, context.topology_epoch)
+        states = self._states
+        state = states.get(key)
+        if state is None:
+            self.misses += 1
+            self._observe("miss")
+            if len(states) >= self.max_keys:
+                states.pop(next(iter(states)))
+            states[key] = _KeyState(tuple(entry[0] for entry in entries),
+                                    key_ids)
+            return None
+        if state.disabled:
+            self.misses += 1
+            self._observe("miss")
+            return None
+        if state.plan is not None:
+            return self._execute_batch(state, entries, dropped)
+        self.misses += 1
+        self._observe("miss")
+        self._begin_recording(state, None, dropped)
+        return None
+
     def finish_recording(self, recording: _TraceRecording, rnd: Any,
                          ok: bool) -> None:
         """Round teardown: fold a finished trace into the key's state."""
@@ -350,7 +444,7 @@ class PlanCache:
         context = self.context
         if (not ok or recording.poisoned
                 or recording.epoch != context.topology_epoch
-                or self._states.get((id(state.variable), recording.epoch))
+                or self._states.get((state.key_ids, recording.epoch))
                 is not state):
             return  # violating/poisoned/stale rounds never cache
         checks = [constraint for constraint in rnd.visited_constraints
@@ -362,11 +456,15 @@ class PlanCache:
             return
         state.confirmations += 1
         if state.confirmations >= self.hot_threshold:
-            self._promote(state, recording, checks)
+            if isinstance(state.variable, tuple):
+                self._promote_chain(state, recording, checks)
+            else:
+                self._promote(state, recording, checks)
 
     # -- recording ----------------------------------------------------------
 
-    def _begin_recording(self, state: _KeyState, value: Any) -> None:
+    def _begin_recording(self, state: _KeyState, value: Any,
+                         dropped: int = 0) -> None:
         state.attempts += 1
         if state.attempts > self.max_trace_attempts:
             self._disable(state, "trace budget exhausted")
@@ -374,7 +472,7 @@ class PlanCache:
         self.traces += 1
         self.context._plan_recording = _TraceRecording(
             self, state, self.context.topology_epoch, value is None,
-            self.context.stats.snapshot())
+            self.context.stats.snapshot(), dropped)
 
     def _disable(self, state: _KeyState, reason: str) -> None:
         state.disabled = True
@@ -418,46 +516,121 @@ class PlanCache:
                               justification, was_none))
             else:
                 steps.append(("i", target, constraint, derive))
-        # Visited constraints that assigned nothing: prove they stay
-        # silent, or guard the condition that silenced them.
-        changed_ids = written
+        if not self._certify_checks(state, checks, steps, written, stepped,
+                                    involved):
+            return None
+        state.plan = PropagationPlan(entry, recording.entry_none, steps,
+                                     self._stats_delta(recording))
+        state.attempts = 0
+        self.promotions += 1
+        self._observe("promotion")
+
+    def _promote_chain(self, state: _KeyState, recording: _TraceRecording,
+                       checks: List[Any]) -> None:
+        """Promote a batched-round trace into a plan chain.
+
+        Same certification rules as :meth:`_promote`, with two batch
+        twists: the double-write rule applies per entry *segment* (the
+        general engine resets its change counts at each entry, so a
+        later entry's wavefront legitimately recomputes a variable an
+        earlier entry derived), and the silence guards consider every
+        variable written anywhere in the batch.
+        """
+        entries = state.variable
+        for variable in entries:
+            if not _plain_variable(variable):
+                return self._disable(state, "entry variable is not plain")
+        steps: List[Tuple[Any, ...]] = []
+        written: set = set()   # across the whole batch, for silence guards
+        segment: set = set()   # within the current entry segment
+        stepped = set()
+        involved: List[Any] = []
+        for kind, target, constraint, justification, was_none \
+                in recording.steps:
+            if kind == "e":
+                segment = {id(target)}
+                written.add(id(target))
+                steps.append(("e", target, was_none))
+                continue
+            changed = justification.dependency_record
+            derivation = getattr(constraint, "plan_derivation", None)
+            derive = derivation(target, changed) \
+                if derivation is not None else None
+            if derive is None:
+                return self._disable(
+                    state, f"{type(constraint).__name__} is not derivable")
+            if not _plain_variable(target):
+                return self._disable(state, "write target is not plain")
+            stepped.add(id(constraint))
+            involved.append(constraint)
+            if kind == "w":
+                if id(target) in segment:
+                    return self._disable(state, "variable written twice")
+                segment.add(id(target))
+                written.add(id(target))
+                steps.append(("w", target, constraint, derive,
+                              justification, was_none))
+            else:
+                steps.append(("i", target, constraint, derive))
+        if not self._certify_checks(state, checks, steps, written, stepped,
+                                    involved):
+            return None
+        state.plan = PropagationPlanChain(entries, steps,
+                                          self._stats_delta(recording),
+                                          recording.dropped)
+        state.attempts = 0
+        self.promotions += 1
+        self._observe("promotion")
+
+    def _certify_checks(self, state: _KeyState, checks: List[Any],
+                        steps: List[Tuple[Any, ...]], written: set,
+                        stepped: set, involved: List[Any]) -> bool:
+        """Certify the silent constraints and append the final sweep.
+
+        Visited constraints that assigned nothing must prove they stay
+        silent, or guard the condition that silenced them; every argument
+        of every involved constraint must be plain.  Appends the ``"g"``
+        and ``"c"`` steps to ``steps``; False means the key was disabled.
+        """
         for constraint in checks:
             if id(constraint) in stepped or _pure_check(constraint):
                 continue
             guard_factory = getattr(constraint, "plan_silence_guard", None)
             if guard_factory is not None:
                 driven = any(
-                    id(argument) in changed_ids
+                    id(argument) in written
                     and constraint.permits_changes_by(argument)
                     for argument in getattr(constraint, "arguments", ()))
                 if driven:
                     silent = guard_factory()
                     if silent is None:
-                        return self._disable(state, "silence not guardable")
+                        self._disable(state, "silence not guardable")
+                        return False
                     steps.append(("g", constraint, silent))
                 continue
             if getattr(constraint, "plan_silent_on_none", False):
                 continue  # null-driven skip; None-ness is guarded invariant
-            return self._disable(
+            self._disable(
                 state, f"silent {type(constraint).__name__} not certified")
+            return False
         for constraint in involved + checks:
             arguments = getattr(constraint, "arguments", None)
             if arguments is None:
-                return self._disable(state, "constraint without arguments")
+                self._disable(state, "constraint without arguments")
+                return False
             for argument in arguments:
                 if not _plain_variable(argument):
-                    return self._disable(state, "argument is not plain")
+                    self._disable(state, "argument is not plain")
+                    return False
         for constraint in checks:
             steps.append(("c", constraint))
+        return True
+
+    def _stats_delta(self, recording: _TraceRecording) -> List[Tuple[str, int]]:
         after = self.context.stats.snapshot()
         before = recording.stats_before
-        stats_delta = [(name, after[name] - before[name])
-                       for name in after if after[name] != before[name]]
-        state.plan = PropagationPlan(entry, recording.entry_none, steps,
-                                     stats_delta)
-        state.attempts = 0
-        self.promotions += 1
-        self._observe("promotion")
+        return [(name, after[name] - before[name])
+                for name in after if after[name] != before[name]]
 
     # -- replay -------------------------------------------------------------
 
@@ -505,6 +678,115 @@ class PlanCache:
             observer.round_finished("deopt")
         self._begin_recording(state, value)
         return None
+
+    def _execute_batch(self, state: _KeyState,
+                       entries: List[Tuple[Any, Any, Any]],
+                       dropped: int) -> Optional[bool]:
+        plan = state.plan
+        if dropped != plan.dropped:
+            # Different raw batch, same coalesced seeds: the recorded
+            # stats delta would replay the wrong coalescing count.  Run
+            # the general round; the plan survives for matching batches.
+            self.misses += 1
+            self._observe("miss")
+            return None
+        context = self.context
+        observer = context.observer
+        span = None
+        first = entries[0][0]
+        if observer is not None:
+            batch_hook = getattr(observer, "batch_submitted", None)
+            if batch_hook is not None:
+                batch_hook(len(entries) + dropped, dropped)
+            observer.round_started("batch", first)
+            span_hook = getattr(observer, "plan_span", None)
+            if span_hook is not None:
+                span = span_hook("replay", entry=first.qualified_name(),
+                                 entries=len(entries))
+        try:
+            if span is not None:
+                with span:
+                    ok = self._run_chain(plan, entries)
+            else:
+                ok = self._run_chain(plan, entries)
+        except BaseException:
+            if observer is not None:
+                observer.round_finished("error")
+            raise
+        if ok:
+            stats = context.stats
+            for name, delta in plan.stats_delta:
+                setattr(stats, name, getattr(stats, name) + delta)
+            self.hits += 1
+            if observer is not None:
+                self._observe_on(observer, "hit")
+                observer.round_finished("ok")
+            return True
+        # Deoptimize mid-chain: the rollback already restored every entry;
+        # drop the chain and re-enter the general batched round on this
+        # very batch, recording a fresh trace.
+        self.deopts += 1
+        state.plan = None
+        state.signature = None
+        state.confirmations = 0
+        if observer is not None:
+            self._observe_on(observer, "deopt")
+            observer.round_finished("deopt")
+        self._begin_recording(state, None, dropped)
+        return None
+
+    @staticmethod
+    def _run_chain(plan: PropagationPlanChain,
+                   entries: List[Tuple[Any, Any, Any]]) -> bool:
+        """Replay a plan chain under guards; False means rolled back."""
+        undo: List[Tuple[Any, Any, Any]] = []
+        index = 0
+        try:
+            for step in plan.steps:
+                kind = step[0]
+                if kind == "w":
+                    _, target, constraint, derive, just, was_none = step
+                    derived = derive()
+                    if derived is NOT_DERIVED \
+                            or (derived is None) != was_none \
+                            or target.classify_propagated(
+                                derived, constraint) != "apply":
+                        raise _GuardFailure
+                    undo.append((target, target.last_set_by,
+                                 target.raw_value))
+                    target._store(derived, just)
+                elif kind == "e":
+                    variable, value, just = entries[index]
+                    index += 1
+                    if (value is None) != step[2]:
+                        raise _GuardFailure
+                    undo.append((variable, variable.last_set_by,
+                                 variable.raw_value))
+                    variable._store(value, just)
+                elif kind == "c":
+                    if not step[1].is_satisfied():
+                        raise _GuardFailure
+                elif kind == "i":
+                    _, target, constraint, derive = step
+                    derived = derive()
+                    if derived is NOT_DERIVED \
+                            or target.classify_propagated(
+                                derived, constraint) != "ignore":
+                        raise _GuardFailure
+                else:  # "g": the constraint must still have no inference
+                    if not step[2]():
+                        raise _GuardFailure
+        except _GuardFailure:
+            for var, just, val in reversed(undo):
+                var._store(val, just)
+            return False
+        except BaseException:
+            # Defective derivation/check: restore, then surface — the
+            # same contract as the general engine's error path.
+            for var, just, val in reversed(undo):
+                var._store(val, just)
+            raise
+        return True
 
     @staticmethod
     def _run_plan(plan: PropagationPlan, variable: Any, value: Any,

@@ -29,8 +29,6 @@ from __future__ import annotations
 import math
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
-import numpy as np
-
 from .constraint import Constraint
 from .functional import (
     FunctionalConstraint,
@@ -419,6 +417,9 @@ class RelaxationSolver:
         """Minimise residuals; None when no satisfying point was found."""
         if not self.free:
             return {} if not any(self.residuals({})) else None
+        # Both solver dependencies are optional: everything up to the
+        # numeric minimisation works on the stdlib alone.
+        import numpy as np
         from scipy.optimize import least_squares
 
         x0 = np.full(len(self.free), float(initial_guess))

@@ -145,6 +145,20 @@ class Observer:
                                subject=self._round_subject, outcome=outcome,
                                max_queue_depth=self._round_max_depth)
 
+    def batch_submitted(self, size: int, coalesced: int) -> None:
+        """A batched round was submitted: ``size`` requested entries, of
+        which ``coalesced`` were superseded by later same-variable
+        writes before seeding."""
+        metrics = self.metrics
+        if metrics is not None:
+            metrics.counter("engine.batch.rounds").inc()
+            metrics.counter("engine.batch.entries").inc(size)
+            metrics.counter("engine.batch.coalesced").inc(coalesced)
+            metrics.gauge("engine.batch.last_size").set(size)
+        if self.spans is not None:
+            self.spans.instant("batch", "round", entries=size,
+                               coalesced=coalesced)
+
     # -- the dispatch site ---------------------------------------------------
 
     def activation(self, constraint: Any, variable: Any,

@@ -45,7 +45,8 @@ RETRYABLE_ERRORS = frozenset({"busy", "timeout", "overloaded"})
 #: Commands that mutate session state; these carry an ``rid`` so the
 #: server can deduplicate retries.
 _MUTATING = frozenset({
-    "assign", "make-var", "retract", "add-constraint", "remove-constraint",
+    "assign", "assign-many", "make-var", "retract",
+    "add-constraint", "remove-constraint",
     "undo", "redo", "checkpoint", "close", "define-cell", "define-signal",
     "declare-delay", "add-parameter", "instantiate", "add-net", "connect",
 })
@@ -235,6 +236,24 @@ class SessionHandle:
 
     def assign(self, var: str, value: Any, just: str = "USER") -> Any:
         return self._call("assign", var=var, value=value, just=just)
+
+    def assign_many(self, entries: Any, just: str = "USER") -> Any:
+        """Batched assignment: one round, one journal record, one rid.
+
+        ``entries`` is an iterable of ``(var, value)`` pairs,
+        ``(var, value, just)`` triples, or ready-made entry dicts.  The
+        whole batch applies exactly once even across retries.
+        """
+        specs: List[Dict[str, Any]] = []
+        for item in entries:
+            if isinstance(item, dict):
+                specs.append(item)
+            elif len(item) == 2:
+                specs.append({"var": item[0], "value": item[1]})
+            else:
+                specs.append({"var": item[0], "value": item[1],
+                              "just": item[2]})
+        return self._call("assign-many", entries=specs, just=just)
 
     def get(self, var: str) -> Dict[str, Any]:
         return self._call("get", var=var)

@@ -212,6 +212,39 @@ def _format_flat(entry: Dict[str, Any]) -> Optional[str]:
     return "{" + ",".join(parts) + "}"
 
 
+def _frame(data: bytes) -> bytes:
+    """The journal line framing: checksum, space, body, newline."""
+    return b"%08x " % (zlib.crc32(data) & 0xFFFFFFFF,) + data + b"\n"
+
+
+def format_assign_body(var: str, value_json: str, just: str,
+                       seq: int) -> bytes:
+    """Fused compact encoding of one assign op.
+
+    ``var`` and ``just`` must be escape-free (:func:`_safe_str`) and
+    ``value_json`` already-valid JSON text.  Byte-identical to what
+    :func:`encode_entry` produces for the equivalent dict — keys in
+    sorted order, compact separators.
+    """
+    return ('{"just":"%s","op":"assign","seq":%d,"value":%s,"var":"%s"}'
+            % (just, seq, value_json, var)).encode("utf-8")
+
+
+def format_batch_body(entries: List[Tuple[str, str, str]],
+                      seq: int) -> bytes:
+    """Fused compact encoding of one batch op.
+
+    ``entries`` holds ``(var, value_json, just)`` triples under the same
+    escape-free contract as :func:`format_assign_body`.  Byte-identical
+    to :func:`encode_entry` on the equivalent nested dict.
+    """
+    body = ",".join('{"just":"%s","value":%s,"var":"%s"}'
+                    % (just, value_json, var)
+                    for var, value_json, just in entries)
+    return ('{"entries":[%s],"op":"batch","seq":%d}'
+            % (body, seq)).encode("utf-8")
+
+
 def encode_entry(entry: Dict[str, Any]) -> bytes:
     """One journal line: checksum, space, compact JSON, newline.
 
@@ -229,7 +262,7 @@ def encode_entry(entry: Dict[str, Any]) -> bytes:
         if body is None:
             body = _ENCODER.encode(entry)
         data = body.encode("utf-8")
-    return b"%08x " % (zlib.crc32(data) & 0xFFFFFFFF,) + data + b"\n"
+    return _frame(data)
 
 
 def _decode_line(line: bytes) -> Optional[Dict[str, Any]]:
@@ -365,18 +398,7 @@ class JournalWriter:
         """
         seq = self._next_seq
         op["seq"] = seq
-        line = encode_entry(op)
-        handle = self._handle
-        if handle is None or self._segment_size >= self.segment_max_bytes:
-            # A degraded writer always has a None handle, so the slow
-            # path also raises JournalDegraded for frozen journals.
-            handle = self._active_handle(seq)
-        self._write_line(handle, line)
-        self._next_seq = seq + 1
-        hook = self._append_hook
-        if hook is not None:
-            hook(len(line))
-        return seq
+        return self._append_line(encode_entry(op), seq)
 
     def append_assign(self, var: str, value_json: str, just: str) -> int:
         """Hot-path append of one assign entry, bypassing dict encoding.
@@ -387,11 +409,27 @@ class JournalWriter:
         same bytes ``append({"op": "assign", ...})`` would.
         """
         seq = self._next_seq
-        data = ('{"just":"%s","op":"assign","seq":%d,"value":%s,"var":"%s"}'
-                % (just, seq, value_json, var)).encode("utf-8")
-        line = b"%08x " % (zlib.crc32(data) & 0xFFFFFFFF,) + data + b"\n"
+        return self._append_line(
+            _frame(format_assign_body(var, value_json, just, seq)), seq)
+
+    def append_batch(self, entries: List[Tuple[str, str, str]]) -> int:
+        """Hot-path append of one batch entry, bypassing dict encoding.
+
+        ``entries`` holds ``(var, value_json, just)`` triples under the
+        :meth:`append_assign` escape-free contract.  One CRC-checked
+        record covers the whole batch; produces the same bytes
+        ``append({"op": "batch", "entries": [...]})`` would.
+        """
+        seq = self._next_seq
+        return self._append_line(
+            _frame(format_batch_body(entries, seq)), seq)
+
+    def _append_line(self, line: bytes, seq: int) -> int:
+        """Land one framed line: the single handle/rotate/hook path."""
         handle = self._handle
         if handle is None or self._segment_size >= self.segment_max_bytes:
+            # A degraded writer always has a None handle, so the slow
+            # path also raises JournalDegraded for frozen journals.
             handle = self._active_handle(seq)
         self._write_line(handle, line)
         self._next_seq = seq + 1

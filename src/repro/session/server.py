@@ -375,6 +375,35 @@ class SessionServer:
         return {"accepted": True, "value": encode_value(value),
                 "just": session._fingerprint_justification(just)}
 
+    def _cmd_assign_many(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        entries = message.get("entries")
+        if not isinstance(entries, list):
+            raise _RequestError("bad-request",
+                                "assign-many requires an entries list")
+        session = self._session(message)
+        default_just = message.get("just", "USER")
+        assignments = []
+        for spec in entries:
+            if not isinstance(spec, dict) or "var" not in spec:
+                raise _RequestError("bad-request",
+                                    "each entry needs a var field")
+            assignments.append((
+                spec["var"], decode_value(spec.get("value")),
+                decode_justification_name(spec.get("just", default_just))))
+        before = session.context.stats.coalesced_assignments
+        ok = session.assign_many(assignments)
+        if not ok:
+            raise self._violation_frame(session, "batched assignment")
+        results = []
+        for spec in entries:
+            value, just = session.get(spec["var"])
+            results.append({"var": spec["var"],
+                            "value": encode_value(value),
+                            "just": session._fingerprint_justification(just)})
+        return {"accepted": True, "entries": results,
+                "coalesced":
+                    session.context.stats.coalesced_assignments - before}
+
     def _cmd_get(self, message: Dict[str, Any]) -> Dict[str, Any]:
         session = self._session(message)
         value, just = session.get(message["var"])
@@ -517,6 +546,7 @@ _COMMANDS: Dict[str, Callable[..., Any]] = {
     "open": SessionServer._cmd_open,
     "close": SessionServer._cmd_close,
     "assign": SessionServer._cmd_assign,
+    "assign-many": SessionServer._cmd_assign_many,
     "get": SessionServer._cmd_get,
     "make-var": SessionServer._cmd_make_var,
     "retract": SessionServer._cmd_retract,

@@ -412,6 +412,77 @@ class Session:
                         "just": variable.last_set_by}})
         self._redo.clear()
 
+    def record_batch(self, entries: List[Tuple[Any, Any, Any]]) -> None:
+        """Write-ahead capture of one batched assignment round.
+
+        Called by the engine with the *requested* (pre-coalesce) batch,
+        before any mutation: replay re-coalesces deterministically, so
+        stats and fingerprints match the live run.  Entries on variables
+        without a stable address are skipped and counted, exactly as in
+        :meth:`record_assign`.
+        """
+        if not self._recording:
+            return
+        items: List[Tuple[str, Any, str]] = []
+        for variable, value, justification in entries:
+            address = self.address_of(variable)
+            if address is None:
+                self.unjournaled_assigns += 1
+                self._observe("session_op", "unjournaled-assign")
+                continue
+            items.append((address, encode_value(value),
+                          encode_justification_name(justification)))
+        if not items:
+            return
+        budget = self.context.round_budget
+        budget_steps: Optional[int] = None
+        if budget is not None and budget.max_steps != _INF:
+            budget_steps = int(budget.max_steps)
+        entry: Dict[str, Any] = {
+            "op": "batch",
+            "entries": [{"var": address, "value": encoded, "just": just}
+                        for address, encoded, just in items]}
+        journal = self._journal
+        if journal is not None and budget_steps is None:
+            # Hot path: one fused, pre-serialized record for the whole
+            # batch — same escape-free fast path as scalar assigns, one
+            # frame instead of N.
+            safe = self._safe_strings
+            triples: Optional[List[Tuple[str, str, str]]] = []
+            for address, encoded, just in items:
+                kind = type(encoded)
+                if kind is int:
+                    value_json: Optional[str] = repr(encoded)
+                elif kind is str and _safe_str(encoded):
+                    value_json = '"' + encoded + '"'
+                elif kind is float and encoded == encoded \
+                        and encoded not in (_INF, -_INF):
+                    value_json = repr(encoded)
+                else:
+                    value_json = None
+                if value_json is None \
+                        or not (address in safe
+                                or (_safe_str(address)
+                                    and not safe.add(address))) \
+                        or not (just in safe or (_safe_str(just)
+                                                 and not safe.add(just))):
+                    triples = None
+                    break
+                triples.append((address, value_json, just))
+            if triples is not None:
+                seq = journal.append_batch(triples)
+                self._last_seq = seq
+                self._observe("session_op", "batch")
+                entry["seq"] = seq
+                self._effective.append({"entry": entry, "inverse": None})
+                self._redo.clear()
+                return
+        if budget_steps is not None:
+            entry["budget"] = budget_steps
+        self._append(entry)
+        self._effective.append({"entry": entry, "inverse": None})
+        self._redo.clear()
+
     # -- value operations ---------------------------------------------------
 
     def make_variable(self, name: str, value: Any = None,
@@ -435,6 +506,28 @@ class Session:
         """
         variable = self._target_variable(target)
         return variable.set(value, justification)
+
+    def assign_many(self, assignments: Any,
+                    justification: Any = USER) -> bool:
+        """Batched external assignment through the session: one round.
+
+        ``assignments`` is an iterable of ``(target, value)`` pairs or
+        ``(target, value, justification)`` triples; targets may be
+        addresses or variables.  Journaling happens inside the engine's
+        recorder hook as a single batch record, so this is exactly
+        equivalent to calling
+        :meth:`~repro.core.engine.PropagationContext.assign_many`.
+        """
+        resolved = []
+        for item in assignments:
+            if len(item) == 2:
+                target, value = item
+                resolved.append((self._target_variable(target), value,
+                                 justification))
+            else:
+                target, value, just = item
+                resolved.append((self._target_variable(target), value, just))
+        return self.context.assign_many(resolved)
 
     def retract(self, target: Any) -> None:
         """Withdraw a value: dependency-directed erasure plus re-derivation.
@@ -1038,6 +1131,29 @@ def _apply_assign(session: Session,
     return ok, inverse
 
 
+def _apply_batch(session: Session,
+                 entry: Dict[str, Any]) -> Tuple[Any, None]:
+    context = session.context
+    assignments = []
+    for spec in entry["entries"]:
+        assignments.append((session._resolve(spec["var"]),
+                            decode_value(spec["value"]),
+                            decode_justification_name(spec["just"])))
+    budget_steps = entry.get("budget")
+    if budget_steps is not None:
+        saved = context.round_budget
+        context.round_budget = RoundBudget(max_steps=budget_steps)
+        try:
+            ok = context.assign_many(assignments)
+        finally:
+            context.round_budget = saved
+    else:
+        ok = context.assign_many(assignments)
+    # Batch undo always rebuilds (no per-variable fast inverse), so no
+    # inverse info is recorded.
+    return ok, None
+
+
 def _apply_retract(session: Session,
                    entry: Dict[str, Any]) -> Tuple[Any, Dict[str, Any]]:
     variable = session._resolve(entry["var"])
@@ -1173,6 +1289,7 @@ def _apply_connect(session: Session,
 
 _APPLY: Dict[str, Callable[..., Tuple[Any, Any]]] = {
     "assign": _apply_assign,
+    "batch": _apply_batch,
     "retract": _apply_retract,
     "make-var": _apply_make_var,
     "add-constraint": _apply_add_constraint,

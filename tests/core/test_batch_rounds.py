@@ -1,0 +1,251 @@
+"""Batched rounds: assign_many semantics, coalescing, atomic rollback.
+
+The batched round must be *observably equivalent* to applying the same
+assignments one by one — identical values and justification sources —
+while running as one round: one satisfaction sweep, one violation
+record, one atomic rollback covering every entry, one RoundBudget span.
+"""
+
+import pytest
+
+from repro.core import (
+    APPLICATION,
+    USER,
+    EqualityConstraint,
+    FormulaConstraint,
+    PropagationContext,
+    RoundBudget,
+    UniMaximumConstraint,
+    UpperBoundConstraint,
+    Variable,
+    source_constraint,
+)
+from repro.obs import Observer
+
+
+def build_motifs(context, count=4):
+    """Independent fig. 4.5 motifs: V1=V2, V4=max(V2, V3)."""
+    entries, outputs = [], []
+    for index in range(count):
+        v1 = Variable(7, name=f"V1_{index}", context=context)
+        v2 = Variable(7, name=f"V2_{index}", context=context)
+        v3 = Variable(5, name=f"V3_{index}", context=context)
+        v4 = Variable(7, name=f"V4_{index}", context=context)
+        EqualityConstraint(v1, v2)
+        UniMaximumConstraint(v4, [v2, v3])
+        entries.append(v1)
+        outputs.append(v4)
+    return entries, outputs
+
+
+def network_image(variables):
+    """Values plus justification identity — the rollback contract."""
+    return [(v.raw_value, v.last_set_by) for v in variables]
+
+
+def state_of(context, variables):
+    return [(v.value,
+             type(source_constraint(v.last_set_by)).__name__
+             if source_constraint(v.last_set_by) else None)
+            for v in variables] + [context.stats.snapshot()]
+
+
+class TestBatchEquivalence:
+    def test_batch_matches_sequential_twin(self):
+        batched = PropagationContext()
+        sequential = PropagationContext()
+        b_entries, b_outputs = build_motifs(batched)
+        s_entries, s_outputs = build_motifs(sequential)
+
+        assert batched.assign_many(
+            [(entry, 9 + index) for index, entry in enumerate(b_entries)])
+        for index, entry in enumerate(s_entries):
+            assert entry.set(9 + index)
+
+        b_vars = b_entries + b_outputs
+        s_vars = s_entries + s_outputs
+        assert [(v.value, type(source_constraint(v.last_set_by)).__name__
+                 if source_constraint(v.last_set_by) else None)
+                for v in b_vars] == \
+               [(v.value, type(source_constraint(v.last_set_by)).__name__
+                 if source_constraint(v.last_set_by) else None)
+                for v in s_vars]
+
+    def test_batch_runs_one_round(self):
+        context = PropagationContext()
+        entries, _ = build_motifs(context)
+        before = context.stats.rounds
+        assert context.assign_many([(entry, 9) for entry in entries])
+        assert context.stats.rounds == before + 1
+        assert context.stats.external_assignments == len(entries)
+
+    def test_pairs_take_call_justification_triples_their_own(self):
+        context = PropagationContext()
+        a = Variable(1, name="a", context=context)
+        b = Variable(2, name="b", context=context)
+        assert context.assign_many(
+            [(a, 10), (b, 20, APPLICATION)], justification=USER)
+        assert a.last_set_by is USER
+        assert b.last_set_by is APPLICATION
+
+    def test_empty_batch_is_a_no_op(self):
+        context = PropagationContext()
+        before = context.stats.rounds
+        assert context.assign_many([])
+        assert context.stats.rounds == before
+
+
+class TestCoalescing:
+    def test_last_write_wins(self):
+        context = PropagationContext()
+        a = Variable(1, name="a", context=context)
+        b = Variable(2, name="b", context=context)
+        assert context.assign_many([(a, 5), (b, 6), (a, 7)])
+        assert a.value == 7 and b.value == 6
+        assert context.stats.coalesced_assignments == 1
+        # Only the surviving seeds count as external assignments.
+        assert context.stats.external_assignments == 2
+
+    def test_coalescing_matches_sequential_order(self):
+        """The later entry keeps the later position: a duplicate must
+        land *after* entries between the two occurrences, exactly as
+        sequential application would leave it."""
+        batched = PropagationContext()
+        sequential = PropagationContext()
+
+        def build(context):
+            a = Variable(0, name="a", context=context)
+            b = Variable(0, name="b", context=context)
+            out = Variable(0, name="out", context=context)
+            UniMaximumConstraint(out, [a, b])
+            return a, b, out
+
+        ba, bb, bout = build(batched)
+        sa, sb, sout = build(sequential)
+        assert batched.assign_many([(ba, 9), (bb, 3), (ba, 1)])
+        for variable, value in [(sa, 9), (sb, 3), (sa, 1)]:
+            assert variable.set(value)
+        assert (ba.value, bb.value, bout.value) == \
+               (sa.value, sb.value, sout.value)
+
+    def test_no_duplicates_no_coalescing(self):
+        context = PropagationContext()
+        entries, _ = build_motifs(context)
+        assert context.assign_many([(entry, 9) for entry in entries])
+        assert context.stats.coalesced_assignments == 0
+
+
+class TestAtomicRollback:
+    def test_violation_in_late_entry_rolls_back_all(self):
+        context = PropagationContext()
+        entries, outputs = build_motifs(context, count=3)
+        # Third motif rejects: its V4 may not exceed 8.
+        UpperBoundConstraint(outputs[2], 8)
+        watched = entries + outputs
+        before = network_image(watched)
+
+        assert context.assign_many(
+            [(entries[0], 20), (entries[1], 30), (entries[2], 40)]) is False
+        # Entries 0 and 1 completed before entry 2 violated — they
+        # must be rolled back too, values AND justifications.
+        assert network_image(watched) == before
+        assert context.handler.last.kind == "violation"
+        assert context.stats.violations == 1
+
+    def test_violating_batch_matches_sequential_failure_values(self):
+        """After a rejected batch the network must look exactly as if
+        nothing happened — same as the sequential twin never applying
+        the rejected assignment."""
+        batched = PropagationContext()
+        b_entries, b_outputs = build_motifs(batched, count=2)
+        UpperBoundConstraint(b_outputs[1], 8)
+        assert batched.assign_many(
+            [(b_entries[0], 20), (b_entries[1], 30)]) is False
+        assert b_entries[0].value == 7 and b_outputs[0].value == 7
+        assert b_entries[1].value == 7 and b_outputs[1].value == 7
+
+    def test_budget_abort_inside_batch_is_atomic(self):
+        """A RoundBudget covers the whole batch: when a late entry's
+        wavefront exhausts the step budget, the abort rolls back every
+        entry (including the already-completed ones) and records a
+        ``budget`` violation."""
+        context = PropagationContext()
+        chains = []
+        for index in range(3):
+            variables = [Variable(0, name=f"c{index}_{i}", context=context)
+                         for i in range(8)]
+            for left, right in zip(variables, variables[1:]):
+                EqualityConstraint(left, right)
+            chains.append(variables)
+        watched = [v for chain in chains for v in chain]
+        before = network_image(watched)
+
+        # Two chains propagate within budget; the accumulated steps of
+        # the third cross the limit mid-batch.
+        context.round_budget = RoundBudget(max_steps=18)
+        assert context.assign_many(
+            [(chain[0], 5) for chain in chains]) is False
+        assert network_image(watched) == before
+        assert context.handler.last.kind == "budget"
+        assert context.stats.budget_aborts == 1
+
+    def test_generous_budget_admits_the_whole_batch(self):
+        context = PropagationContext()
+        entries, outputs = build_motifs(context)
+        context.round_budget = RoundBudget(max_steps=10_000)
+        assert context.assign_many([(entry, 9) for entry in entries])
+        assert all(out.value == 9 for out in outputs)
+        assert context.stats.budget_aborts == 0
+
+
+class TestRoundIntegration:
+    def test_batch_inside_active_round_joins_it(self):
+        """assign_many from propagation code joins the open round —
+        entries spread on the spot, no nested round opens."""
+        context = PropagationContext()
+        side_a = Variable(0, name="side_a", context=context)
+        side_b = Variable(0, name="side_b", context=context)
+        armed = []
+
+        def spill(value):
+            if armed:
+                armed.clear()
+                assert context.assign_many([(side_a, 41), (side_b, 42)])
+            return value
+
+        source = Variable(0, name="source", context=context)
+        sink = Variable(0, name="sink", context=context)
+        FormulaConstraint(sink, [source], spill)
+        armed.append(True)
+        rounds_before = context.stats.rounds
+        assert source.set(5)
+        assert sink.value == 5
+        assert (side_a.value, side_b.value) == (41, 42)
+        assert context.stats.rounds == rounds_before + 1
+
+    def test_disabled_context_stores_without_checking(self):
+        context = PropagationContext()
+        a = Variable(1, name="a", context=context)
+        bound = Variable(1, name="bound", context=context)
+        UpperBoundConstraint(bound, 3)
+        context.enabled = False
+        rounds_before = context.stats.rounds
+        assert context.assign_many([(a, 50), (bound, 99)])
+        # Stored unchecked: the out-of-bound value stands, no round ran.
+        assert bound.value == 99
+        assert context.stats.rounds == rounds_before
+        context.enabled = True
+        assert context.stats.violations == 0
+
+    def test_observer_batch_metrics(self):
+        context = PropagationContext()
+        a = Variable(1, name="a", context=context)
+        b = Variable(2, name="b", context=context)
+        with Observer.metrics_only(context) as observer:
+            assert context.assign_many([(a, 5), (b, 6), (a, 7)])
+        snapshot = observer.metrics.snapshot()
+        assert snapshot["engine.batch.rounds"] == 1
+        assert snapshot["engine.batch.entries"] == 3
+        assert snapshot["engine.batch.coalesced"] == 1
+        assert snapshot["engine.batch.last_size"]["value"] == 3
+        assert snapshot["engine.rounds.batch"] == 1

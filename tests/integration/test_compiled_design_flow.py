@@ -11,6 +11,7 @@ import pytest
 from repro.checking import check_cell, watch_net
 from repro.core import UpperBoundConstraint, USER
 from repro.spice import DC, Pulse, SpiceNet, SpiceSimulation, capacitor, resistor
+from repro.spice.simulator import HAVE_NUMPY
 from repro.stem import CellClass, PinSpec, Rect
 from repro.stem.compilers import CompilerView, VectorCompiler
 from repro.stem.types import DIGITAL, INTEGER_SIGNAL
@@ -107,6 +108,8 @@ class TestCompiledChain:
         assert view.outdated
         assert len(view.data.cards) == 3
 
+    @pytest.mark.skipif(not HAVE_NUMPY,
+                        reason="running simulations needs the numpy solver")
     def test_simulation_of_edited_design(self):
         rc = CellClass("RC2")
         rc.define_signal("vin", "in")

@@ -4,6 +4,7 @@ import pytest
 
 from repro.core import reset_default_context
 from repro.spice import DC, SpiceSimulation, capacitor, resistor
+from repro.spice.simulator import HAVE_NUMPY
 from repro.stem import CellClass, PinSpec, Rect
 from repro.stem.compilers import VectorCompiler
 from repro.stem.library import CellLibrary
@@ -62,6 +63,8 @@ class TestSimulatedDesignRoundTrip:
         gnd = rc.add_net("gnd"); gnd.connect_io("gnd"); gnd.connect(ci, "n")
         return library
 
+    @pytest.mark.skipif(not HAVE_NUMPY,
+                        reason="running simulations needs the numpy solver")
     def test_simulate_after_reload(self):
         library = self.build()
         restored = loads(dumps(library), context=reset_default_context())

@@ -1,7 +1,9 @@
 """Tests for operating-point and DC-sweep analyses."""
 
-import numpy as np
 import pytest
+
+np = pytest.importorskip(
+    "numpy", reason="SPICE analyses need the numpy solver")
 
 from repro.spice import (
     DC,

@@ -15,7 +15,12 @@ from repro.spice import (
     nmos,
     resistor,
 )
+from repro.spice.simulator import HAVE_NUMPY
 from repro.stem import CellClass
+
+needs_numpy = pytest.mark.skipif(
+    not HAVE_NUMPY, reason="running simulations needs the numpy solver"
+)
 
 
 def rc_cell():
@@ -126,6 +131,7 @@ class TestSpiceNetView:
         assert not view.outdated
 
 
+@needs_numpy
 class TestSimulationFlow:
     def test_rc_simulation(self):
         cell = rc_cell()
@@ -172,6 +178,7 @@ class TestSimulationFlow:
         assert not sim.outdated
 
 
+@needs_numpy
 class TestInverterChain:
     """The Fig. 6.3 scenario: three cascaded inverters."""
 

@@ -3,7 +3,13 @@
 import pytest
 
 from repro.spice import DC, Pulse, SpicePlot, SpiceSimulation, capacitor, resistor
+from repro.spice.simulator import HAVE_NUMPY
 from repro.stem import CellClass
+
+# Every render test feeds off a transient run, which needs the solver.
+pytestmark = pytest.mark.skipif(
+    not HAVE_NUMPY, reason="running simulations needs the numpy solver"
+)
 
 
 def rc_sim():

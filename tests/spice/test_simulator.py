@@ -2,8 +2,10 @@
 
 import math
 
-import numpy as np
 import pytest
+
+np = pytest.importorskip(
+    "numpy", reason="SPICE analyses need the numpy solver")
 
 from repro.spice import (
     DC,
