@@ -1,0 +1,187 @@
+"""Computation spaces: clone cost, commit cost, parallel search.
+
+The spaces subsystem's performance claims:
+
+* **clone** (open + discard of an empty space) is a constant-cost
+  hook swap plus two epoch bumps — microseconds, independent of design
+  size, which is what makes per-probe spaces affordable;
+* **commit** of a K-assign space costs one batched round on the parent
+  (the space replay) on top of the speculative rounds already paid;
+* **parallel search** over N candidate realizations with fork workers
+  beats the sequential in-place generate-and-test ≥2x at 8 workers
+  (CI-gated; skipped on boxes with fewer than 4 CPUs where the
+  parallelism it measures does not exist).
+
+The ``benchmark`` fixtures feed medians into ``BENCH_PROP.json`` and
+the ``0005_spaces-baseline`` CI gate (median:5%).
+"""
+
+import multiprocessing
+import os
+from time import perf_counter
+
+import pytest
+
+from repro.core import (
+    EqualityConstraint,
+    FunctionPredicate,
+    PropagationContext,
+    UpperBoundConstraint,
+    Variable,
+)
+from repro.selection import RankedSelector
+from repro.spaces import Space, search_realizations
+from repro.stem import CellClass, Rect
+
+D = 1.0
+A = 10.0
+SEARCH_CANDIDATES = 16
+HAVE_FORK = "fork" in multiprocessing.get_all_start_methods()
+CPUS = os.cpu_count() or 1
+
+
+def build_network(count=32, context=None):
+    """``count`` equality pairs under an upper bound — a design whose
+    rounds do real propagation work."""
+    entries = []
+    for index in range(count):
+        left = Variable(name=f"L{index}", context=context)
+        right = Variable(name=f"R{index}", context=context)
+        EqualityConstraint(left, right)
+        UpperBoundConstraint(left, 1_000_000)
+        entries.append(left)
+    return entries
+
+
+def build_candidate_tree(count=SEARCH_CANDIDATES, *, work_cost_us=2_000):
+    """A generic with ``count`` concrete realizations whose acceptance
+    test charges ``work_cost_us`` of propagation work per probe.
+
+    Real candidate tests run whole constraint networks; CI boxes are
+    too fast for tiny ones to show parallelism, so the tested delay
+    variable carries a calibrated busy-wait predicate standing in for
+    the fan-out of a production design.
+    """
+    generic = CellClass("GEN", is_generic=True)
+    generic.define_signal("x", "in")
+    generic.define_signal("y", "out")
+    generic.declare_delay("x", "y", estimate=1 * D)
+    generic.set_bounding_box(Rect.of_extent(A, 1.0))
+    for index in range(count):
+        leaf = generic.subclass(f"GEN.C{index}")
+        leaf.delay_var("x", "y").set((1 + index % 7) * D)
+        leaf.set_bounding_box(Rect.of_extent((1 + index % 5) * A, 1.0))
+
+    top = CellClass("TOP")
+    instance = generic.instantiate(top, "gen")
+    delay_var = instance.delay_var("x", "y")
+    UpperBoundConstraint(delay_var, 6 * D)
+
+    seconds = work_cost_us / 1e6
+
+    def burn(_value):
+        deadline = perf_counter() + seconds
+        while perf_counter() < deadline:
+            pass
+        return True
+
+    if seconds > 0:
+        FunctionPredicate(delay_var, fn=burn, label="busy-work")
+    return instance
+
+
+class TestSpaceCosts:
+    def test_clone_discard_cost(self, benchmark):
+        """Open + discard of an empty space over a 32-motif design."""
+        context = PropagationContext()
+        build_network(context=context)
+
+        def clone():
+            with Space(context):
+                pass
+
+        benchmark(clone)
+
+    def test_commit_cost(self, benchmark):
+        """8 speculative assigns merged into the parent as one batch."""
+        context = PropagationContext()
+        entries = build_network(context=context)
+        hot = entries[:8]
+        toggle = [0]
+
+        def speculate_and_commit():
+            toggle[0] ^= 1
+            with Space(context) as space:
+                for index, variable in enumerate(hot):
+                    space.assign(variable, index + toggle[0])
+                space.commit()
+
+        benchmark(speculate_and_commit)
+
+    def test_discard_cost_after_writes(self, benchmark):
+        """Rollback cost of a space that touched 8 variables."""
+        context = PropagationContext()
+        entries = build_network(context=context)
+        hot = entries[:8]
+
+        def speculate_and_discard():
+            with Space(context) as space:
+                for index, variable in enumerate(hot):
+                    space.assign(variable, index)
+
+        benchmark(speculate_and_discard)
+
+
+class TestSearchWallClock:
+    def test_sequential_search_baseline(self, benchmark):
+        instance = build_candidate_tree(work_cost_us=200)
+        benchmark(lambda: RankedSelector().rank(instance))
+
+    def test_space_search_serial(self, benchmark):
+        instance = build_candidate_tree(work_cost_us=200)
+        benchmark(lambda: search_realizations(instance, workers=1))
+
+
+@pytest.mark.skipif(not HAVE_FORK, reason="fork start method unavailable")
+@pytest.mark.skipif(CPUS < 4, reason=f"parallel speedup needs >=4 CPUs, "
+                                     f"have {CPUS}")
+def test_parallel_search_speedup_over_sequential():
+    """Acceptance: 8 fork workers ≥2x over the sequential in-place
+    generate-and-test on a 16-candidate search."""
+    instance = build_candidate_tree()
+
+    def sequential():
+        return RankedSelector().rank(instance)
+
+    def parallel():
+        return search_realizations(instance, workers=8, backend="fork")
+
+    reference = sequential()
+    result = parallel()
+    assert [entry.cell.name for entry in result.ranking] \
+        == [entry.cell.name for entry in reference]
+
+    best_seq = min(_timed(sequential) for _ in range(3))
+    best_par = min(_timed(parallel) for _ in range(3))
+    speedup = best_seq / best_par
+    assert speedup >= 2.0, (
+        f"parallel search speedup {speedup:.2f}x < 2x "
+        f"(sequential {best_seq * 1e3:.1f}ms, "
+        f"parallel {best_par * 1e3:.1f}ms)")
+
+
+def _timed(fn):
+    t0 = perf_counter()
+    fn()
+    return perf_counter() - t0
+
+
+@pytest.mark.skipif(not HAVE_FORK, reason="fork start method unavailable")
+def test_parallel_search_matches_sequential_cheaply():
+    """Even where the speedup gate is skipped (1-CPU CI boxes), the
+    fork path itself must work and agree with the sequential result."""
+    instance = build_candidate_tree(work_cost_us=0)
+    reference = RankedSelector().rank(instance)
+    result = search_realizations(instance, workers=2, backend="fork")
+    assert [entry.cell.name for entry in result.ranking] \
+        == [entry.cell.name for entry in reference]

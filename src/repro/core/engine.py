@@ -331,6 +331,13 @@ class PropagationContext:
         #: :meth:`propagated_assignment`; one attribute check per
         #: propagated assignment while ``None``.
         self._plan_recording = None
+        #: Optional round-effect sink (``repro.spaces``): an object with
+        #: ``absorb_visited(visited)`` called after every non-silent
+        #: round with the round's pre-state map, ``round_rolled_back()``
+        #: called when a non-silent round restores, and
+        #: ``absorb_undo(undo)`` called by plan-cache replays.  Costs
+        #: one attribute check per round while ``None``.
+        self.shadow = None
         self._round: Optional[_Round] = None
 
     def _trace(self, kind, subject, detail: str = "") -> None:
@@ -385,6 +392,9 @@ class PropagationContext:
         finally:
             self._round = None
             self.scheduler.clear()
+            shadow = self.shadow
+            if shadow is not None and not silent and rnd.visited:
+                shadow.absorb_visited(rnd.visited)
 
     @contextmanager
     def propagation_disabled(self) -> Iterator[None]:
@@ -997,11 +1007,13 @@ class PropagationContext:
             rnd.queue.clear()
             self.scheduler.clear()
 
-    @staticmethod
-    def _restore(rnd: _Round) -> None:
+    def _restore(self, rnd: _Round) -> None:
         """Restore every visited variable to its pre-round state."""
         for variable, (justification, value) in rnd.visited.items():
             variable._store(value, justification)
+        shadow = self.shadow
+        if shadow is not None and not rnd.silent:
+            shadow.round_rolled_back()
 
 
 def _precedence_ordered(arguments: List[Any]) -> List[Any]:

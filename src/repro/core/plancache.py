@@ -288,6 +288,7 @@ class PlanCache:
         self.max_trace_attempts = max_trace_attempts
         self._states: Dict[Tuple[int, int], _KeyState] = {}
         self.hits = 0
+        self.chain_hits = 0
         self.misses = 0
         self.deopts = 0
         self.promotions = 0
@@ -349,6 +350,7 @@ class PlanCache:
     def stats(self) -> Dict[str, int]:
         """Counters in deterministic sorted-key order."""
         return {
+            "chain_hits": self.chain_hits,
             "deopts": self.deopts,
             "epoch": self.context.topology_epoch,
             "hits": self.hits,
@@ -650,10 +652,10 @@ class PlanCache:
             if span is not None:
                 with span:
                     ok = self._run_plan(state.plan, variable, value,
-                                        justification)
+                                        justification, context.shadow)
             else:
                 ok = self._run_plan(state.plan, variable, value,
-                                    justification)
+                                    justification, context.shadow)
         except BaseException:
             if observer is not None:
                 observer.round_finished("error")
@@ -706,9 +708,9 @@ class PlanCache:
         try:
             if span is not None:
                 with span:
-                    ok = self._run_chain(plan, entries)
+                    ok = self._run_chain(plan, entries, context.shadow)
             else:
-                ok = self._run_chain(plan, entries)
+                ok = self._run_chain(plan, entries, context.shadow)
         except BaseException:
             if observer is not None:
                 observer.round_finished("error")
@@ -718,6 +720,7 @@ class PlanCache:
             for name, delta in plan.stats_delta:
                 setattr(stats, name, getattr(stats, name) + delta)
             self.hits += 1
+            self.chain_hits += 1
             if observer is not None:
                 self._observe_on(observer, "hit")
                 observer.round_finished("ok")
@@ -737,7 +740,8 @@ class PlanCache:
 
     @staticmethod
     def _run_chain(plan: PropagationPlanChain,
-                   entries: List[Tuple[Any, Any, Any]]) -> bool:
+                   entries: List[Tuple[Any, Any, Any]],
+                   shadow: Any = None) -> bool:
         """Replay a plan chain under guards; False means rolled back."""
         undo: List[Tuple[Any, Any, Any]] = []
         index = 0
@@ -786,11 +790,13 @@ class PlanCache:
             for var, just, val in reversed(undo):
                 var._store(val, just)
             raise
+        if shadow is not None and undo:
+            shadow.absorb_undo(undo)
         return True
 
     @staticmethod
     def _run_plan(plan: PropagationPlan, variable: Any, value: Any,
-                  justification: Any) -> bool:
+                  justification: Any, shadow: Any = None) -> bool:
         """Replay the plan under guards; False means rolled back."""
         if (value is None) != plan.entry_none:
             return False  # nothing stored yet: a free deopt
@@ -834,6 +840,8 @@ class PlanCache:
             for var, just, val in reversed(undo):
                 var._store(val, just)
             raise
+        if shadow is not None and undo:
+            shadow.absorb_undo(undo)
         return True
 
     # -- observability ------------------------------------------------------

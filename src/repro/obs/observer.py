@@ -276,6 +276,21 @@ class Observer:
             return nullcontext()
         return spans.span(kind, "plan", **args)
 
+    # -- computation spaces (repro/spaces) -------------------------------------
+
+    def space_event(self, kind: str, count: int = 1) -> None:
+        """One computation-space lifecycle event: ``clone`` / ``fork`` /
+        ``commit`` / ``discard`` / ``prune``."""
+        metrics = self.metrics
+        if metrics is not None:
+            metrics.counter(f"engine.space.{kind}").inc(count)
+
+    def space_depth(self, kind: str, depth: int) -> None:
+        """Current nesting (``nest``) or prune (``prune``) depth."""
+        metrics = self.metrics
+        if metrics is not None:
+            metrics.gauge(f"engine.space.{kind}_depth").set(depth)
+
     # -- compiler passes (core/compile.py) ------------------------------------
 
     def compile_span(self, kind: str, **args: Any):

@@ -76,6 +76,13 @@ class RankedSelector:
     def rank(self, instance: CellInstance) -> List[CandidateScore]:
         """Valid realizations ordered best-first."""
         candidates = self.validator.select_realizations_for(instance)
+        return self.rank_candidates(instance, candidates)
+
+    def rank_candidates(self, instance: CellInstance,
+                        candidates: Sequence[CellClass]
+                        ) -> List[CandidateScore]:
+        """Rank an already-validated candidate list (e.g. the survivors
+        of a parallel space search) without re-running validation."""
         if not candidates:
             return []
         metric_table = {cell: self.candidate_metrics(cell, instance)

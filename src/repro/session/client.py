@@ -45,7 +45,7 @@ RETRYABLE_ERRORS = frozenset({"busy", "timeout", "overloaded"})
 #: Commands that mutate session state; these carry an ``rid`` so the
 #: server can deduplicate retries.
 _MUTATING = frozenset({
-    "assign", "assign-many", "make-var", "retract",
+    "assign", "assign-many", "what-if-commit", "make-var", "retract",
     "add-constraint", "remove-constraint",
     "undo", "redo", "checkpoint", "close", "define-cell", "define-signal",
     "declare-delay", "add-parameter", "instantiate", "add-net", "connect",
@@ -244,6 +244,11 @@ class SessionHandle:
         ``(var, value, just)`` triples, or ready-made entry dicts.  The
         whole batch applies exactly once even across retries.
         """
+        return self._call("assign-many",
+                          entries=self._entry_specs(entries), just=just)
+
+    @staticmethod
+    def _entry_specs(entries: Any) -> List[Dict[str, Any]]:
         specs: List[Dict[str, Any]] = []
         for item in entries:
             if isinstance(item, dict):
@@ -253,7 +258,24 @@ class SessionHandle:
             else:
                 specs.append({"var": item[0], "value": item[1],
                               "just": item[2]})
-        return self._call("assign-many", entries=specs, just=just)
+        return specs
+
+    def what_if(self, entries: Any, just: str = "USER") -> Any:
+        """Preview a batch in a server-side computation space.
+
+        Returns per-entry acceptance and resulting values; the session
+        itself (journal, position, fingerprint) is untouched.
+        """
+        return self._call("what-if", entries=self._entry_specs(entries),
+                          just=just)
+
+    def what_if_commit(self, entries: Any, just: str = "USER") -> Any:
+        """Apply a batch through a computation space and commit the
+        accepted entries as one journaled batch; rejected entries are
+        dropped instead of aborting.  Exactly-once across retries.
+        """
+        return self._call("what-if-commit",
+                          entries=self._entry_specs(entries), just=just)
 
     def get(self, var: str) -> Dict[str, Any]:
         return self._call("get", var=var)

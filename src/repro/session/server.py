@@ -52,7 +52,7 @@ from __future__ import annotations
 import asyncio
 import json
 from collections import OrderedDict
-from typing import Any, Callable, Dict, Optional, Set
+from typing import Any, Callable, Dict, List, Optional, Set
 
 from .codec import (
     EncodingError,
@@ -404,6 +404,73 @@ class SessionServer:
                 "coalesced":
                     session.context.stats.coalesced_assignments - before}
 
+    def _what_if_entries(self, message: Dict[str, Any]) -> List[tuple]:
+        entries = message.get("entries")
+        if not isinstance(entries, list):
+            raise _RequestError("bad-request",
+                                "what-if requires an entries list")
+        default_just = message.get("just", "USER")
+        specs = []
+        for spec in entries:
+            if not isinstance(spec, dict) or "var" not in spec:
+                raise _RequestError("bad-request",
+                                    "each entry needs a var field")
+            specs.append((
+                spec["var"], decode_value(spec.get("value")),
+                decode_justification_name(spec.get("just", default_just))))
+        return specs
+
+    def _cmd_what_if(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        """Preview a batch inside a computation space: per-entry
+        acceptance and resulting values, then discard — the session's
+        journal, fingerprint and position are untouched."""
+        session = self._session(message)
+        specs = self._what_if_entries(message)
+        results = []
+        with session.space() as space:
+            for var, value, just in specs:
+                accepted = space.assign(var, value, just)
+                value_now, just_now = space.get(var)
+                results.append({
+                    "var": var, "accepted": accepted,
+                    "value": encode_value(value_now),
+                    "just": session._fingerprint_justification(just_now)})
+            violations = len(space.violations)
+        return {"entries": results, "violations": violations,
+                "position": session.position}
+
+    def _cmd_what_if_commit(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        """Apply a batch through a computation space and commit the
+        accepted entries as one journaled batch frame; rejected entries
+        are dropped instead of aborting the whole batch."""
+        session = self._session(message)
+        specs = self._what_if_entries(message)
+        before = session.context.stats.coalesced_assignments
+        accepted_flags = []
+        space = session.space().open()
+        try:
+            for var, value, just in specs:
+                accepted_flags.append(space.assign(var, value, just))
+            committed = len(space.log)
+            ok = space.commit()
+        finally:
+            if not space.closed:
+                space.discard()
+        if not ok:
+            raise self._violation_frame(session, "what-if commit")
+        results = []
+        for (var, _value, _just), accepted in zip(specs, accepted_flags):
+            value, just = session.get(var)
+            results.append({
+                "var": var, "accepted": accepted,
+                "value": encode_value(value),
+                "just": session._fingerprint_justification(just)})
+        return {"accepted": True, "entries": results,
+                "committed": committed,
+                "position": session.position,
+                "coalesced":
+                    session.context.stats.coalesced_assignments - before}
+
     def _cmd_get(self, message: Dict[str, Any]) -> Dict[str, Any]:
         session = self._session(message)
         value, just = session.get(message["var"])
@@ -458,7 +525,13 @@ class SessionServer:
 
     def _cmd_stats(self, message: Dict[str, Any]) -> Dict[str, Any]:
         session = self._session(message)
-        return {"stats": session.context.stats.snapshot(),
+        stats = session.context.stats.snapshot()
+        cache = session.context.plan_cache
+        stats["plan_hits"] = cache.hits if cache is not None else 0
+        stats["plan_chain_hits"] = (cache.chain_hits
+                                    if cache is not None else 0)
+        stats["plan_deopts"] = cache.deopts if cache is not None else 0
+        return {"stats": {key: stats[key] for key in sorted(stats)},
                 "position": session.position,
                 "violations": len(session.violations),
                 "unjournaled_assigns": session.unjournaled_assigns}
@@ -547,6 +620,8 @@ _COMMANDS: Dict[str, Callable[..., Any]] = {
     "close": SessionServer._cmd_close,
     "assign": SessionServer._cmd_assign,
     "assign-many": SessionServer._cmd_assign_many,
+    "what-if": SessionServer._cmd_what_if,
+    "what-if-commit": SessionServer._cmd_what_if_commit,
     "get": SessionServer._cmd_get,
     "make-var": SessionServer._cmd_make_var,
     "retract": SessionServer._cmd_retract,

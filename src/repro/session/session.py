@@ -251,6 +251,7 @@ class Session:
         self._addr_index: Optional[Dict[int, str]] = None
         self._safe_strings: set = set()
         self._journal: Optional[JournalWriter] = None
+        self._space_depth = 0
         self._last_seq = 0
         self.replayed_entries = 0
         self.unjournaled_assigns = 0
@@ -529,6 +530,23 @@ class Session:
                 resolved.append((self._target_variable(target), value, just))
         return self.context.assign_many(resolved)
 
+    def space(self) -> Any:
+        """Open a speculative :class:`~repro.spaces.space.Space` over
+        this session's context.
+
+        Assignments inside the space never reach the journal; a
+        ``commit()`` journals them as one ``{"op": "batch"}`` frame (the
+        same frame :meth:`assign_many` writes), a ``discard()`` — or
+        simply leaving the ``with`` block — restores the session
+        byte-identically (fingerprint *and* journal position).
+        Structural edits, undo/redo and checkpoints are refused while a
+        space is open.
+        """
+        if self.read_only:
+            raise SessionError("read-only session cannot open a space")
+        from ..spaces.space import Space
+        return Space(self.context, session=self)
+
     def retract(self, target: Any) -> None:
         """Withdraw a value: dependency-directed erasure plus re-derivation.
 
@@ -688,6 +706,7 @@ class Session:
         last checkpoint state plus the remaining effective prefix.  The
         undo window reaches back to the most recent checkpoint.
         """
+        self._check_no_open_space("undo")
         if not self._effective:
             return False
         self._append({"op": "undo"})
@@ -696,6 +715,7 @@ class Session:
 
     def redo(self) -> bool:
         """Re-apply the most recently undone mutation."""
+        self._check_no_open_space("redo")
         if not self._redo:
             return False
         self._append({"op": "redo"})
@@ -715,6 +735,7 @@ class Session:
         """
         if self.read_only:
             raise SessionError("read-only session cannot checkpoint")
+        self._check_no_open_space("checkpoint")
         t0 = perf_counter()
         self._append({"op": "checkpoint"})
         self._apply_checkpoint_marker()
@@ -787,8 +808,18 @@ class Session:
 
     def _run(self, entry: Dict[str, Any]) -> Any:
         """Journal an operation (write-ahead), then apply it."""
+        self._check_no_open_space(entry["op"])
         self._append(entry)
         return self._apply_mutation(entry)
+
+    def _check_no_open_space(self, what: str) -> None:
+        """Structural and history operations are not speculative: a
+        space only overlays *values*, so refusing them while a space is
+        open is what keeps discard() trace-free."""
+        if self._space_depth:
+            raise SessionError(
+                f"cannot {what} while a computation space is open; "
+                f"commit or discard the space first")
 
     @contextmanager
     def _applying(self) -> Iterator[None]:

@@ -73,6 +73,61 @@ class TestUndoRedo:
             if session.context is not before:
                 assert getattr(before, "plan_cache", None) is None
 
+    def test_space_batch_undo_redo_rebinds_cache_epoch(self, session_dir):
+        """Undoing a committed space batch and redoing it must leave the
+        plan cache keyed at the rebuilt topology epoch: plans warmed
+        before the history walk may not replay after it, and new rounds
+        must trace and promote at the *current* epoch (issue 7
+        satellite — regression guard against stale-epoch reuse)."""
+        session, cache = hot_session(session_dir)
+        with session:
+            with session.space() as space:
+                space.assign("v:a", 5)
+                space.assign("v:c", 7)
+                assert space.commit()
+            # Warm a scalar plan on top of the committed batch.
+            for index in range(6):
+                session.assign("v:a", 9 if index % 2 == 0 else 8)
+            assert cache.plan_count >= 1
+            for _ in range(7):             # 6 assigns + the space batch
+                assert session.undo()
+            assert session.get("v:a")[0] is None
+            assert session.get("v:c")[0] is None
+            epoch_after_undo = session.context.topology_epoch
+            assert cache.plan_count == 0   # nothing keyed at a dead epoch
+            assert session.redo()          # re-applies the space batch
+            assert session.context.topology_epoch > epoch_after_undo
+            assert cache.context is session.context
+            assert session.context.plan_cache is cache
+            assert session.get("v:a")[0] == 5 and session.get("v:c")[0] == 7
+            # New hot rounds trace/promote at the current epoch and hit.
+            hits = cache.hits
+            for index in range(6):
+                session.assign("v:a", 9 if index % 2 == 0 else 8)
+            assert cache.plan_count >= 1
+            assert cache.hits > hits
+
+    def test_space_batch_undo_redo_matches_uncached_twin(self, tmp_path):
+        """Fingerprint twin (cache on/off) across a committed space
+        batch, a full undo and a redo — byte-identical incl. stats."""
+        dir_on = str(tmp_path / "space-on")
+        dir_off = str(tmp_path / "space-off")
+        on, cache = hot_session(dir_on)
+        off, _ = hot_session(dir_off, cached=False)
+        with on, off:
+            for session in (on, off):
+                with session.space() as space:
+                    space.assign("v:a", 5)
+                    space.assign("v:c", 7)
+                    assert space.commit()
+                for index in range(6):
+                    session.assign("v:a", 9 if index % 2 == 0 else 8)
+                session.undo()
+                session.undo()
+                session.redo()
+            assert cache.hits > 0
+            assert on.fingerprint() == off.fingerprint()
+
     def test_undo_redo_values_match_uncached_twin(self, tmp_path):
         dir_on = str(tmp_path / "on")
         dir_off = str(tmp_path / "off")

@@ -1,0 +1,219 @@
+"""Parallel space search equals sequential generate-and-test."""
+
+import multiprocessing
+
+import pytest
+
+from repro.core import UpperBoundConstraint
+from repro.obs import MetricsRegistry, Observer
+from repro.selection import ModuleSelector, RankedSelector
+from repro.spaces import SpaceSelector, search_realizations
+from repro.spaces.search import enumerate_candidates
+from repro.stem import CellClass, Rect
+
+D = 1.0   # delay unit
+A = 10.0  # area unit
+
+HAVE_FORK = "fork" in multiprocessing.get_all_start_methods()
+BACKENDS = ["serial", "thread"] + (["fork"] if HAVE_FORK else [])
+
+
+def generic_adder():
+    """The ADD8 generic of Fig. 8.1 with RC and CS realizations."""
+    add8 = CellClass("ADD8", is_generic=True)
+    add8.define_signal("x", "in")
+    add8.define_signal("y", "out")
+    add8.declare_delay("x", "y", estimate=5 * D)
+    add8.set_bounding_box(Rect.of_extent(A, 1.0))
+
+    rc = add8.subclass("ADD8.RC")
+    rc.delay_var("x", "y").set(8 * D)
+    rc.set_bounding_box(Rect.of_extent(A, 1.0))
+
+    cs = add8.subclass("ADD8.CS")
+    cs.delay_var("x", "y").set(5 * D)
+    cs.set_bounding_box(Rect.of_extent(2.2 * A, 1.0))
+    return add8, rc, cs
+
+
+def alu_with(add8, *, area_budget, delay_budget, lu_delay=3 * D):
+    alu = CellClass(f"ALU[{area_budget},{delay_budget}]")
+    alu.define_signal("in1", "in")
+    alu.define_signal("out1", "out")
+    alu.declare_delay("in1", "out1")
+    UpperBoundConstraint(alu.delay_var("in1", "out1"), delay_budget)
+
+    lu8 = CellClass(f"LU8[{area_budget}]")
+    lu8.define_signal("a", "in")
+    lu8.define_signal("z", "out")
+    lu8.declare_delay("a", "z", estimate=lu_delay)
+    lu8.set_bounding_box(Rect.of_extent(2 * A, 1.0))
+
+    lu = lu8.instantiate(alu, "lu")
+    add = add8.instantiate(alu, "add")
+    n0 = alu.add_net("n0"); n0.connect_io("in1"); n0.connect(lu, "a")
+    n1 = alu.add_net("n1"); n1.connect(lu, "z"); n1.connect(add, "x")
+    n2 = alu.add_net("n2"); n2.connect(add, "y"); n2.connect_io("out1")
+    add.bounding_box_var.set(Rect.of_extent(area_budget, 1.0))
+    alu.build_delay_network()
+    return alu, add
+
+
+def deep_tree():
+    """Three-level hierarchy with a generic intermediate (Fig. 8.4)."""
+    adder8 = CellClass("Adder8", is_generic=True)
+    adder8.define_signal("x", "in")
+    adder8.define_signal("y", "out")
+    adder8.declare_delay("x", "y")
+
+    ripple = adder8.subclass("RippleCarryAdder8", is_generic=True)
+    ripple.delay_var("x", "y").set(8 * D)
+    slow = ripple.subclass("RCAdd8S")
+    slow.delay_var("x", "y").set(16 * D)
+    fast = ripple.subclass("RCAdd8F")
+    fast.delay_var("x", "y").set(8 * D)
+
+    lookahead = adder8.subclass("CLAAdd8")
+    lookahead.delay_var("x", "y").set(4 * D)
+    return adder8, ripple, slow, fast, lookahead
+
+
+def budgeted_instance(adder8, budget):
+    top = CellClass(f"TOP[{budget}]")
+    instance = adder8.instantiate(top, "add")
+    UpperBoundConstraint(instance.delay_var("x", "y"), budget)
+    return instance
+
+
+class TestSpaceSelector:
+    """The probe-in-a-space primitive equals in-place probing."""
+
+    def test_same_results_as_module_selector(self):
+        add8, rc, cs = generic_adder()
+        _, add = alu_with(add8, area_budget=1.5 * A, delay_budget=12 * D)
+        assert (SpaceSelector().select_realizations_for(add)
+                == ModuleSelector().select_realizations_for(add))
+
+    def test_probing_leaves_design_untouched(self):
+        add8, rc, cs = generic_adder()
+        _, add = alu_with(add8, area_budget=3 * A, delay_budget=20 * D)
+        before = [(variable.raw_value, variable.last_set_by)
+                  for variable in (add.bounding_box_var,
+                                   add.delay_var("x", "y"))]
+        SpaceSelector().select_realizations_for(add)
+        after = [(variable.raw_value, variable.last_set_by)
+                 for variable in (add.bounding_box_var,
+                                  add.delay_var("x", "y"))]
+        assert before == after
+
+
+class TestEnumeration:
+    def test_dfs_order_and_parents(self):
+        adder8, ripple, slow, fast, lookahead = deep_tree()
+        instance = budgeted_instance(adder8, 20 * D)
+        nodes = enumerate_candidates(instance)
+        assert [node.cell.name for node in nodes] \
+            == ["RippleCarryAdder8", "RCAdd8S", "RCAdd8F", "CLAAdd8"]
+        assert [node.parent for node in nodes] == [-1, 0, 0, -1]
+        assert [node.depth for node in nodes] == [1, 2, 2, 1]
+        assert [node.is_generic for node in nodes] \
+            == [True, False, False, False]
+
+    def test_concrete_class_is_single_leaf(self):
+        adder8, ripple, slow, fast, lookahead = deep_tree()
+        top = CellClass("TOP")
+        instance = lookahead.instantiate(top, "add")
+        nodes = enumerate_candidates(instance)
+        assert [node.cell for node in nodes] == [lookahead]
+
+
+class TestParity:
+    """The acceptance criterion: identical ranked result set."""
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("area,delay", [
+        (1.5, 12.0), (3.0, 12.0), (3.0, 20.0), (0.5, 6.0)])
+    def test_ranked_parity_fig81(self, backend, area, delay):
+        add8, rc, cs = generic_adder()
+        _, add = alu_with(add8, area_budget=area * A, delay_budget=delay * D)
+        result = search_realizations(add, workers=3, backend=backend)
+        reference = RankedSelector().rank(add)
+        assert [(entry.cell.name, entry.score, entry.metrics)
+                for entry in result.ranking] \
+            == [(entry.cell.name, entry.score, entry.metrics)
+                for entry in reference]
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("budget", [6.0, 10.0, 20.0])
+    def test_ranked_parity_deep_tree(self, backend, budget):
+        adder8, *_ = deep_tree()
+        instance = budgeted_instance(adder8, budget * D)
+        result = search_realizations(instance, workers=2, backend=backend,
+                                     priorities=("delays",))
+        reference = RankedSelector(priorities=("delays",)).rank(instance)
+        assert [(entry.cell.name, entry.score) for entry in result.ranking] \
+            == [(entry.cell.name, entry.score) for entry in reference]
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_search_leaves_design_untouched(self, backend):
+        adder8, *_ = deep_tree()
+        instance = budgeted_instance(adder8, 10 * D)
+        variable = instance.delay_var("x", "y")
+        before = (variable.raw_value, variable.last_set_by)
+        search_realizations(instance, workers=2, backend=backend)
+        assert (variable.raw_value, variable.last_set_by) == before
+
+    def test_no_prune_parity(self):
+        adder8, *_ = deep_tree()
+        instance = budgeted_instance(adder8, 6 * D)
+        result = search_realizations(instance, prune=False,
+                                     priorities=("delays",))
+        reference = RankedSelector(priorities=("delays",),
+                                   prune=False).rank(instance)
+        assert [entry.cell.name for entry in result.ranking] \
+            == [entry.cell.name for entry in reference]
+
+    def test_concrete_instance_returns_itself_unranked(self):
+        adder8, ripple, slow, fast, lookahead = deep_tree()
+        top = CellClass("TOP")
+        instance = lookahead.instantiate(top, "add")
+        result = search_realizations(instance)
+        assert result.valid == [lookahead]
+        assert result.stats.evaluated == 0
+
+
+class TestPruningAndStats:
+    def test_failed_generic_prunes_subtree(self):
+        adder8, *_ = deep_tree()
+        instance = budgeted_instance(adder8, 6 * D)  # ripple ideal 8D fails
+        result = search_realizations(instance, priorities=("delays",))
+        assert result.stats.pruned_subtrees == 1
+        # ripple's two leaves never evaluated: 1 generic + 1 free leaf
+        assert result.stats.evaluated == 2
+        assert [cell.name for cell in result.valid] == ["CLAAdd8"]
+
+    def test_prune_metrics_emitted(self, context):
+        adder8, *_ = deep_tree()
+        instance = budgeted_instance(adder8, 6 * D)
+        registry = MetricsRegistry()
+        observer = Observer(instance.cell_class.context,
+                            metrics=registry).install()
+        try:
+            search_realizations(instance, priorities=("delays",))
+        finally:
+            observer.uninstall()
+        snapshot = registry.snapshot()
+        assert snapshot["engine.space.prune"] == 1
+        assert snapshot["engine.space.prune_depth"]["value"] == 1
+
+    def test_unknown_backend_rejected(self):
+        adder8, *_ = deep_tree()
+        instance = budgeted_instance(adder8, 10 * D)
+        with pytest.raises(ValueError):
+            search_realizations(instance, backend="threads")
+
+    def test_workers_one_forces_serial(self):
+        adder8, *_ = deep_tree()
+        instance = budgeted_instance(adder8, 10 * D)
+        result = search_realizations(instance, workers=1, backend="fork")
+        assert result.stats.backend == "serial"

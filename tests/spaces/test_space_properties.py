@@ -1,0 +1,78 @@
+"""Hypothesis properties for computation spaces (satellite of issue 7).
+
+* ``space.commit()`` leaves the parent fingerprint-identical to applying
+  the same (accepted) assigns via ``assign_many`` directly.
+* ``space.discard()`` leaves the parent byte-identical — fingerprint
+  *and* journal position — to never having opened the space.
+"""
+
+import shutil
+import tempfile
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.session import Session
+
+VAR_NAMES = ["a", "b", "c"]
+
+value_strategy = st.one_of(
+    st.integers(min_value=-50, max_value=50),
+    st.floats(min_value=-50, max_value=50, allow_nan=False,
+              allow_infinity=False))
+entry_strategy = st.tuples(
+    st.integers(min_value=0, max_value=len(VAR_NAMES) - 1), value_strategy)
+assigns_strategy = st.lists(entry_strategy, min_size=0, max_size=8)
+
+
+def make_session(directory):
+    """Three variables, an equality link, and a bound that makes large
+    values violate — so generated assigns mix accepted and rejected."""
+    session = Session("prop", directory=directory, fsync="never")
+    for name in VAR_NAMES:
+        session.make_variable(name)
+    session.add_constraint("equality", ["v:a", "v:b"])
+    session.add_constraint("upper-bound", ["v:a"], params={"bound": 10})
+    return session
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(assigns=assigns_strategy)
+def test_commit_equals_direct_assign_many(assigns):
+    directory_a = tempfile.mkdtemp(prefix="repro-space-prop-a-")
+    directory_b = tempfile.mkdtemp(prefix="repro-space-prop-b-")
+    try:
+        with make_session(directory_a) as spacey, \
+                make_session(directory_b) as direct:
+            with spacey.space() as space:
+                for index, value in assigns:
+                    space.assign(f"v:{VAR_NAMES[index]}", value)
+                accepted = [(spacey.address_of(variable), value, just)
+                            for variable, value, just in space.log]
+                assert space.commit()
+            if accepted:
+                assert direct.assign_many(accepted)
+            assert spacey.fingerprint() == direct.fingerprint()
+    finally:
+        shutil.rmtree(directory_a, ignore_errors=True)
+        shutil.rmtree(directory_b, ignore_errors=True)
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(prefix=assigns_strategy, assigns=assigns_strategy)
+def test_discard_equals_never_opened(prefix, assigns):
+    directory = tempfile.mkdtemp(prefix="repro-space-prop-d-")
+    try:
+        with make_session(directory) as session:
+            for index, value in prefix:
+                session.assign(f"v:{VAR_NAMES[index]}", value)
+            before = session.fingerprint()
+            position = session.position
+            with session.space() as space:
+                for index, value in assigns:
+                    space.assign(f"v:{VAR_NAMES[index]}", value)
+            assert session.fingerprint() == before
+            assert session.position == position
+    finally:
+        shutil.rmtree(directory, ignore_errors=True)

@@ -145,6 +145,38 @@ class TestSelect:
                  "--instance", "GHOST"])
 
 
+class TestSearch:
+    def test_search_matches_select_rank(self, design_path):
+        ranked_code, ranked = run(["select", design_path, "--cell", "TOP",
+                                   "--instance", "A1", "--rank"])
+        code, text = run(["search", design_path, "--cell", "TOP",
+                          "--instance", "A1"])
+        assert (ranked_code, code) == (0, 0)
+        assert [line.split()[0] for line in ranked.splitlines() if line] \
+            == [line.split()[0] for line in text.splitlines()
+                if line and not line.startswith("(")]
+        assert "backend='serial'" in text
+
+    def test_search_parallel_workers(self, design_path):
+        code, text = run(["search", design_path, "--cell", "TOP",
+                          "--instance", "A1", "--workers", "2",
+                          "--backend", "thread"])
+        assert code == 0
+        assert "score=" in text
+        assert "backend='thread'" in text
+
+    def test_search_no_prune_same_ranking(self, design_path):
+        pruned_code, pruned = run(["search", design_path, "--cell", "TOP",
+                                   "--instance", "A1"])
+        code, text = run(["search", design_path, "--cell", "TOP",
+                          "--instance", "A1", "--no-prune"])
+        assert (pruned_code, code) == (0, 0)
+        assert [line for line in pruned.splitlines()
+                if line.startswith("ADD")] \
+            == [line for line in text.splitlines()
+                if line.startswith("ADD")]
+
+
 class TestBrowse:
     def test_browse_panes(self, design_path):
         code, text = run(["browse", design_path, "--cell", "TOP"])

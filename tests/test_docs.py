@@ -30,8 +30,8 @@ class TestApiReference:
         text = (REPO / "docs" / "api.md").read_text()
         for package in ("repro.core", "repro.stem", "repro.spice",
                         "repro.checking", "repro.selection",
-                        "repro.consistency", "repro.obs", "repro.session",
-                        "repro.cli"):
+                        "repro.spaces", "repro.consistency", "repro.obs",
+                        "repro.session", "repro.cli"):
             assert f"## `{package}`" in text
 
 

@@ -15,7 +15,12 @@ a real server process:
 5. verify every journal offline with ``session-verify --fingerprint``
    (twice — the digest must be stable),
 6. restart the server and assert the sessions recover to the
-   fingerprints captured before the kill.
+   fingerprints captured before the kill,
+7. send a ``what-if-commit`` batch raw and ``SIGKILL`` the server
+   moments later — the recovered session must show the batch fully
+   applied or fully absent (one journal frame, so a torn commit cannot
+   survive recovery), compared against a twin session that ran the
+   identical batch to completion.
 
 Run from the repo root (CI's chaos-smoke job does)::
 
@@ -139,6 +144,23 @@ def kill_mid_checkpoint(proc: subprocess.Popen, port: int,
     sock.close()
 
 
+WHATIF_ENTRIES = [{"var": "v:left", "value": 70},
+                  {"var": "v:right", "value": 90}]
+
+
+def kill_mid_whatif_commit(proc: subprocess.Popen, port: int,
+                           name: str) -> None:
+    """Fire a what-if-commit batch and SIGKILL the server moments later."""
+    sock = socket.create_connection(("127.0.0.1", port), timeout=5)
+    request = json.dumps({"id": 1, "cmd": "what-if-commit",
+                          "session": name, "entries": WHATIF_ENTRIES})
+    sock.sendall(request.encode() + b"\n")
+    time.sleep(0.005)  # let the server get into the commit write
+    proc.send_signal(signal.SIGKILL)
+    proc.wait(timeout=30)
+    sock.close()
+
+
 def main() -> int:
     names = ["alice", "bob"]
     with tempfile.TemporaryDirectory(prefix="chaos-smoke-") as root:
@@ -216,9 +238,28 @@ def main() -> int:
                 if health["status"] != "ok":
                     print(f"FAIL: restarted server unhealthy: {health}")
                     return 1
-                client.shutdown()
+                # A fourth session for the what-if-commit kill, plus a
+                # twin that runs the identical batch to completion so
+                # the exact all-applied state is known in advance.
+                for name in ("dave", "dave-twin"):
+                    handle = client.session(name)
+                    handle.make_var("left")
+                    handle.make_var("right")
+                    handle.assign("v:left", 1)
+                twin_result = client.session("dave-twin").what_if_commit(
+                    [(entry["var"], entry["value"])
+                     for entry in WHATIF_ENTRIES])
+                if twin_result["committed"] != len(WHATIF_ENTRIES):
+                    print(f"FAIL: twin what-if-commit rejected entries: "
+                          f"{twin_result}")
+                    return 1
+                dave_before = client.session("dave").fingerprint()
+                dave_applied = client.session("dave-twin").fingerprint()
         finally:
-            proc.wait(timeout=30)
+            if proc.poll() is None:
+                kill_mid_whatif_commit(proc, port, "dave")
+        print(f"killed server pid={proc.pid} with SIGKILL mid "
+              f"what-if-commit")
         for name in names:
             if after[name] != before[name]:
                 print(f"FAIL: restarted server recovered {name!r} "
@@ -228,8 +269,42 @@ def main() -> int:
             print("FAIL: carol diverged between offline and server "
                   "recovery")
             return 1
-        print(f"recovered {len(names) + 1} session(s) bit-identically "
-              f"after chaos + kill -9: OK")
+
+        # The batch is one journal frame: recovery shows it fully
+        # applied (== the twin's state) or fully absent (== the state
+        # before the request) — a hybrid means a torn commit.
+        dave = offline_fingerprint(root, "dave")
+        if dave != offline_fingerprint(root, "dave"):
+            print("FAIL: offline fingerprint of 'dave' is unstable")
+            return 1
+        observed = (dave["position"], dave["variables"])
+        applied = observed == (dave_applied["position"],
+                               dave_applied["variables"])
+        absent = observed == (dave_before["position"],
+                              dave_before["variables"])
+        if not (applied or absent):
+            print(f"FAIL: kill -9 tore the what-if-commit batch:\n"
+                  f"  before:  {json.dumps(dave_before, sort_keys=True)}\n"
+                  f"  applied: {json.dumps(dave_applied, sort_keys=True)}\n"
+                  f"  got:     {json.dumps(dave, sort_keys=True)}")
+            return 1
+        print(f"what-if-commit batch "
+              f"{'fully applied' if applied else 'fully absent'} "
+              f"after kill -9: all-or-nothing OK")
+
+        proc, port = start_server(root)
+        try:
+            dave_server = fingerprints(port, ["dave"])["dave"]
+            with SessionClient("127.0.0.1", port) as client:
+                client.shutdown()
+        finally:
+            proc.wait(timeout=30)
+        if (dave_server["position"], dave_server["variables"]) != observed:
+            print("FAIL: dave diverged between offline and server "
+                  "recovery")
+            return 1
+        print(f"recovered {len(names) + 2} session(s) bit-identically "
+              f"after chaos + 2x kill -9: OK")
     return 0
 
 
