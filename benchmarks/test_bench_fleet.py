@@ -1,0 +1,162 @@
+"""Fleet routing costs: routed vs direct, and tail latency under load.
+
+Three numbers bound what :mod:`repro.fleet` adds to the session server:
+
+* **routed overhead** — a warm-path ``assign-many`` batch through the
+  router (worker lookup + proxy hop) vs the same batch against a lone
+  server, recorded for both replication modes.  With timer-driven
+  (``async``) replication the router forwards request and response
+  bytes verbatim (id splice only), so the tax is one proxy hop; the
+  budget gate holds it ≤25% over the direct median.  ``sync``
+  replication deliberately adds a ship-before-ack round-trip to the
+  follower — recorded, not gated, exactly like ``fsync="always"`` in
+  the journal benchmarks.
+* **p99 latency under fan-in** — :func:`tools.loadgen.run_load` drives
+  16 concurrent retrying clients through the router; the 99th
+  percentile assign latency is gated absolutely so a scheduling
+  regression in the router's per-session locks cannot hide in the
+  median.
+
+All land in ``BENCH_PROP.json`` for the perf trajectory.
+"""
+
+import gc
+import importlib.util
+import os
+import time
+
+import pytest
+
+from repro.fleet.runner import LocalFleet, ServerThread
+
+_LOADGEN = os.path.join(os.path.dirname(__file__), os.pardir,
+                        "tools", "loadgen.py")
+
+
+def load_loadgen():
+    spec = importlib.util.spec_from_file_location("loadgen", _LOADGEN)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+#: The warm-path request: one drag round's worth of batched assigns —
+#: large enough that the server does real work per frame, the regime
+#: the relative overhead budget is meant for.
+BATCH = [{"var": "v:x", "value": value} for value in range(128)]
+
+
+def warm_batch_session(client, name="bench"):
+    handle = client.session(name)
+    handle.make_var("x", 0)
+    # warm the path: connection, session lock, rid cache, replica
+    client.call("assign-many", session=name, entries=BATCH, just="USER")
+    return name
+
+
+def test_bench_fleet_direct_batch(benchmark, tmp_path):
+    """Baseline: the warm batch straight at one server."""
+    with ServerThread(str(tmp_path), fsync="never") as thread:
+        with thread.client() as client:
+            name = warm_batch_session(client)
+            benchmark(lambda: client.call("assign-many", session=name,
+                                          entries=BATCH, just="USER"))
+
+
+def test_bench_fleet_routed_batch(benchmark, tmp_path):
+    """The same batch through the router, timer-driven replication."""
+    with LocalFleet(str(tmp_path), workers=2,
+                    replication="async") as fleet:
+        with fleet.client() as client:
+            name = warm_batch_session(client)
+            benchmark(lambda: client.call("assign-many", session=name,
+                                          entries=BATCH, just="USER"))
+
+
+def test_bench_fleet_routed_batch_sync_repl(benchmark, tmp_path):
+    """Ship-before-ack replication: pays a follower round-trip."""
+    with LocalFleet(str(tmp_path), workers=2,
+                    replication="sync") as fleet:
+        with fleet.client() as client:
+            name = warm_batch_session(client)
+            benchmark(lambda: client.call("assign-many", session=name,
+                                          entries=BATCH, just="USER"))
+
+
+def test_bench_fleet_p99_under_concurrency(benchmark, tmp_path):
+    """Tail latency with 16 concurrent clients hammering the router."""
+    loadgen = load_loadgen()
+    budget_ms = 250.0
+    with LocalFleet(str(tmp_path), workers=2) as fleet:
+        report = {}
+
+        def run():
+            report.clear()
+            report.update(loadgen.run_load(fleet.host, fleet.port,
+                                           clients=16, requests=30))
+
+        benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+        assert not report["errors"]
+        benchmark.extra_info.update(
+            {key: report[key] for key in ("clients", "total_requests",
+                                          "throughput_rps", "p50_ms",
+                                          "p90_ms", "p99_ms", "max_ms")})
+        assert report["p99_ms"] <= budget_ms, (
+            f"p99 assign latency {report['p99_ms']:.1f}ms above the "
+            f"{budget_ms:.0f}ms budget under 16 concurrent clients")
+
+
+class TestRoutedOverheadBudget:
+    """The acceptance gate: warm-path routing tax ≤25% over direct.
+
+    Same discipline as ``TestJournalOverheadBudget``: interleaved
+    bursts, min-of-bursts per variant (noise only inflates), and a few
+    whole-comparison retries — the budget claim holds on the best
+    attempt.
+    """
+
+    BURSTS = 10
+    BURST_OPS = 25
+    BUDGET = 1.25
+    ATTEMPTS = 4
+
+    @staticmethod
+    def _burst(client, name, ops):
+        start = time.perf_counter()
+        for _ in range(ops):
+            client.call("assign-many", session=name, entries=BATCH,
+                        just="USER")
+        return time.perf_counter() - start
+
+    def _measure_ratio(self, tmp_path, attempt):
+        direct_root = str(tmp_path / f"direct{attempt}")
+        fleet_root = str(tmp_path / f"fleet{attempt}")
+        with ServerThread(direct_root, fsync="never") as thread, \
+                LocalFleet(fleet_root, workers=2,
+                           replication="async") as fleet:
+            with thread.client() as direct, fleet.client() as routed:
+                warm_batch_session(direct)
+                warm_batch_session(routed)
+                direct_times, routed_times = [], []
+                gc.collect()
+                gc.disable()
+                try:
+                    for _ in range(self.BURSTS):
+                        direct_times.append(
+                            self._burst(direct, "bench", self.BURST_OPS))
+                        routed_times.append(
+                            self._burst(routed, "bench", self.BURST_OPS))
+                finally:
+                    gc.enable()
+                return min(routed_times) / min(direct_times)
+
+    def test_routed_overhead_within_budget(self, tmp_path):
+        ratios = []
+        for attempt in range(self.ATTEMPTS):
+            ratio = self._measure_ratio(tmp_path, attempt)
+            ratios.append(round(ratio, 3))
+            if ratio < self.BUDGET:
+                return
+        pytest.fail(f"routed warm-path overhead above {self.BUDGET:.0%} "
+                    f"budget in all {self.ATTEMPTS} attempts: "
+                    f"ratios={ratios}")

@@ -440,6 +440,105 @@ def cmd_serve(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def cmd_fleet_worker(args: argparse.Namespace, out) -> int:
+    """Serve one fleet worker (a session server + replication frames).
+
+    Prints the same ``listening on host:port`` banner as ``serve`` so
+    harnesses can parse the allocated port, then blocks.
+    """
+    import asyncio
+
+    from .fleet.worker import WorkerServer
+
+    server = WorkerServer(args.root, worker_id=args.id, host=args.host,
+                          port=args.port, fsync=args.fsync,
+                          request_timeout=args.request_timeout)
+
+    async def run() -> None:
+        await server.start()
+        print(f"repro fleet worker {args.id} listening on "
+              f"{server.host}:{server.port} "
+              f"(root={args.root} fsync={args.fsync})", file=out)
+        out.flush()
+        await server.run()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def cmd_fleet(args: argparse.Namespace, out) -> int:
+    """Run a whole fleet: N worker subprocesses plus the router.
+
+    Each worker gets its own root directory ``<root>/w<i>`` (its own
+    "disk").  The router prints one ``fleet router listening on
+    host:port`` banner once every worker is up, and terminates the
+    workers when it stops.  Clients speak to the router exactly as they
+    would to a single ``repro serve`` — sharding, replication and
+    failover are invisible.
+    """
+    import asyncio
+    import re
+    import signal
+    import subprocess
+    import sys
+
+    from .fleet.router import Router
+
+    procs = []
+    addresses = {}
+    try:
+        for index in range(args.workers):
+            worker_id = f"w{index}"
+            worker_root = os.path.join(args.root, worker_id)
+            proc = subprocess.Popen(
+                [sys.executable, "-m", "repro.cli", "fleet-worker",
+                 "--root", worker_root, "--id", worker_id,
+                 "--host", args.host, "--port", "0",
+                 "--fsync", args.fsync],
+                env={**os.environ,
+                     "PYTHONPATH": os.pathsep.join(sys.path)},
+                stdout=subprocess.PIPE, text=True)
+            procs.append(proc)
+            banner = proc.stdout.readline()
+            match = re.search(r"listening on ([\d.]+):(\d+)", banner)
+            if not match:
+                raise SystemExit(
+                    f"error: worker {worker_id} failed to start "
+                    f"(banner: {banner!r})")
+            addresses[worker_id] = (match.group(1), int(match.group(2)))
+        router = Router(addresses, host=args.host, port=args.port,
+                        replication=args.replication,
+                        repl_interval=args.repl_interval,
+                        request_timeout=args.request_timeout)
+
+        async def run() -> None:
+            await router.start()
+            print(f"repro fleet router listening on "
+                  f"{router.host}:{router.port} "
+                  f"(workers={args.workers} root={args.root} "
+                  f"replication={args.replication})", file=out)
+            out.flush()
+            await router.run()
+
+        try:
+            asyncio.run(run())
+        except KeyboardInterrupt:
+            pass
+    finally:
+        for proc in procs:
+            if proc.poll() is None:
+                proc.send_signal(signal.SIGTERM)
+        for proc in procs:
+            try:
+                proc.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+    return 0
+
+
 def cmd_session_verify(args: argparse.Namespace, out) -> int:
     """Recover a session read-only and report what the journal holds.
 
@@ -621,6 +720,41 @@ def build_parser() -> argparse.ArgumentParser:
                          help="seconds to let in-flight requests finish "
                               "on shutdown")
     p_serve.set_defaults(fn=cmd_serve)
+
+    p_fworker = sub.add_parser("fleet-worker", help="serve one fleet "
+                               "worker (session server + replication "
+                               "frames)")
+    p_fworker.add_argument("--root", required=True,
+                           help="this worker's own session root")
+    p_fworker.add_argument("--id", required=True,
+                           help="worker id (its name on the hash ring)")
+    p_fworker.add_argument("--host", default="127.0.0.1")
+    p_fworker.add_argument("--port", type=int, default=0)
+    p_fworker.add_argument("--fsync", default="always",
+                           choices=["always", "rotate", "never"])
+    p_fworker.add_argument("--request-timeout", type=float, default=30.0)
+    p_fworker.set_defaults(fn=cmd_fleet_worker)
+
+    p_fleet = sub.add_parser("fleet", help="run a sharded session fleet: "
+                             "N worker subprocesses plus the router")
+    p_fleet.add_argument("--root", required=True,
+                         help="fleet root; each worker owns <root>/w<i>")
+    p_fleet.add_argument("--workers", type=int, default=2)
+    p_fleet.add_argument("--host", default="127.0.0.1")
+    p_fleet.add_argument("--port", type=int, default=0,
+                         help="router TCP port (0 lets the OS choose)")
+    p_fleet.add_argument("--fsync", default="always",
+                         choices=["always", "rotate", "never"],
+                         help="journal durability policy on every worker")
+    p_fleet.add_argument("--replication", default="sync",
+                         choices=["sync", "async"],
+                         help="ship WAL lines before acknowledging "
+                              "(sync) or on a timer only (async)")
+    p_fleet.add_argument("--repl-interval", type=float, default=0.25,
+                         help="background replication pass interval "
+                              "(checkpoints + gap repair); 0 disables")
+    p_fleet.add_argument("--request-timeout", type=float, default=30.0)
+    p_fleet.set_defaults(fn=cmd_fleet)
 
     p_sverify = sub.add_parser("session-verify", help="recover a session "
                                "read-only and report its state")

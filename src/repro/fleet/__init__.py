@@ -1,0 +1,37 @@
+"""repro.fleet — sharded multi-worker session fleet.
+
+One router, many workers, one address.  Session names consistent-hash
+onto workers (:mod:`~repro.fleet.hashring`), every session's WAL ships
+to a designated follower (:mod:`~repro.fleet.replica`,
+:mod:`~repro.fleet.worker`), and the router
+(:mod:`~repro.fleet.router`) proxies the unmodified JSON-line session
+protocol with exactly-once retry semantics across worker death and
+live migration.  :mod:`~repro.fleet.runner` hosts whole fleets
+in-process for tests and benchmarks.
+
+Clients are untouched: a
+:class:`~repro.session.client.SessionClient` pointed at the router
+behaves exactly as if it were talking to a single server — worker
+failures and migrations surface as nothing more than the retryable
+error frames it already handles.
+"""
+
+from .hashring import HashRing
+from .replica import ReplicaError, ReplicaGap, ReplicaStore
+from .router import FleetError, Router, WorkerGone, WorkerLink
+from .runner import LocalFleet, ServerThread
+from .worker import WorkerServer
+
+__all__ = [
+    "FleetError",
+    "HashRing",
+    "LocalFleet",
+    "ReplicaError",
+    "ReplicaGap",
+    "ReplicaStore",
+    "Router",
+    "ServerThread",
+    "WorkerGone",
+    "WorkerLink",
+    "WorkerServer",
+]

@@ -1,0 +1,269 @@
+"""Follower-side storage of shipped WAL lines and checkpoints.
+
+A :class:`ReplicaStore` receives the raw journal lines and checkpoint
+snapshots a primary worker exports (``repl-export``) and lands them in
+``<root>/<session>/`` in **exactly** the live session layout —
+``wal-*.jsonl`` segments of verbatim framed lines plus ``ckpt-*.json``
+snapshots.  Promotion after a primary death is therefore not a special
+code path at all: opening the session through the ordinary
+:class:`~repro.session.manager.SessionManager` replays checkpoint +
+tail exactly as crash recovery does, and replay determinism (the Apt
+fixpoint argument behind ``fingerprint``) guarantees the follower
+reaches the identical state the primary acknowledged.
+
+Apply is idempotent and gap-refusing: lines at or below the replica's
+position are skipped (re-ships are harmless), a line that would skip a
+sequence number raises :class:`ReplicaGap` so the router falls back to
+a full export loop.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from ..session.codec import check_name
+from ..session.journal import (
+    DEFAULT_SEGMENT_BYTES,
+    _decode_line,
+    _segment_name,
+    scan_segments,
+)
+from ..session.session import (
+    _load_latest_checkpoint,
+    _prune_checkpoints,
+    _write_checkpoint,
+)
+
+__all__ = ["ReplicaError", "ReplicaGap", "ReplicaStore"]
+
+
+class ReplicaError(RuntimeError):
+    """A shipped line or checkpoint that cannot be applied."""
+
+
+class ReplicaGap(ReplicaError):
+    """Shipped lines skip ahead of the replica's position.
+
+    The router must fall back to a full ``repl-export`` catch-up loop
+    (and possibly a checkpoint) to close the hole.
+    """
+
+
+class _SessionState:
+    __slots__ = ("position", "checkpoint_seq", "segment_path",
+                 "segment_size")
+
+    def __init__(self, position: int, checkpoint_seq: int,
+                 segment_path: Optional[str], segment_size: int) -> None:
+        self.position = position
+        self.checkpoint_seq = checkpoint_seq
+        self.segment_path = segment_path
+        self.segment_size = segment_size
+
+
+class ReplicaStore:
+    """Land shipped session state under ``root`` in live-session layout."""
+
+    def __init__(self, root: str, *,
+                 segment_max_bytes: int = DEFAULT_SEGMENT_BYTES,
+                 keep_checkpoints: int = 2) -> None:
+        self.root = root
+        self.segment_max_bytes = segment_max_bytes
+        self.keep_checkpoints = keep_checkpoints
+        self._states: Dict[str, _SessionState] = {}
+        self._lock = threading.Lock()
+        os.makedirs(root, exist_ok=True)
+
+    def session_dir(self, name: str) -> str:
+        check_name(name, "session name")
+        return os.path.join(self.root, name)
+
+    # -- state --------------------------------------------------------------
+
+    def _state(self, name: str) -> _SessionState:
+        state = self._states.get(name)
+        if state is None:
+            state = self._scan(name)
+            self._states[name] = state
+        return state
+
+    def _scan(self, name: str) -> _SessionState:
+        """Rebuild the replica position for ``name`` from disk.
+
+        A torn final line (this process killed mid-append) is truncated
+        off the last segment so later appends extend a clean journal —
+        the same repair crash recovery performs.
+        """
+        directory = self.session_dir(name)
+        checkpoint = _load_latest_checkpoint(directory)
+        checkpoint_seq = checkpoint["seq"] if checkpoint else 0
+        position = checkpoint_seq
+        segment_path: Optional[str] = None
+        segment_size = 0
+        segments = scan_segments(directory)
+        if segments:
+            last_seq: Optional[int] = None
+            for index, (_first, path) in enumerate(segments):
+                valid_bytes = 0
+                with open(path, "rb") as handle:
+                    for line in handle:
+                        entry = _decode_line(line)
+                        if entry is None \
+                                or not isinstance(entry.get("seq"), int):
+                            break
+                        valid_bytes += len(line)
+                        last_seq = entry["seq"]
+                if index == len(segments) - 1:
+                    if valid_bytes < os.path.getsize(path):
+                        with open(path, "r+b") as handle:
+                            handle.truncate(valid_bytes)
+                    segment_path = path
+                    segment_size = valid_bytes
+            if last_seq is not None:
+                position = max(position, last_seq)
+        return _SessionState(position, checkpoint_seq, segment_path,
+                             segment_size)
+
+    def forget(self, name: str) -> None:
+        """Drop the cached state (e.g. after the session was promoted
+        to a live primary on this worker and the journal moved on)."""
+        with self._lock:
+            self._states.pop(name, None)
+
+    def position(self, name: str) -> int:
+        """Highest applied sequence number for ``name``."""
+        with self._lock:
+            return self._state(name).position
+
+    def checkpoint_seq(self, name: str) -> int:
+        with self._lock:
+            return self._state(name).checkpoint_seq
+
+    def names(self) -> List[str]:
+        try:
+            return sorted(
+                name for name in os.listdir(self.root)
+                if os.path.isdir(os.path.join(self.root, name)))
+        except FileNotFoundError:
+            return []
+
+    # -- apply --------------------------------------------------------------
+
+    def apply(self, name: str, lines: Iterable[str],
+              checkpoint: Optional[Dict[str, Any]] = None) -> int:
+        """Land shipped raw lines (and optionally a checkpoint snapshot).
+
+        Returns the replica position afterwards.  Lines must be the
+        framed journal lines exactly as exported (trailing newline
+        optional in transport); each is CRC-verified before landing.
+        """
+        with self._lock:
+            state = self._state(name)
+            directory = self.session_dir(name)
+            if checkpoint is not None:
+                self._apply_checkpoint(name, directory, state, checkpoint)
+            handle = None
+            try:
+                for text in lines:
+                    raw = text.encode("utf-8")
+                    if not raw.endswith(b"\n"):
+                        raw += b"\n"
+                    entry = _decode_line(raw)
+                    if entry is None \
+                            or not isinstance(entry.get("seq"), int):
+                        raise ReplicaError(
+                            f"shipped line for {name!r} fails its "
+                            f"checksum or carries no seq")
+                    seq = entry["seq"]
+                    if seq <= state.position:
+                        continue  # idempotent re-ship
+                    if seq != state.position + 1:
+                        raise ReplicaGap(
+                            f"replica of {name!r} is at "
+                            f"{state.position}, shipped line has seq "
+                            f"{seq}")
+                    if handle is not None and (
+                            state.segment_size >= self.segment_max_bytes):
+                        handle.close()
+                        handle = None
+                    if handle is None:
+                        handle = self._segment_handle(directory, state, seq)
+                    handle.write(raw)
+                    state.segment_size += len(raw)
+                    state.position = seq
+            finally:
+                if handle is not None:
+                    handle.flush()
+                    handle.close()
+            return state.position
+
+    def _segment_handle(self, directory: str, state: _SessionState,
+                        next_seq: int) -> Any:
+        os.makedirs(directory, exist_ok=True)
+        if state.segment_path is not None \
+                and state.segment_size < self.segment_max_bytes \
+                and os.path.exists(state.segment_path):
+            return open(state.segment_path, "ab")
+        path = os.path.join(directory, _segment_name(next_seq))
+        state.segment_path = path
+        state.segment_size = 0
+        return open(path, "ab")
+
+    def _apply_checkpoint(self, name: str, directory: str,
+                          state: _SessionState,
+                          checkpoint: Dict[str, Any]) -> None:
+        seq = checkpoint.get("seq")
+        if not isinstance(seq, int):
+            raise ReplicaError(
+                f"shipped checkpoint for {name!r} carries no seq")
+        if seq <= state.checkpoint_seq:
+            return  # stale re-ship
+        os.makedirs(directory, exist_ok=True)
+        _write_checkpoint(directory, checkpoint)
+        _prune_checkpoints(directory, self.keep_checkpoints)
+        state.checkpoint_seq = seq
+        if seq > state.position:
+            # The snapshot supersedes everything we hold: recovery
+            # starts from it, and any journal line at or below it is
+            # covered.  Lines beyond it cannot exist locally (they
+            # would have implied a higher position), so drop the lot.
+            for _first, path in scan_segments(directory):
+                try:
+                    os.remove(path)
+                except OSError:
+                    pass
+            state.position = seq
+            state.segment_path = None
+            state.segment_size = 0
+        else:
+            self._prune_covered(directory, state, seq)
+
+    def _prune_covered(self, directory: str, state: _SessionState,
+                       up_to_seq: int) -> None:
+        """Delete segments whose every entry is covered by a checkpoint
+        (mirror of :meth:`JournalWriter.prune` for the replica side)."""
+        segments = scan_segments(directory)
+        for index, (first, path) in enumerate(segments):
+            next_first = (segments[index + 1][0]
+                          if index + 1 < len(segments)
+                          else state.position + 1)
+            if next_first <= up_to_seq + 1 and path != state.segment_path:
+                try:
+                    os.remove(path)
+                except OSError:
+                    pass
+
+    # -- promotion sanity ---------------------------------------------------
+
+    def verify(self, name: str) -> int:
+        """Re-scan ``name`` from disk and return its durable position.
+
+        Used before promoting a replica: the cached state is dropped so
+        the answer reflects exactly what recovery will see.
+        """
+        with self._lock:
+            self._states.pop(name, None)
+            state = self._state(name)
+            return state.position

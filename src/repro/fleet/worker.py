@@ -1,0 +1,236 @@
+"""A fleet worker — the session server plus replication frames.
+
+A :class:`WorkerServer` is an ordinary
+:class:`~repro.session.server.SessionServer` (same protocol, same
+guarantees) extended with the frames a router needs to replicate and
+move sessions:
+
+``repl-export``
+    Read raw journal lines (and the latest checkpoint snapshot, when
+    the follower's is older) for one session — the source side of the
+    replication channel.  Works whether the session is live or closed.
+``repl-apply``
+    Land shipped lines/checkpoints into the local
+    :class:`~repro.fleet.replica.ReplicaStore` — refused while the
+    session is live here (a replica must never shadow a primary).
+``repl-position``
+    The local position of a session, live or replica — used by the
+    router to seed its replication cursors.
+``handover``
+    Flush and close a live session, returning its durable position —
+    the source side of a live migration.
+``worker-info``
+    Identity frame (worker id, root, session counts).
+
+Replicas land in the **same root** as live sessions, in the exact live
+layout — promotion after a primary death is just ``open`` (ordinary
+crash recovery), no special path.
+
+Synchronous replication rides responses: after any command that
+journaled entries, the worker piggybacks the freshly appended raw WAL
+lines onto the response (``"_wal"``), straight from the writer's
+in-memory tail — visible even under ``fsync=never`` buffering.  The
+router pushes them to the follower before acknowledging the client.
+An ``async``-mode router sends ``repl-config {"piggyback": false}``
+on connect to turn the per-response payload off entirely — it ships
+from ``repl-export`` on a timer instead, and the response bytes can be
+forwarded to the client verbatim.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, Optional, Set
+
+from ..session.journal import (
+    JournalDegraded,
+    JournalTailGap,
+    JournalTailReader,
+)
+from ..session.server import SessionServer, _RequestError
+from ..session.session import _load_latest_checkpoint
+from .replica import ReplicaGap, ReplicaStore
+
+__all__ = ["WorkerServer"]
+
+#: Commands that are replication plumbing, not client traffic — never
+#: piggyback WAL lines onto their responses.
+_REPL_COMMANDS = frozenset({"repl-export", "repl-apply", "repl-position",
+                            "repl-config", "handover"})
+
+_EXPORT_LIMIT = 512
+_EXPORT_MAX_BYTES = 1 << 18
+
+
+class WorkerServer(SessionServer):
+    """One shard of the fleet: a session server that can replicate."""
+
+    def __init__(self, root: str, *, worker_id: str, **kwargs: Any) -> None:
+        super().__init__(root, **kwargs)
+        self.worker_id = worker_id
+        self.info = {"worker": worker_id, "role": "worker"}
+        self.replica = ReplicaStore(root)
+        #: Attach fresh WAL lines to mutating responses (sync
+        #: replication).  Routers running timer-driven replication
+        #: disable this via ``repl-config``.
+        self.piggyback = True
+        # Sessions that have been live here since the replica store last
+        # scanned them: their journals moved without the store noticing,
+        # so its cached positions must be dropped before replica reads.
+        self._was_open: Set[str] = set()
+
+    # -- WAL piggyback (synchronous replication) ----------------------------
+
+    def _post_command(self, name: str, message: Dict[str, Any],
+                      result: Dict[str, Any],
+                      before_seq: Optional[int]) -> Dict[str, Any]:
+        if message.get("cmd") in _REPL_COMMANDS \
+                or not isinstance(result, dict):
+            return result
+        session = self.manager.sessions.get(name)
+        if session is None:
+            return result
+        self._was_open.add(name)
+        if not self.piggyback or not session.durable:
+            return result
+        position = session.position
+        if before_seq is None:
+            # The session was opened (recovered) by this very request:
+            # the router has no cursor yet — tell it to run a full sync.
+            if position > 0:
+                result["_wal"] = {"full": True, "position": position}
+            return result
+        if position <= before_seq:
+            return result
+        lines = session._journal.recent_lines(before_seq)
+        if lines is None:
+            result["_wal"] = {"full": True, "position": position}
+        else:
+            result["_wal"] = {
+                "after": before_seq, "position": position,
+                "lines": [line[:-1].decode("utf-8") for line in lines]}
+        return result
+
+    # -- replication frames -------------------------------------------------
+
+    def _cmd_repl_export(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        name = message["session"]
+        after_seq = int(message.get("after_seq", 0))
+        after_ckpt = int(message.get("after_ckpt", 0))
+        limit = int(message.get("limit", _EXPORT_LIMIT))
+        max_bytes = int(message.get("max_bytes", _EXPORT_MAX_BYTES))
+        session = self.manager.sessions.get(name)
+        if session is not None and not session.degraded:
+            try:
+                session.sync()  # surface fsync="never" buffered entries
+            except (JournalDegraded, OSError):
+                pass  # the acknowledged prefix on disk still exports
+        directory = self.manager.path_of(name)
+        if not os.path.isdir(directory):
+            raise _RequestError("bad-request",
+                                f"no session {name!r} on this worker")
+        checkpoint = _load_latest_checkpoint(directory)
+        ckpt_seq = checkpoint["seq"] if checkpoint else 0
+        include = checkpoint is not None and ckpt_seq > after_ckpt
+        base = max(after_seq, ckpt_seq) if include else after_seq
+        try:
+            pairs = JournalTailReader(directory, after_seq=base).poll(
+                limit=limit, max_bytes=max_bytes)
+        except JournalTailGap:
+            if checkpoint is None or ckpt_seq <= base:
+                raise _RequestError(
+                    "repl-gap",
+                    f"journal of {name!r} was pruned past seq {base} "
+                    f"and no newer checkpoint exists") from None
+            include = True
+            base = ckpt_seq
+            pairs = JournalTailReader(directory, after_seq=base).poll(
+                limit=limit, max_bytes=max_bytes)
+        result: Dict[str, Any] = {
+            "from": base,
+            "end": pairs[-1][0] if pairs else base,
+            "lines": [line[:-1].decode("utf-8") for _seq, line in pairs]}
+        if include:
+            result["checkpoint"] = checkpoint
+            result["checkpoint_seq"] = ckpt_seq
+        return result
+
+    def _cmd_repl_apply(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        name = message["session"]
+        if self.manager.is_open(name):
+            raise _RequestError(
+                "bad-request",
+                f"session {name!r} is live on this worker; a replica "
+                f"must not shadow a primary")
+        lines = message.get("lines", [])
+        if not isinstance(lines, list):
+            raise _RequestError("bad-request", "lines must be a list")
+        self._refresh_replica(name)
+        try:
+            position = self.replica.apply(name, lines,
+                                          message.get("checkpoint"))
+        except ReplicaGap as error:
+            raise _RequestError(
+                "repl-gap", str(error),
+                detail={"position": self.replica.position(name)}) from None
+        return {"position": position}
+
+    def _cmd_repl_position(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        name = message["session"]
+        session = self.manager.sessions.get(name)
+        if session is not None:
+            return {"open": True, "position": session.position,
+                    "checkpoint_seq": 0}
+        if not os.path.isdir(self.manager.path_of(name)):
+            return {"open": False, "position": 0, "checkpoint_seq": 0}
+        self._refresh_replica(name)
+        return {"open": False,
+                "position": self.replica.position(name),
+                "checkpoint_seq": self.replica.checkpoint_seq(name)}
+
+    def _refresh_replica(self, name: str) -> None:
+        """Drop the replica store's cached view of ``name`` if the
+        session has been live here since the cache was built."""
+        if name in self._was_open:
+            self.replica.forget(name)
+            self._was_open.discard(name)
+
+    def _cmd_handover(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        """Flush + close a live session for migration; report the
+        durable position the target must reach before taking over."""
+        name = message["session"]
+        session = self.manager.sessions.get(name)
+        if session is not None:
+            try:
+                session.sync()
+            except (JournalDegraded, OSError):
+                pass  # acknowledged entries are on disk regardless
+        closed = self.manager.close(name)
+        self._rid_cache.pop(name, None)
+        self._was_open.discard(name)  # verify() rescans from disk
+        return {"closed": closed,
+                "position": self.replica.verify(name)}
+
+    def _cmd_repl_config(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        if "piggyback" in message:
+            self.piggyback = bool(message["piggyback"])
+        return {"piggyback": self.piggyback}
+
+    def _cmd_worker_info(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        return {"worker": self.worker_id, "role": "worker",
+                "root": self.manager.root,
+                "open_sessions": sorted(self.manager.sessions),
+                "sessions": self.manager.names()}
+
+
+WorkerServer.COMMANDS = {
+    **SessionServer.COMMANDS,
+    "repl-export": WorkerServer._cmd_repl_export,
+    "repl-apply": WorkerServer._cmd_repl_apply,
+    "repl-position": WorkerServer._cmd_repl_position,
+    "handover": WorkerServer._cmd_handover,
+    "repl-config": WorkerServer._cmd_repl_config,
+    "worker-info": WorkerServer._cmd_worker_info,
+}
+WorkerServer.GLOBAL_COMMANDS = (SessionServer.GLOBAL_COMMANDS
+                                | {"repl-config", "worker-info"})

@@ -25,10 +25,13 @@ from .journal import (
     FileOpener,
     JournalCorrupt,
     JournalDegraded,
+    JournalTailGap,
+    JournalTailReader,
     JournalWriter,
     read_entries,
 )
 from .manager import SessionManager
+from .retry import RetryPolicy
 from .session import (
     CONSTRAINT_TYPES,
     Session,
@@ -43,7 +46,10 @@ __all__ = [
     "FileOpener",
     "JournalCorrupt",
     "JournalDegraded",
+    "JournalTailGap",
+    "JournalTailReader",
     "JournalWriter",
+    "RetryPolicy",
     "Session",
     "SessionError",
     "SessionManager",

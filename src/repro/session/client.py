@@ -29,11 +29,11 @@ from __future__ import annotations
 
 import itertools
 import json
-import random
 import socket
-import time
 import uuid
 from typing import Any, Dict, List, Optional
+
+from .retry import RetryPolicy
 
 __all__ = ["RETRYABLE_ERRORS", "ServerError", "SessionClient",
            "SessionHandle"]
@@ -90,14 +90,39 @@ class SessionClient:
         self.host = host
         self.port = port
         self.timeout = timeout
-        self.retries = retries
-        self.backoff = backoff
-        self.backoff_max = backoff_max
+        self.retry = RetryPolicy(retries=retries, backoff=backoff,
+                                 backoff_max=backoff_max, seed=retry_seed)
         self.client_id = client_id or uuid.uuid4().hex[:12]
-        self._rng = random.Random(retry_seed)
         self._rids = itertools.count(1)
         self._next_id = 1
         self._connect()
+
+    # Backoff knobs delegate to the shared policy so callers may keep
+    # tuning them on the client object directly.
+
+    @property
+    def retries(self) -> int:
+        return self.retry.retries
+
+    @retries.setter
+    def retries(self, value: int) -> None:
+        self.retry.retries = value
+
+    @property
+    def backoff(self) -> float:
+        return self.retry.backoff
+
+    @backoff.setter
+    def backoff(self, value: float) -> None:
+        self.retry.backoff = value
+
+    @property
+    def backoff_max(self) -> float:
+        return self.retry.backoff_max
+
+    @backoff_max.setter
+    def backoff_max(self, value: float) -> None:
+        self.retry.backoff_max = value
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -152,17 +177,17 @@ class SessionClient:
                 return self._exchange(frame)
             except ServerError as error:
                 if error.kind not in RETRYABLE_ERRORS \
-                        or attempt >= self.retries:
+                        or self.retry.exhausted(attempt):
                     raise
             except (ConnectionError, OSError):
                 # The connection is in an unknown state (a request or
                 # response may be half-written) — drop it; the retry
                 # reconnects and the rid makes the redo exactly-once.
                 self.close()
-                if attempt >= self.retries:
+                if self.retry.exhausted(attempt):
                     raise
             attempt += 1
-            self._sleep(attempt)
+            self.retry.sleep(attempt)
 
     def _exchange(self, frame: Dict[str, Any]) -> Any:
         request_id = self._next_id
@@ -185,10 +210,6 @@ class SessionClient:
         if not response.get("ok"):
             raise ServerError(response.get("error", {}))
         return response.get("result")
-
-    def _sleep(self, attempt: int) -> None:
-        delay = min(self.backoff * (2 ** (attempt - 1)), self.backoff_max)
-        time.sleep(delay * (0.5 + self._rng.random()))
 
     # -- conveniences -------------------------------------------------------
 

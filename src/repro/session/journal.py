@@ -51,7 +51,8 @@ import io
 import json
 import os
 import zlib
-from typing import Any, Dict, Iterator, List, Optional, Tuple
+from collections import deque
+from typing import Any, Deque, Dict, Iterator, List, Optional, Tuple
 
 try:  # optional accelerator — the stdlib path below is always correct
     import orjson as _orjson
@@ -63,6 +64,8 @@ __all__ = [
     "FileOpener",
     "JournalCorrupt",
     "JournalDegraded",
+    "JournalTailGap",
+    "JournalTailReader",
     "JournalWriter",
     "read_entries",
     "scan_segments",
@@ -81,6 +84,16 @@ _FSYNC_POLICIES = ("always", "rotate", "never")
 
 class JournalCorrupt(ValueError):
     """Unrecoverable journal damage (a hole before the tail)."""
+
+
+class JournalTailGap(RuntimeError):
+    """A tail reader fell behind the oldest surviving segment.
+
+    Raised by :meth:`JournalTailReader.poll` when the entry it needs next
+    was pruned (covered by a checkpoint).  The reader cannot continue
+    from raw journal lines alone — the follower must resynchronise from a
+    checkpoint snapshot first.
+    """
 
 
 class JournalDegraded(RuntimeError):
@@ -218,20 +231,24 @@ def _frame(data: bytes) -> bytes:
 
 
 def format_assign_body(var: str, value_json: str, just: str,
-                       seq: int) -> bytes:
+                       seq: int, rid: Optional[str] = None) -> bytes:
     """Fused compact encoding of one assign op.
 
-    ``var`` and ``just`` must be escape-free (:func:`_safe_str`) and
-    ``value_json`` already-valid JSON text.  Byte-identical to what
-    :func:`encode_entry` produces for the equivalent dict — keys in
-    sorted order, compact separators.
+    ``var``, ``just`` (and ``rid`` when present) must be escape-free
+    (:func:`_safe_str`) and ``value_json`` already-valid JSON text.
+    Byte-identical to what :func:`encode_entry` produces for the
+    equivalent dict — keys in sorted order, compact separators.
     """
-    return ('{"just":"%s","op":"assign","seq":%d,"value":%s,"var":"%s"}'
-            % (just, seq, value_json, var)).encode("utf-8")
+    if rid is None:
+        return ('{"just":"%s","op":"assign","seq":%d,"value":%s,"var":"%s"}'
+                % (just, seq, value_json, var)).encode("utf-8")
+    return ('{"just":"%s","op":"assign","rid":"%s","seq":%d,'
+            '"value":%s,"var":"%s"}'
+            % (just, rid, seq, value_json, var)).encode("utf-8")
 
 
 def format_batch_body(entries: List[Tuple[str, str, str]],
-                      seq: int) -> bytes:
+                      seq: int, rid: Optional[str] = None) -> bytes:
     """Fused compact encoding of one batch op.
 
     ``entries`` holds ``(var, value_json, just)`` triples under the same
@@ -241,8 +258,11 @@ def format_batch_body(entries: List[Tuple[str, str, str]],
     body = ",".join('{"just":"%s","value":%s,"var":"%s"}'
                     % (just, value_json, var)
                     for var, value_json, just in entries)
-    return ('{"entries":[%s],"op":"batch","seq":%d}'
-            % (body, seq)).encode("utf-8")
+    if rid is None:
+        return ('{"entries":[%s],"op":"batch","seq":%d}'
+                % (body, seq)).encode("utf-8")
+    return ('{"entries":[%s],"op":"batch","rid":"%s","seq":%d}'
+            % (body, rid, seq)).encode("utf-8")
 
 
 def encode_entry(entry: Dict[str, Any]) -> bytes:
@@ -305,6 +325,9 @@ class JournalWriter:
         :class:`FileOpener` performing every file-system touch; the
         fault-injection seam.  Defaults to the pass-through
         :data:`DEFAULT_OPENER`.
+    tail_lines:
+        How many recently-appended lines to keep in memory for
+        :meth:`recent_lines` (the replication fast path).
 
     Disk errors (``OSError`` from any write/flush/fsync/rotate) switch
     the writer into **degraded** mode: the failing append is rolled back
@@ -317,7 +340,8 @@ class JournalWriter:
                  fsync: str = "always",
                  segment_max_bytes: int = DEFAULT_SEGMENT_BYTES,
                  observer: Any = None,
-                 opener: Optional[FileOpener] = None) -> None:
+                 opener: Optional[FileOpener] = None,
+                 tail_lines: int = 512) -> None:
         if fsync not in _FSYNC_POLICIES:
             raise ValueError(f"fsync policy must be one of {_FSYNC_POLICIES}, "
                              f"not {fsync!r}")
@@ -336,6 +360,10 @@ class JournalWriter:
         self._segment_path: Optional[str] = None
         self._segment_size = 0
         self._degraded: Optional[OSError] = None
+        # Recent appended lines, verbatim — the replication fast path
+        # ships these bytes to a follower without re-reading the disk
+        # (and without waiting for an fsync="never" buffer to flush).
+        self._tail: Deque[Tuple[int, bytes]] = deque(maxlen=tail_lines)
         os.makedirs(directory, exist_ok=True)
         segments = scan_segments(directory)
         if segments and segments[-1][0] <= next_seq:
@@ -400,19 +428,22 @@ class JournalWriter:
         op["seq"] = seq
         return self._append_line(encode_entry(op), seq)
 
-    def append_assign(self, var: str, value_json: str, just: str) -> int:
+    def append_assign(self, var: str, value_json: str, just: str,
+                      rid: Optional[str] = None) -> int:
         """Hot-path append of one assign entry, bypassing dict encoding.
 
-        ``var`` and ``just`` must be escape-free strings and
-        ``value_json`` already-valid JSON text; callers check with
-        :func:`_safe_str` and fall back to :meth:`append`.  Produces the
-        same bytes ``append({"op": "assign", ...})`` would.
+        ``var`` and ``just`` (and ``rid`` when given) must be escape-free
+        strings and ``value_json`` already-valid JSON text; callers check
+        with :func:`_safe_str` and fall back to :meth:`append`.  Produces
+        the same bytes ``append({"op": "assign", ...})`` would.
         """
         seq = self._next_seq
         return self._append_line(
-            _frame(format_assign_body(var, value_json, just, seq)), seq)
+            _frame(format_assign_body(var, value_json, just, seq, rid)),
+            seq)
 
-    def append_batch(self, entries: List[Tuple[str, str, str]]) -> int:
+    def append_batch(self, entries: List[Tuple[str, str, str]],
+                     rid: Optional[str] = None) -> int:
         """Hot-path append of one batch entry, bypassing dict encoding.
 
         ``entries`` holds ``(var, value_json, just)`` triples under the
@@ -422,7 +453,7 @@ class JournalWriter:
         """
         seq = self._next_seq
         return self._append_line(
-            _frame(format_batch_body(entries, seq)), seq)
+            _frame(format_batch_body(entries, seq, rid)), seq)
 
     def _append_line(self, line: bytes, seq: int) -> int:
         """Land one framed line: the single handle/rotate/hook path."""
@@ -433,6 +464,7 @@ class JournalWriter:
             handle = self._active_handle(seq)
         self._write_line(handle, line)
         self._next_seq = seq + 1
+        self._tail.append((seq, line))
         hook = self._append_hook
         if hook is not None:
             hook(len(line))
@@ -504,6 +536,23 @@ class JournalWriter:
     def _degraded_message(self) -> str:
         return (f"journal {self.directory!r} is degraded (read-only) "
                 f"after a disk error: {self._degraded}")
+
+    def recent_lines(self, after_seq: int) -> Optional[List[bytes]]:
+        """Raw journal lines with ``seq > after_seq``, from memory.
+
+        Returns ``[]`` when the caller is already caught up, the framed
+        lines (checksum, body, newline — exactly the bytes on disk) when
+        the in-memory tail still covers the requested range, and ``None``
+        when it does not (the caller must fall back to reading the
+        segment files).  Works regardless of the fsync policy: the bytes
+        come from the writer, not the OS buffer.
+        """
+        if after_seq >= self._next_seq - 1:
+            return []
+        tail = self._tail
+        if not tail or tail[0][0] > after_seq + 1:
+            return None
+        return [line for seq, line in tail if seq > after_seq]
 
     def sync(self) -> None:
         """Force the current segment to stable storage."""
@@ -612,3 +661,113 @@ def _truncate(path: str, offset: int) -> None:
         handle.truncate(offset)
         handle.flush()
         os.fsync(handle.fileno())
+
+
+class JournalTailReader:
+    """Incrementally follow a live journal directory — the follower path.
+
+    Unlike :func:`read_entries` (one complete pass with tail repair),
+    this reader is built for polling a journal *while it is being
+    written*: it remembers its byte offset between calls, follows
+    segment rotation, and treats an incomplete or checksum-failing line
+    at the very end of the last segment as *not yet fully flushed* —
+    :meth:`poll` simply stops before it and picks it up next time.  The
+    journal file is never modified.
+
+    Raw framed lines are returned alongside each decoded entry so a
+    replica can append byte-identical lines to its own copy.
+
+    Raises
+    ------
+    :class:`JournalCorrupt`
+        for damage that cannot be a write in progress — a bad line with
+        data after it, or a sequence gap inside the journal.
+    :class:`JournalTailGap`
+        when the next needed entry was pruned away (the reader must
+        resynchronise from a checkpoint).
+    """
+
+    def __init__(self, directory: str, *, after_seq: int = 0) -> None:
+        self.directory = directory
+        self._next_seq = after_seq + 1
+        self._path: Optional[str] = None
+        self._offset = 0
+
+    @property
+    def position(self) -> int:
+        """Sequence number of the last entry returned."""
+        return self._next_seq - 1
+
+    def poll(self, *, limit: Optional[int] = None,
+             max_bytes: Optional[int] = None) -> List[Tuple[int, bytes]]:
+        """New complete entries since the last call, as (seq, raw line).
+
+        Returns an empty list when nothing new is durably visible yet.
+        ``limit`` / ``max_bytes`` bound one batch (the reader resumes
+        exactly where it stopped).
+        """
+        out: List[Tuple[int, bytes]] = []
+        out_bytes = 0
+        while True:
+            before = (self._path, self._offset, self._next_seq)
+            segments = scan_segments(self.directory)
+            if not segments:
+                return out
+            index = None
+            for i, (first, _path) in enumerate(segments):
+                if first <= self._next_seq:
+                    index = i
+                else:
+                    break
+            if index is None:
+                raise JournalTailGap(
+                    f"journal {self.directory!r} now starts at seq "
+                    f"{segments[0][0]} but the reader needs "
+                    f"{self._next_seq}; resync from a checkpoint")
+            path = segments[index][1]
+            is_last = index == len(segments) - 1
+            if path != self._path:
+                self._path = path
+                self._offset = 0
+            try:
+                with open(path, "rb") as handle:
+                    handle.seek(self._offset)
+                    data = handle.read()
+            except FileNotFoundError:
+                self._path = None  # pruned between scan and open
+                continue
+            pos = 0
+            while True:
+                newline = data.find(b"\n", pos)
+                if newline < 0:
+                    break  # incomplete tail line: wait for more bytes
+                line = data[pos:newline + 1]
+                pos = newline + 1
+                entry = _decode_line(line)
+                if entry is None or not isinstance(entry.get("seq"), int):
+                    if is_last and pos >= len(data):
+                        # Checksum failure on the very last visible
+                        # line: a buffered writer may have flushed it in
+                        # pieces — re-read it whole on the next poll.
+                        return out
+                    raise JournalCorrupt(
+                        f"corrupt entry at byte {self._offset} of {path}")
+                seq = entry["seq"]
+                self._offset += len(line)
+                if seq < self._next_seq:
+                    continue  # overlap at the start of a segment
+                if seq != self._next_seq:
+                    raise JournalCorrupt(
+                        f"sequence gap in {path}: expected "
+                        f"{self._next_seq}, found {seq}")
+                self._next_seq = seq + 1
+                out.append((seq, line))
+                out_bytes += len(line)
+                if limit is not None and len(out) >= limit:
+                    return out
+                if max_bytes is not None and out_bytes >= max_bytes:
+                    return out
+            # Loop again only while making progress (a rotation may have
+            # exposed a newer segment); a quiet journal returns.
+            if (self._path, self._offset, self._next_seq) == before:
+                return out

@@ -103,6 +103,21 @@ class SessionManager:
             return sorted(name for name, session in self.sessions.items()
                           if session.degraded)
 
+    def degraded_info(self) -> Dict[str, str]:
+        """Degraded open sessions mapped to their disk-error message.
+
+        The ``health`` frame ships this so a fleet router can route
+        around a worker whose disk is failing for specific sessions.
+        """
+        info: Dict[str, str] = {}
+        with self._lock:
+            for name in sorted(self.sessions):
+                session = self.sessions[name]
+                if session.degraded:
+                    error = session.degraded_error
+                    info[name] = str(error) if error else "degraded"
+        return info
+
     def __enter__(self) -> "SessionManager":
         return self
 

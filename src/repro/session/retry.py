@@ -1,0 +1,76 @@
+"""Shared retry timing: exponential backoff with seeded jitter.
+
+One implementation serves both sides of the wire: the blocking
+:class:`~repro.session.client.SessionClient` sleeps through it between
+request retries, and the fleet router's worker links use the same policy
+for reconnect pacing (``repro.fleet.router``).  Keeping the arithmetic
+in one place means the retry behaviour proven by the client's chaos
+tests is exactly the behaviour the router exhibits.
+
+The schedule for attempt ``n`` (1-based) is::
+
+    base = min(backoff * 2 ** (n - 1), backoff_max)
+    delay = base * (0.5 + rng.random())        # jitter in [0.5, 1.5)
+
+A fixed ``seed`` makes the jitter sequence reproducible — deterministic
+fault-injection runs depend on that.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Iterator, Optional
+
+__all__ = ["RetryPolicy"]
+
+
+class RetryPolicy:
+    """Exponential backoff with seeded jitter.
+
+    Parameters
+    ----------
+    retries:
+        Attempt budget (0 = fail fast; the first try is not a retry).
+    backoff, backoff_max:
+        Base and cap of the exponential delay curve, in seconds.
+    seed:
+        Seeds the jitter RNG; ``None`` draws entropy from the OS.
+    """
+
+    def __init__(self, *, retries: int = 0, backoff: float = 0.05,
+                 backoff_max: float = 2.0,
+                 seed: Optional[int] = None) -> None:
+        self.retries = retries
+        self.backoff = backoff
+        self.backoff_max = backoff_max
+        self._rng = random.Random(seed)
+
+    def base_delay(self, attempt: int) -> float:
+        """The un-jittered delay before retry ``attempt`` (1-based)."""
+        return min(self.backoff * (2 ** (attempt - 1)), self.backoff_max)
+
+    def delay(self, attempt: int) -> float:
+        """Jittered delay before retry ``attempt`` (1-based).
+
+        Consumes one draw from the jitter RNG; with a fixed seed the
+        sequence of delays is reproducible.
+        """
+        return self.base_delay(attempt) * (0.5 + self._rng.random())
+
+    def exhausted(self, attempt: int) -> bool:
+        """True once ``attempt`` retries have been spent."""
+        return attempt >= self.retries
+
+    def sleep(self, attempt: int) -> None:
+        """Block for the jittered delay of retry ``attempt``."""
+        time.sleep(self.delay(attempt))
+
+    def delays(self) -> Iterator[float]:
+        """The full jittered schedule, one delay per retry in budget."""
+        for attempt in range(1, self.retries + 1):
+            yield self.delay(attempt)
+
+    def __repr__(self) -> str:
+        return (f"RetryPolicy(retries={self.retries}, "
+                f"backoff={self.backoff}, backoff_max={self.backoff_max})")

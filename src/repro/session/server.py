@@ -105,6 +105,9 @@ class SessionServer:
                                       round_budget=round_budget)
         self.host = host
         self.port = port
+        #: Extra identity fields merged into every ``health`` frame —
+        #: a fleet worker stamps its worker id and role here.
+        self.info: Dict[str, Any] = {}
         self.request_timeout = request_timeout
         self.max_pending = max_pending
         self.max_frame_bytes = max_frame_bytes
@@ -259,10 +262,10 @@ class SessionServer:
 
     async def _dispatch(self, message: Dict[str, Any]) -> Any:
         cmd = message.get("cmd")
-        handler = _COMMANDS.get(cmd)
+        handler = self.COMMANDS.get(cmd)
         if handler is None:
             raise _RequestError("bad-request", f"unknown cmd {cmd!r}")
-        if cmd in _GLOBAL_COMMANDS:
+        if cmd in self.GLOBAL_COMMANDS:
             return handler(self, message)
         name = message.get("session")
         if not isinstance(name, str) or not name:
@@ -291,6 +294,25 @@ class SessionServer:
                     if isinstance(hit, _RequestError):
                         raise hit
                     return hit
+                session: Optional[Session] = None
+                if rid is not None and cmd in _JOURNALED_COMMANDS:
+                    session = self.manager.get(name)
+                    entry = session.rid_entry(rid)
+                    if entry is not None:
+                        # The mutation already reached the journal —
+                        # possibly in a previous process life (the rid
+                        # cache above dies with the process, the journal
+                        # does not).  Rebuild a response from current
+                        # state instead of applying twice.
+                        result = _RECONSTRUCT[cmd](self, message, session,
+                                                   entry)
+                        result["replayed"] = True
+                        _remember(cache, rid, result)
+                        return result
+                    # Stamp the rid into whatever this command journals,
+                    # so the dedup above survives a worker kill.
+                    session.pending_rid = rid
+                before_seq = self._session_seq(name)
                 try:
                     result = handler(self, message)
                 except _RequestError as error:
@@ -300,6 +322,11 @@ class SessionServer:
                                                               "timeout"):
                         _remember(cache, rid, error)
                     raise
+                finally:
+                    if session is not None:
+                        session.pending_rid = None
+                result = self._post_command(name, message, result,
+                                            before_seq)
                 if rid is not None:
                     _remember(cache, rid, result)
                 return result
@@ -322,6 +349,24 @@ class SessionServer:
     def _session(self, message: Dict[str, Any]) -> Session:
         return self.manager.get(message["session"])
 
+    def _session_seq(self, name: str) -> Optional[int]:
+        """Journal position of ``name`` if it is open, else ``None``."""
+        session = self.manager.sessions.get(name)
+        return session.position if session is not None else None
+
+    def _post_command(self, name: str, message: Dict[str, Any],
+                      result: Dict[str, Any],
+                      before_seq: Optional[int]) -> Dict[str, Any]:
+        """Hook called under the session lock after a handler succeeds.
+
+        ``before_seq`` is the session's journal position before the
+        handler ran (``None`` if the session was not open yet).  The
+        fleet worker overrides this to piggyback freshly-appended WAL
+        lines onto the response for synchronous replication; the base
+        server does nothing.
+        """
+        return result
+
     @staticmethod
     def _violation_frame(session: Session, what: str) -> _RequestError:
         detail = session.violations[-1] if session.violations else None
@@ -341,13 +386,17 @@ class SessionServer:
         return {"stopping": True}
 
     def _cmd_health(self, message: Dict[str, Any]) -> Dict[str, Any]:
-        degraded = self.manager.degraded_names()
-        return {"status": "degraded" if degraded else "ok",
-                "sessions": len(self.manager.sessions),
-                "connections": len(self._connections),
-                "in_flight": self._in_flight,
-                "draining": self._draining,
-                "degraded": degraded}
+        degraded_detail = self.manager.degraded_info()
+        frame = {"status": "degraded" if degraded_detail else "ok",
+                 "sessions": len(self.manager.sessions),
+                 "open_sessions": sorted(self.manager.sessions),
+                 "connections": len(self._connections),
+                 "in_flight": self._in_flight,
+                 "draining": self._draining,
+                 "degraded": sorted(degraded_detail),
+                 "degraded_detail": degraded_detail}
+        frame.update(self.info)
+        return frame
 
     # -- session commands ---------------------------------------------------
 
@@ -609,6 +658,102 @@ def _remember(cache: "OrderedDict[str, Any]", rid: Optional[str],
         cache.popitem(last=False)
 
 
+# -- durable rid replay ------------------------------------------------------
+#
+# The per-session rid cache above lives in process memory; the journal
+# does not.  Commands listed here journal (at most) one entry per
+# request, stamped with the request's rid, so a retry that arrives after
+# a worker kill — when the in-memory cache is gone but the journal was
+# replayed — is recognized via Session.rid_entry and answered from
+# current state instead of applying twice.  Reconstructed responses
+# carry ``"replayed": true``; value fields reflect the state *now*,
+# which equals the original response unless later mutations intervened
+# (clients retry promptly, so in practice they match).
+
+_JOURNALED_COMMANDS = frozenset({
+    "assign", "assign-many", "what-if-commit", "make-var", "retract",
+    "add-constraint", "remove-constraint", "undo", "redo", "checkpoint",
+    "define-cell", "define-signal", "declare-delay", "add-parameter",
+    "instantiate", "add-net", "connect",
+})
+
+
+def _reread_entries(session: Session,
+                    specs: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    results = []
+    for spec in specs:
+        value, just = session.get(spec["var"])
+        results.append({"var": spec["var"],
+                        "value": encode_value(value),
+                        "just": session._fingerprint_justification(just)})
+    return results
+
+
+def _rc_assign(server: "SessionServer", message: Dict[str, Any],
+               session: Session, entry: Dict[str, Any]) -> Dict[str, Any]:
+    value, just = session.get(message["var"])
+    return {"accepted": True, "value": encode_value(value),
+            "just": session._fingerprint_justification(just)}
+
+
+def _rc_assign_many(server: "SessionServer", message: Dict[str, Any],
+                    session: Session,
+                    entry: Dict[str, Any]) -> Dict[str, Any]:
+    return {"accepted": True,
+            "entries": _reread_entries(session, message.get("entries", [])),
+            "coalesced": 0}
+
+
+def _rc_what_if_commit(server: "SessionServer", message: Dict[str, Any],
+                       session: Session,
+                       entry: Dict[str, Any]) -> Dict[str, Any]:
+    journaled = {spec.get("var") for spec in entry.get("entries", [])}
+    results = []
+    for spec in message.get("entries", []):
+        value, just = session.get(spec["var"])
+        results.append({
+            "var": spec["var"], "accepted": spec["var"] in journaled,
+            "value": encode_value(value),
+            "just": session._fingerprint_justification(just)})
+    return {"accepted": True, "entries": results,
+            "committed": len(entry.get("entries", [])),
+            "position": session.position, "coalesced": 0}
+
+
+_RECONSTRUCT: Dict[str, Callable[..., Dict[str, Any]]] = {
+    "assign": _rc_assign,
+    "assign-many": _rc_assign_many,
+    "what-if-commit": _rc_what_if_commit,
+    "make-var": lambda server, message, session, entry:
+        {"var": f"v:{message['name']}"},
+    "retract": lambda server, message, session, entry:
+        {"retracted": message["var"]},
+    "add-constraint": lambda server, message, session, entry:
+        {"cid": entry.get("cid", message.get("cid"))},
+    "remove-constraint": lambda server, message, session, entry:
+        {"removed": message["cid"]},
+    "undo": lambda server, message, session, entry:
+        {"undone": True, "position": session.position},
+    "redo": lambda server, message, session, entry:
+        {"redone": True, "position": session.position},
+    "checkpoint": lambda server, message, session, entry:
+        {"path": None, "position": session.position},
+    "define-cell": lambda server, message, session, entry:
+        {"cell": message["name"]},
+    "define-signal": lambda server, message, session, entry:
+        {"signal": message["name"]},
+    "declare-delay": lambda server, message, session, entry:
+        {"delay": f"delay({message['source']}->{message['dest']})"},
+    "add-parameter": lambda server, message, session, entry:
+        {"parameter": message["name"]},
+    "instantiate": lambda server, message, session, entry:
+        {"instance": message["name"]},
+    "add-net": lambda server, message, session, entry:
+        {"net": message["name"]},
+    "connect": lambda server, message, session, entry:
+        {"connected": True},
+}
+
 _GLOBAL_COMMANDS = {"ping", "sessions", "shutdown", "health"}
 
 _COMMANDS: Dict[str, Callable[..., Any]] = {
@@ -641,3 +786,8 @@ _COMMANDS: Dict[str, Callable[..., Any]] = {
     "add-net": SessionServer._cmd_add_net,
     "connect": SessionServer._cmd_connect,
 }
+
+# Dispatch tables live on the class so subclasses (the fleet worker) can
+# extend the protocol without touching the base maps.
+SessionServer.COMMANDS = _COMMANDS
+SessionServer.GLOBAL_COMMANDS = _GLOBAL_COMMANDS

@@ -45,6 +45,7 @@ from __future__ import annotations
 
 import json
 import os
+from collections import OrderedDict
 from contextlib import contextmanager
 from time import perf_counter
 from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
@@ -90,6 +91,10 @@ STATE_SCHEMA = "repro-session/1"
 CHECKPOINT_PREFIX = "ckpt-"
 _INF = float("inf")
 CHECKPOINT_SUFFIX = ".json"
+
+#: Journaled request ids remembered per session for retry deduplication
+#: that survives a process kill (rebuilt from the journal on recovery).
+_RID_JOURNAL_CACHE = 1024
 
 
 class SessionError(RuntimeError):
@@ -253,6 +258,11 @@ class Session:
         self._journal: Optional[JournalWriter] = None
         self._space_depth = 0
         self._last_seq = 0
+        #: Request id to stamp into the next journaled entry (set by the
+        #: server under the session lock, consumed by the next append).
+        self.pending_rid: Optional[str] = None
+        self._applied_rids: "OrderedDict[str, Dict[str, Any]]" = \
+            OrderedDict()
         self.replayed_entries = 0
         self.unjournaled_assigns = 0
         self.context = PropagationContext()
@@ -278,6 +288,9 @@ class Session:
                 self._apply_entry(entry)
                 self._last_seq = entry["seq"]
                 self.replayed_entries += 1
+                rid = entry.get("rid")
+                if rid is not None:
+                    self._note_rid(rid, entry)
             if self.replayed_entries:
                 self._observe("session_replayed", self.replayed_entries,
                               perf_counter() - t0)
@@ -309,6 +322,12 @@ class Session:
         """
         journal = self._journal
         return journal is not None and journal.degraded
+
+    @property
+    def degraded_error(self) -> Optional[OSError]:
+        """The disk error that degraded the journal, if any."""
+        journal = self._journal
+        return journal.degraded_error if journal is not None else None
 
     def sync(self) -> None:
         """Force journaled entries to stable storage.
@@ -387,17 +406,24 @@ class Session:
             # (set.add returns None, so `not add(...)` records and
             # passes in one expression).
             safe = self._safe_strings
+            rid = self.pending_rid
             if value_json is not None \
+                    and (rid is None or _safe_str(rid)) \
                     and (address in safe or (_safe_str(address)
                                              and not safe.add(address))) \
                     and (just in safe or (_safe_str(just)
                                           and not safe.add(just))):
-                seq = journal.append_assign(address, value_json, just)
+                seq = journal.append_assign(address, value_json, just, rid)
                 self._last_seq = seq
                 self._observe("session_op", "assign")
+                entry = {"op": "assign", "var": address,
+                         "value": encoded, "just": just, "seq": seq}
+                if rid is not None:
+                    self.pending_rid = None
+                    entry["rid"] = rid
+                    self._note_rid(rid, entry)
                 self._effective.append({
-                    "entry": {"op": "assign", "var": address,
-                              "value": encoded, "just": just, "seq": seq},
+                    "entry": entry,
                     "inverse": {"value": variable.raw_value,
                                 "just": variable.last_set_by}})
                 self._redo.clear()
@@ -444,7 +470,9 @@ class Session:
             "entries": [{"var": address, "value": encoded, "just": just}
                         for address, encoded, just in items]}
         journal = self._journal
-        if journal is not None and budget_steps is None:
+        rid = self.pending_rid
+        if journal is not None and budget_steps is None \
+                and (rid is None or _safe_str(rid)):
             # Hot path: one fused, pre-serialized record for the whole
             # batch — same escape-free fast path as scalar assigns, one
             # frame instead of N.
@@ -471,10 +499,14 @@ class Session:
                     break
                 triples.append((address, value_json, just))
             if triples is not None:
-                seq = journal.append_batch(triples)
+                seq = journal.append_batch(triples, rid)
                 self._last_seq = seq
                 self._observe("session_op", "batch")
                 entry["seq"] = seq
+                if rid is not None:
+                    self.pending_rid = None
+                    entry["rid"] = rid
+                    self._note_rid(rid, entry)
                 self._effective.append({"entry": entry, "inverse": None})
                 self._redo.clear()
                 return
@@ -798,13 +830,35 @@ class Session:
     # -- internals: journaling ----------------------------------------------
 
     def _append(self, op: Dict[str, Any]) -> int:
+        rid = self.pending_rid
+        if rid is not None:
+            self.pending_rid = None
+            op["rid"] = rid
         if self._journal is not None:
             seq = self._journal.append(op)
         else:
             seq = self._last_seq + 1
         self._last_seq = seq
+        if rid is not None:
+            self._note_rid(rid, op)
         self._observe("session_op", op["op"])
         return seq
+
+    def _note_rid(self, rid: str, entry: Dict[str, Any]) -> None:
+        """Remember a journaled request id (bounded, insertion-ordered).
+
+        The rid rides inside the journal entry, so this cache is rebuilt
+        during recovery replay — a retried mutation is recognized even
+        after a ``kill -9`` of the process that first applied it.
+        """
+        cache = self._applied_rids
+        cache[rid] = entry
+        if len(cache) > _RID_JOURNAL_CACHE:
+            cache.popitem(last=False)
+
+    def rid_entry(self, rid: str) -> Optional[Dict[str, Any]]:
+        """The journal entry a request id produced, if remembered."""
+        return self._applied_rids.get(rid)
 
     def _run(self, entry: Dict[str, Any]) -> Any:
         """Journal an operation (write-ahead), then apply it."""

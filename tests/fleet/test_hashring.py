@@ -1,0 +1,140 @@
+"""Consistent hash ring: determinism, balance, minimal movement, pins."""
+
+import pytest
+
+from repro.fleet.hashring import HashRing
+
+
+class TestDeterminism:
+    def test_placement_is_stable_across_instances(self):
+        a = HashRing(["w0", "w1", "w2"])
+        b = HashRing(["w2", "w0", "w1"])  # insertion order irrelevant
+        for index in range(200):
+            name = f"session-{index}"
+            assert a.lookup(name) == b.lookup(name)
+
+    def test_placement_does_not_depend_on_process_hash_seed(self):
+        """blake2b, not builtin hash — the router and a restarted
+        router must agree on placement."""
+        ring = HashRing(["w0", "w1"])
+        expected = {"alice": ring.lookup("alice"),
+                    "bob": ring.lookup("bob")}
+        again = HashRing(["w0", "w1"])
+        assert {name: again.lookup(name) for name in expected} == expected
+
+
+class TestMembership:
+    def test_add_and_remove_are_idempotent(self):
+        ring = HashRing()
+        ring.add("w0")
+        ring.add("w0")
+        assert len(ring) == 1
+        ring.remove("w0")
+        ring.remove("w0")
+        assert len(ring) == 0
+        assert ring.lookup("anything") is None
+
+    def test_workers_sorted(self):
+        ring = HashRing(["w2", "w0", "w1"])
+        assert ring.workers == ["w0", "w1", "w2"]
+        assert "w1" in ring
+        assert "w9" not in ring
+
+
+class TestBalanceAndMovement:
+    def test_arcs_are_roughly_fair(self):
+        ring = HashRing(["w0", "w1", "w2", "w3"])
+        counts = {worker: 0 for worker in ring.workers}
+        total = 4000
+        for index in range(total):
+            counts[ring.lookup(f"s{index}")] += 1
+        for worker, count in counts.items():
+            share = count / total
+            assert 0.10 < share < 0.45, \
+                f"{worker} owns {share:.0%} of the keyspace"
+
+    def test_removal_moves_only_the_dead_workers_sessions(self):
+        ring = HashRing(["w0", "w1", "w2"])
+        names = [f"s{index}" for index in range(500)]
+        before = {name: ring.lookup(name) for name in names}
+        ring.remove("w1")
+        for name in names:
+            after = ring.lookup(name)
+            if before[name] != "w1":
+                assert after == before[name], \
+                    "a session not owned by the dead worker moved"
+            else:
+                assert after in ("w0", "w2")
+
+    def test_dead_primary_lands_sessions_on_their_follower(self):
+        """The failover invariant: remove(primary) re-routes each
+        session exactly onto what lookup_pair called its follower."""
+        ring = HashRing(["w0", "w1", "w2", "w3"])
+        for index in range(300):
+            name = f"s{index}"
+            primary, follower = ring.lookup_pair(name)
+            trial = HashRing(["w0", "w1", "w2", "w3"])
+            trial.remove(primary)
+            assert trial.lookup(name) == follower
+
+
+class TestFollower:
+    def test_follower_is_distinct(self):
+        ring = HashRing(["w0", "w1", "w2"])
+        for index in range(100):
+            primary, follower = ring.lookup_pair(f"s{index}")
+            assert primary != follower
+            assert follower is not None
+
+    def test_single_worker_has_no_follower(self):
+        ring = HashRing(["w0"])
+        assert ring.lookup_pair("x") == ("w0", None)
+
+    def test_empty_ring(self):
+        ring = HashRing()
+        assert ring.lookup_pair("x") == (None, None)
+
+
+class TestPins:
+    def test_pin_overrides_hashing(self):
+        ring = HashRing(["w0", "w1"])
+        name = "pinned-session"
+        natural = ring.lookup(name)
+        other = next(w for w in ring.workers if w != natural)
+        ring.pin(name, other)
+        assert ring.lookup(name) == other
+        assert ring.pinned(name) == other
+        assert ring.pins == {name: other}
+
+    def test_unpin_restores_hashing(self):
+        ring = HashRing(["w0", "w1"])
+        natural = ring.lookup("s")
+        other = next(w for w in ring.workers if w != natural)
+        ring.pin("s", other)
+        ring.unpin("s")
+        assert ring.lookup("s") == natural
+
+    def test_pin_to_unknown_worker_refused(self):
+        ring = HashRing(["w0"])
+        with pytest.raises(KeyError):
+            ring.pin("s", "w9")
+
+    def test_removing_a_worker_clears_its_pins(self):
+        ring = HashRing(["w0", "w1"])
+        natural = ring.lookup("s")
+        other = next(w for w in ring.workers if w != natural)
+        ring.pin("s", other)
+        ring.remove(other)
+        assert ring.pinned("s") is None
+        assert ring.lookup("s") == natural
+
+    def test_skip_beats_pin(self):
+        """The follower computation must never return the pinned
+        primary itself."""
+        ring = HashRing(["w0", "w1"])
+        ring.pin("s", "w0")
+        assert ring.lookup("s", skip=("w0",)) == "w1"
+
+    def test_vnodes_validation(self):
+        with pytest.raises(ValueError):
+            HashRing(vnodes=0)

@@ -1,0 +1,124 @@
+"""Live migration: checkpoint + journal-tail handover + router remap."""
+
+import threading
+
+import pytest
+
+from repro.fleet.runner import LocalFleet
+from repro.session.client import ServerError
+
+
+@pytest.fixture()
+def fleet(tmp_path):
+    with LocalFleet(str(tmp_path), workers=2, repl_interval=0.05) as local:
+        yield local
+
+
+def other_worker(fleet, name):
+    owner = fleet.worker_of(name)
+    return owner, next(w for w in fleet.router.ring.workers if w != owner)
+
+
+class TestMigrate:
+    def test_migrate_moves_pins_and_preserves_state(self, fleet):
+        with fleet.client() as client:
+            handle = client.session("mig0")
+            handle.make_var("x", 1)
+            handle.assign("v:x", 4)
+            fingerprint = handle.fingerprint()
+            position = fingerprint["position"]
+
+            source, target = other_worker(fleet, "mig0")
+            result = client.call("migrate", session="mig0", target=target)
+            assert result["migrated"] is True
+            assert result["from"] == source
+            assert result["to"] == target
+            assert result["position"] == position
+
+            assert fleet.worker_of("mig0") == target
+            assert fleet.router.ring.pinned("mig0") == target
+            assert handle.fingerprint() == fingerprint
+            assert "mig0" in fleet.workers[target].manager.names()
+            handle.assign("v:x", 5)
+            assert handle.value("v:x") == 5
+            counters = client.health()["metrics"]
+            assert counters["fleet.migrations"] == 1
+
+    def test_migrate_to_current_owner_is_a_noop(self, fleet):
+        with fleet.client() as client:
+            client.session("mig1").make_var("x", 1)
+            owner = fleet.worker_of("mig1")
+            result = client.call("migrate", session="mig1", target=owner)
+            assert result["migrated"] is False
+
+    def test_migrate_to_unknown_worker_refused(self, fleet):
+        with fleet.client() as client:
+            client.session("mig2").make_var("x", 1)
+            with pytest.raises(ServerError) as info:
+                client.call("migrate", session="mig2", target="w9")
+            assert info.value.kind == "bad-request"
+
+    def test_migrate_requires_a_session(self, fleet):
+        with fleet.client() as client:
+            with pytest.raises(ServerError) as info:
+                client.call("migrate", target="w0")
+            assert info.value.kind == "bad-request"
+
+    def test_migrated_session_survives_checkpointed_history(self, fleet):
+        """Migration after a checkpoint ships snapshot + tail, not the
+        whole journal; the recovered fingerprint must not notice."""
+        with fleet.client() as client:
+            handle = client.session("mig3")
+            handle.make_var("x", 1)
+            for value in range(6):
+                handle.assign("v:x", value)
+            handle.checkpoint()
+            handle.assign("v:x", 99)
+            fingerprint = handle.fingerprint()
+
+            _source, target = other_worker(fleet, "mig3")
+            result = client.call("migrate", session="mig3", target=target)
+            assert result["migrated"] is True
+            assert handle.fingerprint() == fingerprint
+
+
+class TestMigrateUnderLoad:
+    def test_concurrent_writes_all_land_exactly_once(self, fleet):
+        """Migration mid-stream: a writer hammers the session while it
+        moves; every assign applies exactly once and the final position
+        is exact."""
+        writes = 30
+        errors = []
+        started = threading.Event()
+
+        def hammer():
+            try:
+                with fleet.client() as client:
+                    handle = client.session("busy")
+                    for step in range(writes):
+                        handle.assign("v:x", 1000 + step)
+                        if step == 3:
+                            started.set()
+            except Exception as error:  # pragma: no cover - fail below
+                errors.append(error)
+                started.set()
+
+        with fleet.client() as client:
+            handle = client.session("busy")
+            handle.make_var("x", 1)
+            base = handle.fingerprint(stats=False)["position"]
+
+            thread = threading.Thread(target=hammer)
+            thread.start()
+            assert started.wait(10.0)
+            _source, target = other_worker(fleet, "busy")
+            result = client.call("migrate", session="busy", target=target)
+            thread.join(30.0)
+            assert not thread.is_alive()
+            assert errors == []
+            assert result["migrated"] is True
+
+            final = handle.fingerprint(stats=False)
+            assert final["position"] == base + writes
+            assert handle.value("v:x") == 1000 + writes - 1
+            assert fleet.worker_of("busy") == target

@@ -1,0 +1,120 @@
+"""RetryPolicy: the shared backoff/jitter schedule and its client twin.
+
+Satellite of the fleet PR: the exponential-backoff + seeded-jitter
+logic that lived inline in :class:`SessionClient` is now
+:class:`repro.session.retry.RetryPolicy`, reused by the router's
+worker links.  These tests pin the extracted behaviour to the original
+client formula so the refactor cannot drift.
+"""
+
+import random
+
+import pytest
+
+from repro.session.retry import RetryPolicy
+
+
+class TestSchedule:
+    def test_base_delay_doubles_then_caps(self):
+        policy = RetryPolicy(retries=8, backoff=0.05, backoff_max=0.4)
+        bases = [policy.base_delay(attempt) for attempt in range(1, 7)]
+        assert bases == [0.05, 0.1, 0.2, 0.4, 0.4, 0.4]
+
+    def test_delay_matches_the_original_client_formula(self):
+        """delay = min(backoff * 2**(n-1), cap) * (0.5 + random())."""
+        seed = 42
+        policy = RetryPolicy(retries=5, backoff=0.05, backoff_max=2.0,
+                             seed=seed)
+        rng = random.Random(seed)
+        for attempt in range(1, 6):
+            expected = min(0.05 * (2 ** (attempt - 1)), 2.0) \
+                * (0.5 + rng.random())
+            assert policy.delay(attempt) == pytest.approx(expected)
+
+    def test_jitter_stays_within_half_to_three_halves(self):
+        policy = RetryPolicy(retries=50, backoff=0.1, backoff_max=10.0,
+                             seed=7)
+        for attempt in range(1, 50):
+            base = policy.base_delay(attempt)
+            assert 0.5 * base <= policy.delay(attempt) < 1.5 * base
+
+    def test_seeded_policies_reproduce_exactly(self):
+        a = RetryPolicy(retries=6, backoff=0.05, seed=9)
+        b = RetryPolicy(retries=6, backoff=0.05, seed=9)
+        assert list(a.delays()) == list(b.delays())
+
+    def test_different_seeds_differ(self):
+        a = RetryPolicy(retries=6, backoff=0.05, seed=1)
+        b = RetryPolicy(retries=6, backoff=0.05, seed=2)
+        assert list(a.delays()) != list(b.delays())
+
+    def test_delays_generator_is_one_per_retry(self):
+        policy = RetryPolicy(retries=4, backoff=0.01, seed=0)
+        assert len(list(policy.delays())) == 4
+
+
+class TestExhaustion:
+    def test_zero_retries_is_exhausted_immediately(self):
+        policy = RetryPolicy(retries=0)
+        assert policy.exhausted(0)
+
+    def test_exhausted_after_n_attempts(self):
+        policy = RetryPolicy(retries=3)
+        assert not policy.exhausted(0)
+        assert not policy.exhausted(2)
+        assert policy.exhausted(3)
+        assert policy.exhausted(4)
+
+    def test_sleep_consumes_the_schedule(self):
+        policy = RetryPolicy(retries=2, backoff=0.0001, seed=3)
+        policy.sleep(1)  # must not raise, must return promptly
+        assert policy.base_delay(1) == pytest.approx(0.0001)
+
+
+class TestClientIntegration:
+    @pytest.fixture()
+    def listener(self):
+        """A silent TCP listener so SessionClient's eager connect has
+        somewhere to land — these tests never exchange frames."""
+        import socket
+
+        sock = socket.socket()
+        sock.bind(("127.0.0.1", 0))
+        sock.listen(8)
+        yield sock.getsockname()
+        sock.close()
+
+    def test_client_owns_a_policy_with_its_knobs(self, listener):
+        from repro.session.client import SessionClient
+
+        host, port = listener
+        with SessionClient(host, port, retries=7, backoff=0.3,
+                           backoff_max=4.0, retry_seed=11) as client:
+            assert isinstance(client.retry, RetryPolicy)
+            assert client.retries == 7
+            assert client.backoff == 0.3
+            assert client.backoff_max == 4.0
+
+    def test_client_knobs_stay_writable(self, listener):
+        """test_server_batch mutates ``client.retries`` mid-test; the
+        delegating properties must keep that working."""
+        from repro.session.client import SessionClient
+
+        host, port = listener
+        with SessionClient(host, port) as client:
+            client.retries = 2
+            client.backoff = 0.5
+            client.backoff_max = 1.5
+            assert client.retry.retries == 2
+            assert client.retry.backoff == 0.5
+            assert client.retry.backoff_max == 1.5
+
+    def test_client_and_bare_policy_agree(self, listener):
+        from repro.session.client import SessionClient
+
+        host, port = listener
+        with SessionClient(host, port, retries=3, backoff=0.05,
+                           retry_seed=5) as client:
+            twin = RetryPolicy(retries=3, backoff=0.05, seed=5)
+            assert [client.retry.delay(n) for n in range(1, 4)] \
+                == [twin.delay(n) for n in range(1, 4)]

@@ -1,0 +1,160 @@
+"""Durable rid dedup: exactly-once across process death.
+
+Satellite of the fleet PR: a mutation's ``rid`` now rides *inside* the
+journal entry it produces, so the dedup that used to live only in the
+server's in-memory response cache survives a worker kill — recovery
+rebuilds the applied-rid set from the journal, and a retried mutation
+replays as a reconstructed response instead of applying twice.
+"""
+
+import pytest
+
+from repro.session.session import Session
+
+
+def build(directory):
+    session = Session("rids", directory=str(directory))
+    session.make_variable("x", 1)
+    return session
+
+
+class TestRidInJournal:
+    def test_assign_journals_the_rid(self, tmp_path):
+        session = build(tmp_path)
+        session.pending_rid = "c1:7"
+        assert session.assign("v:x", 5)
+        entry = session.rid_entry("c1:7")
+        assert entry is not None
+        assert entry["op"] == "assign"
+        assert entry["rid"] == "c1:7"
+        # pending_rid is consumed by exactly one journal append
+        assert session.pending_rid is None
+        session.assign("v:x", 6)
+        assert session.rid_entry("c1:7")["seq"] == entry["seq"]
+        session.close()
+
+    def test_rid_is_in_the_journal_bytes(self, tmp_path):
+        import os
+        session = build(tmp_path)
+        session.pending_rid = "c1:9"
+        session.assign("v:x", 5)
+        session.close()
+        (segment,) = [os.path.join(tmp_path, name)
+                      for name in os.listdir(tmp_path)
+                      if name.startswith("wal-")]
+        assert b'"rid":"c1:9"' in open(segment, "rb").read()
+
+    def test_batch_journals_the_rid_once(self, tmp_path):
+        session = build(tmp_path)
+        session.make_variable("y")
+        session.pending_rid = "c1:8"
+        assert session.assign_many([("v:x", 5), ("v:y", 6)])
+        entry = session.rid_entry("c1:8")
+        assert entry["op"] == "batch"
+        assert len(entry["entries"]) == 2
+        session.close()
+
+    def test_unjournaled_mutation_leaves_no_rid(self, tmp_path):
+        session = Session("rids", directory=str(tmp_path))
+        session.pending_rid = "c1:10"
+        assert not session.undo()  # nothing to undo — not journaled
+        assert session.rid_entry("c1:10") is None
+        session.close()
+
+
+class TestRecoveryRebuild:
+    def test_applied_rids_survive_reopen(self, tmp_path):
+        session = build(tmp_path)
+        session.pending_rid = "c2:1"
+        session.assign("v:x", 42)
+        session.close()
+
+        recovered = Session("rids", directory=str(tmp_path))
+        entry = recovered.rid_entry("c2:1")
+        assert entry is not None
+        assert entry["op"] == "assign"
+        assert entry["value"] == 42
+        assert recovered.rid_entry("never-seen") is None
+        recovered.close()
+
+    def test_rid_cache_is_bounded(self, tmp_path):
+        from repro.session.session import _RID_JOURNAL_CACHE
+
+        session = build(tmp_path)
+        for index in range(_RID_JOURNAL_CACHE + 10):
+            session.pending_rid = f"c3:{index}"
+            session.assign("v:x", index)
+        assert session.rid_entry("c3:0") is None  # evicted, oldest first
+        assert session.rid_entry(
+            f"c3:{_RID_JOURNAL_CACHE + 9}") is not None
+        session.close()
+
+
+class TestServerReplay:
+    """The server answers a replayed rid from the journal after the
+    in-memory cache died (session close stands in for process death —
+    chaos/fleet smokes cover the real SIGKILL)."""
+
+    @pytest.fixture()
+    def server(self, tmp_path):
+        from repro.fleet.runner import ServerThread
+
+        with ServerThread(str(tmp_path), fsync="never") as thread:
+            yield thread
+
+    def test_retried_assign_replays_not_reapplies(self, server):
+        with server.client() as client:
+            handle = client.session("alpha")
+            handle.make_var("x", 1)
+            first = client.call("assign", session="alpha", var="v:x",
+                                value=5, just="USER", rid="rid-A")
+            assert first["accepted"] and "replayed" not in first
+            position = handle.fingerprint(stats=False)["position"]
+            # forget the in-memory rid cache, keep the journal
+            handle.close()
+            client.call("open", session="alpha")
+            replay = client.call("assign", session="alpha", var="v:x",
+                                 value=5, just="USER", rid="rid-A")
+            assert replay["replayed"] is True
+            assert replay["accepted"] is True
+            assert replay["value"] == 5
+            after = client.session("alpha").fingerprint(stats=False)
+            assert after["position"] == position, \
+                "replayed rid must not re-apply the mutation"
+
+    def test_retried_batch_replays_with_entry_states(self, server):
+        with server.client() as client:
+            handle = client.session("beta")
+            handle.make_var("x")
+            handle.make_var("y")
+            first = client.call(
+                "assign-many", session="beta",
+                entries=[{"var": "v:x", "value": 1},
+                         {"var": "v:y", "value": 2}],
+                just="USER", rid="rid-B")
+            assert first["accepted"]
+            position = handle.fingerprint(stats=False)["position"]
+            handle.close()
+            client.call("open", session="beta")
+            replay = client.call(
+                "assign-many", session="beta",
+                entries=[{"var": "v:x", "value": 1},
+                         {"var": "v:y", "value": 2}],
+                just="USER", rid="rid-B")
+            assert replay["replayed"] is True
+            values = {entry["var"]: entry["value"]
+                      for entry in replay["entries"]}
+            assert values == {"v:x": 1, "v:y": 2}
+            after = client.session("beta").fingerprint(stats=False)
+            assert after["position"] == position
+
+    def test_fresh_rid_still_applies(self, server):
+        with server.client() as client:
+            handle = client.session("gamma")
+            handle.make_var("x", 1)
+            handle.close()
+            client.call("open", session="gamma")
+            result = client.call("assign", session="gamma", var="v:x",
+                                 value=9, just="USER", rid="rid-C")
+            assert "replayed" not in result
+            assert client.session("gamma").value("v:x") == 9

@@ -31,7 +31,7 @@ class TestApiReference:
         for package in ("repro.core", "repro.stem", "repro.spice",
                         "repro.checking", "repro.selection",
                         "repro.spaces", "repro.consistency", "repro.obs",
-                        "repro.session", "repro.cli"):
+                        "repro.session", "repro.fleet", "repro.cli"):
             assert f"## `{package}`" in text
 
 

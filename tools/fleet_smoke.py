@@ -1,0 +1,336 @@
+"""Fleet smoke test: sharding, replication, failover and migration.
+
+Drives a real sharded fleet end to end:
+
+1. start two ``repro.cli fleet-worker`` subprocesses (each with its own
+   root — its own "disk") and an in-process router over them, with
+   synchronous WAL replication,
+2. interpose a seeded :class:`StreamFaultProxy` between the clients and
+   the router and run two concurrent retrying clients through it with a
+   deterministic workload — values and the exact journal position are
+   asserted, so a retry that applied twice (or not at all) cannot hide,
+3. live-migrate one session to the other worker while a concurrent
+   client hammers it — the client must finish with zero errors and the
+   session must land at the exact expected position,
+4. ``SIGKILL`` the worker owning the other session mid-batch while a
+   retrying client is writing — the client must finish, the session
+   must resume on the follower from its replicated WAL, and the final
+   position must equal exactly "everything acknowledged, once",
+5. fingerprints captured through the router before the kill must be
+   reproduced after it (replica promotion is fingerprint-identical),
+6. shut the fleet down and verify the surviving journals offline with
+   ``session-verify --fingerprint`` (twice — the digest must be
+   stable, and must equal the router-side view).
+
+Run from the repo root (CI's fleet-smoke job does)::
+
+    PYTHONPATH=src python tools/fleet_smoke.py
+
+Exits non-zero with a diagnostic on the first mismatch.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO, "src"))
+
+from repro.faults import FaultPlan, StreamFaultProxy  # noqa: E402
+from repro.fleet.router import Router  # noqa: E402
+from repro.fleet.runner import _LoopThread  # noqa: E402
+from repro.session.client import SessionClient  # noqa: E402
+
+ASSIGN_ROUNDS = 12
+#: 3 make-var + 1 add-constraint + 2 assigns per round — the exact
+#: journal position a fault-free (or exactly-once retried) run ends at.
+EXPECTED_POSITION = 4 + 2 * ASSIGN_ROUNDS
+#: Extra assigns fired at a session while its worker is killed /
+#: while it is migrated — acknowledged exactly once, so the final
+#: position is EXPECTED_POSITION + the count, precisely.
+KILL_WRITES = 24
+MIGRATE_WRITES = 24
+
+
+def start_worker(root: str, worker_id: str) -> "tuple[subprocess.Popen, str, int]":
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO, "src")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "fleet-worker",
+         "--root", root, "--id", worker_id, "--port", "0",
+         "--fsync", "never"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True, env=env, cwd=REPO)
+    deadline = time.monotonic() + 30.0
+    while True:
+        line = proc.stdout.readline()
+        if "listening on" in line:
+            address = line.split("listening on")[1].split()[0]
+            host, port = address.rsplit(":", 1)
+            return proc, host, int(port)
+        if not line or proc.poll() is not None:
+            raise RuntimeError(f"worker died during startup: {line!r}")
+        if time.monotonic() > deadline:
+            proc.kill()
+            raise RuntimeError("worker did not report a port in 30s")
+
+
+def drive(host: str, port: int, name: str, bias: int,
+          results: dict, errors: list) -> None:
+    """A retrying client's deterministic workload through the proxy."""
+    try:
+        client = SessionClient(host, port, timeout=5.0, retries=10,
+                               backoff=0.02, retry_seed=bias,
+                               client_id=f"fleet-{name}")
+        try:
+            handle = client.session(name)
+            handle.make_var("width")
+            handle.make_var("height")
+            handle.make_var("area")
+            handle.add_constraint("sum", ["v:area", "v:width", "v:height"])
+            for step in range(ASSIGN_ROUNDS):
+                handle.assign("v:width", step + bias)
+                handle.assign("v:height", 2 * step + bias)
+            width = ASSIGN_ROUNDS - 1 + bias
+            height = 2 * (ASSIGN_ROUNDS - 1) + bias
+            checks = {
+                "v:width": (handle.value("v:width"), width),
+                "v:height": (handle.value("v:height"), height),
+                "v:area": (handle.value("v:area"), width + height),
+            }
+            for address, (got, expected) in checks.items():
+                if got != expected:
+                    raise AssertionError(
+                        f"{name}: {address} = {got!r}, expected {expected}")
+            position = handle.fingerprint(stats=False)["position"]
+            if position != EXPECTED_POSITION:
+                raise AssertionError(
+                    f"{name}: position {position} != {EXPECTED_POSITION} — "
+                    f"a retried mutation applied twice or was lost")
+            results[name] = position
+        finally:
+            client.close()
+    except Exception as exc:
+        errors.append((name, exc))
+
+
+def hammer(host: str, port: int, name: str, base: int, count: int,
+           results: dict, errors: list,
+           started: threading.Event) -> None:
+    """Assign ``count`` values to ``name``, signalling after a few so
+    the main thread can kill/migrate mid-batch."""
+    try:
+        client = SessionClient(host, port, timeout=5.0, retries=10,
+                               backoff=0.05, retry_seed=base,
+                               client_id=f"hammer-{name}")
+        try:
+            handle = client.session(name)
+            for step in range(count):
+                handle.assign("v:width", base + step)
+                if step == 3:
+                    started.set()
+            results[name] = handle.fingerprint(stats=False)["position"]
+        finally:
+            client.close()
+    except Exception as exc:
+        errors.append((name, exc))
+        started.set()
+
+
+def offline_fingerprint(root: str, name: str) -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO, "src")
+    output = subprocess.check_output(
+        [sys.executable, "-m", "repro.cli", "session-verify",
+         "--root", root, "--name", name, "--fingerprint"],
+        text=True, env=env, cwd=REPO)
+    return json.loads(output)
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="fleet-smoke-") as root:
+        roots = {wid: os.path.join(root, wid) for wid in ("w0", "w1")}
+        procs = {}
+        addresses = {}
+        for wid, wroot in roots.items():
+            proc, host, port = start_worker(wroot, wid)
+            procs[wid] = proc
+            addresses[wid] = (host, port)
+        loop = _LoopThread()
+        loop.start()
+        router = Router(addresses, replication="sync", repl_interval=0.1)
+        loop.call(router.start())
+        print(f"fleet up: router :{router.port}, workers "
+              f"{ {wid: p for wid, (h, p) in addresses.items()} }")
+        try:
+            # -- 1. concurrent retrying clients through a fault proxy --
+            plan = FaultPlan(seed=2026)
+            plan.drop("s2c", probability=0.06)
+            plan.reset("c2s", probability=0.04)
+            with StreamFaultProxy("127.0.0.1", router.port, plan) as proxy:
+                errors: list = []
+                results: dict = {}
+                threads = [
+                    threading.Thread(target=drive,
+                                     args=(proxy.host, proxy.port, name,
+                                           bias, results, errors))
+                    for bias, name in enumerate(["alice", "bob"])]
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join(timeout=120)
+                for name, exc in errors:
+                    print(f"FAIL: client {name!r} errored: {exc!r}")
+                    return 1
+                if len(results) != 2:
+                    print(f"FAIL: only {sorted(results)} finished")
+                    return 1
+            print(f"sharded workload survived injected faults "
+                  f"({plan.summary() or 'none'}); both sessions at "
+                  f"position {EXPECTED_POSITION} (exactly-once)")
+
+            client = SessionClient("127.0.0.1", router.port, timeout=10.0,
+                                   retries=10, backoff=0.05, retry_seed=99,
+                                   client_id="fleet-main")
+            victim = router.ring.lookup("alice")
+            survivor = next(w for w in ("w0", "w1") if w != victim)
+
+            # -- 2. live migration of bob, under concurrent writes -----
+            bob_owner = router.ring.lookup("bob")
+            target = next(w for w in ("w0", "w1") if w != bob_owner)
+            m_errors: list = []
+            m_results: dict = {}
+            m_started = threading.Event()
+            m_thread = threading.Thread(
+                target=hammer,
+                args=("127.0.0.1", router.port, "bob", 2000,
+                      MIGRATE_WRITES, m_results, m_errors, m_started))
+            m_thread.start()
+            m_started.wait(timeout=60)
+            migrated = client.call("migrate", session="bob", target=target)
+            m_thread.join(timeout=120)
+            if m_errors:
+                print(f"FAIL: writer during migration errored: {m_errors}")
+                return 1
+            if not migrated.get("migrated") or migrated["to"] != target:
+                print(f"FAIL: migration refused: {migrated}")
+                return 1
+            expected_bob = EXPECTED_POSITION + MIGRATE_WRITES
+            if m_results.get("bob") != expected_bob:
+                print(f"FAIL: bob at {m_results.get('bob')} after "
+                      f"migration, expected {expected_bob} — a mutation "
+                      f"was lost or doubled in the handover")
+                return 1
+            if router.ring.lookup("bob") != target:
+                print(f"FAIL: bob not pinned to {target!r} after "
+                      f"migration")
+                return 1
+            print(f"live-migrated 'bob' {bob_owner}->{target} under "
+                  f"{MIGRATE_WRITES} concurrent writes; position "
+                  f"{expected_bob} exact, zero client errors")
+
+            # -- 3. quiesce replication, capture pre-kill truth --------
+            client.call("fleet-sync")
+            before = {
+                name: client.session(name).fingerprint()
+                for name in ("alice", "bob")}
+
+            # -- 4. SIGKILL the worker owning alice, mid-batch ---------
+            k_errors: list = []
+            k_results: dict = {}
+            k_started = threading.Event()
+            k_thread = threading.Thread(
+                target=hammer,
+                args=("127.0.0.1", router.port, "alice", 1000,
+                      KILL_WRITES, k_results, k_errors, k_started))
+            k_thread.start()
+            k_started.wait(timeout=60)
+            procs[victim].send_signal(signal.SIGKILL)
+            procs[victim].wait(timeout=30)
+            k_thread.join(timeout=120)
+            if k_errors:
+                print(f"FAIL: writer during kill errored: {k_errors}")
+                return 1
+            expected_alice = EXPECTED_POSITION + KILL_WRITES
+            if k_results.get("alice") != expected_alice:
+                print(f"FAIL: alice at {k_results.get('alice')} after "
+                      f"worker kill, expected {expected_alice} — a "
+                      f"retried mutation applied twice or was lost")
+                return 1
+            print(f"killed worker {victim!r} (pid {procs[victim].pid}) "
+                  f"mid-batch; client finished all {KILL_WRITES} writes, "
+                  f"position {expected_alice} exact (exactly-once)")
+
+            # -- 5. the follower's recovery is fingerprint-identical ---
+            after_alice = client.session("alice").fingerprint()
+            before_vars = before["alice"]["variables"]
+            after_vars = dict(after_alice["variables"])
+            # the hammer moved width (and the sum constraint moved
+            # area); everything else must be bit-identical
+            if after_vars["v:width"]["value"] != 1000 + KILL_WRITES - 1:
+                print(f"FAIL: alice lost the last write: {after_vars}")
+                return 1
+            if after_vars["v:height"] != before_vars["v:height"]:
+                print(f"FAIL: failover changed untouched state:\n"
+                      f"  before: {json.dumps(before_vars, sort_keys=True)}\n"
+                      f"  after:  {json.dumps(after_vars, sort_keys=True)}")
+                return 1
+            after_bob = client.session("bob").fingerprint()
+            if after_bob != before["bob"]:
+                print(f"FAIL: bob changed across alice's failover:\n"
+                      f"  before: {json.dumps(before['bob'], sort_keys=True)}\n"
+                      f"  after:  {json.dumps(after_bob, sort_keys=True)}")
+                return 1
+            health = client.call("health")
+            if victim not in health["down"]:
+                print(f"FAIL: health does not report {victim!r} down: "
+                      f"{health}")
+                return 1
+            print(f"failover to {survivor!r} fingerprint-checked; "
+                  f"router health reports {victim!r} down")
+
+            # -- 6. shut down, verify the surviving journals offline ---
+            client.call("fleet-sync")
+            final = {
+                name: client.session(name).fingerprint()
+                for name in ("alice", "bob")}
+            owners = {name: router.ring.lookup(name)
+                      for name in ("alice", "bob")}
+            client.call("shutdown")
+            client.close()
+        finally:
+            loop.call(router.stop())
+            loop.stop()
+            for proc in procs.values():
+                if proc.poll() is None:
+                    try:
+                        proc.wait(timeout=15)
+                    except subprocess.TimeoutExpired:
+                        proc.kill()
+        for name in ("alice", "bob"):
+            owner_root = roots[owners[name]]
+            first = offline_fingerprint(owner_root, name)
+            second = offline_fingerprint(owner_root, name)
+            if first != second:
+                print(f"FAIL: offline fingerprint of {name!r} unstable")
+                return 1
+            if first != final[name]:
+                print(f"FAIL: offline recovery of {name!r} on "
+                      f"{owners[name]!r} diverged from the router view:\n"
+                      f"  router:  {json.dumps(final[name], sort_keys=True)}\n"
+                      f"  offline: {json.dumps(first, sort_keys=True)}")
+                return 1
+        print(f"offline session-verify stable and identical on "
+              f"{sorted(set(owners.values()))}; fleet smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
