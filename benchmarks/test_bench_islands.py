@@ -1,0 +1,154 @@
+"""Island-structured batches versus the fused batched round.
+
+The island PR's performance claims, measured on a disjoint-module
+hierarchy (8 modules, each one scale-offset chain; a batch assigns
+every module's head in one ``assign_many``):
+
+* **serial parity** — draining the batch island-by-island through the
+  always-available :class:`SerialIslandExecutor` is observably
+  byte-identical to the fused round (values, justification sources and
+  every stats counter) and carries no meaningful overhead (the
+  ``0007_islands-baseline`` CI gate holds both rounds' medians to 5%);
+* **parallel speedup** — with a :class:`ThreadIslandExecutor` of 4 on a
+  machine with ≥4 CPUs and the GIL disabled (free-threaded build), the
+  same batch completes ≥2x faster than fused (skipped elsewhere: under
+  the GIL, pure-Python wavefronts serialize and threads only add
+  handoff);
+* the engine never touches numpy — the no-numpy CI legs run this suite
+  unchanged, proving the serial backend carries the feature alone.
+
+Speedup assertions use best-of-N wall times measured in the same
+process; the ``benchmark`` fixtures feed medians to BENCH_PROP.json.
+"""
+
+import os
+import sys
+from itertools import count
+from time import perf_counter
+
+import pytest
+
+from repro.core import (
+    PropagationContext,
+    ScaleOffsetConstraint,
+    SerialIslandExecutor,
+    ThreadIslandExecutor,
+    Variable,
+    install_islands,
+    source_constraint,
+)
+
+MODULES = 8
+CHAIN = 300
+
+
+def build_modules(context, modules=MODULES, chain=CHAIN):
+    """``modules`` disjoint scale-offset chains; returns (heads, tails)."""
+    heads, tails = [], []
+    for module in range(modules):
+        variables = [Variable(name=f"m{module}v{step}", context=context)
+                     for step in range(chain)]
+        for left, right in zip(variables, variables[1:]):
+            ScaleOffsetConstraint(right, left, offset=1)
+        heads.append(variables[0])
+        tails.append(variables[-1])
+    return heads, tails
+
+
+def batch_for(heads, value):
+    return [(head, value + 10 * index) for index, head in enumerate(heads)]
+
+
+def state_of(context, variables):
+    return [(v.value,
+             type(source_constraint(v.last_set_by)).__name__
+             if source_constraint(v.last_set_by) else None)
+            for v in variables] + [context.stats.snapshot()]
+
+
+def best_of(fn, repeats=5):
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = perf_counter()
+        fn()
+        elapsed = perf_counter() - t0
+        if elapsed < best:
+            best = elapsed
+    return best
+
+
+def gil_enabled():
+    probe = getattr(sys, "_is_gil_enabled", None)
+    return True if probe is None else probe()
+
+
+class TestSerialParity:
+    def test_island_rounds_are_byte_identical_to_fused(self):
+        fused = PropagationContext()
+        island = PropagationContext()
+        install_islands(island, workers=1)
+        f_heads, f_tails = build_modules(fused)
+        i_heads, i_tails = build_modules(island)
+        for value in (5, 9, 2):
+            assert fused.assign_many(batch_for(f_heads, value))
+            assert island.assign_many(batch_for(i_heads, value))
+            assert state_of(fused, f_heads + f_tails) \
+                == state_of(island, i_heads + i_tails)
+
+    def test_single_island_workload_is_unaffected(self):
+        """A batch inside one island must not regress: grouping sees one
+        group and falls through to the fused fast path."""
+        fused = PropagationContext()
+        island = PropagationContext()
+        install_islands(island, workers=4)
+        f_heads, _ = build_modules(fused, modules=1)
+        i_heads, _ = build_modules(island, modules=1)
+        fused_best = best_of(
+            lambda it=count(): fused.assign_many(
+                batch_for(f_heads, next(it))))
+        island_best = best_of(
+            lambda it=count(): island.assign_many(
+                batch_for(i_heads, next(it))))
+        assert island_best < fused_best * 3  # within noise, never cliffs
+
+
+class TestBenchmarks:
+    def test_fused_batch(self, benchmark):
+        context = PropagationContext()
+        heads, _ = build_modules(context)
+        values = count()
+        benchmark(lambda: context.assign_many(
+            batch_for(heads, next(values))))
+
+    def test_island_batch_serial(self, benchmark):
+        context = PropagationContext()
+        install_islands(context, workers=1)
+        heads, _ = build_modules(context)
+        values = count()
+        benchmark(lambda: context.assign_many(
+            batch_for(heads, next(values))))
+        benchmark.extra_info["islands"] = \
+            context.islands.stats()["islands"]
+
+
+@pytest.mark.skipif((os.cpu_count() or 1) < 4,
+                    reason="parallel speedup gate needs >=4 CPUs")
+@pytest.mark.skipif(gil_enabled(),
+                    reason="pure-Python wavefronts only parallelize on "
+                           "free-threaded (GIL-disabled) builds")
+class TestParallelSpeedup:
+    def test_four_workers_beat_fused_by_2x(self):
+        fused = PropagationContext()
+        island = PropagationContext()
+        install_islands(island, workers=4)
+        f_heads, f_tails = build_modules(fused, chain=1000)
+        i_heads, i_tails = build_modules(island, chain=1000)
+        fused_best = best_of(
+            lambda it=count(): fused.assign_many(
+                batch_for(f_heads, next(it))))
+        island_best = best_of(
+            lambda it=count(): island.assign_many(
+                batch_for(i_heads, next(it))))
+        assert island_best * 2 <= fused_best, (
+            f"island batch {island_best:.4f}s vs fused {fused_best:.4f}s")
+        assert [v.value for v in i_tails] == [v.value for v in f_tails]

@@ -10,6 +10,7 @@ A thin utility layer a downstream user drives from the shell::
     python -m repro.cli select design.json --cell DATAPATH --instance A1
     python -m repro.cli sweep design.json --cell ALU --var width --range 1:8
     python -m repro.cli stats design.json --json
+    python -m repro.cli islands design.json --members
     python -m repro.cli plancache-stats design.json --repeat 5
     python -m repro.cli metrics design.json
     python -m repro.cli profile design.json --top 10 --trace round.trace.json
@@ -206,9 +207,15 @@ def cmd_stats(args: argparse.Namespace, out) -> int:
     metrics snapshot API so output is deterministic (sorted keys) and,
     with ``--json``, machine-readable.
     """
+    from .core import install_islands
     from .obs import MetricsRegistry
 
-    library = _load(args.design)
+    context = reset_default_context()
+    # Install the island index before loading so it observes every
+    # constraint link the load creates (partition counters then reflect
+    # the whole design, not just post-load edits).
+    islands = install_islands(context)
+    library = _load(args.design, context=context)
     _exercise(library)
     registry = MetricsRegistry.from_stats(library.context.stats)
     cache = getattr(library.context, "plan_cache", None)
@@ -218,6 +225,8 @@ def cmd_stats(args: argparse.Namespace, out) -> int:
         cache.chain_hits if cache is not None else 0)
     registry.counter("engine.stats.plan_deopts").inc(
         cache.deopts if cache is not None else 0)
+    for name, value in islands.stats().items():
+        registry.counter(f"engine.stats.{name}").inc(value)
     snapshot = registry.snapshot()
     if args.json:
         json.dump(snapshot, out, indent=2, sort_keys=True)
@@ -225,6 +234,48 @@ def cmd_stats(args: argparse.Namespace, out) -> int:
     else:
         for name, value in snapshot.items():
             print(f"{name}: {value}", file=out)
+    return 0
+
+
+def cmd_islands(args: argparse.Namespace, out) -> int:
+    """Inspect the constraint-graph islands of a design.
+
+    Loads the design with an island index installed, then prints the
+    partition: island count, sizes in deterministic order (largest
+    first, ties by first member name), and — with ``--members`` — the
+    variables of each island.  ``--json`` emits one JSON object.
+    """
+    from .core import install_islands
+
+    context = reset_default_context()
+    islands = install_islands(context)
+    library = _load(args.design, context=context)
+    _exercise(library)
+    partition = islands.islands()
+    summary = islands.stats()
+    if args.json:
+        report: Any = {
+            "islands": summary["islands"],
+            "largest_island": summary["largest_island"],
+            "island_merges": summary["island_merges"],
+            "island_splits": summary["island_splits"],
+            "sizes": [len(group) for group in partition],
+        }
+        if args.members:
+            report["members"] = [[v.qualified_name() for v in group]
+                                 for group in partition]
+        json.dump(report, out, indent=2, sort_keys=True)
+        print(file=out)
+        return 0
+    print(f"{summary['islands']} island(s) in {library.name!r} "
+          f"(largest {summary['largest_island']}, "
+          f"merges {summary['island_merges']}, "
+          f"splits {summary['island_splits']})", file=out)
+    for index, group in enumerate(partition):
+        print(f"  island {index}: {len(group)} variable(s)", file=out)
+        if args.members:
+            for variable in group:
+                print(f"    {variable.qualified_name()}", file=out)
     return 0
 
 
@@ -423,7 +474,8 @@ def cmd_serve(args: argparse.Namespace, out) -> int:
                            max_frame_bytes=args.max_frame_bytes,
                            max_connections=args.max_connections,
                            drain_timeout=args.drain_timeout,
-                           round_budget=round_budget)
+                           round_budget=round_budget,
+                           island_workers=args.island_workers)
 
     async def run() -> None:
         await server.start()
@@ -639,6 +691,15 @@ def build_parser() -> argparse.ArgumentParser:
                          help="machine-readable JSON snapshot")
     p_stats.set_defaults(fn=cmd_stats)
 
+    p_islands = sub.add_parser("islands", help="constraint-graph island "
+                                               "partition of a design")
+    p_islands.add_argument("design")
+    p_islands.add_argument("--members", action="store_true",
+                           help="list each island's variables")
+    p_islands.add_argument("--json", action="store_true",
+                           help="machine-readable JSON report")
+    p_islands.set_defaults(fn=cmd_islands)
+
     p_plan = sub.add_parser("plancache-stats",
                             help="plan-cache hit/miss/deopt counters while "
                                  "repeatedly exercising the design")
@@ -719,6 +780,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--drain-timeout", type=float, default=5.0,
                          help="seconds to let in-flight requests finish "
                               "on shutdown")
+    p_serve.add_argument("--island-workers", type=int, default=None,
+                         help="drain disjoint constraint-graph islands of "
+                              "a batch concurrently on N threads (0/1 = "
+                              "serial island rounds; default leaves "
+                              "batches fused)")
     p_serve.set_defaults(fn=cmd_serve)
 
     p_fworker = sub.add_parser("fleet-worker", help="serve one fleet "

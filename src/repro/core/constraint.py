@@ -103,8 +103,11 @@ class Constraint:
         if self._attached:
             return True
         self._attached = True
-        for variable in self._arguments:
-            variable.add_constraint(self)
+        with self.context.structural_operation():
+            # One logical edit, one topology epoch: the N argument links
+            # coalesce instead of bumping N times.
+            for variable in self._arguments:
+                variable.add_constraint(self)
         return self.reinitialize_variables()
 
     def reinitialize_variables(self) -> bool:
@@ -133,8 +136,9 @@ class Constraint:
             to_reset = {variable} | variable.variable_consequences()
         else:
             to_reset = dependency.constraint_consequences(self, variable)
-        variable.remove_constraint(self)
-        self._arguments.remove(variable)
+        with self.context.structural_operation():
+            variable.remove_constraint(self)
+            self._arguments.remove(variable)
         for dependent in to_reset:
             dependent.reset()
         if self._attached and self._arguments:
@@ -150,8 +154,10 @@ class Constraint:
                 to_reset |= variable.variable_consequences()
             else:
                 to_reset |= dependency.constraint_consequences(self, variable)
-        for variable in self._arguments:
-            variable.remove_constraint(self)
+        with self.context.structural_operation():
+            # One logical edit, one topology epoch, however many unlinks.
+            for variable in self._arguments:
+                variable.remove_constraint(self)
         self._arguments = []
         self._attached = False
         for dependent in to_reset:

@@ -28,18 +28,21 @@ class SessionManager:
     journal/checkpoint I/O of every managed session — the fault-injection
     seam.  ``round_budget`` (a :class:`~repro.core.engine.RoundBudget`)
     installs the propagation watchdog on each session's context as it is
-    opened.
+    opened.  ``island_workers`` configures island-parallel batch
+    draining per opened session (see :class:`~repro.session.session.Session`).
     """
 
     def __init__(self, root: str, *, fsync: str = "always",
                  max_sessions: int = 64,
                  opener: Optional[FileOpener] = None,
-                 round_budget: Optional[Any] = None) -> None:
+                 round_budget: Optional[Any] = None,
+                 island_workers: Optional[int] = None) -> None:
         self.root = root
         self.fsync = fsync
         self.max_sessions = max_sessions
         self.opener = opener
         self.round_budget = round_budget
+        self.island_workers = island_workers
         self.sessions: Dict[str, Session] = {}
         self._lock = threading.Lock()
         os.makedirs(root, exist_ok=True)
@@ -61,7 +64,8 @@ class SessionManager:
                 raise SessionError(
                     f"session limit reached ({self.max_sessions})")
             session = Session(name, directory=path, fsync=self.fsync,
-                              opener=self.opener)
+                              opener=self.opener,
+                              island_workers=self.island_workers)
             if self.round_budget is not None:
                 session.context.round_budget = self.round_budget
             self.sessions[name] = session

@@ -98,11 +98,13 @@ class SessionServer:
                  max_connections: int = 64,
                  drain_timeout: float = 5.0,
                  opener: Any = None,
-                 round_budget: Any = None) -> None:
+                 round_budget: Any = None,
+                 island_workers: Any = None) -> None:
         self.manager = SessionManager(root, fsync=fsync,
                                       max_sessions=max_sessions,
                                       opener=opener,
-                                      round_budget=round_budget)
+                                      round_budget=round_budget,
+                                      island_workers=island_workers)
         self.host = host
         self.port = port
         #: Extra identity fields merged into every ``health`` frame —
@@ -580,6 +582,9 @@ class SessionServer:
         stats["plan_chain_hits"] = (cache.chain_hits
                                     if cache is not None else 0)
         stats["plan_deopts"] = cache.deopts if cache is not None else 0
+        islands = session.context.islands
+        if islands is not None:
+            stats.update(islands.stats())
         return {"stats": {key: stats[key] for key in sorted(stats)},
                 "position": session.position,
                 "violations": len(session.violations),
