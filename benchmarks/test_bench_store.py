@@ -1,0 +1,148 @@
+"""Storage-backend costs: journaled assigns and checkpoints per backend.
+
+The pluggable store seam must not tax the hot path.  Three figures per
+backend (file / sqlite / object) land in the benchmark report — the
+journaled-assign round, the checkpoint publish, and recovery replay —
+plus one in-suite acceptance gate: sqlite's journal-append overhead
+stays within 25% of the file backend at ``fsync="never"``, the policy
+the journal-overhead budget in ``test_bench_session`` also gates at.
+That isolates the *seam* tax — buffering, gating, row bookkeeping —
+from the hardware durability cost (at ``fsync="always"`` a sqlite
+append is a WAL commit and a file append one ``fdatasync``; comparing
+those benchmarks disk firmware, not this code).
+
+The gate uses the same noise discipline as the journal-overhead budget:
+interleaved bursts, minimum per variant, best of a few attempts.
+"""
+
+import gc
+import itertools
+import time
+
+import pytest
+
+from repro.session import Session
+from repro.store import STORE_BACKENDS, resolve_store
+
+
+def store_session(kind, root, fsync="never"):
+    store = resolve_store(kind, str(root))
+    session = Session("bench", store=store.session("bench"), fsync=fsync)
+    session._bench_root_store = store  # closed with the session below
+    for name in ("v1", "v2", "v3", "v4"):
+        session.make_variable(name)
+    session.assign("v:v3", 5)
+    session.add_constraint("equality", ["v:v1", "v:v2"])
+    session.add_constraint("maximum", ["v:v4", "v:v2", "v:v3"])
+    return session
+
+
+def close_all(session):
+    session.close()
+    session._bench_root_store.close()
+
+
+def _assign_loop(session):
+    values = itertools.cycle([9, 8])
+
+    def assign():
+        session.assign("v:v1", next(values))
+
+    return assign
+
+
+@pytest.mark.parametrize("kind", list(STORE_BACKENDS))
+def test_bench_store_assign(benchmark, tmp_path, kind):
+    session = store_session(kind, tmp_path)
+    try:
+        benchmark(_assign_loop(session))
+    finally:
+        close_all(session)
+
+
+@pytest.mark.parametrize("kind", list(STORE_BACKENDS))
+def test_bench_store_checkpoint(benchmark, tmp_path, kind):
+    session = store_session(kind, tmp_path)
+    try:
+        for i in range(40):
+            session.assign("v:v1", i)
+        benchmark(session.checkpoint)
+    finally:
+        close_all(session)
+
+
+@pytest.mark.parametrize("kind", list(STORE_BACKENDS))
+def test_bench_store_replay(benchmark, tmp_path, kind):
+    entries = 300
+    session = store_session(kind, tmp_path)
+    for i in range(entries // 2):
+        session.assign("v:v1", i)
+        session.assign("v:v3", i % 7)
+    close_all(session)
+
+    store = resolve_store(kind, str(tmp_path))
+    try:
+        def recover():
+            with Session("bench", store=store.session("bench"),
+                         read_only=True) as replayed:
+                assert replayed.replayed_entries >= entries
+
+        benchmark(recover)
+    finally:
+        store.close()
+
+
+class TestSqliteOverheadBudget:
+    """The acceptance gate: sqlite journal appends within 25% of file.
+
+    Measured at ``fsync="never"`` so the comparison isolates what the
+    backend seam itself costs per append.  Interleaved bursts +
+    min-per-variant + best-of-N attempts keep shared-CI noise out of
+    the verdict.
+    """
+
+    BURSTS = 10
+    BURST_OPS = 400
+    BUDGET = 1.25
+    ATTEMPTS = 4
+
+    @staticmethod
+    def _burst(session, ops):
+        values = itertools.cycle([9, 8])
+        start = time.perf_counter()
+        for _ in range(ops):
+            session.assign("v:v1", next(values))
+        return time.perf_counter() - start
+
+    def _measure_ratio(self, tmp_path, attempt):
+        file_session = store_session(
+            "file", tmp_path / f"file{attempt}")
+        sqlite_session = store_session(
+            "sqlite", tmp_path / f"sqlite{attempt}")
+        try:
+            file_times, sqlite_times = [], []
+            gc.collect()
+            gc.disable()
+            try:
+                for _ in range(self.BURSTS):
+                    file_times.append(
+                        self._burst(file_session, self.BURST_OPS))
+                    sqlite_times.append(
+                        self._burst(sqlite_session, self.BURST_OPS))
+            finally:
+                gc.enable()
+            return min(sqlite_times) / min(file_times)
+        finally:
+            close_all(file_session)
+            close_all(sqlite_session)
+
+    def test_sqlite_append_overhead_within_budget(self, tmp_path):
+        ratios = []
+        for attempt in range(self.ATTEMPTS):
+            ratio = self._measure_ratio(tmp_path, attempt)
+            ratios.append(round(ratio, 3))
+            if ratio < self.BUDGET:
+                return
+        pytest.fail(f"sqlite journal overhead above {self.BUDGET:.0%} of "
+                    f"the file backend in all {self.ATTEMPTS} attempts: "
+                    f"ratios={ratios}")

@@ -475,7 +475,8 @@ def cmd_serve(args: argparse.Namespace, out) -> int:
                            max_connections=args.max_connections,
                            drain_timeout=args.drain_timeout,
                            round_budget=round_budget,
-                           island_workers=args.island_workers)
+                           island_workers=args.island_workers,
+                           store=args.store)
 
     async def run() -> None:
         await server.start()
@@ -504,7 +505,8 @@ def cmd_fleet_worker(args: argparse.Namespace, out) -> int:
 
     server = WorkerServer(args.root, worker_id=args.id, host=args.host,
                           port=args.port, fsync=args.fsync,
-                          request_timeout=args.request_timeout)
+                          request_timeout=args.request_timeout,
+                          store=args.store)
 
     async def run() -> None:
         await server.start()
@@ -545,11 +547,14 @@ def cmd_fleet(args: argparse.Namespace, out) -> int:
         for index in range(args.workers):
             worker_id = f"w{index}"
             worker_root = os.path.join(args.root, worker_id)
+            argv = [sys.executable, "-m", "repro.cli", "fleet-worker",
+                    "--root", worker_root, "--id", worker_id,
+                    "--host", args.host, "--port", "0",
+                    "--fsync", args.fsync]
+            if args.store is not None:
+                argv += ["--store", args.store]
             proc = subprocess.Popen(
-                [sys.executable, "-m", "repro.cli", "fleet-worker",
-                 "--root", worker_root, "--id", worker_id,
-                 "--host", args.host, "--port", "0",
-                 "--fsync", args.fsync],
+                argv,
                 env={**os.environ,
                      "PYTHONPATH": os.pathsep.join(sys.path)},
                 stdout=subprocess.PIPE, text=True)
@@ -599,11 +604,14 @@ def cmd_session_verify(args: argparse.Namespace, out) -> int:
     two of these is how the test suite asserts replay determinism.
     """
     from .session import Session
+    from .store import resolve_store
 
-    directory = os.path.join(args.root, args.name)
-    if not os.path.isdir(directory):
-        raise SystemExit(f"error: no session directory {directory!r}")
-    with Session(args.name, directory=directory,
+    store = resolve_store(args.store, args.root)
+    session_store = store.session(args.name)
+    if not session_store.exists():
+        raise SystemExit(f"error: no session {args.name!r} in "
+                         f"{store.location!r}")
+    with Session(args.name, store=session_store,
                  read_only=True) as session:
         if args.fingerprint:
             json.dump(session.fingerprint(), out, indent=2, sort_keys=True)
@@ -614,6 +622,88 @@ def cmd_session_verify(args: argparse.Namespace, out) -> int:
                   f"vars={len(session.vars)} "
                   f"constraints={len(session.constraints)} "
                   f"violations={len(session.violations)}", file=out)
+    store.close()
+    return 0
+
+
+def cmd_store_scrub(args: argparse.Namespace, out) -> int:
+    """Verify (and repair) a session's durable state in any backend.
+
+    Walks every checkpoint and journal segment, truncates a torn tail,
+    and — with ``--repair-from`` naming a healthy twin store (say, a
+    fleet follower's root) — re-ships damaged or missing sequence
+    ranges from it.  Exits 1 when damage remains.
+    """
+    from .store import resolve_store
+    from .store.scrub import scrub_session
+
+    store = resolve_store(args.store, args.root)
+    session_store = store.session(args.session)
+    if not session_store.exists():
+        raise SystemExit(f"error: no session {args.session!r} in "
+                         f"{store.location!r}")
+    source_store = None
+    source = None
+    if args.repair_from:
+        source_store = resolve_store(args.repair_from, args.root)
+        source = source_store.session(args.session)
+    report = scrub_session(session_store, source=source,
+                           repair=not args.check)
+    report["session"] = args.session
+    if args.json:
+        json.dump(report, out, indent=2, sort_keys=True)
+        print(file=out)
+    else:
+        state = ("clean" if report["clean"]
+                 else "repaired" if report["ok"] else "damaged")
+        print(f"session {args.session!r} [{report['backend']}]: {state} "
+              f"(segments={report['segments']} "
+              f"entries={report['entries']} "
+              f"checkpoints={report['checkpoints']})", file=out)
+        for finding in report["damage"]:
+            print(f"  damage: {finding}", file=out)
+        for finding in report["repaired"]:
+            print(f"  repaired: {finding}", file=out)
+        for need in report["needs"]:
+            print(f"  needs re-ship: after={need['after']} "
+                  f"until={need['until']}", file=out)
+    store.close()
+    if source_store is not None:
+        source_store.close()
+    return 0 if report["ok"] else 1
+
+
+def cmd_store_compact(args: argparse.Namespace, out) -> int:
+    """Fold cold journal segments of a closed session into a checkpoint.
+
+    Replays the session up to a segment boundary, publishes that state
+    as a checkpoint, and prunes the segments it covers — recovery cost
+    stays proportional to the hot tail.  Never run this against a
+    session a live server currently has open.
+    """
+    from .store import resolve_store
+    from .store.compact import compact_session
+
+    store = resolve_store(args.store, args.root)
+    session_store = store.session(args.session)
+    if not session_store.exists():
+        raise SystemExit(f"error: no session {args.session!r} in "
+                         f"{store.location!r}")
+    report = compact_session(session_store, name=args.session,
+                             keep_segments=args.keep_segments,
+                             keep_checkpoints=args.keep_checkpoints)
+    if args.json:
+        json.dump(report, out, indent=2, sort_keys=True)
+        print(file=out)
+    elif report["performed"]:
+        print(f"session {args.session!r}: checkpoint at "
+              f"seq {report['checkpoint_seq']}, pruned "
+              f"{len(report['pruned_segments'])} segment(s)", file=out)
+    else:
+        reason = report.get("error", "nothing to fold")
+        print(f"session {args.session!r}: no compaction ({reason})",
+              file=out)
+    store.close()
     return 0
 
 
@@ -785,6 +875,9 @@ def build_parser() -> argparse.ArgumentParser:
                               "a batch concurrently on N threads (0/1 = "
                               "serial island rounds; default leaves "
                               "batches fused)")
+    p_serve.add_argument("--store", default=None, metavar="BACKEND[:PATH]",
+                         help="durable storage backend: file (default), "
+                              "sqlite[:db-path] or object[:bucket-path]")
     p_serve.set_defaults(fn=cmd_serve)
 
     p_fworker = sub.add_parser("fleet-worker", help="serve one fleet "
@@ -799,6 +892,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_fworker.add_argument("--fsync", default="always",
                            choices=["always", "rotate", "never"])
     p_fworker.add_argument("--request-timeout", type=float, default=30.0)
+    p_fworker.add_argument("--store", default=None,
+                           metavar="BACKEND[:PATH]",
+                           help="durable storage backend: file (default), "
+                                "sqlite[:db-path] or object[:bucket-path]")
     p_fworker.set_defaults(fn=cmd_fleet_worker)
 
     p_fleet = sub.add_parser("fleet", help="run a sharded session fleet: "
@@ -820,6 +917,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="background replication pass interval "
                               "(checkpoints + gap repair); 0 disables")
     p_fleet.add_argument("--request-timeout", type=float, default=30.0)
+    p_fleet.add_argument("--store", default=None, metavar="BACKEND[:PATH]",
+                         help="durable storage backend on every worker "
+                              "(relative locations resolve under each "
+                              "worker's own root)")
     p_fleet.set_defaults(fn=cmd_fleet)
 
     p_sverify = sub.add_parser("session-verify", help="recover a session "
@@ -828,7 +929,45 @@ def build_parser() -> argparse.ArgumentParser:
     p_sverify.add_argument("--name", required=True)
     p_sverify.add_argument("--fingerprint", action="store_true",
                            help="print the canonical state digest as JSON")
+    p_sverify.add_argument("--store", default=None,
+                           metavar="BACKEND[:PATH]",
+                           help="durable storage backend: file (default), "
+                                "sqlite[:db-path] or object[:bucket-path]")
     p_sverify.set_defaults(fn=cmd_session_verify)
+
+    p_scrub = sub.add_parser("store-scrub", help="verify (and repair) a "
+                             "session's durable state in any backend")
+    p_scrub.add_argument("--root", required=True)
+    p_scrub.add_argument("--session", required=True)
+    p_scrub.add_argument("--store", default=None, metavar="BACKEND[:PATH]",
+                         help="backend holding the session (file default)")
+    p_scrub.add_argument("--repair-from", default=None,
+                         metavar="BACKEND[:PATH]",
+                         help="healthy twin store (e.g. a fleet "
+                              "follower's root) to re-ship damaged or "
+                              "missing ranges from")
+    p_scrub.add_argument("--check", action="store_true",
+                         help="report only; repair nothing")
+    p_scrub.add_argument("--json", action="store_true",
+                         help="print the full scrub report as JSON")
+    p_scrub.set_defaults(fn=cmd_store_scrub)
+
+    p_compact = sub.add_parser("store-compact", help="fold cold journal "
+                               "segments of a closed session into a "
+                               "checkpoint")
+    p_compact.add_argument("--root", required=True)
+    p_compact.add_argument("--session", required=True)
+    p_compact.add_argument("--store", default=None,
+                           metavar="BACKEND[:PATH]",
+                           help="backend holding the session (file "
+                                "default)")
+    p_compact.add_argument("--keep-segments", type=int, default=1,
+                           help="newest segments to keep as the "
+                                "replayable hot tail")
+    p_compact.add_argument("--keep-checkpoints", type=int, default=2)
+    p_compact.add_argument("--json", action="store_true",
+                           help="print the compaction report as JSON")
+    p_compact.set_defaults(fn=cmd_store_compact)
     return parser
 
 

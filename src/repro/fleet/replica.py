@@ -2,7 +2,7 @@
 
 A :class:`ReplicaStore` receives the raw journal lines and checkpoint
 snapshots a primary worker exports (``repl-export``) and lands them in
-``<root>/<session>/`` in **exactly** the live session layout —
+the worker's session store in **exactly** the live session layout —
 ``wal-*.jsonl`` segments of verbatim framed lines plus ``ckpt-*.json``
 snapshots.  Promotion after a primary death is therefore not a special
 code path at all: opening the session through the ordinary
@@ -10,6 +10,12 @@ code path at all: opening the session through the ordinary
 tail exactly as crash recovery does, and replay determinism (the Apt
 fixpoint argument behind ``fingerprint``) guarantees the follower
 reaches the identical state the primary acknowledged.
+
+The landing goes through the :class:`~repro.store.base.SessionStore`
+interface, so a follower replicates into whichever backend its worker
+runs on (``file``, ``sqlite``, ``object``) — and its replica doubles
+as the healthy *source* for the anti-entropy scrub
+(:mod:`repro.store.scrub`) when the primary's copy is damaged.
 
 Apply is idempotent and gap-refusing: lines at or below the replica's
 position are skipped (re-ships are harmless), a line that would skip a
@@ -21,19 +27,16 @@ from __future__ import annotations
 
 import os
 import threading
-from typing import Any, Dict, Iterable, List, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Optional
 
 from ..session.codec import check_name
-from ..session.journal import (
-    DEFAULT_SEGMENT_BYTES,
-    _decode_line,
-    _segment_name,
-    scan_segments,
-)
-from ..session.session import (
-    _load_latest_checkpoint,
-    _prune_checkpoints,
-    _write_checkpoint,
+from ..session.journal import DEFAULT_SEGMENT_BYTES, _decode_line
+from ..store.base import (
+    SegmentAppender,
+    SessionStore,
+    encode_checkpoint,
+    load_latest_checkpoint,
+    prune_checkpoints,
 )
 
 __all__ = ["ReplicaError", "ReplicaGap", "ReplicaStore"]
@@ -52,14 +55,14 @@ class ReplicaGap(ReplicaError):
 
 
 class _SessionState:
-    __slots__ = ("position", "checkpoint_seq", "segment_path",
+    __slots__ = ("position", "checkpoint_seq", "segment_key",
                  "segment_size")
 
     def __init__(self, position: int, checkpoint_seq: int,
-                 segment_path: Optional[str], segment_size: int) -> None:
+                 segment_key: Optional[str], segment_size: int) -> None:
         self.position = position
         self.checkpoint_seq = checkpoint_seq
-        self.segment_path = segment_path
+        self.segment_key = segment_key
         self.segment_size = segment_size
 
 
@@ -67,11 +70,16 @@ class ReplicaStore:
     """Land shipped session state under ``root`` in live-session layout."""
 
     def __init__(self, root: str, *,
+                 store: Optional[Any] = None,
                  segment_max_bytes: int = DEFAULT_SEGMENT_BYTES,
                  keep_checkpoints: int = 2) -> None:
         self.root = root
         self.segment_max_bytes = segment_max_bytes
         self.keep_checkpoints = keep_checkpoints
+        if store is None:
+            from ..store.filestore import FileStore
+            store = FileStore(root)
+        self.store = store
         self._states: Dict[str, _SessionState] = {}
         self._lock = threading.Lock()
         os.makedirs(root, exist_ok=True)
@@ -79,6 +87,11 @@ class ReplicaStore:
     def session_dir(self, name: str) -> str:
         check_name(name, "session name")
         return os.path.join(self.root, name)
+
+    def session_store(self, name: str) -> SessionStore:
+        """The per-session store view — scrub's repair source."""
+        check_name(name, "session name")
+        return self.store.session(name)
 
     # -- state --------------------------------------------------------------
 
@@ -90,40 +103,44 @@ class ReplicaStore:
         return state
 
     def _scan(self, name: str) -> _SessionState:
-        """Rebuild the replica position for ``name`` from disk.
+        """Rebuild the replica position for ``name`` from the store.
 
         A torn final line (this process killed mid-append) is truncated
         off the last segment so later appends extend a clean journal —
         the same repair crash recovery performs.
         """
-        directory = self.session_dir(name)
-        checkpoint = _load_latest_checkpoint(directory)
+        store = self.session_store(name)
+        checkpoint = load_latest_checkpoint(store)
         checkpoint_seq = checkpoint["seq"] if checkpoint else 0
         position = checkpoint_seq
-        segment_path: Optional[str] = None
+        segment_key: Optional[str] = None
         segment_size = 0
-        segments = scan_segments(directory)
+        segments = store.segments()
         if segments:
             last_seq: Optional[int] = None
-            for index, (_first, path) in enumerate(segments):
+            for index, (_first, key) in enumerate(segments):
+                data = store.read_segment(key)
                 valid_bytes = 0
-                with open(path, "rb") as handle:
-                    for line in handle:
-                        entry = _decode_line(line)
-                        if entry is None \
-                                or not isinstance(entry.get("seq"), int):
-                            break
-                        valid_bytes += len(line)
-                        last_seq = entry["seq"]
+                pos = 0
+                while pos < len(data):
+                    newline = data.find(b"\n", pos)
+                    line = (data[pos:newline + 1] if newline >= 0
+                            else data[pos:])
+                    pos = newline + 1 if newline >= 0 else len(data)
+                    entry = _decode_line(line)
+                    if entry is None \
+                            or not isinstance(entry.get("seq"), int):
+                        break
+                    valid_bytes += len(line)
+                    last_seq = entry["seq"]
                 if index == len(segments) - 1:
-                    if valid_bytes < os.path.getsize(path):
-                        with open(path, "r+b") as handle:
-                            handle.truncate(valid_bytes)
-                    segment_path = path
+                    if valid_bytes < len(data):
+                        store.truncate_segment(key, valid_bytes)
+                    segment_key = key
                     segment_size = valid_bytes
             if last_seq is not None:
                 position = max(position, last_seq)
-        return _SessionState(position, checkpoint_seq, segment_path,
+        return _SessionState(position, checkpoint_seq, segment_key,
                              segment_size)
 
     def forget(self, name: str) -> None:
@@ -143,10 +160,8 @@ class ReplicaStore:
 
     def names(self) -> List[str]:
         try:
-            return sorted(
-                name for name in os.listdir(self.root)
-                if os.path.isdir(os.path.join(self.root, name)))
-        except FileNotFoundError:
+            return sorted(self.store.session_names())
+        except OSError:
             return []
 
     # -- apply --------------------------------------------------------------
@@ -161,10 +176,10 @@ class ReplicaStore:
         """
         with self._lock:
             state = self._state(name)
-            directory = self.session_dir(name)
+            store = self.session_store(name)
             if checkpoint is not None:
-                self._apply_checkpoint(name, directory, state, checkpoint)
-            handle = None
+                self._apply_checkpoint(name, store, state, checkpoint)
+            appender: Optional[SegmentAppender] = None
             try:
                 for text in lines:
                     raw = text.encode("utf-8")
@@ -184,34 +199,36 @@ class ReplicaStore:
                             f"replica of {name!r} is at "
                             f"{state.position}, shipped line has seq "
                             f"{seq}")
-                    if handle is not None and (
+                    if appender is not None and (
                             state.segment_size >= self.segment_max_bytes):
-                        handle.close()
-                        handle = None
-                    if handle is None:
-                        handle = self._segment_handle(directory, state, seq)
-                    handle.write(raw)
+                        appender.flush()
+                        appender.close()
+                        appender = None
+                    if appender is None:
+                        appender = self._segment_appender(store, state, seq)
+                    appender.write(raw)
                     state.segment_size += len(raw)
                     state.position = seq
             finally:
-                if handle is not None:
-                    handle.flush()
-                    handle.close()
+                if appender is not None:
+                    appender.flush()
+                    appender.close()
             return state.position
 
-    def _segment_handle(self, directory: str, state: _SessionState,
-                        next_seq: int) -> Any:
-        os.makedirs(directory, exist_ok=True)
-        if state.segment_path is not None \
+    def _segment_appender(self, store: SessionStore, state: _SessionState,
+                          next_seq: int) -> SegmentAppender:
+        store.prepare()
+        if state.segment_key is not None \
                 and state.segment_size < self.segment_max_bytes \
-                and os.path.exists(state.segment_path):
-            return open(state.segment_path, "ab")
-        path = os.path.join(directory, _segment_name(next_seq))
-        state.segment_path = path
+                and any(key == state.segment_key
+                        for _first, key in store.segments()):
+            return store.open_segment(state.segment_key)
+        appender = store.create_segment(next_seq, durable=False)
+        state.segment_key = appender.key
         state.segment_size = 0
-        return open(path, "ab")
+        return appender
 
-    def _apply_checkpoint(self, name: str, directory: str,
+    def _apply_checkpoint(self, name: str, store: SessionStore,
                           state: _SessionState,
                           checkpoint: Dict[str, Any]) -> None:
         seq = checkpoint.get("seq")
@@ -220,45 +237,45 @@ class ReplicaStore:
                 f"shipped checkpoint for {name!r} carries no seq")
         if seq <= state.checkpoint_seq:
             return  # stale re-ship
-        os.makedirs(directory, exist_ok=True)
-        _write_checkpoint(directory, checkpoint)
-        _prune_checkpoints(directory, self.keep_checkpoints)
+        store.prepare()
+        store.publish_checkpoint(seq, encode_checkpoint(checkpoint))
+        prune_checkpoints(store, self.keep_checkpoints)
         state.checkpoint_seq = seq
         if seq > state.position:
             # The snapshot supersedes everything we hold: recovery
             # starts from it, and any journal line at or below it is
             # covered.  Lines beyond it cannot exist locally (they
             # would have implied a higher position), so drop the lot.
-            for _first, path in scan_segments(directory):
+            for _first, key in store.segments():
                 try:
-                    os.remove(path)
+                    store.delete_segment(key)
                 except OSError:
                     pass
             state.position = seq
-            state.segment_path = None
+            state.segment_key = None
             state.segment_size = 0
         else:
-            self._prune_covered(directory, state, seq)
+            self._prune_covered(store, state, seq)
 
-    def _prune_covered(self, directory: str, state: _SessionState,
+    def _prune_covered(self, store: SessionStore, state: _SessionState,
                        up_to_seq: int) -> None:
         """Delete segments whose every entry is covered by a checkpoint
         (mirror of :meth:`JournalWriter.prune` for the replica side)."""
-        segments = scan_segments(directory)
-        for index, (first, path) in enumerate(segments):
+        segments = store.segments()
+        for index, (first, key) in enumerate(segments):
             next_first = (segments[index + 1][0]
                           if index + 1 < len(segments)
                           else state.position + 1)
-            if next_first <= up_to_seq + 1 and path != state.segment_path:
+            if next_first <= up_to_seq + 1 and key != state.segment_key:
                 try:
-                    os.remove(path)
+                    store.delete_segment(key)
                 except OSError:
                     pass
 
     # -- promotion sanity ---------------------------------------------------
 
     def verify(self, name: str) -> int:
-        """Re-scan ``name`` from disk and return its durable position.
+        """Re-scan ``name`` from the store and return its durable position.
 
         Used before promoting a replica: the cached state is dropped so
         the answer reflects exactly what recovery will see.

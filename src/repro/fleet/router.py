@@ -59,7 +59,8 @@ __all__ = ["FleetError", "Router", "WorkerGone", "WorkerLink"]
 #: Worker-side replication plumbing a client must never reach through
 #: the router — these frames can rewrite replica state.
 _FLEET_INTERNAL = frozenset({"repl-export", "repl-apply", "repl-position",
-                             "repl-config", "handover"})
+                             "repl-config", "handover",
+                             "store-scrub", "store-repair"})
 
 _DEFAULT_REPL_INTERVAL = 0.25
 
@@ -762,6 +763,88 @@ class Router:
             return {"migrated": True, "session": name, "from": source,
                     "to": target, "position": final}
 
+    # -- anti-entropy scrub --------------------------------------------------
+
+    async def _fetch_range(self, follower: str, name: str, after: int,
+                           until: Optional[int]) -> Optional[List[str]]:
+        """Export the exact raw lines ``(after, until]`` from a
+        follower's replica, or ``None`` when it cannot serve them."""
+        lines: List[str] = []
+        position = after
+        while True:
+            try:
+                frame = await self._links[follower].request({
+                    "cmd": "repl-export", "session": name,
+                    "after_seq": position, "after_ckpt": 1 << 60})
+            except (WorkerGone, asyncio.TimeoutError):
+                return None
+            if not frame.get("ok"):
+                return None
+            export = frame["result"]
+            if "checkpoint" in export \
+                    or export.get("from", position) != position:
+                return None  # the replica pruned past the range
+            batch = export.get("lines", [])
+            if not batch:
+                break
+            lines.extend(batch)
+            position = export.get("end", position)
+            if until is not None and position >= until:
+                break
+        return lines or None
+
+    async def _cmd_scrub(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        """Anti-entropy pass for one session: scrub the primary's
+        durable state and re-ship damaged/missing ranges from the
+        follower's replica."""
+        name = message.get("session")
+        if not isinstance(name, str) or not name:
+            raise _RequestError("bad-request",
+                                "scrub requires a session name")
+        self._known.add(name)
+        self.metrics.counter("fleet.requests").inc()
+        repair = bool(message.get("repair", True))
+        async with self._session_lock(name):
+            primary = self.ring.lookup(name)
+            if primary is None:
+                raise _RequestError("overloaded", "no live workers")
+            follower = self.ring.lookup(name, skip=(primary,))
+            frame = await self._links[primary].request(
+                {"cmd": "store-scrub", "session": name, "repair": repair})
+            if not frame.get("ok"):
+                raise _RequestError(
+                    "internal",
+                    f"scrub of {name!r} on {primary!r} failed: "
+                    f"{(frame.get('error') or {}).get('message')}")
+            report = frame["result"]
+            needs = report.get("needs", [])
+            if not (repair and needs and follower is not None
+                    and not report.get("open")):
+                report.update({"worker": primary, "follower": follower})
+                return report
+            shipped = 0
+            for need in needs:
+                after = int(need["after"])
+                until = need.get("until")
+                until = int(until) if until is not None else None
+                lines = await self._fetch_range(follower, name, after,
+                                                until)
+                if lines is None:
+                    continue
+                try:
+                    frame = await self._links[primary].request({
+                        "cmd": "store-repair", "session": name,
+                        "after": after, "until": until, "lines": lines})
+                except (WorkerGone, asyncio.TimeoutError):
+                    break
+                if frame.get("ok"):
+                    shipped += 1
+                    report = frame["result"]  # includes the re-scrub
+            self.metrics.counter("fleet.scrub_repairs").inc(shipped)
+            report.update({"worker": primary, "follower": follower,
+                           "shipped_ranges": shipped})
+            return report
+
     async def _cmd_shutdown(self,
                             message: Dict[str, Any]) -> Dict[str, Any]:
         await self._broadcast({"cmd": "shutdown"})
@@ -792,6 +875,7 @@ Router.LOCAL_COMMANDS = {
     "health": Router._cmd_health,
     "fleet-health": Router._cmd_health,
     "fleet-sync": Router._cmd_fleet_sync,
+    "scrub": Router._cmd_scrub,
     "migrate": Router._cmd_migrate,
     "shutdown": Router._cmd_shutdown,
 }

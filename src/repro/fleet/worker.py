@@ -21,6 +21,14 @@ move sessions:
     the source side of a live migration.
 ``worker-info``
     Identity frame (worker id, root, session counts).
+``store-scrub``
+    Run the anti-entropy scrub (:mod:`repro.store.scrub`) over one
+    session's durable state: verify every checkpoint and segment,
+    truncate a torn tail, and report the sequence ranges that need
+    re-shipping from a healthy peer.
+``store-repair``
+    Land a shipped repair range (the resolution of a ``store-scrub``
+    ``needs`` entry) — refused while the session is live here.
 
 Replicas land in the **same root** as live sessions, in the exact live
 layout — promotion after a primary death is just ``open`` (ordinary
@@ -39,16 +47,11 @@ forwarded to the client verbatim.
 
 from __future__ import annotations
 
-import os
 from typing import Any, Dict, Optional, Set
 
-from ..session.journal import (
-    JournalDegraded,
-    JournalTailGap,
-    JournalTailReader,
-)
+from ..session.journal import JournalDegraded, JournalTailGap, _decode_line
 from ..session.server import SessionServer, _RequestError
-from ..session.session import _load_latest_checkpoint
+from ..store.base import load_latest_checkpoint, store_tail_lines
 from .replica import ReplicaGap, ReplicaStore
 
 __all__ = ["WorkerServer"]
@@ -56,7 +59,8 @@ __all__ = ["WorkerServer"]
 #: Commands that are replication plumbing, not client traffic — never
 #: piggyback WAL lines onto their responses.
 _REPL_COMMANDS = frozenset({"repl-export", "repl-apply", "repl-position",
-                            "repl-config", "handover"})
+                            "repl-config", "handover",
+                            "store-scrub", "store-repair"})
 
 _EXPORT_LIMIT = 512
 _EXPORT_MAX_BYTES = 1 << 18
@@ -69,7 +73,7 @@ class WorkerServer(SessionServer):
         super().__init__(root, **kwargs)
         self.worker_id = worker_id
         self.info = {"worker": worker_id, "role": "worker"}
-        self.replica = ReplicaStore(root)
+        self.replica = ReplicaStore(root, store=self.manager.store)
         #: Attach fresh WAL lines to mutating responses (sync
         #: replication).  Routers running timer-driven replication
         #: disable this via ``repl-config``.
@@ -125,17 +129,18 @@ class WorkerServer(SessionServer):
                 session.sync()  # surface fsync="never" buffered entries
             except (JournalDegraded, OSError):
                 pass  # the acknowledged prefix on disk still exports
-        directory = self.manager.path_of(name)
-        if not os.path.isdir(directory):
+        self.manager.path_of(name)  # validates the name
+        store = self.manager.store.session(name)
+        if not store.exists():
             raise _RequestError("bad-request",
                                 f"no session {name!r} on this worker")
-        checkpoint = _load_latest_checkpoint(directory)
+        checkpoint = load_latest_checkpoint(store)
         ckpt_seq = checkpoint["seq"] if checkpoint else 0
         include = checkpoint is not None and ckpt_seq > after_ckpt
         base = max(after_seq, ckpt_seq) if include else after_seq
         try:
-            pairs = JournalTailReader(directory, after_seq=base).poll(
-                limit=limit, max_bytes=max_bytes)
+            pairs = store_tail_lines(store, after_seq=base,
+                                     limit=limit, max_bytes=max_bytes)
         except JournalTailGap:
             if checkpoint is None or ckpt_seq <= base:
                 raise _RequestError(
@@ -144,8 +149,8 @@ class WorkerServer(SessionServer):
                     f"and no newer checkpoint exists") from None
             include = True
             base = ckpt_seq
-            pairs = JournalTailReader(directory, after_seq=base).poll(
-                limit=limit, max_bytes=max_bytes)
+            pairs = store_tail_lines(store, after_seq=base,
+                                     limit=limit, max_bytes=max_bytes)
         result: Dict[str, Any] = {
             "from": base,
             "end": pairs[-1][0] if pairs else base,
@@ -181,7 +186,8 @@ class WorkerServer(SessionServer):
         if session is not None:
             return {"open": True, "position": session.position,
                     "checkpoint_seq": 0}
-        if not os.path.isdir(self.manager.path_of(name)):
+        self.manager.path_of(name)  # validates the name
+        if not self.manager.store.session(name).exists():
             return {"open": False, "position": 0, "checkpoint_seq": 0}
         self._refresh_replica(name)
         return {"open": False,
@@ -211,6 +217,75 @@ class WorkerServer(SessionServer):
         return {"closed": closed,
                 "position": self.replica.verify(name)}
 
+    # -- anti-entropy scrub/repair ------------------------------------------
+
+    def _cmd_store_scrub(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        """Verify one session's durable state; repair what local
+        truncation can fix, report the ranges that need re-shipping."""
+        from ..store.scrub import scrub_session
+
+        name = message["session"]
+        self.manager.path_of(name)  # validates the name
+        store = self.manager.store.session(name)
+        if not store.exists():
+            raise _RequestError("bad-request",
+                                f"no session {name!r} on this worker")
+        live = self.manager.sessions.get(name)
+        if live is not None and not live.degraded:
+            try:
+                live.sync()  # the tail must be complete before scanning
+            except (JournalDegraded, OSError):
+                pass
+        repair = bool(message.get("repair", True))
+        # A live writer owns the tail segment: never truncate under it.
+        report = scrub_session(store, repair=repair,
+                               allow_tail=repair and live is None)
+        report["session"] = name
+        report["open"] = live is not None
+        return report
+
+    def _cmd_store_repair(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        """Land a shipped repair range (resolves a scrub ``needs``)."""
+        from ..store.scrub import apply_repair, scrub_session
+
+        name = message["session"]
+        if self.manager.is_open(name):
+            raise _RequestError(
+                "bad-request",
+                f"session {name!r} is live on this worker; close or "
+                f"hand it over before repairing its store")
+        self.manager.path_of(name)  # validates the name
+        store = self.manager.store.session(name)
+        lines = message.get("lines", [])
+        if not isinstance(lines, list):
+            raise _RequestError("bad-request", "lines must be a list")
+        after = int(message["after"])
+        until = message.get("until")
+        until = int(until) if until is not None else None
+        shipped = []
+        for text in lines:
+            raw = text.encode("utf-8")
+            if not raw.endswith(b"\n"):
+                raw += b"\n"
+            entry = _decode_line(raw)
+            if entry is None or not isinstance(entry.get("seq"), int):
+                raise _RequestError(
+                    "bad-request",
+                    f"shipped repair line for {name!r} fails its "
+                    f"checksum or carries no seq")
+            seq = entry["seq"]
+            if seq <= after or (until is not None and seq > until):
+                continue  # outside the damaged range
+            shipped.append((seq, raw))
+        try:
+            apply_repair(store, after, until, shipped)
+        except OSError as error:
+            raise _RequestError("io-error", str(error)) from None
+        self.replica.forget(name)
+        report = scrub_session(store, repair=True)
+        report["session"] = name
+        return report
+
     def _cmd_repl_config(self, message: Dict[str, Any]) -> Dict[str, Any]:
         if "piggyback" in message:
             self.piggyback = bool(message["piggyback"])
@@ -229,6 +304,8 @@ WorkerServer.COMMANDS = {
     "repl-apply": WorkerServer._cmd_repl_apply,
     "repl-position": WorkerServer._cmd_repl_position,
     "handover": WorkerServer._cmd_handover,
+    "store-scrub": WorkerServer._cmd_store_scrub,
+    "store-repair": WorkerServer._cmd_store_repair,
     "repl-config": WorkerServer._cmd_repl_config,
     "worker-info": WorkerServer._cmd_worker_info,
 }

@@ -339,6 +339,19 @@ class Observer:
         if self.spans is not None:
             self.spans.instant("journal-rotate", "session", segment=segment)
 
+    def journal_degraded(self, message: str) -> None:
+        """The journal hit a persistent disk error and froze read-only.
+
+        Fleets alert on this counter: a degraded session keeps serving
+        reads but refuses every mutation until it is evacuated.
+        """
+        metrics = self.metrics
+        if metrics is not None:
+            metrics.counter("session.journal.degraded").inc()
+        if self.spans is not None:
+            self.spans.instant("journal-degraded", "session",
+                               error=message)
+
     def session_op(self, kind: str) -> None:
         """One session operation was journaled (or counted, for
         ``unjournaled-assign``/``violation``/``rebuild`` events)."""

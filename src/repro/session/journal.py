@@ -47,7 +47,6 @@ segment as the tail or a valid (possibly empty) new one.
 
 from __future__ import annotations
 
-import io
 import json
 import os
 import zlib
@@ -309,7 +308,12 @@ class JournalWriter:
     Parameters
     ----------
     directory:
-        Journal directory (created if missing).
+        Journal directory (created if missing).  Shorthand for a
+        :class:`repro.store.FileSessionStore` over that directory.
+    store:
+        A :class:`repro.store.SessionStore` performing every durable
+        touch; when given, ``directory``/``opener`` are ignored and the
+        journal lives wherever the backend puts it.
     next_seq:
         Sequence number the next append will carry; recovery passes the
         value it reached while replaying.
@@ -336,7 +340,8 @@ class JournalWriter:
     :class:`JournalDegraded` instead of half-writing entries.
     """
 
-    def __init__(self, directory: str, *, next_seq: int = 1,
+    def __init__(self, directory: Optional[str] = None, *,
+                 store: Any = None, next_seq: int = 1,
                  fsync: str = "always",
                  segment_max_bytes: int = DEFAULT_SEGMENT_BYTES,
                  observer: Any = None,
@@ -345,33 +350,40 @@ class JournalWriter:
         if fsync not in _FSYNC_POLICIES:
             raise ValueError(f"fsync policy must be one of {_FSYNC_POLICIES}, "
                              f"not {fsync!r}")
-        self.directory = directory
+        if store is None:
+            if directory is None:
+                raise ValueError("JournalWriter needs a directory or a store")
+            from ..store.filestore import FileSessionStore
+            store = FileSessionStore(directory, opener=opener)
+        self._store = store
+        self.directory = (directory if directory is not None
+                          else store.fs_directory)
+        self._where = self.directory or store.location
         self.fsync = fsync
         self.segment_max_bytes = segment_max_bytes
         self.observer = observer
-        self._opener = opener if opener is not None else DEFAULT_OPENER
         self._append_hook = getattr(observer, "journal_appended", None)
         # Per-append policy, resolved once (string compares are visible
         # on the hot path).
         self._fsync_each = fsync == "always"
         self._flush_each = fsync != "never"
         self._next_seq = next_seq
-        self._handle: Optional[io.BufferedWriter] = None
-        self._segment_path: Optional[str] = None
+        self._appender: Optional[Any] = None
+        self._segment_key: Optional[str] = None
         self._segment_size = 0
         self._degraded: Optional[OSError] = None
         # Recent appended lines, verbatim — the replication fast path
         # ships these bytes to a follower without re-reading the disk
         # (and without waiting for an fsync="never" buffer to flush).
         self._tail: Deque[Tuple[int, bytes]] = deque(maxlen=tail_lines)
-        os.makedirs(directory, exist_ok=True)
-        segments = scan_segments(directory)
+        store.prepare()
+        segments = store.segments()
         if segments and segments[-1][0] <= next_seq:
             # Keep appending to the existing tail segment (recovery has
             # already truncated any torn line off its end).
-            self._segment_path = segments[-1][1]
-            self._segment_size = self._opener.getsize(self._segment_path)
-            self._handle = self._opener(self._segment_path, "ab")
+            self._segment_key = segments[-1][1]
+            self._segment_size = store.segment_size(self._segment_key)
+            self._appender = store.open_segment(self._segment_key)
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -391,13 +403,13 @@ class JournalWriter:
         return self._degraded
 
     def close(self) -> None:
-        handle, self._handle = self._handle, None
-        if handle is None:
+        appender, self._appender = self._appender, None
+        if appender is None:
             return
         try:
-            handle.flush()
+            appender.flush()
             if self.fsync != "never":
-                self._opener.fsync(handle)
+                appender.sync()
         except OSError as error:
             # Closing is a teardown path: record the failure (the tail
             # of a "never"-policy journal may be lost) but never raise
@@ -405,7 +417,7 @@ class JournalWriter:
             self._degraded = error
         finally:
             try:
-                handle.close()
+                appender.close()
             except OSError:
                 pass
 
@@ -456,13 +468,13 @@ class JournalWriter:
             _frame(format_batch_body(entries, seq, rid)), seq)
 
     def _append_line(self, line: bytes, seq: int) -> int:
-        """Land one framed line: the single handle/rotate/hook path."""
-        handle = self._handle
-        if handle is None or self._segment_size >= self.segment_max_bytes:
-            # A degraded writer always has a None handle, so the slow
+        """Land one framed line: the single appender/rotate/hook path."""
+        appender = self._appender
+        if appender is None or self._segment_size >= self.segment_max_bytes:
+            # A degraded writer always has a None appender, so the slow
             # path also raises JournalDegraded for frozen journals.
-            handle = self._active_handle(seq)
-        self._write_line(handle, line)
+            appender = self._active_appender(seq)
+        self._write_line(appender, line)
         self._next_seq = seq + 1
         self._tail.append((seq, line))
         hook = self._append_hook
@@ -470,19 +482,19 @@ class JournalWriter:
             hook(len(line))
         return seq
 
-    def _active_handle(self, first_seq: int) -> Any:
-        """The writable segment handle, rotating (or refusing) as needed."""
+    def _active_appender(self, first_seq: int) -> Any:
+        """The writable segment appender, rotating (or refusing) as needed."""
         if self._degraded is not None:
             raise JournalDegraded(self._degraded_message())
-        handle = self._handle
-        if handle is None or self._segment_size >= self.segment_max_bytes:
+        appender = self._appender
+        if appender is None or self._segment_size >= self.segment_max_bytes:
             try:
-                handle = self._rotate(first_seq)
+                appender = self._rotate(first_seq)
             except OSError as error:
                 self._enter_degraded(error, rollback_size=None)
-        return handle
+        return appender
 
-    def _write_line(self, handle: Any, line: bytes) -> None:
+    def _write_line(self, appender: Any, line: bytes) -> None:
         """Land one encoded line on disk, or degrade trying.
 
         "never" keeps entries in the process buffer (durable only at
@@ -494,12 +506,12 @@ class JournalWriter:
         """
         pre_size = self._segment_size
         try:
-            handle.write(line)
+            appender.write(line)
             self._segment_size += len(line)
             if self._flush_each:
-                handle.flush()
+                appender.flush()
                 if self._fsync_each:
-                    self._opener.fsync(handle)
+                    appender.sync()
         except OSError as error:
             self._enter_degraded(error, rollback_size=pre_size)
 
@@ -516,25 +528,28 @@ class JournalWriter:
         working against the intact acknowledged prefix.
         """
         self._degraded = error
-        handle, self._handle = self._handle, None
-        if handle is not None:
+        appender, self._appender = self._appender, None
+        if appender is not None:
             try:
-                handle.close()
+                appender.close()
             except OSError:
                 pass
-        if rollback_size is not None and self._segment_path is not None:
+        if rollback_size is not None and self._segment_key is not None:
             try:
-                with open(self._segment_path, "r+b") as repair:
-                    repair.truncate(rollback_size)
-                    repair.flush()
-                    os.fsync(repair.fileno())
+                self._store.rollback_segment(self._segment_key,
+                                             rollback_size)
                 self._segment_size = rollback_size
             except OSError:
                 pass  # recovery's torn-tail repair is the backstop
+        observer = self.observer
+        if observer is not None:
+            hook = getattr(observer, "journal_degraded", None)
+            if hook is not None:
+                hook(str(error))
         raise JournalDegraded(self._degraded_message()) from error
 
     def _degraded_message(self) -> str:
-        return (f"journal {self.directory!r} is degraded (read-only) "
+        return (f"journal {self._where!r} is degraded (read-only) "
                 f"after a disk error: {self._degraded}")
 
     def recent_lines(self, after_seq: int) -> Optional[List[bytes]]:
@@ -558,40 +573,38 @@ class JournalWriter:
         """Force the current segment to stable storage."""
         if self._degraded is not None:
             raise JournalDegraded(self._degraded_message())
-        if self._handle is not None:
+        if self._appender is not None:
             try:
-                self._handle.flush()
-                self._opener.fsync(self._handle)
+                self._appender.flush()
+                self._appender.sync()
             except OSError as error:
                 self._enter_degraded(error, rollback_size=None)
 
-    def _rotate(self, first_seq: int) -> io.BufferedWriter:
+    def _rotate(self, first_seq: int) -> Any:
         """Close the current segment and start ``wal-<first_seq>``.
 
-        The new segment is durable (file + directory entry fsynced)
-        before any entry lands in it, so recovery always sees either the
-        old tail or a valid new segment.
+        The new segment is durable (backend-persisted; the file layout
+        fsyncs the file and its directory entry) before any entry lands
+        in it, so recovery always sees either the old tail or a valid
+        new segment.
         """
-        handle, self._handle = self._handle, None
-        if handle is not None:
-            handle.flush()
+        appender, self._appender = self._appender, None
+        if appender is not None:
+            appender.flush()
             if self.fsync != "never":
-                self._opener.fsync(handle)
-            handle.close()
-        path = os.path.join(self.directory, _segment_name(first_seq))
-        new_handle = self._opener(path, "ab")
-        self._segment_path = path
+                appender.sync()
+            appender.close()
+        new_appender = self._store.create_segment(
+            first_seq, durable=self.fsync != "never")
+        self._segment_key = new_appender.key
         self._segment_size = 0
-        if self.fsync != "never":
-            self._opener.fsync(new_handle)
-            self._opener.fsync_dir(self.directory)
-        self._handle = new_handle
+        self._appender = new_appender
         observer = self.observer
         if observer is not None:
             hook = getattr(observer, "journal_rotated", None)
             if hook is not None:
-                hook(os.path.basename(path))
-        return new_handle
+                hook(new_appender.key)
+        return new_appender
 
     # -- maintenance --------------------------------------------------------
 
@@ -602,20 +615,20 @@ class JournalWriter:
         are dead weight.  The segment containing ``up_to_seq + 1`` (and
         anything later) is kept.  Returns the deleted paths.
         """
-        segments = scan_segments(self.directory)
+        segments = self._store.segments()
         deleted: List[str] = []
-        for index, (first, path) in enumerate(segments):
+        for index, (first, key) in enumerate(segments):
             next_first = (segments[index + 1][0]
                           if index + 1 < len(segments) else self._next_seq)
-            if next_first <= up_to_seq + 1 and path != self._segment_path:
+            if next_first <= up_to_seq + 1 and key != self._segment_key:
                 try:
-                    self._opener.remove(path)
+                    self._store.delete_segment(key)
                 except OSError:
                     continue  # a stale covered segment is harmless
-                deleted.append(path)
+                deleted.append(self._store.describe(key))
         if deleted:
             try:
-                self._opener.fsync_dir(self.directory)
+                self._store.sync_root()
             except OSError:
                 pass
         return deleted

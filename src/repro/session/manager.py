@@ -30,22 +30,39 @@ class SessionManager:
     installs the propagation watchdog on each session's context as it is
     opened.  ``island_workers`` configures island-parallel batch
     draining per opened session (see :class:`~repro.session.session.Session`).
+    ``store`` selects the durable backend: ``None``/``"file"``,
+    ``"sqlite[:path]"``, ``"object[:path]"`` (the ``--store`` grammar —
+    see :func:`repro.store.resolve_store`), or an already-built
+    :class:`~repro.store.base.SegmentStore`.
     """
 
     def __init__(self, root: str, *, fsync: str = "always",
                  max_sessions: int = 64,
                  opener: Optional[FileOpener] = None,
                  round_budget: Optional[Any] = None,
-                 island_workers: Optional[int] = None) -> None:
+                 island_workers: Optional[int] = None,
+                 store: Optional[Any] = None) -> None:
+        from ..store import SegmentStore, resolve_store
         self.root = root
         self.fsync = fsync
         self.max_sessions = max_sessions
         self.opener = opener
         self.round_budget = round_budget
         self.island_workers = island_workers
+        if store is None or isinstance(store, str):
+            store = resolve_store(store, root, opener=opener)
+        elif not isinstance(store, SegmentStore):
+            raise TypeError(f"store must be a spec string or SegmentStore, "
+                            f"not {type(store).__name__}")
+        self.store = store
         self.sessions: Dict[str, Session] = {}
         self._lock = threading.Lock()
         os.makedirs(root, exist_ok=True)
+
+    @property
+    def store_backend(self) -> str:
+        """Backend name of the managed root (``file``/``sqlite``/``object``)."""
+        return self.store.backend
 
     def path_of(self, name: str) -> str:
         check_name(name, "session name")
@@ -57,13 +74,14 @@ class SessionManager:
             session = self.sessions.get(name)
             if session is not None:
                 return session
-            path = self.path_of(name)
-            if not create and not os.path.isdir(path):
+            check_name(name, "session name")
+            session_store = self.store.session(name)
+            if not create and not session_store.exists():
                 raise SessionError(f"no session {name!r} under {self.root}")
             if len(self.sessions) >= self.max_sessions:
                 raise SessionError(
                     f"session limit reached ({self.max_sessions})")
-            session = Session(name, directory=path, fsync=self.fsync,
+            session = Session(name, store=session_store, fsync=self.fsync,
                               opener=self.opener,
                               island_workers=self.island_workers)
             if self.round_budget is not None:
@@ -86,15 +104,14 @@ class SessionManager:
             self.sessions.clear()
         for session in sessions:
             session.close()
+        self.store.close()
 
     def names(self) -> List[str]:
-        """Names of every open or on-disk session, sorted."""
+        """Names of every open or durably stored session, sorted."""
         found = set(self.sessions)
         try:
-            for name in os.listdir(self.root):
-                if os.path.isdir(os.path.join(self.root, name)):
-                    found.add(name)
-        except FileNotFoundError:
+            found.update(self.store.session_names())
+        except OSError:
             pass
         return sorted(found)
 

@@ -99,12 +99,14 @@ class SessionServer:
                  drain_timeout: float = 5.0,
                  opener: Any = None,
                  round_budget: Any = None,
-                 island_workers: Any = None) -> None:
+                 island_workers: Any = None,
+                 store: Any = None) -> None:
         self.manager = SessionManager(root, fsync=fsync,
                                       max_sessions=max_sessions,
                                       opener=opener,
                                       round_budget=round_budget,
-                                      island_workers=island_workers)
+                                      island_workers=island_workers,
+                                      store=store)
         self.host = host
         self.port = port
         #: Extra identity fields merged into every ``health`` frame —
@@ -390,6 +392,7 @@ class SessionServer:
     def _cmd_health(self, message: Dict[str, Any]) -> Dict[str, Any]:
         degraded_detail = self.manager.degraded_info()
         frame = {"status": "degraded" if degraded_detail else "ok",
+                 "store": self.manager.store_backend,
                  "sessions": len(self.manager.sessions),
                  "open_sessions": sorted(self.manager.sessions),
                  "connections": len(self._connections),
@@ -587,6 +590,7 @@ class SessionServer:
             stats.update(islands.stats())
         return {"stats": {key: stats[key] for key in sorted(stats)},
                 "position": session.position,
+                "store": self.manager.store_backend,
                 "violations": len(session.violations),
                 "unjournaled_assigns": session.unjournaled_assigns}
 

@@ -196,6 +196,13 @@ class _JournalObserverProxy:
             if hook is not None:
                 hook(name)
 
+    def journal_degraded(self, message: str) -> None:
+        observer = self.session.context.observer
+        if observer is not None:
+            hook = getattr(observer, "journal_degraded", None)
+            if hook is not None:
+                hook(message)
+
 
 # ---------------------------------------------------------------------------
 # The session
@@ -228,6 +235,16 @@ class Session:
         :class:`~repro.session.journal.FileOpener` used for every
         journal/checkpoint write — the fault-injection seam.  Defaults
         to the pass-through :data:`~repro.session.journal.DEFAULT_OPENER`.
+    store:
+        A :class:`repro.store.SessionStore` performing every durable
+        touch — journal segments and checkpoints both.  ``None`` with a
+        ``directory`` uses the file backend over that directory
+        (the pre-interface behavior, byte-identical on disk); when
+        given, ``directory`` and ``opener`` are ignored.
+    replay_to:
+        Stop recovery replay after this sequence number — the
+        time-travel hook compaction uses to snapshot the state as of a
+        segment boundary.  Only meaningful with ``read_only``.
 
     Opening a directory that already holds a checkpoint and journal
     *recovers* it: the latest valid checkpoint loads, the journal tail
@@ -247,7 +264,9 @@ class Session:
                  keep_checkpoints: int = 2,
                  read_only: bool = False,
                  island_workers: Optional[int] = None,
-                 opener: Optional[FileOpener] = None) -> None:
+                 opener: Optional[FileOpener] = None,
+                 store: Optional[Any] = None,
+                 replay_to: Optional[int] = None) -> None:
         check_name(name, "session name")
         self.name = name
         self.directory = directory
@@ -286,20 +305,33 @@ class Session:
         install_islands(self.context, workers=island_workers)
         self.library = _fresh_library(name, self.context)
 
+        if store is None and directory is not None:
+            # Lazy import: repro.store.base imports this module's
+            # sibling journal, so a top-level import here would cycle.
+            from ..store.filestore import FileSessionStore
+            store = FileSessionStore(directory, opener=self._opener)
+        elif store is not None and directory is None:
+            self.directory = store.fs_directory
+        self._store = store
+
         state = None
-        if directory is not None:
-            os.makedirs(directory, exist_ok=True)
-            state = _load_latest_checkpoint(directory)
+        if store is not None:
+            from ..store import base as _storebase
+            store.prepare()
+            state = _storebase.load_latest_checkpoint(store, STATE_SCHEMA)
         if state is not None:
             self._install_state(state)
             self._last_seq = state["seq"]
             self._base_state = state
         else:
             self._base_state = self._snapshot_state()
-        if directory is not None:
+        if store is not None:
             t0 = perf_counter()
-            for entry in read_entries(directory, after_seq=self._last_seq,
-                                      repair=not read_only):
+            for entry in _storebase.read_store_entries(
+                    store, after_seq=self._last_seq,
+                    repair=not read_only):
+                if replay_to is not None and entry["seq"] > replay_to:
+                    break
                 self._apply_entry(entry)
                 self._last_seq = entry["seq"]
                 self.replayed_entries += 1
@@ -311,7 +343,8 @@ class Session:
                               perf_counter() - t0)
             if not read_only:
                 self._journal = JournalWriter(
-                    directory, next_seq=self._last_seq + 1, fsync=fsync,
+                    self.directory, store=store,
+                    next_seq=self._last_seq + 1, fsync=fsync,
                     segment_max_bytes=segment_max_bytes,
                     observer=_JournalObserverProxy(self),
                     opener=self._opener)
@@ -327,6 +360,12 @@ class Session:
     @property
     def durable(self) -> bool:
         return self._journal is not None
+
+    @property
+    def store(self) -> Optional[Any]:
+        """The :class:`repro.store.SessionStore` backing this session
+        (``None`` for in-memory sessions)."""
+        return self._store
 
     @property
     def degraded(self) -> bool:
@@ -370,7 +409,10 @@ class Session:
         self.close()
 
     def __repr__(self) -> str:
-        where = self.directory or "memory"
+        where = self.directory
+        if where is None and self._store is not None:
+            where = self._store.location
+        where = where or "memory"
         return (f"<Session {self.name!r} @ {where} seq={self._last_seq} "
                 f"vars={len(self.vars)} constraints={len(self.constraints)}>")
 
@@ -787,13 +829,14 @@ class Session:
         self._append({"op": "checkpoint"})
         self._apply_checkpoint_marker()
         path = None
-        if self.directory is not None:
-            path = _write_checkpoint(self.directory, self._base_state,
-                                     opener=self._opener)
+        if self._store is not None:
+            from ..store import base as _storebase
+            path = self._store.publish_checkpoint(
+                self._base_state["seq"],
+                _storebase.encode_checkpoint(self._base_state))
             if self._journal is not None:
                 self._journal.prune(self._last_seq)
-            _prune_checkpoints(self.directory, self.keep_checkpoints,
-                               opener=self._opener)
+            _storebase.prune_checkpoints(self._store, self.keep_checkpoints)
         self._observe("session_checkpoint", perf_counter() - t0)
         return path
 

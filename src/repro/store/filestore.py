@@ -1,0 +1,197 @@
+"""The original file-per-segment layout, behind the store interface.
+
+Byte-identical on disk to what the pre-interface journal and checkpoint
+writers produced: segments are ``wal-<firstseq:010d>.jsonl`` files,
+checkpoints ``ckpt-<seq:010d>.json``, one directory per session.  Every
+file-system touch still goes through the session's
+:class:`~repro.session.journal.FileOpener`, in the same order the
+writers performed it before the refactor, so the existing
+fault-injection plans (and the PR 5 fault matrix) exercise unchanged
+code paths.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, List, Optional, Tuple
+
+from ..session.journal import (
+    DEFAULT_OPENER,
+    FileOpener,
+    scan_segments,
+)
+from .base import (
+    SegmentAppender,
+    SegmentStore,
+    SessionStore,
+    checkpoint_name,
+    checkpoint_seq,
+    segment_name,
+)
+
+__all__ = ["FileSessionStore", "FileStore"]
+
+
+class _FileAppender(SegmentAppender):
+    """A real file handle opened through the session's opener."""
+
+    __slots__ = ("key", "_handle", "_opener")
+
+    def __init__(self, key: str, handle: Any, opener: FileOpener) -> None:
+        self.key = key
+        self._handle = handle
+        self._opener = opener
+
+    def write(self, line: bytes) -> None:
+        self._handle.write(line)
+
+    def flush(self) -> None:
+        self._handle.flush()
+
+    def sync(self) -> None:
+        self._opener.fsync(self._handle)
+
+    def close(self) -> None:
+        self._handle.close()
+
+
+class FileSessionStore(SessionStore):
+    """One session directory of segment and checkpoint files."""
+
+    backend = "file"
+
+    def __init__(self, directory: str,
+                 opener: Optional[FileOpener] = None) -> None:
+        self.directory = directory
+        self.location = directory
+        self.fs_directory = directory
+        self._opener = opener if opener is not None else DEFAULT_OPENER
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def prepare(self) -> None:
+        os.makedirs(self.directory, exist_ok=True)
+
+    def exists(self) -> bool:
+        return os.path.isdir(self.directory)
+
+    # -- journal segments ---------------------------------------------------
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.directory, key)
+
+    def segments(self) -> List[Tuple[int, str]]:
+        return [(first, os.path.basename(path))
+                for first, path in scan_segments(self.directory)]
+
+    def segment_size(self, key: str) -> int:
+        return self._opener.getsize(self._path(key))
+
+    def read_segment(self, key: str) -> bytes:
+        with open(self._path(key), "rb") as handle:
+            return handle.read()
+
+    def delete_segment(self, key: str) -> None:
+        self._opener.remove(self._path(key))
+
+    def truncate_segment(self, key: str, size: int) -> None:
+        with open(self._path(key), "r+b") as handle:
+            handle.truncate(size)
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def create_segment(self, first_seq: int, *,
+                       durable: bool = True) -> _FileAppender:
+        key = segment_name(first_seq)
+        handle = self._opener(self._path(key), "ab")
+        if durable:
+            self._opener.fsync(handle)
+            self._opener.fsync_dir(self.directory)
+        return _FileAppender(key, handle, self._opener)
+
+    def open_segment(self, key: str) -> _FileAppender:
+        return _FileAppender(key, self._opener(self._path(key), "ab"),
+                             self._opener)
+
+    def rollback_segment(self, key: str, size: int) -> None:
+        # Deliberately bypasses the opener: this is the best-effort
+        # degradation backstop running after the fault layer's disk
+        # already "failed" (matching the pre-interface behavior).
+        with open(self._path(key), "r+b") as repair:
+            repair.truncate(size)
+            repair.flush()
+            os.fsync(repair.fileno())
+
+    def sync_root(self) -> None:
+        self._opener.fsync_dir(self.directory)
+
+    def describe(self, key: str) -> str:
+        return self._path(key)
+
+    # -- checkpoints --------------------------------------------------------
+
+    def checkpoints(self) -> List[Tuple[int, str]]:
+        found: List[Tuple[int, str]] = []
+        try:
+            names = os.listdir(self.directory)
+        except FileNotFoundError:
+            return found
+        for name in names:
+            seq = checkpoint_seq(name)
+            if seq is not None:
+                found.append((seq, name))
+        found.sort()
+        return found
+
+    def read_checkpoint(self, key: str) -> Optional[bytes]:
+        try:
+            with open(self._path(key), "rb") as handle:
+                return handle.read()
+        except OSError:
+            return None
+
+    def publish_checkpoint(self, seq: int, data: bytes) -> str:
+        path = self._path(checkpoint_name(seq))
+        temp = path + ".tmp"
+        opener = self._opener
+        try:
+            with opener(temp, "w") as handle:
+                handle.write(data.decode("utf-8"))
+                handle.flush()
+                opener.fsync(handle)
+            opener.replace(temp, path)
+        except OSError:
+            try:
+                os.remove(temp)
+            except OSError:
+                pass
+            raise
+        opener.fsync_dir(self.directory)
+        return path
+
+    def delete_checkpoint(self, key: str) -> None:
+        self._opener.remove(self._path(key))
+
+
+class FileStore(SegmentStore):
+    """A session root: one subdirectory per session."""
+
+    backend = "file"
+
+    def __init__(self, root: str,
+                 opener: Optional[FileOpener] = None) -> None:
+        self.root = root
+        self.location = root
+        self._opener = opener if opener is not None else DEFAULT_OPENER
+
+    def session(self, name: str) -> FileSessionStore:
+        return FileSessionStore(os.path.join(self.root, name),
+                                opener=self._opener)
+
+    def session_names(self) -> List[str]:
+        try:
+            names = os.listdir(self.root)
+        except FileNotFoundError:
+            return []
+        return sorted(name for name in names
+                      if os.path.isdir(os.path.join(self.root, name)))

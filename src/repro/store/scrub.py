@@ -1,0 +1,294 @@
+"""Anti-entropy scrub/repair — verify a session's durable state, fix it.
+
+:func:`scrub_session` walks every checkpoint (parse + schema check) and
+every journal segment (CRC per line, sequence continuity within and
+across segments) of one :class:`~repro.store.base.SessionStore` and
+classifies the damage:
+
+``torn-tail``
+    A partial/corrupt line at the very end of the last segment — the
+    crash-mid-append signature.  Repair truncates it off, exactly like
+    recovery would.
+``segment``
+    Damage anywhere else: a corrupt line mid-journal, an internal
+    sequence gap, or a whole missing segment.  Recovery would refuse to
+    replay past this (:class:`~repro.session.journal.JournalCorrupt`),
+    so repair needs a healthy *source* — the follower's replica in a
+    fleet — to re-ship the covered sequence range from.
+``checkpoint``
+    A checkpoint that no longer parses.  Survivable (recovery skips
+    damaged checkpoints), but repairable from a source that still holds
+    the same generation.
+
+With a ``source`` store the repair happens inline (including extending
+a tail the source is ahead on — the anti-entropy case).  Without one,
+unrepairable ranges are reported as ``needs`` —
+``{"segment", "after", "until"}`` descriptors a fleet router resolves
+by exporting the range from the follower and shipping it back through
+:func:`apply_repair`.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..session.journal import JournalTailGap, _decode_line
+from .base import (
+    SessionStore,
+    checkpoint_name,
+    segment_name,
+    store_tail_lines,
+)
+
+__all__ = ["apply_repair", "extend_tail", "fetch_range", "replace_segment",
+           "scrub_session"]
+
+
+def _scan_segment(store: SessionStore,
+                  key: str) -> Tuple[List[int], int, Optional[int]]:
+    """``(seqs, valid_bytes, damage_offset)`` of one segment.
+
+    ``damage_offset`` is the byte offset of the first torn/corrupt line
+    (``None`` for a clean segment); ``seqs`` holds the sequence numbers
+    of every valid line before it.
+    """
+    data = store.read_segment(key)
+    seqs: List[int] = []
+    offset = 0
+    pos = 0
+    total = len(data)
+    while pos < total:
+        newline = data.find(b"\n", pos)
+        if newline < 0:
+            line = data[pos:]
+            pos = total
+        else:
+            line = data[pos:newline + 1]
+            pos = newline + 1
+        entry = _decode_line(line)
+        if entry is None or not isinstance(entry.get("seq"), int):
+            return seqs, offset, offset
+        seqs.append(entry["seq"])
+        offset += len(line)
+    return seqs, offset, None
+
+
+def _contiguous(seqs: List[int]) -> bool:
+    return all(b == a + 1 for a, b in zip(seqs, seqs[1:]))
+
+
+def fetch_range(source: SessionStore, after: int,
+                until: Optional[int]) -> Optional[List[Tuple[int, bytes]]]:
+    """Raw lines ``(after, until]`` from a healthy source, or ``None``
+    when the source cannot serve them (pruned past, or itself damaged)."""
+    try:
+        lines = store_tail_lines(source, after_seq=after)
+    except (OSError, JournalTailGap, ValueError):
+        return None
+    if until is not None:
+        lines = [(seq, line) for seq, line in lines if seq <= until]
+        covered = lines and lines[-1][0] == until
+    else:
+        covered = True
+    if not covered or (lines and lines[0][0] != after + 1):
+        return None
+    return lines
+
+
+def replace_segment(store: SessionStore, after: int, until: int,
+                    lines: List[Tuple[int, bytes]]) -> None:
+    """Replace every local segment covering ``(after, until]`` with one
+    fresh segment holding the shipped lines."""
+    for first, key in store.segments():
+        if after + 1 <= first <= until:
+            try:
+                store.delete_segment(key)
+            except OSError:
+                pass
+    appender = store.create_segment(after + 1, durable=True)
+    try:
+        for _seq, line in lines:
+            appender.write(line)
+        appender.flush()
+        appender.sync()
+    finally:
+        appender.close()
+    store.sync_root()
+
+
+def extend_tail(store: SessionStore, after: int,
+                lines: List[Tuple[int, bytes]]) -> None:
+    """Append shipped lines past the local tail (the source was ahead)."""
+    segments = store.segments()
+    if segments:
+        appender = store.open_segment(segments[-1][1])
+    else:
+        appender = store.create_segment(after + 1, durable=True)
+    try:
+        for _seq, line in lines:
+            appender.write(line)
+        appender.flush()
+        appender.sync()
+    finally:
+        appender.close()
+
+
+def apply_repair(store: SessionStore, after: int, until: Optional[int],
+                 lines: List[Tuple[int, bytes]]) -> None:
+    """Apply one shipped repair range (the worker side of ``needs``)."""
+    if until is None:
+        extend_tail(store, after, lines)
+    else:
+        replace_segment(store, after, until, lines)
+
+
+def _checkpoint_valid(data: Optional[bytes]) -> bool:
+    if data is None:
+        return False
+    try:
+        state = json.loads(data)
+    except ValueError:
+        return False
+    return isinstance(state, dict) and isinstance(state.get("seq"), int)
+
+
+def scrub_session(store: SessionStore, *,
+                  source: Optional[SessionStore] = None,
+                  repair: bool = True,
+                  allow_tail: bool = True) -> Dict[str, Any]:
+    """Verify (and optionally repair) one session's durable state.
+
+    Parameters
+    ----------
+    store:
+        The session store to scrub.
+    source:
+        A healthy twin (the follower's replica) to re-ship damaged or
+        missing ranges from; ``None`` limits repair to what local
+        truncation can fix.
+    repair:
+        Report-only when ``False``.
+    allow_tail:
+        Permit truncating a torn tail.  Pass ``False`` while a live
+        writer owns the tail segment (its in-flight append looks torn).
+    """
+    report: Dict[str, Any] = {
+        "backend": store.backend,
+        "location": store.location,
+        "segments": 0,
+        "entries": 0,
+        "checkpoints": 0,
+        "damage": [],
+        "repaired": [],
+        "needs": [],
+    }
+
+    # -- checkpoints --------------------------------------------------------
+    for seq, key in store.checkpoints():
+        report["checkpoints"] += 1
+        if _checkpoint_valid(store.read_checkpoint(key)):
+            continue
+        finding = {"kind": "checkpoint", "key": key, "seq": seq}
+        fixed = False
+        if repair and source is not None:
+            data = source.read_checkpoint(checkpoint_name(seq))
+            if _checkpoint_valid(data):
+                try:
+                    store.publish_checkpoint(seq, data)
+                    fixed = True
+                except OSError:
+                    fixed = False
+        report["repaired" if fixed else "damage"].append(finding)
+
+    # -- segments -----------------------------------------------------------
+    def mend(after: int, until: Optional[int],
+             finding: Dict[str, Any]) -> None:
+        """Repair a range from the source, else record the need."""
+        if repair and source is not None:
+            lines = fetch_range(source, after, until)
+            if lines is not None:
+                try:
+                    apply_repair(store, after, until, lines)
+                except OSError:
+                    lines = None
+            if lines is not None:
+                report["repaired"].append(finding)
+                return
+        report["damage"].append(finding)
+        report["needs"].append({"segment": finding.get("key"),
+                                "after": after, "until": until})
+
+    segments = store.segments()
+    report["segments"] = len(segments)
+    last_good = None
+    for index, (first, key) in enumerate(segments):
+        is_last = index == len(segments) - 1
+        next_first = segments[index + 1][0] if not is_last else None
+        seqs, valid_bytes, damage_at = _scan_segment(store, key)
+        report["entries"] += len(seqs)
+        until = next_first - 1 if next_first is not None else None
+
+        if last_good is not None and seqs and seqs[0] > last_good + 1:
+            # A hole between this segment and the previous one — entries
+            # (last_good, seqs[0]) are gone (a pruned-away or lost
+            # segment in the middle of the journal).
+            mend(last_good, seqs[0] - 1,
+                 {"kind": "segment", "key": segment_name(last_good + 1),
+                  "detail": "missing range before this segment"})
+
+        broken = (damage_at is not None or not _contiguous(seqs)
+                  or (seqs and seqs[0] != first))
+        if not broken:
+            if seqs:
+                last_good = seqs[-1]
+            continue
+
+        if is_last and damage_at is not None and _contiguous(seqs) \
+                and (not seqs or seqs[0] == first):
+            # Torn tail: the crash-mid-append signature.
+            finding = {"kind": "torn-tail", "key": key,
+                       "offset": damage_at}
+            if repair and allow_tail:
+                try:
+                    store.truncate_segment(key, valid_bytes)
+                    report["repaired"].append(finding)
+                except OSError:
+                    report["damage"].append(finding)
+            else:
+                report["damage"].append(finding)
+            if seqs:
+                last_good = seqs[-1]
+            continue
+
+        # Mid-journal damage: replace the whole covered range.
+        after = (first - 1 if (not seqs or seqs[0] == first)
+                 else min(seqs[0], first) - 1)
+        mend(after, until, {"kind": "segment", "key": key,
+                            "detail": "corrupt or discontinuous entries"})
+        if until is not None:
+            last_good = until
+        elif seqs:
+            last_good = max(last_good or 0, seqs[-1])
+
+    # -- anti-entropy tail extension ---------------------------------------
+    if repair and source is not None and allow_tail:
+        try:
+            local_tip = last_good or 0
+            ahead = store_tail_lines(source, after_seq=local_tip)
+        except (OSError, JournalTailGap, ValueError):
+            ahead = []
+        if ahead:
+            try:
+                extend_tail(store, local_tip, ahead)
+                report["repaired"].append(
+                    {"kind": "tail-extend", "after": local_tip,
+                     "entries": len(ahead)})
+                report["entries"] += len(ahead)
+            except OSError:
+                report["damage"].append(
+                    {"kind": "tail-extend", "after": local_tip})
+
+    report["clean"] = not report["damage"] and not report["repaired"]
+    report["ok"] = not report["damage"]
+    return report

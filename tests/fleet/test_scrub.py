@@ -1,0 +1,136 @@
+"""Live-fleet anti-entropy: the router's ``scrub`` command.
+
+The acceptance path of the storage PR: a session's journal on its
+primary worker gets torn mid-journal — damage local truncation cannot
+fix — and the router repairs it by exporting the exact missing range
+from the follower's replica and shipping it back, without losing a
+single acknowledged entry or the exactly-once rid dedup.
+"""
+
+import pytest
+
+from repro.fleet.runner import LocalFleet
+from repro.session.client import ServerError
+from repro.session.journal import _decode_line
+
+
+@pytest.fixture()
+def fleet(tmp_path):
+    with LocalFleet(str(tmp_path), workers=3, repl_interval=0.05) as local:
+        yield local
+
+
+def populate(client, name, assigns=30):
+    handle = client.session(name)
+    handle.make_var("x", 0)
+    for value in range(assigns):
+        handle.assign("v:x", value)
+    return handle
+
+
+def split_segment(store, at_line):
+    """Split the session's single segment in two at a line boundary —
+    the layout a rotated journal would have."""
+    (first, key), = store.segments()
+    data = store.read_segment(key)
+    lines = data.splitlines(keepends=True)
+    head, tail = lines[:at_line], lines[at_line:]
+    tail_first = _decode_line(tail[0])["seq"]
+    store.delete_segment(key)
+    for start, chunk in ((first, head), (tail_first, tail)):
+        appender = store.create_segment(start, durable=True)
+        for line in chunk:
+            appender.write(line)
+        appender.flush()
+        appender.sync()
+        appender.close()
+    store.sync_root()
+    return store.segments()
+
+
+class TestFleetScrub:
+    def test_torn_mid_journal_segment_is_reshipped_from_follower(
+            self, fleet):
+        name = "scrubbed"
+        with fleet.client() as client:
+            populate(client, name)
+            client.call("assign", session=name, var="v:x", value=777,
+                        rid="once:1")
+            before = client.call("fingerprint", session=name)
+            assert client.session(name).close()
+
+            owner = fleet.worker_of(name)
+            store = fleet.workers[owner].manager.store.session(name)
+            segments = split_segment(store, at_line=10)
+            # Tear the FIRST segment mid-line: not a torn tail, so
+            # local truncation must refuse and the range must travel.
+            first_key = segments[0][1]
+            store.truncate_segment(first_key,
+                                   store.segment_size(first_key) - 7)
+
+            report = client.call("scrub", session=name)
+            assert report["ok"], report
+            assert report["worker"] == owner
+            assert report["follower"] is not None
+            assert report["shipped_ranges"] == 1
+            assert report["session"] == name
+
+            after = client.call("fingerprint", session=name)
+            assert after == before
+            assert client.session(name).value("v:x") == 777
+
+    def test_retried_rid_still_dedupes_after_repair(self, fleet):
+        """Exactly-once survives the repair: the rid dedup set is
+        rebuilt from the re-shipped journal bytes."""
+        name = "scrubbed-rid"
+        with fleet.client() as client:
+            populate(client, name)
+            client.call("assign", session=name, var="v:x", value=123,
+                        rid="once:2")
+            position = client.call("fingerprint", session=name)["position"]
+            assert client.session(name).close()
+
+            owner = fleet.worker_of(name)
+            store = fleet.workers[owner].manager.store.session(name)
+            segments = split_segment(store, at_line=8)
+            first_key = segments[0][1]
+            store.truncate_segment(first_key,
+                                   store.segment_size(first_key) - 5)
+            assert client.call("scrub", session=name)["ok"]
+
+            # The retry must replay, not re-apply.
+            client.call("assign", session=name, var="v:x", value=123,
+                        rid="once:2")
+            assert client.call("fingerprint",
+                               session=name)["position"] == position
+
+    def test_clean_session_scrub_is_a_noop_report(self, fleet):
+        name = "pristine"
+        with fleet.client() as client:
+            populate(client, name, assigns=5)
+            assert client.session(name).close()
+            report = client.call("scrub", session=name)
+            assert report["ok"] and report["clean"]
+            assert report.get("shipped_ranges", 0) == 0
+
+    def test_open_session_is_scrubbed_but_never_repaired(self, fleet):
+        """A live writer owns its tail: scrub reports, hands off."""
+        name = "live"
+        with fleet.client() as client:
+            populate(client, name, assigns=5)
+            report = client.call("scrub", session=name)
+            assert report["open"] is True
+            assert report["ok"]
+
+    def test_scrub_without_a_session_name_is_rejected(self, fleet):
+        with fleet.client() as client:
+            with pytest.raises(ServerError) as info:
+                client.call("scrub")
+            assert info.value.kind == "bad-request"
+
+    def test_workers_refuse_direct_scrub_frames_from_clients(self, fleet):
+        name = "direct"
+        with fleet.client() as client:
+            populate(client, name, assigns=3)
+            with pytest.raises(ServerError):
+                client.call("store-scrub", session=name)

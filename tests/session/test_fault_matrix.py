@@ -5,244 +5,58 @@ checkpoint temp-file write — plus the crash windows around the atomic
 ``os.replace`` and the degraded-mode (persistent disk error) paths.  The
 invariant everywhere: recovery lands fingerprint-identical to the last
 *committed* (acknowledged) state, never a hybrid.
-"""
 
-import os
-import shutil
+The scenarios live in :mod:`storage_matrix` so the exact same sweeps
+run against the sqlite and object backends too
+(``tests/store/test_backend_matrix.py``); this module drives them
+through the ``file`` backend — the real :class:`~repro.faults.FaultOpener`
+over the original on-disk layout, byte for byte.
+"""
 
 import pytest
 
-from repro.faults import CrashPoint, FaultOpener, FaultPlan
-from repro.session import JournalDegraded, Session
-
-
-def build(directory, opener=None):
-    """The standard small design: three vars and a sum constraint."""
-    session = Session("matrix", directory=str(directory), opener=opener)
-    session.make_variable("x")
-    session.make_variable("y")
-    session.make_variable("total")
-    session.add_constraint("sum", ["v:total", "v:x", "v:y"])
-    session.assign("v:x", 3)
-    session.assign("v:y", 4)
-    return session
-
-def recovered_fingerprint(directory):
-    """What a healthy process sees after recovering the directory."""
-    session = Session("matrix", directory=str(directory), read_only=True)
-    try:
-        return session.fingerprint(include_stats=False)
-    finally:
-        session.close()
-
-
-def journal_growth(directory, op):
-    """Byte length of the journal line ``op`` appends (pilot run)."""
-    session = build(directory)
-    wal = [os.path.join(str(directory), name)
-           for name in os.listdir(str(directory)) if name.startswith("wal-")]
-    assert len(wal) == 1
-    before = os.path.getsize(wal[0])
-    op(session)
-    after = os.path.getsize(wal[0])
-    session.close()
-    return before, after - before
+from tests.session.storage_matrix import (
+    FILE,
+    scenario_checkpoint_enospc,
+    scenario_checkpoint_rename_crash,
+    scenario_checkpoint_tear_matrix,
+    scenario_degraded_enospc,
+    scenario_degraded_fsync,
+    scenario_journal_tear_matrix,
+    scenario_replay_determinism_under_budget,
+    scenario_torn_write_error_rollback,
+)
 
 
 class TestJournalTearMatrix:
     def test_kill_at_every_byte_of_the_final_append(self, tmp_path):
-        """Tear the final ``assign`` at byte k for every k.
-
-        k < line length: the entry was never acknowledged — recovery
-        truncates the torn tail and lands on the committed prefix.
-        k == line length: the entry is whole — recovery keeps it.
-        """
-        base, line_len = journal_growth(tmp_path / "pilot",
-                                        lambda s: s.assign("v:x", 55))
-        assert line_len > 0
-
-        committed = build(tmp_path / "committed")
-        fp_committed = committed.fingerprint(include_stats=False)
-        committed.close()
-        final = build(tmp_path / "final")
-        final.assign("v:x", 55)
-        fp_final = final.fingerprint(include_stats=False)
-        final.close()
-
-        for k in range(line_len + 1):
-            directory = tmp_path / f"tear-{k}"
-            plan = FaultPlan()
-            plan.torn_write("*wal-*", at_byte=base + k)
-            opener = FaultOpener(plan)
-            session = build(directory, opener=opener)
-            if k < line_len:
-                with pytest.raises(CrashPoint):
-                    session.assign("v:x", 55)
-                assert opener.crashed
-                expected = fp_committed
-            else:
-                # The tear point sits exactly past the line: the append
-                # survives whole and no fault fires.
-                session.assign("v:x", 55)
-                session.close()
-                expected = fp_final
-            assert recovered_fingerprint(directory) == expected, \
-                f"tear at byte {k}/{line_len} recovered a hybrid state"
+        scenario_journal_tear_matrix(FILE, tmp_path)
 
 
 class TestCheckpointCrashMatrix:
     def test_kill_at_every_byte_of_the_checkpoint_write(self, tmp_path):
-        """A checkpoint torn at any byte must be invisible to recovery."""
-        template = tmp_path / "template"
-        build(template).close()
-
-        # Expected state: the same directory checkpointed successfully.
-        clean = tmp_path / "clean"
-        shutil.copytree(template, clean)
-        session = Session("matrix", directory=str(clean))
-        session.checkpoint()
-        expected = session.fingerprint(include_stats=False)
-        session.close()
-        checkpoints = [name for name in os.listdir(clean)
-                       if name.startswith("ckpt-")]
-        assert len(checkpoints) == 1
-        size = os.path.getsize(os.path.join(str(clean), checkpoints[0]))
-
-        for k in range(size + 1):
-            directory = tmp_path / f"ckpt-{k}"
-            shutil.copytree(template, directory)
-            plan = FaultPlan()
-            plan.torn_write("*.tmp", at_byte=k)
-            session = Session("matrix", directory=str(directory),
-                              opener=FaultOpener(plan))
-            if k < size:
-                with pytest.raises(CrashPoint):
-                    session.checkpoint()
-            else:
-                session.checkpoint()  # boundary past the file: no fault
-                session.close()
-            assert recovered_fingerprint(directory) == expected, \
-                f"checkpoint torn at byte {k}/{size} corrupted recovery"
+        scenario_checkpoint_tear_matrix(FILE, tmp_path)
 
     @pytest.mark.parametrize("window", ["replace", "replace-done"])
     def test_kill_around_the_atomic_rename(self, tmp_path, window):
-        template = tmp_path / "template"
-        build(template).close()
-        clean = tmp_path / "clean"
-        shutil.copytree(template, clean)
-        session = Session("matrix", directory=str(clean))
-        session.checkpoint()
-        expected = session.fingerprint(include_stats=False)
-        session.close()
-
-        directory = tmp_path / window
-        shutil.copytree(template, directory)
-        plan = FaultPlan()
-        plan.crash_on(window, "*ckpt-*")
-        session = Session("matrix", directory=str(directory),
-                          opener=FaultOpener(plan))
-        with pytest.raises(CrashPoint):
-            session.checkpoint()
-        assert recovered_fingerprint(directory) == expected
+        scenario_checkpoint_rename_crash(FILE, tmp_path, window)
 
     def test_checkpoint_write_error_keeps_session_alive(self, tmp_path):
-        """A non-fatal disk error during checkpoint: the old state stays
-        recoverable, the temp file is cleaned up, the session goes on."""
-        plan = FaultPlan()
-        plan.enospc("write", pattern="*.tmp", persistent=False)
-        session = build(tmp_path, opener=FaultOpener(plan))
-        fp_before = session.fingerprint(include_stats=False)
-        with pytest.raises(OSError):
-            session.checkpoint()
-        assert not [name for name in os.listdir(tmp_path)
-                    if name.endswith(".tmp")]
-        # The session keeps working — and can checkpoint once space is back.
-        session.assign("v:x", 6)
-        assert session.checkpoint() is not None
-        session.close()
-        recovered = recovered_fingerprint(tmp_path)
-        assert recovered["variables"]["v:x"]["value"] == 6
-        assert recovered["position"] > fp_before["position"]
+        scenario_checkpoint_enospc(FILE, tmp_path)
 
 
 class TestDegradedMode:
     def test_persistent_disk_error_degrades_to_read_only(self, tmp_path):
-        plan = FaultPlan()
-        opener = FaultOpener(plan)
-        session = build(tmp_path, opener=opener)
-        fp_committed = session.fingerprint(include_stats=False)
-        plan.enospc("write", pattern="*wal-*")  # persistent from now on
-
-        with pytest.raises(JournalDegraded):
-            session.assign("v:x", 99)
-        assert session.degraded
-        # The failed mutation never applied (write-ahead discipline).
-        assert session.get("v:x")[0] == 3
-        # Mutations stay refused; reads and fingerprints keep working.
-        with pytest.raises(JournalDegraded):
-            session.assign("v:y", 1)
-        with pytest.raises(JournalDegraded):
-            session.make_variable("z")
-        assert session.fingerprint(include_stats=False) == fp_committed
-        # A healthy process recovers the committed state exactly.
-        assert recovered_fingerprint(tmp_path) == fp_committed
+        scenario_degraded_enospc(FILE, tmp_path)
 
     def test_fsync_failure_degrades_and_rolls_back_the_line(self, tmp_path):
-        plan = FaultPlan()
-        opener = FaultOpener(plan)
-        session = build(tmp_path, opener=opener)
-        fp_committed = session.fingerprint(include_stats=False)
-        wal = [os.path.join(str(tmp_path), name)
-               for name in os.listdir(tmp_path) if name.startswith("wal-")]
-        size_committed = os.path.getsize(wal[0])
-        plan.fail_fsync("*wal-*", persistent=True)
-
-        with pytest.raises(JournalDegraded):
-            session.assign("v:x", 99)
-        assert session.degraded
-        # The un-acknowledged line was rolled back off the segment: the
-        # fsync gray zone must not leave bytes a recovery would trust.
-        assert os.path.getsize(wal[0]) == size_committed
-        assert recovered_fingerprint(tmp_path) == fp_committed
+        scenario_degraded_fsync(FILE, tmp_path)
 
     def test_torn_write_with_error_rolls_back_the_partial_line(
             self, tmp_path):
-        base, line_len = journal_growth(tmp_path / "pilot",
-                                        lambda s: s.assign("v:x", 55))
-        plan = FaultPlan()
-        plan.torn_write("*wal-*", at_byte=base + line_len // 2,
-                        then="error")
-        directory = tmp_path / "torn"
-        session = build(directory, opener=FaultOpener(plan))
-        fp_committed = session.fingerprint(include_stats=False)
-        with pytest.raises(JournalDegraded):
-            session.assign("v:x", 55)
-        assert session.degraded
-        wal = [os.path.join(str(directory), name)
-               for name in os.listdir(directory)
-               if name.startswith("wal-")]
-        assert os.path.getsize(wal[0]) == base  # partial line truncated
-        assert recovered_fingerprint(directory) == fp_committed
+        scenario_torn_write_error_rollback(FILE, tmp_path)
 
 
 class TestReplayDeterminismUnderBudget:
     def test_budget_aborted_round_replays_identically(self, tmp_path):
-        from repro.core import RoundBudget
-
-        session = Session("matrix", directory=str(tmp_path))
-        for i in range(12):
-            session.make_variable(f"x{i}")
-        for i in range(11):
-            session.add_constraint("equality", [f"v:x{i}", f"v:x{i + 1}"])
-        session.context.round_budget = RoundBudget(max_steps=4)
-        assert session.assign("v:x0", 7) is False  # watchdog abort
-        assert session.violations[-1]["kind"] == "budget"
-        session.context.round_budget = None
-        assert session.assign("v:x11", 3) is True
-        fp_live = session.fingerprint()  # include stats: the strong claim
-        session.close()
-
-        twin = Session("matrix", directory=str(tmp_path), read_only=True)
-        assert twin.fingerprint() == fp_live
-        assert twin.violations[-1]["kind"] == "budget"
-        twin.close()
+        scenario_replay_determinism_under_budget(FILE, tmp_path)

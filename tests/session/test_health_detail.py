@@ -60,6 +60,10 @@ class TestHealthDetail:
             base = first.health()["connections"]
             extra = SessionClient(thread.host, thread.port)
             try:
+                # The server registers a connection when its handler
+                # starts, not at TCP accept — round-trip one request on
+                # the new client so the count is observable.
+                extra.health()
                 assert first.health()["connections"] == base + 1
             finally:
                 extra.close()

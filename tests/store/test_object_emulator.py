@@ -1,0 +1,102 @@
+"""The object-store emulator's quirks — the semantics the ``object``
+backend is proven against: eventual listing visibility, read-your-writes
+gets, partial uploads that never become objects, injectable latency and
+fault hooks.
+"""
+
+import os
+
+import pytest
+
+from repro.session import Session
+from repro.store import ObjectEmulator, ObjectStore
+
+
+class TestVisibility:
+    def test_listing_lags_but_get_is_read_your_writes(self, tmp_path):
+        emulator = ObjectEmulator(str(tmp_path), list_lag=2)
+        emulator.put("s/a", b"one")
+        # Invisible to list for two calls, readable immediately.
+        assert emulator.list("s/") == []
+        assert emulator.get("s/a") == b"one"
+        assert emulator.list("s/") == []
+        assert emulator.list("s/") == ["s/a"]
+
+    def test_settle_forces_the_steady_state(self, tmp_path):
+        emulator = ObjectEmulator(str(tmp_path), list_lag=5)
+        emulator.put("s/a", b"one")
+        assert emulator.list("s/") == []
+        emulator.settle()
+        assert emulator.list("s/") == ["s/a"]
+
+    def test_rename_restarts_the_lag_clock(self, tmp_path):
+        emulator = ObjectEmulator(str(tmp_path), list_lag=1)
+        emulator.put("s/a.tmp", b"one")
+        emulator.settle()
+        emulator.rename("s/a.tmp", "s/a")
+        assert emulator.list("s/") == []
+        assert emulator.list("s/") == ["s/a"]
+        assert emulator.get("s/a") == b"one"
+
+    def test_partial_uploads_never_become_objects(self, tmp_path):
+        emulator = ObjectEmulator(str(tmp_path))
+        # Simulate a crashed multipart upload: the .inflight temp file
+        # is on disk but must be invisible to every read path.
+        path = os.path.join(str(tmp_path), "s", "a.inflight")
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "wb") as handle:
+            handle.write(b"half")
+        assert emulator.list("s/") == []
+        assert emulator.get("s/a") is None
+
+    def test_delete_is_idempotent(self, tmp_path):
+        emulator = ObjectEmulator(str(tmp_path))
+        emulator.put("s/a", b"one")
+        emulator.delete("s/a")
+        emulator.delete("s/a")  # already gone: no error
+        assert emulator.get("s/a") is None
+
+
+class TestHooks:
+    def test_latency_hook_sees_every_operation(self, tmp_path):
+        calls = []
+        emulator = ObjectEmulator(
+            str(tmp_path), latency=lambda op, key: calls.append(op))
+        emulator.put("s/a", b"one")
+        emulator.get("s/a")
+        emulator.list("s/")
+        emulator.delete("s/a")
+        assert calls == ["put", "get", "list", "delete"]
+
+    def test_fault_hook_turns_an_op_into_an_error(self, tmp_path):
+        def flaky(op, key):
+            if op == "put" and key.endswith("boom"):
+                raise OSError("injected outage")
+
+        emulator = ObjectEmulator(str(tmp_path), fault=flaky)
+        emulator.put("s/ok", b"one")
+        with pytest.raises(OSError, match="injected outage"):
+            emulator.put("s/boom", b"two")
+        assert emulator.get("s/ok") == b"one"
+        assert emulator.get("s/boom") is None
+
+
+class TestSessionOverLaggedListing:
+    def test_session_survives_listing_lag(self, tmp_path):
+        """A session written through a lagging bucket recovers exactly
+        once the listing settles — the eventual-visibility proof."""
+        store = ObjectStore(str(tmp_path), list_lag=2)
+        session = Session("lagged", store=store.session("lagged"))
+        session.make_variable("x")
+        session.assign("v:x", 41)
+        fingerprint = session.fingerprint(include_stats=False)
+        session.close()
+        store.emulator.settle()
+
+        twin_root = ObjectStore(str(tmp_path))
+        twin = Session("lagged", store=twin_root.session("lagged"),
+                       read_only=True)
+        assert twin.fingerprint(include_stats=False) == fingerprint
+        twin.close()
+        twin_root.close()
+        store.close()

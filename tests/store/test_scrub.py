@@ -1,0 +1,293 @@
+"""Anti-entropy scrub/repair, per backend.
+
+Damage taxonomy: a torn tail is truncated locally (crash signature); a
+corrupt or missing mid-journal range needs a healthy source to re-ship
+it; a damaged checkpoint is re-published from the source; a source
+that is simply *ahead* extends the local tail (the anti-entropy case).
+Every repair must land the recovered fingerprint exactly on the
+healthy state.
+"""
+
+import shutil
+
+import pytest
+
+from repro.session import Session
+from repro.store import STORE_BACKENDS, resolve_store
+from repro.store.scrub import scrub_session
+
+PARAMS = [pytest.param(kind, id=kind) for kind in STORE_BACKENDS]
+
+
+def build(root_store, name="session", assigns=12, checkpoint_at=None):
+    session = Session(name, store=root_store.session(name),
+                      segment_max_bytes=200)
+    session.make_variable("x")
+    for value in range(assigns):
+        session.assign("v:x", value)
+        if checkpoint_at is not None and value == checkpoint_at:
+            session.checkpoint()
+    session.close()
+
+
+def fingerprint(kind, root, name="session"):
+    store = resolve_store(kind, str(root))
+    try:
+        session = Session(name, store=store.session(name),
+                          read_only=True)
+        try:
+            return session.fingerprint(include_stats=False)
+        finally:
+            session.close()
+    finally:
+        store.close()
+
+
+def twin_roots(kind, tmp_path, **build_kw):
+    """A built root plus a byte-identical copy to corrupt."""
+    source_root = tmp_path / "source"
+    local_root = tmp_path / "local"
+    store = resolve_store(kind, str(source_root))
+    build(store, **build_kw)
+    store.close()
+    shutil.copytree(str(source_root), str(local_root))
+    return local_root, source_root
+
+
+def kinds(report, bucket):
+    return [finding["kind"] for finding in report[bucket]]
+
+
+@pytest.mark.parametrize("kind", PARAMS)
+class TestScrubClean:
+    def test_healthy_session_reports_clean(self, kind, tmp_path):
+        root = resolve_store(kind, str(tmp_path))
+        try:
+            build(root, checkpoint_at=6)
+            report = scrub_session(root.session("session"))
+            assert report["clean"] and report["ok"]
+            assert report["segments"] > 0
+            assert report["entries"] > 0
+            assert report["checkpoints"] == 1
+            assert report["backend"] == (kind or "file")
+        finally:
+            root.close()
+
+
+@pytest.mark.parametrize("kind", PARAMS)
+class TestTornTail:
+    def tear(self, store):
+        last_key = store.segments()[-1][1]
+        appender = store.open_segment(last_key)
+        appender.write(b"deadbeef {torn mid-app")
+        appender.flush()
+        appender.close()
+        return last_key
+
+    def test_torn_tail_is_truncated_off(self, kind, tmp_path):
+        root = resolve_store(kind, str(tmp_path))
+        try:
+            build(root)
+            before = fingerprint(kind, tmp_path)
+            self.tear(root.session("session"))
+            report = scrub_session(root.session("session"))
+            assert kinds(report, "repaired") == ["torn-tail"]
+            assert report["ok"] and not report["clean"]
+            assert fingerprint(kind, tmp_path) == before
+            assert scrub_session(root.session("session"))["clean"]
+        finally:
+            root.close()
+
+    def test_report_only_leaves_the_bytes_alone(self, kind, tmp_path):
+        root = resolve_store(kind, str(tmp_path))
+        try:
+            build(root)
+            store = root.session("session")
+            key = self.tear(store)
+            size = store.segment_size(key)
+            report = scrub_session(store, repair=False)
+            assert kinds(report, "damage") == ["torn-tail"]
+            assert not report["ok"]
+            assert store.segment_size(key) == size
+        finally:
+            root.close()
+
+    def test_live_tail_is_never_truncated(self, kind, tmp_path):
+        """``allow_tail=False`` — a live writer's in-flight append
+        looks torn and must be left for the writer to finish."""
+        root = resolve_store(kind, str(tmp_path))
+        try:
+            build(root)
+            store = root.session("session")
+            key = self.tear(store)
+            size = store.segment_size(key)
+            report = scrub_session(store, allow_tail=False)
+            assert kinds(report, "damage") == ["torn-tail"]
+            assert store.segment_size(key) == size
+        finally:
+            root.close()
+
+
+@pytest.mark.parametrize("kind", PARAMS)
+class TestMidJournalDamage:
+    def test_without_a_source_the_need_is_reported(self, kind, tmp_path):
+        root = resolve_store(kind, str(tmp_path))
+        try:
+            build(root)
+            store = root.session("session")
+            segments = store.segments()
+            assert len(segments) > 2
+            first, key = segments[1]
+            next_first = segments[2][0]
+            store.truncate_segment(key, store.segment_size(key) // 2)
+
+            report = scrub_session(store)
+            assert not report["ok"]
+            assert report["needs"] == [{"segment": key,
+                                        "after": first - 1,
+                                        "until": next_first - 1}]
+        finally:
+            root.close()
+
+    def test_repaired_from_a_healthy_source_twin(self, kind, tmp_path):
+        local_root, source_root = twin_roots(kind, tmp_path)
+        healthy = fingerprint(kind, source_root)
+        local = resolve_store(kind, str(local_root))
+        source = resolve_store(kind, str(source_root))
+        try:
+            store = local.session("session")
+            _first, key = store.segments()[1]
+            store.truncate_segment(key, 10)
+
+            report = scrub_session(store,
+                                   source=source.session("session"))
+            assert report["ok"]
+            assert "segment" in kinds(report, "repaired")
+            assert report["needs"] == []
+            assert fingerprint(kind, local_root) == healthy
+            assert scrub_session(store)["clean"]
+        finally:
+            local.close()
+            source.close()
+
+    def test_missing_segment_is_reshipped(self, kind, tmp_path):
+        local_root, source_root = twin_roots(kind, tmp_path)
+        healthy = fingerprint(kind, source_root)
+        local = resolve_store(kind, str(local_root))
+        source = resolve_store(kind, str(source_root))
+        try:
+            store = local.session("session")
+            store.delete_segment(store.segments()[1][1])
+
+            report = scrub_session(store,
+                                   source=source.session("session"))
+            assert report["ok"]
+            assert "segment" in kinds(report, "repaired")
+            assert fingerprint(kind, local_root) == healthy
+        finally:
+            local.close()
+            source.close()
+
+    def test_missing_segment_without_source_is_a_need(self, kind,
+                                                      tmp_path):
+        root = resolve_store(kind, str(tmp_path))
+        try:
+            build(root)
+            store = root.session("session")
+            segments = store.segments()
+            first, key = segments[1]
+            next_first = segments[2][0]
+            store.delete_segment(key)
+
+            report = scrub_session(store)
+            assert not report["ok"]
+            assert report["needs"] == [{"segment": key,
+                                        "after": first - 1,
+                                        "until": next_first - 1}]
+        finally:
+            root.close()
+
+
+@pytest.mark.parametrize("kind", PARAMS)
+class TestCheckpointDamage:
+    def test_damaged_checkpoint_republished_from_source(self, kind,
+                                                        tmp_path):
+        local_root, source_root = twin_roots(kind, tmp_path,
+                                             checkpoint_at=6)
+        healthy = fingerprint(kind, source_root)
+        local = resolve_store(kind, str(local_root))
+        source = resolve_store(kind, str(source_root))
+        try:
+            store = local.session("session")
+            seq, _key = store.checkpoints()[-1]
+            store.publish_checkpoint(seq, b"{corrupted")
+
+            report = scrub_session(store,
+                                   source=source.session("session"))
+            assert report["ok"]
+            assert "checkpoint" in kinds(report, "repaired")
+            assert fingerprint(kind, local_root) == healthy
+        finally:
+            local.close()
+            source.close()
+
+    def test_damaged_checkpoint_without_source_is_damage(self, kind,
+                                                         tmp_path):
+        root = resolve_store(kind, str(tmp_path))
+        try:
+            build(root, checkpoint_at=6)
+            store = root.session("session")
+            seq, _key = store.checkpoints()[-1]
+            store.publish_checkpoint(seq, b"{corrupted")
+            report = scrub_session(store)
+            assert not report["ok"]
+            assert "checkpoint" in kinds(report, "damage")
+        finally:
+            root.close()
+
+
+@pytest.mark.parametrize("kind", PARAMS)
+class TestAntiEntropyTail:
+    def test_source_ahead_extends_the_local_tail(self, kind, tmp_path):
+        local_root, source_root = twin_roots(kind, tmp_path)
+        healthy = fingerprint(kind, source_root)
+        local = resolve_store(kind, str(local_root))
+        source = resolve_store(kind, str(source_root))
+        try:
+            store = local.session("session")
+            store.delete_segment(store.segments()[-1][1])
+            assert fingerprint(kind, local_root) != healthy
+
+            report = scrub_session(store,
+                                   source=source.session("session"))
+            assert report["ok"]
+            assert "tail-extend" in kinds(report, "repaired")
+            assert fingerprint(kind, local_root) == healthy
+        finally:
+            local.close()
+            source.close()
+
+
+class TestCrossBackendRepair:
+    @pytest.mark.parametrize("source_kind", ["sqlite", "object"])
+    def test_file_root_repaired_from_another_backend(self, source_kind,
+                                                     tmp_path):
+        """Journal lines are backend-independent raw bytes: a file root
+        can be mended from a sqlite or object twin built from the very
+        same operations."""
+        local = resolve_store("file", str(tmp_path / "local"))
+        source = resolve_store(source_kind, str(tmp_path / "source"))
+        try:
+            build(local)
+            build(source)
+            healthy = fingerprint("file", tmp_path / "local")
+
+            store = local.session("session")
+            store.delete_segment(store.segments()[1][1])
+            report = scrub_session(store,
+                                   source=source.session("session"))
+            assert report["ok"]
+            assert fingerprint("file", tmp_path / "local") == healthy
+        finally:
+            local.close()
+            source.close()

@@ -1,0 +1,165 @@
+"""The ``--store`` seam end to end.
+
+``SessionManager`` accepts a backend spec (or an already-built store),
+every session it opens lands on that backend, ``serve --store`` threads
+the spec through the server, and health/stats frames report which
+backend is underneath so operators can see it.  The CLI's
+``session-verify`` / ``store-scrub`` / ``store-compact`` speak the same
+grammar.
+"""
+
+import io
+import os
+import re
+import shutil
+import subprocess
+import sys
+import tempfile
+
+import pytest
+
+from repro.cli import main
+from repro.session import Session
+from repro.session.manager import SessionError, SessionManager
+from repro.session.client import SessionClient
+from repro.store import SqliteStore, resolve_store
+
+
+def run(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+class TestManagerStoreSeam:
+    def test_manager_on_sqlite_backend(self, tmp_path):
+        manager = SessionManager(str(tmp_path), store="sqlite",
+                                 fsync="never")
+        try:
+            assert manager.store_backend == "sqlite"
+            session = manager.get("alpha", create=True)
+            session.make_variable("x")
+            session.assign("v:x", 5)
+        finally:
+            manager.close_all()
+        # Everything durable went into the one database file.
+        assert os.path.exists(tmp_path / "sessions.db")
+        assert not os.path.isdir(tmp_path / "alpha")
+
+        manager = SessionManager(str(tmp_path), store="sqlite")
+        try:
+            assert "alpha" in manager.names()
+            session = manager.get("alpha")
+            assert session.get("v:x")[0] == 5
+        finally:
+            manager.close_all()
+
+    def test_missing_session_without_create_is_an_error(self, tmp_path):
+        manager = SessionManager(str(tmp_path), store="object")
+        try:
+            with pytest.raises(SessionError):
+                manager.get("ghost", create=False)
+        finally:
+            manager.close_all()
+
+    def test_prebuilt_store_instance_is_accepted(self, tmp_path):
+        store = SqliteStore(str(tmp_path / "db"))
+        manager = SessionManager(str(tmp_path), store=store)
+        try:
+            assert manager.store is store
+            assert manager.store_backend == "sqlite"
+        finally:
+            manager.close_all()
+
+    def test_arbitrary_store_object_is_rejected(self, tmp_path):
+        with pytest.raises(TypeError):
+            SessionManager(str(tmp_path), store=object())
+
+
+@pytest.fixture(scope="module")
+def sqlite_server():
+    """One ``repro serve --store sqlite`` subprocess for the module."""
+    root = tempfile.mkdtemp(prefix="repro-store-server-")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", "--root", root,
+         "--fsync", "never", "--store", "sqlite"],
+        env={**os.environ, "PYTHONPATH": os.pathsep.join(sys.path)},
+        stdout=subprocess.PIPE, text=True)
+    line = proc.stdout.readline()
+    match = re.search(r"listening on ([\d.]+):(\d+)", line)
+    assert match, f"unexpected server banner: {line!r}"
+    yield match.group(1), int(match.group(2)), root
+    proc.terminate()
+    proc.wait(timeout=10)
+    shutil.rmtree(root, ignore_errors=True)
+
+
+class TestServerReportsBackend:
+    def test_health_names_the_backend(self, sqlite_server):
+        host, port, _root = sqlite_server
+        with SessionClient(host, port) as client:
+            health = client.call("health")
+            assert health["store"] == "sqlite"
+
+    def test_stats_name_the_backend(self, sqlite_server):
+        host, port, _root = sqlite_server
+        with SessionClient(host, port) as client:
+            handle = client.session("flagged")
+            handle.make_var("x", 1)
+            stats = client.call("stats", session="flagged")
+            assert stats["store"] == "sqlite"
+
+    def test_sessions_live_in_the_database(self, sqlite_server):
+        host, port, root = sqlite_server
+        with SessionClient(host, port) as client:
+            client.session("indb").make_var("x", 1)
+        assert os.path.exists(os.path.join(root, "sessions.db"))
+        assert not os.path.isdir(os.path.join(root, "indb"))
+
+
+class TestCliStoreGrammar:
+    def seed(self, tmp_path, kind):
+        store = resolve_store(kind, str(tmp_path))
+        session = Session("cliseed", store=store.session("cliseed"),
+                          segment_max_bytes=200)
+        session.make_variable("x")
+        for value in range(20):
+            session.assign("v:x", value)
+        session.close()
+        store.close()
+
+    @pytest.mark.parametrize("kind", ["file", "sqlite", "object"])
+    def test_session_verify_accepts_every_backend(self, kind, tmp_path):
+        self.seed(tmp_path, kind)
+        code, text = run(["session-verify", "--root", str(tmp_path),
+                          "--name", "cliseed", "--store", kind])
+        assert code == 0, text
+        assert "position=" in text
+
+    def test_session_verify_missing_session_fails(self, tmp_path):
+        with pytest.raises(SystemExit):
+            run(["session-verify", "--root", str(tmp_path),
+                 "--name", "nope", "--store", "sqlite"])
+
+    def test_store_scrub_and_compact_round_trip(self, tmp_path):
+        self.seed(tmp_path, "sqlite")
+        code, text = run(["store-compact", "--root", str(tmp_path),
+                          "--session", "cliseed", "--store", "sqlite",
+                          "--keep-segments", "2"])
+        assert code == 0, text
+        assert "checkpoint at seq" in text
+        code, text = run(["store-scrub", "--root", str(tmp_path),
+                          "--session", "cliseed", "--store", "sqlite"])
+        assert code == 0, text
+        assert "clean" in text
+
+    def test_store_scrub_reports_damage_nonzero(self, tmp_path):
+        self.seed(tmp_path, "file")
+        store = resolve_store("file", str(tmp_path))
+        session_store = store.session("cliseed")
+        session_store.delete_segment(session_store.segments()[1][1])
+        store.close()
+        code, text = run(["store-scrub", "--root", str(tmp_path),
+                          "--session", "cliseed", "--check"])
+        assert code == 1
+        assert "damaged" in text

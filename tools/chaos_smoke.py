@@ -26,11 +26,16 @@ Run from the repo root (CI's chaos-smoke job does)::
 
     PYTHONPATH=src python tools/chaos_smoke.py
 
+``--store sqlite`` / ``--store object`` run the identical gauntlet with
+the server's durable state on that backend (CI's store-smoke job does
+both) — the kill -9 / recovery invariants are backend-independent.
+
 Exits non-zero with a diagnostic on the first mismatch.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import os
 import signal
@@ -52,6 +57,14 @@ ASSIGN_ROUNDS = 12
 #: journal position a fault-free (or exactly-once retried) run ends at.
 EXPECTED_POSITION = 4 + 2 * ASSIGN_ROUNDS
 
+#: ``--store`` spec forwarded to every serve/session-verify invocation
+#: (``None`` = the default file backend).
+STORE: "str | None" = None
+
+
+def _store_args() -> "list[str]":
+    return ["--store", STORE] if STORE else []
+
 
 def start_server(root: str) -> "tuple[subprocess.Popen, int]":
     env = dict(os.environ)
@@ -59,7 +72,7 @@ def start_server(root: str) -> "tuple[subprocess.Popen, int]":
     proc = subprocess.Popen(
         [sys.executable, "-m", "repro.cli", "serve",
          "--root", root, "--port", "0", "--max-connections", "32",
-         "--round-budget-steps", "100000"],
+         "--round-budget-steps", "100000"] + _store_args(),
         stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
         text=True, env=env, cwd=REPO)
     deadline = time.monotonic() + 30.0
@@ -127,7 +140,7 @@ def offline_fingerprint(root: str, name: str) -> dict:
     env["PYTHONPATH"] = os.path.join(REPO, "src")
     output = subprocess.check_output(
         [sys.executable, "-m", "repro.cli", "session-verify",
-         "--root", root, "--name", name, "--fingerprint"],
+         "--root", root, "--name", name, "--fingerprint"] + _store_args(),
         text=True, env=env, cwd=REPO)
     return json.loads(output)
 
@@ -161,7 +174,15 @@ def kill_mid_whatif_commit(proc: subprocess.Popen, port: int,
     sock.close()
 
 
-def main() -> int:
+def main(argv: "list[str] | None" = None) -> int:
+    global STORE
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--store", metavar="BACKEND[:PATH]", default=None,
+                        help="storage backend for the server under test "
+                             "(file|sqlite|object)")
+    STORE = parser.parse_args(argv).store
+    if STORE:
+        print(f"chaos smoke on --store {STORE}")
     names = ["alice", "bob"]
     with tempfile.TemporaryDirectory(prefix="chaos-smoke-") as root:
         proc, port = start_server(root)
